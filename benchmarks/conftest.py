@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+asserts its qualitative shape against the paper's reported values, and
+writes the rendered table to ``benchmarks/results/`` so EXPERIMENTS.md
+can be refreshed from a single run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_table(results_dir):
+    """Write a rendered table (and optional notes) to the results dir."""
+
+    def _record(name: str, *blocks: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text("\n\n".join(blocks) + "\n")
+
+    return _record

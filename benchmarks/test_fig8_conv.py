@@ -1,0 +1,113 @@
+"""E-FIG8-CONV: regenerate the conv half of Fig. 8.
+
+Sweeps C in {32, 64, 128, 256} at K=256 (8x8 spatial, 3x3 filters) over
+all eight kernel variants, reporting MAC/cycle and speedup vs the dense
+1x2 baseline, and checks the paper's headline claims:
+
+- 1:4 SW-only convolution is *slower* than dense 1x2 (~ +23% cycles);
+- 1:16 SW reaches ~2.6x, ISA variants ~1.5x / 2.4x / 3.9x on average;
+- performance improves with C (inner loop amortises the im2col).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.fig8 import (
+    CONV_CHANNEL_SWEEP,
+    average_speedup,
+    fig8_conv,
+)
+from repro.eval.paper_values import FIG8_CONV_AVG_SPEEDUP
+from repro.kernels.conv_dense import conv2d_dense
+from repro.kernels.conv_sparse import conv2d_sparse
+from repro.kernels.shapes import ConvShape
+from repro.sparsity.nm import FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import prune_conv_weights
+from repro.utils.tables import Table
+
+
+def test_fig8_conv_table(benchmark, record_table):
+    table = benchmark.pedantic(fig8_conv, rounds=1, iterations=1)
+    assert len(table.rows) == 8 * len(CONV_CHANNEL_SWEEP)
+
+    comparison = Table(
+        "Fig. 8 conv averages: paper vs model",
+        ["variant", "fmt", "paper", "model", "error %"],
+    )
+    for (variant, fmt_name), paper in FIG8_CONV_AVG_SPEEDUP.items():
+        got = average_speedup("conv", variant, fmt_name, )
+        comparison.add_row(
+            variant=variant,
+            fmt=fmt_name or "-",
+            paper=paper,
+            model=got,
+            **{"error %": 100 * (got / paper - 1)},
+        )
+        assert got == pytest.approx(paper, rel=0.15), (variant, fmt_name)
+    record_table("fig8_conv", table.render(), comparison.render())
+
+
+def test_1_4_sw_slower_than_dense(benchmark):
+    """Sec. 5.2: the 1:4 SW conv kernel loses to the 1x2 baseline."""
+    got = benchmark.pedantic(
+        lambda: average_speedup("conv", "sparse-sw", "1:4"), rounds=1
+    )
+    assert got < 1.0
+
+
+def test_speedup_grows_with_channels(benchmark):
+    """Sec. 5.2: deeper layers amortise the im2col better."""
+
+    def series():
+        table = fig8_conv()
+        rows = [
+            r
+            for r in table.rows
+            if r["variant"] == "sparse-isa" and r["fmt"] == "1:16"
+        ]
+        return [r["speedup vs 1x2"] for r in rows]
+
+    speedups = benchmark.pedantic(series, rounds=1)
+    assert speedups == sorted(speedups)
+
+
+def test_isa_beats_sw_at_every_point(benchmark):
+    def worst_ratio():
+        table = fig8_conv()
+        worst = np.inf
+        for fmt in ("1:4", "1:8", "1:16"):
+            for c in CONV_CHANNEL_SWEEP:
+                sw = next(
+                    r["MAC/cyc"]
+                    for r in table.rows
+                    if r["variant"] == "sparse-sw"
+                    and r["fmt"] == fmt
+                    and r["C"] == c
+                )
+                isa = next(
+                    r["MAC/cyc"]
+                    for r in table.rows
+                    if r["variant"] == "sparse-isa"
+                    and r["fmt"] == fmt
+                    and r["C"] == c
+                )
+                worst = min(worst, isa / sw)
+        return worst
+
+    worst = benchmark.pedantic(worst_ratio, rounds=1)
+    assert worst > 1.0
+
+
+def test_conv_kernel_execution_dense_vs_sparse(benchmark):
+    """Wall-time of the functional kernels on the Fig. 8 geometry
+    (library-level sanity: the sparse path is exercised end to end)."""
+    shape = ConvShape(iy=8, ix=8, c=64, k=256)
+    rng = np.random.default_rng(0)
+    x = rng.integers(-128, 128, (8, 8, 64)).astype(np.int8)
+    w = rng.integers(-128, 128, (256, 3, 3, 64)).astype(np.int8)
+    wp = prune_conv_weights(w, FORMAT_1_8)
+    mat = NMSparseMatrix.from_dense(wp.reshape(256, -1), FORMAT_1_8)
+
+    out_sparse = benchmark(lambda: conv2d_sparse(x, mat, shape, method="dense"))
+    out_dense = conv2d_dense(x, wp, shape)
+    assert (out_sparse == out_dense).all()

@@ -1,0 +1,94 @@
+"""E-FIG8-FC: regenerate the FC half of Fig. 8.
+
+Sweeps C in {256, 512, 1024, 2048} at K=256 over the seven FC variants
+and checks the paper's claims: SW sparse beats dense even at 1:4
+(barely — ~2% on average, via reduced weight streaming), 1:8/1:16 SW
+reach ~1.6x/2.3x, ISA ~1.8x/2.2x/2.9x, all improving with C.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.fig8 import FC_CHANNEL_SWEEP, average_speedup, fig8_fc
+from repro.eval.paper_values import FIG8_FC_AVG_SPEEDUP
+from repro.kernels.fc_dense import fc_dense
+from repro.kernels.fc_sparse import fc_sparse
+from repro.kernels.shapes import FcShape
+from repro.sparsity.nm import FORMAT_1_16, NMSparseMatrix
+from repro.sparsity.pruning import prune_fc_weights
+from repro.utils.tables import Table
+
+
+def test_fig8_fc_table(benchmark, record_table):
+    table = benchmark.pedantic(fig8_fc, rounds=1, iterations=1)
+    assert len(table.rows) == 7 * len(FC_CHANNEL_SWEEP)
+
+    comparison = Table(
+        "Fig. 8 FC averages: paper vs model",
+        ["variant", "fmt", "paper", "model", "error %"],
+    )
+    for (variant, fmt_name), paper in FIG8_FC_AVG_SPEEDUP.items():
+        got = average_speedup("fc", variant, fmt_name)
+        comparison.add_row(
+            variant=variant,
+            fmt=fmt_name or "-",
+            paper=paper,
+            model=got,
+            **{"error %": 100 * (got / paper - 1)},
+        )
+        assert got == pytest.approx(paper, rel=0.15), (variant, fmt_name)
+    record_table("fig8_fc", table.render(), comparison.render())
+
+
+def test_fc_1_4_sw_marginal_but_positive(benchmark):
+    """Sec. 5.2: no inner-loop gain at 1:4, yet slightly faster overall
+    thanks to the reduced weight stream (memory-bound layers)."""
+    got = benchmark.pedantic(
+        lambda: average_speedup("fc", "sparse-sw", "1:4"), rounds=1
+    )
+    assert 1.0 <= got < 1.2
+
+
+def test_fc_speedup_grows_with_c(benchmark):
+    """Sec. 5.2: the 1:4 SW speedup peaks at the largest geometry."""
+
+    def series():
+        table = fig8_fc()
+        rows = [
+            r
+            for r in table.rows
+            if r["variant"] == "sparse-sw" and r["fmt"] == "1:4"
+        ]
+        return [r["speedup vs dense"] for r in rows]
+
+    speedups = benchmark.pedantic(series, rounds=1)
+    assert speedups[-1] == max(speedups)
+
+
+def test_fc_1_16_peak_exceeds_average(benchmark):
+    """Sec. 5.2 quotes peaks up to 3.4x at 1:16; the model (calibrated
+    on the 2.3x *average*) must show the same peak-at-largest-C shape,
+    clearly above the average."""
+
+    def peak():
+        table = fig8_fc()
+        return max(
+            r["speedup vs dense"]
+            for r in table.rows
+            if r["variant"] == "sparse-sw" and r["fmt"] == "1:16"
+        )
+
+    assert benchmark.pedantic(peak, rounds=1) > 2.5
+
+
+def test_fc_kernel_execution(benchmark):
+    """Wall-time of the functional FC kernels at C=2048."""
+    shape = FcShape(c=2048, k=256)
+    rng = np.random.default_rng(1)
+    x = rng.integers(-128, 128, 2048).astype(np.int8)
+    w = rng.integers(-128, 128, (256, 2048)).astype(np.int8)
+    wp = prune_fc_weights(w, FORMAT_1_16)
+    mat = NMSparseMatrix.from_dense(wp, FORMAT_1_16)
+
+    out_sparse = benchmark(lambda: fc_sparse(x, mat, shape))
+    assert (out_sparse == fc_dense(x, wp, shape)).all()

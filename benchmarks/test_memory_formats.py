@@ -1,0 +1,62 @@
+"""E-MEM / E-FIG1: format memory comparison and break-even analysis.
+
+Checks the Sec. 2.1/4 numbers: N:M weight-memory reductions (68.75% /
+81.25% / 90.62% SW; 62.5% / 75% / 87.5% with duplicated offsets), the
+COO/CSR break-even sparsities, and that N:M dominates both coordinate
+formats at every supported pattern.
+"""
+
+import pytest
+
+from repro.eval.formats import break_even_table, fig1_demo, format_memory_table
+from repro.eval.paper_values import MEMORY_REDUCTION_ISA, MEMORY_REDUCTION_SW
+from repro.sparsity.nm import SUPPORTED_FORMATS
+
+
+def test_format_memory_table(benchmark, record_table):
+    table = benchmark.pedantic(format_memory_table, rounds=1, iterations=1)
+    record_table(
+        "memory_formats", table.render(), break_even_table().render()
+    )
+    for row in table.rows:
+        assert row["N:M (SW)"] < row["CSR"] < row["COO"]
+        assert row["N:M (SW)"] < row["N:M (ISA conv)"] < row["dense"]
+
+
+def test_paper_reduction_percentages(benchmark):
+    def reductions():
+        out = {}
+        for name, fmt in SUPPORTED_FORMATS.items():
+            out[name] = (
+                fmt.weight_memory_reduction(False),
+                fmt.weight_memory_reduction(True),
+            )
+        return out
+
+    got = benchmark.pedantic(reductions, rounds=1)
+    for name in SUPPORTED_FORMATS:
+        assert got[name][0] == pytest.approx(MEMORY_REDUCTION_SW[name], abs=1e-4)
+        assert got[name][1] == pytest.approx(MEMORY_REDUCTION_ISA[name], abs=1e-4)
+
+
+def test_fig1_patterns(benchmark, record_table):
+    """All three Fig. 1 pruning patterns retain exactly 25% density."""
+    demo = benchmark.pedantic(fig1_demo, rounds=1)
+    lines = []
+    for name, mat in demo.items():
+        density = (mat != 0).mean()
+        lines.append(f"{name}: density {density:.2f}\n{mat}")
+        if name != "dense":
+            assert density == pytest.approx(0.25)
+    record_table("fig1_patterns", *lines)
+
+
+def test_csr_compression_below_25_percent_at_1_4(benchmark):
+    """Sec. 4: CSR yields < 25% compression at 75% sparsity while the
+    1:4 N:M format reaches 68.75%."""
+    table = benchmark.pedantic(format_memory_table, rounds=1)
+    row = next(r for r in table.rows if r["pattern"] == "1:4")
+    csr_reduction = 1 - row["CSR"] / row["dense"]
+    nm_reduction = 1 - row["N:M (SW)"] / row["dense"]
+    assert csr_reduction < 0.25
+    assert nm_reduction == pytest.approx(0.6875, abs=0.01)

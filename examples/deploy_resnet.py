@@ -1,0 +1,45 @@
+"""End-to-end deployment: ResNet18 and ViT through the compiler.
+
+Builds the Table 2 benchmark models at every sparsity level, compiles
+them with the MATCH-substitute (pattern recognition, format-aware
+tiling, interleaved layout), and prints the end-to-end tables next to
+the paper's measured values — plus a per-layer plan for one variant.
+
+Run:
+    python examples/deploy_resnet.py [--vit] [--per-layer]
+"""
+
+import argparse
+import sys
+
+from repro.compiler.codegen import CompileConfig
+from repro.compiler.deploy import deploy
+from repro.eval.table2 import table2_resnet, table2_vit
+from repro.models.resnet import resnet18_cifar
+from repro.sparsity.nm import SUPPORTED_FORMATS
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--vit", action="store_true", help="also deploy the ViT")
+    ap.add_argument(
+        "--per-layer",
+        action="store_true",
+        help="print the per-layer plan of the 1:8 ISA ResNet",
+    )
+    args = ap.parse_args(argv)
+
+    print(table2_resnet().render())
+    if args.vit:
+        print()
+        print(table2_vit().render())
+    if args.per_layer:
+        graph = resnet18_cifar(fmt=SUPPORTED_FORMATS["1:8"])
+        report = deploy(graph, CompileConfig(use_isa=True))
+        print()
+        print(report.layer_table().render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Future-work extensions: variable per-stage sparsity and energy.
+
+The paper's conclusion sketches two follow-ups: studying *variable
+sparsity patterns* (per-layer) and estimating *energy savings*.  Both
+are implemented in this repository; this example drives them:
+
+1. deploy ResNet18 under per-stage N:M schedules (mild formats in the
+   parameter-light early stages, aggressive 1:16 in the deep ones) and
+   compare latency/memory against uniform schedules;
+2. estimate per-variant energy for a representative conv layer,
+   splitting core / L1 / L2 contributions;
+3. quantify the unstructured-CSR comparator the paper argues against
+   in Sec. 2.1.
+
+Run:
+    python examples/mixed_sparsity_and_energy.py
+"""
+
+from repro.eval.extensions import (
+    double_buffering_table,
+    energy_table,
+    mixed_sparsity_table,
+    unstructured_comparison_table,
+)
+
+
+def main() -> None:
+    print(mixed_sparsity_table().render())
+    print()
+    print(energy_table().render())
+    print()
+    print(unstructured_comparison_table().render())
+    print()
+    print(double_buffering_table().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Regenerate Fig. 8: single-layer conv and FC sweeps.
+
+Prints the per-layer MAC/cycle and speedup tables for every kernel
+variant, plus the average-speedup comparison against the numbers the
+paper quotes in Sec. 5.2.
+
+Run:
+    python examples/single_layer_sweep.py
+"""
+
+from repro.eval.fig8 import average_speedup, fig8_conv, fig8_fc
+from repro.eval.paper_values import FIG8_CONV_AVG_SPEEDUP, FIG8_FC_AVG_SPEEDUP
+from repro.utils.tables import Table
+
+
+def comparison(kind: str, paper: dict) -> Table:
+    table = Table(
+        f"Fig. 8 {kind} average speedups: paper vs this model",
+        ["variant", "fmt", "paper", "model"],
+    )
+    for (variant, fmt_name), value in paper.items():
+        table.add_row(
+            variant=variant,
+            fmt=fmt_name or "-",
+            paper=value,
+            model=average_speedup(kind, variant, fmt_name),
+        )
+    return table
+
+
+def main() -> None:
+    print(fig8_conv().render())
+    print()
+    print(comparison("conv", FIG8_CONV_AVG_SPEEDUP).render())
+    print()
+    print(fig8_fc().render())
+    print()
+    print(comparison("fc", FIG8_FC_AVG_SPEEDUP).render())
+
+
+if __name__ == "__main__":
+    main()

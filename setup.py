@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs cannot build; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

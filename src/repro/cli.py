@@ -1,0 +1,154 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro fig8 conv
+    python -m repro fig8 fc
+    python -m repro table2 resnet
+    python -m repro table2 vit
+    python -m repro table3
+    python -m repro peaks
+    python -m repro memory
+    python -m repro ablations
+    python -m repro extensions
+    python -m repro accuracy [--epochs N]
+
+Each command prints the corresponding table(s) with the paper's values
+alongside where applicable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_fig8(args) -> int:
+    from repro.eval.fig8 import fig8_conv, fig8_fc
+
+    print((fig8_conv() if args.kind == "conv" else fig8_fc()).render())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.eval.table2 import table2_resnet, table2_vit
+
+    print((table2_resnet() if args.model == "resnet" else table2_vit()).render())
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.eval.table3 import table3_sota
+
+    print(table3_sota().render())
+    return 0
+
+
+def _cmd_peaks(args) -> int:
+    from repro.eval.peaks import peaks_table
+
+    print(peaks_table().render())
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.eval.formats import break_even_table, format_memory_table
+
+    print(format_memory_table().render())
+    print()
+    print(break_even_table().render())
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.eval.ablations import (
+        im2col_strategy_table,
+        layout_interleaving_table,
+        offset_duplication_table,
+        tiling_awareness_table,
+        unrolling_table,
+    )
+
+    for table in (
+        im2col_strategy_table(),
+        offset_duplication_table(),
+        tiling_awareness_table(),
+        layout_interleaving_table(),
+        unrolling_table(),
+    ):
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_extensions(args) -> int:
+    from repro.eval.extensions import (
+        double_buffering_table,
+        energy_table,
+        mixed_sparsity_table,
+        unstructured_comparison_table,
+    )
+
+    for table in (
+        energy_table(),
+        mixed_sparsity_table(),
+        unstructured_comparison_table(),
+        double_buffering_table(),
+    ):
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_accuracy(args) -> int:
+    from repro.eval.accuracy import accuracy_trend
+
+    table, _ = accuracy_trend(epochs=args.epochs)
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig8", help="single-layer sweeps (Fig. 8)")
+    p.add_argument("kind", choices=["conv", "fc"])
+    p.set_defaults(func=_cmd_fig8)
+
+    p = sub.add_parser("table2", help="end-to-end deployment (Table 2)")
+    p.add_argument("model", choices=["resnet", "vit"])
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("table3", help="SotA comparison (Table 3)")
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("peaks", help="analytical kernel peaks (Sec. 4)")
+    p.set_defaults(func=_cmd_peaks)
+
+    p = sub.add_parser("memory", help="format memory comparison (Sec. 2.1)")
+    p.set_defaults(func=_cmd_memory)
+
+    p = sub.add_parser("ablations", help="design-choice ablations")
+    p.set_defaults(func=_cmd_ablations)
+
+    p = sub.add_parser("extensions", help="future-work extensions")
+    p.set_defaults(func=_cmd_extensions)
+
+    p = sub.add_parser("accuracy", help="SR-STE accuracy trend")
+    p.add_argument("--epochs", type=int, default=8)
+    p.set_defaults(func=_cmd_accuracy)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

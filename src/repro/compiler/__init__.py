@@ -1,0 +1,46 @@
+"""MATCH-like DNN compiler (paper Sec. 4.4).
+
+A deliberately compact reimplementation of the three MATCH features the
+paper adds, over a small graph IR:
+
+1. **Pattern recognition** (:mod:`repro.compiler.patterns`): conv/FC
+   nodes whose weights satisfy a supported N:M pattern are annotated
+   with their format, steering them to the sparse kernels.
+2. **Format-aware tiling** (:mod:`repro.compiler.tiling`): the L1 tile
+   search accounts for the true bits-per-dense-weight of each format
+   (e.g. 3 bits for 1:4 with replicated offsets).
+3. **Interleaved weight storage** (:mod:`repro.compiler.layout`):
+   each weight tile is stored in L2 as values followed by packed
+   indices so one DMA transaction moves both.
+
+:mod:`repro.compiler.codegen` lowers an annotated graph to kernel
+invocations; :mod:`repro.compiler.deploy` executes the plan against the
+cost model (and, optionally, functionally) producing the end-to-end
+numbers of Table 2.
+"""
+
+from repro.compiler.ir import Graph, Node
+from repro.compiler.patterns import detect_format, annotate_sparsity
+from repro.compiler.tiling import TileSolution, tile_conv, tile_fc
+from repro.compiler.layout import WeightTileLayout, build_interleaved_tiles
+from repro.compiler.codegen import CompileConfig, LayerPlan, lower_graph
+from repro.compiler.deploy import DeploymentReport, deploy
+from repro.compiler.executor import execute_graph
+
+__all__ = [
+    "Graph",
+    "Node",
+    "detect_format",
+    "annotate_sparsity",
+    "TileSolution",
+    "tile_conv",
+    "tile_fc",
+    "WeightTileLayout",
+    "build_interleaved_tiles",
+    "CompileConfig",
+    "LayerPlan",
+    "lower_graph",
+    "DeploymentReport",
+    "deploy",
+    "execute_graph",
+]

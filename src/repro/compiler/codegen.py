@@ -1,0 +1,232 @@
+"""Lowering: annotated graph -> kernel invocation plan.
+
+For every compute node the generator picks a kernel variant (sparse
+kernels when a pattern was recognised and sparsity is enabled; the
+PULP-NN 4x2 dense conv otherwise, falling back to 1x2 when K is not a
+multiple of 4), runs the format-aware tiler, and prices the layer with
+the cost model.  Non-MATCH ops (attention internals, normalisation,
+activations, pooling) are planned as Deeploy-style fallback kernels —
+mirroring the paper's ViT deployment, which splits layers between MATCH
+and Deeploy (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.ir import Graph, Node
+from repro.compiler.tiling import TileSolution, tile_conv, tile_fc
+from repro.kernels.cost_model import (
+    CostParams,
+    CycleBreakdown,
+    DEFAULT_PARAMS,
+    conv_layer_cycles,
+    fc_layer_cycles,
+    weight_stream_bytes,
+)
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import NMFormat
+
+__all__ = ["CompileConfig", "LayerPlan", "DeeployModel", "lower_graph"]
+
+
+@dataclass(frozen=True)
+class DeeployModel:
+    """Latency constants of the fallback (Deeploy) kernels.
+
+    Cluster-level figures for the 8-core target: GEMM throughput for
+    attention matmuls, and per-element costs for the integer softmax /
+    layernorm / GELU kernels.  Calibrated once against the paper's
+    dense ViT end-to-end figure (Table 2), then held fixed across all
+    sparsity variants (attention is never sparsified).
+    """
+
+    gemm_macs_per_cycle: float = 9.0
+    softmax_cycles_per_elem: float = 18.0
+    layernorm_cycles_per_elem: float = 18.0
+    gelu_cycles_per_elem: float = 18.0
+    elementwise_cycles_per_elem: float = 0.25
+    pool_cycles_per_elem: float = 1.0
+    node_setup_cycles: float = 2000.0
+
+
+@dataclass(frozen=True)
+class CompileConfig:
+    """Compilation options.
+
+    Attributes
+    ----------
+    use_sparse:
+        Lower pattern-matched layers to sparse kernels.
+    use_isa:
+        Use the xDecimate kernels (requires the XFU) instead of SW-only.
+    dense_conv_variant:
+        Baseline conv kernel ("dense-4x2" = PULP-NN or "dense-1x2").
+    format_aware_tiling:
+        Account true bits/weight in the tiler (Sec. 4.4 feature 2).
+    interleaved_layout:
+        Weights+indices interleaved per tile in L2 (feature 3).
+    """
+
+    use_sparse: bool = True
+    use_isa: bool = False
+    dense_conv_variant: str = "dense-4x2"
+    format_aware_tiling: bool = True
+    interleaved_layout: bool = True
+    cost_params: CostParams = DEFAULT_PARAMS
+    deeploy: DeeployModel = DeeployModel()
+
+
+@dataclass
+class LayerPlan:
+    """One node's lowering decision and price."""
+
+    node_name: str
+    op: str
+    kind: str  # "conv" | "fc" | "fallback"
+    variant: str  # kernel engine or fallback kernel name
+    fmt: NMFormat | None
+    macs: int
+    cycles: float
+    weight_bytes: float
+    tiles: TileSolution | None = None
+    breakdown: CycleBreakdown | None = None
+
+
+def _plan_conv(node: Node, cfg: CompileConfig) -> LayerPlan:
+    w = node.attrs["weights"]
+    k, fy, fx, c = w.shape
+    oy, ox, _ = node.out_shape
+    iy, ix, cin = node.attrs.get("in_shape", (0, 0, c))
+    shape = ConvShape(
+        iy=node.attrs["in_hw"][0],
+        ix=node.attrs["in_hw"][1],
+        c=c,
+        k=k,
+        fy=fy,
+        fx=fx,
+        s=node.attrs["s"],
+        p=node.attrs["p"],
+    )
+    fmt = node.attrs.get("sparse_fmt") if cfg.use_sparse else None
+    if fmt is not None:
+        variant = "sparse-isa" if cfg.use_isa else "sparse-sw"
+    else:
+        variant = cfg.dense_conv_variant
+        if variant == "dense-4x2" and k % 4:
+            variant = "dense-1x2"
+    tiles = tile_conv(
+        shape, fmt, variant, format_aware=cfg.format_aware_tiling
+    )
+    breakdown = conv_layer_cycles(shape, variant, fmt, cfg.cost_params)
+    extra_dma = 0.0
+    if not cfg.interleaved_layout and fmt is not None:
+        # Separate value/index arenas double the weight DMA transactions.
+        extra_dma = tiles.n_tiles * 40.0
+    wbytes = weight_stream_bytes("conv", variant, k, shape.reduce_dim, fmt)
+    return LayerPlan(
+        node_name=node.name,
+        op=node.op,
+        kind="conv",
+        variant=variant,
+        fmt=fmt,
+        macs=shape.macs,
+        cycles=breakdown.total + extra_dma,
+        weight_bytes=wbytes,
+        tiles=tiles,
+        breakdown=breakdown,
+    )
+
+
+def _plan_dense(node: Node, cfg: CompileConfig) -> LayerPlan:
+    w = node.attrs["weights"]
+    k, c = w.shape
+    tokens = int(np.prod(node.out_shape[:-1])) if len(node.out_shape) > 1 else 1
+    shape = FcShape(c=c, k=k, tokens=tokens)
+    fmt = node.attrs.get("sparse_fmt") if cfg.use_sparse else None
+    if fmt is not None:
+        variant = "sparse-isa" if cfg.use_isa else "sparse-sw"
+        if variant == "sparse-isa" and k % 2:
+            variant = "sparse-sw"
+    else:
+        variant = "dense"
+    tiles = tile_fc(shape, fmt, variant, format_aware=cfg.format_aware_tiling)
+    breakdown = fc_layer_cycles(shape, variant, fmt, cfg.cost_params)
+    extra_dma = 0.0
+    if not cfg.interleaved_layout and fmt is not None:
+        extra_dma = tokens * tiles.n_tiles * 40.0
+    wbytes = weight_stream_bytes("fc", variant, k, c, fmt)
+    return LayerPlan(
+        node_name=node.name,
+        op=node.op,
+        kind="fc",
+        variant=variant,
+        fmt=fmt,
+        macs=shape.macs,
+        cycles=breakdown.total + extra_dma,
+        weight_bytes=wbytes,
+        tiles=tiles,
+        breakdown=breakdown,
+    )
+
+
+def _plan_fallback(node: Node, cfg: CompileConfig) -> LayerPlan:
+    """Deeploy-style cost for ops MATCH does not accelerate."""
+    d = cfg.deeploy
+    elems = int(np.prod(node.out_shape))
+    macs = 0
+    wbytes = 0.0
+    if node.op == "attention":
+        t, dim = node.out_shape
+        heads = node.attrs["heads"]
+        proj_macs = 4 * t * dim * dim
+        attn_macs = 2 * t * t * dim
+        macs = proj_macs + attn_macs
+        softmax = heads * t * t * d.softmax_cycles_per_elem
+        cycles = macs / d.gemm_macs_per_cycle + softmax + d.node_setup_cycles
+        wbytes = 4 * dim * dim
+    elif node.op == "layernorm":
+        cycles = elems * d.layernorm_cycles_per_elem + d.node_setup_cycles
+    elif node.op == "gelu":
+        cycles = elems * d.gelu_cycles_per_elem + d.node_setup_cycles
+    elif node.op in ("relu", "add"):
+        cycles = elems * d.elementwise_cycles_per_elem + d.node_setup_cycles
+    elif node.op in ("maxpool", "avgpool", "global_avgpool", "token_mean"):
+        cycles = elems * d.pool_cycles_per_elem + d.node_setup_cycles
+    elif node.op in ("input", "flatten", "tokens"):
+        cycles = 0.0
+    else:
+        raise ValueError(f"no lowering for op {node.op!r}")
+    return LayerPlan(
+        node_name=node.name,
+        op=node.op,
+        kind="fallback",
+        variant="deeploy",
+        fmt=None,
+        macs=macs,
+        cycles=cycles,
+        weight_bytes=wbytes,
+    )
+
+
+def lower_graph(graph: Graph, cfg: CompileConfig | None = None) -> list[LayerPlan]:
+    """Lower every node of an annotated graph to a :class:`LayerPlan`.
+
+    Conv nodes need their input spatial dims; the generator fills them
+    from the producer's output shape.
+    """
+    cfg = cfg or CompileConfig()
+    plans: list[LayerPlan] = []
+    for node in graph:
+        if node.op == "conv2d":
+            src_shape = graph.node(node.inputs[0]).out_shape
+            node.attrs["in_hw"] = (src_shape[0], src_shape[1])
+            plans.append(_plan_conv(node, cfg))
+        elif node.op == "dense":
+            plans.append(_plan_dense(node, cfg))
+        else:
+            plans.append(_plan_fallback(node, cfg))
+    return plans

@@ -1,0 +1,229 @@
+"""Graph intermediate representation.
+
+A :class:`Graph` is an ordered collection of named :class:`Node` ops in
+topological order (builders append nodes after their inputs).  Weights
+live in ``node.attrs`` as numpy arrays; activation shapes are inferred
+on construction for the ops the models use.
+
+Supported ops
+-------------
+``input``        placeholder; attrs: ``shape``
+``conv2d``       attrs: weights (K, FY, FX, C) float, bias (K,), s, p
+``dense``        attrs: weights (K, C) float, bias (K,), ``tokens``
+``relu``         elementwise
+``gelu``         elementwise
+``add``          two inputs, elementwise
+``maxpool``      attrs: size, stride (window pooling, HWC)
+``global_avgpool``  NHWC -> C vector
+``layernorm``    attrs: gamma, beta (last-dim normalisation)
+``attention``    attrs: wq, wk, wv, wo (D, D), heads; token-major input
+``flatten``      collapse to 1-D
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["Node", "Graph"]
+
+_ELEMENTWISE = {"relu", "gelu"}
+
+
+@dataclass
+class Node:
+    """One operation in the graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the graph.
+    op:
+        Operation kind (see module docstring).
+    inputs:
+        Names of producer nodes.
+    attrs:
+        Op-specific attributes (weights, strides, ...).
+    out_shape:
+        Inferred activation shape produced by this node.
+    """
+
+    name: str
+    op: str
+    inputs: list[str] = field(default_factory=list)
+    attrs: dict[str, Any] = field(default_factory=dict)
+    out_shape: tuple[int, ...] = ()
+
+
+class Graph:
+    """A topologically ordered DNN graph with single-output nodes."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.nodes: dict[str, Node] = {}
+        self.output: str | None = None
+
+    # -- construction ---------------------------------------------------
+
+    def _add(self, node: Node) -> str:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        for dep in node.inputs:
+            if dep not in self.nodes:
+                raise ValueError(
+                    f"node {node.name!r} references unknown input {dep!r}"
+                )
+        self.nodes[node.name] = node
+        self.output = node.name
+        return node.name
+
+    def _src(self, name: str) -> Node:
+        """Look up a producer node, with a builder-friendly error."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ValueError(f"unknown input node {name!r}") from None
+
+    def add_input(self, name: str, shape: tuple[int, ...]) -> str:
+        """Add the graph input placeholder."""
+        return self._add(Node(name, "input", [], {"shape": shape}, shape))
+
+    def add_conv2d(
+        self,
+        name: str,
+        src: str,
+        weights: np.ndarray,
+        bias: np.ndarray | None = None,
+        s: int = 1,
+        p: int = 1,
+    ) -> str:
+        """Add a conv2d; input/weight channel agreement is validated."""
+        iy, ix, c = self._src(src).out_shape
+        k, fy, fx, wc = weights.shape
+        if wc != c:
+            raise ValueError(
+                f"{name}: weight channels {wc} != input channels {c}"
+            )
+        oy = (iy + 2 * p - fy) // s + 1
+        ox = (ix + 2 * p - fx) // s + 1
+        attrs = {"weights": weights, "bias": bias, "s": s, "p": p}
+        return self._add(Node(name, "conv2d", [src], attrs, (oy, ox, k)))
+
+    def add_dense(
+        self,
+        name: str,
+        src: str,
+        weights: np.ndarray,
+        bias: np.ndarray | None = None,
+    ) -> str:
+        """Add a dense (FC) layer over the last input dimension."""
+        in_shape = self._src(src).out_shape
+        k, c = weights.shape
+        if in_shape[-1] != c:
+            raise ValueError(f"{name}: weight cols {c} != input dim {in_shape[-1]}")
+        out_shape = (*in_shape[:-1], k)
+        attrs = {"weights": weights, "bias": bias}
+        return self._add(Node(name, "dense", [src], attrs, out_shape))
+
+    def add_elementwise(self, name: str, op: str, src: str) -> str:
+        if op not in _ELEMENTWISE:
+            raise ValueError(f"not an elementwise op: {op}")
+        return self._add(
+            Node(name, op, [src], {}, self._src(src).out_shape)
+        )
+
+    def add_add(self, name: str, a: str, b: str) -> str:
+        sa, sb = self._src(a).out_shape, self._src(b).out_shape
+        if sa != sb:
+            raise ValueError(f"{name}: shape mismatch {sa} vs {sb}")
+        return self._add(Node(name, "add", [a, b], {}, sa))
+
+    def add_maxpool(self, name: str, src: str, size: int = 2, stride: int = 2) -> str:
+        iy, ix, c = self._src(src).out_shape
+        out = (iy // stride, ix // stride, c)
+        return self._add(
+            Node(name, "maxpool", [src], {"size": size, "stride": stride}, out)
+        )
+
+    def add_avgpool(self, name: str, src: str, size: int = 2, stride: int = 2) -> str:
+        iy, ix, c = self._src(src).out_shape
+        out = (iy // stride, ix // stride, c)
+        return self._add(
+            Node(name, "avgpool", [src], {"size": size, "stride": stride}, out)
+        )
+
+    def add_global_avgpool(self, name: str, src: str) -> str:
+        _, _, c = self._src(src).out_shape
+        return self._add(Node(name, "global_avgpool", [src], {}, (c,)))
+
+    def add_layernorm(
+        self, name: str, src: str, gamma: np.ndarray, beta: np.ndarray
+    ) -> str:
+        shape = self._src(src).out_shape
+        return self._add(
+            Node(name, "layernorm", [src], {"gamma": gamma, "beta": beta}, shape)
+        )
+
+    def add_attention(
+        self,
+        name: str,
+        src: str,
+        wq: np.ndarray,
+        wk: np.ndarray,
+        wv: np.ndarray,
+        wo: np.ndarray,
+        heads: int,
+    ) -> str:
+        t, d = self._src(src).out_shape
+        for label, w in (("wq", wq), ("wk", wk), ("wv", wv), ("wo", wo)):
+            if w.shape != (d, d):
+                raise ValueError(f"{name}: {label} must be ({d}, {d})")
+        if d % heads:
+            raise ValueError(f"{name}: dim {d} not divisible by {heads} heads")
+        attrs = {"wq": wq, "wk": wk, "wv": wv, "wo": wo, "heads": heads}
+        return self._add(Node(name, "attention", [src], attrs, (t, d)))
+
+    def add_flatten(self, name: str, src: str) -> str:
+        shape = self._src(src).out_shape
+        flat = int(np.prod(shape))
+        return self._add(Node(name, "flatten", [src], {}, (flat,)))
+
+    def add_tokens(self, name: str, src: str) -> str:
+        """Reshape an (H, W, C) map into (H*W, C) token-major form."""
+        iy, ix, c = self._src(src).out_shape
+        return self._add(Node(name, "tokens", [src], {}, (iy * ix, c)))
+
+    def add_token_mean(self, name: str, src: str) -> str:
+        """Mean over the token axis: (T, C) -> (C,)."""
+        _, c = self._src(src).out_shape
+        return self._add(Node(name, "token_mean", [src], {}, (c,)))
+
+    # -- traversal --------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes.values())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def compute_nodes(self) -> list[Node]:
+        """Nodes carrying MACs (conv2d / dense / attention)."""
+        return [n for n in self if n.op in ("conv2d", "dense", "attention")]
+
+    def validate(self) -> None:
+        """Check topological consistency (inputs precede consumers)."""
+        seen: set[str] = set()
+        for node in self:
+            for dep in node.inputs:
+                if dep not in seen:
+                    raise ValueError(
+                        f"node {node.name!r} consumes {dep!r} before definition"
+                    )
+            seen.add(node.name)
+        if self.output is None:
+            raise ValueError("empty graph")

@@ -1,0 +1,109 @@
+"""Interleaved L2 weight storage (paper Sec. 4.4, feature 3).
+
+For a layer tiled over K output channels, MATCH stores each tile's
+compressed weights immediately followed by the corresponding packed
+indices, so a single DMA transaction fetches both.  The alternative —
+separate value and index arenas — needs two transactions per tile
+(one per arena), doubling DMA setup costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.memory import DmaModel
+from repro.kernels import microcode as mc
+from repro.sparsity.nm import NMSparseMatrix
+
+__all__ = ["WeightTileLayout", "build_interleaved_tiles", "dma_cycles_for_layout"]
+
+
+@dataclass(frozen=True)
+class WeightTileLayout:
+    """L2 image of one layer's weights, tiled over output channels.
+
+    Attributes
+    ----------
+    tiles:
+        One byte blob per K-tile; with the interleaved policy each blob
+        is ``values || packed offsets`` for that tile's channels.
+    interleaved:
+        Whether values and indices share each blob (one DMA transfer)
+        or live in separate arenas (two transfers per tile).
+    """
+
+    tiles: list[np.ndarray]
+    interleaved: bool
+
+    @property
+    def total_bytes(self) -> int:
+        return int(sum(t.size for t in self.tiles))
+
+    @property
+    def transfers_per_tile(self) -> int:
+        return 1 if self.interleaved else 2
+
+    @property
+    def total_transfers(self) -> int:
+        # Each blob is one DMA transaction; the non-interleaved layout
+        # already stores two blobs per K-tile.
+        return len(self.tiles)
+
+
+def build_interleaved_tiles(
+    mat: NMSparseMatrix,
+    k_tile: int,
+    engine: str = "sparse-sw",
+    interleaved: bool = True,
+) -> WeightTileLayout:
+    """Build the L2 byte image of an N:M layer's weights.
+
+    Parameters
+    ----------
+    mat:
+        The layer's sparse weights.
+    k_tile:
+        Channels per tile; must divide the channel count.
+    engine:
+        "sparse-sw" or "sparse-isa" — selects the offsets encoding
+        (plain vs duplicated, Sec. 4.1.3).
+    interleaved:
+        Interleave values and offsets per tile (the paper's policy), or
+        keep them separate (ablation baseline).
+    """
+    if mat.rows % k_tile:
+        raise ValueError(f"k_tile {k_tile} does not divide K={mat.rows}")
+    if engine == "sparse-sw":
+        vals, offs, nnz_pad = mc.pack_sparse_rows_sw(mat)
+        off_row_bytes = len(offs) // mat.rows
+    elif engine == "sparse-isa":
+        vals, offs, nnz_pad = mc.pack_sparse_rows_isa_conv(mat)
+        off_row_bytes = len(offs) // mat.rows
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    vals = vals.view(np.uint8).reshape(mat.rows, nnz_pad)
+    offs = offs.reshape(mat.rows, off_row_bytes)
+    tiles = []
+    for k0 in range(0, mat.rows, k_tile):
+        v = vals[k0 : k0 + k_tile].reshape(-1)
+        o = offs[k0 : k0 + k_tile].reshape(-1)
+        if interleaved:
+            tiles.append(np.concatenate([v, o]))
+        else:
+            # Separate arenas: values and offsets are distinct blobs,
+            # each needing its own DMA transaction per tile.
+            tiles.append(v)
+            tiles.append(o)
+    return WeightTileLayout(tiles=tiles, interleaved=interleaved)
+
+
+def dma_cycles_for_layout(layout: WeightTileLayout, dma: DmaModel) -> float:
+    """Total DMA time to stream every tile of a layout once."""
+    if layout.interleaved:
+        return sum(dma.cycles(t.size) for t in layout.tiles)
+    total = 0.0
+    for tile in layout.tiles:
+        total += dma.cycles(tile.size)
+    return total

@@ -1,0 +1,86 @@
+"""Sparsity pattern recognition (paper Sec. 4.4, feature 1).
+
+MATCH's first compilation step associates graph patterns with
+acceleration targets.  The paper extends the PULP conv/FC patterns with
+a constraint on the weight *values*: if every M-block of a layer's
+(quantised) weight matrix holds at most N non-zeros, the layer can be
+lowered to the corresponding N:M sparse kernel.
+
+``detect_format`` returns the most compressive supported format a
+weight matrix satisfies (1:16 ⊂ 1:8 ⊂ 1:4, so the largest M wins);
+``annotate_sparsity`` runs it over a whole graph, storing the result in
+``node.attrs["sparse_fmt"]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.ir import Graph, Node
+from repro.sparsity.nm import NMFormat, SUPPORTED_FORMATS
+from repro.sparsity.stats import is_nm_sparse
+
+__all__ = ["detect_format", "annotate_sparsity", "sparsity_report"]
+
+#: Formats ordered most-compressive first.
+_FORMATS_BY_M = sorted(
+    SUPPORTED_FORMATS.values(), key=lambda f: f.m, reverse=True
+)
+
+
+def _weight_matrix(node: Node) -> np.ndarray | None:
+    """The 2-D reduce-major weight view the kernels consume."""
+    if node.op == "conv2d":
+        w = node.attrs["weights"]
+        return np.asarray(w).reshape(w.shape[0], -1)
+    if node.op == "dense":
+        return np.asarray(node.attrs["weights"])
+    return None
+
+
+def detect_format(weights: np.ndarray) -> NMFormat | None:
+    """Most compressive supported N:M format ``weights`` satisfies.
+
+    Returns None for dense (or unsupported-pattern) matrices and for
+    reduce dimensions not divisible by the block size.  Fully-zero
+    matrices are treated as dense — lowering them to a sparse kernel
+    would be legal but pointless.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2 or not weights.size or not (weights != 0).any():
+        return None
+    for fmt in _FORMATS_BY_M:
+        if weights.shape[1] % fmt.m == 0 and is_nm_sparse(weights, fmt):
+            return fmt
+    return None
+
+
+def annotate_sparsity(graph: Graph) -> Graph:
+    """Annotate conv2d/dense nodes with their detected format (in place).
+
+    Uses the *quantised* weights when present (``attrs["weights_q"]``,
+    set by the quantisation pass) since those are what the kernels see;
+    otherwise the float weights' zero pattern.
+    """
+    for node in graph:
+        mat = None
+        if "weights_q" in node.attrs:
+            w = node.attrs["weights_q"]
+            mat = np.asarray(w).reshape(w.shape[0], -1)
+        else:
+            mat = _weight_matrix(node)
+        if mat is None:
+            continue
+        node.attrs["sparse_fmt"] = detect_format(mat)
+    return graph
+
+
+def sparsity_report(graph: Graph) -> list[tuple[str, str, str]]:
+    """(node, op, format-or-'dense') rows for annotated graphs."""
+    rows = []
+    for node in graph:
+        if node.op not in ("conv2d", "dense"):
+            continue
+        fmt = node.attrs.get("sparse_fmt")
+        rows.append((node.name, node.op, fmt.name if fmt else "dense"))
+    return rows

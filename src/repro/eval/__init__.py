@@ -1,0 +1,37 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes functions returning :class:`repro.utils.tables.Table`
+objects whose rows mirror the paper's artifacts, alongside the paper's
+reported values (:mod:`repro.eval.paper_values`) so every benchmark
+prints paper-vs-measured side by side.  EXPERIMENTS.md records the
+resulting comparisons.
+"""
+
+from repro.eval.fig8 import fig8_conv, fig8_fc
+from repro.eval.table2 import table2_resnet, table2_vit
+from repro.eval.table3 import table3_sota
+from repro.eval.formats import format_memory_table, fig1_demo
+from repro.eval.peaks import peaks_table
+from repro.eval.accuracy import accuracy_trend
+from repro.eval.extensions import (
+    energy_table,
+    mixed_sparsity_table,
+    unstructured_comparison_table,
+    double_buffering_table,
+)
+
+__all__ = [
+    "fig8_conv",
+    "fig8_fc",
+    "table2_resnet",
+    "table2_vit",
+    "table3_sota",
+    "format_memory_table",
+    "fig1_demo",
+    "peaks_table",
+    "accuracy_trend",
+    "energy_table",
+    "mixed_sparsity_table",
+    "unstructured_comparison_table",
+    "double_buffering_table",
+]

@@ -1,0 +1,211 @@
+"""Ablation studies of the paper's design choices.
+
+Four studies, each quantifying one decision the paper makes:
+
+1. **Inner-loop activation-loading strategy** (Sec. 4.1.2): the paper
+   weighs three options — DMA-based copy, sparse im2col, and the chosen
+   Decimate-Im2col — and picks the third.  We model all three.
+2. **Offset duplication for the ISA conv kernels** (Sec. 4.1.3):
+   memory overhead bought for instruction-count uniformity.
+3. **Format-aware tiling** (Sec. 4.4 item 2): L1 tiles sized by true
+   bits-per-weight vs assuming 8 bits.
+4. **Interleaved L2 layout** (Sec. 4.4 item 3): one DMA transaction per
+   weight tile vs two.
+
+Plus the unrolling study the paper argues qualitatively: unrolling the
+sparse conv inner loop over more input patches improves instruction
+efficiency but grows the im2col buffer linearly, shrinking feasible
+tiles (Sec. 4.1.2, last paragraph).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compiler.layout import build_interleaved_tiles
+from repro.compiler.tiling import tile_conv
+from repro.hw.memory import VEGA_MEMORY
+from repro.kernels.cost_model import CostParams, DEFAULT_PARAMS, conv_layer_cycles
+from repro.kernels.im2col import im2col_buffer_bytes
+from repro.kernels.shapes import ConvShape
+from repro.sparsity.nm import NMFormat, NMSparseMatrix, SUPPORTED_FORMATS
+from repro.sparsity.pruning import nm_prune
+from repro.utils.rng import make_rng
+from repro.utils.tables import Table
+
+__all__ = [
+    "im2col_strategy_table",
+    "offset_duplication_table",
+    "tiling_awareness_table",
+    "layout_interleaving_table",
+    "unrolling_table",
+]
+
+
+def im2col_strategy_table(
+    c: int = 128, fmt_name: str = "1:8", params: CostParams = DEFAULT_PARAMS
+) -> Table:
+    """Cost of the three Sec. 4.1.2 activation-loading strategies.
+
+    Modelled per output pair for the Fig. 8 conv geometry:
+
+    - *DMA-copy*: one DMA descriptor per non-zero element's activation
+      (no bursts) — ``nnz`` transfers of 1 byte per channel.
+    - *Sparse im2col*: the im2col runs per output channel (no reuse),
+      its cost multiplying by K.
+    - *Decimate im2col* (chosen): one im2col per pair + the sparse
+      kernel's decimating inner loop.
+    """
+    fmt = SUPPORTED_FORMATS[fmt_name]
+    shape = ConvShape(iy=8, ix=8, c=c, k=256)
+    nnz = shape.reduce_dim // fmt.m
+    dma = VEGA_MEMORY.dma
+
+    im2col_pair = 2 * shape.reduce_dim * params.im2col_cycles_per_byte
+    inner = conv_layer_cycles(shape, "sparse-sw", fmt, params)
+    pairs = math.ceil(shape.oy * shape.ox / 2 / 8)  # per core
+
+    # Strategy 1: per-element DMA loads (setup dominates, no bursts).
+    dma_per_pair = shape.k * 2 * nnz * dma.setup_cycles
+    # Strategy 2: im2col re-run per output channel.
+    sparse_im2col_pair = shape.k * im2col_pair
+    # Strategy 3 (chosen): one im2col per pair, decimation in-loop.
+    decimate_pair = im2col_pair
+
+    table = Table(
+        f"Sec. 4.1.2 strategies, conv C={c}, {fmt.name} (activation-"
+        "loading cycles per core)",
+        ["strategy", "cycles/pair", "cycles/layer", "vs chosen"],
+    )
+    for name, per_pair in [
+        ("DMA-based copy", dma_per_pair),
+        ("sparse im2col", sparse_im2col_pair),
+        ("decimate im2col (paper)", decimate_pair),
+    ]:
+        table.add_row(
+            strategy=name,
+            **{
+                "cycles/pair": per_pair,
+                "cycles/layer": per_pair * pairs,
+                "vs chosen": per_pair / decimate_pair,
+            },
+        )
+    return table
+
+
+def offset_duplication_table(seed: int = 0) -> Table:
+    """Memory cost of duplicating offsets for the ISA conv kernels."""
+    rng = make_rng(seed)
+    table = Table(
+        "Sec. 4.1.3: offset duplication overhead (64 x 1152 weights)",
+        ["format", "SW bytes", "ISA bytes", "overhead %", "ISA reduction %"],
+    )
+    dense = rng.integers(-128, 128, size=(64, 1152)).astype(np.int8)
+    for name, fmt in SUPPORTED_FORMATS.items():
+        mat = NMSparseMatrix.from_dense(nm_prune(dense, fmt), fmt)
+        sw = mat.total_bytes()
+        isa = mat.total_bytes(duplicate_offsets=True)
+        table.add_row(
+            format=name,
+            **{
+                "SW bytes": sw,
+                "ISA bytes": isa,
+                "overhead %": 100 * (isa / sw - 1),
+                "ISA reduction %": 100 * mat.memory_reduction(True),
+            },
+        )
+    return table
+
+
+def tiling_awareness_table(fmt_name: str = "1:4") -> Table:
+    """Format-aware vs 8-bit-assumed tiling (Sec. 4.4 item 2)."""
+    fmt = SUPPORTED_FORMATS[fmt_name]
+    table = Table(
+        f"Format-aware tiling at {fmt.name} (ISA layout)",
+        ["layer (C,K)", "aware: tiles", "naive: tiles", "DMA setups saved"],
+    )
+    for c, k in ((128, 256), (256, 256), (256, 512), (512, 512)):
+        shape = ConvShape(iy=8, ix=8, c=c, k=k)
+        aware = tile_conv(shape, fmt, "sparse-isa", format_aware=True)
+        naive = tile_conv(shape, fmt, "sparse-isa", format_aware=False)
+        table.add_row(
+            **{
+                "layer (C,K)": f"({c},{k})",
+                "aware: tiles": aware.n_tiles,
+                "naive: tiles": naive.n_tiles,
+                "DMA setups saved": naive.n_tiles - aware.n_tiles,
+            }
+        )
+    return table
+
+
+def layout_interleaving_table(seed: int = 0) -> Table:
+    """Interleaved vs split L2 weight layout (Sec. 4.4 item 3)."""
+    rng = make_rng(seed)
+    dense = rng.integers(-128, 128, size=(256, 1152)).astype(np.int8)
+    dma = VEGA_MEMORY.dma
+    table = Table(
+        "Interleaved vs split L2 weight+index layout (256 x 1152, "
+        "k_tile=64)",
+        ["format", "transfers (interleaved)", "transfers (split)", "DMA cycles saved"],
+    )
+    for name, fmt in SUPPORTED_FORMATS.items():
+        mat = NMSparseMatrix.from_dense(nm_prune(dense, fmt), fmt)
+        inter = build_interleaved_tiles(mat, 64, interleaved=True)
+        split = build_interleaved_tiles(mat, 64, interleaved=False)
+        saved = (split.total_transfers - inter.total_transfers) * dma.setup_cycles
+        table.add_row(
+            format=name,
+            **{
+                "transfers (interleaved)": inter.total_transfers,
+                "transfers (split)": split.total_transfers,
+                "DMA cycles saved": saved,
+            },
+        )
+    return table
+
+
+def unrolling_table(
+    fmt_name: str = "1:8", params: CostParams = DEFAULT_PARAMS
+) -> Table:
+    """Sparse conv inner-loop unrolling: patches vs im2col pressure.
+
+    An unrolling factor U shares the per-iteration index unpacking over
+    U patches: instructions/iter = 1 + 8 + 4U (loads) + U (addr) +
+    1 (weights) + U (sdotp), retiring 4U MACs.  The im2col L1 footprint
+    grows linearly in U, which is why the paper stops at U=2
+    (Sec. 4.1.2, last paragraph).
+    """
+    fmt = SUPPORTED_FORMATS[fmt_name]
+    table = Table(
+        f"Sparse conv unrolling study ({fmt.name})",
+        [
+            "unroll U",
+            "instr/iter",
+            "instr per MAC",
+            "im2col bytes (C=256)",
+            "fits with K-tile=64?",
+        ],
+    )
+    shape = ConvShape(iy=8, ix=8, c=256, k=256)
+    for u in (1, 2, 4, 8):
+        instr = 1 + 8 + 4 * u + u + 1 + u
+        per_mac = instr / (4 * u)
+        bufs = shape.reduce_dim * u * 8  # U buffers per core
+        # Working set with a K=64 weight tile at this format: weights
+        # double-buffered, activations resident across K tiles.
+        weights = 64 * shape.reduce_dim * fmt.bits_per_dense_weight() / 8
+        in_out = shape.input_bytes() + shape.oy * shape.ox * 64
+        fits = bufs + 2 * weights + in_out <= 128 * 1024
+        table.add_row(
+            **{
+                "unroll U": u,
+                "instr/iter": instr,
+                "instr per MAC": per_mac,
+                "im2col bytes (C=256)": bufs,
+                "fits with K-tile=64?": str(bool(fits)),
+            }
+        )
+    return table

@@ -1,0 +1,117 @@
+"""Accuracy-trend experiment (Table 2's accuracy columns, at small scale).
+
+CIFAR-scale training is outside the offline scope, so the trend the
+paper relies on — N:M pruning at 1:4 costs ~nothing, 1:8 little, 1:16 a
+small drop — is reproduced with SR-STE training (the paper's Sec. 5.1
+scheme) of a small CNN on the synthetic dataset.  The *mechanism* is
+identical: magnitude masks refreshed every step, SR-STE gradients, and
+the resulting weights are genuinely N:M sparse and deployable through
+the compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sparsity.nm import NMFormat, SUPPORTED_FORMATS
+from repro.sparsity.stats import is_nm_sparse
+from repro.train.data import make_synthetic_dataset
+from repro.train.nn import AvgPool2x2, Flatten, Linear, ReLU, Sequential
+from repro.train.srste import SparseConv2d, SparseLinear
+from repro.train.nn import Conv2d
+from repro.train.trainer import train_model
+from repro.utils.tables import Table
+
+__all__ = ["AccuracyPoint", "accuracy_trend", "build_small_cnn"]
+
+
+@dataclass
+class AccuracyPoint:
+    """Result of one training configuration."""
+
+    label: str
+    accuracy: float
+    weights_are_nm: bool
+
+
+def build_small_cnn(
+    n_classes: int, fmt: NMFormat | None, seed: int = 0
+) -> Sequential:
+    """A small conv-pool-fc network; conv2 and fc1 carry the sparsity.
+
+    conv1 keeps C=3 (reduce dim 27, no pattern fits) — mirroring the
+    paper's dense stem.  Widths are chosen with capacity to spare, the
+    regime in which the paper's models live (mild N:M costs ~nothing).
+    """
+    conv2: object
+    fc1: object
+    if fmt is None:
+        conv2 = Conv2d(32, 32, seed=seed + 1)
+        fc1 = Linear(32 * 4 * 4, 96, seed=seed + 2)
+    else:
+        conv2 = SparseConv2d(32, 32, fmt, seed=seed + 1)
+        fc1 = SparseLinear(32 * 4 * 4, 96, fmt, seed=seed + 2)
+    return Sequential(
+        Conv2d(3, 32, seed=seed),
+        ReLU(),
+        AvgPool2x2(),
+        conv2,
+        ReLU(),
+        AvgPool2x2(),
+        Flatten(),
+        fc1,
+        ReLU(),
+        Linear(96, n_classes, seed=seed + 3),
+    )
+
+
+def accuracy_trend(
+    epochs: int = 8,
+    seed: int = 0,
+    n_classes: int = 8,
+    n_train: int = 512,
+    noise: float = 1.1,
+) -> tuple[Table, list[AccuracyPoint]]:
+    """Train dense and 1:4/1:8/1:16 models; report accuracies.
+
+    Returns the rendered table plus the raw points (used by tests and
+    the benchmark harness to check the ordering claim).
+    """
+    data = make_synthetic_dataset(
+        n_classes=n_classes,
+        n_train=n_train,
+        n_test=max(128, n_train // 2),
+        hw=16,
+        noise=noise,
+        seed=seed,
+    )
+    points: list[AccuracyPoint] = []
+    for label, fmt in [
+        ("dense", None),
+        ("1:4", SUPPORTED_FORMATS["1:4"]),
+        ("1:8", SUPPORTED_FORMATS["1:8"]),
+        ("1:16", SUPPORTED_FORMATS["1:16"]),
+    ]:
+        model = build_small_cnn(n_classes, fmt, seed=seed)
+        result = train_model(model, data, epochs=epochs, seed=seed)
+        nm_ok = True
+        if fmt is not None:
+            for layer in model.layers:
+                if isinstance(layer, (SparseConv2d, SparseLinear)):
+                    w = layer.dense_weight()
+                    nm_ok &= is_nm_sparse(w.reshape(w.shape[0], -1), fmt)
+        points.append(AccuracyPoint(label, result.test_accuracy, nm_ok))
+
+    table = Table(
+        "Accuracy trend under SR-STE N:M training (synthetic data)",
+        ["pattern", "test accuracy", "weights N:M-compliant"],
+    )
+    for p in points:
+        table.add_row(
+            pattern=p.label,
+            **{
+                "test accuracy": p.accuracy,
+                "weights N:M-compliant": str(p.weights_are_nm),
+            },
+        )
+    return table, points

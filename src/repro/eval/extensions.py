@@ -1,0 +1,188 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Three studies implementing the paper's stated future work and one
+comparator it cites but does not measure:
+
+- **E-EXT-ENERGY** — per-layer and end-to-end energy estimates
+  (Sec. 6: "estimation of the energy savings achieved by our kernels");
+- **E-EXT-MIXED** — per-stage variable sparsity schedules on ResNet18
+  (Sec. 6: "variable sparsity patterns, e.g. per-layer");
+- **E-EXT-UNSTRUCTURED** — N:M kernels vs an unstructured CSR kernel
+  at matched sparsity (the Sec. 2.1/3 argument, made measurable);
+- **E-EXT-DBUF** — the double-buffering timeline behind the "weight
+  transfers hidden for conv, exposed for FC" claim (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.codegen import CompileConfig
+from repro.compiler.deploy import deploy
+from repro.hw.energy import EnergyParams, conv_layer_energy, fc_layer_energy
+from repro.hw.memory import VEGA_MEMORY
+from repro.hw.pipeline import double_buffered_cycles, serialized_cycles
+from repro.kernels.cost_model import (
+    CostParams,
+    DEFAULT_PARAMS,
+    conv_layer_cycles,
+    fc_layer_cycles,
+)
+from repro.kernels.csr_kernel import csr_fc_layer_cycles
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.models.resnet import resnet18_cifar, resnet18_cifar_mixed
+from repro.sparsity.nm import NMFormat, SUPPORTED_FORMATS
+from repro.utils.tables import Table
+
+__all__ = [
+    "energy_table",
+    "mixed_sparsity_table",
+    "unstructured_comparison_table",
+    "double_buffering_table",
+]
+
+
+def energy_table(params: CostParams = DEFAULT_PARAMS) -> Table:
+    """Per-layer energy at the Fig. 8 conv geometry, all variants."""
+    shape = ConvShape(iy=8, ix=8, c=128, k=256)
+    table = Table(
+        "Energy estimate, conv C=128 K=256 (uJ per layer)",
+        ["variant", "fmt", "core uJ", "L1 uJ", "L2 uJ", "total uJ", "pJ/MAC", "vs dense"],
+    )
+    dense = conv_layer_energy(shape, "dense-4x2", params=params)
+    cases = [("dense-4x2", None), ("dense-1x2", None)]
+    for fmt_name in ("1:4", "1:8", "1:16"):
+        cases.append(("sparse-sw", fmt_name))
+        cases.append(("sparse-isa", fmt_name))
+    for variant, fmt_name in cases:
+        fmt = SUPPORTED_FORMATS[fmt_name] if fmt_name else None
+        e = conv_layer_energy(shape, variant, fmt, params)
+        table.add_row(
+            variant=variant,
+            fmt=fmt_name or "-",
+            **{
+                "core uJ": e.core / 1e6,
+                "L1 uJ": e.l1 / 1e6,
+                "L2 uJ": e.l2 / 1e6,
+                "total uJ": e.total_uj,
+                "pJ/MAC": e.pj_per_mac,
+                "vs dense": dense.total_pj / e.total_pj,
+            },
+        )
+    return table
+
+
+#: The mixed schedules studied: mild early stages, aggressive deep ones.
+MIXED_SCHEDULES: dict[str, tuple[NMFormat | None, ...]] = {
+    "uniform 1:8": tuple([SUPPORTED_FORMATS["1:8"]] * 4),
+    "dense/1:4/1:8/1:16": (
+        None,
+        SUPPORTED_FORMATS["1:4"],
+        SUPPORTED_FORMATS["1:8"],
+        SUPPORTED_FORMATS["1:16"],
+    ),
+    "1:4/1:4/1:16/1:16": (
+        SUPPORTED_FORMATS["1:4"],
+        SUPPORTED_FORMATS["1:4"],
+        SUPPORTED_FORMATS["1:16"],
+        SUPPORTED_FORMATS["1:16"],
+    ),
+}
+
+
+def mixed_sparsity_table(
+    params: CostParams = DEFAULT_PARAMS, use_isa: bool = True
+) -> Table:
+    """Latency/memory of per-stage schedules vs uniform baselines."""
+    cfg = CompileConfig(use_isa=use_isa, cost_params=params)
+    dense = deploy(resnet18_cifar(), CompileConfig(use_sparse=False, cost_params=params))
+    table = Table(
+        "Per-stage variable sparsity on ResNet18 (ISA kernels)",
+        ["schedule", "Mcycles", "speedup vs dense", "Mem MB"],
+    )
+    table.add_row(
+        schedule="dense (PULP-NN)",
+        Mcycles=dense.total_cycles / 1e6,
+        **{"speedup vs dense": 1.0, "Mem MB": dense.weight_memory_mb},
+    )
+    for name, schedule in MIXED_SCHEDULES.items():
+        report = deploy(resnet18_cifar_mixed(schedule), cfg)
+        table.add_row(
+            schedule=name,
+            Mcycles=report.total_cycles / 1e6,
+            **{
+                "speedup vs dense": dense.total_cycles / report.total_cycles,
+                "Mem MB": report.weight_memory_mb,
+            },
+        )
+    return table
+
+
+def unstructured_comparison_table(
+    params: CostParams = DEFAULT_PARAMS,
+) -> Table:
+    """N:M kernels vs an unstructured CSR kernel at matched sparsity.
+
+    The Sec. 2.1 claim quantified: at the same sparsity level, CSR's
+    scalar decode loop and 16-bit indices lose to the N:M kernels, and
+    at 75% it is even slower than the *dense* baseline.
+    """
+    shape = FcShape(c=1024, k=256)
+    dense = fc_layer_cycles(shape, "dense", params=params).total
+    table = Table(
+        "Unstructured CSR vs N:M at matched sparsity (FC C=1024, K=256)",
+        ["sparsity", "CSR speedup", "N:M SW speedup", "N:M ISA speedup"],
+    )
+    for fmt_name in ("1:4", "1:8", "1:16"):
+        fmt = SUPPORTED_FORMATS[fmt_name]
+        csr = csr_fc_layer_cycles(shape, fmt.sparsity, params=params).total
+        sw = fc_layer_cycles(shape, "sparse-sw", fmt, params).total
+        isa = fc_layer_cycles(shape, "sparse-isa", fmt, params).total
+        table.add_row(
+            sparsity=f"{100 * fmt.sparsity:.2f}% ({fmt.name})",
+            **{
+                "CSR speedup": dense / csr,
+                "N:M SW speedup": dense / sw,
+                "N:M ISA speedup": dense / isa,
+            },
+        )
+    return table
+
+
+def double_buffering_table(params: CostParams = DEFAULT_PARAMS) -> Table:
+    """How much weight-transfer time double-buffering hides.
+
+    Conv tiles (compute-heavy): transfers vanish behind compute.
+    FC tiles (memory-bound): even with double-buffering most of the
+    stream stays exposed — matching the paper's Sec. 5.2 narrative.
+    """
+    dma = VEGA_MEMORY.dma
+    table = Table(
+        "Double-buffering: exposed weight-transfer share",
+        ["layer", "policy", "total kcyc", "transfer/compute", "hidden %"],
+    )
+    tiles = 8
+    conv_shape = ConvShape(iy=8, ix=8, c=128, k=256)
+    conv_compute = conv_layer_cycles(conv_shape, "dense-4x2", params=params).compute
+    fc_shape = FcShape(c=2048, k=256)
+    fc_compute = fc_layer_cycles(fc_shape, "dense", params=params).compute
+    cases = [
+        ("conv C=128 K=256", conv_compute, conv_shape.weight_bytes_dense()),
+        ("fc C=2048 K=256", fc_compute, fc_shape.weight_bytes_dense()),
+    ]
+    for label, compute, weight_bytes in cases:
+        per_tile = [compute / tiles] * tiles
+        tile_bytes = [weight_bytes / tiles] * tiles
+        for name, fn in (
+            ("double-buffered", double_buffered_cycles),
+            ("serialized", serialized_cycles),
+        ):
+            tl = fn(per_tile, tile_bytes, dma)
+            table.add_row(
+                layer=label,
+                policy=name,
+                **{
+                    "total kcyc": tl.total_cycles / 1e3,
+                    "transfer/compute": tl.transfer_cycles / tl.compute_cycles,
+                    "hidden %": 100 * tl.hiding_efficiency,
+                },
+            )
+    return table

@@ -1,0 +1,137 @@
+"""Fig. 8 reproduction: single-layer conv and FC sweeps.
+
+Layer geometry fixed as in Sec. 5.2 — K = 256 output channels/neurons;
+convs use IX=IY=OX=OY=8, FX=FY=3, S=1, P=1 and sweep
+C in {32, 64, 128, 256}; FC layers sweep C in {256, 512, 1024, 2048}.
+Each variant reports cluster MAC/cycle (dense-equivalent) and speedup
+over the dense 1x2 baseline, the quantity the figure annotates.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.cost_model import (
+    CostParams,
+    DEFAULT_PARAMS,
+    conv_layer_cycles,
+    fc_layer_cycles,
+)
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import SUPPORTED_FORMATS
+from repro.utils.tables import Table
+
+__all__ = [
+    "CONV_CHANNEL_SWEEP",
+    "FC_CHANNEL_SWEEP",
+    "CONV_VARIANTS",
+    "FC_VARIANTS",
+    "fig8_conv",
+    "fig8_fc",
+    "average_speedup",
+]
+
+CONV_CHANNEL_SWEEP = (32, 64, 128, 256)
+FC_CHANNEL_SWEEP = (256, 512, 1024, 2048)
+
+#: (variant, format-name) in the order Fig. 8 groups its bars.
+CONV_VARIANTS = [
+    ("dense-1x2", None),
+    ("dense-4x2", None),
+    ("sparse-sw", "1:4"),
+    ("sparse-sw", "1:8"),
+    ("sparse-sw", "1:16"),
+    ("sparse-isa", "1:4"),
+    ("sparse-isa", "1:8"),
+    ("sparse-isa", "1:16"),
+]
+
+FC_VARIANTS = [
+    ("dense", None),
+    ("sparse-sw", "1:4"),
+    ("sparse-sw", "1:8"),
+    ("sparse-sw", "1:16"),
+    ("sparse-isa", "1:4"),
+    ("sparse-isa", "1:8"),
+    ("sparse-isa", "1:16"),
+]
+
+
+def _conv_shape(c: int) -> ConvShape:
+    return ConvShape(iy=8, ix=8, c=c, k=256, fy=3, fx=3, s=1, p=1)
+
+
+def _fc_shape(c: int) -> FcShape:
+    return FcShape(c=c, k=256)
+
+
+def fig8_conv(params: CostParams = DEFAULT_PARAMS) -> Table:
+    """The conv half of Fig. 8 (one row per (variant, C))."""
+    table = Table(
+        "Fig. 8 (conv): K=256, 8x8 spatial, 3x3 filters",
+        ["variant", "fmt", "C", "MAC/cyc", "speedup vs 1x2"],
+    )
+    baselines = {
+        c: conv_layer_cycles(_conv_shape(c), "dense-1x2", params=params).total
+        for c in CONV_CHANNEL_SWEEP
+    }
+    for variant, fmt_name in CONV_VARIANTS:
+        fmt = SUPPORTED_FORMATS[fmt_name] if fmt_name else None
+        for c in CONV_CHANNEL_SWEEP:
+            bd = conv_layer_cycles(_conv_shape(c), variant, fmt, params)
+            table.add_row(
+                variant=variant,
+                fmt=fmt_name or "-",
+                C=c,
+                **{
+                    "MAC/cyc": bd.macs_per_cycle,
+                    "speedup vs 1x2": baselines[c] / bd.total,
+                },
+            )
+    return table
+
+
+def fig8_fc(params: CostParams = DEFAULT_PARAMS) -> Table:
+    """The FC half of Fig. 8 (one row per (variant, C))."""
+    table = Table(
+        "Fig. 8 (FC): K=256",
+        ["variant", "fmt", "C", "MAC/cyc", "speedup vs dense"],
+    )
+    baselines = {
+        c: fc_layer_cycles(_fc_shape(c), "dense", params=params).total
+        for c in FC_CHANNEL_SWEEP
+    }
+    for variant, fmt_name in FC_VARIANTS:
+        fmt = SUPPORTED_FORMATS[fmt_name] if fmt_name else None
+        for c in FC_CHANNEL_SWEEP:
+            bd = fc_layer_cycles(_fc_shape(c), variant, fmt, params)
+            table.add_row(
+                variant=variant,
+                fmt=fmt_name or "-",
+                C=c,
+                **{
+                    "MAC/cyc": bd.macs_per_cycle,
+                    "speedup vs dense": baselines[c] / bd.total,
+                },
+            )
+    return table
+
+
+def average_speedup(
+    kind: str,
+    variant: str,
+    fmt_name: str | None,
+    params: CostParams = DEFAULT_PARAMS,
+) -> float:
+    """Average speedup over the channel sweep (the Sec. 5.2 quotes)."""
+    fmt = SUPPORTED_FORMATS[fmt_name] if fmt_name else None
+    total = 0.0
+    if kind == "conv":
+        for c in CONV_CHANNEL_SWEEP:
+            base = conv_layer_cycles(_conv_shape(c), "dense-1x2", params=params)
+            this = conv_layer_cycles(_conv_shape(c), variant, fmt, params)
+            total += base.total / this.total
+        return total / len(CONV_CHANNEL_SWEEP)
+    for c in FC_CHANNEL_SWEEP:
+        base = fc_layer_cycles(_fc_shape(c), "dense", params=params)
+        this = fc_layer_cycles(_fc_shape(c), variant, fmt, params)
+        total += base.total / this.total
+    return total / len(FC_CHANNEL_SWEEP)

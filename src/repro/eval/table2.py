@@ -1,0 +1,142 @@
+"""Table 2 reproduction: end-to-end ResNet18 and ViT-Small deployment.
+
+For each sparsity variant the harness builds the pruned model graph,
+compiles it with the MATCH-substitute, and reports dense-equivalent
+MAC/cycle, total Mcycles and weight memory — alongside the paper's
+measured values.  Accuracy columns carry the paper's reported figures
+(the accuracy *trend* is reproduced at small scale by
+:mod:`repro.eval.accuracy`; CIFAR-scale training is outside the offline
+scope — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.codegen import CompileConfig
+from repro.compiler.deploy import DeploymentReport, deploy
+from repro.eval.paper_values import TABLE2_RESNET, TABLE2_VIT
+from repro.kernels.cost_model import CostParams, DEFAULT_PARAMS
+from repro.models.resnet import resnet18_cifar
+from repro.models.vit import vit_small
+from repro.sparsity.nm import SUPPORTED_FORMATS
+from repro.utils.tables import Table
+
+__all__ = ["table2_resnet", "table2_vit", "resnet_reports", "vit_reports"]
+
+_RESNET_VARIANTS = [
+    ("dense-1x2", None),
+    ("dense-4x2", None),
+    ("sparse-sw", "1:4"),
+    ("sparse-sw", "1:8"),
+    ("sparse-sw", "1:16"),
+    ("sparse-isa", "1:4"),
+    ("sparse-isa", "1:8"),
+    ("sparse-isa", "1:16"),
+]
+
+_VIT_VARIANTS = [
+    ("dense", None),
+    ("sparse-sw", "1:4"),
+    ("sparse-sw", "1:8"),
+    ("sparse-sw", "1:16"),
+    ("sparse-isa", "1:4"),
+    ("sparse-isa", "1:8"),
+    ("sparse-isa", "1:16"),
+]
+
+
+def _config(variant: str, params: CostParams) -> CompileConfig:
+    if variant == "dense-1x2":
+        return CompileConfig(
+            use_sparse=False, dense_conv_variant="dense-1x2", cost_params=params
+        )
+    if variant in ("dense-4x2", "dense"):
+        return CompileConfig(use_sparse=False, cost_params=params)
+    return CompileConfig(use_isa=variant == "sparse-isa", cost_params=params)
+
+
+def resnet_reports(
+    params: CostParams = DEFAULT_PARAMS, seed: int = 0
+) -> dict[tuple[str, str | None], DeploymentReport]:
+    """Deploy every ResNet18 Table 2 variant; keyed like TABLE2_RESNET."""
+    graphs: dict[str | None, object] = {}
+    out = {}
+    for variant, fmt_name in _RESNET_VARIANTS:
+        if fmt_name not in graphs:
+            fmt = SUPPORTED_FORMATS[fmt_name] if fmt_name else None
+            graphs[fmt_name] = resnet18_cifar(fmt=fmt, seed=seed)
+        out[(variant, fmt_name)] = deploy(
+            graphs[fmt_name], _config(variant, params)
+        )
+    return out
+
+
+def vit_reports(
+    params: CostParams = DEFAULT_PARAMS, seed: int = 0
+) -> dict[tuple[str, str | None], DeploymentReport]:
+    """Deploy every ViT Table 2 variant; keyed like TABLE2_VIT."""
+    graphs: dict[str | None, object] = {}
+    out = {}
+    for variant, fmt_name in _VIT_VARIANTS:
+        if fmt_name not in graphs:
+            fmt = SUPPORTED_FORMATS[fmt_name] if fmt_name else None
+            graphs[fmt_name] = vit_small(fmt=fmt, seed=seed)
+        out[(variant, fmt_name)] = deploy(
+            graphs[fmt_name], _config(variant, params)
+        )
+    return out
+
+
+def _build_table(
+    title: str,
+    reports: dict[tuple[str, str | None], DeploymentReport],
+    paper: dict[tuple[str, str | None], tuple],
+) -> Table:
+    table = Table(
+        title,
+        [
+            "variant",
+            "fmt",
+            "acc % (paper)",
+            "MAC/cyc",
+            "paper MAC/cyc",
+            "Mcycles",
+            "paper Mcycles",
+            "Mem MB",
+            "paper Mem MB",
+        ],
+    )
+    for key, report in reports.items():
+        variant, fmt_name = key
+        acc, p_mac, p_cyc, p_mem = paper[key]
+        table.add_row(
+            variant=variant,
+            fmt=fmt_name or "-",
+            **{
+                "acc % (paper)": acc,
+                "MAC/cyc": report.macs_per_cycle,
+                "paper MAC/cyc": p_mac,
+                "Mcycles": report.total_cycles / 1e6,
+                "paper Mcycles": p_cyc,
+                "Mem MB": report.weight_memory_mb,
+                "paper Mem MB": p_mem,
+            },
+        )
+    return table
+
+
+def table2_resnet(params: CostParams = DEFAULT_PARAMS) -> Table:
+    """Table 2, bottom half (ResNet18 / CIFAR-100)."""
+    return _build_table(
+        "Table 2: ResNet18 end-to-end (paper values alongside)",
+        resnet_reports(params),
+        TABLE2_RESNET,
+    )
+
+
+def table2_vit(params: CostParams = DEFAULT_PARAMS) -> Table:
+    """Table 2, top half (ViT-Small / CIFAR-10)."""
+    return _build_table(
+        "Table 2: ViT-Small end-to-end (paper values alongside)",
+        vit_reports(params),
+        TABLE2_VIT,
+    )

@@ -1,0 +1,46 @@
+"""Hardware model of the target platform (Vega-like PULP SoC).
+
+This package substitutes for the paper's GVSoC simulation and RTL
+prototype:
+
+- :mod:`repro.hw.isa` — the micro-ISA the kernels are written against:
+  an RV32-like subset plus the XpulpV2 features the paper relies on
+  (post-increment loads, hardware loops, 4x8-bit SIMD dot products) and
+  the new ``xDecimate`` instruction.
+- :mod:`repro.hw.cpu` — a single-issue in-order core interpreter that
+  executes instruction streams functionally and counts instructions,
+  load-use stalls and cycles.
+- :mod:`repro.hw.xfu` — the xDecimate eXtension Functional Unit
+  (bit-exact behavioural model of the Sec. 4.3 datapath).
+- :mod:`repro.hw.memory` — L1/L2/L3 scratchpad hierarchy and the DMA
+  burst/double-buffering transfer model.
+- :mod:`repro.hw.cluster` — 8-core cluster parallelisation model.
+- :mod:`repro.hw.area` — kGE area ledger reproducing the 5% overhead
+  claim and the Table 3 comparison.
+"""
+
+from repro.hw.isa import Instr, Program, Asm, OPCODES
+from repro.hw.xfu import XDecimateUnit
+from repro.hw.cpu import Core, ExecStats
+from repro.hw.memory import MemoryLevel, MemoryHierarchy, DmaModel, VEGA_MEMORY
+from repro.hw.cluster import ClusterConfig, VEGA_CLUSTER
+from repro.hw.area import AreaModel, CoreAreaBudget, VEGA_CORE_AREA
+
+__all__ = [
+    "Instr",
+    "Program",
+    "Asm",
+    "OPCODES",
+    "XDecimateUnit",
+    "Core",
+    "ExecStats",
+    "MemoryLevel",
+    "MemoryHierarchy",
+    "DmaModel",
+    "VEGA_MEMORY",
+    "ClusterConfig",
+    "VEGA_CLUSTER",
+    "AreaModel",
+    "CoreAreaBudget",
+    "VEGA_CORE_AREA",
+]

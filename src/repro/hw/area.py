@@ -1,0 +1,99 @@
+"""Area ledger for the hardware-extension cost claims.
+
+The paper synthesises the modified RI5CY in 22 nm at 200 MHz and reports
+a **5.0% area overhead** for the xDecimate XFU (Sec. 1, 4.3, Table 3).
+The comparison baseline numbers come from the cited literature:
+
+- RI5CY with FPU: 102 kGE (Schuiki et al., 2020);
+- SSSR extension: 20-31 kGE, i.e. 20-31% of the FPU-equipped core and
+  up to 44% of an FPU-less core (Scheffler et al., 2023).
+
+From those two facts the FPU-less RI5CY is ~70.5 kGE (31 kGE / 0.44),
+which this ledger uses as the baseline the 5% XFU overhead applies to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AreaModel", "CoreAreaBudget", "VEGA_CORE_AREA"]
+
+#: kilo-gate-equivalents of an FPU-equipped RI5CY (Schuiki et al. 2020).
+RI5CY_WITH_FPU_KGE = 102.0
+
+#: Upper SSSR configuration area (Scheffler et al. 2023).
+SSSR_MAX_KGE = 31.0
+
+#: SSSR overhead relative to an FPU-less RI5CY ("as much as 44%").
+SSSR_MAX_OVERHEAD_FPULESS = 0.44
+
+#: FPU-less RI5CY baseline implied by the two figures above.
+RI5CY_NO_FPU_KGE = SSSR_MAX_KGE / SSSR_MAX_OVERHEAD_FPULESS
+
+#: Synthesised xDecimate XFU overhead (paper Sec. 4.3: 5.0%).
+XDECIMATE_OVERHEAD = 0.05
+
+
+@dataclass
+class AreaModel:
+    """A named collection of area components in kGE."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, kge: float) -> None:
+        """Add a component; negative areas are rejected."""
+        if kge < 0:
+            raise ValueError(f"negative area for {name}")
+        if name in self.components:
+            raise ValueError(f"duplicate component {name}")
+        self.components[name] = kge
+
+    def total(self) -> float:
+        """Total area in kGE."""
+        return sum(self.components.values())
+
+    def overhead_vs(self, baseline: float) -> float:
+        """Fractional overhead of everything beyond ``baseline`` kGE."""
+        if baseline <= 0:
+            raise ValueError("baseline must be positive")
+        return (self.total() - baseline) / baseline
+
+
+@dataclass(frozen=True)
+class CoreAreaBudget:
+    """Area summary for one core configuration."""
+
+    name: str
+    base_kge: float
+    extension_kge: float
+
+    @property
+    def total_kge(self) -> float:
+        return self.base_kge + self.extension_kge
+
+    @property
+    def overhead(self) -> float:
+        """Extension area as a fraction of the base core."""
+        return self.extension_kge / self.base_kge
+
+
+def xdecimate_core() -> CoreAreaBudget:
+    """FPU-less RI5CY + xDecimate XFU (this paper's configuration)."""
+    return CoreAreaBudget(
+        name="RI5CY + xDecimate",
+        base_kge=RI5CY_NO_FPU_KGE,
+        extension_kge=RI5CY_NO_FPU_KGE * XDECIMATE_OVERHEAD,
+    )
+
+
+def sssr_core() -> CoreAreaBudget:
+    """FPU-less RI5CY + SSSR at the largest published configuration."""
+    return CoreAreaBudget(
+        name="RI5CY + SSSR",
+        base_kge=RI5CY_NO_FPU_KGE,
+        extension_kge=SSSR_MAX_KGE,
+    )
+
+
+#: Baseline Vega cluster core area (FPU-less RI5CY).
+VEGA_CORE_AREA = RI5CY_NO_FPU_KGE

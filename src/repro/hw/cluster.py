@@ -1,0 +1,57 @@
+"""Multicore cluster parallelisation model.
+
+Vega's compute cluster has 8 identical RISC-V cores running the same
+kernel on disjoint chunks of the output space: conv kernels split the
+outermost OX/OY loops, FC kernels split the K (output neuron) loop
+(Sec. 4.1.1 / 4.2.1).  This module models the resulting span: the
+slowest core's work plus a barrier cost per synchronisation point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ClusterConfig", "VEGA_CLUSTER"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parallel execution parameters.
+
+    Attributes
+    ----------
+    n_cores:
+        Cluster cores running kernels (8 on Vega; the FC and DMA cores
+        do not execute kernel code).
+    barrier_cycles:
+        Cost of the end-of-kernel synchronisation barrier.
+    """
+
+    n_cores: int = 8
+    barrier_cycles: int = 64
+
+    def split(self, n_items: int) -> int:
+        """Items assigned to the most-loaded core (ceil division)."""
+        if n_items < 0:
+            raise ValueError(f"negative item count {n_items}")
+        return math.ceil(n_items / self.n_cores)
+
+    def span_cycles(self, n_items: int, cycles_per_item: float) -> float:
+        """Parallel makespan of ``n_items`` uniform work items.
+
+        The N:M constraint makes items genuinely uniform (every group
+        of M positions holds the same work — Sec. 2.1), so a static
+        block distribution with a trailing barrier is accurate.
+        """
+        return self.split(n_items) * cycles_per_item + self.barrier_cycles
+
+    def efficiency(self, n_items: int) -> float:
+        """Load-balance efficiency of a static split (1.0 = perfect)."""
+        if n_items == 0:
+            return 1.0
+        return n_items / (self.split(n_items) * self.n_cores)
+
+
+#: The 8-core Vega cluster used throughout the paper.
+VEGA_CLUSTER = ClusterConfig(n_cores=8, barrier_cycles=64)

@@ -1,0 +1,342 @@
+"""Single-issue in-order core interpreter with cycle accounting.
+
+Executes :class:`repro.hw.isa.Program` streams over a byte-addressable
+memory, modelling the timing behaviour the paper's analysis relies on:
+
+- one instruction per cycle on a single-issue pipeline;
+- XpulpV2 hardware loops: zero-overhead back-edges;
+- load-use hazard: an instruction consuming the result of the
+  *immediately preceding* load stalls one cycle (RI5CY forwarding
+  covers longer distances);
+- consecutive ``xdec`` instructions never stall even though each reads
+  and writes its destination register — the XFU controller forwards rd
+  from WB (Sec. 4.3, last paragraph);
+- taken branches pay a configurable penalty (hardware loops avoid it).
+
+The interpreter is intentionally simple and readable (it is the gold
+reference the analytical cost model is validated against), not fast:
+use it on single tiles / small layers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.isa import Instr, Program
+from repro.hw.xfu import XDecimateUnit
+
+__all__ = ["Core", "ExecStats", "PipelineModel"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed32(x: int) -> int:
+    x &= _MASK32
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+def _signed8(x: int) -> int:
+    x &= 0xFF
+    return x - 256 if x & 0x80 else x
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Timing parameters of the core pipeline.
+
+    Defaults model RI5CY/CV32E40P as deployed in the Vega cluster: all
+    instructions single-cycle on an L1 TCDM hit, one bubble on a
+    back-to-back load-use dependency, two bubbles on a taken branch.
+    """
+
+    load_use_stall: int = 1
+    taken_branch_penalty: int = 2
+
+
+@dataclass
+class ExecStats:
+    """Counters accumulated over one :meth:`Core.run`.
+
+    Attributes
+    ----------
+    instructions:
+        Retired instruction count (what the paper's
+        MACs/instruction/core peaks are quoted against).
+    stalls:
+        Pipeline bubbles (load-use + branch penalties).
+    cycles:
+        ``instructions + stalls``.
+    op_counts:
+        Retired instructions per mnemonic.
+    """
+
+    instructions: int = 0
+    stalls: int = 0
+    op_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def cycles(self) -> int:
+        return self.instructions + self.stalls
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates performed (4 per SIMD dot product)."""
+        return 4 * (self.op_counts["sdotp"] + self.op_counts["sdotup"])
+
+    def macs_per_instruction(self) -> float:
+        """The paper's per-core efficiency metric."""
+        return self.macs / self.instructions if self.instructions else 0.0
+
+
+class Core:
+    """One cluster core: register file, LSU, SIMD unit, optional XFU.
+
+    Parameters
+    ----------
+    memory:
+        Byte-addressable memory shared with the caller (numpy uint8
+        array); modified in place by stores.
+    pipeline:
+        Timing parameters; see :class:`PipelineModel`.
+    xfu:
+        An :class:`XDecimateUnit`; created on demand when a program
+        executes ``xdec``.  Pass explicitly to share or trace it.
+    """
+
+    N_REGS = 32
+
+    def __init__(
+        self,
+        memory: np.ndarray,
+        pipeline: PipelineModel | None = None,
+        xfu: XDecimateUnit | None = None,
+    ) -> None:
+        if memory.dtype != np.uint8 or memory.ndim != 1:
+            raise ValueError("memory must be a 1-D uint8 array")
+        self.mem = memory
+        self.pipeline = pipeline or PipelineModel()
+        self.xfu = xfu or XDecimateUnit()
+        self.regs = [0] * self.N_REGS
+
+    # -- memory access ---------------------------------------------------
+
+    def load_byte(self, addr: int) -> int:
+        return int(self.mem[addr])
+
+    def load_half(self, addr: int) -> int:
+        return int(self.mem[addr]) | int(self.mem[addr + 1]) << 8
+
+    def load_word(self, addr: int) -> int:
+        b = self.mem[addr : addr + 4]
+        return int(b[0]) | int(b[1]) << 8 | int(b[2]) << 16 | int(b[3]) << 24
+
+    def store_byte(self, addr: int, value: int) -> None:
+        self.mem[addr] = value & 0xFF
+
+    def store_word(self, addr: int, value: int) -> None:
+        value &= _MASK32
+        self.mem[addr] = value & 0xFF
+        self.mem[addr + 1] = (value >> 8) & 0xFF
+        self.mem[addr + 2] = (value >> 16) & 0xFF
+        self.mem[addr + 3] = (value >> 24) & 0xFF
+
+    # -- register access ---------------------------------------------------
+
+    def set_reg(self, r: int, value: int) -> None:
+        if r != 0:
+            self.regs[r] = value & _MASK32
+
+    def get_reg(self, r: int) -> int:
+        return self.regs[r]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, program: Program, max_steps: int = 50_000_000) -> ExecStats:
+        """Execute until ``halt`` or the program falls off the end.
+
+        Raises
+        ------
+        RuntimeError
+            If ``max_steps`` instructions retire without halting
+            (runaway-loop guard).
+        """
+        stats = ExecStats()
+        regs = self.regs
+        mem = self.mem
+        pc = 0
+        n = len(program.instrs)
+        instrs = program.instrs
+        # Hardware loop stack: (start_pc, end_pc_exclusive, remaining).
+        loop_stack: list[list[int]] = []
+        last_load_rd = -1  # rd of the load retired in the previous slot
+        last_was_xdec = False
+
+        while pc < n:
+            if stats.instructions >= max_steps:
+                raise RuntimeError(f"exceeded {max_steps} instructions")
+            ins = instrs[pc]
+            op = ins.op
+
+            if op == "halt":
+                stats.instructions += 1
+                stats.op_counts[op] += 1
+                break
+
+            # -- hazard accounting ------------------------------------
+            if last_load_rd >= 0 and last_load_rd in ins.reads():
+                if not (last_was_xdec and op == "xdec"):
+                    stats.stalls += self.pipeline.load_use_stall
+            last_load_rd = ins.rd if ins.is_load else -1
+            last_was_xdec = op == "xdec"
+
+            next_pc = pc + 1
+
+            # -- dispatch ----------------------------------------------
+            if op == "li":
+                self.set_reg(ins.rd, ins.imm)
+            elif op == "mv":
+                self.set_reg(ins.rd, regs[ins.rs1])
+            elif op == "add":
+                self.set_reg(ins.rd, regs[ins.rs1] + regs[ins.rs2])
+            elif op == "sub":
+                self.set_reg(ins.rd, regs[ins.rs1] - regs[ins.rs2])
+            elif op == "and":
+                self.set_reg(ins.rd, regs[ins.rs1] & regs[ins.rs2])
+            elif op == "or":
+                self.set_reg(ins.rd, regs[ins.rs1] | regs[ins.rs2])
+            elif op == "xor":
+                self.set_reg(ins.rd, regs[ins.rs1] ^ regs[ins.rs2])
+            elif op == "mul":
+                self.set_reg(ins.rd, regs[ins.rs1] * regs[ins.rs2])
+            elif op == "sll":
+                self.set_reg(ins.rd, regs[ins.rs1] << (regs[ins.rs2] & 31))
+            elif op == "srl":
+                self.set_reg(
+                    ins.rd, (regs[ins.rs1] & _MASK32) >> (regs[ins.rs2] & 31)
+                )
+            elif op == "sra":
+                self.set_reg(
+                    ins.rd, _signed32(regs[ins.rs1]) >> (regs[ins.rs2] & 31)
+                )
+            elif op == "addi":
+                self.set_reg(ins.rd, regs[ins.rs1] + ins.imm)
+            elif op == "andi":
+                self.set_reg(ins.rd, regs[ins.rs1] & ins.imm)
+            elif op == "ori":
+                self.set_reg(ins.rd, regs[ins.rs1] | ins.imm)
+            elif op == "slli":
+                self.set_reg(ins.rd, regs[ins.rs1] << ins.imm)
+            elif op == "srli":
+                self.set_reg(ins.rd, (regs[ins.rs1] & _MASK32) >> ins.imm)
+            elif op == "srai":
+                self.set_reg(ins.rd, _signed32(regs[ins.rs1]) >> ins.imm)
+            elif op == "lw":
+                addr = regs[ins.rs1] + (0 if ins.post else ins.imm)
+                value = self.load_word(addr)
+                if ins.post:
+                    self.set_reg(ins.rs1, regs[ins.rs1] + ins.post)
+                self.set_reg(ins.rd, value)
+            elif op == "lhu":
+                addr = regs[ins.rs1] + (0 if ins.post else ins.imm)
+                value = self.load_half(addr)
+                if ins.post:
+                    self.set_reg(ins.rs1, regs[ins.rs1] + ins.post)
+                self.set_reg(ins.rd, value)
+            elif op == "lbu":
+                addr = regs[ins.rs1] + (0 if ins.post else ins.imm)
+                value = self.load_byte(addr)
+                if ins.post:
+                    self.set_reg(ins.rs1, regs[ins.rs1] + ins.post)
+                self.set_reg(ins.rd, value)
+            elif op == "lb":
+                addr = regs[ins.rs1] + (0 if ins.post else ins.imm)
+                value = _signed8(self.load_byte(addr)) & _MASK32
+                if ins.post:
+                    self.set_reg(ins.rs1, regs[ins.rs1] + ins.post)
+                self.set_reg(ins.rd, value)
+            elif op == "lbu_rr":
+                self.set_reg(ins.rd, self.load_byte(regs[ins.rs1] + regs[ins.rs2]))
+            elif op == "lbu_ins":
+                lane = ins.imm & 0x3
+                disp = ins.imm >> 2
+                byte = self.load_byte(regs[ins.rs1] + regs[ins.rs2] + disp)
+                shift = lane * 8
+                merged = regs[ins.rd] & ~(0xFF << shift) | byte << shift
+                self.set_reg(ins.rd, merged)
+            elif op == "sw":
+                addr = regs[ins.rs1] + (0 if ins.post else ins.imm)
+                self.store_word(addr, regs[ins.rs2])
+                if ins.post:
+                    self.set_reg(ins.rs1, regs[ins.rs1] + ins.post)
+            elif op == "sb":
+                addr = regs[ins.rs1] + (0 if ins.post else ins.imm)
+                self.store_byte(addr, regs[ins.rs2])
+                if ins.post:
+                    self.set_reg(ins.rs1, regs[ins.rs1] + ins.post)
+            elif op == "sdotp":
+                a, b = regs[ins.rs1], regs[ins.rs2]
+                acc = _signed32(regs[ins.rd])
+                for lane in range(4):
+                    acc += _signed8(a >> lane * 8) * _signed8(b >> lane * 8)
+                self.set_reg(ins.rd, acc)
+            elif op == "sdotup":
+                a, b = regs[ins.rs1], regs[ins.rs2]
+                acc = regs[ins.rd]
+                for lane in range(4):
+                    acc += (a >> lane * 8 & 0xFF) * (b >> lane * 8 & 0xFF)
+                self.set_reg(ins.rd, acc)
+            elif op in ("beq", "bne", "blt", "bge"):
+                a = _signed32(regs[ins.rs1])
+                b = _signed32(regs[ins.rs2])
+                taken = (
+                    (op == "beq" and a == b)
+                    or (op == "bne" and a != b)
+                    or (op == "blt" and a < b)
+                    or (op == "bge" and a >= b)
+                )
+                if taken:
+                    next_pc = program.target(ins.label)
+                    stats.stalls += self.pipeline.taken_branch_penalty
+            elif op == "j":
+                next_pc = program.target(ins.label)
+                stats.stalls += self.pipeline.taken_branch_penalty
+            elif op == "lp_setup":
+                end = program.target(ins.label)
+                if ins.imm > 0:
+                    loop_stack.append([pc + 1, end, ins.imm])
+                else:
+                    next_pc = end  # zero-trip loop skips the body
+            elif op == "xdec":
+                new_rd = self.xfu.execute(
+                    regs[ins.rd],
+                    regs[ins.rs1],
+                    regs[ins.rs2],
+                    ins.imm,
+                    self.load_byte,
+                )
+                self.set_reg(ins.rd, new_rd)
+            elif op == "xdec_clear":
+                self.xfu.clear()
+            else:  # pragma: no cover - OPCODES validation prevents this
+                raise ValueError(f"unhandled opcode {op}")
+
+            stats.instructions += 1
+            stats.op_counts[op] += 1
+
+            # -- hardware loop back-edges (zero overhead). Nested loops
+            # may share an end pc; unwind until one still has trips left.
+            while loop_stack:
+                top = loop_stack[-1]
+                if next_pc != top[1]:
+                    break
+                top[2] -= 1
+                if top[2] > 0:
+                    next_pc = top[0]
+                    break
+                loop_stack.pop()
+            pc = next_pc
+
+        return stats

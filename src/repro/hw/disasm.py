@@ -1,0 +1,78 @@
+"""Program disassembler — human-readable listings of microcoded kernels.
+
+Debugging aid: renders :class:`repro.hw.isa.Program` objects in an
+assembly-like syntax with labels, making the kernel inner loops
+inspectable (``python -c "...; print(disassemble(prog))"`` or via the
+xDecimate demo).
+"""
+
+from __future__ import annotations
+
+from repro.hw.isa import Instr, Program
+
+__all__ = ["format_instr", "disassemble"]
+
+
+def _reg(r: int | None) -> str:
+    return f"x{r}" if r is not None else "?"
+
+
+def format_instr(ins: Instr) -> str:
+    """Render one instruction in assembly-like syntax."""
+    op = ins.op
+    if op == "li":
+        return f"li    {_reg(ins.rd)}, {ins.imm}"
+    if op == "mv":
+        return f"mv    {_reg(ins.rd)}, {_reg(ins.rs1)}"
+    if op in ("add", "sub", "and", "or", "xor", "mul", "sll", "srl", "sra"):
+        return f"{op:<5} {_reg(ins.rd)}, {_reg(ins.rs1)}, {_reg(ins.rs2)}"
+    if op in ("addi", "andi", "ori", "slli", "srli", "srai"):
+        return f"{op:<5} {_reg(ins.rd)}, {_reg(ins.rs1)}, {ins.imm}"
+    if op in ("lw", "lhu", "lb", "lbu"):
+        post = "!" if ins.post else ""
+        disp = ins.post if ins.post else ins.imm
+        return f"{op:<5} {_reg(ins.rd)}, {disp}({_reg(ins.rs1)}{post})"
+    if op == "lbu_rr":
+        return f"p.lbu {_reg(ins.rd)}, {_reg(ins.rs2)}({_reg(ins.rs1)})"
+    if op == "lbu_ins":
+        lane = ins.imm & 0x3
+        disp = ins.imm >> 2
+        return (
+            f"lbu.ins {_reg(ins.rd)}[{lane}], "
+            f"{disp}+{_reg(ins.rs2)}({_reg(ins.rs1)})"
+        )
+    if op in ("sw", "sb"):
+        post = "!" if ins.post else ""
+        disp = ins.post if ins.post else ins.imm
+        return f"{op:<5} {_reg(ins.rs2)}, {disp}({_reg(ins.rs1)}{post})"
+    if op in ("sdotp", "sdotup"):
+        mnemonic = "pv.sdotsp.b" if op == "sdotp" else "pv.sdotup.b"
+        return f"{mnemonic} {_reg(ins.rd)}, {_reg(ins.rs1)}, {_reg(ins.rs2)}"
+    if op in ("beq", "bne", "blt", "bge"):
+        return f"{op:<5} {_reg(ins.rs1)}, {_reg(ins.rs2)}, {ins.label}"
+    if op == "j":
+        return f"j     {ins.label}"
+    if op == "lp_setup":
+        return f"lp.setup {ins.imm}, {ins.label}"
+    if op == "xdec":
+        return f"xdecimate.m{ins.imm} {_reg(ins.rd)}, {_reg(ins.rs1)}, {_reg(ins.rs2)}"
+    if op == "xdec_clear":
+        return "xdecimate.clear"
+    if op == "halt":
+        return "halt"
+    return op  # pragma: no cover - all opcodes handled above
+
+
+def disassemble(program: Program) -> str:
+    """Full listing with addresses and label lines."""
+    by_index: dict[int, list[str]] = {}
+    for label, idx in program.labels.items():
+        by_index.setdefault(idx, []).append(label)
+    lines: list[str] = []
+    for i, ins in enumerate(program.instrs):
+        for label in by_index.get(i, []):
+            lines.append(f"{label}:")
+        lines.append(f"  {i:4d}  {format_instr(ins)}")
+    for label in by_index.get(len(program.instrs), []):
+        lines.append(f"{label}:")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Energy model (the paper's stated future work, Sec. 6).
+
+The paper's conclusion plans an FPGA prototype "to enable an estimation
+of the energy savings achieved by our kernels, which can show further
+advantages in the reduced off-chip memory accesses."  This module
+provides that estimation layer over the existing latency model.
+
+Methodology: event-based energy accounting with per-event costs in pJ,
+normalised to a 22 nm near-threshold operating point like Vega's
+(Rossi et al. 2021 report ~1.7 pJ/op system-level efficiency peaks).
+Events are derived from the same quantities the cycle model computes:
+
+- core activity: instructions executed (datapath + fetch);
+- L1 (TCDM) accesses: loads/stores issued by the kernels;
+- L2 accesses: bytes moved by the DMA (weight/activation streams);
+- static/idle power folded into a per-cycle background term.
+
+Relative numbers between kernel variants are the meaningful output
+(sparse kernels execute fewer instructions *and* move fewer weight
+bytes — the two terms the paper expects to dominate savings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.cost_model import (
+    CostParams,
+    DEFAULT_PARAMS,
+    LOADS_PER_ITER,
+    INNER_ITER_CYCLES,
+    conv_layer_cycles,
+    fc_layer_cycles,
+    weight_stream_bytes,
+)
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import NMFormat
+
+__all__ = ["EnergyParams", "EnergyBreakdown", "conv_layer_energy", "fc_layer_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energy costs (pJ) at the Vega-like operating point.
+
+    Defaults follow the usual near-threshold 22 nm ordering: an L2
+    access costs ~an order of magnitude more than an L1 access, which
+    costs about as much as an ALU op; background (clock tree, idle
+    cores) adds a per-cycle floor.
+    """
+
+    instruction_pj: float = 1.2
+    l1_access_pj: float = 1.0
+    l2_byte_pj: float = 8.0
+    background_pj_per_cycle: float = 2.5
+
+    def __post_init__(self) -> None:
+        for name in ("instruction_pj", "l1_access_pj", "l2_byte_pj"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-layer energy decomposition (pJ)."""
+
+    core: float
+    l1: float
+    l2: float
+    background: float
+    macs: int
+
+    @property
+    def total_pj(self) -> float:
+        return self.core + self.l1 + self.l2 + self.background
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+    @property
+    def pj_per_mac(self) -> float:
+        """Energy per dense-equivalent MAC — the efficiency headline."""
+        return self.total_pj / self.macs if self.macs else 0.0
+
+
+def _instructions_and_loads(
+    kind: str,
+    variant: str,
+    fmt: NMFormat | None,
+    n_iters: float,
+) -> tuple[float, float]:
+    """Instruction and L1-access counts over the inner loops."""
+    m = fmt.m if fmt is not None else 0
+    instr = INNER_ITER_CYCLES[(kind, variant, m)] * n_iters
+    loads = LOADS_PER_ITER[(kind, variant, m)] * n_iters
+    return instr, loads
+
+
+def conv_layer_energy(
+    shape: ConvShape,
+    variant: str,
+    fmt: NMFormat | None = None,
+    params: CostParams = DEFAULT_PARAMS,
+    energy: EnergyParams = EnergyParams(),
+) -> EnergyBreakdown:
+    """Energy of one conv layer under a kernel variant.
+
+    Derives event counts from the same structure as the cycle model:
+    inner iterations across the whole layer, plus the weight/activation
+    bytes streamed from L2.
+    """
+    import math
+
+    m = fmt.m if fmt is not None else 0
+    r = shape.reduce_dim
+    if variant == "dense-4x2":
+        iters_per_visit = math.ceil(r / 4)
+        visits = (shape.k // 4) * math.ceil(shape.oy * shape.ox / 2)
+        macs_basis = 1
+    elif variant == "dense-1x2":
+        iters_per_visit = math.ceil(r / 4)
+        visits = shape.k * math.ceil(shape.oy * shape.ox / 2)
+        macs_basis = 1
+    else:
+        nnz = math.ceil(r / m)
+        iters_per_visit = math.ceil(nnz / 4)
+        visits = shape.k * math.ceil(shape.oy * shape.ox / 2)
+        macs_basis = 1
+    n_iters = iters_per_visit * visits
+    instr, l1 = _instructions_and_loads("conv", variant, fmt, n_iters)
+    # im2col copies: one load + one store per byte pair moved.
+    im2col_bytes = 2 * r * math.ceil(shape.oy * shape.ox / 2)
+    l1 += im2col_bytes / 2
+    instr += im2col_bytes * params.im2col_cycles_per_byte
+
+    wbytes = weight_stream_bytes("conv", variant, shape.k, r, fmt)
+    l2_bytes = wbytes + shape.input_bytes() + shape.output_bytes()
+
+    cycles = conv_layer_cycles(shape, variant, fmt, params).total
+    return EnergyBreakdown(
+        core=instr * energy.instruction_pj,
+        l1=l1 * energy.l1_access_pj,
+        l2=l2_bytes * energy.l2_byte_pj,
+        background=cycles * energy.background_pj_per_cycle,
+        macs=shape.macs,
+    )
+
+
+def fc_layer_energy(
+    shape: FcShape,
+    variant: str,
+    fmt: NMFormat | None = None,
+    params: CostParams = DEFAULT_PARAMS,
+    energy: EnergyParams = EnergyParams(),
+) -> EnergyBreakdown:
+    """Energy of one FC layer under a kernel variant."""
+    import math
+
+    m = fmt.m if fmt is not None else 0
+    c = shape.c
+    if variant == "dense":
+        iters = math.ceil(c / 4) * (shape.k // 2)
+    elif variant == "sparse-sw":
+        iters = math.ceil(math.ceil(c / m) / 4) * shape.k
+    else:
+        iters = math.ceil(math.ceil(c / m) / 4) * (shape.k // 2)
+    instr, l1 = _instructions_and_loads("fc", variant, fmt, iters)
+    wbytes = weight_stream_bytes("fc", variant, shape.k, c, fmt)
+    l2_bytes = wbytes + c + shape.k
+
+    cycles = fc_layer_cycles(
+        FcShape(c=c, k=shape.k), variant, fmt, params
+    ).total
+    breakdown = EnergyBreakdown(
+        core=instr * energy.instruction_pj,
+        l1=l1 * energy.l1_access_pj,
+        l2=l2_bytes * energy.l2_byte_pj,
+        background=cycles * energy.background_pj_per_cycle,
+        macs=shape.k * c,
+    )
+    t = shape.tokens
+    return EnergyBreakdown(
+        core=breakdown.core * t,
+        l1=breakdown.l1 * t,
+        l2=breakdown.l2 * t,
+        background=breakdown.background * t,
+        macs=breakdown.macs * t,
+    )

@@ -1,0 +1,316 @@
+"""Micro-ISA definitions: RV32-like subset + XpulpV2 features + xDecimate.
+
+The kernels' inner loops are expressed as :class:`Program` objects built
+with the :class:`Asm` builder, then executed and cycle-counted by
+:class:`repro.hw.cpu.Core`.  The instruction inventory covers exactly
+what the paper's kernels need:
+
+==============  =====================================================
+mnemonic        semantics
+==============  =====================================================
+``li``          rd <- imm
+``mv``          rd <- rs1
+``add``/…       three-register ALU ops (add, sub, and, or, xor, mul)
+``addi``/…      register-immediate ALU ops (addi, andi, ori, slli,
+                srli, srai)
+``lw``/``lbu``  loads, optional XpulpV2 post-increment (``post=k``
+                adds k to rs1 after the access)
+``lbu_rr``      XpulpV2 register-register load ``p.lbu rd, rs2(rs1)``
+``lbu_ins``     load byte and insert into byte lane ``imm`` of rd
+                (modelling shorthand for the lbu + pv.insert pair the
+                SW sparse kernels use; counted as one instruction to
+                match the paper's 22/23-instruction inner-loop count)
+``sw``/``sb``   stores, optional post-increment
+``sdotp``       pv.sdotsp.b: rd += sum of 4 signed-int8 lane products
+``sdotup``      pv.sdotup.b: unsigned x unsigned variant
+``beq``/…       conditional branches (beq, bne, blt, bge)
+``j``           unconditional jump
+``lp_setup``    XpulpV2 zero-overhead hardware loop over a body
+``xdec``        xDecimate rd, rs1(buffer base), rs2(packed offsets);
+                ``imm`` carries M (4, 8 or 16)
+``xdec_clear``  reset the xDecimate csr
+``halt``        stop execution
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Instr", "Program", "Asm", "OPCODES"]
+
+#: All legal mnemonics, with their operand signature for validation.
+OPCODES: dict[str, str] = {
+    "li": "rd,imm",
+    "mv": "rd,rs1",
+    "add": "rd,rs1,rs2",
+    "sub": "rd,rs1,rs2",
+    "and": "rd,rs1,rs2",
+    "or": "rd,rs1,rs2",
+    "xor": "rd,rs1,rs2",
+    "mul": "rd,rs1,rs2",
+    "sll": "rd,rs1,rs2",
+    "srl": "rd,rs1,rs2",
+    "sra": "rd,rs1,rs2",
+    "addi": "rd,rs1,imm",
+    "andi": "rd,rs1,imm",
+    "ori": "rd,rs1,imm",
+    "slli": "rd,rs1,imm",
+    "srli": "rd,rs1,imm",
+    "srai": "rd,rs1,imm",
+    "lw": "rd,rs1,imm",
+    "lhu": "rd,rs1,imm",
+    "lb": "rd,rs1,imm",
+    "lbu": "rd,rs1,imm",
+    "lbu_rr": "rd,rs1,rs2",
+    "lbu_ins": "rd,rs1,rs2,imm",
+    "sw": "rs2,rs1,imm",
+    "sb": "rs2,rs1,imm",
+    "sdotp": "rd,rs1,rs2",
+    "sdotup": "rd,rs1,rs2",
+    "beq": "rs1,rs2,label",
+    "bne": "rs1,rs2,label",
+    "blt": "rs1,rs2,label",
+    "bge": "rs1,rs2,label",
+    "j": "label",
+    "lp_setup": "imm,label",
+    "xdec": "rd,rs1,rs2,imm",
+    "xdec_clear": "",
+    "halt": "",
+}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One machine instruction.
+
+    Attributes
+    ----------
+    op:
+        Mnemonic from :data:`OPCODES`.
+    rd, rs1, rs2:
+        Register numbers (0-31) or None when unused.
+    imm:
+        Immediate; for loads/stores the displacement, for ``lbu_ins``
+        the destination byte lane, for ``xdec`` the block size M, for
+        ``lp_setup`` the trip count.
+    label:
+        Branch / loop-end target label.
+    post:
+        Post-increment applied to rs1 after a memory access
+        (XpulpV2 ``!`` addressing); 0 disables.
+    """
+
+    op: str
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int | None = None
+    label: str | None = None
+    post: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in OPCODES:
+            raise ValueError(f"unknown opcode {self.op!r}")
+
+    @property
+    def is_load(self) -> bool:
+        """True for instructions whose result comes from memory."""
+        return self.op in ("lw", "lhu", "lb", "lbu", "lbu_rr", "lbu_ins", "xdec")
+
+    @property
+    def is_branch(self) -> bool:
+        """True for control-flow instructions."""
+        return self.op in ("beq", "bne", "blt", "bge", "j")
+
+    def reads(self) -> tuple[int, ...]:
+        """Registers this instruction reads (for hazard detection).
+
+        ``lbu_ins``, ``sdotp`` and ``xdec`` read rd as well, since they
+        merge into the destination register.
+        """
+        regs = [r for r in (self.rs1, self.rs2) if r is not None]
+        if self.op in ("lbu_ins", "sdotp", "sdotup", "xdec") and self.rd is not None:
+            regs.append(self.rd)
+        return tuple(regs)
+
+
+@dataclass
+class Program:
+    """An assembled instruction sequence with resolved labels."""
+
+    instrs: list[Instr]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def target(self, label: str) -> int:
+        """Instruction index of ``label``."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise KeyError(f"undefined label {label!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+class Asm:
+    """Fluent builder for :class:`Program` objects.
+
+    Register names are plain ints; by convention the kernels use a
+    symbolic map on top (see :mod:`repro.kernels.microcode`).
+
+    >>> a = Asm()
+    >>> a.li(1, 0)
+    >>> a.label("loop")
+    >>> a.addi(1, 1, 1)
+    >>> a.blt(1, 2, "loop")
+    >>> prog = a.build()
+    """
+
+    def __init__(self) -> None:
+        self._instrs: list[Instr] = []
+        self._labels: dict[str, int] = {}
+
+    # -- assembly directives -------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Define a label at the current position."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+
+    def emit(self, instr: Instr) -> None:
+        """Append a raw instruction."""
+        self._instrs.append(instr)
+
+    def build(self) -> Program:
+        """Finalise; validates that all referenced labels exist."""
+        prog = Program(list(self._instrs), dict(self._labels))
+        for ins in prog.instrs:
+            if ins.label is not None and ins.label not in prog.labels:
+                raise ValueError(f"undefined label {ins.label!r} in {ins}")
+        return prog
+
+    # -- ALU -------------------------------------------------------------
+
+    def li(self, rd: int, imm: int) -> None:
+        self.emit(Instr("li", rd=rd, imm=imm))
+
+    def mv(self, rd: int, rs1: int) -> None:
+        self.emit(Instr("mv", rd=rd, rs1=rs1))
+
+    def add(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("add", rd=rd, rs1=rs1, rs2=rs2))
+
+    def sub(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("sub", rd=rd, rs1=rs1, rs2=rs2))
+
+    def and_(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("and", rd=rd, rs1=rs1, rs2=rs2))
+
+    def or_(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("or", rd=rd, rs1=rs1, rs2=rs2))
+
+    def xor(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("xor", rd=rd, rs1=rs1, rs2=rs2))
+
+    def mul(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("mul", rd=rd, rs1=rs1, rs2=rs2))
+
+    def sll(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("sll", rd=rd, rs1=rs1, rs2=rs2))
+
+    def srl(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("srl", rd=rd, rs1=rs1, rs2=rs2))
+
+    def sra(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("sra", rd=rd, rs1=rs1, rs2=rs2))
+
+    def addi(self, rd: int, rs1: int, imm: int) -> None:
+        self.emit(Instr("addi", rd=rd, rs1=rs1, imm=imm))
+
+    def andi(self, rd: int, rs1: int, imm: int) -> None:
+        self.emit(Instr("andi", rd=rd, rs1=rs1, imm=imm))
+
+    def ori(self, rd: int, rs1: int, imm: int) -> None:
+        self.emit(Instr("ori", rd=rd, rs1=rs1, imm=imm))
+
+    def slli(self, rd: int, rs1: int, imm: int) -> None:
+        self.emit(Instr("slli", rd=rd, rs1=rs1, imm=imm))
+
+    def srli(self, rd: int, rs1: int, imm: int) -> None:
+        self.emit(Instr("srli", rd=rd, rs1=rs1, imm=imm))
+
+    def srai(self, rd: int, rs1: int, imm: int) -> None:
+        self.emit(Instr("srai", rd=rd, rs1=rs1, imm=imm))
+
+    # -- memory ----------------------------------------------------------
+
+    def lw(self, rd: int, rs1: int, imm: int = 0, post: int = 0) -> None:
+        self.emit(Instr("lw", rd=rd, rs1=rs1, imm=imm, post=post))
+
+    def lhu(self, rd: int, rs1: int, imm: int = 0, post: int = 0) -> None:
+        self.emit(Instr("lhu", rd=rd, rs1=rs1, imm=imm, post=post))
+
+    def lb(self, rd: int, rs1: int, imm: int = 0, post: int = 0) -> None:
+        self.emit(Instr("lb", rd=rd, rs1=rs1, imm=imm, post=post))
+
+    def lbu(self, rd: int, rs1: int, imm: int = 0, post: int = 0) -> None:
+        self.emit(Instr("lbu", rd=rd, rs1=rs1, imm=imm, post=post))
+
+    def lbu_rr(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("lbu_rr", rd=rd, rs1=rs1, rs2=rs2))
+
+    def lbu_ins(self, rd: int, rs1: int, rs2: int, lane: int) -> None:
+        self.emit(Instr("lbu_ins", rd=rd, rs1=rs1, rs2=rs2, imm=lane))
+
+    def sw(self, rs2: int, rs1: int, imm: int = 0, post: int = 0) -> None:
+        self.emit(Instr("sw", rs1=rs1, rs2=rs2, imm=imm, post=post))
+
+    def sb(self, rs2: int, rs1: int, imm: int = 0, post: int = 0) -> None:
+        self.emit(Instr("sb", rs1=rs1, rs2=rs2, imm=imm, post=post))
+
+    # -- SIMD ------------------------------------------------------------
+
+    def sdotp(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("sdotp", rd=rd, rs1=rs1, rs2=rs2))
+
+    def sdotup(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instr("sdotup", rd=rd, rs1=rs1, rs2=rs2))
+
+    # -- control flow ------------------------------------------------------
+
+    def beq(self, rs1: int, rs2: int, label: str) -> None:
+        self.emit(Instr("beq", rs1=rs1, rs2=rs2, label=label))
+
+    def bne(self, rs1: int, rs2: int, label: str) -> None:
+        self.emit(Instr("bne", rs1=rs1, rs2=rs2, label=label))
+
+    def blt(self, rs1: int, rs2: int, label: str) -> None:
+        self.emit(Instr("blt", rs1=rs1, rs2=rs2, label=label))
+
+    def bge(self, rs1: int, rs2: int, label: str) -> None:
+        self.emit(Instr("bge", rs1=rs1, rs2=rs2, label=label))
+
+    def j(self, label: str) -> None:
+        self.emit(Instr("j", label=label))
+
+    def lp_setup(self, count: int, end_label: str) -> None:
+        """Hardware loop: execute the body up to (and including) the
+        instruction *before* ``end_label``, ``count`` times, with zero
+        branching overhead."""
+        self.emit(Instr("lp_setup", imm=count, label=end_label))
+
+    # -- extension ---------------------------------------------------------
+
+    def xdec(self, rd: int, rs1: int, rs2: int, m: int) -> None:
+        """xDecimate: indexed byte load steered by the csr (Sec. 4.3)."""
+        if m not in (4, 8, 16):
+            raise ValueError(f"xdec supports M in 4/8/16, got {m}")
+        self.emit(Instr("xdec", rd=rd, rs1=rs1, rs2=rs2, imm=m))
+
+    def xdec_clear(self) -> None:
+        self.emit(Instr("xdec_clear"))
+
+    def halt(self) -> None:
+        self.emit(Instr("halt"))

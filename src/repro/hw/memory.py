@@ -1,0 +1,111 @@
+"""Memory hierarchy and DMA transfer model of the Vega SoC.
+
+The target (Sec. 2.2) has no caches: a 128 kB L1 data scratchpad shared
+by the 8 cluster cores (single-cycle TCDM), a 1.6 MB L2, and 16 MB of
+external L3 HyperRAM.  Tiles move between levels through a DMA engine
+programmed by a dedicated core; the compiler double-buffers conv weight
+tiles so transfers overlap compute (Sec. 5.2), while FC weight streams
+are exposed (memory-bound layers).
+
+This module provides capacity bookkeeping (used by the tiling engine)
+and the transfer-time model (used by the layer cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryLevel", "MemoryHierarchy", "DmaModel", "VEGA_MEMORY"]
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One scratchpad level.
+
+    Attributes
+    ----------
+    name:
+        "L1", "L2" or "L3".
+    size_bytes:
+        Capacity available to the workload.
+    load_latency:
+        Core-visible access latency in cycles (1 for L1 TCDM).
+    """
+
+    name: str
+    size_bytes: int
+    load_latency: int = 1
+
+    def fits(self, nbytes: int) -> bool:
+        """True when an allocation of ``nbytes`` fits this level."""
+        return 0 <= nbytes <= self.size_bytes
+
+
+@dataclass(frozen=True)
+class DmaModel:
+    """Timing of the cluster DMA engine.
+
+    ``cycles(nbytes)`` = ``setup_cycles + ceil(nbytes / bandwidth)``.
+    One outstanding transfer at a time (matching the single cluster DMA
+    of the target); double-buffering is modelled by the caller taking
+    ``max(compute, transfer)`` per tile.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_cycle:
+        Sustained burst bandwidth between L2 and L1 (64-bit interface).
+    setup_cycles:
+        Per-transfer programming overhead (descriptor write + trigger).
+    """
+
+    bandwidth_bytes_per_cycle: float = 8.0
+    setup_cycles: int = 40
+
+    def cycles(self, nbytes: int | float) -> float:
+        """Transfer time for a contiguous burst of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.setup_cycles + nbytes / self.bandwidth_bytes_per_cycle
+
+    def cycles_multi(self, nbytes: int | float, n_transfers: int) -> float:
+        """Time for the same payload split over ``n_transfers`` bursts.
+
+        Used by the L2-layout ablation (Sec. 4.4 item 3): storing
+        weights and indices separately doubles the transaction count,
+        paying ``setup_cycles`` twice per tile.
+        """
+        if n_transfers < 1:
+            raise ValueError("n_transfers must be >= 1")
+        return n_transfers * self.setup_cycles + (
+            nbytes / self.bandwidth_bytes_per_cycle if nbytes else 0.0
+        )
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """The full L1/L2/L3 stack plus the DMA engine."""
+
+    l1: MemoryLevel
+    l2: MemoryLevel
+    l3: MemoryLevel
+    dma: DmaModel
+
+    def level(self, name: str) -> MemoryLevel:
+        """Look a level up by name."""
+        levels = {"L1": self.l1, "L2": self.l2, "L3": self.l3}
+        try:
+            return levels[name]
+        except KeyError:
+            raise KeyError(f"unknown memory level {name!r}") from None
+
+
+#: The hierarchy of the Vega SoC (Rossi et al., 2021) as used in the
+#: paper: 128 kB shared L1, 1.6 MB L2 (MRAM portion unused), 16 MB L3.
+VEGA_MEMORY = MemoryHierarchy(
+    l1=MemoryLevel("L1", 128 * 1024, load_latency=1),
+    l2=MemoryLevel("L2", 1600 * 1024, load_latency=10),
+    l3=MemoryLevel("L3", 16 * 1024 * 1024, load_latency=50),
+    dma=DmaModel(bandwidth_bytes_per_cycle=8.0, setup_cycles=40),
+)

@@ -1,0 +1,99 @@
+"""Double-buffering timeline model (compute/DMA overlap).
+
+The paper's conv kernels hide weight-transfer latency behind compute
+through double-buffered tiles, while FC layers expose it (Sec. 5.2).
+This module models the per-tile timeline explicitly — a two-stage
+software pipeline where tile ``i``'s transfer overlaps tile ``i-1``'s
+compute — so the "hidden by double-buffering" claim can be quantified
+rather than assumed (see ``benchmarks/test_ablation_double_buffer.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.memory import DmaModel
+
+__all__ = ["TileTimeline", "double_buffered_cycles", "serialized_cycles"]
+
+
+@dataclass(frozen=True)
+class TileTimeline:
+    """Result of scheduling one layer's tiles.
+
+    Attributes
+    ----------
+    total_cycles:
+        Makespan of the schedule.
+    compute_cycles:
+        Sum of per-tile compute.
+    transfer_cycles:
+        Sum of per-tile DMA time.
+    exposed_transfer:
+        Transfer time NOT hidden behind compute (0 when perfectly
+        overlapped after the pipeline fill).
+    """
+
+    total_cycles: float
+    compute_cycles: float
+    transfer_cycles: float
+
+    @property
+    def exposed_transfer(self) -> float:
+        return self.total_cycles - self.compute_cycles
+
+    @property
+    def hiding_efficiency(self) -> float:
+        """Fraction of transfer time hidden behind compute (1 = all)."""
+        if self.transfer_cycles == 0:
+            return 1.0
+        return 1.0 - self.exposed_transfer / self.transfer_cycles
+
+
+def double_buffered_cycles(
+    tile_compute: list[float],
+    tile_bytes: list[float],
+    dma: DmaModel,
+) -> TileTimeline:
+    """Two-deep pipeline: tile i+1 streams while tile i computes.
+
+    The first tile's transfer is always exposed (pipeline fill); each
+    later tile starts computing at ``max(compute done, transfer done)``.
+    """
+    if len(tile_compute) != len(tile_bytes):
+        raise ValueError("tile lists must have equal length")
+    if not tile_compute:
+        return TileTimeline(0.0, 0.0, 0.0)
+    transfers = [dma.cycles(b) for b in tile_bytes]
+    # Timeline: transfer_done[i] = when tile i is resident;
+    # compute_done[i] = when tile i has been consumed.
+    transfer_done = transfers[0]
+    compute_done = 0.0
+    for i, comp in enumerate(tile_compute):
+        start = max(compute_done, transfer_done)
+        compute_done = start + comp
+        if i + 1 < len(transfers):
+            # Next transfer begins once the buffer frees (previous
+            # compute start) — single DMA channel, two buffers.
+            transfer_done = max(transfer_done, start) + transfers[i + 1]
+    return TileTimeline(
+        total_cycles=compute_done,
+        compute_cycles=sum(tile_compute),
+        transfer_cycles=sum(transfers),
+    )
+
+
+def serialized_cycles(
+    tile_compute: list[float],
+    tile_bytes: list[float],
+    dma: DmaModel,
+) -> TileTimeline:
+    """No overlap: every tile waits for its own transfer (FC regime)."""
+    if len(tile_compute) != len(tile_bytes):
+        raise ValueError("tile lists must have equal length")
+    transfers = [dma.cycles(b) for b in tile_bytes]
+    return TileTimeline(
+        total_cycles=sum(tile_compute) + sum(transfers),
+        compute_cycles=sum(tile_compute),
+        transfer_cycles=sum(transfers),
+    )

@@ -1,0 +1,126 @@
+"""Behavioural model of the xDecimate eXtension Functional Unit.
+
+Bit-exact implementation of the datapath described in Sec. 4.3 of the
+paper.  The unit owns one control-status register (csr, lowercase in
+the paper to distinguish it from the CSR sparse format) that steers
+three things and auto-increments after every execution:
+
+For M = 8 and M = 16 (4-bit offsets, 8 per 32-bit rs2 word)::
+
+    o    = rs2[(csr[2:0] * 4 + 3) : (csr[2:0] * 4)]
+    addr = rs1 + M * csr[15:1] + o
+
+For M = 4 (2-bit offsets, 16 per rs2 word) the offset selector uses
+``csr[3:0] * 2`` instead.
+
+Write-back inserts the loaded byte into the destination register at the
+lane selected by ``csr[2:1]``::
+
+    rd[(csr[2:1] * 8 + 7) : (csr[2:1] * 8)] = MEM[addr]
+    csr = csr + 1
+
+The right-shift by one in both the block index and the write-back lane
+is what makes *two consecutive executions* address the same M-block and
+the same destination lane — accounting for the conv kernels' unrolling
+over two im2col buffers (offsets duplicated in memory) and, for FC, for
+the interleaving of two output channels' offsets (Sec. 4.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["XDecimateUnit", "XDecimateTraceEntry"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+@dataclass
+class XDecimateTraceEntry:
+    """One executed xDecimate, for debugging and microarchitectural tests."""
+
+    csr_before: int
+    offset: int
+    block_index: int
+    address: int
+    lane: int
+    byte: int
+
+
+@dataclass
+class XDecimateUnit:
+    """State and datapath of the XFU.
+
+    Attributes
+    ----------
+    csr:
+        The auto-incrementing control-status register.
+    trace:
+        Optional execution trace (enabled with ``record_trace=True``).
+    """
+
+    csr: int = 0
+    record_trace: bool = False
+    trace: list[XDecimateTraceEntry] = field(default_factory=list)
+
+    def clear(self) -> None:
+        """``xDecimate.clear``: reset the csr (end of the K loop)."""
+        self.csr = 0
+
+    def offset_field(self, rs2: int, m: int) -> int:
+        """EX-stage offset decode: select the active sub-byte field of rs2."""
+        if m == 4:
+            sel = self.csr & 0xF
+            return (rs2 >> (sel * 2)) & 0x3
+        if m in (8, 16):
+            sel = self.csr & 0x7
+            return (rs2 >> (sel * 4)) & 0xF
+        raise ValueError(f"unsupported block size M={m}")
+
+    def block_index(self) -> int:
+        """EX-stage block index: csr[15:1] (shared by call pairs)."""
+        return (self.csr >> 1) & 0x7FFF
+
+    def lane(self) -> int:
+        """WB-stage destination byte lane: csr[2:1]."""
+        return (self.csr >> 1) & 0x3
+
+    def execute(
+        self,
+        rd: int,
+        rs1: int,
+        rs2: int,
+        m: int,
+        load_byte,
+    ) -> int:
+        """Run one xDecimate: returns the updated rd value.
+
+        Parameters
+        ----------
+        rd:
+            Current destination register value (read in ID — the
+        instruction merges into it).
+        rs1:
+            Base address of the im2col buffer.
+        rs2:
+            32-bit word of packed NZ offsets.
+        m:
+            Block size (4, 8 or 16).
+        load_byte:
+            Callable ``addr -> int`` performing the memory access
+            (provided by the core's load/store unit).
+        """
+        csr_before = self.csr
+        o = self.offset_field(rs2, m)
+        block = self.block_index()
+        addr = (rs1 + m * block + o) & _MASK32
+        byte = load_byte(addr) & 0xFF
+        lane = self.lane()
+        shift = lane * 8
+        new_rd = (rd & ~(0xFF << shift) | (byte << shift)) & _MASK32
+        self.csr = (self.csr + 1) & _MASK32
+        if self.record_trace:
+            self.trace.append(
+                XDecimateTraceEntry(csr_before, o, block, addr, lane, byte)
+            )
+        return new_rd

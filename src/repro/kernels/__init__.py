@@ -1,0 +1,44 @@
+"""The paper's kernel library: dense baselines and N:M sparse kernels.
+
+Layout conventions (matching PULP-NN and the paper):
+
+- activations are HWC int8: input ``(IY, IX, C)``, output ``(OY, OX, K)``;
+- conv weights are ``(K, FY, FX, C)`` int8, flattened row-major to
+  ``K x (FY*FX*C)`` — the same order as the im2col buffer;
+- FC weights are ``(K, C)`` int8; FC activations ``(C,)`` or ``(T, C)``
+  for token batches;
+- accumulation in int32, per-layer requantisation back to int8.
+
+Each kernel family exposes a functional ``execute`` (numpy, bit-exact
+against the naive reference) and a ``cycles`` cost model; the
+instruction-level ground truth lives in :mod:`repro.kernels.microcode`.
+"""
+
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.kernels.requant import QuantParams, requantize
+from repro.kernels.im2col import im2col, im2col_buffer_bytes
+from repro.kernels.conv_dense import conv2d_dense
+from repro.kernels.conv_sparse import conv2d_sparse
+from repro.kernels.fc_dense import fc_dense
+from repro.kernels.fc_sparse import fc_sparse
+from repro.kernels.registry import (
+    KernelVariant,
+    KERNEL_VARIANTS,
+    variant_for,
+)
+
+__all__ = [
+    "ConvShape",
+    "FcShape",
+    "QuantParams",
+    "requantize",
+    "im2col",
+    "im2col_buffer_bytes",
+    "conv2d_dense",
+    "conv2d_sparse",
+    "fc_dense",
+    "fc_sparse",
+    "KernelVariant",
+    "KERNEL_VARIANTS",
+    "variant_for",
+]

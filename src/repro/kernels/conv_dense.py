@@ -1,0 +1,67 @@
+"""Dense convolution kernels (the PULP-NN baselines, Sec. 4.1.1).
+
+Two baselines share this functional implementation and differ only in
+their inner-loop schedule, which the cost model accounts for:
+
+- **4x2 (PULP-NN)**: 4 output channels x 2 spatial positions per inner
+  iteration; 14 instructions / 32 MACs = 2.28 MACs/instruction peak.
+- **1x2**: 1 output channel x 2 spatial positions; 5 instructions /
+  8 MACs = 1.6 MACs/instruction peak.  This is the schedule the sparse
+  kernels inherit (the 4-channel unrolling is impossible under N:M
+  sparsity because channels stop sharing activation positions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.im2col import im2col
+from repro.kernels.requant import QuantParams, requantize
+from repro.kernels.shapes import ConvShape
+
+__all__ = ["conv2d_dense", "conv2d_acc_dense"]
+
+
+def conv2d_acc_dense(
+    x: np.ndarray, weights: np.ndarray, shape: ConvShape
+) -> np.ndarray:
+    """int32 accumulators of a dense conv (before bias/requant).
+
+    Parameters
+    ----------
+    x:
+        int8 input, ``(IY, IX, C)``.
+    weights:
+        int8 weights, ``(K, FY, FX, C)``.
+    shape:
+        Layer geometry (validated against both arrays).
+
+    Returns
+    -------
+    np.ndarray
+        int32 array ``(OY, OX, K)``.
+    """
+    weights = np.asarray(weights)
+    if weights.shape != (shape.k, shape.fy, shape.fx, shape.c):
+        raise ValueError(f"weights {weights.shape} do not match {shape}")
+    cols = im2col(x, shape).astype(np.int32)  # (P, R)
+    wmat = weights.reshape(shape.k, shape.reduce_dim).astype(np.int32)
+    acc = cols @ wmat.T  # (P, K)
+    return acc.reshape(shape.oy, shape.ox, shape.k)
+
+
+def conv2d_dense(
+    x: np.ndarray,
+    weights: np.ndarray,
+    shape: ConvShape,
+    quant: QuantParams | None = None,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Dense int8 convolution with requantised int8 output.
+
+    Functionally identical for the 4x2 and 1x2 schedules (they compute
+    the same sums in a different order); their latency difference lives
+    in :mod:`repro.kernels.cost_model`.
+    """
+    acc = conv2d_acc_dense(x, weights, shape)
+    return requantize(acc, quant or QuantParams(), bias)

@@ -1,0 +1,115 @@
+"""N:M sparse convolution kernels (paper Sec. 4.1.2 / 4.1.3).
+
+The MCU kernel keeps the dense baseline's *Decimate Im2col* dataflow:
+the im2col step is unchanged, and the inner loop selects ("decimates")
+from the im2col buffer only the activations matching non-zero weights.
+The activation address of the j-th non-zero of a row is
+``block(j) * M + offset(j)`` **relative to the im2col buffer** — this is
+exactly the gather this module performs, vectorised over output
+positions and channels.
+
+Two functional paths are provided (guide idiom: gold reference +
+optimised equivalent):
+
+- ``method="gather"`` mirrors the decimation structure index-by-index
+  (chunked over K to bound memory);
+- ``method="dense"`` scatters the N:M matrix back to dense and uses a
+  BLAS matmul — bit-identical output, used for big end-to-end runs.
+
+The SW-only and ISA-extended kernels compute identical results (the
+``xDecimate`` instruction only accelerates the decimation); their
+separate latency models live in :mod:`repro.kernels.cost_model`, and
+their instruction-level behaviour in :mod:`repro.kernels.microcode`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.im2col import im2col
+from repro.kernels.requant import QuantParams, requantize
+from repro.kernels.shapes import ConvShape
+from repro.sparsity.nm import NMSparseMatrix
+
+__all__ = ["conv2d_sparse", "conv2d_acc_sparse", "sparse_matmul_acc"]
+
+#: Output channels processed per gather chunk (bounds peak memory of the
+#: (P, K_chunk, NNZ) gather tensor).
+_K_CHUNK = 32
+
+
+def sparse_matmul_acc(
+    cols: np.ndarray,
+    sparse_w: NMSparseMatrix,
+    method: str = "gather",
+) -> np.ndarray:
+    """int32 accumulators of ``cols @ sparse_w.T`` via decimation.
+
+    Parameters
+    ----------
+    cols:
+        int8 matrix ``(P, R)`` — im2col rows or FC activations.
+    sparse_w:
+        N:M weights with ``dense_cols == R``.
+    method:
+        "gather" (mirrors the kernel's indexing) or "dense"
+        (scatter + BLAS; bit-identical).
+    """
+    cols = np.asarray(cols)
+    if cols.ndim != 2 or cols.shape[1] != sparse_w.dense_cols:
+        raise ValueError(
+            f"cols {cols.shape} incompatible with dense_cols="
+            f"{sparse_w.dense_cols}"
+        )
+    if method == "dense":
+        wmat = sparse_w.to_dense().astype(np.int32)
+        return cols.astype(np.int32) @ wmat.T
+
+    if method != "gather":
+        raise ValueError(f"unknown method {method!r}")
+    fmt = sparse_w.fmt
+    k_total, nnz = sparse_w.values.shape
+    p = cols.shape[0]
+    # Position of each stored value inside the im2col buffer:
+    # block_start + offset, where consecutive stored values advance one
+    # block every N entries (N=1 for all paper formats).
+    block_starts = (np.arange(nnz) // fmt.n) * fmt.m
+    acc = np.empty((p, k_total), dtype=np.int32)
+    cols32 = cols.astype(np.int32)
+    for k0 in range(0, k_total, _K_CHUNK):
+        k1 = min(k0 + _K_CHUNK, k_total)
+        gather_idx = block_starts[None, :] + sparse_w.offsets[k0:k1]  # (kc, nnz)
+        patches = cols32[:, gather_idx]  # (P, kc, nnz)
+        vals = sparse_w.values[k0:k1].astype(np.int32)  # (kc, nnz)
+        acc[:, k0:k1] = np.einsum("pkn,kn->pk", patches, vals)
+    return acc
+
+
+def conv2d_acc_sparse(
+    x: np.ndarray,
+    sparse_w: NMSparseMatrix,
+    shape: ConvShape,
+    method: str = "gather",
+) -> np.ndarray:
+    """int32 accumulators of an N:M sparse conv (before bias/requant)."""
+    if sparse_w.rows != shape.k or sparse_w.dense_cols != shape.reduce_dim:
+        raise ValueError(
+            f"sparse weights ({sparse_w.rows}, {sparse_w.dense_cols}) "
+            f"do not match {shape}"
+        )
+    cols = im2col(x, shape)
+    acc = sparse_matmul_acc(cols, sparse_w, method)
+    return acc.reshape(shape.oy, shape.ox, shape.k)
+
+
+def conv2d_sparse(
+    x: np.ndarray,
+    sparse_w: NMSparseMatrix,
+    shape: ConvShape,
+    quant: QuantParams | None = None,
+    bias: np.ndarray | None = None,
+    method: str = "gather",
+) -> np.ndarray:
+    """N:M sparse int8 convolution with requantised int8 output."""
+    acc = conv2d_acc_sparse(x, sparse_w, shape, method)
+    return requantize(acc, quant or QuantParams(), bias)

@@ -1,0 +1,74 @@
+"""The im2col transformation (paper Sec. 4.1.1).
+
+PULP-NN performs a *partial* im2col: for each pair of spatially
+contiguous output positions, the two receptive fields are copied into
+two 1-D buffers of length ``FY*FX*C``, ordered ``(fy, fx, c)`` — the
+same order as one flattened weight filter.  The functional kernels here
+materialise the full im2col matrix at once (vectorised equivalent of
+running the partial im2col for every pair); the cost model accounts for
+the per-pair copy the MCU actually performs.
+
+The L1 footprint of the two per-core buffers,
+``FX*FY*C*2*N_CORES`` bytes, is the quantity MATCH's tiling engine must
+budget for (Sec. 4.1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.shapes import ConvShape
+
+__all__ = ["im2col", "im2col_buffer_bytes", "im2col_copy_cycles"]
+
+
+def im2col(x: np.ndarray, shape: ConvShape) -> np.ndarray:
+    """Build the im2col matrix of ``x``.
+
+    Parameters
+    ----------
+    x:
+        Input activations, int8, shape ``(IY, IX, C)``.
+    shape:
+        Layer geometry; ``x`` must match its input dims.
+
+    Returns
+    -------
+    np.ndarray
+        int8 array of shape ``(OY*OX, FY*FX*C)``; row ``oy*OX + ox``
+        holds the receptive field of output ``(oy, ox)`` flattened in
+        ``(fy, fx, c)`` order.  Padding positions contribute zeros
+        (symmetric quantisation keeps the pad value at 0).
+    """
+    x = np.asarray(x)
+    if x.shape != (shape.iy, shape.ix, shape.c):
+        raise ValueError(f"input {x.shape} does not match {shape}")
+    padded = np.zeros(
+        (shape.iy + 2 * shape.p, shape.ix + 2 * shape.p, shape.c), dtype=x.dtype
+    )
+    padded[shape.p : shape.p + shape.iy, shape.p : shape.p + shape.ix] = x
+    # Gather windows: out[oy, ox, fy, fx, c] = padded[oy*s+fy, ox*s+fx, c]
+    oy_idx = np.arange(shape.oy) * shape.s
+    ox_idx = np.arange(shape.ox) * shape.s
+    fy_idx = np.arange(shape.fy)
+    fx_idx = np.arange(shape.fx)
+    rows = oy_idx[:, None, None, None] + fy_idx[None, None, :, None]
+    cols = ox_idx[None, :, None, None] + fx_idx[None, None, None, :]
+    windows = padded[rows, cols]  # (OY, OX, FY, FX, C)
+    return windows.reshape(shape.oy * shape.ox, shape.reduce_dim)
+
+
+def im2col_buffer_bytes(shape: ConvShape, n_cores: int = 8) -> int:
+    """L1 bytes consumed by the per-core im2col double buffers."""
+    return shape.reduce_dim * 2 * n_cores
+
+
+def im2col_copy_cycles(shape: ConvShape, cycles_per_byte: float = 0.75) -> float:
+    """Cycles for one partial im2col (two patches) on one core.
+
+    The copy moves ``2*FY*FX*C`` bytes; filter rows are C-contiguous in
+    HWC so the bulk moves as word loads/stores (2 instructions per 4
+    bytes = 0.5 cycles/byte) plus row address arithmetic and padding
+    handling, absorbed into ``cycles_per_byte``.
+    """
+    return 2 * shape.reduce_dim * cycles_per_byte

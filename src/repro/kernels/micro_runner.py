@@ -1,0 +1,288 @@
+"""Drivers that execute the microcoded kernels on the core model.
+
+These assemble a memory image (weights, packed offsets, activation
+buffers, output region), run the :mod:`repro.kernels.microcode` program
+on a :class:`repro.hw.cpu.Core`, and decode the int32 accumulators —
+giving instruction-level ground truth for both functional equivalence
+(against the numpy kernels) and cycle counts (for the cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.cpu import Core, ExecStats, PipelineModel
+from repro.kernels import microcode as mc
+from repro.sparsity.nm import NMFormat, NMSparseMatrix
+
+__all__ = [
+    "MemoryImage",
+    "run_conv_pair",
+    "run_fc_micro",
+    "run_conv_layer_micro",
+    "run_requant_micro",
+]
+
+
+class MemoryImage:
+    """A simple bump allocator over a byte-addressable memory."""
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        self.mem = np.zeros(size, dtype=np.uint8)
+        self._cursor = 0
+
+    def alloc(self, nbytes: int, align: int = 4) -> int:
+        """Reserve ``nbytes`` (zero-filled) and return the base address."""
+        self._cursor = (self._cursor + align - 1) // align * align
+        addr = self._cursor
+        self._cursor += nbytes
+        if self._cursor > self.mem.size:
+            raise MemoryError(
+                f"memory image exhausted ({self._cursor} > {self.mem.size})"
+            )
+        return addr
+
+    def place(self, arr: np.ndarray, align: int = 4) -> int:
+        """Copy an int8/uint8 array into memory, return its address."""
+        raw = np.ascontiguousarray(arr).view(np.uint8).reshape(-1)
+        addr = self.alloc(raw.size, align)
+        self.mem[addr : addr + raw.size] = raw
+        return addr
+
+    def read_i32(self, addr: int, count: int) -> np.ndarray:
+        """Read ``count`` little-endian int32 words."""
+        raw = self.mem[addr : addr + 4 * count]
+        return raw.view("<i4").copy()
+
+
+@dataclass
+class MicroResult:
+    """Output of one microcoded kernel run."""
+
+    acc: np.ndarray  # int32 accumulators; shape depends on the kernel
+    stats: ExecStats
+
+
+def run_conv_pair(
+    variant: str,
+    weights: np.ndarray | NMSparseMatrix,
+    buf1: np.ndarray,
+    buf2: np.ndarray,
+    pipeline: PipelineModel | None = None,
+) -> MicroResult:
+    """Run one conv output pair (all K channels) on the core model.
+
+    Parameters
+    ----------
+    variant:
+        "dense-1x2", "dense-4x2", "sparse-sw" or "sparse-isa".
+    weights:
+        Dense int8 ``(K, R)`` matrix for dense variants, or an
+        :class:`NMSparseMatrix` for sparse ones.
+    buf1, buf2:
+        The two im2col buffers, int8 ``(R,)``.
+
+    Returns
+    -------
+    MicroResult
+        ``acc`` has shape ``(2, K)``: accumulators for the two output
+        positions.
+    """
+    buf1 = np.asarray(buf1, dtype=np.int8)
+    buf2 = np.asarray(buf2, dtype=np.int8)
+    r = buf1.size
+    if buf2.size != r:
+        raise ValueError("im2col buffers must have equal length")
+    img = MemoryImage()
+
+    if variant.startswith("dense"):
+        wmat = np.asarray(weights, dtype=np.int8)
+        k = wmat.shape[0]
+        if wmat.shape != (k, r):
+            raise ValueError(f"weights {wmat.shape} do not match R={r}")
+        w_addr = img.place(wmat)
+        b1_addr = img.place(buf1)
+        b2_addr = img.place(buf2)
+        out_addr = img.alloc(8 * k)
+        if variant == "dense-1x2":
+            prog = mc.conv_pair_dense_1x2(k, r, w_addr, b1_addr, b2_addr, out_addr)
+        elif variant == "dense-4x2":
+            prog = mc.conv_pair_dense_4x2(k, r, w_addr, b1_addr, b2_addr, out_addr)
+        else:
+            raise ValueError(f"unknown dense variant {variant!r}")
+    else:
+        if not isinstance(weights, NMSparseMatrix):
+            raise TypeError("sparse variants need an NMSparseMatrix")
+        mat = weights
+        if mat.dense_cols != r:
+            raise ValueError(f"sparse weights dense_cols != R={r}")
+        k = mat.rows
+        engine = "sw" if variant == "sparse-sw" else "isa"
+        if variant == "sparse-sw":
+            vals, offs, nnz_pad = mc.pack_sparse_rows_sw(mat)
+        elif variant == "sparse-isa":
+            vals, offs, nnz_pad = mc.pack_sparse_rows_isa_conv(mat)
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+        slack = mc.buffer_slack_bytes(mat.fmt, engine)
+        w_addr = img.place(vals)
+        off_addr = img.place(offs)
+        b1_addr = img.alloc(r + slack)
+        img.mem[b1_addr : b1_addr + r] = buf1.view(np.uint8)
+        b2_addr = img.alloc(r + slack)
+        img.mem[b2_addr : b2_addr + r] = buf2.view(np.uint8)
+        out_addr = img.alloc(8 * k)
+        if variant == "sparse-sw":
+            prog = mc.conv_pair_sparse_sw(
+                mat.fmt, k, nnz_pad, w_addr, off_addr, b1_addr, b2_addr, out_addr
+            )
+        else:
+            prog = mc.conv_pair_sparse_isa(
+                mat.fmt, k, nnz_pad, w_addr, off_addr, b1_addr, b2_addr, out_addr
+            )
+
+    core = Core(img.mem, pipeline=pipeline)
+    stats = core.run(prog)
+    raw = img.read_i32(out_addr, 2 * k)
+    if variant == "dense-4x2":
+        # Stored per 4-channel group in (channel, position) order.
+        acc = raw.reshape(k // 4, 4, 2).transpose(2, 0, 1).reshape(2, k)
+    else:
+        acc = raw.reshape(k, 2).T
+    return MicroResult(acc=acc.copy(), stats=stats)
+
+
+def run_fc_micro(
+    variant: str,
+    weights: np.ndarray | NMSparseMatrix,
+    x: np.ndarray,
+    pipeline: PipelineModel | None = None,
+) -> MicroResult:
+    """Run one FC layer (single input vector) on the core model.
+
+    Parameters
+    ----------
+    variant:
+        "dense", "sparse-sw" or "sparse-isa".
+    weights:
+        Dense int8 ``(K, C)`` or an :class:`NMSparseMatrix`.
+    x:
+        int8 input vector ``(C,)``.
+
+    Returns
+    -------
+    MicroResult
+        ``acc`` has shape ``(K,)``.
+    """
+    x = np.asarray(x, dtype=np.int8)
+    c = x.size
+    img = MemoryImage()
+
+    if variant == "dense":
+        wmat = np.asarray(weights, dtype=np.int8)
+        k = wmat.shape[0]
+        if wmat.shape != (k, c):
+            raise ValueError(f"weights {wmat.shape} do not match C={c}")
+        w_addr = img.place(wmat)
+        b_addr = img.place(x)
+        out_addr = img.alloc(4 * k)
+        prog = mc.fc_dense_program(k, c, w_addr, b_addr, out_addr)
+    else:
+        if not isinstance(weights, NMSparseMatrix):
+            raise TypeError("sparse variants need an NMSparseMatrix")
+        mat = weights
+        if mat.dense_cols != c:
+            raise ValueError(f"sparse weights dense_cols != C={c}")
+        k = mat.rows
+        engine = "sw" if variant == "sparse-sw" else "isa"
+        if variant == "sparse-sw":
+            vals, offs, nnz_pad = mc.pack_sparse_rows_sw(mat)
+        elif variant == "sparse-isa":
+            vals, offs, nnz_pad = mc.pack_sparse_rows_isa_fc(mat)
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+        slack = mc.buffer_slack_bytes(mat.fmt, engine)
+        w_addr = img.place(vals)
+        off_addr = img.place(offs)
+        b_addr = img.alloc(c + slack)
+        img.mem[b_addr : b_addr + c] = x.view(np.uint8)
+        out_addr = img.alloc(4 * k)
+        if variant == "sparse-sw":
+            prog = mc.fc_sparse_sw_program(
+                mat.fmt, k, nnz_pad, w_addr, off_addr, b_addr, out_addr
+            )
+        else:
+            prog = mc.fc_sparse_isa_program(
+                mat.fmt, k, nnz_pad, w_addr, off_addr, b_addr, out_addr
+            )
+
+    core = Core(img.mem, pipeline=pipeline)
+    stats = core.run(prog)
+    acc = img.read_i32(out_addr, k)
+    return MicroResult(acc=acc, stats=stats)
+
+
+def run_conv_layer_micro(
+    variant: str,
+    weights: np.ndarray | NMSparseMatrix,
+    x: np.ndarray,
+    shape,
+    pipeline: PipelineModel | None = None,
+) -> MicroResult:
+    """Run a *whole* conv layer on the core model, pair by pair.
+
+    The partial im2col feeds each output pair's buffers (exactly the
+    PULP-NN flow); the per-pair kernel program then produces the int32
+    accumulators.  Statistics accumulate over all pairs, so the result
+    carries full-layer instruction/cycle counts on one core.
+
+    Returns ``acc`` of shape ``(OY, OX, K)``.
+    """
+    from repro.kernels.im2col import im2col
+
+    cols = im2col(np.asarray(x, dtype=np.int8), shape)  # (P, R)
+    p = cols.shape[0]
+    k = weights.rows if isinstance(weights, NMSparseMatrix) else weights.shape[0]
+    acc = np.zeros((p, k), dtype=np.int32)
+    total = ExecStats()
+    for pair_start in range(0, p, 2):
+        buf1 = cols[pair_start]
+        # An odd trailing position recomputes the same patch twice; the
+        # second result is discarded (the MCU kernel's tail handling).
+        buf2 = cols[min(pair_start + 1, p - 1)]
+        res = run_conv_pair(variant, weights, buf1, buf2, pipeline)
+        acc[pair_start] = res.acc[0]
+        if pair_start + 1 < p:
+            acc[pair_start + 1] = res.acc[1]
+        total.instructions += res.stats.instructions
+        total.stalls += res.stats.stalls
+        total.op_counts.update(res.stats.op_counts)
+    return MicroResult(acc=acc.reshape(shape.oy, shape.ox, k), stats=total)
+
+
+def run_requant_micro(
+    acc: np.ndarray,
+    multiplier: int,
+    shift: int,
+    zero_point: int = 0,
+    pipeline: PipelineModel | None = None,
+) -> MicroResult:
+    """Run the requantisation microcode over int32 accumulators.
+
+    Returns ``acc`` as the int8 outputs (stored as int8 array).
+    """
+    from repro.kernels import microcode as mc
+
+    acc = np.ascontiguousarray(acc, dtype=np.int32).reshape(-1)
+    img = MemoryImage()
+    in_addr = img.place(acc.view(np.uint8))
+    out_addr = img.alloc(acc.size)
+    prog = mc.requant_program(
+        acc.size, in_addr, out_addr, multiplier, shift, zero_point
+    )
+    core = Core(img.mem, pipeline=pipeline)
+    stats = core.run(prog)
+    out = img.mem[out_addr : out_addr + acc.size].view(np.int8).copy()
+    return MicroResult(acc=out, stats=stats)

@@ -1,0 +1,609 @@
+"""Instruction-level kernels (microcode) for the core model.
+
+Each builder emits the exact inner loops of Figs. 4 and 5 of the paper,
+wrapped in the per-channel scaffolding needed to run whole (small)
+layers on :class:`repro.hw.cpu.Core`.  They serve two purposes:
+
+1. **Instruction-count ground truth** — the inner-loop body lengths must
+   equal the paper's numbers (dense 4x2: 14, dense 1x2: 5, sparse SW:
+   22 for 1:8/1:16 and 23 for 1:4, sparse ISA: 12; FC dense: 5, FC
+   sparse SW: 16, FC sparse ISA: 13).  ``INNER_BODY_LENGTH`` records
+   them and tests assert the emitted bodies match.
+2. **Functional cross-validation** — running the microcode on the core
+   model (including the behavioural xDecimate XFU) must produce the
+   same int32 accumulators as the numpy kernels.
+
+Programs compute raw int32 accumulators (requantisation is a separate,
+kernel-independent stage, unit-tested on its own); outputs are stored
+as interleaved words that :mod:`repro.kernels.micro_runner` decodes.
+
+Weight/offset layout helpers (`pack_*`) pad each channel's non-zeros to
+the kernel's consumption granularity; padded entries carry value 0, so
+the extra decimated loads multiply by zero and do not affect results
+(the im2col buffers are over-allocated to keep those loads in bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.isa import Asm, Program
+from repro.sparsity.nm import NMFormat, NMSparseMatrix
+from repro.utils.bitpack import pack_bits
+
+__all__ = [
+    "INNER_BODY_LENGTH",
+    "requant_program",
+    "conv_pair_dense_1x2",
+    "conv_pair_dense_4x2",
+    "conv_pair_sparse_sw",
+    "conv_pair_sparse_isa",
+    "fc_dense_program",
+    "fc_sparse_sw_program",
+    "fc_sparse_isa_program",
+    "pad_unit",
+    "pack_sparse_rows_sw",
+    "pack_sparse_rows_isa_conv",
+    "pack_sparse_rows_isa_fc",
+    "buffer_slack_bytes",
+]
+
+# -- register map (shared across all kernels) ---------------------------
+Z = 0
+PW0, PW1, PW2, PW3 = 1, 2, 3, 4
+WBASE = 5
+POFF = 6
+POUT = 7
+PB1, PB2 = 8, 9
+B1CUR, B2CUR = 10, 11
+BBASE = 10  # FC kernels reuse B1CUR as the single-buffer base
+VA0, VA1, VA2, VA3 = 12, 13, 14, 15
+VA = VA0
+VB1, VB2 = 16, 17
+ACC = list(range(18, 26))  # up to 8 accumulators (4x2 kernel)
+ACC1, ACC2 = ACC[0], ACC[1]
+SHIFT = 26
+T0, T1, T2, T3 = 27, 28, 29, 30
+TOFF = 31
+TMP = 25  # scratch for the 1:4 crumb-group shift
+
+#: Paper inner-loop instruction counts (Sec. 4.1 / 4.2).
+INNER_BODY_LENGTH = {
+    ("conv", "dense-4x2"): 14,
+    ("conv", "dense-1x2"): 5,
+    ("conv", "sparse-sw", 4): 23,
+    ("conv", "sparse-sw", 8): 22,
+    ("conv", "sparse-sw", 16): 22,
+    ("conv", "sparse-isa", 4): 11,  # + shared offsets-word load -> 11.5/iter
+    ("conv", "sparse-isa", 8): 12,
+    ("conv", "sparse-isa", 16): 12,
+    ("fc", "dense"): 5,
+    ("fc", "sparse-sw", 4): 17,  # crumb unpack needs the srl/addi pair
+    ("fc", "sparse-sw", 8): 16,
+    ("fc", "sparse-sw", 16): 16,
+    ("fc", "sparse-isa", 4): 12,  # + shared offsets-word load -> 12.5/iter
+    ("fc", "sparse-isa", 8): 13,
+    ("fc", "sparse-isa", 16): 13,
+}
+
+
+def _ins_imm(lane: int, disp: int) -> int:
+    """Encode the ``lbu_ins`` immediate: byte lane + address displacement."""
+    return (disp << 2) | lane
+
+
+# ======================================================================
+# Layout helpers
+# ======================================================================
+
+
+def pad_unit(fmt: NMFormat, engine: str, kind: str) -> int:
+    """Non-zeros-per-channel padding granularity for a kernel family.
+
+    The unit is the number of stored values one fully-unrolled inner
+    step consumes: 4 for nibble-based kernels, 16 for the SW 1:4 conv
+    kernel (one 32-bit OFFSETS word = 16 crumbs), 8 for the ISA 1:4
+    kernels (one word = 16 duplicated crumbs = 8 pairs).
+    """
+    if engine == "sw":
+        return 16 if fmt.m == 4 else 4
+    if engine == "isa":
+        return 8 if fmt.m == 4 else 4
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def _padded(mat: NMSparseMatrix, unit: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """Pad values/offsets rows to a multiple of ``unit`` (zeros)."""
+    k, nnz = mat.values.shape
+    nnz_pad = ((nnz + unit - 1) // unit) * unit
+    values = np.zeros((k, nnz_pad), dtype=np.int8)
+    offsets = np.zeros((k, nnz_pad), dtype=np.uint8)
+    values[:, :nnz] = mat.values
+    offsets[:, :nnz] = mat.offsets
+    return values, offsets, nnz_pad
+
+
+def pack_sparse_rows_sw(
+    mat: NMSparseMatrix,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """SW layout: padded values + row-major packed offsets.
+
+    Returns ``(values_bytes, offsets_bytes, nnz_pad)`` where values are
+    flattened ``K * nnz_pad`` int8 and offsets are packed at
+    ``fmt.offset_bits`` per entry, each row padded independently so a
+    channel's offsets start byte-aligned.
+    """
+    values, offsets, nnz_pad = _padded(mat, pad_unit(mat.fmt, "sw", "any"))
+    packed = np.concatenate(
+        [pack_bits(row, mat.fmt.offset_bits) for row in offsets]
+    )
+    return values.reshape(-1), packed, nnz_pad
+
+
+def pack_sparse_rows_isa_conv(
+    mat: NMSparseMatrix,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """ISA conv layout: offsets duplicated entry-by-entry (Sec. 4.1.3)."""
+    values, offsets, nnz_pad = _padded(mat, pad_unit(mat.fmt, "isa", "conv"))
+    dup = np.repeat(offsets, 2, axis=1)
+    packed = np.concatenate([pack_bits(row, mat.fmt.offset_bits) for row in dup])
+    return values.reshape(-1), packed, nnz_pad
+
+
+def pack_sparse_rows_isa_fc(
+    mat: NMSparseMatrix,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """ISA FC layout: channel-pair interleaved offsets (Sec. 4.2.3).
+
+    Rows 2p and 2p+1 are merged into one offsets stream
+    ``o0_ch2p, o0_ch2p+1, o1_ch2p, o1_ch2p+1, ...``.
+    """
+    if mat.rows % 2:
+        raise ValueError("ISA FC layout needs an even channel count")
+    values, offsets, nnz_pad = _padded(mat, pad_unit(mat.fmt, "isa", "fc"))
+    pairs = offsets.reshape(mat.rows // 2, 2, nnz_pad)
+    inter = pairs.transpose(0, 2, 1).reshape(mat.rows // 2, 2 * nnz_pad)
+    packed = np.concatenate(
+        [pack_bits(row, mat.fmt.offset_bits) for row in inter]
+    )
+    return values.reshape(-1), packed, nnz_pad
+
+
+def buffer_slack_bytes(fmt: NMFormat, engine: str) -> int:
+    """Extra zeroed bytes required past each activation buffer.
+
+    Padded (value = 0) entries decimate blocks beyond the real reduce
+    dimension; the buffer must own that address range so the loads stay
+    in bounds.  The worst case is one full padding unit of blocks.
+    """
+    return pad_unit(fmt, engine, "any") * fmt.m
+
+
+# ======================================================================
+# Requantisation stage (shared by all kernels)
+# ======================================================================
+
+
+def requant_program(
+    n: int,
+    in_addr: int,
+    out_addr: int,
+    multiplier: int,
+    shift: int,
+    zero_point: int = 0,
+) -> Program:
+    """PULP-NN-style output quantisation: int32 -> int8.
+
+    Per output: ``clip(((acc * mult + round) >> shift) + zp)`` — load,
+    multiply, round-add, arithmetic shift, zero-point add, two clip
+    branches, store.  The ~8-instruction straight-line cost per output
+    is what the cost model's ``requant_per_output`` parameter encodes.
+    """
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    a = Asm()
+    a.li(PW0, in_addr)
+    a.li(POUT, out_addr)
+    a.li(T1, multiplier)
+    a.li(T2, 127)
+    a.li(T3, -128 & 0xFFFFFFFF)
+    a.lp_setup(n, "end")
+    a.lw(VA, PW0, post=4)
+    a.mul(T0, VA, T1)
+    if shift > 0:
+        a.addi(T0, T0, 1 << (shift - 1))
+        a.srai(T0, T0, shift)
+    else:
+        a.addi(T0, T0, 0)
+        a.srai(T0, T0, 0)
+    a.addi(T0, T0, zero_point)
+    a.blt(T0, T2, "no_hi")
+    a.mv(T0, T2)
+    a.label("no_hi")
+    a.bge(T0, T3, "no_lo")
+    a.mv(T0, T3)
+    a.label("no_lo")
+    a.sb(T0, POUT, post=1)
+    a.label("end")
+    a.halt()
+    return a.build()
+
+
+# ======================================================================
+# Convolution kernels (one output pair, all K channels)
+# ======================================================================
+
+
+def conv_pair_dense_1x2(
+    k: int, r: int, w_addr: int, b1_addr: int, b2_addr: int, out_addr: int
+) -> Program:
+    """Dense 1x2 conv kernel for one output pair (Fig. 4, left).
+
+    Inner body: ``lw vA | lw vB1 | lw vB2 | sdotp | sdotp`` — 5
+    instructions, 8 MACs.  Stores int32 ``acc1, acc2`` per channel.
+    """
+    if r % 4:
+        raise ValueError(f"reduce dim {r} must be a multiple of 4")
+    a = Asm()
+    a.li(PW0, w_addr)
+    a.li(POUT, out_addr)
+    a.lp_setup(k, "k_end")
+    a.li(ACC1, 0)
+    a.li(ACC2, 0)
+    a.li(PB1, b1_addr)
+    a.li(PB2, b2_addr)
+    a.lp_setup(r // 4, "inner_end")
+    a.lw(VA, PW0, post=4)
+    a.lw(VB1, PB1, post=4)
+    a.lw(VB2, PB2, post=4)
+    a.sdotp(ACC1, VA, VB1)
+    a.sdotp(ACC2, VA, VB2)
+    a.label("inner_end")
+    a.sw(ACC1, POUT, post=4)
+    a.sw(ACC2, POUT, post=4)
+    a.label("k_end")
+    a.halt()
+    return a.build()
+
+
+def conv_pair_dense_4x2(
+    k: int, r: int, w_addr: int, b1_addr: int, b2_addr: int, out_addr: int
+) -> Program:
+    """PULP-NN dense 4x2 conv kernel for one output pair (Fig. 2).
+
+    Inner body: 4 weight loads + 2 activation loads + 8 SIMD dot
+    products — 14 instructions, 32 MACs.  K must be a multiple of 4.
+    Stores, per channel group, int32 ``acc(k+i, pos_j)`` in
+    ``(i, j)``-major order.
+    """
+    if r % 4:
+        raise ValueError(f"reduce dim {r} must be a multiple of 4")
+    if k % 4:
+        raise ValueError(f"output channels {k} must be a multiple of 4")
+    a = Asm()
+    a.li(WBASE, w_addr)
+    a.li(POUT, out_addr)
+    a.lp_setup(k // 4, "g_end")
+    a.mv(PW0, WBASE)
+    a.addi(PW1, WBASE, r)
+    a.addi(PW2, WBASE, 2 * r)
+    a.addi(PW3, WBASE, 3 * r)
+    a.addi(WBASE, WBASE, 4 * r)
+    for acc in ACC:
+        a.li(acc, 0)
+    a.li(PB1, b1_addr)
+    a.li(PB2, b2_addr)
+    a.lp_setup(r // 4, "inner_end")
+    a.lw(VA0, PW0, post=4)
+    a.lw(VA1, PW1, post=4)
+    a.lw(VA2, PW2, post=4)
+    a.lw(VA3, PW3, post=4)
+    a.lw(VB1, PB1, post=4)
+    a.lw(VB2, PB2, post=4)
+    for i, va in enumerate((VA0, VA1, VA2, VA3)):
+        a.sdotp(ACC[2 * i], va, VB1)
+        a.sdotp(ACC[2 * i + 1], va, VB2)
+    a.label("inner_end")
+    for acc in ACC:
+        a.sw(acc, POUT, post=4)
+    a.label("g_end")
+    a.halt()
+    return a.build()
+
+
+def _sw_unpack_and_load(a: Asm, m: int, fc: bool) -> None:
+    """Shared nibble unpack + decimated-load sequence of the SW kernels.
+
+    Emits, for j in 0..3: ``srli tj | andi tj | lbu_ins vB1 [| lbu_ins
+    vB2]`` with the block displacement ``j*M`` folded into the load.
+    The schedule interleaves unpack and loads so no load-use pair is
+    adjacent (the measured stall count on the core model is 0).
+    """
+    for j, t in enumerate((T0, T1, T2, T3)):
+        a.srli(t, TOFF, 4 * j)
+        a.andi(t, t, 0xF)
+        a.lbu_ins(VB1, B1CUR, t, _ins_imm(j, j * m))
+        if not fc:
+            a.lbu_ins(VB2, B2CUR, t, _ins_imm(j, j * m))
+
+
+def conv_pair_sparse_sw(
+    fmt: NMFormat,
+    k: int,
+    nnz_pad: int,
+    w_addr: int,
+    off_addr: int,
+    b1_addr: int,
+    b2_addr: int,
+    out_addr: int,
+) -> Program:
+    """SW-only N:M sparse conv kernel for one output pair (Fig. 4, center).
+
+    Inner body: 22 instructions for 1:8 / 1:16 (1 offsets load, 8 index
+    unpack, 8 decimated loads, 2 address updates, 1 weight load, 2 SIMD
+    dot products), 23 for 1:4 (amortised offsets word load outside, two
+    extra unpack steps inside).  8 MACs per iteration.
+    """
+    m = fmt.m
+    unit = pad_unit(fmt, "sw", "conv")
+    if nnz_pad % unit:
+        raise ValueError(f"nnz_pad {nnz_pad} not a multiple of {unit}")
+    a = Asm()
+    a.li(PW0, w_addr)
+    a.li(POFF, off_addr)
+    a.li(POUT, out_addr)
+    a.lp_setup(k, "k_end")
+    a.li(ACC1, 0)
+    a.li(ACC2, 0)
+    a.li(B1CUR, b1_addr)
+    a.li(B2CUR, b2_addr)
+    if m in (8, 16):
+        a.lp_setup(nnz_pad // 4, "inner_end")
+        a.lhu(TOFF, POFF, post=2)
+        a.lw(VA, PW0, post=4)  # scheduled early: breaks the lhu load-use pair
+        _sw_unpack_and_load(a, m, fc=False)
+        a.addi(B1CUR, B1CUR, 4 * m)
+        a.addi(B2CUR, B2CUR, 4 * m)
+        a.sdotp(ACC1, VA, VB1)
+        a.sdotp(ACC2, VA, VB2)
+        a.label("inner_end")
+    else:  # m == 4: one OFFSETS word feeds four unrolled iterations
+        a.lp_setup(nnz_pad // 16, "group_end")
+        a.lw(TOFF, POFF, post=4)
+        a.li(SHIFT, 0)
+        for _ in range(4):
+            a.srl(TMP, TOFF, SHIFT)
+            a.addi(SHIFT, SHIFT, 8)
+            a.lw(VA, PW0, post=4)
+            for j, t in enumerate((T0, T1, T2, T3)):
+                a.srli(t, TMP, 2 * j)
+                a.andi(t, t, 0x3)
+                a.lbu_ins(VB1, B1CUR, t, _ins_imm(j, j * m))
+                a.lbu_ins(VB2, B2CUR, t, _ins_imm(j, j * m))
+            a.addi(B1CUR, B1CUR, 4 * m)
+            a.addi(B2CUR, B2CUR, 4 * m)
+            a.sdotp(ACC1, VA, VB1)
+            a.sdotp(ACC2, VA, VB2)
+        a.label("group_end")
+    a.sw(ACC1, POUT, post=4)
+    a.sw(ACC2, POUT, post=4)
+    a.label("k_end")
+    a.halt()
+    return a.build()
+
+
+def conv_pair_sparse_isa(
+    fmt: NMFormat,
+    k: int,
+    nnz_pad: int,
+    w_addr: int,
+    off_addr: int,
+    b1_addr: int,
+    b2_addr: int,
+    out_addr: int,
+) -> Program:
+    """ISA-extended N:M sparse conv kernel (Fig. 4, right).
+
+    Inner body: 12 instructions (1 offsets word, 1 weight word, 8
+    xDecimate, 2 SIMD dot products) for 1:8 / 1:16; for 1:4 one offsets
+    word covers two iterations (16 duplicated crumbs), averaging 11.5.
+    The csr is cleared at the end of each output channel.
+    """
+    m = fmt.m
+    unit = pad_unit(fmt, "isa", "conv")
+    if nnz_pad % unit:
+        raise ValueError(f"nnz_pad {nnz_pad} not a multiple of {unit}")
+    a = Asm()
+    a.li(PW0, w_addr)
+    a.li(POFF, off_addr)
+    a.li(POUT, out_addr)
+    a.li(PB1, b1_addr)
+    a.li(PB2, b2_addr)
+    a.lp_setup(k, "k_end")
+    a.li(ACC1, 0)
+    a.li(ACC2, 0)
+
+    def iteration() -> None:
+        a.lw(VA, PW0, post=4)
+        for _ in range(4):
+            a.xdec(VB1, PB1, TOFF, m)
+            a.xdec(VB2, PB2, TOFF, m)
+        a.sdotp(ACC1, VA, VB1)
+        a.sdotp(ACC2, VA, VB2)
+
+    if m in (8, 16):
+        a.lp_setup(nnz_pad // 4, "inner_end")
+        a.lw(TOFF, POFF, post=4)
+        iteration()
+        a.label("inner_end")
+    else:  # m == 4: one word of 16 duplicated crumbs feeds two iterations
+        a.lp_setup(nnz_pad // 8, "group_end")
+        a.lw(TOFF, POFF, post=4)
+        iteration()
+        iteration()
+        a.label("group_end")
+    a.xdec_clear()
+    a.sw(ACC1, POUT, post=4)
+    a.sw(ACC2, POUT, post=4)
+    a.label("k_end")
+    a.halt()
+    return a.build()
+
+
+# ======================================================================
+# Fully-connected kernels (single input vector, all K channels)
+# ======================================================================
+
+
+def fc_dense_program(
+    k: int, c: int, w_addr: int, b_addr: int, out_addr: int
+) -> Program:
+    """Dense FC kernel, 2-channel unrolling (Fig. 5, left).
+
+    Inner body: ``lw vB | lw vA1 | lw vA2 | sdotp | sdotp`` — 5
+    instructions, 8 MACs.  K must be even, C a multiple of 4.
+    """
+    if c % 4:
+        raise ValueError(f"input size {c} must be a multiple of 4")
+    if k % 2:
+        raise ValueError(f"output size {k} must be even")
+    a = Asm()
+    a.li(WBASE, w_addr)
+    a.li(POUT, out_addr)
+    a.lp_setup(k // 2, "pair_end")
+    a.mv(PW0, WBASE)
+    a.addi(PW1, WBASE, c)
+    a.addi(WBASE, WBASE, 2 * c)
+    a.li(ACC1, 0)
+    a.li(ACC2, 0)
+    a.li(PB1, b_addr)
+    a.lp_setup(c // 4, "inner_end")
+    a.lw(VB1, PB1, post=4)
+    a.lw(VA0, PW0, post=4)
+    a.lw(VA1, PW1, post=4)
+    a.sdotp(ACC1, VA0, VB1)
+    a.sdotp(ACC2, VA1, VB1)
+    a.label("inner_end")
+    a.sw(ACC1, POUT, post=4)
+    a.sw(ACC2, POUT, post=4)
+    a.label("pair_end")
+    a.halt()
+    return a.build()
+
+
+def fc_sparse_sw_program(
+    fmt: NMFormat,
+    k: int,
+    nnz_pad: int,
+    w_addr: int,
+    off_addr: int,
+    b_addr: int,
+    out_addr: int,
+) -> Program:
+    """SW-only N:M sparse FC kernel (Fig. 5, center).
+
+    Inner body: 16 instructions, 4 MACs (one output channel per
+    iteration — no unrolling, since channels share no input positions).
+    Only 1:8 and 1:16 use the nibble path; 1:4 reuses the conv-style
+    crumb group structure with a single destination buffer.
+    """
+    m = fmt.m
+    unit = pad_unit(fmt, "sw", "fc")
+    if nnz_pad % unit:
+        raise ValueError(f"nnz_pad {nnz_pad} not a multiple of {unit}")
+    a = Asm()
+    a.li(PW0, w_addr)
+    a.li(POFF, off_addr)
+    a.li(POUT, out_addr)
+    a.lp_setup(k, "k_end")
+    a.li(ACC1, 0)
+    a.li(B1CUR, b_addr)
+    if m in (8, 16):
+        a.lp_setup(nnz_pad // 4, "inner_end")
+        a.lhu(TOFF, POFF, post=2)
+        a.lw(VA, PW0, post=4)
+        _sw_unpack_and_load(a, m, fc=True)
+        a.addi(B1CUR, B1CUR, 4 * m)
+        a.sdotp(ACC1, VA, VB1)
+        a.label("inner_end")
+    else:
+        a.lp_setup(nnz_pad // 16, "group_end")
+        a.lw(TOFF, POFF, post=4)
+        a.li(SHIFT, 0)
+        for _ in range(4):
+            a.srl(TMP, TOFF, SHIFT)
+            a.addi(SHIFT, SHIFT, 8)
+            a.lw(VA, PW0, post=4)
+            for j, t in enumerate((T0, T1, T2, T3)):
+                a.srli(t, TMP, 2 * j)
+                a.andi(t, t, 0x3)
+                a.lbu_ins(VB1, B1CUR, t, _ins_imm(j, j * m))
+            a.addi(B1CUR, B1CUR, 4 * m)
+            a.sdotp(ACC1, VA, VB1)
+        a.label("group_end")
+    a.sw(ACC1, POUT, post=4)
+    a.label("k_end")
+    a.halt()
+    return a.build()
+
+
+def fc_sparse_isa_program(
+    fmt: NMFormat,
+    k: int,
+    nnz_pad: int,
+    w_addr: int,
+    off_addr: int,
+    b_addr: int,
+    out_addr: int,
+) -> Program:
+    """ISA-extended N:M sparse FC kernel (Fig. 5, right / Fig. 6).
+
+    Two output channels per iteration via the channel-interleaved
+    OFFSETS stream; 13 instructions, 8 MACs for 1:8 / 1:16.  The same
+    xDecimate flavour as convolutions is used — alternate executions
+    fill vB1 (even channel) and vB2 (odd channel) from a single buffer.
+    """
+    m = fmt.m
+    unit = pad_unit(fmt, "isa", "fc")
+    if nnz_pad % unit:
+        raise ValueError(f"nnz_pad {nnz_pad} not a multiple of {unit}")
+    if k % 2:
+        raise ValueError(f"output size {k} must be even")
+    a = Asm()
+    a.li(WBASE, w_addr)
+    a.li(POFF, off_addr)
+    a.li(POUT, out_addr)
+    a.li(PB1, b_addr)
+    a.lp_setup(k // 2, "pair_end")
+    a.mv(PW0, WBASE)
+    a.addi(PW1, WBASE, nnz_pad)
+    a.addi(WBASE, WBASE, 2 * nnz_pad)
+    a.li(ACC1, 0)
+    a.li(ACC2, 0)
+
+    def iteration() -> None:
+        a.lw(VA0, PW0, post=4)
+        a.lw(VA1, PW1, post=4)
+        for _ in range(4):
+            a.xdec(VB1, PB1, TOFF, m)
+            a.xdec(VB2, PB1, TOFF, m)
+        a.sdotp(ACC1, VA0, VB1)
+        a.sdotp(ACC2, VA1, VB2)
+
+    if m in (8, 16):
+        a.lp_setup(nnz_pad // 4, "inner_end")
+        a.lw(TOFF, POFF, post=4)
+        iteration()
+        a.label("inner_end")
+    else:
+        a.lp_setup(nnz_pad // 8, "group_end")
+        a.lw(TOFF, POFF, post=4)
+        iteration()
+        iteration()
+        a.label("group_end")
+    a.xdec_clear()
+    a.sw(ACC1, POUT, post=4)
+    a.sw(ACC2, POUT, post=4)
+    a.label("pair_end")
+    a.halt()
+    return a.build()

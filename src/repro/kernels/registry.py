@@ -1,0 +1,100 @@
+"""Kernel variant registry.
+
+Maps variant names to their functional entry points, latency models and
+weight layouts, giving the compiler (:mod:`repro.compiler.codegen`) and
+the benchmark harness one place to enumerate what the library offers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.cost_model import (
+    CostParams,
+    CycleBreakdown,
+    DEFAULT_PARAMS,
+    conv_layer_cycles,
+    fc_layer_cycles,
+)
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import NMFormat, SUPPORTED_FORMATS
+
+__all__ = ["KernelVariant", "KERNEL_VARIANTS", "variant_for"]
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """One deployable kernel configuration.
+
+    Attributes
+    ----------
+    kind:
+        "conv" or "fc".
+    engine:
+        "dense-4x2", "dense-1x2", "dense", "sparse-sw" or "sparse-isa".
+    fmt:
+        The N:M format for sparse engines, None for dense ones.
+    """
+
+    kind: str
+    engine: str
+    fmt: NMFormat | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``"conv/sparse-sw/1:8"``."""
+        suffix = f"/{self.fmt.name}" if self.fmt else ""
+        return f"{self.kind}/{self.engine}{suffix}"
+
+    @property
+    def is_sparse(self) -> bool:
+        return self.fmt is not None
+
+    @property
+    def needs_isa_extension(self) -> bool:
+        """True when deployment requires the xDecimate XFU."""
+        return self.engine == "sparse-isa"
+
+    def cycles(
+        self,
+        shape: ConvShape | FcShape,
+        params: CostParams = DEFAULT_PARAMS,
+    ) -> CycleBreakdown:
+        """Latency of ``shape`` under this variant."""
+        if self.kind == "conv":
+            if not isinstance(shape, ConvShape):
+                raise TypeError(f"{self.name} expects a ConvShape")
+            return conv_layer_cycles(shape, self.engine, self.fmt, params)
+        if not isinstance(shape, FcShape):
+            raise TypeError(f"{self.name} expects an FcShape")
+        return fc_layer_cycles(shape, self.engine, self.fmt, params)
+
+
+def _build_registry() -> dict[str, KernelVariant]:
+    variants: list[KernelVariant] = [
+        KernelVariant("conv", "dense-4x2"),
+        KernelVariant("conv", "dense-1x2"),
+        KernelVariant("fc", "dense"),
+    ]
+    for fmt in SUPPORTED_FORMATS.values():
+        for engine in ("sparse-sw", "sparse-isa"):
+            variants.append(KernelVariant("conv", engine, fmt))
+            variants.append(KernelVariant("fc", engine, fmt))
+    return {v.name: v for v in variants}
+
+
+#: All kernel variants the library ships, keyed by display name.
+KERNEL_VARIANTS: dict[str, KernelVariant] = _build_registry()
+
+
+def variant_for(
+    kind: str, engine: str, fmt: NMFormat | None = None
+) -> KernelVariant:
+    """Look up a variant; raises KeyError with the known names on miss."""
+    suffix = f"/{fmt.name}" if fmt else ""
+    name = f"{kind}/{engine}{suffix}"
+    try:
+        return KERNEL_VARIANTS[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNEL_VARIANTS))
+        raise KeyError(f"unknown kernel variant {name!r}; known: {known}") from None

@@ -1,0 +1,86 @@
+"""Per-layer output requantisation (PULP-NN's quantisation stage).
+
+Every kernel accumulates in int32 and maps back to int8 through
+``clip(round((acc + bias) * multiplier >> shift) + zero_point)``.
+Symmetric per-tensor quantisation (zero_point = 0) is used throughout,
+matching the Brevitas int8 configuration of the paper's models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.fixedpoint import requantize_int32
+
+__all__ = ["QuantParams", "requantize"]
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Requantisation parameters of one layer.
+
+    Attributes
+    ----------
+    multiplier:
+        Positive integer scale.
+    shift:
+        Arithmetic right shift (round-half-up).
+    zero_point:
+        Output zero point (0 for symmetric quantisation).
+    signed:
+        int8 output when True, uint8 when False.
+    """
+
+    multiplier: int = 1
+    shift: int = 0
+    zero_point: int = 0
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.multiplier <= 0:
+            raise ValueError(f"multiplier must be positive, got {self.multiplier}")
+        if self.shift < 0 or self.shift > 31:
+            raise ValueError(f"shift out of range: {self.shift}")
+
+    @classmethod
+    def from_scale(cls, scale: float, bits: int = 16) -> "QuantParams":
+        """Fixed-point approximation of a real rescale factor.
+
+        Finds ``multiplier / 2**shift ~= scale`` with a ``bits``-wide
+        multiplier, the standard integer-only inference recipe.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        shift = 0
+        while scale * (1 << (shift + 1)) < (1 << (bits - 1)) and shift < 31:
+            shift += 1
+        multiplier = max(1, int(round(scale * (1 << shift))))
+        return cls(multiplier=multiplier, shift=shift)
+
+    @property
+    def scale(self) -> float:
+        """The real rescale factor this parameter pair approximates."""
+        return self.multiplier / (1 << self.shift)
+
+
+def requantize(
+    acc: np.ndarray,
+    params: QuantParams,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply bias addition and requantisation to int32 accumulators.
+
+    ``bias`` broadcasts along the last (channel) axis when provided.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    if bias is not None:
+        acc = acc + np.asarray(bias, dtype=np.int64)
+    return requantize_int32(
+        acc,
+        params.multiplier,
+        params.shift,
+        params.zero_point,
+        params.signed,
+    )

@@ -1,0 +1,123 @@
+"""Layer geometry descriptors (paper Table 1 notation).
+
+========  =============================================
+symbol    meaning
+========  =============================================
+IX / IY   input width / height
+C         input channels
+OX / OY   output width / height
+K         output channels
+FX / FY   filter width / height
+S / P     stride / padding
+========  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConvShape", "FcShape"]
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """Geometry of a 2-D convolution layer."""
+
+    iy: int
+    ix: int
+    c: int
+    k: int
+    fy: int = 3
+    fx: int = 3
+    s: int = 1
+    p: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.iy, self.ix, self.c, self.k, self.fy, self.fx, self.s) < 1:
+            raise ValueError(f"non-positive dimension in {self}")
+        if self.p < 0:
+            raise ValueError(f"negative padding in {self}")
+        if (self.iy + 2 * self.p) < self.fy or (self.ix + 2 * self.p) < self.fx:
+            raise ValueError(f"filter larger than padded input in {self}")
+
+    @property
+    def oy(self) -> int:
+        """Output height."""
+        return (self.iy + 2 * self.p - self.fy) // self.s + 1
+
+    @property
+    def ox(self) -> int:
+        """Output width."""
+        return (self.ix + 2 * self.p - self.fx) // self.s + 1
+
+    @property
+    def reduce_dim(self) -> int:
+        """Length of the flattened reduce axis (FY*FX*C); the im2col
+        buffer length and the dense weight-matrix column count."""
+        return self.fy * self.fx * self.c
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply-accumulates for the full layer."""
+        return self.oy * self.ox * self.k * self.reduce_dim
+
+    @property
+    def n_outputs(self) -> int:
+        """Total output elements."""
+        return self.oy * self.ox * self.k
+
+    def weight_bytes_dense(self) -> int:
+        """Dense int8 weight storage."""
+        return self.k * self.reduce_dim
+
+    def input_bytes(self) -> int:
+        """Input activation storage (int8 HWC)."""
+        return self.iy * self.ix * self.c
+
+    def output_bytes(self) -> int:
+        """Output activation storage (int8 HWC)."""
+        return self.oy * self.ox * self.k
+
+
+@dataclass(frozen=True)
+class FcShape:
+    """Geometry of a fully-connected layer (optionally token-batched).
+
+    ``tokens > 1`` models transformer feed-forward layers where the
+    same weights apply to every token of the sequence.
+    """
+
+    c: int
+    k: int
+    tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.c, self.k, self.tokens) < 1:
+            raise ValueError(f"non-positive dimension in {self}")
+
+    @property
+    def reduce_dim(self) -> int:
+        """Length of the reduce axis (C)."""
+        return self.c
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply-accumulates for the full layer."""
+        return self.tokens * self.k * self.c
+
+    @property
+    def n_outputs(self) -> int:
+        """Total output elements."""
+        return self.tokens * self.k
+
+    def weight_bytes_dense(self) -> int:
+        """Dense int8 weight storage."""
+        return self.k * self.c
+
+    def input_bytes(self) -> int:
+        """Input activation storage."""
+        return self.tokens * self.c
+
+    def output_bytes(self) -> int:
+        """Output activation storage."""
+        return self.tokens * self.k

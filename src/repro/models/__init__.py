@@ -1,0 +1,21 @@
+"""Benchmark model zoo (paper Sec. 5.1).
+
+- :mod:`repro.models.resnet` — ResNet18 for 32x32 CIFAR-style inputs,
+  with N:M pruning applied to the 3x3 convolutions (pointwise
+  downsample convs stay dense, as in the paper).
+- :mod:`repro.models.vit` — ViT-Small for 224x224 inputs, with N:M
+  pruning applied to the feed-forward FC layers only.
+- :mod:`repro.models.quantize` — post-training int8 quantisation
+  (symmetric per-tensor, the Brevitas-substitute).
+
+Weights are randomly initialised (seeded): the latency and memory
+numbers depend only on shapes and sparsity patterns, which is what the
+deployment experiments measure.  Accuracy trends are reproduced at
+small scale by :mod:`repro.train`.
+"""
+
+from repro.models.resnet import resnet18_cifar
+from repro.models.vit import vit_small
+from repro.models.quantize import quantize_graph, calibrate_scales
+
+__all__ = ["resnet18_cifar", "vit_small", "quantize_graph", "calibrate_scales"]

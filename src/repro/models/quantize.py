@@ -1,0 +1,75 @@
+"""Post-training int8 quantisation (the Brevitas substitute, Sec. 5.1).
+
+Symmetric per-tensor quantisation: each conv/dense node gets
+
+- ``weights_q``: int8 weights, ``round(w / w_scale)`` — zeros stay
+  exactly zero, so N:M patterns survive quantisation;
+- ``w_scale``: ``max|w| / 127``;
+- ``act_scale``: input activation scale from a float calibration pass.
+
+The int8 executor (:func:`repro.compiler.executor.execute_graph` with
+``mode="int8"``) consumes these to run the same int32-accumulate
+arithmetic as the microcoded kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.executor import execute_graph
+from repro.compiler.ir import Graph
+
+__all__ = ["quantize_graph", "calibrate_scales"]
+
+_QUANTIZABLE = ("conv2d", "dense")
+
+
+def _symmetric_scale(arr: np.ndarray) -> float:
+    peak = float(np.abs(arr).max())
+    return peak / 127.0 if peak > 0 else 1.0
+
+
+def calibrate_scales(graph: Graph, samples: list[np.ndarray]) -> dict[str, float]:
+    """Per-node input-activation scales from a float calibration run.
+
+    Records, for every quantisable node, the max |input| observed over
+    the calibration samples, mapped to an int8 scale.
+    """
+    if not samples:
+        raise ValueError("calibration needs at least one sample")
+    peaks: dict[str, float] = {}
+    for x in samples:
+        _, acts = execute_graph(graph, x, mode="float", return_acts=True)
+        for node in graph:
+            if node.op not in _QUANTIZABLE:
+                continue
+            src = acts[node.inputs[0]]
+            peaks[node.name] = max(
+                peaks.get(node.name, 0.0), float(np.abs(src).max())
+            )
+    return {
+        name: (peak / 127.0 if peak > 0 else 1.0)
+        for name, peak in peaks.items()
+    }
+
+
+def quantize_graph(graph: Graph, samples: list[np.ndarray]) -> Graph:
+    """Attach int8 quantisation metadata to every conv/dense node.
+
+    Modifies the graph in place and returns it.  Pruned (zero) weights
+    quantise to exact zeros, preserving N:M patterns — asserted here as
+    a safety net.
+    """
+    act_scales = calibrate_scales(graph, samples)
+    for node in graph:
+        if node.op not in _QUANTIZABLE:
+            continue
+        w = np.asarray(node.attrs["weights"], dtype=np.float64)
+        w_scale = _symmetric_scale(w)
+        wq = np.clip(np.rint(w / w_scale), -127, 127).astype(np.int8)
+        if not ((w == 0) <= (wq == 0)).all():  # pragma: no cover
+            raise AssertionError("quantisation broke the sparsity pattern")
+        node.attrs["weights_q"] = wq
+        node.attrs["w_scale"] = w_scale
+        node.attrs["act_scale"] = act_scales[node.name]
+    return graph

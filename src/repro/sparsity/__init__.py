@@ -1,0 +1,53 @@
+"""Sparse tensor formats and N:M pruning.
+
+This package implements the data-structure side of the paper:
+
+- :mod:`repro.sparsity.nm` — the N:M packed format of Fig. 1 (values +
+  sub-byte relative offsets), including the ISA-kernel layouts with
+  duplicated (conv) and channel-interleaved (FC) offsets.
+- :mod:`repro.sparsity.coo` / :mod:`repro.sparsity.csr` — the classic
+  coordinate formats the paper compares against in Sec. 2.1.
+- :mod:`repro.sparsity.pruning` — magnitude-based N:M pruning used to
+  produce compliant weight tensors.
+- :mod:`repro.sparsity.stats` — validation and sparsity statistics.
+"""
+
+from repro.sparsity.nm import (
+    NMFormat,
+    NMSparseMatrix,
+    FORMAT_1_4,
+    FORMAT_1_8,
+    FORMAT_1_16,
+    SUPPORTED_FORMATS,
+)
+from repro.sparsity.coo import COOMatrix
+from repro.sparsity.csr import CSRMatrix
+from repro.sparsity.pruning import (
+    nm_prune_mask,
+    nm_prune,
+    prune_conv_weights,
+    prune_fc_weights,
+)
+from repro.sparsity.stats import (
+    sparsity_ratio,
+    is_nm_sparse,
+    nm_block_histogram,
+)
+
+__all__ = [
+    "NMFormat",
+    "NMSparseMatrix",
+    "FORMAT_1_4",
+    "FORMAT_1_8",
+    "FORMAT_1_16",
+    "SUPPORTED_FORMATS",
+    "COOMatrix",
+    "CSRMatrix",
+    "nm_prune_mask",
+    "nm_prune",
+    "prune_conv_weights",
+    "prune_fc_weights",
+    "sparsity_ratio",
+    "is_nm_sparse",
+    "nm_block_histogram",
+]

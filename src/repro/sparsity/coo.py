@@ -1,0 +1,93 @@
+"""COOrdinate sparse format (paper Sec. 2.1).
+
+Stored as three parallel arrays: non-zero values and their (row, col)
+positions.  Used only for memory-overhead comparison against the N:M
+format; the kernels never consume COO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """A sparse int8 matrix in COO form.
+
+    Attributes
+    ----------
+    values:
+        Non-zero values (int8).
+    row_idx, col_idx:
+        Coordinates of each non-zero.
+    shape:
+        Dense shape ``(rows, cols)``.
+    row_bits, col_bits:
+        Storage width of each coordinate.  The paper's Sec. 2.1
+        discussion uses 16-bit indices; both widths are configurable so
+        the break-even analysis can cover 8/16/24-bit encodings.
+    """
+
+    values: np.ndarray
+    row_idx: np.ndarray
+    col_idx: np.ndarray
+    shape: tuple[int, int]
+    row_bits: int = 16
+    col_bits: int = 16
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, row_bits: int = 16, col_bits: int = 16
+    ) -> "COOMatrix":
+        """Encode a dense int8 matrix."""
+        dense = np.asarray(dense, dtype=np.int8)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D matrix")
+        rows, cols = np.nonzero(dense)
+        if rows.size and (rows.max() >= 1 << row_bits or cols.max() >= 1 << col_bits):
+            raise ValueError("matrix too large for the configured index widths")
+        return cls(
+            values=dense[rows, cols],
+            row_idx=rows.astype(np.int64),
+            col_idx=cols.astype(np.int64),
+            shape=dense.shape,
+            row_bits=row_bits,
+            col_bits=col_bits,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Decode back to dense int8."""
+        dense = np.zeros(self.shape, dtype=np.int8)
+        dense[self.row_idx, self.col_idx] = self.values
+        return dense
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(self.values.size)
+
+    def total_bits(self) -> int:
+        """Storage in bits: 8 per value plus the coordinate widths."""
+        return self.nnz * (8 + self.row_bits + self.col_bits)
+
+    def total_bytes(self) -> float:
+        """Storage in bytes (may be fractional for sub-byte packing)."""
+        return self.total_bits() / 8
+
+    def dense_bytes(self) -> int:
+        """Storage of the equivalent dense int8 matrix."""
+        return self.shape[0] * self.shape[1]
+
+    @staticmethod
+    def break_even_sparsity(row_bits: int = 16, col_bits: int = 16) -> float:
+        """Minimum sparsity at which COO beats dense int8 storage.
+
+        Solves ``(1 - s) * (8 + row_bits + col_bits) = 8``.  With the
+        24 index bits per non-zero discussed in the paper this gives
+        exactly 75%; with two full 16-bit coordinates it is 80%.
+        """
+        return 1.0 - 8.0 / (8 + row_bits + col_bits)

@@ -1,0 +1,289 @@
+"""The N:M packed sparse format (paper Fig. 1, Sec. 2.1 and 4).
+
+A matrix with N:M sparsity has exactly N non-zero entries in every group
+of M consecutive elements along each row.  The paper (and this library)
+uses N=1 with M in {4, 8, 16}.  Storage is two arrays:
+
+- ``values``: the non-zero int8 weights, shape ``(rows, cols // M * N)``;
+- ``offsets``: the relative index of each non-zero inside its M-block,
+  stored in ``ceil(log2 M)`` bits rounded up to a power of two — 2 bits
+  for M=4, 4 bits for M=8 and M=16 — and packed little-endian in bytes.
+
+Two additional layouts feed the ISA-extended kernels (Sec. 4.1.3/4.2.3):
+
+- **duplicated offsets** (conv): every offset appears twice, because the
+  ``xDecimate`` instruction advances its block pointer only every second
+  execution (the inner loop is unrolled over two im2col buffers);
+- **channel-interleaved offsets** (FC): offsets of two consecutive output
+  channels are interleaved ``o0_ch0, o0_ch1, o1_ch0, o1_ch1, ...`` so a
+  single instruction flavour serves both layer types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.bitpack import pack_bits, unpack_bits
+
+__all__ = [
+    "NMFormat",
+    "NMSparseMatrix",
+    "FORMAT_1_4",
+    "FORMAT_1_8",
+    "FORMAT_1_16",
+    "SUPPORTED_FORMATS",
+]
+
+
+@dataclass(frozen=True)
+class NMFormat:
+    """An N:M sparsity pattern descriptor.
+
+    Attributes
+    ----------
+    n:
+        Non-zeros per block (always 1 for the paper's kernels).
+    m:
+        Block size (4, 8 or 16 for the paper's kernels).
+    """
+
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.m < 2 or self.n >= self.m:
+            raise ValueError(f"invalid N:M format {self.n}:{self.m}")
+
+    @property
+    def name(self) -> str:
+        """Human-readable name, e.g. ``"1:8"``."""
+        return f"{self.n}:{self.m}"
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero elements (e.g. 0.9375 for 1:16)."""
+        return 1.0 - self.n / self.m
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero elements."""
+        return self.n / self.m
+
+    @property
+    def offset_bits(self) -> int:
+        """Storage bits per offset: ``ceil(log2 M)`` rounded to 2 or 4.
+
+        The paper rounds index widths up to the nearest power-of-two
+        number of bits so byte-level shift/mask unpacking stays cheap:
+        M=4 -> 2 bits, M=8 and M=16 -> 4 bits.
+        """
+        raw = int(np.ceil(np.log2(self.m)))
+        rounded = 1
+        while rounded < raw:
+            rounded *= 2
+        return rounded
+
+    def bits_per_dense_weight(self, duplicate_offsets: bool = False) -> float:
+        """Storage bits per *dense-equivalent* weight position.
+
+        This is the quantity MATCH's tiling engine reasons about
+        (Sec. 4.4): e.g. 1:4 with duplicated offsets stores 8+4 bits per
+        non-zero over 4 dense positions -> 3 bits/weight.
+        """
+        offset_bits = self.offset_bits * (2 if duplicate_offsets else 1)
+        return self.n * (8 + offset_bits) / self.m
+
+    def weight_memory_reduction(self, duplicate_offsets: bool = False) -> float:
+        """Fractional reduction vs dense int8 storage.
+
+        Reproduces the Sec. 4 numbers: 68.75% / 81.25% / 90.62% for the
+        SW layouts of 1:4 / 1:8 / 1:16, and 62.5% / 75% / 87.5% for the
+        ISA layouts with duplicated offsets.
+        """
+        return 1.0 - self.bits_per_dense_weight(duplicate_offsets) / 8.0
+
+
+FORMAT_1_4 = NMFormat(1, 4)
+FORMAT_1_8 = NMFormat(1, 8)
+FORMAT_1_16 = NMFormat(1, 16)
+
+#: The formats the kernel library supports, keyed by name.
+SUPPORTED_FORMATS: dict[str, NMFormat] = {
+    f.name: f for f in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16)
+}
+
+
+class NMSparseMatrix:
+    """An int8 matrix stored in the N:M packed format.
+
+    Rows correspond to output channels; columns to the flattened reduce
+    dimension (``FY*FX*C`` for conv in im2col order, ``C`` for FC).
+
+    Parameters
+    ----------
+    values:
+        Non-zero values, shape ``(rows, cols // M * N)``, int8.
+    offsets:
+        Unpacked relative offsets in ``[0, M)``, same shape as
+        ``values``, uint8.
+    fmt:
+        The :class:`NMFormat` descriptor.
+    dense_cols:
+        Number of columns of the equivalent dense matrix.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        offsets: np.ndarray,
+        fmt: NMFormat,
+        dense_cols: int,
+    ) -> None:
+        values = np.asarray(values, dtype=np.int8)
+        offsets = np.asarray(offsets, dtype=np.uint8)
+        if values.shape != offsets.shape:
+            raise ValueError(
+                f"values {values.shape} and offsets {offsets.shape} differ"
+            )
+        if dense_cols % fmt.m != 0:
+            raise ValueError(
+                f"dense_cols={dense_cols} not a multiple of M={fmt.m}"
+            )
+        expected = dense_cols // fmt.m * fmt.n
+        if values.ndim != 2 or values.shape[1] != expected:
+            raise ValueError(
+                f"expected values shape (*, {expected}), got {values.shape}"
+            )
+        if offsets.size and offsets.max() >= fmt.m:
+            raise ValueError("offset out of block range")
+        self.values = values
+        self.offsets = offsets
+        self.fmt = fmt
+        self.dense_cols = dense_cols
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, fmt: NMFormat) -> "NMSparseMatrix":
+        """Encode a dense int8 matrix that satisfies the N:M pattern.
+
+        Raises
+        ------
+        ValueError
+            If any M-block holds more than N non-zeros.  Blocks with
+            *fewer* than N non-zeros are allowed (zeros are stored
+            explicitly with offset equal to their position), mirroring
+            what a pruned-then-quantised network can produce.
+        """
+        dense = np.asarray(dense, dtype=np.int8)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D matrix")
+        rows, cols = dense.shape
+        if cols % fmt.m != 0:
+            raise ValueError(f"cols={cols} not a multiple of M={fmt.m}")
+        blocks = dense.reshape(rows, cols // fmt.m, fmt.m)
+        nnz_per_block = (blocks != 0).sum(axis=2)
+        if (nnz_per_block > fmt.n).any():
+            bad = int((nnz_per_block > fmt.n).sum())
+            raise ValueError(
+                f"{bad} blocks violate the {fmt.name} pattern "
+                f"(max nnz/block = {int(nnz_per_block.max())})"
+            )
+        # Select the N stored positions per block: non-zeros first (by
+        # position), then pad with leading zero positions so every block
+        # contributes exactly N entries.
+        order = np.argsort(blocks == 0, axis=2, kind="stable")
+        keep = order[:, :, : fmt.n]
+        keep.sort(axis=2)
+        values = np.take_along_axis(blocks, keep, axis=2)
+        values = values.reshape(rows, -1)
+        offsets = keep.reshape(rows, -1).astype(np.uint8)
+        return cls(values, offsets, fmt, cols)
+
+    def to_dense(self) -> np.ndarray:
+        """Decode back to the dense int8 matrix."""
+        rows = self.values.shape[0]
+        n_blocks = self.dense_cols // self.fmt.m
+        dense = np.zeros((rows, n_blocks, self.fmt.m), dtype=np.int8)
+        vals = self.values.reshape(rows, n_blocks, self.fmt.n)
+        offs = self.offsets.reshape(rows, n_blocks, self.fmt.n).astype(np.int64)
+        np.put_along_axis(dense, offs, vals, axis=2)
+        return dense.reshape(rows, self.dense_cols)
+
+    # -- packed views --------------------------------------------------
+
+    def packed_offsets(self, duplicate: bool = False) -> np.ndarray:
+        """Offsets packed into bytes, row-major; the kernels' OFFSETS array.
+
+        With ``duplicate=True`` every offset is emitted twice, producing
+        the conv ISA layout (Sec. 4.1.3).
+        """
+        offs = self.offsets
+        if duplicate:
+            offs = np.repeat(offs, 2, axis=1)
+        return np.stack(
+            [pack_bits(row, self.fmt.offset_bits) for row in offs], axis=0
+        )
+
+    def packed_offsets_fc_interleaved(self) -> np.ndarray:
+        """The FC ISA layout: offsets of channel pairs interleaved.
+
+        Row ``p`` of the result serves output channels ``2p`` and
+        ``2p+1`` and holds ``o0_ch2p, o0_ch2p+1, o1_ch2p, o1_ch2p+1,
+        ...`` (Fig. 6).  Requires an even number of rows.
+        """
+        rows = self.offsets.shape[0]
+        if rows % 2:
+            raise ValueError("FC interleaving requires an even channel count")
+        pairs = self.offsets.reshape(rows // 2, 2, -1)
+        interleaved = pairs.transpose(0, 2, 1).reshape(rows // 2, -1)
+        return np.stack(
+            [pack_bits(row, self.fmt.offset_bits) for row in interleaved],
+            axis=0,
+        )
+
+    @staticmethod
+    def unpack_offsets(
+        packed_row: np.ndarray, fmt: NMFormat, count: int
+    ) -> np.ndarray:
+        """Unpack one row of a packed OFFSETS array (inverse helper)."""
+        return unpack_bits(packed_row, fmt.offset_bits, count)
+
+    # -- memory accounting ---------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Number of rows (output channels)."""
+        return self.values.shape[0]
+
+    def values_bytes(self) -> int:
+        """Bytes used by the non-zero value array."""
+        return self.values.size
+
+    def offsets_bytes(self, duplicate: bool = False) -> int:
+        """Bytes used by the packed offsets array."""
+        per_row = self.offsets.shape[1] * (2 if duplicate else 1)
+        bits = per_row * self.fmt.offset_bits
+        return self.rows * ((bits + 7) // 8)
+
+    def total_bytes(self, duplicate_offsets: bool = False) -> int:
+        """Total storage (values + packed offsets)."""
+        return self.values_bytes() + self.offsets_bytes(duplicate_offsets)
+
+    def dense_bytes(self) -> int:
+        """Storage of the equivalent dense int8 matrix."""
+        return self.rows * self.dense_cols
+
+    def memory_reduction(self, duplicate_offsets: bool = False) -> float:
+        """Measured reduction vs dense; matches the format's analytical
+        :meth:`NMFormat.weight_memory_reduction` for block-aligned
+        shapes."""
+        return 1.0 - self.total_bytes(duplicate_offsets) / self.dense_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NMSparseMatrix({self.fmt.name}, rows={self.rows}, "
+            f"dense_cols={self.dense_cols})"
+        )

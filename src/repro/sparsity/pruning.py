@@ -1,0 +1,81 @@
+"""Magnitude-based N:M pruning.
+
+The paper executes *already pruned* networks and is explicitly orthogonal
+to the pruning strategy (Sec. 2.1).  This module provides the standard
+magnitude criterion used by Zhou et al. (2021) — keep the N
+largest-magnitude weights in every M-block — which is what the paper's
+benchmark models were trained with (combined training+pruning; the
+training-time counterpart lives in :mod:`repro.train.srste`).
+
+Conv weights are pruned in the same ``(FY, FX, C)`` flattening order the
+im2col buffer uses, so kernel offsets index the buffer directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsity.nm import NMFormat
+
+__all__ = [
+    "nm_prune_mask",
+    "nm_prune",
+    "prune_conv_weights",
+    "prune_fc_weights",
+]
+
+
+def nm_prune_mask(weights: np.ndarray, fmt: NMFormat) -> np.ndarray:
+    """Boolean keep-mask enforcing N:M sparsity along the last axis.
+
+    In every group of M consecutive elements the N largest magnitudes
+    are kept.  Ties break toward the lower index (stable sort), making
+    the mask deterministic.
+
+    Parameters
+    ----------
+    weights:
+        Array whose last axis length is a multiple of ``fmt.m``.
+    fmt:
+        Target :class:`NMFormat`.
+    """
+    weights = np.asarray(weights)
+    if weights.shape[-1] % fmt.m:
+        raise ValueError(
+            f"last axis {weights.shape[-1]} not a multiple of M={fmt.m}"
+        )
+    blocks = weights.reshape(*weights.shape[:-1], -1, fmt.m)
+    # argsort ascending on -|w|: first N entries are the largest magnitudes.
+    order = np.argsort(-np.abs(blocks), axis=-1, kind="stable")
+    mask = np.zeros(blocks.shape, dtype=bool)
+    np.put_along_axis(mask, order[..., : fmt.n], True, axis=-1)
+    return mask.reshape(weights.shape)
+
+
+def nm_prune(weights: np.ndarray, fmt: NMFormat) -> np.ndarray:
+    """Return a copy of ``weights`` with the N:M mask applied."""
+    return np.where(nm_prune_mask(weights, fmt), weights, 0)
+
+
+def prune_conv_weights(weights: np.ndarray, fmt: NMFormat) -> np.ndarray:
+    """Prune conv weights of shape ``(K, FY, FX, C)`` to N:M sparsity.
+
+    Blocks are formed over the flattened ``(FY, FX, C)`` reduce
+    dimension — the order in which the im2col buffer lays out the
+    corresponding activations — so that offsets stored by the N:M
+    encoder address the buffer directly.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise ValueError(f"expected (K, FY, FX, C) weights, got {weights.shape}")
+    k = weights.shape[0]
+    flat = weights.reshape(k, -1)
+    return nm_prune(flat, fmt).reshape(weights.shape)
+
+
+def prune_fc_weights(weights: np.ndarray, fmt: NMFormat) -> np.ndarray:
+    """Prune FC weights of shape ``(K, C)`` to N:M sparsity."""
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ValueError(f"expected (K, C) weights, got {weights.shape}")
+    return nm_prune(weights, fmt)

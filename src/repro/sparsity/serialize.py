@@ -1,0 +1,61 @@
+"""On-disk serialisation of N:M sparse weights.
+
+A deployment artifact format: one ``.npz`` per model holding, per
+layer, the packed values/offsets arrays plus the format metadata needed
+to reconstruct an :class:`NMSparseMatrix` (or hand the blobs straight
+to a C runtime).  Round-trips exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparsity.nm import NMFormat, NMSparseMatrix
+
+__all__ = ["save_nm_weights", "load_nm_weights"]
+
+_MAGIC = "repro-nm-v1"
+
+
+def save_nm_weights(
+    path: str | Path, layers: dict[str, NMSparseMatrix]
+) -> None:
+    """Write a dict of named N:M layers to ``path`` (.npz).
+
+    Stored per layer: int8 values, uint8 offsets, and an int metadata
+    triple ``(n, m, dense_cols)``.
+    """
+    if not layers:
+        raise ValueError("nothing to save")
+    arrays: dict[str, np.ndarray] = {
+        "__magic__": np.array([_MAGIC]),
+        "__names__": np.array(sorted(layers)),
+    }
+    for name, mat in layers.items():
+        if "/" in name:
+            raise ValueError(f"layer name {name!r} may not contain '/'")
+        arrays[f"{name}/values"] = mat.values
+        arrays[f"{name}/offsets"] = mat.offsets
+        arrays[f"{name}/meta"] = np.array(
+            [mat.fmt.n, mat.fmt.m, mat.dense_cols], dtype=np.int64
+        )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_nm_weights(path: str | Path) -> dict[str, NMSparseMatrix]:
+    """Load layers written by :func:`save_nm_weights`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if "__magic__" not in data or data["__magic__"][0] != _MAGIC:
+            raise ValueError(f"{path} is not a repro N:M weight file")
+        out: dict[str, NMSparseMatrix] = {}
+        for name in data["__names__"]:
+            n, m, dense_cols = (int(v) for v in data[f"{name}/meta"])
+            out[str(name)] = NMSparseMatrix(
+                values=data[f"{name}/values"],
+                offsets=data[f"{name}/offsets"],
+                fmt=NMFormat(n, m),
+                dense_cols=dense_cols,
+            )
+        return out

@@ -1,0 +1,45 @@
+"""Sparsity validation and statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsity.nm import NMFormat
+
+__all__ = ["sparsity_ratio", "is_nm_sparse", "nm_block_histogram"]
+
+
+def sparsity_ratio(weights: np.ndarray) -> float:
+    """Fraction of exactly-zero elements."""
+    weights = np.asarray(weights)
+    if weights.size == 0:
+        return 0.0
+    return float((weights == 0).mean())
+
+
+def is_nm_sparse(weights: np.ndarray, fmt: NMFormat) -> bool:
+    """True when every M-block along the last axis has <= N non-zeros.
+
+    This is the predicate the compiler's pattern matcher uses to decide
+    whether a layer can be lowered to a sparse kernel (Sec. 4.4 item 1).
+    Blocks with *fewer* than N non-zeros still satisfy the pattern.
+    """
+    weights = np.asarray(weights)
+    if weights.shape[-1] % fmt.m:
+        return False
+    blocks = weights.reshape(*weights.shape[:-1], -1, fmt.m)
+    return bool(((blocks != 0).sum(axis=-1) <= fmt.n).all())
+
+
+def nm_block_histogram(weights: np.ndarray, m: int) -> np.ndarray:
+    """Histogram of non-zeros per M-block along the last axis.
+
+    Entry ``h[i]`` counts blocks holding exactly ``i`` non-zeros; useful
+    for diagnosing how close a tensor is to a given N:M pattern.
+    """
+    weights = np.asarray(weights)
+    if weights.shape[-1] % m:
+        raise ValueError(f"last axis {weights.shape[-1]} not a multiple of {m}")
+    blocks = weights.reshape(-1, m)
+    nnz = (blocks != 0).sum(axis=1)
+    return np.bincount(nnz, minlength=m + 1)

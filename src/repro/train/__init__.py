@@ -1,0 +1,50 @@
+"""Training substrate for the accuracy-trend experiments.
+
+The paper trains its benchmark networks with the combined
+training-and-pruning scheme of Zhou et al. (2021) — N:M masks refreshed
+from weight magnitudes every step, with the SR-STE (sparse-refined
+straight-through estimator) gradient.  Full CIFAR-scale training is out
+of scope offline; this package reproduces the *mechanism* and the
+accuracy *trend* (dense ~ 1:4 >= 1:8 >= 1:16, small drops) at small
+scale on a synthetic dataset:
+
+- :mod:`repro.train.autograd` — minimal reverse-mode autodiff on numpy;
+- :mod:`repro.train.nn` — layers, losses, SGD;
+- :mod:`repro.train.srste` — the SR-STE sparse parameterisation;
+- :mod:`repro.train.data` — deterministic synthetic image classes;
+- :mod:`repro.train.trainer` — the training/eval loop.
+"""
+
+from repro.train.autograd import Tensor
+from repro.train.nn import (
+    Module,
+    Linear,
+    Conv2d,
+    ReLU,
+    AvgPool2x2,
+    Flatten,
+    Sequential,
+    cross_entropy,
+    SGD,
+)
+from repro.train.srste import SparseLinear, SparseConv2d
+from repro.train.data import make_synthetic_dataset
+from repro.train.trainer import train_model, evaluate
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "AvgPool2x2",
+    "Flatten",
+    "Sequential",
+    "cross_entropy",
+    "SGD",
+    "SparseLinear",
+    "SparseConv2d",
+    "make_synthetic_dataset",
+    "train_model",
+    "evaluate",
+]

@@ -1,0 +1,232 @@
+"""Minimal reverse-mode automatic differentiation on numpy arrays.
+
+Just enough machinery for the small CNN/MLP experiments of
+:mod:`repro.train`: broadcast-aware add/mul, matmul, relu, im2col-based
+convolution (gradient via col2im), pooling by reshape, log-softmax.
+Gradients accumulate in ``Tensor.grad``; ``backward()`` runs a
+topological sweep from the loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with an autodiff tape.
+
+    Parameters
+    ----------
+    data:
+        Array (float64 internally for numeric stability at small scale).
+    requires_grad:
+        Track operations for the backward pass.
+    """
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad
+        self.grad: np.ndarray | None = None
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def _make(self, data, parents, backward) -> "Tensor":
+        out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self) -> None:
+        """Backpropagate from this (scalar) tensor."""
+        if self.data.size != 1:
+            raise ValueError("backward() requires a scalar loss")
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+
+        def visit(t: Tensor) -> None:
+            if id(t) in seen or not t.requires_grad:
+                return
+            seen.add(id(t))
+            for p in t._parents:
+                visit(p)
+            topo.append(t)
+
+        visit(self)
+        self.grad = np.ones_like(self.data)
+        for t in reversed(topo):
+            if t._backward is not None:
+                t._backward(t.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(g):
+            self._accumulate(_unbroadcast(g, self.shape))
+            other._accumulate(_unbroadcast(g, other.shape))
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    def __mul__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(g):
+            self._accumulate(_unbroadcast(g * other.data, self.shape))
+            other._accumulate(_unbroadcast(g * self.data, other.shape))
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            self._accumulate(-g)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product; ``self`` may carry leading batch axes, while
+        ``other`` must be a plain 2-D matrix (the layer-weight case)."""
+        if other.data.ndim != 2:
+            raise ValueError("matmul expects a 2-D right operand")
+
+        def backward(g):
+            self._accumulate(g @ other.data.T)
+            # Contract every leading axis of self against g.
+            a2 = self.data.reshape(-1, self.data.shape[-1])
+            g2 = g.reshape(-1, g.shape[-1])
+            other._accumulate(a2.T @ g2)
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(g):
+            self._accumulate(g * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        orig = self.shape
+
+        def backward(g):
+            self._accumulate(g.reshape(orig))
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def transpose(self, axes: tuple[int, ...]) -> "Tensor":
+        inverse = tuple(np.argsort(axes))
+
+        def backward(g):
+            self._accumulate(g.transpose(inverse))
+
+        return self._make(self.data.transpose(axes), (self,), backward)
+
+    def sum(self) -> "Tensor":
+        def backward(g):
+            self._accumulate(np.full_like(self.data, float(g)))
+
+        return self._make(self.data.sum(), (self,), backward)
+
+    def mean(self) -> "Tensor":
+        n = self.data.size
+
+        def backward(g):
+            self._accumulate(np.full_like(self.data, float(g) / n))
+
+        return self._make(self.data.mean(), (self,), backward)
+
+    def avgpool2x2(self) -> "Tensor":
+        """2x2 average pooling over (N, H, W, C)."""
+        n, h, w, c = self.shape
+        view = self.data.reshape(n, h // 2, 2, w // 2, 2, c)
+        out = view.mean(axis=(2, 4))
+
+        def backward(g):
+            expanded = (
+                np.repeat(np.repeat(g, 2, axis=1), 2, axis=2) / 4.0
+            )
+            self._accumulate(expanded)
+
+        return self._make(out, (self,), backward)
+
+    def log_softmax(self) -> "Tensor":
+        """Row-wise log-softmax over the last axis of (N, K)."""
+        shifted = self.data - self.data.max(axis=-1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        out = shifted - log_z
+
+        def backward(g):
+            softmax = np.exp(out)
+            self._accumulate(g - softmax * g.sum(axis=-1, keepdims=True))
+
+        return self._make(out, (self,), backward)
+
+    def im2col_conv(self, cols_index: np.ndarray, in_shape) -> "Tensor":
+        """Gather (N, P, R) im2col windows from padded (N, Hp, Wp, C).
+
+        ``cols_index`` is a precomputed flat gather index into one
+        padded sample; the backward pass scatter-adds into it (col2im).
+        """
+        n = self.shape[0]
+        flat = self.data.reshape(n, -1)
+        out = flat[:, cols_index.reshape(-1)].reshape(
+            n, *cols_index.shape
+        )
+
+        def backward(g):
+            grad_flat = np.zeros_like(flat)
+            np.add.at(
+                grad_flat,
+                (slice(None), cols_index.reshape(-1)),
+                g.reshape(n, -1),
+            )
+            self._accumulate(grad_flat.reshape(self.shape))
+
+        return self._make(out, (self,), backward)
+
+    def pad_hw(self, p: int) -> "Tensor":
+        """Zero-pad the H and W axes of (N, H, W, C)."""
+        if p == 0:
+            return self
+        n, h, w, c = self.shape
+
+        def backward(g):
+            self._accumulate(g[:, p : p + h, p : p + w, :])
+
+        padded = np.pad(self.data, ((0, 0), (p, p), (p, p), (0, 0)))
+        return self._make(padded, (self,), backward)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"

@@ -1,0 +1,185 @@
+"""Neural-network layers, loss and optimiser over the autograd core."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.train.autograd import Tensor
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "AvgPool2x2",
+    "Flatten",
+    "Sequential",
+    "cross_entropy",
+    "SGD",
+]
+
+
+class Module:
+    """Base class: parameter collection + callable forward."""
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for value in vars(self).values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Dense layer ``y = x W^T + b`` with He initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, seed=None) -> None:
+        rng = make_rng(seed)
+        std = np.sqrt(2.0 / in_features)
+        self.weight = Tensor(
+            rng.normal(0, std, size=(out_features, in_features)),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        wt = self.weight.transpose((1, 0))
+        return x.matmul(wt) + self.bias
+
+    @property
+    def weight_matrix(self) -> Tensor:
+        """The (K, C) matrix the sparse wrapper masks."""
+        return self.weight
+
+
+class Conv2d(Module):
+    """3x3-style convolution on (N, H, W, C), stride 1, via im2col.
+
+    The gather index for im2col is precomputed per input geometry and
+    the backward pass scatter-adds through it (col2im).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        pad: int = 1,
+        seed=None,
+    ) -> None:
+        rng = make_rng(seed)
+        std = np.sqrt(2.0 / (kernel * kernel * in_channels))
+        self.weight = Tensor(
+            rng.normal(
+                0, std, size=(out_channels, kernel, kernel, in_channels)
+            ),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True)
+        self.kernel = kernel
+        self.pad = pad
+        self._index_cache: dict[tuple[int, int, int], np.ndarray] = {}
+
+    def _gather_index(self, hp: int, wp: int, c: int) -> np.ndarray:
+        key = (hp, wp, c)
+        if key not in self._index_cache:
+            oh, ow = hp - self.kernel + 1, wp - self.kernel + 1
+            flat = np.arange(hp * wp * c).reshape(hp, wp, c)
+            rows = []
+            for oy in range(oh):
+                for ox in range(ow):
+                    patch = flat[
+                        oy : oy + self.kernel, ox : ox + self.kernel, :
+                    ]
+                    rows.append(patch.reshape(-1))
+            self._index_cache[key] = np.stack(rows)  # (P, R)
+        return self._index_cache[key]
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, h, w, c = x.shape
+        padded = x.pad_hw(self.pad)
+        hp, wp = h + 2 * self.pad, w + 2 * self.pad
+        index = self._gather_index(hp, wp, c)
+        cols = padded.im2col_conv(index, (hp, wp, c))  # (N, P, R)
+        k = self.weight.shape[0]
+        wmat = self.weight.reshape(k, -1).transpose((1, 0))  # (R, K)
+        out = cols.matmul(wmat) + self.bias  # (N, P, K)
+        oh = hp - self.kernel + 1
+        ow = wp - self.kernel + 1
+        return out.reshape(n, oh, ow, k)
+
+    @property
+    def weight_matrix(self) -> Tensor:
+        return self.weight
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class AvgPool2x2(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.avgpool2x2()
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        return x.reshape(n, -1)
+
+
+class Sequential(Module):
+    def __init__(self, *layers: Module) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of (N, K) logits against int labels."""
+    log_probs = logits.log_softmax()
+    n, k = log_probs.shape
+    onehot = np.zeros((n, k))
+    onehot[np.arange(n), labels] = -1.0 / n
+    return (log_probs * Tensor(onehot)).sum()
+
+
+class SGD:
+    """Momentum SGD over a parameter list."""
+
+    def __init__(
+        self, params: list[Tensor], lr: float = 0.1, momentum: float = 0.9
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v += p.grad
+            p.data -= self.lr * v

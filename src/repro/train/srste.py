@@ -1,0 +1,122 @@
+"""SR-STE sparse training (Zhou et al., 2021 — the paper's Sec. 5.1
+training scheme).
+
+Every forward pass recomputes the N:M magnitude mask and multiplies it
+into the weights; the backward pass applies the *sparse-refined
+straight-through estimator*::
+
+    grad(w) = grad(w_masked)            # STE: pass through the mask
+              + lambda_w * (1 - mask) * w   # decay the pruned weights
+
+so pruned weights keep receiving signal (they can re-enter the mask)
+while being pulled toward zero.  At convergence the masked weights are
+exactly N:M sparse and can be handed to the deployment pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsity.nm import NMFormat
+from repro.sparsity.pruning import nm_prune_mask
+from repro.train.autograd import Tensor
+from repro.train.nn import Conv2d, Linear, Module
+
+__all__ = ["srste_mask", "SparseLinear", "SparseConv2d"]
+
+
+def srste_mask(weight: Tensor, fmt: NMFormat, lambda_w: float = 2e-4) -> Tensor:
+    """Apply the N:M mask with SR-STE gradients.
+
+    The mask is recomputed from current magnitudes on the *last axis*
+    of the weight's 2-D (K, R) view — conv weights are flattened the
+    same way the kernels and the pruning helpers flatten them.
+    """
+    shape = weight.shape
+    flat = weight.data.reshape(shape[0], -1)
+    mask = nm_prune_mask(flat, fmt).reshape(shape).astype(np.float64)
+
+    def backward(g):
+        weight._accumulate(g + lambda_w * (1.0 - mask) * weight.data)
+
+    out = Tensor(
+        weight.data * mask, requires_grad=weight.requires_grad
+    )
+    if out.requires_grad:
+        out._parents = (weight,)
+        out._backward = backward
+    return out
+
+
+class SparseLinear(Module):
+    """A :class:`Linear` trained under an N:M constraint."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        fmt: NMFormat,
+        lambda_w: float = 2e-4,
+        seed=None,
+    ) -> None:
+        if in_features % fmt.m:
+            raise ValueError(
+                f"in_features {in_features} not a multiple of M={fmt.m}"
+            )
+        self.inner = Linear(in_features, out_features, seed=seed)
+        self.fmt = fmt
+        self.lambda_w = lambda_w
+
+    def forward(self, x: Tensor) -> Tensor:
+        masked = srste_mask(self.inner.weight, self.fmt, self.lambda_w)
+        return x.matmul(masked.transpose((1, 0))) + self.inner.bias
+
+    def dense_weight(self) -> np.ndarray:
+        """The trained weights with the final mask applied — N:M sparse."""
+        flat = self.inner.weight.data.reshape(self.inner.weight.shape[0], -1)
+        mask = nm_prune_mask(flat, self.fmt)
+        return (flat * mask).reshape(self.inner.weight.shape)
+
+
+class SparseConv2d(Module):
+    """A :class:`Conv2d` trained under an N:M constraint."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        fmt: NMFormat,
+        kernel: int = 3,
+        pad: int = 1,
+        lambda_w: float = 2e-4,
+        seed=None,
+    ) -> None:
+        if (kernel * kernel * in_channels) % fmt.m:
+            raise ValueError(
+                f"reduce dim {kernel * kernel * in_channels} not a "
+                f"multiple of M={fmt.m}"
+            )
+        self.inner = Conv2d(in_channels, out_channels, kernel, pad, seed=seed)
+        self.fmt = fmt
+        self.lambda_w = lambda_w
+
+    def forward(self, x: Tensor) -> Tensor:
+        masked = srste_mask(self.inner.weight, self.fmt, self.lambda_w)
+        n = x.shape[0]
+        padded = x.pad_hw(self.inner.pad)
+        hp = x.shape[1] + 2 * self.inner.pad
+        wp = x.shape[2] + 2 * self.inner.pad
+        c = x.shape[3]
+        index = self.inner._gather_index(hp, wp, c)
+        cols = padded.im2col_conv(index, (hp, wp, c))
+        k = masked.shape[0]
+        out = cols.matmul(masked.reshape(k, -1).transpose((1, 0)))
+        out = out + self.inner.bias
+        oh = hp - self.inner.kernel + 1
+        ow = wp - self.inner.kernel + 1
+        return out.reshape(n, oh, ow, k)
+
+    def dense_weight(self) -> np.ndarray:
+        flat = self.inner.weight.data.reshape(self.inner.weight.shape[0], -1)
+        mask = nm_prune_mask(flat, self.fmt)
+        return (flat * mask).reshape(self.inner.weight.shape)

@@ -1,0 +1,64 @@
+"""Training / evaluation loop for the accuracy-trend experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.train.autograd import Tensor
+from repro.train.data import SyntheticDataset
+from repro.train.nn import Module, SGD, cross_entropy
+from repro.utils.rng import make_rng
+
+__all__ = ["TrainResult", "train_model", "evaluate"]
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    model: Module
+    train_losses: list[float] = field(default_factory=list)
+    test_accuracy: float = 0.0
+
+
+def evaluate(model: Module, x: np.ndarray, y: np.ndarray, batch: int = 128) -> float:
+    """Top-1 accuracy of ``model`` on (x, y)."""
+    correct = 0
+    for i in range(0, len(x), batch):
+        logits = model(Tensor(x[i : i + batch])).data
+        correct += int((logits.argmax(axis=1) == y[i : i + batch]).sum())
+    return correct / len(x)
+
+
+def train_model(
+    model: Module,
+    data: SyntheticDataset,
+    epochs: int = 10,
+    batch: int = 64,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    seed: int = 0,
+) -> TrainResult:
+    """SGD training with per-epoch shuffling; returns final test accuracy."""
+    rng = make_rng(seed)
+    opt = SGD(model.parameters(), lr=lr, momentum=momentum)
+    result = TrainResult(model=model)
+    n = len(data.x_train)
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        n_batches = 0
+        for i in range(0, n, batch):
+            idx = order[i : i + batch]
+            logits = model(Tensor(data.x_train[idx]))
+            loss = cross_entropy(logits, data.y_train[idx])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            epoch_loss += float(loss.data)
+            n_batches += 1
+        result.train_losses.append(epoch_loss / max(1, n_batches))
+    result.test_accuracy = evaluate(model, data.x_test, data.y_test)
+    return result

@@ -1,0 +1,44 @@
+"""Shared utilities: bit packing, fixed-point arithmetic, table rendering.
+
+These helpers underpin the sparse-format encoders (:mod:`repro.sparsity`),
+the hardware model (:mod:`repro.hw`) and the kernel library
+(:mod:`repro.kernels`).
+"""
+
+from repro.utils.bitpack import (
+    pack_nibbles,
+    unpack_nibbles,
+    pack_crumbs,
+    unpack_crumbs,
+    pack_bits,
+    unpack_bits,
+)
+from repro.utils.fixedpoint import (
+    clip_int8,
+    clip_uint8,
+    to_int8,
+    to_uint8,
+    requantize_int32,
+    saturating_round_shift,
+)
+from repro.utils.tables import Table, format_si, render_markdown
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "pack_nibbles",
+    "unpack_nibbles",
+    "pack_crumbs",
+    "unpack_crumbs",
+    "pack_bits",
+    "unpack_bits",
+    "clip_int8",
+    "clip_uint8",
+    "to_int8",
+    "to_uint8",
+    "requantize_int32",
+    "saturating_round_shift",
+    "Table",
+    "format_si",
+    "render_markdown",
+    "make_rng",
+]

@@ -1,0 +1,102 @@
+"""Sub-byte packing helpers used by the N:M offset arrays.
+
+The paper stores the relative index of each non-zero weight inside its
+M-sized block using ``ceil(log2(M))`` bits, rounded up to a power of two:
+2-bit fields ("crumbs") for M=4 and 4-bit fields ("nibbles") for M=8 and
+M=16.  These helpers pack/unpack little-endian within each byte, matching
+the shift-and-mask unpacking of the C kernels (``extractOffset``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_nibbles",
+    "unpack_nibbles",
+    "pack_crumbs",
+    "unpack_crumbs",
+    "pack_bits",
+    "unpack_bits",
+]
+
+
+def pack_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Pack unsigned integers of ``width`` bits into a uint8 array.
+
+    Fields are packed little-endian within each byte: the first value
+    occupies the least-significant bits of the first byte, exactly as the
+    kernels' ``extractOffset`` expects (shift right by ``i*width``, mask).
+
+    Parameters
+    ----------
+    values:
+        1-D array of unsigned integers, each ``< 2**width``.
+    width:
+        Field width in bits; must divide 8.
+
+    Returns
+    -------
+    np.ndarray
+        uint8 array of length ``ceil(len(values) * width / 8)``.
+    """
+    if width not in (1, 2, 4, 8):
+        raise ValueError(f"width must divide 8, got {width}")
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("pack_bits expects a 1-D array")
+    if values.size and (values.min() < 0 or values.max() >= (1 << width)):
+        raise ValueError(f"values out of range for {width}-bit fields")
+    per_byte = 8 // width
+    n = values.size
+    padded = np.zeros(((n + per_byte - 1) // per_byte) * per_byte, dtype=np.uint32)
+    padded[:n] = values.astype(np.uint32)
+    groups = padded.reshape(-1, per_byte)
+    shifts = (np.arange(per_byte, dtype=np.uint32) * width).astype(np.uint32)
+    packed = (groups << shifts).sum(axis=1, dtype=np.uint32)
+    return packed.astype(np.uint8)
+
+
+def unpack_bits(packed: np.ndarray, width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`.
+
+    Parameters
+    ----------
+    packed:
+        uint8 array produced by :func:`pack_bits`.
+    width:
+        Field width in bits; must divide 8.
+    count:
+        Number of fields to recover (trailing pad fields are discarded).
+    """
+    if width not in (1, 2, 4, 8):
+        raise ValueError(f"width must divide 8, got {width}")
+    packed = np.asarray(packed, dtype=np.uint8)
+    per_byte = 8 // width
+    shifts = (np.arange(per_byte, dtype=np.uint8) * width).astype(np.uint8)
+    mask = np.uint8((1 << width) - 1)
+    fields = (packed[:, None] >> shifts) & mask
+    flat = fields.reshape(-1)
+    if count > flat.size:
+        raise ValueError(f"requested {count} fields, only {flat.size} packed")
+    return flat[:count].astype(np.uint8)
+
+
+def pack_nibbles(values: np.ndarray) -> np.ndarray:
+    """Pack 4-bit fields (used by 1:8 and 1:16 offset arrays)."""
+    return pack_bits(values, 4)
+
+
+def unpack_nibbles(packed: np.ndarray, count: int) -> np.ndarray:
+    """Unpack 4-bit fields packed by :func:`pack_nibbles`."""
+    return unpack_bits(packed, 4, count)
+
+
+def pack_crumbs(values: np.ndarray) -> np.ndarray:
+    """Pack 2-bit fields (used by 1:4 offset arrays)."""
+    return pack_bits(values, 2)
+
+
+def unpack_crumbs(packed: np.ndarray, count: int) -> np.ndarray:
+    """Unpack 2-bit fields packed by :func:`pack_crumbs`."""
+    return unpack_bits(packed, 2, count)

@@ -1,0 +1,95 @@
+"""Fixed-point arithmetic helpers shared by the int8 kernels.
+
+All inference-time arithmetic in the reproduced kernels follows the
+PULP-NN convention: int8 (or uint8) operands, int32 accumulators, and a
+requantisation step (multiply by an integer scale, round, arithmetic
+shift right, clip) that maps accumulators back to 8 bits at the end of
+each output computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "INT8_MIN",
+    "INT8_MAX",
+    "UINT8_MAX",
+    "clip_int8",
+    "clip_uint8",
+    "to_int8",
+    "to_uint8",
+    "saturating_round_shift",
+    "requantize_int32",
+]
+
+INT8_MIN = -128
+INT8_MAX = 127
+UINT8_MAX = 255
+
+
+def clip_int8(x: np.ndarray) -> np.ndarray:
+    """Saturate an integer array to the int8 range, returned as int8."""
+    return np.clip(x, INT8_MIN, INT8_MAX).astype(np.int8)
+
+
+def clip_uint8(x: np.ndarray) -> np.ndarray:
+    """Saturate an integer array to the uint8 range, returned as uint8."""
+    return np.clip(x, 0, UINT8_MAX).astype(np.uint8)
+
+
+def to_int8(x: np.ndarray) -> np.ndarray:
+    """Round-to-nearest-even and saturate a float array to int8."""
+    return clip_int8(np.rint(np.asarray(x)).astype(np.int64))
+
+
+def to_uint8(x: np.ndarray) -> np.ndarray:
+    """Round-to-nearest-even and saturate a float array to uint8."""
+    return clip_uint8(np.rint(np.asarray(x)).astype(np.int64))
+
+
+def saturating_round_shift(acc: np.ndarray, shift: int) -> np.ndarray:
+    """Arithmetic right shift with round-half-up, as an int64 array.
+
+    Mirrors the ``(acc + (1 << (shift-1))) >> shift`` idiom of the C
+    kernels.  ``shift == 0`` is the identity.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    if shift < 0:
+        raise ValueError(f"shift must be non-negative, got {shift}")
+    if shift == 0:
+        return acc
+    return (acc + (1 << (shift - 1))) >> shift
+
+
+def requantize_int32(
+    acc: np.ndarray,
+    multiplier: int,
+    shift: int,
+    zero_point: int = 0,
+    signed: bool = True,
+) -> np.ndarray:
+    """Requantise int32 accumulators to 8 bits.
+
+    Computes ``clip(((acc * multiplier) >> shift rounded) + zero_point)``
+    which is the per-layer output stage of every kernel in the library
+    (PULP-NN's ``pulp_nn_quant`` equivalent).
+
+    Parameters
+    ----------
+    acc:
+        int32 accumulator array.
+    multiplier:
+        Positive integer scale applied before shifting.
+    shift:
+        Arithmetic right-shift amount (rounding half-up).
+    zero_point:
+        Output zero point added after shifting.
+    signed:
+        Clip to int8 when True, uint8 when False.
+    """
+    if multiplier <= 0:
+        raise ValueError(f"multiplier must be positive, got {multiplier}")
+    scaled = np.asarray(acc, dtype=np.int64) * np.int64(multiplier)
+    shifted = saturating_round_shift(scaled, shift) + np.int64(zero_point)
+    return clip_int8(shifted) if signed else clip_uint8(shifted)

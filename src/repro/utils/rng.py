@@ -1,0 +1,25 @@
+"""Deterministic RNG construction.
+
+Every stochastic component of the library (weight init, synthetic data,
+pruning tie-breaks) takes an explicit seed and builds its generator here,
+so experiments are reproducible bit-for-bit across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an existing generator (returned unchanged) so helper
+    functions can be composed without reseeding, an int seed, or None
+    for an OS-entropy generator (only used interactively, never inside
+    the experiment harness).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,93 @@
+"""Small plain-text / markdown table renderer for the experiment harness.
+
+Every evaluation module (:mod:`repro.eval`) reports its results as a
+:class:`Table`, so benchmark output looks like the rows of the paper's
+tables and the series of its figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_si", "render_markdown"]
+
+
+def format_si(value: float, unit: str = "", precision: int = 2) -> str:
+    """Format a value with an SI magnitude suffix (k, M, G).
+
+    >>> format_si(975_230_000, "cyc")
+    '975.23 Mcyc'
+    """
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= factor:
+            return f"{value / factor:.{precision}f} {suffix}{unit}".rstrip()
+    return f"{value:.{precision}f} {unit}".rstrip()
+
+
+@dataclass
+class Table:
+    """A column-ordered table with uniform rows.
+
+    Attributes
+    ----------
+    title:
+        Heading printed above the table (e.g. ``"Table 2 (ResNet18)"``).
+    columns:
+        Column names, in display order.
+    rows:
+        One dict per row; missing keys render as ``-``.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row given as keyword arguments keyed by column name."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """Return one column as a list (missing cells become None)."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    def _cell(self, row: dict[str, Any], col: str) -> str:
+        value = row.get(col)
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        cells = [[self._cell(r, c) for c in self.columns] for r in self.rows]
+        widths = [
+            max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        sep = "-" * len(header)
+        body = [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+        ]
+        return "\n".join([self.title, sep, header, sep, *body, sep])
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_markdown(table: Table) -> str:
+    """Render a :class:`Table` as GitHub-flavoured markdown."""
+    head = "| " + " | ".join(table.columns) + " |"
+    rule = "|" + "|".join("---" for _ in table.columns) + "|"
+    rows = [
+        "| " + " | ".join(table._cell(r, c) for c in table.columns) + " |"
+        for r in table.rows
+    ]
+    return "\n".join([f"**{table.title}**", "", head, rule, *rows])

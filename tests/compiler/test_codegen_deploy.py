@@ -1,0 +1,116 @@
+"""Tests for lowering and deployment (repro.compiler.codegen / deploy)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import CompileConfig, lower_graph
+from repro.compiler.deploy import deploy
+from repro.compiler.ir import Graph
+from repro.compiler.patterns import annotate_sparsity
+from repro.sparsity.nm import FORMAT_1_8
+from repro.sparsity.pruning import nm_prune
+
+
+def mixed_graph(seed=0):
+    """conv (sparse) -> relu -> conv (dense) -> pool -> fc (dense)."""
+    rng = np.random.default_rng(seed)
+    g = Graph("mixed")
+    x = g.add_input("in", (8, 8, 16))
+    w1 = nm_prune(rng.normal(size=(32, 9 * 16)), FORMAT_1_8)
+    x = g.add_conv2d("sconv", x, w1.reshape(32, 3, 3, 16).astype(np.float32))
+    x = g.add_elementwise("relu", "relu", x)
+    w2 = rng.normal(size=(16, 1, 1, 32)).astype(np.float32)
+    x = g.add_conv2d("dconv", x, w2, p=0)
+    x = g.add_global_avgpool("pool", x)
+    g.add_dense("fc", x, rng.normal(size=(10, 16)).astype(np.float32))
+    return g
+
+
+class TestLowering:
+    def test_kernel_selection(self):
+        g = mixed_graph()
+        annotate_sparsity(g)
+        plans = {p.node_name: p for p in lower_graph(g, CompileConfig())}
+        assert plans["sconv"].variant == "sparse-sw"
+        assert plans["dconv"].variant == "dense-4x2"
+        assert plans["fc"].variant == "dense"
+
+    def test_isa_config_switches_engine(self):
+        g = mixed_graph()
+        annotate_sparsity(g)
+        plans = {
+            p.node_name: p
+            for p in lower_graph(g, CompileConfig(use_isa=True))
+        }
+        assert plans["sconv"].variant == "sparse-isa"
+
+    def test_sparse_disabled_falls_back_dense(self):
+        g = mixed_graph()
+        annotate_sparsity(g)
+        plans = {
+            p.node_name: p
+            for p in lower_graph(g, CompileConfig(use_sparse=False))
+        }
+        assert plans["sconv"].variant == "dense-4x2"
+
+    def test_4x2_falls_back_when_k_odd(self):
+        rng = np.random.default_rng(1)
+        g = Graph()
+        x = g.add_input("in", (4, 4, 8))
+        g.add_conv2d("c", x, rng.normal(size=(6, 3, 3, 8)).astype(np.float32))
+        annotate_sparsity(g)
+        (plan,) = [p for p in lower_graph(g, CompileConfig()) if p.kind == "conv"]
+        assert plan.variant == "dense-1x2"
+
+    def test_fallback_ops_priced(self):
+        g = mixed_graph()
+        annotate_sparsity(g)
+        plans = {p.node_name: p for p in lower_graph(g, CompileConfig())}
+        assert plans["relu"].kind == "fallback"
+        assert plans["relu"].cycles > 0
+        assert plans["pool"].cycles > 0
+
+    def test_every_plan_has_tiles_for_compute(self):
+        g = mixed_graph()
+        annotate_sparsity(g)
+        for p in lower_graph(g, CompileConfig()):
+            if p.kind in ("conv", "fc"):
+                assert p.tiles is not None and p.tiles.n_tiles >= 1
+
+
+class TestDeploy:
+    def test_report_aggregates(self):
+        report = deploy(mixed_graph())
+        assert report.total_cycles > 0
+        assert report.total_macs > 0
+        assert 0 < report.macs_per_cycle
+        assert report.weight_memory_bytes > 0
+
+    def test_sparse_memory_below_dense(self):
+        g = mixed_graph()
+        sparse = deploy(g, CompileConfig())
+        dense = deploy(g, CompileConfig(use_sparse=False))
+        assert sparse.weight_memory_bytes < dense.weight_memory_bytes
+
+    def test_isa_faster_than_sw(self):
+        g = mixed_graph()
+        sw = deploy(g, CompileConfig(use_isa=False))
+        isa = deploy(g, CompileConfig(use_isa=True))
+        assert isa.total_cycles < sw.total_cycles
+        assert isa.speedup_vs(sw) > 1.0
+
+    def test_non_interleaved_layout_costs_dma(self):
+        g = mixed_graph()
+        inter = deploy(g, CompileConfig(interleaved_layout=True))
+        split = deploy(g, CompileConfig(interleaved_layout=False))
+        assert split.total_cycles > inter.total_cycles
+
+    def test_cycles_by_kind_partition(self):
+        report = deploy(mixed_graph())
+        assert sum(report.cycles_by_kind().values()) == pytest.approx(
+            report.total_cycles
+        )
+
+    def test_layer_table_renders(self):
+        text = deploy(mixed_graph()).layer_table().render()
+        assert "sconv" in text and "sparse-sw" in text

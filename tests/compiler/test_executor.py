@@ -1,0 +1,123 @@
+"""Tests for functional graph execution (repro.compiler.executor)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.executor import execute_graph
+from repro.compiler.ir import Graph
+from repro.models.quantize import quantize_graph
+
+
+def tiny_cnn(seed=0):
+    rng = np.random.default_rng(seed)
+    g = Graph("tiny")
+    x = g.add_input("in", (6, 6, 3))
+    w = (rng.normal(size=(4, 3, 3, 3)) * 0.4).astype(np.float32)
+    x = g.add_conv2d("conv", x, w, bias=np.zeros(4, np.float32))
+    x = g.add_elementwise("relu", "relu", x)
+    x = g.add_global_avgpool("pool", x)
+    g.add_dense("fc", x, (rng.normal(size=(5, 4)) * 0.4).astype(np.float32))
+    return g
+
+
+def tiny_transformer(seed=1):
+    rng = np.random.default_rng(seed)
+    g = Graph("tiny-attn")
+    x = g.add_input("in", (6, 8))
+    ones = np.ones(8, np.float32)
+    zeros = np.zeros(8, np.float32)
+    x = g.add_layernorm("ln", x, ones, zeros)
+    w = lambda: (rng.normal(size=(8, 8)) * 0.3).astype(np.float32)
+    x = g.add_attention("attn", x, w(), w(), w(), w(), heads=2)
+    x = g.add_elementwise("gelu", "gelu", x)
+    x = g.add_token_mean("mean", x)
+    g.add_dense("fc", x, (rng.normal(size=(3, 8)) * 0.3).astype(np.float32))
+    return g
+
+
+class TestFloatExecution:
+    def test_cnn_forward_shape(self):
+        g = tiny_cnn()
+        rng = np.random.default_rng(2)
+        out = execute_graph(g, rng.normal(size=(6, 6, 3)))
+        assert out.shape == (5,)
+
+    def test_conv_matches_manual(self):
+        g = Graph()
+        x_name = g.add_input("in", (3, 3, 1))
+        w = np.zeros((1, 3, 3, 1), np.float32)
+        w[0, 1, 1, 0] = 2.0  # pure center tap: out = 2 * x
+        g.add_conv2d("c", x_name, w)
+        x = np.arange(9, dtype=np.float64).reshape(3, 3, 1)
+        out = execute_graph(g, x)
+        assert np.allclose(out[..., 0], 2 * x[..., 0])
+
+    def test_residual_add(self):
+        g = Graph()
+        a = g.add_input("in", (2, 2, 1))
+        b = g.add_elementwise("r", "relu", a)
+        g.add_add("sum", a, b)
+        x = np.array([[[1.0], [-2.0]], [[3.0], [-4.0]]])
+        out = execute_graph(g, x)
+        assert np.allclose(out, x + np.maximum(x, 0))
+
+    def test_attention_runs(self):
+        g = tiny_transformer()
+        rng = np.random.default_rng(3)
+        out = execute_graph(g, rng.normal(size=(6, 8)))
+        assert out.shape == (3,)
+        assert np.isfinite(out).all()
+
+    def test_layernorm_normalises(self):
+        g = Graph()
+        x_name = g.add_input("in", (4, 8))
+        g.add_layernorm("ln", x_name, np.ones(8, np.float32), np.zeros(8, np.float32))
+        rng = np.random.default_rng(4)
+        out = execute_graph(g, rng.normal(2.0, 3.0, size=(4, 8)))
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1, atol=1e-2)
+
+    def test_maxpool(self):
+        g = Graph()
+        x_name = g.add_input("in", (2, 2, 1))
+        g.add_maxpool("p", x_name, size=2, stride=2)
+        out = execute_graph(g, np.array([[[1.0], [5.0]], [[3.0], [2.0]]]))
+        assert out.reshape(-1).tolist() == [5.0]
+
+    def test_wrong_input_shape_rejected(self):
+        g = tiny_cnn()
+        with pytest.raises(ValueError, match="input shape"):
+            execute_graph(g, np.zeros((5, 5, 3)))
+
+    def test_unknown_mode_rejected(self):
+        g = tiny_cnn()
+        with pytest.raises(ValueError, match="mode"):
+            execute_graph(g, np.zeros((6, 6, 3)), mode="fp16")
+
+    def test_return_acts(self):
+        g = tiny_cnn()
+        out, acts = execute_graph(
+            g, np.zeros((6, 6, 3)), return_acts=True
+        )
+        assert set(acts) == {n.name for n in g}
+
+
+class TestInt8Execution:
+    def test_quantized_close_to_float(self):
+        g = tiny_cnn()
+        rng = np.random.default_rng(5)
+        samples = [rng.normal(size=(6, 6, 3)) for _ in range(4)]
+        quantize_graph(g, samples)
+        x = rng.normal(size=(6, 6, 3))
+        f = execute_graph(g, x, mode="float")
+        q = execute_graph(g, x, mode="int8")
+        scale = np.abs(f).max() + 1e-9
+        assert np.abs(f - q).max() / scale < 0.08
+
+    def test_int8_without_metadata_falls_back(self):
+        """A graph that was never quantised executes the float path."""
+        g = tiny_cnn()
+        x = np.random.default_rng(6).normal(size=(6, 6, 3))
+        assert np.allclose(
+            execute_graph(g, x, mode="int8"), execute_graph(g, x, mode="float")
+        )

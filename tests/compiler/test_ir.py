@@ -1,0 +1,103 @@
+"""Tests for the graph IR (repro.compiler.ir)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import Graph
+
+
+def small_graph():
+    g = Graph("t")
+    x = g.add_input("in", (8, 8, 4))
+    w = np.zeros((6, 3, 3, 4), dtype=np.float32)
+    x = g.add_conv2d("c1", x, w, s=1, p=1)
+    x = g.add_elementwise("r1", "relu", x)
+    return g, x
+
+
+class TestConstruction:
+    def test_shapes_inferred(self):
+        g, _ = small_graph()
+        assert g.node("c1").out_shape == (8, 8, 6)
+
+    def test_conv_stride_shape(self):
+        g = Graph()
+        x = g.add_input("in", (8, 8, 4))
+        g.add_conv2d("c", x, np.zeros((2, 3, 3, 4), np.float32), s=2, p=1)
+        assert g.node("c").out_shape == (4, 4, 2)
+
+    def test_duplicate_name_rejected(self):
+        g, _ = small_graph()
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add_elementwise("r1", "relu", "c1")
+
+    def test_unknown_input_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="unknown input"):
+            g.add_elementwise("r", "relu", "nope")
+
+    def test_channel_mismatch_rejected(self):
+        g = Graph()
+        x = g.add_input("in", (4, 4, 3))
+        with pytest.raises(ValueError, match="channels"):
+            g.add_conv2d("c", x, np.zeros((2, 3, 3, 5), np.float32))
+
+    def test_dense_dim_mismatch_rejected(self):
+        g = Graph()
+        x = g.add_input("in", (16,))
+        with pytest.raises(ValueError, match="weight cols"):
+            g.add_dense("d", x, np.zeros((4, 8), np.float32))
+
+    def test_add_shape_mismatch_rejected(self):
+        g, _ = small_graph()
+        g.add_input2 = None
+        g2 = Graph()
+        a = g2.add_input("in", (4, 4, 2))
+        b = g2.add_conv2d("c", a, np.zeros((3, 1, 1, 2), np.float32), p=0)
+        with pytest.raises(ValueError, match="mismatch"):
+            g2.add_add("bad", a, b)
+
+    def test_attention_validates_projections(self):
+        g = Graph()
+        x = g.add_input("in", (4, 8))
+        wq = np.zeros((8, 8), np.float32)
+        with pytest.raises(ValueError, match="wk"):
+            g.add_attention("a", x, wq, np.zeros((8, 4), np.float32), wq, wq, heads=2)
+        with pytest.raises(ValueError, match="heads"):
+            g.add_attention("a", x, wq, wq, wq, wq, heads=3)
+
+    def test_tokens_and_mean(self):
+        g = Graph()
+        x = g.add_input("in", (4, 4, 6))
+        t = g.add_tokens("tok", x)
+        assert g.node(t).out_shape == (16, 6)
+        m = g.add_token_mean("mean", t)
+        assert g.node(m).out_shape == (6,)
+
+    def test_maxpool_shape(self):
+        g = Graph()
+        x = g.add_input("in", (8, 8, 3))
+        g.add_maxpool("p", x)
+        assert g.node("p").out_shape == (4, 4, 3)
+
+
+class TestTraversal:
+    def test_iteration_order(self):
+        g, _ = small_graph()
+        assert [n.name for n in g] == ["in", "c1", "r1"]
+
+    def test_compute_nodes(self):
+        g, _ = small_graph()
+        assert [n.name for n in g.compute_nodes()] == ["c1"]
+
+    def test_validate_passes(self):
+        g, _ = small_graph()
+        g.validate()
+
+    def test_validate_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Graph().validate()
+
+    def test_len(self):
+        g, _ = small_graph()
+        assert len(g) == 3

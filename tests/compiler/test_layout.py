@@ -1,0 +1,69 @@
+"""Tests for the interleaved L2 weight layout (repro.compiler.layout)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.layout import build_interleaved_tiles, dma_cycles_for_layout
+from repro.hw.memory import VEGA_MEMORY
+from repro.sparsity.nm import FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import nm_prune
+
+
+def make_mat(rows=16, cols=128, fmt=FORMAT_1_8, seed=0):
+    rng = np.random.default_rng(seed)
+    w = nm_prune(rng.integers(-128, 128, (rows, cols)).astype(np.int8), fmt)
+    return NMSparseMatrix.from_dense(w, fmt)
+
+
+class TestBuild:
+    def test_one_blob_per_tile_interleaved(self):
+        layout = build_interleaved_tiles(make_mat(), 4)
+        assert len(layout.tiles) == 4
+        assert layout.total_transfers == 4
+
+    def test_two_blobs_per_tile_split(self):
+        layout = build_interleaved_tiles(make_mat(), 4, interleaved=False)
+        assert len(layout.tiles) == 8
+        assert layout.total_transfers == 8
+
+    def test_total_bytes_identical_between_policies(self):
+        """Interleaving changes transaction count, not payload."""
+        mat = make_mat()
+        inter = build_interleaved_tiles(mat, 4, interleaved=True)
+        split = build_interleaved_tiles(mat, 4, interleaved=False)
+        assert inter.total_bytes == split.total_bytes
+
+    def test_tile_content_is_values_then_offsets(self):
+        mat = make_mat(rows=2, cols=64)
+        layout = build_interleaved_tiles(mat, 2)
+        (blob,) = layout.tiles
+        from repro.kernels.microcode import pack_sparse_rows_sw
+
+        vals, offs, nnz_pad = pack_sparse_rows_sw(mat)
+        assert (blob[: vals.size] == vals.view(np.uint8)).all()
+        assert (blob[vals.size :] == offs).all()
+
+    def test_isa_engine_uses_duplicated_offsets(self):
+        mat = make_mat(rows=2, cols=64)
+        sw = build_interleaved_tiles(mat, 2, engine="sparse-sw")
+        isa = build_interleaved_tiles(mat, 2, engine="sparse-isa")
+        assert isa.total_bytes > sw.total_bytes
+
+    def test_bad_k_tile_rejected(self):
+        with pytest.raises(ValueError, match="divide"):
+            build_interleaved_tiles(make_mat(rows=16), 5)
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            build_interleaved_tiles(make_mat(), 4, engine="bogus")
+
+
+class TestDmaCost:
+    def test_interleaved_saves_setup_cycles(self):
+        mat = make_mat()
+        dma = VEGA_MEMORY.dma
+        inter = dma_cycles_for_layout(build_interleaved_tiles(mat, 4), dma)
+        split = dma_cycles_for_layout(
+            build_interleaved_tiles(mat, 4, interleaved=False), dma
+        )
+        assert split - inter == pytest.approx(4 * dma.setup_cycles)

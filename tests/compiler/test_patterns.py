@@ -1,0 +1,81 @@
+"""Tests for sparsity pattern recognition (repro.compiler.patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import Graph
+from repro.compiler.patterns import annotate_sparsity, detect_format, sparsity_report
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8
+from repro.sparsity.pruning import nm_prune
+
+
+def pruned(rng, rows, cols, fmt):
+    w = rng.normal(size=(rows, cols))
+    return nm_prune(w, fmt)
+
+
+class TestDetectFormat:
+    def test_dense_matrix_none(self):
+        rng = np.random.default_rng(0)
+        assert detect_format(rng.normal(size=(4, 32))) is None
+
+    @pytest.mark.parametrize("fmt", [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16])
+    def test_detects_each_format(self, fmt):
+        rng = np.random.default_rng(1)
+        assert detect_format(pruned(rng, 8, 16 * fmt.m, fmt)) == fmt
+
+    def test_prefers_most_compressive(self):
+        """1:16-sparse weights also satisfy 1:8 and 1:4 — the matcher
+        must pick 1:16 (largest memory win)."""
+        rng = np.random.default_rng(2)
+        w = pruned(rng, 4, 64, FORMAT_1_16)
+        assert detect_format(w) == FORMAT_1_16
+
+    def test_misaligned_columns_none(self):
+        w = np.zeros((4, 20))
+        w[:, 0] = 1.0
+        assert detect_format(w) == FORMAT_1_4  # 20 % 4 == 0 only
+
+    def test_all_zero_treated_dense(self):
+        assert detect_format(np.zeros((4, 32))) is None
+
+    def test_non_2d_none(self):
+        assert detect_format(np.zeros(16)) is None
+
+
+class TestAnnotate:
+    def test_annotates_conv_and_dense(self):
+        rng = np.random.default_rng(3)
+        g = Graph()
+        x = g.add_input("in", (8, 8, 16))
+        wc = pruned(rng, 4, 9 * 16, FORMAT_1_8).reshape(4, 3, 3, 16)
+        x = g.add_conv2d("conv", x, wc.astype(np.float32))
+        x = g.add_global_avgpool("pool", x)
+        wd = rng.normal(size=(10, 4)).astype(np.float32)
+        g.add_dense("fc", x, wd)
+        annotate_sparsity(g)
+        assert g.node("conv").attrs["sparse_fmt"] == FORMAT_1_8
+        assert g.node("fc").attrs["sparse_fmt"] is None
+
+    def test_prefers_quantized_weights(self):
+        """Annotation must look at weights_q when present (what the
+        kernels actually execute)."""
+        rng = np.random.default_rng(4)
+        g = Graph()
+        x = g.add_input("in", (16,))
+        node_name = g.add_dense(
+            "fc", x, rng.normal(size=(4, 16)).astype(np.float32)
+        )
+        wq = nm_prune(rng.normal(size=(4, 16)), FORMAT_1_4)
+        g.node(node_name).attrs["weights_q"] = (wq * 10).astype(np.int8)
+        annotate_sparsity(g)
+        assert g.node("fc").attrs["sparse_fmt"] == FORMAT_1_4
+
+    def test_report_rows(self):
+        rng = np.random.default_rng(5)
+        g = Graph()
+        x = g.add_input("in", (16,))
+        g.add_dense("fc", x, rng.normal(size=(4, 16)).astype(np.float32))
+        annotate_sparsity(g)
+        rows = sparsity_report(g)
+        assert rows == [("fc", "dense", "dense")]

@@ -1,0 +1,90 @@
+"""Tests for the format-aware tiler (repro.compiler.tiling)."""
+
+import pytest
+
+from repro.compiler.tiling import bits_per_weight, tile_conv, tile_fc
+from repro.hw.memory import VEGA_MEMORY
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8
+
+
+class TestBitsPerWeight:
+    def test_dense_8_bits(self):
+        assert bits_per_weight(None, "dense-4x2", "conv") == 8.0
+
+    def test_paper_example_1_4_isa(self):
+        """Sec. 4.4: 1:4 with replicated offsets = 3 bits/dense weight."""
+        assert bits_per_weight(FORMAT_1_4, "sparse-isa", "conv") == 3.0
+
+    def test_fc_isa_no_duplication(self):
+        assert bits_per_weight(FORMAT_1_4, "sparse-isa", "fc") == 2.5
+
+    def test_naive_mode_always_8(self):
+        assert bits_per_weight(FORMAT_1_16, "sparse-sw", "conv", False) == 8.0
+
+
+class TestTileConv:
+    def test_small_layer_untiled(self):
+        shape = ConvShape(iy=8, ix=8, c=32, k=32)
+        sol = tile_conv(shape)
+        assert sol.n_tiles == 1
+        assert sol.tile_bytes <= VEGA_MEMORY.l1.size_bytes
+
+    def test_big_layer_tiles_over_k(self):
+        shape = ConvShape(iy=8, ix=8, c=256, k=512)
+        sol = tile_conv(shape)
+        assert sol.n_tiles > 1
+        assert sol.k_tile < 512
+
+    def test_sparse_needs_fewer_tiles(self):
+        """The paper's point: true bits/weight lets sparse layers fit
+        larger tiles than an 8-bit-assuming tiler."""
+        shape = ConvShape(iy=8, ix=8, c=256, k=512)
+        dense = tile_conv(shape)
+        sparse = tile_conv(shape, FORMAT_1_16, "sparse-sw")
+        assert sparse.n_tiles <= dense.n_tiles
+        assert sparse.n_tiles < dense.n_tiles
+
+    def test_format_aware_beats_naive(self):
+        shape = ConvShape(iy=8, ix=8, c=256, k=512)
+        aware = tile_conv(shape, FORMAT_1_4, "sparse-isa", format_aware=True)
+        naive = tile_conv(shape, FORMAT_1_4, "sparse-isa", format_aware=False)
+        assert aware.n_tiles <= naive.n_tiles
+
+    def test_tile_fits_l1(self):
+        """ResNet18-like geometries (channel count shrinks the spatial
+        dims, keeping the per-core im2col buffers inside L1)."""
+        for iy, c, k in ((32, 64, 64), (16, 128, 128), (8, 256, 256), (4, 512, 512)):
+            sol = tile_conv(ConvShape(iy=iy, ix=iy, c=c, k=k))
+            assert sol.tile_bytes <= VEGA_MEMORY.l1.size_bytes
+
+    def test_c512_at_large_spatial_infeasible(self):
+        """At C=512 the im2col buffers alone eat ~74 kB of L1 (the
+        paper notes tiles become very small already at C=256)."""
+        with pytest.raises(ValueError, match="does not fit"):
+            tile_conv(ConvShape(iy=16, ix=16, c=512, k=512))
+
+    def test_infeasible_layer_raises(self):
+        # A single output row with enormous channel count cannot fit.
+        shape = ConvShape(iy=1, ix=1024, c=4096, k=1, fy=1, fx=1, p=0)
+        with pytest.raises(ValueError, match="does not fit"):
+            tile_conv(shape)
+
+
+class TestTileFc:
+    def test_small_fc_untiled(self):
+        assert tile_fc(FcShape(c=256, k=64)).n_tiles == 1
+
+    def test_large_fc_tiles(self):
+        sol = tile_fc(FcShape(c=4096, k=512))
+        assert sol.n_tiles > 1
+        assert sol.k_tile * 4096 * 2 + 4096 + sol.k_tile <= VEGA_MEMORY.l1.size_bytes
+
+    def test_sparse_fc_fits_more_channels(self):
+        dense = tile_fc(FcShape(c=4096, k=512))
+        sparse = tile_fc(FcShape(c=4096, k=512), FORMAT_1_8, "sparse-sw")
+        assert sparse.k_tile >= dense.k_tile
+
+    def test_dma_setups_property(self):
+        sol = tile_fc(FcShape(c=4096, k=512))
+        assert sol.dma_setups == sol.n_tiles

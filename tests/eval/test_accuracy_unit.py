@@ -1,0 +1,45 @@
+"""Unit tests for the accuracy-trend harness (repro.eval.accuracy)."""
+
+import numpy as np
+
+from repro.eval.accuracy import accuracy_trend, build_small_cnn
+from repro.sparsity.nm import FORMAT_1_8
+from repro.train.autograd import Tensor
+from repro.train.srste import SparseConv2d, SparseLinear
+
+
+class TestBuildSmallCnn:
+    def test_dense_has_no_sparse_layers(self):
+        model = build_small_cnn(8, None)
+        assert not any(
+            isinstance(l, (SparseConv2d, SparseLinear)) for l in model.layers
+        )
+
+    def test_sparse_has_two_sparse_layers(self):
+        model = build_small_cnn(8, FORMAT_1_8)
+        sparse = [
+            l for l in model.layers if isinstance(l, (SparseConv2d, SparseLinear))
+        ]
+        assert len(sparse) == 2
+
+    def test_forward_shape(self):
+        model = build_small_cnn(8, FORMAT_1_8)
+        out = model(Tensor(np.zeros((2, 16, 16, 3))))
+        assert out.shape == (2, 8)
+
+    def test_stem_stays_dense(self):
+        """Mirrors the paper: the C=3 stem cannot satisfy any pattern."""
+        model = build_small_cnn(8, FORMAT_1_8)
+        assert not isinstance(model.layers[0], SparseConv2d)
+
+
+class TestTrendHarness:
+    def test_quick_run_structure(self):
+        table, points = accuracy_trend(
+            epochs=1, n_train=64, n_classes=4, seed=0
+        )
+        assert [p.label for p in points] == ["dense", "1:4", "1:8", "1:16"]
+        assert len(table.rows) == 4
+        for p in points:
+            assert 0.0 <= p.accuracy <= 1.0
+        assert all(p.weights_are_nm for p in points)

@@ -1,0 +1,111 @@
+"""Tests for the experiment harness (repro.eval): structural checks on
+each table builder plus the paper-value anchors that unit tests (rather
+than benches) should pin down."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ablations import (
+    im2col_strategy_table,
+    layout_interleaving_table,
+    offset_duplication_table,
+    tiling_awareness_table,
+    unrolling_table,
+)
+from repro.eval.fig8 import average_speedup, fig8_conv, fig8_fc
+from repro.eval.formats import break_even_table, fig1_demo, format_memory_table
+from repro.eval.peaks import peak_macs_per_instruction, peaks_table
+from repro.eval.table3 import table3_sota
+
+
+class TestFig8:
+    def test_conv_rows_complete(self):
+        table = fig8_conv()
+        assert len(table.rows) == 32
+        assert all(r["MAC/cyc"] > 0 for r in table.rows)
+
+    def test_fc_rows_complete(self):
+        assert len(fig8_fc().rows) == 28
+
+    def test_dense_baseline_speedup_is_one(self):
+        table = fig8_conv()
+        for r in table.rows:
+            if r["variant"] == "dense-1x2":
+                assert r["speedup vs 1x2"] == pytest.approx(1.0)
+
+    def test_average_speedup_monotone_in_sparsity_isa(self):
+        sp = [
+            average_speedup("conv", "sparse-isa", f)
+            for f in ("1:4", "1:8", "1:16")
+        ]
+        assert sp == sorted(sp)
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises((KeyError, ValueError)):
+            average_speedup("conv", "sparse-sw", "2:4")
+
+
+class TestPeaks:
+    def test_table_has_all_families(self):
+        kinds = {(r["kind"], r["variant"]) for r in peaks_table().rows}
+        assert ("conv", "dense-4x2") in kinds
+        assert ("fc", "sparse-isa") in kinds
+
+    def test_dense_equivalent_scaling(self):
+        """Dense-equivalent peak = effective peak x M."""
+        for m in (8, 16):
+            eff = peak_macs_per_instruction("conv", "sparse-sw", m)
+            row = next(
+                r
+                for r in peaks_table().rows
+                if r["variant"] == "sparse-sw" and r["M"] == m and r["kind"] == "conv"
+            )
+            assert row["dense-equivalent"] == pytest.approx(eff * m)
+
+
+class TestFormats:
+    def test_memory_table_orderings(self):
+        for r in format_memory_table().rows:
+            assert r["N:M (SW)"] < r["CSR"] < r["COO"]
+
+    def test_break_even_has_nm_rows(self):
+        fmts = [r["format"] for r in break_even_table().rows]
+        assert "N:M 1:16" in fmts
+
+    def test_fig1_all_same_support_size(self):
+        demo = fig1_demo()
+        for name in ("unstructured", "1:4", "block"):
+            assert (demo[name] != 0).sum() == 16  # 25% of 64
+
+
+class TestTable3:
+    def test_has_ours_rows(self):
+        names = [r["benchmark"] for r in table3_sota().rows]
+        assert "ResNet18-SW (ours)" in names
+        assert "ResNet18-ISA (ours)" in names
+
+    def test_area_column_only_for_hw_rows(self):
+        rows = {r["benchmark"]: r.get("area %") for r in table3_sota().rows}
+        assert rows["spMV (SSSR)"] == 44.0
+        assert rows["LeNet (Scalpel)"] is None
+
+
+class TestAblations:
+    def test_im2col_strategies_ranked(self):
+        ratios = [r["vs chosen"] for r in im2col_strategy_table().rows]
+        assert min(ratios) == 1.0
+
+    def test_duplication_table_rows(self):
+        assert len(offset_duplication_table().rows) == 3
+
+    def test_tiling_table_rows(self):
+        assert len(tiling_awareness_table().rows) == 4
+
+    def test_layout_table_savings_positive(self):
+        assert all(
+            r["DMA cycles saved"] > 0 for r in layout_interleaving_table().rows
+        )
+
+    def test_unrolling_instructions_decrease_per_mac(self):
+        per_mac = [r["instr per MAC"] for r in unrolling_table().rows]
+        assert per_mac == sorted(per_mac, reverse=True)

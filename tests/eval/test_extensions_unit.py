@@ -1,0 +1,61 @@
+"""Unit tests for the extension experiments (repro.eval.extensions)."""
+
+import pytest
+
+from repro.eval.extensions import (
+    MIXED_SCHEDULES,
+    double_buffering_table,
+    energy_table,
+    mixed_sparsity_table,
+    unstructured_comparison_table,
+)
+
+
+class TestEnergyTable:
+    def test_rows_and_columns(self):
+        table = energy_table()
+        assert len(table.rows) == 8
+        assert "pJ/MAC" in table.columns
+
+    def test_components_sum_below_total_column(self):
+        for r in energy_table().rows:
+            parts = r["core uJ"] + r["L1 uJ"] + r["L2 uJ"]
+            assert parts < r["total uJ"]  # background term remains
+
+    def test_isa_beats_sw_at_every_format(self):
+        rows = {(r["variant"], r["fmt"]): r["total uJ"] for r in energy_table().rows}
+        for fmt in ("1:4", "1:8", "1:16"):
+            assert rows[("sparse-isa", fmt)] < rows[("sparse-sw", fmt)]
+
+
+class TestMixedSchedules:
+    def test_schedule_registry(self):
+        assert "uniform 1:8" in MIXED_SCHEDULES
+        assert all(len(s) == 4 for s in MIXED_SCHEDULES.values())
+
+    def test_table_has_dense_row(self):
+        names = [r["schedule"] for r in mixed_sparsity_table().rows]
+        assert "dense (PULP-NN)" in names
+        assert len(names) == 1 + len(MIXED_SCHEDULES)
+
+
+class TestUnstructured:
+    def test_three_sparsity_points(self):
+        assert len(unstructured_comparison_table().rows) == 3
+
+    def test_csr_improves_with_sparsity(self):
+        speedups = [r["CSR speedup"] for r in unstructured_comparison_table().rows]
+        assert speedups == sorted(speedups)
+
+
+class TestDoubleBuffering:
+    def test_four_rows(self):
+        assert len(double_buffering_table().rows) == 4
+
+    def test_conv_compute_bound_fc_memory_bound(self):
+        rows = {
+            (r["layer"], r["policy"]): r for r in double_buffering_table().rows
+        }
+        conv = rows[("conv C=128 K=256", "double-buffered")]
+        fc = rows[("fc C=2048 K=256", "double-buffered")]
+        assert conv["transfer/compute"] < fc["transfer/compute"]

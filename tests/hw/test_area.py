@@ -1,0 +1,67 @@
+"""Tests for the area ledger (repro.hw.area)."""
+
+import pytest
+
+from repro.hw.area import (
+    AreaModel,
+    RI5CY_NO_FPU_KGE,
+    RI5CY_WITH_FPU_KGE,
+    SSSR_MAX_KGE,
+    XDECIMATE_OVERHEAD,
+    sssr_core,
+    xdecimate_core,
+)
+
+
+class TestAreaModel:
+    def test_total(self):
+        m = AreaModel()
+        m.add("core", 70.0)
+        m.add("xfu", 3.5)
+        assert m.total() == pytest.approx(73.5)
+
+    def test_overhead(self):
+        m = AreaModel()
+        m.add("core", 100.0)
+        m.add("ext", 5.0)
+        assert m.overhead_vs(100.0) == pytest.approx(0.05)
+
+    def test_duplicate_rejected(self):
+        m = AreaModel()
+        m.add("core", 1.0)
+        with pytest.raises(ValueError):
+            m.add("core", 2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AreaModel().add("x", -1.0)
+
+    def test_bad_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            AreaModel().overhead_vs(0.0)
+
+
+class TestPaperNumbers:
+    def test_xdecimate_is_5_percent(self):
+        """Sec. 4.3 / Table 3: the XFU costs 5.0% of the core."""
+        assert xdecimate_core().overhead == pytest.approx(0.05)
+
+    def test_sssr_is_44_percent(self):
+        """Sec. 3 / Table 3: SSSR costs up to 44% of an FPU-less core."""
+        assert sssr_core().overhead == pytest.approx(0.44)
+
+    def test_sssr_vs_fpu_core_20_to_31_percent(self):
+        """Scheffler et al.: 20-31 kGE = 20-31% of the 102 kGE core."""
+        assert SSSR_MAX_KGE / RI5CY_WITH_FPU_KGE == pytest.approx(0.304, abs=0.01)
+
+    def test_ledger_consistency(self):
+        """The implied FPU-less core must be smaller than the FPU one."""
+        assert RI5CY_NO_FPU_KGE < RI5CY_WITH_FPU_KGE
+
+    def test_xdecimate_much_cheaper_than_sssr(self):
+        """The headline HW claim: ~9x less area than SSSR."""
+        ratio = sssr_core().extension_kge / xdecimate_core().extension_kge
+        assert ratio > 8
+
+    def test_overhead_constant_matches(self):
+        assert XDECIMATE_OVERHEAD == 0.05

@@ -1,0 +1,55 @@
+"""Tests for the cluster parallelisation model (repro.hw.cluster)."""
+
+import pytest
+
+from repro.hw.cluster import ClusterConfig, VEGA_CLUSTER
+
+
+class TestSplit:
+    def test_even_split(self):
+        assert VEGA_CLUSTER.split(64) == 8
+
+    def test_uneven_split_ceils(self):
+        assert VEGA_CLUSTER.split(65) == 9
+
+    def test_fewer_items_than_cores(self):
+        assert VEGA_CLUSTER.split(3) == 1
+
+    def test_zero(self):
+        assert VEGA_CLUSTER.split(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VEGA_CLUSTER.split(-1)
+
+
+class TestSpan:
+    def test_span_includes_barrier(self):
+        c = ClusterConfig(n_cores=4, barrier_cycles=10)
+        assert c.span_cycles(8, 100.0) == 2 * 100 + 10
+
+    def test_span_dominated_by_slowest_core(self):
+        c = ClusterConfig(n_cores=8, barrier_cycles=0)
+        assert c.span_cycles(9, 50.0) == 2 * 50
+
+
+class TestEfficiency:
+    def test_perfect_balance(self):
+        assert VEGA_CLUSTER.efficiency(64) == 1.0
+
+    def test_imbalance_penalty(self):
+        # 9 items on 8 cores: makespan 2, utilisation 9/16
+        assert VEGA_CLUSTER.efficiency(9) == pytest.approx(9 / 16)
+
+    def test_empty(self):
+        assert VEGA_CLUSTER.efficiency(0) == 1.0
+
+    def test_nm_uniformity_claim(self):
+        """Equally sized N:M tensor portions need equal work (Sec. 2.1),
+        so OX*OY grids that divide evenly reach efficiency 1."""
+        for grid in (8 * 8, 16 * 16, 32 * 32):
+            assert VEGA_CLUSTER.efficiency(grid // 2) == 1.0
+
+
+def test_vega_has_8_cores():
+    assert VEGA_CLUSTER.n_cores == 8

@@ -1,0 +1,368 @@
+"""Tests for the core interpreter (repro.hw.cpu)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.cpu import Core, PipelineModel
+from repro.hw.isa import Asm, Instr
+
+
+def make_core(mem_size=4096, **pipe):
+    mem = np.zeros(mem_size, dtype=np.uint8)
+    return Core(mem, pipeline=PipelineModel(**pipe) if pipe else None)
+
+
+def run(asm: Asm, core: Core | None = None):
+    core = core or make_core()
+    stats = core.run(asm.build())
+    return core, stats
+
+
+class TestAlu:
+    def test_li_mv_add(self):
+        a = Asm()
+        a.li(1, 5)
+        a.li(2, 7)
+        a.add(3, 1, 2)
+        a.mv(4, 3)
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[3] == 12 and core.regs[4] == 12
+
+    def test_sub_wraps_32bit(self):
+        a = Asm()
+        a.li(1, 0)
+        a.li(2, 1)
+        a.sub(3, 1, 2)
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[3] == 0xFFFFFFFF
+
+    def test_logic_ops(self):
+        a = Asm()
+        a.li(1, 0b1100)
+        a.li(2, 0b1010)
+        a.and_(3, 1, 2)
+        a.or_(4, 1, 2)
+        a.xor(5, 1, 2)
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[3] == 0b1000
+        assert core.regs[4] == 0b1110
+        assert core.regs[5] == 0b0110
+
+    def test_shifts(self):
+        a = Asm()
+        a.li(1, 0x80000000)
+        a.srli(2, 1, 4)
+        a.srai(3, 1, 4)
+        a.li(4, 1)
+        a.slli(5, 4, 31)
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[2] == 0x08000000
+        assert core.regs[3] == 0xF8000000
+        assert core.regs[5] == 0x80000000
+
+    def test_reg_reg_shifts(self):
+        a = Asm()
+        a.li(1, 0xF0)
+        a.li(2, 4)
+        a.srl(3, 1, 2)
+        a.sll(4, 1, 2)
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[3] == 0xF
+        assert core.regs[4] == 0xF00
+
+    def test_x0_hardwired_zero(self):
+        a = Asm()
+        a.li(0, 99)
+        a.addi(1, 0, 3)
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[0] == 0 and core.regs[1] == 3
+
+    def test_mul(self):
+        a = Asm()
+        a.li(1, 1000)
+        a.li(2, 1000)
+        a.mul(3, 1, 2)
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[3] == 1_000_000
+
+
+class TestMemoryOps:
+    def test_word_roundtrip_little_endian(self):
+        core = make_core()
+        a = Asm()
+        a.li(1, 0x12345678)
+        a.li(2, 100)
+        a.sw(1, 2, 0)
+        a.lw(3, 2, 0)
+        a.lbu(4, 2, 0)
+        a.halt()
+        core.run(a.build())
+        assert core.regs[3] == 0x12345678
+        assert core.regs[4] == 0x78  # LSB first
+
+    def test_lb_sign_extends(self):
+        core = make_core()
+        core.mem[50] = 0x80
+        a = Asm()
+        a.li(1, 50)
+        a.lb(2, 1, 0)
+        a.lbu(3, 1, 0)
+        a.halt()
+        core.run(a.build())
+        assert core.regs[2] == 0xFFFFFF80
+        assert core.regs[3] == 0x80
+
+    def test_post_increment(self):
+        core = make_core()
+        core.mem[0:8] = range(8)
+        a = Asm()
+        a.li(1, 0)
+        a.lw(2, 1, post=4)
+        a.lw(3, 1, post=4)
+        a.halt()
+        core.run(a.build())
+        assert core.regs[1] == 8
+        assert core.regs[2] == 0x03020100
+        assert core.regs[3] == 0x07060504
+
+    def test_lbu_rr_indexed(self):
+        core = make_core()
+        core.mem[70] = 42
+        a = Asm()
+        a.li(1, 64)
+        a.li(2, 6)
+        a.lbu_rr(3, 1, 2)
+        a.halt()
+        core.run(a.build())
+        assert core.regs[3] == 42
+
+    def test_lbu_ins_lane_merge(self):
+        core = make_core()
+        core.mem[10] = 0xAB
+        a = Asm()
+        a.li(1, 10)
+        a.li(2, 0)
+        a.li(3, 0x11223344)
+        a.lbu_ins(3, 1, 2, (0 << 2) | 2)  # disp 0, lane 2
+        a.halt()
+        core.run(a.build())
+        assert core.regs[3] == 0x11AB3344
+
+    def test_sb(self):
+        core = make_core()
+        a = Asm()
+        a.li(1, 0x1FF)
+        a.li(2, 20)
+        a.sb(1, 2, 0)
+        a.halt()
+        core.run(a.build())
+        assert core.mem[20] == 0xFF
+
+
+class TestSimd:
+    def test_sdotp_signed_lanes(self):
+        a = Asm()
+        # lanes: 1, -1, 127, -128 times 2, 3, 1, 1
+        a.li(1, (0x01 | (0xFF << 8) | (0x7F << 16) | (0x80 << 24)))
+        a.li(2, (0x02 | (0x03 << 8) | (0x01 << 16) | (0x01 << 24)))
+        a.li(3, 10)
+        a.sdotp(3, 1, 2)
+        a.halt()
+        core, _ = run(a)
+        expected = 10 + (1 * 2 + (-1) * 3 + 127 * 1 + (-128) * 1)
+        assert core.regs[3] == expected & 0xFFFFFFFF
+
+    def test_sdotp_accumulates(self):
+        a = Asm()
+        a.li(1, 0x01010101)
+        a.li(2, 0x01010101)
+        a.li(3, 0)
+        a.sdotp(3, 1, 2)
+        a.sdotp(3, 1, 2)
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[3] == 8
+
+    def test_sdotup_unsigned(self):
+        a = Asm()
+        a.li(1, 0xFF)
+        a.li(2, 0x02)
+        a.li(3, 0)
+        a.sdotup(3, 1, 2)
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[3] == 510
+
+
+class TestControlFlow:
+    def test_branch_loop(self):
+        a = Asm()
+        a.li(1, 0)
+        a.li(2, 10)
+        a.label("loop")
+        a.addi(1, 1, 1)
+        a.blt(1, 2, "loop")
+        a.halt()
+        core, stats = run(a)
+        assert core.regs[1] == 10
+        # 9 taken branches pay the penalty
+        assert stats.stalls == 9 * PipelineModel().taken_branch_penalty
+
+    def test_beq_bne_bge(self):
+        a = Asm()
+        a.li(1, 5)
+        a.li(2, 5)
+        a.beq(1, 2, "eq")
+        a.li(3, 111)  # skipped
+        a.label("eq")
+        a.bne(1, 2, "never")
+        a.bge(1, 2, "ge")
+        a.li(4, 222)  # skipped
+        a.label("ge")
+        a.li(5, 1)
+        a.label("never")
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[3] == 0 and core.regs[4] == 0 and core.regs[5] == 1
+
+    def test_hwloop_zero_overhead(self):
+        a = Asm()
+        a.li(1, 0)
+        a.lp_setup(5, "end")
+        a.addi(1, 1, 2)
+        a.label("end")
+        a.halt()
+        core, stats = run(a)
+        assert core.regs[1] == 10
+        assert stats.stalls == 0  # no branch penalty in hardware loops
+
+    def test_hwloop_zero_trip_skips_body(self):
+        a = Asm()
+        a.li(1, 7)
+        a.lp_setup(0, "end")
+        a.li(1, 999)
+        a.label("end")
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[1] == 7
+
+    def test_nested_hwloops(self):
+        a = Asm()
+        a.li(1, 0)
+        a.lp_setup(3, "outer")
+        a.lp_setup(4, "inner")
+        a.addi(1, 1, 1)
+        a.label("inner")
+        a.label("outer")
+        a.halt()
+        core, _ = run(a)
+        assert core.regs[1] == 12
+
+    def test_runaway_guard(self):
+        a = Asm()
+        a.label("spin")
+        a.j("spin")
+        prog = a.build()
+        with pytest.raises(RuntimeError, match="exceeded"):
+            make_core().run(prog, max_steps=100)
+
+
+class TestHazards:
+    def test_load_use_stall(self):
+        core = make_core()
+        a = Asm()
+        a.li(1, 0)
+        a.lw(2, 1, 0)
+        a.addi(3, 2, 1)  # consumes the load result immediately
+        a.halt()
+        _, stats = (core, core.run(a.build()))
+        assert stats.stalls == 1
+
+    def test_no_stall_with_gap(self):
+        core = make_core()
+        a = Asm()
+        a.li(1, 0)
+        a.lw(2, 1, 0)
+        a.li(4, 9)  # filler
+        a.addi(3, 2, 1)
+        a.halt()
+        stats = core.run(a.build())
+        assert stats.stalls == 0
+
+    def test_consecutive_xdec_no_stall(self):
+        """Sec. 4.3: the XFU forwards rd between consecutive xDecimate."""
+        core = make_core()
+        a = Asm()
+        a.li(1, 0)
+        a.li(2, 0)
+        a.xdec(3, 1, 2, 8)
+        a.xdec(3, 1, 2, 8)
+        a.xdec(3, 1, 2, 8)
+        a.halt()
+        stats = core.run(a.build())
+        assert stats.stalls == 0
+
+    def test_xdec_then_alu_stalls(self):
+        """xDecimate is a load: a dependent ALU op right after stalls."""
+        core = make_core()
+        a = Asm()
+        a.li(1, 0)
+        a.li(2, 0)
+        a.xdec(3, 1, 2, 8)
+        a.addi(4, 3, 0)
+        a.halt()
+        stats = core.run(a.build())
+        assert stats.stalls == 1
+
+
+class TestStats:
+    def test_macs_counted(self):
+        a = Asm()
+        a.li(1, 0)
+        a.li(2, 0)
+        a.li(3, 0)
+        a.sdotp(3, 1, 2)
+        a.sdotp(3, 1, 2)
+        a.halt()
+        _, stats = run(a)
+        assert stats.macs == 8
+        assert stats.op_counts["sdotp"] == 2
+
+    def test_cycles_is_instr_plus_stalls(self):
+        core = make_core()
+        a = Asm()
+        a.li(1, 0)
+        a.lw(2, 1, 0)
+        a.addi(3, 2, 1)
+        a.halt()
+        stats = core.run(a.build())
+        assert stats.cycles == stats.instructions + stats.stalls
+
+
+class TestValidation:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            Instr("frobnicate")
+
+    def test_undefined_label_rejected(self):
+        a = Asm()
+        a.j("nowhere")
+        with pytest.raises(ValueError, match="undefined label"):
+            a.build()
+
+    def test_duplicate_label_rejected(self):
+        a = Asm()
+        a.label("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            a.label("x")
+
+    def test_memory_must_be_uint8(self):
+        with pytest.raises(ValueError):
+            Core(np.zeros(16, dtype=np.int32))

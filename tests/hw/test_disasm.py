@@ -1,0 +1,66 @@
+"""Tests for the disassembler (repro.hw.disasm)."""
+
+from repro.hw.disasm import disassemble, format_instr
+from repro.hw.isa import Asm, Instr
+from repro.kernels.microcode import conv_pair_sparse_isa
+from repro.sparsity.nm import FORMAT_1_8
+
+
+class TestFormatInstr:
+    def test_alu(self):
+        assert format_instr(Instr("add", rd=3, rs1=1, rs2=2)) == "add   x3, x1, x2"
+
+    def test_load_post_increment(self):
+        text = format_instr(Instr("lw", rd=5, rs1=6, post=4))
+        assert text == "lw    x5, 4(x6!)"
+
+    def test_plain_load(self):
+        assert format_instr(Instr("lbu", rd=2, rs1=1, imm=8)) == "lbu   x2, 8(x1)"
+
+    def test_sdotp(self):
+        assert "pv.sdotsp.b" in format_instr(Instr("sdotp", rd=1, rs1=2, rs2=3))
+
+    def test_xdec(self):
+        text = format_instr(Instr("xdec", rd=1, rs1=2, rs2=3, imm=16))
+        assert text == "xdecimate.m16 x1, x2, x3"
+
+    def test_lbu_ins(self):
+        text = format_instr(Instr("lbu_ins", rd=8, rs1=10, rs2=27, imm=(16 << 2) | 2))
+        assert "x8[2]" in text and "16+" in text
+
+    def test_lp_setup(self):
+        assert (
+            format_instr(Instr("lp_setup", imm=7, label="end"))
+            == "lp.setup 7, end"
+        )
+
+    def test_all_opcodes_format(self):
+        """Every opcode must render without falling through."""
+        from repro.hw.isa import OPCODES
+
+        for op in OPCODES:
+            ins = Instr(op, rd=1, rs1=2, rs2=3, imm=4 if op != "xdec" else 8,
+                        label="l" if "label" in OPCODES[op] else None)
+            text = format_instr(ins)
+            assert text and text != op or op in ("halt", "xdec_clear")
+
+
+class TestDisassemble:
+    def test_labels_rendered(self):
+        a = Asm()
+        a.li(1, 0)
+        a.label("loop")
+        a.addi(1, 1, 1)
+        a.blt(1, 2, "loop")
+        a.halt()
+        listing = disassemble(a.build())
+        assert "loop:" in listing
+        assert "blt" in listing
+
+    def test_real_kernel_listing(self):
+        prog = conv_pair_sparse_isa(FORMAT_1_8, 2, 8, 0, 64, 128, 256, 512)
+        listing = disassemble(prog)
+        assert "xdecimate.m8" in listing
+        assert "xdecimate.clear" in listing
+        assert "lp.setup" in listing
+        assert listing.count("\n") + 1 >= len(prog.instrs)

@@ -1,0 +1,113 @@
+"""Tests for the energy model and double-buffering timeline
+(repro.hw.energy / repro.hw.pipeline)."""
+
+import pytest
+
+from repro.hw.energy import EnergyParams, conv_layer_energy, fc_layer_energy
+from repro.hw.memory import DmaModel
+from repro.hw.pipeline import double_buffered_cycles, serialized_cycles
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8
+
+SHAPE = ConvShape(iy=8, ix=8, c=64, k=128)
+
+
+class TestEnergyParams:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyParams(instruction_pj=-1)
+
+    def test_l2_costlier_than_l1(self):
+        p = EnergyParams()
+        assert p.l2_byte_pj > p.l1_access_pj
+
+
+class TestConvEnergy:
+    def test_breakdown_positive(self):
+        e = conv_layer_energy(SHAPE, "dense-4x2")
+        assert e.core > 0 and e.l1 > 0 and e.l2 > 0 and e.background > 0
+        assert e.total_pj == pytest.approx(e.core + e.l1 + e.l2 + e.background)
+        assert e.total_uj == pytest.approx(e.total_pj / 1e6)
+
+    def test_pj_per_mac_in_plausible_range(self):
+        """Vega-class efficiency: order of 1 pJ per 8-bit MAC."""
+        e = conv_layer_energy(SHAPE, "dense-4x2")
+        assert 0.2 < e.pj_per_mac < 10
+
+    def test_high_sparsity_saves_energy(self):
+        dense = conv_layer_energy(SHAPE, "dense-4x2")
+        for fmt in (FORMAT_1_8, FORMAT_1_16):
+            sparse = conv_layer_energy(SHAPE, "sparse-isa", fmt)
+            assert sparse.total_pj < dense.total_pj
+
+    def test_energy_monotone_in_sparsity(self):
+        sw = [
+            conv_layer_energy(SHAPE, "sparse-sw", f).total_pj
+            for f in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16)
+        ]
+        assert sw == sorted(sw, reverse=True)
+
+    def test_l2_energy_tracks_weight_stream(self):
+        """The paper's expectation: savings also come from reduced
+        memory traffic, not only from skipped compute."""
+        dense = conv_layer_energy(SHAPE, "dense-1x2")
+        sparse = conv_layer_energy(SHAPE, "sparse-sw", FORMAT_1_16)
+        assert sparse.l2 < dense.l2 / 2
+
+    def test_isa_saves_core_energy_vs_sw(self):
+        sw = conv_layer_energy(SHAPE, "sparse-sw", FORMAT_1_8)
+        isa = conv_layer_energy(SHAPE, "sparse-isa", FORMAT_1_8)
+        assert isa.core < sw.core
+
+
+class TestFcEnergy:
+    def test_tokens_scale(self):
+        one = fc_layer_energy(FcShape(c=256, k=64), "dense")
+        ten = fc_layer_energy(FcShape(c=256, k=64, tokens=10), "dense")
+        assert ten.total_pj == pytest.approx(10 * one.total_pj)
+
+    def test_sparse_saves(self):
+        dense = fc_layer_energy(FcShape(c=1024, k=256), "dense")
+        sparse = fc_layer_energy(FcShape(c=1024, k=256), "sparse-isa", FORMAT_1_16)
+        assert sparse.total_pj < dense.total_pj
+
+
+class TestPipeline:
+    DMA = DmaModel(bandwidth_bytes_per_cycle=8, setup_cycles=0)
+
+    def test_fully_hidden_when_compute_dominates(self):
+        tl = double_buffered_cycles([1000.0] * 4, [80.0] * 4, self.DMA)
+        # Only the first tile's 10-cycle transfer is exposed.
+        assert tl.total_cycles == pytest.approx(4000 + 10)
+        assert tl.hiding_efficiency > 0.7
+
+    def test_transfer_bound_when_stream_dominates(self):
+        tl = double_buffered_cycles([10.0] * 4, [8000.0] * 4, self.DMA)
+        assert tl.total_cycles == pytest.approx(4 * 1000 + 10, rel=0.01)
+
+    def test_serialized_is_sum(self):
+        tl = serialized_cycles([100.0, 100.0], [80.0, 80.0], self.DMA)
+        assert tl.total_cycles == pytest.approx(200 + 20)
+        assert tl.hiding_efficiency == 0.0
+
+    def test_double_buffer_never_slower(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            comp = list(rng.uniform(10, 1000, 5))
+            byts = list(rng.uniform(10, 5000, 5))
+            db = double_buffered_cycles(comp, byts, self.DMA)
+            ser = serialized_cycles(comp, byts, self.DMA)
+            assert db.total_cycles <= ser.total_cycles + 1e-9
+
+    def test_empty_schedule(self):
+        tl = double_buffered_cycles([], [], self.DMA)
+        assert tl.total_cycles == 0.0
+        assert tl.hiding_efficiency == 1.0
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(ValueError):
+            double_buffered_cycles([1.0], [], self.DMA)
+        with pytest.raises(ValueError):
+            serialized_cycles([1.0], [], self.DMA)

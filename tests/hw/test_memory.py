@@ -1,0 +1,64 @@
+"""Tests for the memory hierarchy and DMA model (repro.hw.memory)."""
+
+import pytest
+
+from repro.hw.memory import DmaModel, MemoryHierarchy, MemoryLevel, VEGA_MEMORY
+
+
+class TestMemoryLevel:
+    def test_fits(self):
+        l1 = MemoryLevel("L1", 1024)
+        assert l1.fits(1024)
+        assert not l1.fits(1025)
+        assert not l1.fits(-1)
+
+
+class TestDma:
+    def test_zero_bytes_free(self):
+        assert DmaModel().cycles(0) == 0.0
+
+    def test_setup_plus_stream(self):
+        dma = DmaModel(bandwidth_bytes_per_cycle=8, setup_cycles=40)
+        assert dma.cycles(800) == 40 + 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DmaModel().cycles(-1)
+
+    def test_multi_transfer_pays_setup_per_burst(self):
+        dma = DmaModel(bandwidth_bytes_per_cycle=8, setup_cycles=40)
+        one = dma.cycles_multi(800, 1)
+        two = dma.cycles_multi(800, 2)
+        assert two == one + 40
+
+    def test_multi_rejects_zero(self):
+        with pytest.raises(ValueError):
+            DmaModel().cycles_multi(100, 0)
+
+    def test_interleaved_layout_saves_one_setup(self):
+        """Sec. 4.4 item 3: weights+indices in one DMA transaction."""
+        dma = VEGA_MEMORY.dma
+        weights, indices = 4096, 512
+        split = dma.cycles_multi(weights + indices, 2)
+        interleaved = dma.cycles_multi(weights + indices, 1)
+        assert split - interleaved == dma.setup_cycles
+
+
+class TestVegaHierarchy:
+    def test_paper_capacities(self):
+        """Sec. 2.2: 128 kB L1, 1.6 MB L2, 16 MB L3."""
+        assert VEGA_MEMORY.l1.size_bytes == 128 * 1024
+        assert VEGA_MEMORY.l2.size_bytes == 1600 * 1024
+        assert VEGA_MEMORY.l3.size_bytes == 16 * 1024 * 1024
+
+    def test_level_lookup(self):
+        assert VEGA_MEMORY.level("L1") is VEGA_MEMORY.l1
+        with pytest.raises(KeyError):
+            VEGA_MEMORY.level("L4")
+
+    def test_latency_ordering(self):
+        assert (
+            VEGA_MEMORY.l1.load_latency
+            < VEGA_MEMORY.l2.load_latency
+            < VEGA_MEMORY.l3.load_latency
+        )

@@ -1,0 +1,132 @@
+"""Tests for the xDecimate XFU behavioural model (repro.hw.xfu).
+
+These encode the Sec. 4.3 datapath equations directly."""
+
+import numpy as np
+import pytest
+
+from repro.hw.xfu import XDecimateUnit
+
+
+def flat_mem(size=4096):
+    mem = np.arange(size, dtype=np.uint32) & 0xFF
+    return lambda addr: int(mem[addr])
+
+
+class TestOffsetDecode:
+    def test_nibble_selector_m8(self):
+        """o = rs2[(csr[2:0]*4+3):(csr[2:0]*4)] for M=8."""
+        xfu = XDecimateUnit()
+        rs2 = 0x76543210
+        for i in range(8):
+            xfu.csr = i
+            assert xfu.offset_field(rs2, 8) == i
+
+    def test_nibble_selector_wraps_at_8(self):
+        xfu = XDecimateUnit(csr=8)
+        assert xfu.offset_field(0x76543210, 16) == 0
+
+    def test_crumb_selector_m4(self):
+        """1:4 uses csr[3:0] over 16 2-bit fields."""
+        xfu = XDecimateUnit()
+        rs2 = int("".join(f"{i % 4:02b}" for i in reversed(range(16))), 2)
+        for i in range(16):
+            xfu.csr = i
+            assert xfu.offset_field(rs2, 4) == i % 4
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            XDecimateUnit().offset_field(0, 5)
+
+
+class TestAddressing:
+    def test_block_index_shared_by_pairs(self):
+        """csr[15:1]: consecutive executions address the same M-block."""
+        xfu = XDecimateUnit()
+        seen = []
+        for i in range(8):
+            xfu.csr = i
+            seen.append(xfu.block_index())
+        assert seen == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_block_index_is_15_bits(self):
+        xfu = XDecimateUnit(csr=(1 << 16) | 2)
+        assert xfu.block_index() == ((1 << 16 | 2) >> 1) & 0x7FFF
+
+    def test_address_formula(self):
+        """addr = rs1 + M*csr[15:1] + o."""
+        xfu = XDecimateUnit(csr=4, record_trace=True)  # block 2, lane 2
+        got = xfu.execute(0, 100, 0x00000500, 16, flat_mem())
+        # rs2 nibble csr[2:0]=4 is 0, so addr = 100 + 16*2 + 0 = 132;
+        # the byte lands in lane csr[2:1] = 2.
+        assert xfu.trace[0].address == 132
+        assert (got >> 16) & 0xFF == 132 & 0xFF
+
+
+class TestWriteBack:
+    def test_lane_selection(self):
+        """rd[(csr[2:1]*8+7):(csr[2:1]*8)] <- MEM[addr]."""
+        xfu = XDecimateUnit()
+        rd = 0
+        load = flat_mem()
+        # csr 0,1 -> lane 0; csr 2,3 -> lane 1; etc.
+        rd = xfu.execute(rd, 0, 0x0, 8, load)  # csr0: mem[0]=0 lane0
+        rd = xfu.execute(rd, 0, 0x0, 8, load)  # csr1: mem[0]=0 lane0
+        rd = xfu.execute(rd, 1, 0x0, 8, load)  # csr2: mem[1+8]=9 lane1
+        assert (rd >> 8) & 0xFF == 9
+
+    def test_merge_preserves_other_lanes(self):
+        xfu = XDecimateUnit(csr=2)  # lane 1
+        rd = 0xAABBCCDD
+        out = xfu.execute(rd, 0, 0, 8, lambda a: 0x11)
+        assert out == 0xAABB11DD
+
+    def test_csr_autoincrement(self):
+        xfu = XDecimateUnit()
+        xfu.execute(0, 0, 0, 8, lambda a: 0)
+        xfu.execute(0, 0, 0, 8, lambda a: 0)
+        assert xfu.csr == 2
+
+    def test_clear(self):
+        xfu = XDecimateUnit(csr=77)
+        xfu.clear()
+        assert xfu.csr == 0
+
+
+class TestTrace:
+    def test_trace_records_datapath(self):
+        xfu = XDecimateUnit(record_trace=True)
+        xfu.execute(0, 64, 0x3, 8, flat_mem())
+        (entry,) = xfu.trace
+        assert entry.csr_before == 0
+        assert entry.offset == 3
+        assert entry.block_index == 0
+        assert entry.address == 67
+        assert entry.lane == 0
+        assert entry.byte == 67 & 0xFF
+
+    def test_trace_disabled_by_default(self):
+        xfu = XDecimateUnit()
+        xfu.execute(0, 0, 0, 8, lambda a: 0)
+        assert xfu.trace == []
+
+
+class TestDuplicatedOffsetContract:
+    def test_conv_pairing_reads_same_block_two_buffers(self):
+        """With duplicated offsets, calls alternating two base addresses
+        fetch the same relative element from both buffers (Sec. 4.1.3)."""
+        mem = np.zeros(256, dtype=np.uint8)
+        mem[0:64] = np.arange(64)  # buffer 1
+        mem[128:192] = np.arange(64) + 100  # buffer 2
+        load = lambda a: int(mem[a])
+        xfu = XDecimateUnit()
+        # offsets duplicated: o0=5, o0=5, o1=2, o1=2 (nibbles)
+        rs2 = 0x2255
+        b1 = xfu.execute(0, 0, rs2, 8, load)  # buf1 block0 off5
+        b2 = xfu.execute(0, 128, rs2, 8, load)  # buf2 block0 off5
+        assert b1 & 0xFF == 5
+        assert b2 & 0xFF == 105
+        b1 = xfu.execute(b1, 0, rs2, 8, load)  # buf1 block1 off2 lane1
+        b2 = xfu.execute(b2, 128, rs2, 8, load)
+        assert (b1 >> 8) & 0xFF == 10
+        assert (b2 >> 8) & 0xFF == 110

@@ -1,0 +1,179 @@
+"""Functional tests for dense and sparse conv kernels against a naive
+reference convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.conv_dense import conv2d_acc_dense, conv2d_dense
+from repro.kernels.conv_sparse import conv2d_acc_sparse, conv2d_sparse
+from repro.kernels.requant import QuantParams
+from repro.kernels.shapes import ConvShape
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import prune_conv_weights
+
+
+def naive_conv(x, weights, shape):
+    """Gold reference: direct convolution loops, int32."""
+    out = np.zeros((shape.oy, shape.ox, shape.k), dtype=np.int64)
+    for oy in range(shape.oy):
+        for ox in range(shape.ox):
+            for k in range(shape.k):
+                acc = 0
+                for fy in range(shape.fy):
+                    for fx in range(shape.fx):
+                        iy = oy * shape.s + fy - shape.p
+                        ix = ox * shape.s + fx - shape.p
+                        if 0 <= iy < shape.iy and 0 <= ix < shape.ix:
+                            acc += int(
+                                np.dot(
+                                    x[iy, ix].astype(np.int64),
+                                    weights[k, fy, fx].astype(np.int64),
+                                )
+                            )
+                out[oy, ox, k] = acc
+    return out.astype(np.int32)
+
+
+def random_layer(rng, shape):
+    x = rng.integers(-128, 128, (shape.iy, shape.ix, shape.c)).astype(np.int8)
+    w = rng.integers(-128, 128, (shape.k, shape.fy, shape.fx, shape.c)).astype(
+        np.int8
+    )
+    return x, w
+
+
+SMALL = ConvShape(iy=5, ix=6, c=8, k=4, fy=3, fx=3, s=1, p=1)
+
+
+class TestDenseConv:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x, w = random_layer(rng, SMALL)
+        assert (conv2d_acc_dense(x, w, SMALL) == naive_conv(x, w, SMALL)).all()
+
+    def test_stride_2(self):
+        shape = ConvShape(iy=8, ix=8, c=4, k=3, fy=3, fx=3, s=2, p=1)
+        rng = np.random.default_rng(1)
+        x, w = random_layer(rng, shape)
+        assert (conv2d_acc_dense(x, w, shape) == naive_conv(x, w, shape)).all()
+
+    def test_pointwise(self):
+        shape = ConvShape(iy=4, ix=4, c=16, k=8, fy=1, fx=1, s=1, p=0)
+        rng = np.random.default_rng(2)
+        x, w = random_layer(rng, shape)
+        assert (conv2d_acc_dense(x, w, shape) == naive_conv(x, w, shape)).all()
+
+    def test_requantised_output_dtype_and_range(self):
+        rng = np.random.default_rng(3)
+        x, w = random_layer(rng, SMALL)
+        out = conv2d_dense(x, w, SMALL, QuantParams(multiplier=3, shift=12))
+        assert out.dtype == np.int8
+        assert out.shape == (SMALL.oy, SMALL.ox, SMALL.k)
+
+    def test_bias_applied_before_requant(self):
+        rng = np.random.default_rng(4)
+        x, w = random_layer(rng, SMALL)
+        bias = np.full(SMALL.k, 1 << 12, dtype=np.int64)
+        out0 = conv2d_dense(x, w, SMALL, QuantParams(1, 12))
+        out1 = conv2d_dense(x, w, SMALL, QuantParams(1, 12), bias=bias)
+        diff = out1.astype(int) - out0.astype(int)
+        assert (diff[(out1 < 127) & (out0 > -128)] == 1).all()
+
+    def test_rejects_bad_weight_shape(self):
+        with pytest.raises(ValueError):
+            conv2d_acc_dense(
+                np.zeros((5, 6, 8), dtype=np.int8),
+                np.zeros((4, 3, 3, 9), dtype=np.int8),
+                SMALL,
+            )
+
+
+class TestSparseConv:
+    @pytest.mark.parametrize("fmt", [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16])
+    @pytest.mark.parametrize("method", ["gather", "dense"])
+    def test_matches_naive_on_pruned_weights(self, fmt, method):
+        shape = ConvShape(iy=4, ix=4, c=2 * fmt.m, k=4, fy=3, fx=3, s=1, p=1)
+        rng = np.random.default_rng(5)
+        x, w = random_layer(rng, shape)
+        wp = prune_conv_weights(w, fmt)
+        mat = NMSparseMatrix.from_dense(wp.reshape(shape.k, -1), fmt)
+        acc = conv2d_acc_sparse(x, mat, shape, method=method)
+        assert (acc == naive_conv(x, wp, shape)).all()
+
+    def test_gather_and_dense_methods_identical(self):
+        shape = ConvShape(iy=6, ix=5, c=16, k=40, fy=3, fx=3, s=1, p=1)
+        rng = np.random.default_rng(6)
+        x, w = random_layer(rng, shape)
+        wp = prune_conv_weights(w, FORMAT_1_8)
+        mat = NMSparseMatrix.from_dense(wp.reshape(shape.k, -1), FORMAT_1_8)
+        a = conv2d_acc_sparse(x, mat, shape, method="gather")
+        b = conv2d_acc_sparse(x, mat, shape, method="dense")
+        assert (a == b).all()
+
+    def test_k_chunking_boundary(self):
+        """K above the 32-channel gather chunk exercises the chunk loop."""
+        shape = ConvShape(iy=3, ix=3, c=8, k=70, fy=1, fx=1, s=1, p=0)
+        rng = np.random.default_rng(7)
+        x, w = random_layer(rng, shape)
+        wp = prune_conv_weights(w, FORMAT_1_4)
+        mat = NMSparseMatrix.from_dense(wp.reshape(shape.k, -1), FORMAT_1_4)
+        acc = conv2d_acc_sparse(x, mat, shape)
+        assert (acc == naive_conv(x, wp, shape)).all()
+
+    def test_sparse_equals_dense_kernel_on_same_weights(self):
+        """A sparse kernel over pruned weights == dense kernel over the
+        scattered matrix — the core correctness claim of Sec. 4.1.2."""
+        shape = ConvShape(iy=5, ix=5, c=16, k=8)
+        rng = np.random.default_rng(8)
+        x, w = random_layer(rng, shape)
+        wp = prune_conv_weights(w, FORMAT_1_8)
+        mat = NMSparseMatrix.from_dense(wp.reshape(shape.k, -1), FORMAT_1_8)
+        assert (
+            conv2d_acc_sparse(x, mat, shape)
+            == conv2d_acc_dense(x, wp, shape)
+        ).all()
+
+    def test_requantised_path(self):
+        shape = ConvShape(iy=4, ix=4, c=8, k=4)
+        rng = np.random.default_rng(9)
+        x, w = random_layer(rng, shape)
+        wp = prune_conv_weights(w, FORMAT_1_4)
+        mat = NMSparseMatrix.from_dense(wp.reshape(shape.k, -1), FORMAT_1_4)
+        out = conv2d_sparse(x, mat, shape, QuantParams(5, 14))
+        ref = conv2d_dense(x, wp, shape, QuantParams(5, 14))
+        assert (out == ref).all()
+
+    def test_rejects_mismatched_weights(self):
+        mat = NMSparseMatrix.from_dense(np.zeros((4, 32), dtype=np.int8), FORMAT_1_8)
+        with pytest.raises(ValueError):
+            conv2d_acc_sparse(np.zeros((4, 4, 8), dtype=np.int8), mat, SMALL)
+
+    def test_rejects_unknown_method(self):
+        shape = ConvShape(iy=3, ix=3, c=8, k=2, fy=1, fx=1, p=0)
+        mat = NMSparseMatrix.from_dense(np.zeros((2, 8), dtype=np.int8), FORMAT_1_4)
+        with pytest.raises(ValueError, match="method"):
+            conv2d_acc_sparse(
+                np.zeros((3, 3, 8), dtype=np.int8), mat, shape, method="nope"
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    fmt=st.sampled_from([FORMAT_1_4, FORMAT_1_8, FORMAT_1_16]),
+    c_blocks=st.integers(1, 3),
+    k=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+)
+def test_sparse_conv_property(fmt, c_blocks, k, seed):
+    """Sparse kernels agree with the dense kernel on pruned weights for
+    arbitrary N:M-compliant layers."""
+    shape = ConvShape(iy=4, ix=3, c=c_blocks * fmt.m, k=k, fy=3, fx=3, s=1, p=1)
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-128, 128, (shape.iy, shape.ix, shape.c)).astype(np.int8)
+    w = rng.integers(-128, 128, (k, 3, 3, shape.c)).astype(np.int8)
+    wp = prune_conv_weights(w, fmt)
+    mat = NMSparseMatrix.from_dense(wp.reshape(k, -1), fmt)
+    assert (
+        conv2d_acc_sparse(x, mat, shape) == conv2d_acc_dense(x, wp, shape)
+    ).all()

@@ -1,0 +1,135 @@
+"""Tests for the layer cost model (repro.kernels.cost_model)."""
+
+import pytest
+
+from repro.kernels.cost_model import (
+    DEFAULT_PARAMS,
+    INNER_ITER_CYCLES,
+    LOADS_PER_ITER,
+    conv_layer_cycles,
+    fc_layer_cycles,
+    iter_cycles,
+    iter_equiv_macs,
+    weight_stream_bytes,
+)
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8
+
+SHAPE = ConvShape(iy=8, ix=8, c=64, k=256)
+FC = FcShape(c=512, k=256)
+
+
+class TestIterCycles:
+    def test_dense_has_no_scatter_penalty(self):
+        base = INNER_ITER_CYCLES[("conv", "dense-1x2", 0)]
+        loads = LOADS_PER_ITER[("conv", "dense-1x2", 0)]
+        got = iter_cycles("conv", "dense-1x2", None, DEFAULT_PARAMS)
+        expected = (
+            base
+            + DEFAULT_PARAMS.dense_extra
+            + DEFAULT_PARAMS.load_contention * loads
+        )
+        assert got == pytest.approx(expected)
+
+    def test_scatter_penalty_grows_with_m(self):
+        cycles = [
+            iter_cycles("conv", "sparse-sw", f, DEFAULT_PARAMS)
+            for f in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16)
+        ]
+        assert cycles == sorted(cycles)
+
+    def test_isa_cheaper_than_sw_per_iter(self):
+        for fmt in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16):
+            sw = iter_cycles("conv", "sparse-sw", fmt, DEFAULT_PARAMS)
+            isa = iter_cycles("conv", "sparse-isa", fmt, DEFAULT_PARAMS)
+            assert isa < sw
+
+    def test_sparse_without_format_rejected(self):
+        with pytest.raises(ValueError, match="NMFormat"):
+            iter_cycles("conv", "sparse-sw", None, DEFAULT_PARAMS)
+
+
+class TestEquivMacs:
+    def test_conv_values(self):
+        assert iter_equiv_macs("conv", "dense-4x2", None) == 32
+        assert iter_equiv_macs("conv", "dense-1x2", None) == 8
+        assert iter_equiv_macs("conv", "sparse-sw", FORMAT_1_8) == 64
+        assert iter_equiv_macs("conv", "sparse-isa", FORMAT_1_16) == 128
+
+    def test_fc_values(self):
+        assert iter_equiv_macs("fc", "dense", None) == 8
+        assert iter_equiv_macs("fc", "sparse-sw", FORMAT_1_4) == 16
+        assert iter_equiv_macs("fc", "sparse-isa", FORMAT_1_4) == 32
+
+
+class TestWeightStream:
+    def test_dense_bytes(self):
+        assert weight_stream_bytes("conv", "dense-4x2", 64, 576, None) == 64 * 576
+
+    def test_sparse_sw_bytes_match_format(self):
+        got = weight_stream_bytes("conv", "sparse-sw", 64, 576, FORMAT_1_8)
+        assert got == pytest.approx(64 * 576 * 1.5 / 8)
+
+    def test_isa_conv_pays_duplication(self):
+        sw = weight_stream_bytes("conv", "sparse-sw", 64, 576, FORMAT_1_8)
+        isa = weight_stream_bytes("conv", "sparse-isa", 64, 576, FORMAT_1_8)
+        fc_isa = weight_stream_bytes("fc", "sparse-isa", 64, 576, FORMAT_1_8)
+        assert isa > sw
+        assert fc_isa == pytest.approx(sw)  # FC interleaves, no duplication
+
+
+class TestConvLayer:
+    def test_breakdown_positive_and_totals(self):
+        bd = conv_layer_cycles(SHAPE, "dense-4x2")
+        assert bd.compute > 0 and bd.im2col > 0 and bd.overhead > 0
+        assert bd.total == pytest.approx(
+            bd.compute + bd.im2col + bd.overhead + bd.dma
+        )
+        assert bd.macs == SHAPE.macs
+
+    def test_mac_per_cycle_below_theoretical_cluster_peak(self):
+        bd = conv_layer_cycles(SHAPE, "dense-4x2")
+        assert bd.macs_per_cycle < 2.28 * 8
+
+    def test_sparse_equiv_macs_exceed_dense_peak(self):
+        """The paper's MAC/cyc convention: dense-equivalent throughput
+        of sparse kernels can exceed the hardware peak."""
+        bd = conv_layer_cycles(SHAPE, "sparse-isa", FORMAT_1_16)
+        assert bd.macs_per_cycle > 2.28 * 8
+
+    def test_4x2_requires_k_multiple_of_4(self):
+        with pytest.raises(ValueError, match="K % 4"):
+            conv_layer_cycles(ConvShape(iy=4, ix=4, c=8, k=6), "dense-4x2")
+
+    def test_im2col_identical_across_variants(self):
+        """Sec. 5.2: the im2col step is identical in sparse and dense
+        kernels."""
+        dense = conv_layer_cycles(SHAPE, "dense-1x2")
+        sparse = conv_layer_cycles(SHAPE, "sparse-sw", FORMAT_1_8)
+        assert dense.im2col == pytest.approx(sparse.im2col)
+
+
+class TestFcLayer:
+    def test_tokens_scale_linearly(self):
+        one = fc_layer_cycles(FC, "dense")
+        many = fc_layer_cycles(FcShape(c=512, k=256, tokens=10), "dense")
+        assert many.total == pytest.approx(10 * one.total)
+        assert many.macs == 10 * one.macs
+
+    def test_dma_shrinks_with_sparsity(self):
+        dense = fc_layer_cycles(FC, "dense")
+        sparse = fc_layer_cycles(FC, "sparse-sw", FORMAT_1_16)
+        assert sparse.dma < dense.dma
+
+    def test_odd_k_rejected_for_paired_kernels(self):
+        with pytest.raises(ValueError, match="even"):
+            fc_layer_cycles(FcShape(c=64, k=3), "dense")
+
+    def test_sw_1_4_compute_slower_but_total_close(self):
+        """The Sec. 5.2 FC story: 1:4 SW loses on compute, wins on
+        weight traffic, nets out roughly even."""
+        dense = fc_layer_cycles(FcShape(c=2048, k=256), "dense")
+        sparse = fc_layer_cycles(FcShape(c=2048, k=256), "sparse-sw", FORMAT_1_4)
+        assert sparse.compute > dense.compute
+        assert sparse.dma < dense.dma
+        assert dense.total / sparse.total == pytest.approx(1.0, abs=0.25)

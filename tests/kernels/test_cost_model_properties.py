@@ -1,0 +1,128 @@
+"""Property-based tests on the latency model's invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.cost_model import (
+    DEFAULT_PARAMS,
+    conv_layer_cycles,
+    fc_layer_cycles,
+    iter_cycles,
+    iter_equiv_macs,
+)
+from repro.kernels.microcode import INNER_BODY_LENGTH
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import SUPPORTED_FORMATS
+
+FORMATS = list(SUPPORTED_FORMATS.values())
+
+conv_shapes = st.builds(
+    ConvShape,
+    iy=st.sampled_from([4, 8, 16, 32]),
+    ix=st.sampled_from([4, 8, 16, 32]),
+    c=st.sampled_from([16, 32, 64, 128]),
+    k=st.sampled_from([8, 16, 64, 256]),
+)
+
+fc_shapes = st.builds(
+    FcShape,
+    c=st.sampled_from([64, 256, 1024, 2048]),
+    k=st.sampled_from([16, 64, 256]),
+    tokens=st.integers(1, 4),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=conv_shapes, fmt=st.sampled_from(FORMATS))
+def test_conv_breakdown_nonnegative_and_consistent(shape, fmt):
+    for variant, f in (
+        ("dense-1x2", None),
+        ("sparse-sw", fmt),
+        ("sparse-isa", fmt),
+    ):
+        bd = conv_layer_cycles(shape, variant, f)
+        assert bd.compute > 0
+        assert bd.im2col >= 0 and bd.overhead > 0 and bd.dma >= 0
+        assert bd.total == pytest.approx(
+            bd.compute + bd.im2col + bd.overhead + bd.dma
+        )
+        assert bd.macs == shape.macs
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=conv_shapes, fmt=st.sampled_from(FORMATS))
+def test_isa_never_slower_than_sw(shape, fmt):
+    sw = conv_layer_cycles(shape, "sparse-sw", fmt).total
+    isa = conv_layer_cycles(shape, "sparse-isa", fmt).total
+    assert isa <= sw
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=conv_shapes)
+def test_sparser_is_never_slower_for_isa(shape):
+    totals = [
+        conv_layer_cycles(shape, "sparse-isa", fmt).total for fmt in FORMATS
+    ]
+    assert totals == sorted(totals, reverse=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=conv_shapes, fmt=st.sampled_from(FORMATS))
+def test_speedup_bounded_by_inner_loop_ratio(shape, fmt):
+    """Layer-level speedup over dense 1x2 can never exceed the pure
+    inner-loop cycle ratio (overheads only dilute it)."""
+    dense = conv_layer_cycles(shape, "dense-1x2")
+    sparse = conv_layer_cycles(shape, "sparse-isa", fmt)
+    per_mac_dense = iter_cycles("conv", "dense-1x2", None, DEFAULT_PARAMS) / 8
+    per_mac_sparse = iter_cycles(
+        "conv", "sparse-isa", fmt, DEFAULT_PARAMS
+    ) / iter_equiv_macs("conv", "sparse-isa", fmt)
+    bound = per_mac_dense / per_mac_sparse
+    assert dense.total / sparse.total <= bound * 1.01
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.builds(
+        ConvShape,
+        iy=st.sampled_from([8, 16]),
+        ix=st.sampled_from([8, 16]),
+        c=st.sampled_from([32, 64]),
+        k=st.sampled_from([64, 128]),
+    )
+)
+def test_cycles_monotone_in_channels(shape):
+    bigger = ConvShape(
+        iy=shape.iy, ix=shape.ix, c=shape.c * 2, k=shape.k,
+        fy=shape.fy, fx=shape.fx, s=shape.s, p=shape.p,
+    )
+    for variant, fmt in (("dense-1x2", None), ("sparse-sw", FORMATS[1])):
+        assert (
+            conv_layer_cycles(bigger, variant, fmt).total
+            > conv_layer_cycles(shape, variant, fmt).total
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=fc_shapes, fmt=st.sampled_from(FORMATS))
+def test_fc_invariants(shape, fmt):
+    dense = fc_layer_cycles(shape, "dense")
+    sw = fc_layer_cycles(shape, "sparse-sw", fmt)
+    isa = fc_layer_cycles(shape, "sparse-isa", fmt)
+    assert isa.total <= sw.total  # the extension never hurts
+    assert sw.dma < dense.dma  # sparse streams fewer weight bytes
+    for bd in (dense, sw, isa):
+        assert bd.total > 0 and bd.macs == shape.macs
+
+
+def test_inner_body_lengths_are_authoritative():
+    """Every cost-model kernel key has a microcode body length, and the
+    modelled iteration cost is never below the instruction count."""
+    from repro.kernels.cost_model import INNER_ITER_CYCLES
+
+    for (kind, variant, m), cycles in INNER_ITER_CYCLES.items():
+        key = (kind, variant) if m == 0 else (kind, variant, m)
+        assert key in INNER_BODY_LENGTH
+        assert cycles >= INNER_BODY_LENGTH[key] - 0.51  # amortised loads

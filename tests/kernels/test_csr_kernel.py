@@ -1,0 +1,91 @@
+"""Tests for the unstructured CSR comparator kernel
+(repro.kernels.csr_kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.csr_kernel import csr_fc_layer_cycles, fc_acc_csr
+from repro.kernels.cost_model import fc_layer_cycles
+from repro.kernels.fc_dense import fc_acc_dense
+from repro.kernels.shapes import FcShape
+from repro.sparsity.csr import CSRMatrix
+from repro.sparsity.nm import FORMAT_1_4, FORMAT_1_8
+
+
+def unstructured(rng, rows, cols, density):
+    w = rng.integers(-128, 128, (rows, cols)).astype(np.int8)
+    mask = rng.random((rows, cols)) < density
+    return np.where(mask, w, 0).astype(np.int8)
+
+
+class TestFunctional:
+    def test_matches_dense_matmul(self):
+        rng = np.random.default_rng(0)
+        w = unstructured(rng, 8, 64, 0.25)
+        x = rng.integers(-128, 128, 64).astype(np.int8)
+        csr = CSRMatrix.from_dense(w)
+        got = fc_acc_csr(x, csr)
+        ref = fc_acc_dense(x, w, FcShape(c=64, k=8))
+        assert (got == ref).all()
+
+    def test_batched_input(self):
+        rng = np.random.default_rng(1)
+        w = unstructured(rng, 4, 32, 0.3)
+        x = rng.integers(-128, 128, (5, 32)).astype(np.int8)
+        csr = CSRMatrix.from_dense(w)
+        assert (fc_acc_csr(x, csr) == fc_acc_dense(x, w, FcShape(c=32, k=4, tokens=5))).all()
+
+    def test_empty_rows_handled(self):
+        w = np.zeros((3, 16), dtype=np.int8)
+        w[1, 5] = 7
+        csr = CSRMatrix.from_dense(w)
+        x = np.ones(16, dtype=np.int8)
+        out = fc_acc_csr(x, csr)
+        assert out[0].tolist() == [0, 7, 0]
+
+    def test_dim_mismatch_rejected(self):
+        csr = CSRMatrix.from_dense(np.zeros((2, 16), np.int8))
+        with pytest.raises(ValueError, match="input dim"):
+            fc_acc_csr(np.zeros(8, np.int8), csr)
+
+
+class TestCost:
+    SHAPE = FcShape(c=1024, k=256)
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            csr_fc_layer_cycles(self.SHAPE, 1.0)
+        with pytest.raises(ValueError):
+            csr_fc_layer_cycles(self.SHAPE, -0.1)
+
+    def test_cycles_fall_with_sparsity(self):
+        c = [csr_fc_layer_cycles(self.SHAPE, s).total for s in (0.5, 0.75, 0.9)]
+        assert c == sorted(c, reverse=True)
+
+    def test_paper_claim_csr_loses_to_nm_at_iso_sparsity(self):
+        """Sec. 2.1/3: unstructured decoding overheads make CSR slower
+        than the N:M kernels at the same sparsity level."""
+        for fmt in (FORMAT_1_4, FORMAT_1_8):
+            csr = csr_fc_layer_cycles(self.SHAPE, fmt.sparsity).total
+            nm = fc_layer_cycles(self.SHAPE, "sparse-sw", fmt).total
+            assert nm < csr
+
+    def test_paper_claim_csr_slower_than_dense_at_75(self):
+        """Sec. 2.1: 'for non-extreme sparsity ratios, layers with
+        unstructured sparsity are often even slower than dense'."""
+        dense = fc_layer_cycles(self.SHAPE, "dense").total
+        csr = csr_fc_layer_cycles(self.SHAPE, 0.75).total
+        assert csr > dense
+
+    def test_csr_wins_at_extreme_sparsity(self):
+        """...but extreme unstructured sparsity does pay off."""
+        dense = fc_layer_cycles(self.SHAPE, "dense").total
+        csr = csr_fc_layer_cycles(self.SHAPE, 0.97).total
+        assert csr < dense
+
+    def test_tokens_scale(self):
+        one = csr_fc_layer_cycles(self.SHAPE, 0.9).total
+        five = csr_fc_layer_cycles(
+            FcShape(c=1024, k=256, tokens=5), 0.9
+        ).total
+        assert five == pytest.approx(5 * one)

@@ -1,0 +1,112 @@
+"""Functional tests for dense and sparse FC kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.fc_dense import fc_acc_dense, fc_dense
+from repro.kernels.fc_sparse import fc_acc_sparse, fc_sparse
+from repro.kernels.requant import QuantParams
+from repro.kernels.shapes import FcShape
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import prune_fc_weights
+
+
+def random_fc(rng, shape):
+    x = rng.integers(-128, 128, (shape.tokens, shape.c)).astype(np.int8)
+    w = rng.integers(-128, 128, (shape.k, shape.c)).astype(np.int8)
+    return x, w
+
+
+class TestDenseFc:
+    def test_matches_matmul(self):
+        shape = FcShape(c=64, k=10)
+        rng = np.random.default_rng(0)
+        x, w = random_fc(rng, shape)
+        ref = x.astype(np.int64) @ w.astype(np.int64).T
+        assert (fc_acc_dense(x, w, shape) == ref).all()
+
+    def test_accepts_1d_input(self):
+        shape = FcShape(c=32, k=4)
+        rng = np.random.default_rng(1)
+        x, w = random_fc(rng, shape)
+        assert (fc_acc_dense(x[0], w, shape) == fc_acc_dense(x, w, shape)).all()
+
+    def test_token_batch(self):
+        shape = FcShape(c=16, k=6, tokens=5)
+        rng = np.random.default_rng(2)
+        x, w = random_fc(rng, shape)
+        acc = fc_acc_dense(x, w, shape)
+        assert acc.shape == (5, 6)
+        for t in range(5):
+            assert (
+                acc[t] == fc_acc_dense(x[t], w, FcShape(c=16, k=6))[0]
+            ).all()
+
+    def test_requantised_output(self):
+        shape = FcShape(c=64, k=8)
+        rng = np.random.default_rng(3)
+        x, w = random_fc(rng, shape)
+        out = fc_dense(x, w, shape, QuantParams(3, 10))
+        assert out.dtype == np.int8 and out.shape == (1, 8)
+
+    def test_rejects_bad_shapes(self):
+        shape = FcShape(c=16, k=4)
+        with pytest.raises(ValueError):
+            fc_acc_dense(np.zeros(15, dtype=np.int8), np.zeros((4, 16), np.int8), shape)
+        with pytest.raises(ValueError):
+            fc_acc_dense(np.zeros(16, dtype=np.int8), np.zeros((4, 15), np.int8), shape)
+
+
+class TestSparseFc:
+    @pytest.mark.parametrize("fmt", [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16])
+    def test_matches_dense_on_pruned(self, fmt):
+        shape = FcShape(c=4 * fmt.m, k=6)
+        rng = np.random.default_rng(4)
+        x, w = random_fc(rng, shape)
+        wp = prune_fc_weights(w, fmt)
+        mat = NMSparseMatrix.from_dense(wp, fmt)
+        assert (
+            fc_acc_sparse(x, mat, shape) == fc_acc_dense(x, wp, shape)
+        ).all()
+
+    def test_token_batch_sparse(self):
+        shape = FcShape(c=32, k=8, tokens=7)
+        rng = np.random.default_rng(5)
+        x, w = random_fc(rng, shape)
+        wp = prune_fc_weights(w, FORMAT_1_8)
+        mat = NMSparseMatrix.from_dense(wp, FORMAT_1_8)
+        assert (
+            fc_acc_sparse(x, mat, shape) == fc_acc_dense(x, wp, shape)
+        ).all()
+
+    def test_requant_parity_with_dense_kernel(self):
+        shape = FcShape(c=64, k=4)
+        rng = np.random.default_rng(6)
+        x, w = random_fc(rng, shape)
+        wp = prune_fc_weights(w, FORMAT_1_16)
+        mat = NMSparseMatrix.from_dense(wp, FORMAT_1_16)
+        q = QuantParams(7, 13)
+        assert (fc_sparse(x, mat, shape, q) == fc_dense(x, wp, shape, q)).all()
+
+    def test_rejects_mismatch(self):
+        mat = NMSparseMatrix.from_dense(np.zeros((4, 32), np.int8), FORMAT_1_8)
+        with pytest.raises(ValueError):
+            fc_acc_sparse(np.zeros(64, np.int8), mat, FcShape(c=64, k=4))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fmt=st.sampled_from([FORMAT_1_4, FORMAT_1_8, FORMAT_1_16]),
+    blocks=st.integers(1, 6),
+    k=st.integers(1, 8),
+    tokens=st.integers(1, 3),
+    seed=st.integers(0, 2**31),
+)
+def test_sparse_fc_property(fmt, blocks, k, tokens, seed):
+    shape = FcShape(c=blocks * fmt.m, k=k, tokens=tokens)
+    rng = np.random.default_rng(seed)
+    x, w = random_fc(rng, shape)
+    wp = prune_fc_weights(w, fmt)
+    mat = NMSparseMatrix.from_dense(wp, fmt)
+    assert (fc_acc_sparse(x, mat, shape) == fc_acc_dense(x, wp, shape)).all()

@@ -1,0 +1,88 @@
+"""Full-layer instruction-level execution: whole conv layers and the
+requantisation stage running on the core model."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.conv_dense import conv2d_acc_dense
+from repro.kernels.conv_sparse import conv2d_acc_sparse
+from repro.kernels.micro_runner import run_conv_layer_micro, run_requant_micro
+from repro.kernels.requant import QuantParams, requantize
+from repro.kernels.shapes import ConvShape
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import prune_conv_weights
+
+
+def layer_case(fmt=None, shape=None, seed=0):
+    shape = shape or ConvShape(iy=5, ix=4, c=16, k=4, fy=3, fx=3, s=1, p=1)
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-128, 128, (shape.iy, shape.ix, shape.c)).astype(np.int8)
+    w = rng.integers(-128, 128, (shape.k, 3, 3, shape.c)).astype(np.int8)
+    if fmt is None:
+        return shape, x, w.reshape(shape.k, -1), w
+    wp = prune_conv_weights(w, fmt)
+    return shape, x, NMSparseMatrix.from_dense(wp.reshape(shape.k, -1), fmt), wp
+
+
+class TestFullConvLayer:
+    def test_dense_layer_matches_numpy(self):
+        shape, x, wmat, w4d = layer_case()
+        res = run_conv_layer_micro("dense-1x2", wmat, x, shape)
+        assert (res.acc == conv2d_acc_dense(x, w4d, shape)).all()
+
+    @pytest.mark.parametrize("fmt", [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16])
+    @pytest.mark.parametrize("variant", ["sparse-sw", "sparse-isa"])
+    def test_sparse_layer_matches_numpy(self, fmt, variant):
+        shape = ConvShape(iy=4, ix=4, c=2 * fmt.m, k=4, fy=3, fx=3, s=1, p=1)
+        shape, x, mat, wp = layer_case(fmt, shape, seed=1)
+        res = run_conv_layer_micro(variant, mat, x, shape)
+        assert (res.acc == conv2d_acc_sparse(x, mat, shape)).all()
+
+    def test_odd_output_count_tail(self):
+        """OY*OX odd: the last pair recomputes one patch and discards
+        the duplicate result."""
+        shape = ConvShape(iy=3, ix=3, c=8, k=2, fy=3, fx=3, s=1, p=1)
+        shape, x, wmat, w4d = layer_case(shape=shape, seed=2)
+        res = run_conv_layer_micro("dense-1x2", wmat, x, shape)
+        assert res.acc.shape == (3, 3, 2)
+        assert (res.acc == conv2d_acc_dense(x, w4d, shape)).all()
+
+    def test_layer_level_isa_speedup(self):
+        """Whole-layer cycle counts show the ISA win, not just loops."""
+        fmt = FORMAT_1_8
+        shape = ConvShape(iy=4, ix=4, c=4 * fmt.m, k=8, fy=3, fx=3, s=1, p=1)
+        shape, x, mat, _ = layer_case(fmt, shape, seed=3)
+        sw = run_conv_layer_micro("sparse-sw", mat, x, shape)
+        isa = run_conv_layer_micro("sparse-isa", mat, x, shape)
+        assert (sw.acc == isa.acc).all()
+        assert 1.5 < sw.stats.cycles / isa.stats.cycles < 2.0
+
+
+class TestRequantMicro:
+    def test_matches_numpy_requantize(self):
+        rng = np.random.default_rng(4)
+        acc = rng.integers(-(1 << 20), 1 << 20, 64).astype(np.int32)
+        q = QuantParams(multiplier=5, shift=14)
+        res = run_requant_micro(acc, q.multiplier, q.shift)
+        assert (res.acc == requantize(acc, q)).all()
+
+    def test_clipping_both_rails(self):
+        acc = np.array([1 << 30, -(1 << 30), 0], dtype=np.int32)
+        res = run_requant_micro(acc, 1, 0)
+        assert res.acc.tolist() == [127, -128, 0]
+
+    def test_zero_point(self):
+        acc = np.array([0, 1 << 10], dtype=np.int32)
+        res = run_requant_micro(acc, 1, 10, zero_point=5)
+        assert res.acc.tolist() == [5, 6]
+
+    def test_per_output_cost_matches_model_parameter(self):
+        """The measured instructions/output validate the cost model's
+        requant_per_output constant (~8)."""
+        rng = np.random.default_rng(5)
+        a1 = rng.integers(-1000, 1000, 32).astype(np.int32)
+        a2 = rng.integers(-1000, 1000, 96).astype(np.int32)
+        s1 = run_requant_micro(a1, 3, 8).stats
+        s2 = run_requant_micro(a2, 3, 8).stats
+        per_output = (s2.instructions - s1.instructions) / 64
+        assert per_output == pytest.approx(8.0, abs=1.5)

@@ -1,0 +1,91 @@
+"""Tests for the im2col transformation (repro.kernels.im2col)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.im2col import im2col, im2col_buffer_bytes, im2col_copy_cycles
+from repro.kernels.shapes import ConvShape
+
+
+def naive_im2col(x, shape):
+    """Gold reference: explicit loops over the receptive field."""
+    out = np.zeros(
+        (shape.oy, shape.ox, shape.fy, shape.fx, shape.c), dtype=x.dtype
+    )
+    for oy in range(shape.oy):
+        for ox in range(shape.ox):
+            for fy in range(shape.fy):
+                for fx in range(shape.fx):
+                    iy = oy * shape.s + fy - shape.p
+                    ix = ox * shape.s + fx - shape.p
+                    if 0 <= iy < shape.iy and 0 <= ix < shape.ix:
+                        out[oy, ox, fy, fx] = x[iy, ix]
+    return out.reshape(shape.oy * shape.ox, shape.reduce_dim)
+
+
+class TestIm2col:
+    def test_matches_naive_3x3_pad1(self):
+        shape = ConvShape(iy=8, ix=8, c=4, k=1, fy=3, fx=3, s=1, p=1)
+        rng = np.random.default_rng(0)
+        x = rng.integers(-128, 128, (8, 8, 4)).astype(np.int8)
+        assert (im2col(x, shape) == naive_im2col(x, shape)).all()
+
+    def test_matches_naive_stride2_nopad(self):
+        shape = ConvShape(iy=9, ix=9, c=3, k=1, fy=3, fx=3, s=2, p=0)
+        rng = np.random.default_rng(1)
+        x = rng.integers(-128, 128, (9, 9, 3)).astype(np.int8)
+        assert (im2col(x, shape) == naive_im2col(x, shape)).all()
+
+    def test_1x1_filter_is_reshape(self):
+        shape = ConvShape(iy=4, ix=4, c=8, k=1, fy=1, fx=1, s=1, p=0)
+        rng = np.random.default_rng(2)
+        x = rng.integers(-128, 128, (4, 4, 8)).astype(np.int8)
+        assert (im2col(x, shape) == x.reshape(16, 8)).all()
+
+    def test_padding_contributes_zeros(self):
+        shape = ConvShape(iy=2, ix=2, c=1, k=1, fy=3, fx=3, s=1, p=1)
+        x = np.ones((2, 2, 1), dtype=np.int8)
+        cols = im2col(x, shape)
+        # corner output: 4 in-bounds taps, 5 padded zeros
+        assert cols[0].sum() == 4
+
+    def test_rejects_wrong_input_shape(self):
+        shape = ConvShape(iy=4, ix=4, c=2, k=1)
+        with pytest.raises(ValueError):
+            im2col(np.zeros((4, 4, 3), dtype=np.int8), shape)
+
+    def test_flattening_order_is_fy_fx_c(self):
+        """Column order must match the (FY, FX, C) weight flattening."""
+        shape = ConvShape(iy=3, ix=3, c=2, k=1, fy=3, fx=3, s=1, p=0)
+        x = np.arange(18, dtype=np.int8).reshape(3, 3, 2)
+        cols = im2col(x, shape)
+        assert (cols[0] == x.reshape(-1)).all()
+
+
+class TestBufferAccounting:
+    def test_paper_l1_formula(self):
+        """Sec. 4.1.1: FX*FY*C*2*N_CORES bytes for the im2col buffers."""
+        shape = ConvShape(iy=8, ix=8, c=64, k=16)
+        assert im2col_buffer_bytes(shape, n_cores=8) == 3 * 3 * 64 * 2 * 8
+
+    def test_copy_cycles_scale_with_bytes(self):
+        shape_small = ConvShape(iy=8, ix=8, c=32, k=16)
+        shape_big = ConvShape(iy=8, ix=8, c=64, k=16)
+        assert im2col_copy_cycles(shape_big) == 2 * im2col_copy_cycles(shape_small)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    iy=st.integers(3, 10),
+    ix=st.integers(3, 10),
+    c=st.integers(1, 6),
+    s=st.sampled_from([1, 2]),
+    p=st.sampled_from([0, 1]),
+    seed=st.integers(0, 2**31),
+)
+def test_im2col_matches_naive_property(iy, ix, c, s, p, seed):
+    shape = ConvShape(iy=iy, ix=ix, c=c, k=1, fy=3, fx=3, s=s, p=p)
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-128, 128, (iy, ix, c)).astype(np.int8)
+    assert (im2col(x, shape) == naive_im2col(x, shape)).all()

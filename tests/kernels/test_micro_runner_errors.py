@@ -1,0 +1,104 @@
+"""Failure-path tests for the microcode runners (repro.kernels.micro_runner)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.micro_runner import (
+    MemoryImage,
+    run_conv_pair,
+    run_fc_micro,
+)
+from repro.sparsity.nm import FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import nm_prune
+
+
+def sparse_mat(k=4, r=64, seed=0):
+    rng = np.random.default_rng(seed)
+    w = nm_prune(rng.integers(-128, 128, (k, r)).astype(np.int8), FORMAT_1_8)
+    return NMSparseMatrix.from_dense(w, FORMAT_1_8)
+
+
+class TestMemoryImage:
+    def test_alloc_alignment(self):
+        img = MemoryImage(256)
+        img.alloc(3)
+        addr = img.alloc(4)
+        assert addr % 4 == 0
+
+    def test_exhaustion(self):
+        img = MemoryImage(16)
+        with pytest.raises(MemoryError):
+            img.alloc(32)
+
+    def test_place_roundtrip_int8(self):
+        img = MemoryImage(64)
+        data = np.array([-1, 2, -3], dtype=np.int8)
+        addr = img.place(data)
+        assert (img.mem[addr : addr + 3].view(np.int8) == data).all()
+
+    def test_read_i32_little_endian(self):
+        img = MemoryImage(64)
+        addr = img.place(np.array([-5, 7], dtype=np.int32).view(np.uint8))
+        assert img.read_i32(addr, 2).tolist() == [-5, 7]
+
+
+class TestRunnerValidation:
+    def test_conv_buffer_length_mismatch(self):
+        mat = sparse_mat()
+        with pytest.raises(ValueError, match="equal length"):
+            run_conv_pair(
+                "sparse-sw",
+                mat,
+                np.zeros(64, np.int8),
+                np.zeros(32, np.int8),
+            )
+
+    def test_conv_wrong_reduce_dim(self):
+        mat = sparse_mat(r=64)
+        with pytest.raises(ValueError, match="dense_cols"):
+            run_conv_pair(
+                "sparse-sw",
+                mat,
+                np.zeros(32, np.int8),
+                np.zeros(32, np.int8),
+            )
+
+    def test_conv_sparse_needs_matrix(self):
+        with pytest.raises(TypeError, match="NMSparseMatrix"):
+            run_conv_pair(
+                "sparse-sw",
+                np.zeros((4, 64), np.int8),
+                np.zeros(64, np.int8),
+                np.zeros(64, np.int8),
+            )
+
+    def test_conv_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run_conv_pair(
+                "dense-8x8",
+                np.zeros((4, 64), np.int8),
+                np.zeros(64, np.int8),
+                np.zeros(64, np.int8),
+            )
+        with pytest.raises(ValueError, match="unknown"):
+            run_conv_pair(
+                "sparse-quantum",
+                sparse_mat(),
+                np.zeros(64, np.int8),
+                np.zeros(64, np.int8),
+            )
+
+    def test_fc_wrong_dims(self):
+        with pytest.raises(ValueError, match="do not match"):
+            run_fc_micro("dense", np.zeros((4, 32), np.int8), np.zeros(64, np.int8))
+        mat = sparse_mat(r=64)
+        with pytest.raises(ValueError, match="dense_cols"):
+            run_fc_micro("sparse-sw", mat, np.zeros(32, np.int8))
+
+    def test_fc_sparse_needs_matrix(self):
+        with pytest.raises(TypeError, match="NMSparseMatrix"):
+            run_fc_micro("sparse-isa", np.zeros((4, 64), np.int8), np.zeros(64, np.int8))
+
+    def test_fc_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run_fc_micro("sparse-banana", sparse_mat(), np.zeros(64, np.int8))

@@ -1,0 +1,165 @@
+"""Instruction-count ground truth: the microcoded inner loops must match
+the paper's per-iteration instruction counts (Sec. 4.1 / 4.2, Figs. 4-5),
+and the derived MACs/instruction peaks must match the quoted values."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import microcode as mc
+from repro.kernels.micro_runner import run_conv_pair, run_fc_micro
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import nm_prune
+
+
+def _measure_conv(variant, fmt, k, r1, r2):
+    """Per-iteration instruction/cycle deltas between two reduce dims."""
+    rng = np.random.default_rng(0)
+
+    def run(r):
+        buf1 = rng.integers(-128, 128, r).astype(np.int8)
+        buf2 = rng.integers(-128, 128, r).astype(np.int8)
+        if fmt is None:
+            w = rng.integers(-128, 128, (k, r)).astype(np.int8)
+            return run_conv_pair(variant, w, buf1, buf2)
+        w = nm_prune(rng.integers(-128, 128, (k, r)).astype(np.int8), fmt)
+        return run_conv_pair(variant, NMSparseMatrix.from_dense(w, fmt), buf1, buf2)
+
+    s1, s2 = run(r1).stats, run(r2).stats
+    m = fmt.m if fmt else 1
+    group = 4 if fmt is None else 4 * m
+    iters = (r2 - r1) // group  # extra inner iterations per channel
+    dinstr = (s2.instructions - s1.instructions) / (k * iters)
+    dcycles = (s2.cycles - s1.cycles) / (k * iters)
+    return dinstr, dcycles
+
+
+class TestConvInnerLoopCounts:
+    def test_dense_1x2_is_5_instructions(self):
+        dinstr, dcycles = _measure_conv("dense-1x2", None, 4, 64, 128)
+        assert dinstr == pytest.approx(5.0)
+        assert dcycles == pytest.approx(5.0)  # well-scheduled: no stalls
+
+    def test_dense_4x2_is_14_instructions(self):
+        rng = np.random.default_rng(1)
+
+        def run(r):
+            w = rng.integers(-128, 128, (4, r)).astype(np.int8)
+            b = rng.integers(-128, 128, r).astype(np.int8)
+            return run_conv_pair("dense-4x2", w, b, b).stats
+
+        s1, s2 = run(64), run(128)
+        per_group_iter = (s2.instructions - s1.instructions) / (16)  # K/4=1 group
+        assert per_group_iter == pytest.approx(14.0)
+
+    @pytest.mark.parametrize("fmt,expected", [(FORMAT_1_8, 22.0), (FORMAT_1_16, 22.0)])
+    def test_sparse_sw_is_22_instructions(self, fmt, expected):
+        dinstr, _ = _measure_conv("sparse-sw", fmt, 4, 16 * fmt.m, 32 * fmt.m)
+        assert dinstr == pytest.approx(expected)
+
+    def test_sparse_sw_1_4_is_23_5_instructions(self):
+        """23 in-loop instructions + the OFFSETS word load amortised
+        over its 4-iteration group (paper: '23, one less load')."""
+        dinstr, _ = _measure_conv("sparse-sw", FORMAT_1_4, 4, 16 * 16, 32 * 16)
+        assert dinstr == pytest.approx(23.5)
+
+    @pytest.mark.parametrize("fmt", [FORMAT_1_8, FORMAT_1_16])
+    def test_sparse_isa_is_12_instructions(self, fmt):
+        dinstr, dcycles = _measure_conv("sparse-isa", fmt, 4, 16 * fmt.m, 32 * fmt.m)
+        assert dinstr == pytest.approx(12.0)
+        assert dcycles == pytest.approx(12.0)  # XFU forwarding: no stalls
+
+    def test_sparse_isa_1_4_is_11_5_instructions(self):
+        dinstr, _ = _measure_conv("sparse-isa", FORMAT_1_4, 4, 32 * 4, 64 * 4)
+        assert dinstr == pytest.approx(11.5)
+
+    def test_isa_speedup_over_sw_close_to_1_9(self):
+        """Sec. 1: the ISA extension buys up to 1.9x over the SW kernels
+        (22/12 = 1.83 at iso-iteration)."""
+        _, sw = _measure_conv("sparse-sw", FORMAT_1_8, 4, 128, 256)
+        _, isa = _measure_conv("sparse-isa", FORMAT_1_8, 4, 128, 256)
+        assert sw / isa == pytest.approx(1.83, abs=0.1)
+
+
+class TestFcInnerLoopCounts:
+    def _measure_fc(self, variant, fmt, k, c1, c2):
+        rng = np.random.default_rng(2)
+
+        def run(c):
+            x = rng.integers(-128, 128, c).astype(np.int8)
+            if fmt is None:
+                w = rng.integers(-128, 128, (k, c)).astype(np.int8)
+                return run_fc_micro(variant, w, x).stats
+            w = nm_prune(rng.integers(-128, 128, (k, c)).astype(np.int8), fmt)
+            return run_fc_micro(variant, NMSparseMatrix.from_dense(w, fmt), x).stats
+
+        s1, s2 = run(c1), run(c2)
+        m = fmt.m if fmt else 1
+        group = 4 if fmt is None else 4 * m
+        iters = (c2 - c1) // group
+        units = k if (fmt and variant == "sparse-sw") else k // 2
+        return (s2.instructions - s1.instructions) / (units * iters)
+
+    def test_dense_is_5_instructions(self):
+        assert self._measure_fc("dense", None, 4, 64, 128) == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("fmt", [FORMAT_1_8, FORMAT_1_16])
+    def test_sparse_sw_is_16_instructions(self, fmt):
+        got = self._measure_fc("sparse-sw", fmt, 4, 16 * fmt.m, 32 * fmt.m)
+        assert got == pytest.approx(16.0)
+
+    @pytest.mark.parametrize("fmt", [FORMAT_1_8, FORMAT_1_16])
+    def test_sparse_isa_is_13_instructions(self, fmt):
+        got = self._measure_fc("sparse-isa", fmt, 4, 16 * fmt.m, 32 * fmt.m)
+        assert got == pytest.approx(13.0)
+
+
+class TestPeakMacsPerInstruction:
+    """The paper's quoted peaks follow from the body lengths."""
+
+    def test_conv_peaks(self):
+        assert 32 / mc.INNER_BODY_LENGTH[("conv", "dense-4x2")] == pytest.approx(
+            2.28, abs=0.01
+        )
+        assert 8 / mc.INNER_BODY_LENGTH[("conv", "dense-1x2")] == pytest.approx(1.6)
+        assert 8 / mc.INNER_BODY_LENGTH[("conv", "sparse-sw", 8)] == pytest.approx(
+            0.36, abs=0.005
+        )
+        assert 8 / mc.INNER_BODY_LENGTH[("conv", "sparse-sw", 4)] == pytest.approx(
+            0.35, abs=0.005
+        )
+        assert 8 / mc.INNER_BODY_LENGTH[("conv", "sparse-isa", 8)] == pytest.approx(
+            0.66, abs=0.007
+        )
+
+    def test_conv_dense_equivalent_peaks(self):
+        """Sec. 4.1.2/4.1.3: 1.4/2.88/5.76 (SW) and 2.64/5.28/10.56 (ISA)."""
+        sw = {
+            4: 4 * 8 / mc.INNER_BODY_LENGTH[("conv", "sparse-sw", 4)],
+            8: 8 * 8 / mc.INNER_BODY_LENGTH[("conv", "sparse-sw", 8)],
+            16: 16 * 8 / mc.INNER_BODY_LENGTH[("conv", "sparse-sw", 16)],
+        }
+        assert sw[4] == pytest.approx(1.4, abs=0.01)
+        assert sw[8] == pytest.approx(2.88, abs=0.03)
+        assert sw[16] == pytest.approx(5.76, abs=0.06)
+        isa = {m: m * 8 / 12 for m in (4, 8, 16)}
+        assert isa[4] == pytest.approx(2.64, abs=0.03)
+        assert isa[8] == pytest.approx(5.28, abs=0.06)
+        assert isa[16] == pytest.approx(10.56, abs=0.12)
+
+    def test_fc_peaks(self):
+        """Sec. 4.2: dense 1.6, SW 0.25 (-> 1.0/2.0/4.0 equivalent),
+        ISA 0.61 (-> 2.44/4.88/9.76 equivalent)."""
+        assert 8 / mc.INNER_BODY_LENGTH[("fc", "dense")] == pytest.approx(1.6)
+        assert 4 / mc.INNER_BODY_LENGTH[("fc", "sparse-sw", 8)] == pytest.approx(0.25)
+        assert 8 / mc.INNER_BODY_LENGTH[("fc", "sparse-isa", 8)] == pytest.approx(
+            0.61, abs=0.01
+        )
+        for m in (4, 8, 16):
+            assert 4 * m / 16 == pytest.approx(m / 4)  # 1.0, 2.0, 4.0
+            assert 8 * m / 13 == pytest.approx({4: 2.44, 8: 4.88, 16: 9.76}[m], rel=0.02)
+
+    def test_fc_sw_1_4_cannot_beat_dense(self):
+        """Sec. 4.2.2: the 1:4 SW FC kernel's theoretical equivalent
+        throughput (1.0) does not reach the dense baseline's 1.6."""
+        equiv = 4 * 4 / mc.INNER_BODY_LENGTH[("fc", "sparse-sw", 4)]
+        assert equiv < 1.6

@@ -1,0 +1,75 @@
+"""Tests for per-stage mixed sparsity (repro.models.resnet_cifar_mixed
+and its deployment through the compiler)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import CompileConfig
+from repro.compiler.deploy import deploy
+from repro.compiler.patterns import annotate_sparsity
+from repro.models.resnet import resnet18_cifar, resnet18_cifar_mixed
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8
+from repro.sparsity.stats import is_nm_sparse
+
+SCHEDULE = (None, FORMAT_1_4, FORMAT_1_8, FORMAT_1_16)
+
+
+class TestBuilder:
+    def test_needs_four_formats(self):
+        with pytest.raises(ValueError, match="4 stage"):
+            resnet18_cifar_mixed((FORMAT_1_4, FORMAT_1_8))
+
+    def test_stage_formats_applied(self):
+        g = resnet18_cifar_mixed(SCHEDULE)
+        w0 = g.node("s0b0_conv1").attrs["weights"]
+        assert (w0 != 0).mean() > 0.5  # stage 0 dense
+        for stage, fmt in ((1, FORMAT_1_4), (2, FORMAT_1_8), (3, FORMAT_1_16)):
+            w = g.node(f"s{stage}b1_conv2").attrs["weights"]
+            assert is_nm_sparse(w.reshape(w.shape[0], -1), fmt)
+
+    def test_pattern_matcher_resolves_per_layer(self):
+        g = resnet18_cifar_mixed(SCHEDULE)
+        annotate_sparsity(g)
+        assert g.node("s0b0_conv1").attrs["sparse_fmt"] is None
+        assert g.node("s1b1_conv1").attrs["sparse_fmt"] == FORMAT_1_4
+        assert g.node("s3b0_conv2").attrs["sparse_fmt"] == FORMAT_1_16
+
+    def test_graph_name_encodes_schedule(self):
+        g = resnet18_cifar_mixed(SCHEDULE)
+        assert "dense/1:4/1:8/1:16" in g.name
+
+
+class TestDeployment:
+    def test_mixed_lowered_with_per_layer_kernels(self):
+        g = resnet18_cifar_mixed(SCHEDULE)
+        report = deploy(g, CompileConfig(use_isa=True))
+        fmts = {
+            p.node_name: p.fmt.name if p.fmt else None
+            for p in report.plans
+            if p.kind == "conv"
+        }
+        assert fmts["s1b1_conv1"] == "1:4"
+        assert fmts["s3b1_conv2"] == "1:16"
+        assert fmts["s0b0_conv1"] is None
+
+    def test_mixed_between_uniform_extremes(self):
+        """A mixed schedule's latency and memory sit between the
+        uniform schedules of its lightest and heaviest formats."""
+        cfg = CompileConfig(use_isa=True)
+        mixed = deploy(resnet18_cifar_mixed(SCHEDULE), cfg)
+        light = deploy(resnet18_cifar(fmt=FORMAT_1_4), cfg)
+        heavy = deploy(resnet18_cifar(fmt=FORMAT_1_16), cfg)
+        assert heavy.total_cycles < mixed.total_cycles < deploy(
+            resnet18_cifar(), CompileConfig(use_sparse=False)
+        ).total_cycles
+        assert heavy.weight_memory_bytes < mixed.weight_memory_bytes
+        assert mixed.weight_memory_bytes < light.weight_memory_bytes
+
+    def test_forward_pass_runs(self):
+        from repro.compiler.executor import execute_graph
+
+        g = resnet18_cifar_mixed(SCHEDULE, num_classes=10)
+        out = execute_graph(
+            g, np.random.default_rng(0).normal(size=(32, 32, 3)).astype(np.float32)
+        )
+        assert out.shape == (10,)

@@ -1,0 +1,74 @@
+"""Tests for int8 post-training quantisation (repro.models.quantize)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import Graph
+from repro.compiler.patterns import annotate_sparsity
+from repro.models.quantize import calibrate_scales, quantize_graph
+from repro.sparsity.nm import FORMAT_1_8
+from repro.sparsity.pruning import nm_prune
+from repro.sparsity.stats import is_nm_sparse
+
+
+def small_graph(seed=0, sparse=False):
+    rng = np.random.default_rng(seed)
+    g = Graph()
+    x = g.add_input("in", (4, 4, 8))
+    w = rng.normal(size=(4, 3, 3, 8))
+    if sparse:
+        w = nm_prune(w.reshape(4, -1), FORMAT_1_8).reshape(4, 3, 3, 8)
+    x = g.add_conv2d("conv", x, w.astype(np.float32))
+    x = g.add_global_avgpool("pool", x)
+    g.add_dense("fc", x, rng.normal(size=(3, 4)).astype(np.float32))
+    return g
+
+
+def samples(n=3, seed=1):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(4, 4, 8)) for _ in range(n)]
+
+
+class TestCalibration:
+    def test_scales_for_every_compute_node(self):
+        g = small_graph()
+        scales = calibrate_scales(g, samples())
+        assert set(scales) == {"conv", "fc"}
+        assert all(s > 0 for s in scales.values())
+
+    def test_needs_samples(self):
+        with pytest.raises(ValueError, match="at least one"):
+            calibrate_scales(small_graph(), [])
+
+    def test_scale_tracks_peak(self):
+        g = small_graph()
+        big = [np.full((4, 4, 8), 10.0)]
+        small = [np.full((4, 4, 8), 0.1)]
+        assert calibrate_scales(g, big)["conv"] > calibrate_scales(g, small)["conv"]
+
+
+class TestQuantize:
+    def test_metadata_attached(self):
+        g = quantize_graph(small_graph(), samples())
+        node = g.node("conv")
+        assert node.attrs["weights_q"].dtype == np.int8
+        assert node.attrs["w_scale"] > 0
+        assert node.attrs["act_scale"] > 0
+
+    def test_weights_q_roundtrip_error_bounded(self):
+        g = quantize_graph(small_graph(), samples())
+        node = g.node("conv")
+        w = node.attrs["weights"]
+        wq = node.attrs["weights_q"].astype(np.float64) * node.attrs["w_scale"]
+        assert np.abs(w - wq).max() <= node.attrs["w_scale"] / 2 + 1e-9
+
+    def test_sparsity_pattern_survives(self):
+        """Sec. 5.1: quantisation after pruning keeps N:M compliance."""
+        g = quantize_graph(small_graph(sparse=True), samples())
+        wq = g.node("conv").attrs["weights_q"]
+        assert is_nm_sparse(wq.reshape(wq.shape[0], -1), FORMAT_1_8)
+
+    def test_pattern_matcher_sees_quantized(self):
+        g = quantize_graph(small_graph(sparse=True), samples())
+        annotate_sparsity(g)
+        assert g.node("conv").attrs["sparse_fmt"] == FORMAT_1_8

@@ -1,0 +1,97 @@
+"""Tests for the ResNet18 model builder (repro.models.resnet)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.executor import execute_graph
+from repro.compiler.patterns import annotate_sparsity
+from repro.models.resnet import resnet18_cifar
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_8
+from repro.sparsity.stats import is_nm_sparse
+
+
+class TestStructure:
+    def test_parameter_count_matches_paper(self):
+        """Table 2: dense ResNet18 memory 11.22 MB (int8 params)."""
+        g = resnet18_cifar()
+        params = sum(
+            n.attrs["weights"].size for n in g if "weights" in n.attrs
+        )
+        assert params / (1024 * 1024) == pytest.approx(11.22, rel=0.05)
+
+    def test_mac_count_matches_paper(self):
+        """Dense MACs implied by Table 2: 66.63 Mcyc x 8.33 MAC/cyc ~= 555M."""
+        from repro.compiler.deploy import deploy
+
+        report = deploy(resnet18_cifar())
+        assert report.total_macs / 1e6 == pytest.approx(555, rel=0.03)
+
+    def test_head_width(self):
+        g = resnet18_cifar(num_classes=100)
+        assert g.node("head").attrs["weights"].shape == (100, 512)
+
+    def test_stage_shapes(self):
+        g = resnet18_cifar()
+        assert g.node("s0b0_conv1").out_shape == (32, 32, 64)
+        assert g.node("s1b0_conv1").out_shape == (16, 16, 128)
+        assert g.node("s3b1_conv2").out_shape == (4, 4, 512)
+
+    def test_downsample_present_at_transitions(self):
+        g = resnet18_cifar()
+        for stage in (1, 2, 3):
+            assert f"s{stage}b0_down" in g.nodes
+        assert "s0b0_down" not in g.nodes
+
+    def test_deterministic(self):
+        a = resnet18_cifar(seed=5)
+        b = resnet18_cifar(seed=5)
+        wa = a.node("s2b1_conv1").attrs["weights"]
+        wb = b.node("s2b1_conv1").attrs["weights"]
+        assert (wa == wb).all()
+
+
+class TestSparsity:
+    def test_3x3_convs_pruned(self):
+        g = resnet18_cifar(fmt=FORMAT_1_8)
+        w = g.node("s1b0_conv1").attrs["weights"]
+        assert is_nm_sparse(w.reshape(w.shape[0], -1), FORMAT_1_8)
+
+    def test_stem_stays_dense(self):
+        """C=3 gives reduce dim 27 — no supported pattern fits."""
+        g = resnet18_cifar(fmt=FORMAT_1_8)
+        w = g.node("stem").attrs["weights"]
+        assert (w != 0).mean() > 0.5
+
+    def test_downsample_stays_dense(self):
+        g = resnet18_cifar(fmt=FORMAT_1_16)
+        w = g.node("s1b0_down").attrs["weights"]
+        assert (w != 0).mean() > 0.5
+
+    def test_pattern_matcher_finds_the_format(self):
+        g = resnet18_cifar(fmt=FORMAT_1_16)
+        annotate_sparsity(g)
+        assert g.node("s2b0_conv2").attrs["sparse_fmt"] == FORMAT_1_16
+        assert g.node("s1b0_down").attrs["sparse_fmt"] is None
+
+    def test_pruned_param_share(self):
+        """Sec. 5.3: sparsified convs carry ~97% of parameters."""
+        g = resnet18_cifar(fmt=FORMAT_1_8)
+        annotate_sparsity(g)
+        pruned = total = 0
+        for n in g:
+            w = n.attrs.get("weights")
+            if w is None:
+                continue
+            total += w.size
+            if n.attrs.get("sparse_fmt") is not None:
+                pruned += w.size
+        assert pruned / total > 0.95
+
+
+class TestForward:
+    def test_forward_runs(self):
+        g = resnet18_cifar(num_classes=10)
+        rng = np.random.default_rng(0)
+        out = execute_graph(g, rng.normal(size=(32, 32, 3)).astype(np.float32))
+        assert out.shape == (10,)
+        assert np.isfinite(out).all()

@@ -1,0 +1,76 @@
+"""Tests for the ViT-Small model builder (repro.models.vit)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.deploy import deploy
+from repro.compiler.executor import execute_graph
+from repro.compiler.patterns import annotate_sparsity
+from repro.models.vit import vit_small
+from repro.sparsity.nm import FORMAT_1_8
+from repro.sparsity.stats import is_nm_sparse
+
+
+class TestStructure:
+    def test_parameter_count_matches_paper(self):
+        """Table 2: dense ViT memory 21.59 MB (int8 params)."""
+        g = vit_small()
+        params = 0
+        for n in g:
+            for key in ("weights", "wq", "wk", "wv", "wo"):
+                if key in n.attrs:
+                    params += n.attrs[key].size
+        assert params / (1024 * 1024) == pytest.approx(21.59, rel=0.06)
+
+    def test_mac_count_matches_paper(self):
+        """Dense MACs implied by Table 2: 975.23 x 4.65 ~= 4.53G."""
+        report = deploy(vit_small())
+        assert report.total_macs / 1e9 == pytest.approx(4.53, rel=0.05)
+
+    def test_ffn_param_share(self):
+        """Sec. 5.3: the sparsified FC layers hold ~65% of parameters."""
+        g = vit_small()
+        ffn = total = 0
+        for n in g:
+            for key in ("weights", "wq", "wk", "wv", "wo"):
+                if key in n.attrs:
+                    total += n.attrs[key].size
+            if n.op == "dense" and "_fc" in n.name:
+                ffn += n.attrs["weights"].size
+        assert ffn / total == pytest.approx(0.65, abs=0.03)
+
+    def test_token_count(self):
+        g = vit_small()
+        assert g.node("to_tokens").out_shape == (196, 384)
+
+    def test_depth_override(self):
+        g = vit_small(depth=2)
+        assert "l1_attn" in g.nodes and "l2_attn" not in g.nodes
+
+
+class TestSparsity:
+    def test_only_ffn_sparsified(self):
+        g = vit_small(fmt=FORMAT_1_8, depth=2)
+        annotate_sparsity(g)
+        assert g.node("l0_fc1").attrs["sparse_fmt"] == FORMAT_1_8
+        assert g.node("l0_fc2").attrs["sparse_fmt"] == FORMAT_1_8
+        assert g.node("head").attrs["sparse_fmt"] is None
+
+    def test_ffn_weights_compliant(self):
+        g = vit_small(fmt=FORMAT_1_8, depth=1)
+        w = g.node("l0_fc1").attrs["weights"]
+        assert is_nm_sparse(w, FORMAT_1_8)
+
+    def test_attention_untouched(self):
+        g = vit_small(fmt=FORMAT_1_8, depth=1)
+        wq = g.node("l0_attn").attrs["wq"]
+        assert (wq != 0).mean() > 0.5
+
+
+class TestForward:
+    def test_forward_runs_shallow(self):
+        g = vit_small(num_classes=10, depth=1)
+        rng = np.random.default_rng(0)
+        out = execute_graph(g, rng.normal(size=(224, 224, 3)).astype(np.float32))
+        assert out.shape == (10,)
+        assert np.isfinite(out).all()

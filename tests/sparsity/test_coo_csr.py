@@ -1,0 +1,119 @@
+"""Tests for the COO/CSR comparison formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparsity.coo import COOMatrix
+from repro.sparsity.csr import CSRMatrix
+
+
+def _sparse_dense(rng, rows, cols, density):
+    w = rng.integers(-128, 128, size=(rows, cols)).astype(np.int8)
+    mask = rng.random((rows, cols)) < density
+    return np.where(mask, w, 0).astype(np.int8)
+
+
+class TestCOO:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = _sparse_dense(rng, 10, 20, 0.2)
+        assert (COOMatrix.from_dense(dense).to_dense() == dense).all()
+
+    def test_nnz(self):
+        dense = np.zeros((4, 4), dtype=np.int8)
+        dense[1, 2] = 3
+        dense[3, 0] = -1
+        assert COOMatrix.from_dense(dense).nnz == 2
+
+    def test_total_bits(self):
+        dense = np.zeros((4, 4), dtype=np.int8)
+        dense[0, 0] = 1
+        coo = COOMatrix.from_dense(dense, row_bits=16, col_bits=16)
+        assert coo.total_bits() == 8 + 32
+
+    def test_break_even_paper_value(self):
+        """Sec. 2.1: with 24 index bits per NZ the break-even is 75%."""
+        assert COOMatrix.break_even_sparsity(16, 8) == pytest.approx(0.75)
+
+    def test_break_even_two_16bit_coords(self):
+        assert COOMatrix.break_even_sparsity(16, 16) == pytest.approx(0.8)
+
+    def test_storage_beats_dense_only_past_break_even(self):
+        rng = np.random.default_rng(1)
+        be = COOMatrix.break_even_sparsity(16, 16)
+        dense_sparse = _sparse_dense(rng, 64, 64, 1 - be - 0.1)
+        dense_dense = _sparse_dense(rng, 64, 64, 1 - be + 0.1)
+        assert COOMatrix.from_dense(dense_sparse).total_bytes() < 64 * 64
+        assert COOMatrix.from_dense(dense_dense).total_bytes() > 64 * 64
+
+    def test_rejects_too_narrow_indices(self):
+        dense = np.zeros((300, 4), dtype=np.int8)
+        dense[299, 0] = 1
+        with pytest.raises(ValueError):
+            COOMatrix.from_dense(dense, row_bits=8)
+
+
+class TestCSR:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        dense = _sparse_dense(rng, 12, 40, 0.3)
+        assert (CSRMatrix.from_dense(dense).to_dense() == dense).all()
+
+    def test_row_access(self):
+        dense = np.zeros((3, 8), dtype=np.int8)
+        dense[1, [2, 5]] = [7, -3]
+        csr = CSRMatrix.from_dense(dense)
+        vals, cols = csr.row(1)
+        assert vals.tolist() == [7, -3]
+        assert cols.tolist() == [2, 5]
+        assert csr.row(0)[0].size == 0
+
+    def test_row_ptr_monotone(self):
+        rng = np.random.default_rng(3)
+        dense = _sparse_dense(rng, 20, 16, 0.25)
+        csr = CSRMatrix.from_dense(dense)
+        assert (np.diff(csr.row_ptr) >= 0).all()
+        assert csr.row_ptr[-1] == csr.nnz
+
+    def test_break_even_values(self):
+        """50% with 8-bit relative indices, 66.7% with 16-bit (Sec. 2.1)."""
+        assert CSRMatrix.break_even_sparsity(8) == pytest.approx(0.5)
+        assert CSRMatrix.break_even_sparsity(16) == pytest.approx(2 / 3)
+
+    def test_csr_smaller_than_coo(self):
+        """CSR compresses COO's row coordinates."""
+        rng = np.random.default_rng(4)
+        dense = _sparse_dense(rng, 32, 64, 0.2)
+        csr = CSRMatrix.from_dense(dense)
+        coo = COOMatrix.from_dense(dense)
+        assert csr.total_bits() < coo.total_bits()
+
+    def test_paper_csr_vs_nm_claim(self):
+        """Sec. 4: CSR at 75% sparsity compresses < 25% vs dense, far
+        worse than the 1:4 N:M format's 68.75%."""
+        rng = np.random.default_rng(5)
+        from repro.sparsity.nm import FORMAT_1_4, NMSparseMatrix
+        from repro.sparsity.pruning import nm_prune
+
+        w = rng.integers(-128, 128, size=(64, 256)).astype(np.int8)
+        pruned = nm_prune(w, FORMAT_1_4)
+        csr = CSRMatrix.from_dense(pruned, col_bits=16)
+        nm = NMSparseMatrix.from_dense(pruned, FORMAT_1_4)
+        csr_reduction = 1 - csr.total_bytes() / csr.dense_bytes()
+        assert csr_reduction < 0.25
+        assert nm.memory_reduction() == pytest.approx(0.6875)
+
+
+@settings(max_examples=25)
+@given(
+    rows=st.integers(1, 16),
+    cols=st.integers(1, 32),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31),
+)
+def test_coo_csr_roundtrip_property(rows, cols, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = _sparse_dense(rng, rows, cols, density)
+    assert (COOMatrix.from_dense(dense).to_dense() == dense).all()
+    assert (CSRMatrix.from_dense(dense).to_dense() == dense).all()

@@ -1,0 +1,74 @@
+"""General-N support (e.g. NVIDIA-style 2:4) in the format layer.
+
+The paper's kernels commit to N=1; the data structures, pruning and
+functional sparse matmul support arbitrary N — tested here so the
+format layer stands on its own (a downstream user can encode 2:4 even
+though the MCU kernels don't consume it)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.conv_sparse import sparse_matmul_acc
+from repro.sparsity.nm import NMFormat, NMSparseMatrix
+from repro.sparsity.pruning import nm_prune
+from repro.sparsity.stats import is_nm_sparse
+
+FORMAT_2_4 = NMFormat(2, 4)
+FORMAT_2_8 = NMFormat(2, 8)
+
+
+class TestFormat:
+    def test_2_4_properties(self):
+        assert FORMAT_2_4.name == "2:4"
+        assert FORMAT_2_4.sparsity == 0.5
+        assert FORMAT_2_4.offset_bits == 2
+
+    def test_2_4_memory_reduction(self):
+        # 2 x (8+2) bits per 4 positions = 5 bits/weight.
+        assert FORMAT_2_4.bits_per_dense_weight() == pytest.approx(5.0)
+        assert FORMAT_2_4.weight_memory_reduction() == pytest.approx(0.375)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("fmt", [FORMAT_2_4, FORMAT_2_8])
+    def test_roundtrip(self, fmt):
+        rng = np.random.default_rng(0)
+        w = nm_prune(rng.integers(-128, 128, (6, 8 * fmt.m)).astype(np.int8), fmt)
+        mat = NMSparseMatrix.from_dense(w, fmt)
+        assert (mat.to_dense() == w).all()
+
+    def test_pruning_keeps_two_per_block(self):
+        rng = np.random.default_rng(1)
+        w = nm_prune(rng.normal(size=(4, 32)), FORMAT_2_4)
+        assert is_nm_sparse(w, FORMAT_2_4)
+        blocks = (w.reshape(4, 8, 4) != 0).sum(axis=2)
+        assert (blocks == 2).all()
+
+    def test_three_per_block_rejected(self):
+        dense = np.zeros((1, 4), dtype=np.int8)
+        dense[0, :3] = 1
+        with pytest.raises(ValueError, match="violate"):
+            NMSparseMatrix.from_dense(dense, FORMAT_2_4)
+
+
+class TestFunctionalMatmul:
+    @pytest.mark.parametrize("fmt", [FORMAT_2_4, FORMAT_2_8])
+    def test_gather_matches_dense(self, fmt):
+        rng = np.random.default_rng(2)
+        w = nm_prune(rng.integers(-128, 128, (6, 4 * fmt.m)).astype(np.int8), fmt)
+        mat = NMSparseMatrix.from_dense(w, fmt)
+        x = rng.integers(-128, 128, (3, 4 * fmt.m)).astype(np.int8)
+        got = sparse_matmul_acc(x, mat, method="gather")
+        ref = x.astype(np.int32) @ w.astype(np.int32).T
+        assert (got == ref).all()
+
+    def test_kernel_cost_model_rejects_general_n(self):
+        """The MCU kernels only support N=1 (paper scope) — the cost
+        model must refuse rather than silently misprice."""
+        from repro.kernels.cost_model import conv_layer_cycles
+        from repro.kernels.shapes import ConvShape
+
+        with pytest.raises((ValueError, KeyError)):
+            conv_layer_cycles(
+                ConvShape(iy=4, ix=4, c=8, k=8), "sparse-sw", FORMAT_2_4
+            )

@@ -1,0 +1,168 @@
+"""Tests for the N:M packed format (repro.sparsity.nm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparsity.nm import (
+    FORMAT_1_16,
+    FORMAT_1_4,
+    FORMAT_1_8,
+    NMFormat,
+    NMSparseMatrix,
+    SUPPORTED_FORMATS,
+)
+from repro.sparsity.pruning import nm_prune
+from repro.utils.bitpack import unpack_bits
+
+
+class TestNMFormat:
+    def test_names(self):
+        assert FORMAT_1_4.name == "1:4"
+        assert FORMAT_1_8.name == "1:8"
+        assert FORMAT_1_16.name == "1:16"
+
+    def test_supported_registry(self):
+        assert set(SUPPORTED_FORMATS) == {"1:4", "1:8", "1:16"}
+
+    def test_sparsity_values(self):
+        assert FORMAT_1_4.sparsity == 0.75
+        assert FORMAT_1_8.sparsity == 0.875
+        assert FORMAT_1_16.sparsity == 0.9375
+
+    def test_offset_bits_rounded_to_power_of_two(self):
+        assert FORMAT_1_4.offset_bits == 2
+        assert FORMAT_1_8.offset_bits == 4  # ceil(log2 8)=3, rounded to 4
+        assert FORMAT_1_16.offset_bits == 4
+
+    def test_paper_memory_reductions_sw(self):
+        """Sec. 4: 68.75% / 81.25% / 90.62% for the SW layouts."""
+        assert FORMAT_1_4.weight_memory_reduction() == pytest.approx(0.6875)
+        assert FORMAT_1_8.weight_memory_reduction() == pytest.approx(0.8125)
+        assert FORMAT_1_16.weight_memory_reduction() == pytest.approx(0.90625)
+
+    def test_paper_memory_reductions_isa(self):
+        """Sec. 4.1.3: 62.5% / 75% / 87.5% with duplicated offsets."""
+        assert FORMAT_1_4.weight_memory_reduction(True) == pytest.approx(0.625)
+        assert FORMAT_1_8.weight_memory_reduction(True) == pytest.approx(0.75)
+        assert FORMAT_1_16.weight_memory_reduction(True) == pytest.approx(0.875)
+
+    def test_match_tiling_bits_example(self):
+        """Sec. 4.4: 1:4 with replicated offsets = 3 bits per dense weight."""
+        assert FORMAT_1_4.bits_per_dense_weight(True) == pytest.approx(3.0)
+
+    def test_invalid_formats_rejected(self):
+        for n, m in ((0, 4), (4, 4), (5, 4), (1, 1)):
+            with pytest.raises(ValueError):
+                NMFormat(n, m)
+
+
+def _random_nm_dense(rng, rows, cols, fmt):
+    w = rng.integers(-128, 128, size=(rows, cols)).astype(np.int8)
+    return nm_prune(w, fmt)
+
+
+class TestNMSparseMatrix:
+    @pytest.mark.parametrize("fmt", [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16])
+    def test_roundtrip(self, fmt):
+        rng = np.random.default_rng(0)
+        dense = _random_nm_dense(rng, 16, fmt.m * 8, fmt)
+        mat = NMSparseMatrix.from_dense(dense, fmt)
+        assert (mat.to_dense() == dense).all()
+
+    def test_rejects_violating_pattern(self):
+        dense = np.ones((2, 8), dtype=np.int8)  # 8 nnz per 1:8 block
+        with pytest.raises(ValueError, match="violate"):
+            NMSparseMatrix.from_dense(dense, FORMAT_1_8)
+
+    def test_rejects_misaligned_columns(self):
+        dense = np.zeros((2, 9), dtype=np.int8)
+        with pytest.raises(ValueError, match="multiple"):
+            NMSparseMatrix.from_dense(dense, FORMAT_1_8)
+
+    def test_allows_underfull_blocks(self):
+        """Blocks with zero non-zeros are legal (explicit zero stored)."""
+        dense = np.zeros((1, 16), dtype=np.int8)
+        dense[0, 3] = 5  # one block has a value, the other is empty
+        mat = NMSparseMatrix.from_dense(dense, FORMAT_1_8)
+        assert (mat.to_dense() == dense).all()
+
+    def test_measured_reduction_matches_analytic(self):
+        rng = np.random.default_rng(1)
+        for fmt in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16):
+            dense = _random_nm_dense(rng, 8, fmt.m * 16, fmt)
+            mat = NMSparseMatrix.from_dense(dense, fmt)
+            assert mat.memory_reduction() == pytest.approx(
+                fmt.weight_memory_reduction()
+            )
+            assert mat.memory_reduction(True) == pytest.approx(
+                fmt.weight_memory_reduction(True)
+            )
+
+    def test_packed_offsets_roundtrip(self):
+        rng = np.random.default_rng(2)
+        fmt = FORMAT_1_8
+        dense = _random_nm_dense(rng, 4, 64, fmt)
+        mat = NMSparseMatrix.from_dense(dense, fmt)
+        packed = mat.packed_offsets()
+        row0 = unpack_bits(packed[0], fmt.offset_bits, mat.offsets.shape[1])
+        assert (row0 == mat.offsets[0]).all()
+
+    def test_packed_offsets_duplicated(self):
+        rng = np.random.default_rng(3)
+        fmt = FORMAT_1_16
+        dense = _random_nm_dense(rng, 2, 64, fmt)
+        mat = NMSparseMatrix.from_dense(dense, fmt)
+        dup = mat.packed_offsets(duplicate=True)
+        fields = unpack_bits(dup[0], 4, 2 * mat.offsets.shape[1])
+        assert (fields[0::2] == fields[1::2]).all()
+        assert (fields[0::2] == mat.offsets[0]).all()
+
+    def test_fc_interleaved_offsets(self):
+        """Fig. 6: o0_ch0, o0_ch1, o1_ch0, o1_ch1, ..."""
+        rng = np.random.default_rng(4)
+        fmt = FORMAT_1_8
+        dense = _random_nm_dense(rng, 2, 64, fmt)
+        mat = NMSparseMatrix.from_dense(dense, fmt)
+        inter = mat.packed_offsets_fc_interleaved()
+        assert inter.shape[0] == 1
+        fields = unpack_bits(inter[0], 4, 2 * mat.offsets.shape[1])
+        assert (fields[0::2] == mat.offsets[0]).all()
+        assert (fields[1::2] == mat.offsets[1]).all()
+
+    def test_fc_interleave_rejects_odd_rows(self):
+        dense = np.zeros((3, 16), dtype=np.int8)
+        mat = NMSparseMatrix.from_dense(dense, FORMAT_1_8)
+        with pytest.raises(ValueError, match="even"):
+            mat.packed_offsets_fc_interleaved()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            NMSparseMatrix(
+                np.zeros((2, 3), dtype=np.int8),
+                np.zeros((2, 4), dtype=np.uint8),
+                FORMAT_1_8,
+                24,
+            )
+        with pytest.raises(ValueError, match="offset out of block"):
+            NMSparseMatrix(
+                np.zeros((1, 2), dtype=np.int8),
+                np.full((1, 2), 9, dtype=np.uint8),
+                FORMAT_1_8,
+                16,
+            )
+
+
+@settings(max_examples=40)
+@given(
+    fmt=st.sampled_from([FORMAT_1_4, FORMAT_1_8, FORMAT_1_16]),
+    rows=st.integers(1, 12),
+    blocks=st.integers(1, 12),
+    seed=st.integers(0, 2**31),
+)
+def test_roundtrip_property(fmt, rows, blocks, seed):
+    """from_dense(to_dense(x)) == x for any N:M-compliant matrix."""
+    rng = np.random.default_rng(seed)
+    dense = _random_nm_dense(rng, rows, blocks * fmt.m, fmt)
+    mat = NMSparseMatrix.from_dense(dense, fmt)
+    assert (mat.to_dense() == dense).all()

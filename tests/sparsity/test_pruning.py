@@ -1,0 +1,103 @@
+"""Tests for magnitude N:M pruning (repro.sparsity.pruning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8, NMFormat
+from repro.sparsity.pruning import (
+    nm_prune,
+    nm_prune_mask,
+    prune_conv_weights,
+    prune_fc_weights,
+)
+from repro.sparsity.stats import is_nm_sparse, sparsity_ratio
+
+
+class TestMask:
+    def test_keeps_largest_magnitude(self):
+        w = np.array([[1, -9, 3, 2, 0, 0, 5, -1]], dtype=np.float64)
+        mask = nm_prune_mask(w, FORMAT_1_4)
+        assert mask.tolist() == [[False, True, False, False, False, False, True, False]]
+
+    def test_exactly_n_per_block(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(6, 64))
+        for fmt in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16):
+            mask = nm_prune_mask(w, fmt)
+            blocks = mask.reshape(6, -1, fmt.m)
+            assert (blocks.sum(axis=2) == fmt.n).all()
+
+    def test_tie_break_deterministic(self):
+        w = np.ones((1, 8))
+        mask = nm_prune_mask(w, FORMAT_1_8)
+        assert mask[0, 0] and mask.sum() == 1  # lowest index wins
+
+    def test_general_n(self):
+        w = np.arange(16, dtype=float)[None, :]
+        mask = nm_prune_mask(w, NMFormat(2, 8))
+        blocks = mask.reshape(1, 2, 8)
+        assert (blocks.sum(axis=2) == 2).all()
+        assert mask[0, 6] and mask[0, 7]  # largest two of first block
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            nm_prune_mask(np.zeros((2, 10)), FORMAT_1_4)
+
+
+class TestPrune:
+    def test_result_is_nm_sparse(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(8, 128))
+        for fmt in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16):
+            pruned = nm_prune(w, fmt)
+            assert is_nm_sparse(pruned, fmt)
+            assert sparsity_ratio(pruned) >= fmt.sparsity - 1e-9
+
+    def test_kept_values_unchanged(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(4, 32))
+        pruned = nm_prune(w, FORMAT_1_8)
+        kept = pruned != 0
+        assert np.allclose(pruned[kept], w[kept])
+
+    def test_conv_layout_blocks_along_fyfxc(self):
+        """Blocks follow the (FY, FX, C) im2col flattening order."""
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(4, 3, 3, 16))
+        pruned = prune_conv_weights(w, FORMAT_1_8)
+        flat = pruned.reshape(4, -1)
+        assert is_nm_sparse(flat, FORMAT_1_8)
+
+    def test_conv_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            prune_conv_weights(np.zeros((4, 9)), FORMAT_1_4)
+
+    def test_fc_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            prune_fc_weights(np.zeros((4, 3, 3, 8)), FORMAT_1_4)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=(4, 64))
+        once = nm_prune(w, FORMAT_1_16)
+        twice = nm_prune(once, FORMAT_1_16)
+        assert np.array_equal(once, twice)
+
+
+@settings(max_examples=40)
+@given(
+    fmt=st.sampled_from([FORMAT_1_4, FORMAT_1_8, FORMAT_1_16]),
+    rows=st.integers(1, 8),
+    blocks=st.integers(1, 8),
+    seed=st.integers(0, 2**31),
+)
+def test_pruning_error_is_minimal_per_block(fmt, rows, blocks, seed):
+    """Magnitude pruning keeps the max-|w| element of each block, so the
+    L2 error per block equals the sum of squares of all but the largest."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(rows, blocks * fmt.m))
+    pruned = nm_prune(w, fmt)
+    wb = w.reshape(rows, blocks, fmt.m)
+    kept = np.abs(pruned.reshape(rows, blocks, fmt.m)).max(axis=2)
+    assert np.allclose(kept, np.abs(wb).max(axis=2))

@@ -1,0 +1,61 @@
+"""Tests for N:M weight serialisation (repro.sparsity.serialize)."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import nm_prune
+from repro.sparsity.serialize import load_nm_weights, save_nm_weights
+
+
+def make_mat(fmt, rows=8, blocks=6, seed=0):
+    rng = np.random.default_rng(seed)
+    w = nm_prune(
+        rng.integers(-128, 128, (rows, blocks * fmt.m)).astype(np.int8), fmt
+    )
+    return NMSparseMatrix.from_dense(w, fmt)
+
+
+class TestRoundtrip:
+    def test_single_layer(self, tmp_path):
+        mat = make_mat(FORMAT_1_8)
+        path = tmp_path / "w.npz"
+        save_nm_weights(path, {"layer0": mat})
+        loaded = load_nm_weights(path)["layer0"]
+        assert (loaded.to_dense() == mat.to_dense()).all()
+        assert loaded.fmt == mat.fmt
+        assert loaded.dense_cols == mat.dense_cols
+
+    def test_multiple_layers_mixed_formats(self, tmp_path):
+        layers = {
+            "a": make_mat(FORMAT_1_4, seed=1),
+            "b": make_mat(FORMAT_1_8, seed=2),
+            "c": make_mat(FORMAT_1_16, seed=3),
+        }
+        path = tmp_path / "model.npz"
+        save_nm_weights(path, layers)
+        loaded = load_nm_weights(path)
+        assert set(loaded) == set(layers)
+        for name in layers:
+            assert (loaded[name].to_dense() == layers[name].to_dense()).all()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="nothing"):
+            save_nm_weights(tmp_path / "x.npz", {})
+
+    def test_slash_in_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="may not contain"):
+            save_nm_weights(tmp_path / "x.npz", {"a/b": make_mat(FORMAT_1_8)})
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro"):
+            load_nm_weights(path)
+
+    def test_file_size_reflects_compression(self, tmp_path):
+        """The artifact must be far smaller than dense int8 storage."""
+        mat = make_mat(FORMAT_1_16, rows=64, blocks=32)
+        path = tmp_path / "w.npz"
+        save_nm_weights(path, {"l": mat})
+        assert path.stat().st_size < mat.dense_bytes()

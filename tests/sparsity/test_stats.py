@@ -1,0 +1,57 @@
+"""Tests for sparsity statistics (repro.sparsity.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.nm import FORMAT_1_4, FORMAT_1_8
+from repro.sparsity.stats import is_nm_sparse, nm_block_histogram, sparsity_ratio
+
+
+class TestSparsityRatio:
+    def test_all_zero(self):
+        assert sparsity_ratio(np.zeros((3, 4))) == 1.0
+
+    def test_no_zero(self):
+        assert sparsity_ratio(np.ones((3, 4))) == 0.0
+
+    def test_half(self):
+        w = np.array([0, 1, 0, 2])
+        assert sparsity_ratio(w) == 0.5
+
+    def test_empty(self):
+        assert sparsity_ratio(np.array([])) == 0.0
+
+
+class TestIsNmSparse:
+    def test_accepts_compliant(self):
+        w = np.zeros((2, 8))
+        w[:, 0] = 1
+        assert is_nm_sparse(w, FORMAT_1_4)
+
+    def test_rejects_violation(self):
+        w = np.zeros((1, 4))
+        w[0, :2] = 1
+        assert not is_nm_sparse(w, FORMAT_1_4)
+
+    def test_rejects_misaligned(self):
+        assert not is_nm_sparse(np.zeros((1, 6)), FORMAT_1_4)
+
+    def test_underfull_blocks_ok(self):
+        assert is_nm_sparse(np.zeros((2, 16)), FORMAT_1_8)
+
+
+class TestHistogram:
+    def test_counts(self):
+        w = np.array([[1, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0]])
+        hist = nm_block_histogram(w, 4)
+        assert hist[0] == 1 and hist[1] == 1 and hist[2] == 1
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            nm_block_histogram(np.zeros(10), 4)
+
+    def test_total_blocks(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(4, 32))
+        hist = nm_block_histogram(w, FORMAT_1_8.m)
+        assert hist.sum() == 4 * 32 // 8

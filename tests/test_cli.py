@@ -1,0 +1,48 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_peaks(self, capsys):
+        assert main(["peaks"]) == 0
+        out = capsys.readouterr().out
+        assert "dense-4x2" in out and "2.29" in out
+
+    def test_memory(self, capsys):
+        assert main(["memory"]) == 0
+        out = capsys.readouterr().out
+        assert "N:M (SW)" in out and "Break-even" in out
+
+    def test_fig8_conv(self, capsys):
+        assert main(["fig8", "conv"]) == 0
+        assert "speedup vs 1x2" in capsys.readouterr().out
+
+    def test_fig8_fc(self, capsys):
+        assert main(["fig8", "fc"]) == 0
+        assert "speedup vs dense" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet18-ISA (ours)" in out
+
+    def test_ablations(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "decimate im2col (paper)" in out
+
+    def test_extensions(self, capsys):
+        assert main(["extensions"]) == 0
+        out = capsys.readouterr().out
+        assert "pJ/MAC" in out and "CSR speedup" in out
+
+    def test_bad_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_fig8_requires_kind(self):
+        with pytest.raises(SystemExit):
+            main(["fig8"])

@@ -1,0 +1,103 @@
+"""Cross-package integration tests: the full pipeline end to end."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import CompileConfig
+from repro.compiler.deploy import deploy
+from repro.compiler.executor import execute_graph
+from repro.compiler.ir import Graph
+from repro.models.quantize import quantize_graph
+from repro.models.resnet import resnet18_cifar
+from repro.models.vit import vit_small
+from repro.sparsity.nm import FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.serialize import load_nm_weights, save_nm_weights
+from repro.sparsity.stats import is_nm_sparse
+
+
+class TestVitEndToEnd:
+    """Shallow ViT: int8 inference + deployment on the same graph."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        g = vit_small(num_classes=10, fmt=FORMAT_1_8, depth=1)
+        rng = np.random.default_rng(0)
+        samples = [rng.normal(size=(224, 224, 3)).astype(np.float32) * 0.5]
+        quantize_graph(g, samples)
+        return g
+
+    def test_int8_inference_tracks_float(self, graph):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(224, 224, 3)).astype(np.float32) * 0.5
+        f = execute_graph(graph, x, mode="float")
+        q = execute_graph(graph, x, mode="int8")
+        scale = np.abs(f).max() + 1e-9
+        assert np.abs(f - q).max() / scale < 0.25
+
+    def test_sparse_ffn_lowered(self, graph):
+        report = deploy(graph, CompileConfig(use_isa=True))
+        kernels = {p.node_name: p.variant for p in report.plans}
+        assert kernels["l0_fc1"] == "sparse-isa"
+        assert kernels["head"] == "dense"
+
+    def test_attention_cycles_constant_across_variants(self, graph):
+        """Only the FFN changes between SW and ISA deployments."""
+        sw = deploy(graph, CompileConfig(use_isa=False))
+        isa = deploy(graph, CompileConfig(use_isa=True))
+        sw_attn = sum(p.cycles for p in sw.plans if p.op == "attention")
+        isa_attn = sum(p.cycles for p in isa.plans if p.op == "attention")
+        assert sw_attn == pytest.approx(isa_attn)
+        assert isa.total_cycles < sw.total_cycles
+
+
+class TestTrainedWeightsThroughDeployment:
+    def test_sparse_training_weights_deployable(self):
+        """SR-STE output -> NMSparseMatrix -> serialisation -> compiler."""
+        from repro.train.srste import SparseLinear
+
+        layer = SparseLinear(64, 16, FORMAT_1_8, seed=0)
+        w = layer.dense_weight()
+        assert is_nm_sparse(w, FORMAT_1_8)
+        mat = NMSparseMatrix.from_dense(
+            np.clip(np.rint(w * 50), -127, 127).astype(np.int8), FORMAT_1_8
+        )
+        assert mat.fmt == FORMAT_1_8
+
+    def test_serialise_reload_deploy(self, tmp_path):
+        rng = np.random.default_rng(2)
+        from repro.sparsity.pruning import nm_prune
+
+        w = nm_prune(rng.integers(-128, 128, (16, 128)).astype(np.int8), FORMAT_1_8)
+        mat = NMSparseMatrix.from_dense(w, FORMAT_1_8)
+        save_nm_weights(tmp_path / "w.npz", {"fc": mat})
+        loaded = load_nm_weights(tmp_path / "w.npz")["fc"]
+
+        g = Graph("reloaded")
+        x = g.add_input("in", (128,))
+        g.add_dense("fc", x, loaded.to_dense().astype(np.float32))
+        report = deploy(g, CompileConfig())
+        plan = next(p for p in report.plans if p.node_name == "fc")
+        assert plan.variant == "sparse-sw"
+        assert plan.fmt == FORMAT_1_8
+
+
+class TestReportJson:
+    def test_roundtrips_through_json(self):
+        report = deploy(resnet18_cifar(fmt=FORMAT_1_8), CompileConfig(use_isa=True))
+        payload = json.loads(report.to_json())
+        assert payload["summary"]["total_cycles"] == pytest.approx(
+            report.total_cycles
+        )
+        layers = {l["name"]: l for l in payload["layers"]}
+        assert layers["s2b0_conv1"]["kernel"] == "sparse-isa"
+        assert layers["s2b0_conv1"]["format"] == "1:8"
+        assert sum(l["cycles"] for l in payload["layers"]) == pytest.approx(
+            report.total_cycles
+        )
+
+    def test_dense_rows_have_null_format(self):
+        report = deploy(resnet18_cifar(), CompileConfig(use_sparse=False))
+        payload = json.loads(report.to_json())
+        assert all(l["format"] is None for l in payload["layers"])

@@ -1,0 +1,157 @@
+"""Tests for the autodiff core (repro.train.autograd): every gradient
+is checked against central finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.train.autograd import Tensor
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f(x)
+        flat[i] = orig - eps
+        lo = f(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_op(build, shape, seed=0, tol=1e-5):
+    """Compare autodiff gradients to finite differences for one op."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+
+    def scalar(arr):
+        t = Tensor(arr.copy(), requires_grad=True)
+        return float(build(t).data)
+
+    t = Tensor(x.copy(), requires_grad=True)
+    loss = build(t)
+    loss.backward()
+    num = numeric_grad(scalar, x.copy())
+    assert np.allclose(t.grad, num, atol=tol), (t.grad, num)
+
+
+class TestGradients:
+    def test_add(self):
+        check_op(lambda t: (t + Tensor(np.ones(t.shape))).sum(), (3, 4))
+
+    def test_mul(self):
+        rng = np.random.default_rng(1)
+        other = Tensor(rng.normal(size=(3, 4)))
+        check_op(lambda t: (t * other).sum(), (3, 4))
+
+    def test_broadcast_add(self):
+        bias = Tensor(np.arange(4.0))
+        check_op(lambda t: (t + bias).sum(), (3, 4))
+
+    def test_matmul(self):
+        rng = np.random.default_rng(2)
+        w = Tensor(rng.normal(size=(4, 5)))
+        check_op(lambda t: t.matmul(w).sum(), (3, 4))
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(3)
+        w = Tensor(rng.normal(size=(4, 5)))
+        check_op(lambda t: t.matmul(w).sum(), (2, 3, 4))
+
+    def test_matmul_weight_grad(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+
+        def build(w):
+            return x.matmul(w).sum()
+
+        def scalar(arr):
+            return float(x.matmul(Tensor(arr.copy())).sum().data)
+
+        w0 = rng.normal(size=(4, 5))
+        w = Tensor(w0.copy(), requires_grad=True)
+        build(w).backward()
+        num = numeric_grad(lambda a: scalar(a), w0.copy())
+        assert np.allclose(w.grad, num, atol=1e-5)
+
+    def test_relu(self):
+        check_op(lambda t: t.relu().sum(), (5, 5), seed=5)
+
+    def test_reshape(self):
+        check_op(lambda t: t.reshape(2, 6).sum(), (3, 4))
+
+    def test_transpose(self):
+        check_op(lambda t: t.transpose((1, 0)).sum(), (3, 4))
+
+    def test_mean(self):
+        check_op(lambda t: t.mean(), (4, 4))
+
+    def test_avgpool(self):
+        check_op(lambda t: t.avgpool2x2().sum(), (1, 4, 4, 2))
+
+    def test_log_softmax(self):
+        rng = np.random.default_rng(6)
+        pick = Tensor(rng.normal(size=(3, 5)))
+        check_op(lambda t: (t.log_softmax() * pick).sum(), (3, 5))
+
+    def test_pad(self):
+        check_op(lambda t: t.pad_hw(1).sum(), (1, 3, 3, 2))
+
+    def test_im2col_conv(self):
+        idx = np.array([[0, 1], [2, 3]])
+        check_op(lambda t: t.im2col_conv(idx, None).sum(), (2, 4))
+
+
+class TestMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.zeros((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            (t + t).backward()
+
+    def test_grad_accumulates_over_reuse(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t + t).sum().backward()
+        assert np.allclose(t.grad, 2.0)
+
+    def test_no_tape_without_requires_grad(self):
+        t = Tensor(np.ones(3))
+        out = t.relu()
+        assert out._backward is None
+
+    def test_matmul_rejects_batched_rhs(self):
+        a = Tensor(np.zeros((2, 3)))
+        b = Tensor(np.zeros((2, 3, 4)))
+        with pytest.raises(ValueError, match="2-D"):
+            a.matmul(b)
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        t.sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    seed=st.integers(0, 2**31),
+)
+def test_chain_gradient_property(rows, cols, seed):
+    """relu(xW) summed: autodiff equals finite differences for random
+    shapes and values."""
+    rng = np.random.default_rng(seed)
+    w = Tensor(rng.normal(size=(cols, 3)))
+    x0 = rng.normal(size=(rows, cols))
+
+    def scalar(arr):
+        return float(Tensor(arr.copy()).matmul(w).relu().sum().data)
+
+    t = Tensor(x0.copy(), requires_grad=True)
+    t.matmul(w).relu().sum().backward()
+    num = numeric_grad(lambda a: scalar(a), x0.copy())
+    assert np.allclose(t.grad, num, atol=1e-5)

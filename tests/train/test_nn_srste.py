@@ -1,0 +1,181 @@
+"""Tests for layers, optimiser and SR-STE training (repro.train)."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8
+from repro.sparsity.stats import is_nm_sparse
+from repro.train.autograd import Tensor
+from repro.train.data import make_synthetic_dataset
+from repro.train.nn import (
+    AvgPool2x2,
+    Conv2d,
+    Flatten,
+    Linear,
+    ReLU,
+    SGD,
+    Sequential,
+    cross_entropy,
+)
+from repro.train.srste import SparseConv2d, SparseLinear, srste_mask
+from repro.train.trainer import evaluate, train_model
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(8, 3, seed=0)
+        out = layer(Tensor(np.zeros((5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_conv_matches_manual_center_tap(self):
+        conv = Conv2d(1, 1, seed=0)
+        conv.weight.data[:] = 0
+        conv.weight.data[0, 1, 1, 0] = 3.0
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        out = conv(Tensor(x)).data
+        assert np.allclose(out, 3 * x)
+
+    def test_conv_output_shape(self):
+        conv = Conv2d(3, 6, seed=1)
+        out = conv(Tensor(np.zeros((2, 8, 8, 3))))
+        assert out.shape == (2, 8, 8, 6)
+
+    def test_sequential_parameters(self):
+        model = Sequential(Linear(4, 4, seed=0), ReLU(), Linear(4, 2, seed=1))
+        assert len(model.parameters()) == 4  # 2 weights + 2 biases
+
+    def test_pool_flatten(self):
+        model = Sequential(AvgPool2x2(), Flatten())
+        out = model(Tensor(np.zeros((2, 4, 4, 3))))
+        assert out.shape == (2, 12)
+
+
+class TestLoss:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert float(loss.data) == pytest.approx(np.log(4))
+
+    def test_cross_entropy_confident(self):
+        x = np.full((1, 3), -10.0)
+        x[0, 2] = 10.0
+        loss = cross_entropy(Tensor(x), np.array([2]))
+        assert float(loss.data) < 1e-6
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 1] < 0  # push the true class up
+        assert logits.grad[0, 0] > 0
+
+
+class TestSgd:
+    def test_step_descends(self):
+        w = Tensor(np.array([2.0]), requires_grad=True)
+        opt = SGD([w], lr=0.1, momentum=0.0)
+        for _ in range(20):
+            loss = (w * w).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert abs(float(w.data[0])) < 0.1
+
+    def test_momentum_accumulates(self):
+        w = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([w], lr=0.01, momentum=0.9)
+        (w * w).sum().backward()
+        opt.step()
+        first = float(w.data[0])
+        opt.zero_grad()
+        (w * w).sum().backward()
+        opt.step()
+        second_delta = first - float(w.data[0])
+        assert second_delta > (1.0 - first)  # larger than the first step
+
+
+class TestSrSte:
+    def test_mask_applied_forward(self):
+        w = Tensor(np.arange(1.0, 9.0)[None, :], requires_grad=True)
+        out = srste_mask(w, FORMAT_1_4)
+        assert (out.data != 0).sum() == 2  # 1 per 4-block
+
+    def test_gradient_passes_to_pruned_weights(self):
+        """The STE lets masked-out weights receive gradient signal."""
+        w = Tensor(np.arange(1.0, 9.0)[None, :], requires_grad=True)
+        srste_mask(w, FORMAT_1_4, lambda_w=0.0).sum().backward()
+        assert (w.grad != 0).all()
+
+    def test_regulariser_decays_pruned_only(self):
+        w = Tensor(np.arange(1.0, 9.0)[None, :], requires_grad=True)
+        lam = 0.5
+        srste_mask(w, FORMAT_1_4, lambda_w=lam).sum().backward()
+        # pruned positions: grad = 1 (STE) + lam * w
+        pruned = np.ones((1, 8), dtype=bool)
+        pruned[0, 3] = pruned[0, 7] = False  # kept (largest per block)
+        assert np.allclose(w.grad[pruned], 1.0 + lam * w.data[pruned])
+        assert np.allclose(w.grad[~pruned], 1.0)
+
+    def test_sparse_linear_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="multiple"):
+            SparseLinear(10, 4, FORMAT_1_4)
+
+    def test_sparse_conv_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="multiple"):
+            SparseConv2d(3, 4, FORMAT_1_8)
+
+    @pytest.mark.parametrize("fmt", [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16])
+    def test_dense_weight_is_compliant(self, fmt):
+        layer = SparseLinear(4 * fmt.m, 6, fmt, seed=0)
+        w = layer.dense_weight()
+        assert is_nm_sparse(w, fmt)
+
+
+class TestTraining:
+    def test_mlp_learns_synthetic(self):
+        data = make_synthetic_dataset(
+            n_classes=4, n_train=128, n_test=64, hw=8, noise=0.5, seed=0
+        )
+        model = Sequential(
+            Flatten(), Linear(8 * 8 * 3, 32, seed=0), ReLU(), Linear(32, 4, seed=1)
+        )
+        result = train_model(model, data, epochs=6, seed=0)
+        assert result.test_accuracy > 0.7
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_sparse_mlp_stays_compliant_after_training(self):
+        data = make_synthetic_dataset(
+            n_classes=4, n_train=128, n_test=64, hw=8, noise=0.5, seed=1
+        )
+        layer = SparseLinear(8 * 8 * 3, 32, FORMAT_1_8, seed=0)
+        model = Sequential(Flatten(), layer, ReLU(), Linear(32, 4, seed=1))
+        result = train_model(model, data, epochs=4, seed=0)
+        assert result.test_accuracy > 0.6
+        assert is_nm_sparse(layer.dense_weight(), FORMAT_1_8)
+
+    def test_evaluate_bounds(self):
+        data = make_synthetic_dataset(
+            n_classes=4, n_train=32, n_test=32, hw=8, seed=2
+        )
+        model = Sequential(Flatten(), Linear(8 * 8 * 3, 4, seed=0))
+        acc = evaluate(model, data.x_test, data.y_test)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestData:
+    def test_deterministic(self):
+        a = make_synthetic_dataset(seed=9)
+        b = make_synthetic_dataset(seed=9)
+        assert (a.x_train == b.x_train).all()
+        assert (a.y_test == b.y_test).all()
+
+    def test_shapes_and_labels(self):
+        data = make_synthetic_dataset(n_classes=5, n_train=20, n_test=10, hw=12)
+        assert data.x_train.shape == (20, 12, 12, 3)
+        assert data.n_classes == 5
+        assert set(np.unique(data.y_train)) <= set(range(5))
+
+    def test_noise_controls_difficulty(self):
+        easy = make_synthetic_dataset(noise=0.1, seed=3)
+        hard = make_synthetic_dataset(noise=3.0, seed=3)
+        # Same prototypes, different corruption level.
+        assert hard.x_train.std() > easy.x_train.std()

@@ -1,0 +1,96 @@
+"""Tests for sub-byte packing (repro.utils.bitpack)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitpack import (
+    pack_bits,
+    pack_crumbs,
+    pack_nibbles,
+    unpack_bits,
+    unpack_crumbs,
+    unpack_nibbles,
+)
+
+
+class TestPackBits:
+    def test_nibbles_known_value(self):
+        packed = pack_nibbles(np.array([0x1, 0x2, 0x3, 0x4]))
+        assert packed.tolist() == [0x21, 0x43]
+
+    def test_crumbs_known_value(self):
+        packed = pack_crumbs(np.array([0, 1, 2, 3]))
+        # 0b11100100 = 0xE4, little-endian fields within the byte
+        assert packed.tolist() == [0xE4]
+
+    def test_full_byte_width(self):
+        values = np.array([7, 200, 0])
+        assert pack_bits(values, 8).tolist() == [7, 200, 0]
+
+    def test_padding_to_byte(self):
+        packed = pack_nibbles(np.array([0xF]))
+        assert packed.tolist() == [0x0F]
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="divide 8"):
+            pack_bits(np.array([1]), 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            pack_bits(np.array([4]), 2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            pack_bits(np.zeros((2, 2), dtype=np.uint8), 4)
+
+    def test_empty(self):
+        assert pack_nibbles(np.array([], dtype=np.uint8)).size == 0
+
+
+class TestUnpackBits:
+    def test_unpack_known(self):
+        assert unpack_nibbles(np.array([0x21, 0x43], dtype=np.uint8), 4).tolist() == [
+            1,
+            2,
+            3,
+            4,
+        ]
+
+    def test_unpack_discards_padding(self):
+        packed = pack_crumbs(np.array([3, 2, 1]))
+        assert unpack_crumbs(packed, 3).tolist() == [3, 2, 1]
+
+    def test_unpack_too_many_raises(self):
+        with pytest.raises(ValueError, match="only"):
+            unpack_bits(np.array([0xFF], dtype=np.uint8), 4, 3)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="divide 8"):
+            unpack_bits(np.array([0], dtype=np.uint8), 5, 1)
+
+
+@given(
+    st.lists(st.integers(0, 15), max_size=64),
+)
+def test_nibble_roundtrip(values):
+    arr = np.array(values, dtype=np.uint8)
+    assert unpack_nibbles(pack_nibbles(arr), len(values)).tolist() == values
+
+
+@given(st.lists(st.integers(0, 3), max_size=64))
+def test_crumb_roundtrip(values):
+    arr = np.array(values, dtype=np.uint8)
+    assert unpack_crumbs(pack_crumbs(arr), len(values)).tolist() == values
+
+
+@given(
+    st.sampled_from([1, 2, 4, 8]),
+    st.data(),
+)
+def test_any_width_roundtrip(width, data):
+    values = data.draw(
+        st.lists(st.integers(0, (1 << width) - 1), max_size=40)
+    )
+    arr = np.array(values, dtype=np.uint8)
+    assert unpack_bits(pack_bits(arr, width), width, len(values)).tolist() == values

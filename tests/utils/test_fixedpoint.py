@@ -1,0 +1,87 @@
+"""Tests for fixed-point helpers (repro.utils.fixedpoint)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.fixedpoint import (
+    clip_int8,
+    clip_uint8,
+    requantize_int32,
+    saturating_round_shift,
+    to_int8,
+    to_uint8,
+)
+
+
+class TestClips:
+    def test_clip_int8_saturates(self):
+        out = clip_int8(np.array([-300, -128, 0, 127, 300]))
+        assert out.tolist() == [-128, -128, 0, 127, 127]
+        assert out.dtype == np.int8
+
+    def test_clip_uint8_saturates(self):
+        out = clip_uint8(np.array([-5, 0, 255, 999]))
+        assert out.tolist() == [0, 0, 255, 255]
+        assert out.dtype == np.uint8
+
+    def test_to_int8_rounds(self):
+        assert to_int8(np.array([1.4, 1.6, -1.5])).tolist() == [1, 2, -2]
+
+    def test_to_uint8_rounds(self):
+        assert to_uint8(np.array([254.6, -3.0])).tolist() == [255, 0]
+
+
+class TestRoundShift:
+    def test_identity_at_zero_shift(self):
+        x = np.array([5, -7])
+        assert saturating_round_shift(x, 0).tolist() == [5, -7]
+
+    def test_rounds_half_up(self):
+        # 3 >> 1 with rounding: (3 + 1) >> 1 = 2
+        assert saturating_round_shift(np.array([3]), 1).tolist() == [2]
+        assert saturating_round_shift(np.array([1]), 1).tolist() == [1]
+
+    def test_negative_values(self):
+        # (-3 + 1) >> 1 = -1 (arithmetic shift)
+        assert saturating_round_shift(np.array([-3]), 1).tolist() == [-1]
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(ValueError):
+            saturating_round_shift(np.array([1]), -1)
+
+
+class TestRequantize:
+    def test_unit_passthrough(self):
+        acc = np.array([-10, 0, 50])
+        assert requantize_int32(acc, 1, 0).tolist() == [-10, 0, 50]
+
+    def test_scale_and_shift(self):
+        acc = np.array([100])
+        # 100 * 3 = 300; (300 + 2) >> 2 = 75
+        assert requantize_int32(acc, 3, 2).tolist() == [75]
+
+    def test_zero_point(self):
+        assert requantize_int32(np.array([0]), 1, 0, zero_point=10).tolist() == [10]
+
+    def test_unsigned_output(self):
+        out = requantize_int32(np.array([-5, 300]), 1, 0, signed=False)
+        assert out.tolist() == [0, 255]
+        assert out.dtype == np.uint8
+
+    def test_rejects_nonpositive_multiplier(self):
+        with pytest.raises(ValueError):
+            requantize_int32(np.array([1]), 0, 0)
+
+
+@given(
+    st.integers(-(2**31), 2**31 - 1),
+    st.integers(1, 2**15),
+    st.integers(0, 24),
+)
+def test_requantize_matches_float_reference(acc, multiplier, shift):
+    """Integer requantisation tracks the real-valued rescale within 1 LSB."""
+    out = int(requantize_int32(np.array([acc]), multiplier, shift)[0])
+    ideal = acc * multiplier / (1 << shift)
+    clipped = min(127, max(-128, ideal))
+    assert abs(out - clipped) <= 1

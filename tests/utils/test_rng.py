@@ -1,0 +1,22 @@
+"""Tests for deterministic RNG construction (repro.utils.rng)."""
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def test_same_seed_same_stream():
+    a = make_rng(7).integers(0, 1000, 10)
+    b = make_rng(7).integers(0, 1000, 10)
+    assert (a == b).all()
+
+
+def test_different_seeds_differ():
+    a = make_rng(1).integers(0, 1 << 30, 8)
+    b = make_rng(2).integers(0, 1 << 30, 8)
+    assert (a != b).any()
+
+
+def test_passthrough_generator():
+    gen = np.random.default_rng(3)
+    assert make_rng(gen) is gen

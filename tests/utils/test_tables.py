@@ -1,0 +1,63 @@
+"""Tests for the table renderer (repro.utils.tables)."""
+
+import pytest
+
+from repro.utils.tables import Table, format_si, render_markdown
+
+
+class TestFormatSi:
+    def test_giga(self):
+        assert format_si(4_530_000_000, "MAC") == "4.53 GMAC"
+
+    def test_mega(self):
+        assert format_si(975_230_000, "cyc") == "975.23 Mcyc"
+
+    def test_kilo(self):
+        assert format_si(1_500, "B") == "1.50 kB"
+
+    def test_plain(self):
+        assert format_si(12.0) == "12.00"
+
+
+class TestTable:
+    def make(self):
+        t = Table("Demo", ["model", "speedup"])
+        t.add_row(model="ResNet18", speedup=3.21)
+        t.add_row(model="ViT", speedup=1.81)
+        return t
+
+    def test_add_row_unknown_column(self):
+        t = self.make()
+        with pytest.raises(KeyError):
+            t.add_row(nope=1)
+
+    def test_column_accessor(self):
+        t = self.make()
+        assert t.column("speedup") == [3.21, 1.81]
+        with pytest.raises(KeyError):
+            t.column("nope")
+
+    def test_missing_cells_render_dash(self):
+        t = Table("X", ["a", "b"])
+        t.add_row(a=1)
+        assert "-" in t.render()
+
+    def test_render_contains_all_cells(self):
+        text = self.make().render()
+        for token in ("Demo", "ResNet18", "3.21", "ViT", "1.81"):
+            assert token in text
+
+    def test_render_alignment_uniform_width(self):
+        lines = self.make().render().splitlines()
+        body = [l for l in lines if "ResNet" in l or "ViT" in l]
+        assert len({len(l.rstrip()) for l in body}) <= 2  # aligned columns
+
+    def test_markdown(self):
+        md = render_markdown(self.make())
+        assert md.startswith("**Demo**")
+        assert "| model | speedup |" in md
+        assert "| ResNet18 | 3.21 |" in md
+
+    def test_empty_table_renders(self):
+        t = Table("Empty", ["a"])
+        assert "Empty" in t.render()

@@ -12,9 +12,13 @@ Usage::
     python -m repro ablations
     python -m repro extensions
     python -m repro accuracy [--epochs N]
+    python -m repro engine [--batch N] [--mode float|int8]
 
 Each command prints the corresponding table(s) with the paper's values
-alongside where applicable.
+alongside where applicable.  ``table2 --verify`` additionally runs a
+random batch through the batched inference engine in float and int8
+modes and reports their agreement; ``engine`` benchmarks batched
+against per-sample execution.
 """
 
 from __future__ import annotations
@@ -31,9 +35,15 @@ def _cmd_fig8(args) -> int:
 
 
 def _cmd_table2(args) -> int:
-    from repro.eval.table2 import table2_resnet, table2_vit
+    from repro.eval.table2 import functional_check, table2_resnet, table2_vit
 
     print((table2_resnet() if args.model == "resnet" else table2_vit()).render())
+    if args.verify:
+        dev = functional_check(model=args.model)
+        print(
+            f"functional check ({args.model}, engine batch 4): "
+            f"max |int8 - float| = {dev:.4f} of float peak"
+        )
     return 0
 
 
@@ -100,6 +110,58 @@ def _cmd_extensions(args) -> int:
     return 0
 
 
+def _cmd_engine(args) -> int:
+    import numpy as np
+
+    from repro.engine.bench import measure_throughput, resnet_style_graph
+    from repro.utils.tables import Table
+
+    if args.batch < 1:
+        print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
+        return 2
+    graph = resnet_style_graph()
+    if args.mode == "int8":
+        # Attach quantisation metadata so the int8 benchmark exercises
+        # the integer kernels rather than the float fallback.
+        from repro.models.quantize import quantize_graph
+
+        rng = np.random.default_rng(0)
+        quantize_graph(graph, [rng.normal(size=(12, 12, 3)).astype(np.float32)])
+    result = measure_throughput(graph, batch=args.batch, mode=args.mode)
+    table = Table(
+        f"Engine throughput on {result.graph_name} ({result.mode}, "
+        f"batch {result.batch})",
+        ["path", "latency ms", "samples/s"],
+    )
+    table.add_row(
+        path="per-sample, per-call prep",
+        **{
+            "latency ms": result.uncached_s * 1e3,
+            "samples/s": result.uncached_throughput,
+        },
+    )
+    table.add_row(
+        path="per-sample, cached plan",
+        **{
+            "latency ms": result.per_sample_s * 1e3,
+            "samples/s": result.per_sample_throughput,
+        },
+    )
+    table.add_row(
+        path="batched plan",
+        **{
+            "latency ms": result.batched_s * 1e3,
+            "samples/s": result.batched_throughput,
+        },
+    )
+    print(table.render())
+    print(
+        f"batched speedup: {result.speedup:.2f}x vs per-call prep, "
+        f"{result.warm_speedup:.2f}x vs cached per-sample loop"
+    )
+    return 0
+
+
 def _cmd_accuracy(args) -> int:
     from repro.eval.accuracy import accuracy_trend
 
@@ -121,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table2", help="end-to-end deployment (Table 2)")
     p.add_argument("model", choices=["resnet", "vit"])
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run a batch through the engine in float+int8 and report agreement",
+    )
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("table3", help="SotA comparison (Table 3)")
@@ -141,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("accuracy", help="SR-STE accuracy trend")
     p.add_argument("--epochs", type=int, default=8)
     p.set_defaults(func=_cmd_accuracy)
+
+    p = sub.add_parser(
+        "engine", help="batched vs per-sample inference throughput"
+    )
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--mode", choices=["float", "int8"], default="float")
+    p.set_defaults(func=_cmd_engine)
 
     return parser
 

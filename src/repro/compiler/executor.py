@@ -1,125 +1,46 @@
-"""Functional graph execution.
+"""Functional graph execution — compatibility wrapper over the engine.
 
-Two modes:
+Execution lives in :mod:`repro.engine`: graphs are compiled once into a
+batched :class:`~repro.engine.ExecutionPlan` (pre-validated topology,
+pre-reshaped / pre-quantised weights, per-node kernels bound at compile
+time) and served by an :class:`~repro.engine.InferenceEngine` that
+caches plans per ``(graph, mode)``.  This module keeps the historical
+one-sample :func:`execute_graph` entry point, delegating to the
+process-wide default engine so repeated calls on the same graph reuse
+the compiled plan instead of re-deriving shapes and re-quantising
+weights on every forward pass.
+
+Two numeric modes:
 
 - ``mode="float"``: plain float32 forward pass — the reference the
-  quantised path is compared against.
+  quantised path is compared against.  Conv GEMMs now accumulate in
+  float32 end to end (the seed executor quietly upcast the conv path
+  to float64 before casting back); reference outputs shift by ordinary
+  float32 rounding on large reduce dims.
 - ``mode="int8"``: simulated integer deployment.  Conv/dense nodes with
   quantisation metadata (``weights_q``, ``w_scale``, ``act_scale`` from
-  :mod:`repro.models.quantize`) quantise their input, run the int8
-  kernel arithmetic (int32 accumulation — the same maths the microcoded
-  kernels perform), and dequantise.  Everything else (normalisation,
-  softmax, GELU) runs in float, matching how the paper's toolchain
-  delegates those ops to dedicated integer kernels whose numerics are
-  not the subject of the evaluation.
+  :mod:`repro.models.quantize`) quantise their input to int8, run the
+  int8 kernel arithmetic (int32 accumulation — the same maths the
+  microcoded kernels perform), and dequantise.  Everything else
+  (normalisation, softmax, GELU) runs in float, matching how the
+  paper's toolchain delegates those ops to dedicated integer kernels
+  whose numerics are not the subject of the evaluation.
 
-The executor is deliberately batch-free: one sample at a time, shapes
-exactly as the IR records them.
+``x`` may be a single sample shaped exactly as the IR records, or a
+batch with one extra leading axis; batched inputs produce batched
+outputs, bit-identical to the per-sample results (see
+:mod:`repro.engine.plan`).  Pass an explicit ``engine`` to isolate plan
+caches (e.g. in tests).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.compiler.ir import Graph, Node
-from repro.kernels.im2col import im2col
-from repro.kernels.shapes import ConvShape
+from repro.compiler.ir import Graph
+from repro.engine import InferenceEngine, get_default_engine
 
 __all__ = ["execute_graph"]
-
-
-def _gelu(x: np.ndarray) -> np.ndarray:
-    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x**3)))
-
-
-def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    e = np.exp(x - x.max(axis=axis, keepdims=True))
-    return e / e.sum(axis=axis, keepdims=True)
-
-
-def _quantize_act(x: np.ndarray, scale: float) -> np.ndarray:
-    q = np.rint(x / scale)
-    return np.clip(q, -128, 127).astype(np.int32)
-
-
-def _conv_shape(node: Node, in_shape: tuple[int, ...]) -> ConvShape:
-    w = node.attrs["weights"]
-    return ConvShape(
-        iy=in_shape[0],
-        ix=in_shape[1],
-        c=w.shape[3],
-        k=w.shape[0],
-        fy=w.shape[1],
-        fx=w.shape[2],
-        s=node.attrs["s"],
-        p=node.attrs["p"],
-    )
-
-
-def _run_conv(node: Node, x: np.ndarray, mode: str) -> np.ndarray:
-    shape = _conv_shape(node, x.shape)
-    bias = node.attrs.get("bias")
-    if mode == "int8" and "weights_q" in node.attrs:
-        wq = node.attrs["weights_q"].reshape(shape.k, -1)
-        a_scale = node.attrs["act_scale"]
-        w_scale = node.attrs["w_scale"]
-        xq = _quantize_act(x, a_scale).astype(np.int8)
-        cols = im2col(xq, shape).astype(np.int32)
-        acc = cols @ wq.astype(np.int32).T
-        out = acc.astype(np.float64) * (a_scale * w_scale)
-    else:
-        w = node.attrs["weights"].reshape(shape.k, -1)
-        # float path reuses the same im2col to keep numerics comparable
-        padded = np.zeros(
-            (shape.iy + 2 * shape.p, shape.ix + 2 * shape.p, shape.c),
-            dtype=np.float64,
-        )
-        padded[shape.p : shape.p + shape.iy, shape.p : shape.p + shape.ix] = x
-        oy_idx = np.arange(shape.oy) * shape.s
-        ox_idx = np.arange(shape.ox) * shape.s
-        rows = oy_idx[:, None, None, None] + np.arange(shape.fy)[None, None, :, None]
-        cols_ix = (
-            ox_idx[None, :, None, None] + np.arange(shape.fx)[None, None, None, :]
-        )
-        cols = padded[rows, cols_ix].reshape(shape.oy * shape.ox, -1)
-        out = cols @ w.T
-    if bias is not None:
-        out = out + bias
-    return out.reshape(shape.oy, shape.ox, shape.k).astype(np.float32)
-
-
-def _run_dense(node: Node, x: np.ndarray, mode: str) -> np.ndarray:
-    bias = node.attrs.get("bias")
-    if mode == "int8" and "weights_q" in node.attrs:
-        wq = node.attrs["weights_q"]
-        a_scale = node.attrs["act_scale"]
-        w_scale = node.attrs["w_scale"]
-        xq = _quantize_act(x, a_scale)
-        acc = xq @ wq.astype(np.int32).T
-        out = acc.astype(np.float64) * (a_scale * w_scale)
-    else:
-        out = x @ node.attrs["weights"].T
-    if bias is not None:
-        out = out + bias
-    return out.astype(np.float32)
-
-
-def _run_attention(node: Node, x: np.ndarray) -> np.ndarray:
-    t, d = x.shape
-    heads = node.attrs["heads"]
-    hd = d // heads
-    q = x @ node.attrs["wq"].T
-    k = x @ node.attrs["wk"].T
-    v = x @ node.attrs["wv"].T
-
-    def split(m):
-        return m.reshape(t, heads, hd).transpose(1, 0, 2)
-
-    qh, kh, vh = split(q), split(k), split(v)
-    scores = qh @ kh.transpose(0, 2, 1) / np.sqrt(hd)
-    attn = _softmax(scores, axis=-1)
-    ctx = (attn @ vh).transpose(1, 0, 2).reshape(t, d)
-    return (ctx @ node.attrs["wo"].T).astype(np.float32)
 
 
 def execute_graph(
@@ -127,73 +48,32 @@ def execute_graph(
     x: np.ndarray,
     mode: str = "float",
     return_acts: bool = False,
+    engine: InferenceEngine | None = None,
 ):
     """Run a forward pass; returns the output node's activation.
 
     Parameters
     ----------
     graph:
-        The model graph (validated).
+        The model graph (validated at plan-compile time).
     x:
-        Input activation matching the input node's shape.
+        Input activation matching the input node's shape, or a
+        ``(B, ...)`` batch of such inputs.
     mode:
         "float" or "int8" (see module docstring).
     return_acts:
         Also return the dict of all intermediate activations (used by
         the quantisation calibration pass).
+    engine:
+        Engine whose plan cache to use; defaults to the process-wide
+        engine from :func:`repro.engine.get_default_engine`.
+
+    Plans snapshot weights at compile time.  Re-quantising via
+    :func:`repro.models.quantize.quantize_graph` is detected
+    automatically, but mutating ``node.attrs`` by hand (e.g. swapping
+    ``weights`` in place) requires
+    :meth:`repro.engine.InferenceEngine.invalidate` — the seed executor
+    re-read weights on every call; the cached plan does not.
     """
-    if mode not in ("float", "int8"):
-        raise ValueError(f"unknown mode {mode!r}")
-    graph.validate()
-    acts: dict[str, np.ndarray] = {}
-    for node in graph:
-        if node.op == "input":
-            if tuple(x.shape) != tuple(node.attrs["shape"]):
-                raise ValueError(
-                    f"input shape {x.shape} != declared {node.attrs['shape']}"
-                )
-            acts[node.name] = x.astype(np.float32)
-            continue
-        src = acts[node.inputs[0]]
-        if node.op == "conv2d":
-            out = _run_conv(node, src, mode)
-        elif node.op == "dense":
-            out = _run_dense(node, src, mode)
-        elif node.op == "relu":
-            out = np.maximum(src, 0.0)
-        elif node.op == "gelu":
-            out = _gelu(src)
-        elif node.op == "add":
-            out = src + acts[node.inputs[1]]
-        elif node.op in ("maxpool", "avgpool"):
-            size, stride = node.attrs["size"], node.attrs["stride"]
-            iy, ix, c = src.shape
-            oy, ox = iy // stride, ix // stride
-            view = src[: oy * stride, : ox * stride].reshape(
-                oy, stride, ox, stride, c
-            )
-            out = view.max(axis=(1, 3)) if node.op == "maxpool" else view.mean(
-                axis=(1, 3)
-            )
-        elif node.op == "global_avgpool":
-            out = src.mean(axis=(0, 1))
-        elif node.op == "layernorm":
-            mu = src.mean(axis=-1, keepdims=True)
-            var = src.var(axis=-1, keepdims=True)
-            out = (src - mu) / np.sqrt(var + 1e-5)
-            out = out * node.attrs["gamma"] + node.attrs["beta"]
-        elif node.op == "attention":
-            out = _run_attention(node, src)
-        elif node.op == "flatten":
-            out = src.reshape(-1)
-        elif node.op == "tokens":
-            oy, ox, c = src.shape
-            out = src.reshape(oy * ox, c)
-        elif node.op == "token_mean":
-            out = src.mean(axis=0)
-        else:
-            raise ValueError(f"cannot execute op {node.op!r}")
-        acts[node.name] = out.astype(np.float32)
-    if return_acts:
-        return acts[graph.output], acts
-    return acts[graph.output]
+    engine = engine or get_default_engine()
+    return engine.run(graph, x, mode=mode, return_acts=return_acts)

@@ -13,7 +13,8 @@ Supported ops
 ``relu``         elementwise
 ``gelu``         elementwise
 ``add``          two inputs, elementwise
-``maxpool``      attrs: size, stride (window pooling, HWC)
+``maxpool``      attrs: size, stride (``size``-sized windows stepped by
+                 ``stride``, HWC; edge windows are clipped)
 ``global_avgpool``  NHWC -> C vector
 ``layernorm``    attrs: gamma, beta (last-dim normalisation)
 ``attention``    attrs: wq, wk, wv, wo (D, D), heads; token-major input

@@ -1,0 +1,32 @@
+"""Batched, plan-compiled inference engine.
+
+The production-facing execution layer of the reproduction: a
+:class:`~repro.compiler.ir.Graph` is compiled once into an
+:class:`ExecutionPlan` (pre-validated topology, pre-reshaped and — in
+int8 mode — pre-widened weights, per-node kernel callables bound at
+compile time) and then serves arbitrarily many ``(B, ...)`` batches.
+:class:`InferenceEngine` caches plans per ``(graph, mode)``;
+:func:`get_default_engine` is the process-wide instance behind the
+historical :func:`repro.compiler.executor.execute_graph` entry point.
+
+See ``docs/engine.md`` for the full API walkthrough.
+"""
+
+from repro.engine.engine import InferenceEngine, get_default_engine
+from repro.engine.plan import (
+    MODES,
+    ExecutionPlan,
+    PlanStep,
+    compile_plan,
+    quantize_activations,
+)
+
+__all__ = [
+    "MODES",
+    "ExecutionPlan",
+    "PlanStep",
+    "compile_plan",
+    "quantize_activations",
+    "InferenceEngine",
+    "get_default_engine",
+]

@@ -1,0 +1,158 @@
+"""The batched inference engine: plan caching + execution entry points.
+
+:class:`InferenceEngine` compiles each ``(graph, mode)`` pair once (via
+:func:`repro.engine.plan.compile_plan`) and caches the resulting
+:class:`~repro.engine.plan.ExecutionPlan`, so repeated inference —
+calibration sweeps, accuracy evaluations, serving loops — pays the
+shape-resolution and weight-preparation cost a single time.  Plans are
+held in a :class:`weakref.WeakKeyDictionary`, so dropping the last
+reference to a graph also drops its compiled plans.
+
+``run`` accepts either a single sample shaped exactly as the graph's
+input node declares, or a batch with one extra leading ``B`` axis;
+``run_batch`` is the strict batched entry point.  Single-sample calls
+execute as a batch of one, which keeps both paths on the same kernels
+(and therefore bit-identical — see :mod:`repro.engine.plan`).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.plan import MODES, ExecutionPlan, compile_plan
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.compiler
+    from repro.compiler.ir import Graph
+
+__all__ = ["InferenceEngine", "get_default_engine"]
+
+
+def _quant_signature(graph: "Graph") -> tuple:
+    """Identity of the graph's quantisation metadata.
+
+    An int8 plan bakes in ``weights_q``/scales at compile time; if
+    :func:`repro.models.quantize.quantize_graph` attaches (or replaces)
+    that metadata later, the signature changes and the cached int8 plan
+    must be recompiled — on *every* engine, not just the default one.
+    ``quantize_graph`` stamps a monotonically increasing
+    ``_quant_version`` on the graph for exactly this comparison (object
+    ids are unusable: freed weight arrays get their addresses reused).
+    Metadata attached by hand, without a version stamp, needs an
+    explicit :meth:`InferenceEngine.invalidate`.
+    """
+    return (
+        getattr(graph, "_quant_version", None),
+        tuple(node.name for node in graph if "weights_q" in node.attrs),
+    )
+
+
+class InferenceEngine:
+    """Compile-once, run-batched graph execution with a plan cache."""
+
+    def __init__(self) -> None:
+        self._plans: "weakref.WeakKeyDictionary[Graph, dict[str, tuple[ExecutionPlan, tuple]]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: Number of actual plan compilations (cache misses).
+        self.compile_count = 0
+
+    # -- plan management ------------------------------------------------
+
+    def compile(self, graph: Graph, mode: str = "float") -> ExecutionPlan:
+        """Return the cached plan for ``(graph, mode)``, compiling on miss.
+
+        A cached int8 plan is transparently recompiled when the graph's
+        quantisation metadata changed since it was built (the float
+        plan never reads that metadata and is unaffected).
+        """
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}")
+        per_graph = self._plans.get(graph)
+        if per_graph is None:
+            per_graph = {}
+            self._plans[graph] = per_graph
+        sig = _quant_signature(graph) if mode == "int8" else ()
+        entry = per_graph.get(mode)
+        if entry is not None and entry[1] != sig:
+            entry = None  # quantisation metadata changed: stale plan
+        if entry is None:
+            entry = (compile_plan(graph, mode), sig)
+            per_graph[mode] = entry
+            self.compile_count += 1
+        return entry[0]
+
+    def invalidate(self, graph: Graph) -> None:
+        """Drop cached plans for ``graph`` (call after mutating weights)."""
+        self._plans.pop(graph, None)
+
+    def cached_plans(self, graph: Graph) -> tuple[str, ...]:
+        """Modes for which ``graph`` currently has a compiled plan."""
+        return tuple(self._plans.get(graph, ()))
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        graph: Graph,
+        x: np.ndarray,
+        mode: str = "float",
+        return_acts: bool = False,
+    ):
+        """Run a forward pass over a single sample or a batch.
+
+        A single sample (shape exactly as the input node declares) comes
+        back unbatched; an ``(B, ...)`` input comes back with the
+        leading batch axis intact, as do the activations when
+        ``return_acts`` is set.
+        """
+        plan = self.compile(graph, mode)
+        x = np.asarray(x)
+        declared = plan.input_shape
+        if x.ndim == len(declared) and tuple(x.shape) == declared:
+            batched = False
+            xb = x[None]
+        elif x.ndim == len(declared) + 1 and tuple(x.shape[1:]) == declared:
+            batched = True
+            xb = x
+        else:
+            raise ValueError(
+                f"input shape {x.shape} != declared {declared}"
+            )
+        if return_acts:
+            out, acts = plan.execute(xb, return_acts=True)
+            if not batched:
+                out = out[0]
+                acts = {name: a[0] for name, a in acts.items()}
+            return out, acts
+        out = plan.execute(xb)
+        return out if batched else out[0]
+
+    def run_batch(
+        self,
+        graph: Graph,
+        batch: np.ndarray,
+        mode: str = "float",
+        return_acts: bool = False,
+    ):
+        """Run a strict ``(B, *input_shape)`` batch through the plan."""
+        plan = self.compile(graph, mode)
+        batch = np.asarray(batch)
+        if tuple(batch.shape[1:]) != plan.input_shape or batch.ndim != len(
+            plan.input_shape
+        ) + 1:
+            raise ValueError(
+                f"input shape {batch.shape} != declared "
+                f"(B, {', '.join(map(str, plan.input_shape))})"
+            )
+        return plan.execute(batch, return_acts=return_acts)
+
+
+_DEFAULT_ENGINE = InferenceEngine()
+
+
+def get_default_engine() -> InferenceEngine:
+    """The process-wide engine behind :func:`repro.compiler.executor.execute_graph`."""
+    return _DEFAULT_ENGINE

@@ -1,0 +1,385 @@
+"""Ahead-of-time graph compilation into batched execution plans.
+
+:func:`compile_plan` walks a validated :class:`~repro.compiler.ir.Graph`
+once and produces an :class:`ExecutionPlan`: a flat list of
+:class:`PlanStep` objects whose kernel callables are *pre-bound* — layer
+geometry is resolved into :class:`~repro.kernels.shapes.ConvShape` /
+:class:`~repro.kernels.shapes.FcShape` descriptors, weight tensors are
+reshaped (and, in int8 mode, widened to the int32 accumulator dtype)
+exactly once, and per-node dispatch happens at compile time instead of
+on every forward pass.
+
+Every step consumes and produces *batched* activations with a leading
+``B`` axis: conv runs a batched im2col followed by a stacked matmul,
+dense / attention / layernorm broadcast over the batch, and pooling
+gathers ``size``-sized windows at ``stride``-sized steps (windows are
+clipped at the feature-map edge; max ignores the clipped taps, average
+divides by the valid count).
+
+Matmuls deliberately use :func:`numpy.matmul` with stacked operands —
+``(B, P, R) @ (R, K)`` — rather than folding the batch into the rows.
+Each batch slice then goes through a GEMM of exactly the same shape as
+a single-sample run, which keeps batched execution *bit-identical* to
+per-sample execution (same reduction order per slice) while still
+amortising the Python/im2col overhead across the batch.
+
+Numeric modes mirror the historical executor: ``"float"`` is a float32
+forward pass; ``"int8"`` quantises the input of each conv/dense node
+carrying quantisation metadata, accumulates in int32 (the same maths
+the microcoded kernels perform), and dequantises.  Both paths quantise
+activations to **int8** — the accumulator sees values in [-128, 127]
+regardless of op kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.kernels.im2col import im2col_batch
+from repro.kernels.shapes import ConvShape, FcShape
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.compiler
+    from repro.compiler.ir import Graph, Node
+
+__all__ = [
+    "MODES",
+    "PlanStep",
+    "ExecutionPlan",
+    "compile_plan",
+    "quantize_activations",
+]
+
+#: Numeric modes a plan can be compiled for.
+MODES = ("float", "int8")
+
+
+def quantize_activations(x: np.ndarray, scale: float) -> np.ndarray:
+    """Symmetric int8 activation quantisation: ``round(x / scale)``.
+
+    Returns int8 — the dtype both conv and dense kernels feed to their
+    int32 accumulators (values are clipped to [-128, 127] first, so the
+    narrowing is exact).
+    """
+    q = np.rint(x / scale)
+    return np.clip(q, -128, 127).astype(np.int8)
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    e = np.exp(x - x.max(axis=axis, keepdims=True))
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One pre-bound operation of a compiled plan.
+
+    ``run`` takes the batched input activations (one array per graph
+    input, each shaped ``(B, ...)``) and returns the batched output.
+    ``release`` names activations whose last consumer is this step —
+    they are freed right after it runs (unless the caller asked for
+    the full activation dict).
+    """
+
+    name: str
+    op: str
+    inputs: tuple[str, ...]
+    run: Callable[..., np.ndarray]
+    release: tuple[str, ...] = ()
+
+
+@dataclass
+class ExecutionPlan:
+    """A graph compiled for one numeric mode, ready for batched runs."""
+
+    graph_name: str
+    mode: str
+    input_name: str
+    input_shape: tuple[int, ...]
+    output: str
+    steps: list[PlanStep] = field(default_factory=list)
+    #: Resolved geometry per conv node (introspection / cost hooks).
+    conv_shapes: dict[str, ConvShape] = field(default_factory=dict)
+    #: Resolved geometry per dense node.
+    fc_shapes: dict[str, FcShape] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def execute(
+        self, batch: np.ndarray, return_acts: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Run the plan over a ``(B, *input_shape)`` batch.
+
+        Unless ``return_acts`` is set, intermediate activations are
+        freed as soon as their last consumer has run, so peak memory
+        tracks the live set rather than the whole network's depth.
+        """
+        batch = np.asarray(batch)
+        if tuple(batch.shape[1:]) != self.input_shape:
+            raise ValueError(
+                f"input shape {batch.shape[1:]} != declared {self.input_shape}"
+            )
+        acts: dict[str, np.ndarray] = {
+            self.input_name: batch.astype(np.float32)
+        }
+        for step in self.steps:
+            srcs = (acts[name] for name in step.inputs)
+            acts[step.name] = step.run(*srcs).astype(np.float32, copy=False)
+            if not return_acts:
+                for name in step.release:
+                    del acts[name]
+        if return_acts:
+            return acts[self.output], acts
+        return acts[self.output]
+
+
+# -- per-op binding ------------------------------------------------------
+
+
+def _conv_shape(node: Node, in_shape: tuple[int, ...]) -> ConvShape:
+    w = node.attrs["weights"]
+    return ConvShape(
+        iy=in_shape[0],
+        ix=in_shape[1],
+        c=w.shape[3],
+        k=w.shape[0],
+        fy=w.shape[1],
+        fx=w.shape[2],
+        s=node.attrs["s"],
+        p=node.attrs["p"],
+    )
+
+
+def _bind_conv(node: Node, in_shape: tuple[int, ...], mode: str):
+    shape = _conv_shape(node, in_shape)
+    bias = node.attrs.get("bias")
+    oy, ox, k = shape.oy, shape.ox, shape.k
+    if mode == "int8" and "weights_q" in node.attrs:
+        # Pre-widen the quantised weights to the accumulator dtype and
+        # pre-transpose; the per-call work is quantise + gather + GEMM.
+        wq_t = np.ascontiguousarray(
+            node.attrs["weights_q"].reshape(k, -1).astype(np.int32).T
+        )
+        a_scale = float(node.attrs["act_scale"])
+        deq = a_scale * float(node.attrs["w_scale"])
+
+        def run(x: np.ndarray) -> np.ndarray:
+            xq = quantize_activations(x, a_scale)
+            cols = im2col_batch(xq, shape).astype(np.int32)
+            acc = np.matmul(cols, wq_t)  # (B, OY*OX, K) int32
+            out = acc.astype(np.float64) * deq
+            if bias is not None:
+                out = out + bias
+            return out.reshape(x.shape[0], oy, ox, k)
+
+    else:
+        w_t = np.ascontiguousarray(
+            node.attrs["weights"].reshape(k, -1).T.astype(np.float32)
+        )
+
+        def run(x: np.ndarray) -> np.ndarray:
+            cols = im2col_batch(x, shape)
+            out = np.matmul(cols, w_t)  # (B, OY*OX, K)
+            if bias is not None:
+                out = out + bias
+            return out.reshape(x.shape[0], oy, ox, k)
+
+    return shape, run
+
+
+def _bind_dense(node: Node, in_shape: tuple[int, ...], mode: str):
+    k, c = node.attrs["weights"].shape
+    tokens = int(np.prod(in_shape[:-1])) if len(in_shape) > 1 else 1
+    fc_shape = FcShape(c=c, k=k, tokens=tokens)
+    bias = node.attrs.get("bias")
+    # A vector input (C,) is lifted to one "token" so every batch slice
+    # runs the same (T, C) @ (C, K) GEMM as a single-sample call.
+    vector_in = len(in_shape) == 1
+    if mode == "int8" and "weights_q" in node.attrs:
+        wq_t = np.ascontiguousarray(
+            node.attrs["weights_q"].astype(np.int32).T
+        )
+        a_scale = float(node.attrs["act_scale"])
+        deq = a_scale * float(node.attrs["w_scale"])
+
+        def run(x: np.ndarray) -> np.ndarray:
+            xq = quantize_activations(x, a_scale).astype(np.int32)
+            if vector_in:
+                xq = xq[:, None, :]
+            out = np.matmul(xq, wq_t).astype(np.float64) * deq
+            if vector_in:
+                out = out[:, 0]
+            if bias is not None:
+                out = out + bias
+            return out
+
+    else:
+        w_t = np.ascontiguousarray(node.attrs["weights"].T.astype(np.float32))
+
+        def run(x: np.ndarray) -> np.ndarray:
+            if vector_in:
+                x = x[:, None, :]
+            out = np.matmul(x, w_t)
+            if vector_in:
+                out = out[:, 0]
+            if bias is not None:
+                out = out + bias
+            return out
+
+    return fc_shape, run
+
+
+def _bind_pool(node: Node, in_shape: tuple[int, ...]):
+    """Window pooling: ``size``-sized windows at ``stride``-sized steps.
+
+    The legacy executor pooled with a ``stride``-sized window, silently
+    ignoring ``size``; here the window extent is driven by ``size`` and
+    only the step by ``stride``.  Windows that overrun the feature map
+    are clipped: max-pool ignores the out-of-bounds taps, avg-pool
+    divides by the number of valid taps.
+    """
+    size, stride = node.attrs["size"], node.attrs["stride"]
+    iy, ix, _ = in_shape
+    oy, ox = iy // stride, ix // stride  # matches the IR's out_shape
+    ry = np.arange(oy)[:, None] * stride + np.arange(size)  # (OY, size)
+    rx = np.arange(ox)[:, None] * stride + np.arange(size)  # (OX, size)
+    valid = (ry < iy)[:, None, :, None] & (rx < ix)[None, :, None, :]
+    iy_idx = np.minimum(ry, iy - 1)[:, None, :, None]
+    ix_idx = np.minimum(rx, ix - 1)[None, :, None, :]
+    all_valid = bool(valid.all())
+    mask = valid[None, ..., None]  # broadcast over batch and channels
+    counts = valid.sum(axis=(2, 3)).astype(np.float32)[..., None]
+    is_max = node.op == "maxpool"
+
+    def run(x: np.ndarray) -> np.ndarray:
+        win = x[:, iy_idx, ix_idx, :]  # (B, OY, OX, size, size, C)
+        if is_max:
+            if not all_valid:
+                win = np.where(mask, win, np.float32(-np.inf))
+            return win.max(axis=(3, 4))
+        if all_valid:
+            return win.mean(axis=(3, 4))
+        return np.where(mask, win, np.float32(0)).sum(axis=(3, 4)) / counts
+
+    return run
+
+
+def _bind_attention(node: Node, in_shape: tuple[int, ...]):
+    t, d = in_shape
+    heads = node.attrs["heads"]
+    hd = d // heads
+    sqrt_hd = np.sqrt(hd)
+    w_t = {
+        key: np.ascontiguousarray(node.attrs[key].T.astype(np.float32))
+        for key in ("wq", "wk", "wv", "wo")
+    }
+
+    def run(x: np.ndarray) -> np.ndarray:
+        b = x.shape[0]
+
+        def split(m: np.ndarray) -> np.ndarray:
+            return m.reshape(b, t, heads, hd).transpose(0, 2, 1, 3)
+
+        qh = split(np.matmul(x, w_t["wq"]))
+        kh = split(np.matmul(x, w_t["wk"]))
+        vh = split(np.matmul(x, w_t["wv"]))
+        scores = np.matmul(qh, kh.transpose(0, 1, 3, 2)) / sqrt_hd
+        attn = _softmax(scores, axis=-1)
+        ctx = np.matmul(attn, vh).transpose(0, 2, 1, 3).reshape(b, t, d)
+        return np.matmul(ctx, w_t["wo"])
+
+    return run
+
+
+def _bind_step(
+    node: Node, in_shape: tuple[int, ...], mode: str, plan: ExecutionPlan
+) -> Callable[..., np.ndarray]:
+    """Resolve one node into its batched kernel callable."""
+    if node.op == "conv2d":
+        shape, run = _bind_conv(node, in_shape, mode)
+        plan.conv_shapes[node.name] = shape
+        return run
+    if node.op == "dense":
+        fc_shape, run = _bind_dense(node, in_shape, mode)
+        plan.fc_shapes[node.name] = fc_shape
+        return run
+    if node.op == "relu":
+        return lambda x: np.maximum(x, np.float32(0))
+    if node.op == "gelu":
+        return _gelu
+    if node.op == "add":
+        return lambda a, b: a + b
+    if node.op in ("maxpool", "avgpool"):
+        return _bind_pool(node, in_shape)
+    if node.op == "global_avgpool":
+        return lambda x: x.mean(axis=(1, 2))
+    if node.op == "layernorm":
+        gamma, beta = node.attrs["gamma"], node.attrs["beta"]
+
+        def layernorm(x: np.ndarray) -> np.ndarray:
+            mu = x.mean(axis=-1, keepdims=True)
+            var = x.var(axis=-1, keepdims=True)
+            return (x - mu) / np.sqrt(var + 1e-5) * gamma + beta
+
+        return layernorm
+    if node.op == "attention":
+        return _bind_attention(node, in_shape)
+    if node.op == "flatten":
+        return lambda x: x.reshape(x.shape[0], -1)
+    if node.op == "tokens":
+        t, c = in_shape[0] * in_shape[1], in_shape[2]
+        return lambda x: x.reshape(x.shape[0], t, c)
+    if node.op == "token_mean":
+        return lambda x: x.mean(axis=1)
+    raise ValueError(f"cannot compile op {node.op!r}")
+
+
+def compile_plan(graph: Graph, mode: str = "float") -> ExecutionPlan:
+    """Compile ``graph`` into an :class:`ExecutionPlan` for ``mode``.
+
+    Validates the topology once, resolves every node's geometry from
+    its producers' recorded shapes, and binds one batched kernel per
+    node.  The returned plan holds snapshots of the (reshaped) weights:
+    mutating the graph afterwards does not affect it — recompile (or
+    use :meth:`repro.engine.InferenceEngine.invalidate`) instead.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}")
+    graph.validate()
+    input_node = next((n for n in graph if n.op == "input"), None)
+    if input_node is None:
+        raise ValueError(f"graph {graph.name!r} has no input node")
+    plan = ExecutionPlan(
+        graph_name=graph.name,
+        mode=mode,
+        input_name=input_node.name,
+        input_shape=tuple(input_node.attrs["shape"]),
+        output=graph.output,
+    )
+    # Liveness: the step that consumes an activation last releases it.
+    last_use: dict[str, int] = {}
+    compute_nodes = [n for n in graph if n.op != "input"]
+    for i, node in enumerate(compute_nodes):
+        for dep in node.inputs:
+            last_use[dep] = i
+    for i, node in enumerate(compute_nodes):
+        in_shape = tuple(graph.node(node.inputs[0]).out_shape)
+        run = _bind_step(node, in_shape, mode, plan)
+        release = tuple(
+            dict.fromkeys(  # dedup: a step may consume one input twice
+                dep
+                for dep in node.inputs
+                if last_use[dep] == i and dep != graph.output
+            )
+        )
+        plan.steps.append(
+            PlanStep(node.name, node.op, tuple(node.inputs), run, release)
+        )
+    return plan

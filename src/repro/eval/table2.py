@@ -11,16 +11,27 @@ scope — see DESIGN.md).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.compiler.codegen import CompileConfig
 from repro.compiler.deploy import DeploymentReport, deploy
+from repro.engine import get_default_engine
 from repro.eval.paper_values import TABLE2_RESNET, TABLE2_VIT
 from repro.kernels.cost_model import CostParams, DEFAULT_PARAMS
+from repro.models.quantize import quantize_graph
 from repro.models.resnet import resnet18_cifar
 from repro.models.vit import vit_small
 from repro.sparsity.nm import SUPPORTED_FORMATS
+from repro.utils.rng import make_rng
 from repro.utils.tables import Table
 
-__all__ = ["table2_resnet", "table2_vit", "resnet_reports", "vit_reports"]
+__all__ = [
+    "table2_resnet",
+    "table2_vit",
+    "resnet_reports",
+    "vit_reports",
+    "functional_check",
+]
 
 _RESNET_VARIANTS = [
     ("dense-1x2", None),
@@ -122,6 +133,40 @@ def _build_table(
             },
         )
     return table
+
+
+def functional_check(
+    model: str = "resnet",
+    fmt_name: str | None = None,
+    batch: int = 4,
+    seed: int = 0,
+) -> float:
+    """Functional verification behind Table 2's cost-model numbers.
+
+    The table itself is produced by the analytical cost model; this
+    helper confirms the *same graphs* also compute sensible values:
+    it builds the model, post-training-quantises it, runs one random
+    batch through the :class:`~repro.engine.InferenceEngine` in both
+    float and int8 modes, and returns the max int8-vs-float deviation
+    relative to the float peak (small for a healthy deployment).
+    """
+    fmt = SUPPORTED_FORMATS[fmt_name] if fmt_name else None
+    if model == "resnet":
+        graph = resnet18_cifar(fmt=fmt, seed=seed)
+        in_shape = (32, 32, 3)
+    elif model == "vit":
+        # Shallow depth keeps the check cheap; the layer kinds are the same.
+        graph = vit_small(fmt=fmt, seed=seed, depth=2)
+        in_shape = (224, 224, 3)
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    rng = make_rng(seed)
+    xs = rng.normal(size=(batch, *in_shape)).astype(np.float32) * 0.5
+    quantize_graph(graph, [xs[0]])
+    engine = get_default_engine()
+    f = engine.run_batch(graph, xs, mode="float")
+    q = engine.run_batch(graph, xs, mode="int8")
+    return float(np.abs(f - q).max() / (np.abs(f).max() + 1e-9))
 
 
 def table2_resnet(params: CostParams = DEFAULT_PARAMS) -> Table:

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.kernels.shapes import ConvShape
 
-__all__ = ["im2col", "im2col_buffer_bytes", "im2col_copy_cycles"]
+__all__ = ["im2col", "im2col_batch", "im2col_buffer_bytes", "im2col_copy_cycles"]
 
 
 def im2col(x: np.ndarray, shape: ConvShape) -> np.ndarray:
@@ -28,34 +28,50 @@ def im2col(x: np.ndarray, shape: ConvShape) -> np.ndarray:
     Parameters
     ----------
     x:
-        Input activations, int8, shape ``(IY, IX, C)``.
+        Input activations of any dtype (int8 on the MCU, float32 for
+        the reference float path), shape ``(IY, IX, C)``.
     shape:
         Layer geometry; ``x`` must match its input dims.
 
     Returns
     -------
     np.ndarray
-        int8 array of shape ``(OY*OX, FY*FX*C)``; row ``oy*OX + ox``
-        holds the receptive field of output ``(oy, ox)`` flattened in
-        ``(fy, fx, c)`` order.  Padding positions contribute zeros
-        (symmetric quantisation keeps the pad value at 0).
+        Array of ``x.dtype`` and shape ``(OY*OX, FY*FX*C)``; row
+        ``oy*OX + ox`` holds the receptive field of output ``(oy, ox)``
+        flattened in ``(fy, fx, c)`` order.  Padding positions
+        contribute zeros (symmetric quantisation keeps the pad value
+        at 0).
     """
     x = np.asarray(x)
     if x.shape != (shape.iy, shape.ix, shape.c):
         raise ValueError(f"input {x.shape} does not match {shape}")
+    return im2col_batch(x[None], shape)[0]
+
+
+def im2col_batch(x: np.ndarray, shape: ConvShape) -> np.ndarray:
+    """Batched :func:`im2col`: ``(B, IY, IX, C)`` -> ``(B, OY*OX, FY*FX*C)``.
+
+    One padded copy and one strided window view serve the whole batch
+    (the final reshape materialises the columns in a single pass);
+    per-row semantics are exactly those of :func:`im2col`.
+    """
+    x = np.asarray(x)
+    if x.ndim != 4 or x.shape[1:] != (shape.iy, shape.ix, shape.c):
+        raise ValueError(f"batched input {x.shape} does not match {shape}")
+    b = x.shape[0]
     padded = np.zeros(
-        (shape.iy + 2 * shape.p, shape.ix + 2 * shape.p, shape.c), dtype=x.dtype
+        (b, shape.iy + 2 * shape.p, shape.ix + 2 * shape.p, shape.c),
+        dtype=x.dtype,
     )
-    padded[shape.p : shape.p + shape.iy, shape.p : shape.p + shape.ix] = x
-    # Gather windows: out[oy, ox, fy, fx, c] = padded[oy*s+fy, ox*s+fx, c]
-    oy_idx = np.arange(shape.oy) * shape.s
-    ox_idx = np.arange(shape.ox) * shape.s
-    fy_idx = np.arange(shape.fy)
-    fx_idx = np.arange(shape.fx)
-    rows = oy_idx[:, None, None, None] + fy_idx[None, None, :, None]
-    cols = ox_idx[None, :, None, None] + fx_idx[None, None, None, :]
-    windows = padded[rows, cols]  # (OY, OX, FY, FX, C)
-    return windows.reshape(shape.oy * shape.ox, shape.reduce_dim)
+    padded[:, shape.p : shape.p + shape.iy, shape.p : shape.p + shape.ix] = x
+    # Window view: view[b, oy, ox, fy, fx, c] = padded[b, oy*s+fy, ox*s+fx, c]
+    sb, sy, sx, sc = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(b, shape.oy, shape.ox, shape.fy, shape.fx, shape.c),
+        strides=(sb, sy * shape.s, sx * shape.s, sy, sx, sc),
+    )
+    return windows.reshape(b, shape.oy * shape.ox, shape.reduce_dim)
 
 
 def im2col_buffer_bytes(shape: ConvShape, n_cores: int = 8) -> int:

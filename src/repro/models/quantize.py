@@ -7,21 +7,33 @@ Symmetric per-tensor quantisation: each conv/dense node gets
 - ``w_scale``: ``max|w| / 127``;
 - ``act_scale``: input activation scale from a float calibration pass.
 
-The int8 executor (:func:`repro.compiler.executor.execute_graph` with
-``mode="int8"``) consumes these to run the same int32-accumulate
-arithmetic as the microcoded kernels.
+Calibration runs the samples **batched** through the
+:class:`~repro.engine.InferenceEngine` (plan compiled once, samples
+processed in memory-bounded chunks), and the int8 engine mode consumes
+the attached metadata to run the same int32-accumulate arithmetic as
+the microcoded kernels.
 """
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
-from repro.compiler.executor import execute_graph
 from repro.compiler.ir import Graph
+from repro.engine import get_default_engine
 
 __all__ = ["quantize_graph", "calibrate_scales"]
 
 _QUANTIZABLE = ("conv2d", "dense")
+
+#: Calibration batch chunk: bounds activation memory during the
+#: calibration sweep without changing the observed peaks.
+_CALIB_CHUNK = 32
+
+#: Monotonic stamp source for ``graph._quant_version`` — lets engine
+#: plan caches detect (re-)quantisation without comparing object ids.
+_QUANT_VERSIONS = itertools.count(1)
 
 
 def _symmetric_scale(arr: np.ndarray) -> float:
@@ -33,20 +45,29 @@ def calibrate_scales(graph: Graph, samples: list[np.ndarray]) -> dict[str, float
     """Per-node input-activation scales from a float calibration run.
 
     Records, for every quantisable node, the max |input| observed over
-    the calibration samples, mapped to an int8 scale.
+    the calibration samples, mapped to an int8 scale.  The samples run
+    batched through the engine's compiled float plan, in chunks of
+    ``_CALIB_CHUNK`` so activation memory stays bounded.
     """
     if not samples:
         raise ValueError("calibration needs at least one sample")
+    batch = np.stack([np.asarray(s) for s in samples]).astype(np.float32)
+    engine = get_default_engine()
+    watched = [
+        (node.name, node.inputs[0])
+        for node in graph
+        if node.op in _QUANTIZABLE
+    ]
+    # Chunked so memory stays bounded by one chunk's activations (the
+    # per-node max folds across chunks to the same peak).
     peaks: dict[str, float] = {}
-    for x in samples:
-        _, acts = execute_graph(graph, x, mode="float", return_acts=True)
-        for node in graph:
-            if node.op not in _QUANTIZABLE:
-                continue
-            src = acts[node.inputs[0]]
-            peaks[node.name] = max(
-                peaks.get(node.name, 0.0), float(np.abs(src).max())
-            )
+    for i in range(0, len(batch), _CALIB_CHUNK):
+        _, acts = engine.run_batch(
+            graph, batch[i : i + _CALIB_CHUNK], mode="float", return_acts=True
+        )
+        for name, src in watched:
+            peak = float(np.abs(acts[src]).max())
+            peaks[name] = max(peaks.get(name, 0.0), peak)
     return {
         name: (peak / 127.0 if peak > 0 else 1.0)
         for name, peak in peaks.items()
@@ -58,7 +79,10 @@ def quantize_graph(graph: Graph, samples: list[np.ndarray]) -> Graph:
 
     Modifies the graph in place and returns it.  Pruned (zero) weights
     quantise to exact zeros, preserving N:M patterns — asserted here as
-    a safety net.
+    a safety net.  Engines notice the new metadata on their next
+    ``mode="int8"`` compile-cache lookup (the quantisation signature
+    changes), so stale int8 fallback plans recompile automatically —
+    on every engine, while cached float plans stay valid.
     """
     act_scales = calibrate_scales(graph, samples)
     for node in graph:
@@ -72,4 +96,5 @@ def quantize_graph(graph: Graph, samples: list[np.ndarray]) -> Graph:
         node.attrs["weights_q"] = wq
         node.attrs["w_scale"] = w_scale
         node.attrs["act_scale"] = act_scales[node.name]
+    graph._quant_version = next(_QUANT_VERSIONS)
     return graph

@@ -1,0 +1,189 @@
+"""Tests for the batched inference engine (repro.engine.engine).
+
+The equivalence matrix is the engine's core contract: batched execution
+must match per-sample :func:`repro.compiler.executor.execute_graph`
+bit for bit, in both numeric modes, on both paper model families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.executor import execute_graph
+from repro.compiler.ir import Graph
+from repro.engine import InferenceEngine, get_default_engine
+from repro.models.quantize import quantize_graph
+from repro.models.resnet import resnet18_cifar
+from repro.models.vit import vit_small
+
+
+def tiny_cnn(seed=0):
+    rng = np.random.default_rng(seed)
+    g = Graph("tiny")
+    x = g.add_input("in", (6, 6, 3))
+    w = (rng.normal(size=(4, 3, 3, 3)) * 0.4).astype(np.float32)
+    x = g.add_conv2d("conv", x, w, bias=np.zeros(4, np.float32))
+    x = g.add_elementwise("relu", "relu", x)
+    x = g.add_global_avgpool("pool", x)
+    g.add_dense("fc", x, (rng.normal(size=(5, 4)) * 0.4).astype(np.float32))
+    return g
+
+
+class TestPlanCache:
+    def test_same_graph_compiles_once(self):
+        engine = InferenceEngine()
+        g = tiny_cnn()
+        x = np.zeros((6, 6, 3))
+        engine.run(g, x)
+        engine.run(g, x)
+        engine.run_batch(g, x[None])
+        assert engine.compile_count == 1
+        assert engine.cached_plans(g) == ("float",)
+
+    def test_modes_cached_separately(self):
+        engine = InferenceEngine()
+        g = tiny_cnn()
+        x = np.zeros((6, 6, 3))
+        engine.run(g, x, mode="float")
+        engine.run(g, x, mode="int8")
+        assert engine.compile_count == 2
+        assert set(engine.cached_plans(g)) == {"float", "int8"}
+
+    def test_distinct_graphs_cached_independently(self):
+        engine = InferenceEngine()
+        a, b = tiny_cnn(0), tiny_cnn(1)
+        x = np.zeros((6, 6, 3))
+        engine.run(a, x)
+        engine.run(b, x)
+        assert engine.compile_count == 2
+
+    def test_invalidate_forces_recompile(self):
+        engine = InferenceEngine()
+        g = tiny_cnn()
+        x = np.random.default_rng(0).normal(size=(6, 6, 3))
+        before = engine.run(g, x)
+        g.node("conv").attrs["weights"] = np.zeros_like(
+            g.node("conv").attrs["weights"]
+        )
+        assert np.array_equal(engine.run(g, x), before)  # stale plan
+        engine.invalidate(g)
+        assert not np.array_equal(engine.run(g, x), before)
+        assert engine.compile_count == 2
+
+    def test_quantize_graph_refreshes_stale_int8_plans(self):
+        """Attaching int8 metadata must not leave a stale int8 plan —
+        on any engine, not just the default one."""
+        engines = [InferenceEngine(), get_default_engine()]
+        g = tiny_cnn()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 6, 3))
+        fallbacks = [e.run(g, x, mode="int8") for e in engines]
+        quantize_graph(g, [rng.normal(size=(6, 6, 3)) for _ in range(3)])
+        for engine, fallback in zip(engines, fallbacks):
+            quantized = engine.run(g, x, mode="int8")
+            assert not np.array_equal(fallback, quantized)
+
+    def test_requantisation_never_serves_stale_weights(self):
+        """Repeated re-quantisation must always recompile the int8 plan
+        (regression: an id()-based signature hit ABA reuse when numpy
+        recycled freed weight-array addresses)."""
+        engine = InferenceEngine()
+        g = tiny_cnn()
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(6, 6, 3))
+        fresh = InferenceEngine()
+        for round_ in range(4):
+            calib = [rng.normal(size=(6, 6, 3)) * (1 + round_) for _ in range(2)]
+            quantize_graph(g, calib)
+            assert np.array_equal(
+                engine.run(g, x, mode="int8"), fresh.run(g, x, mode="int8")
+            ), f"stale plan served on re-quantisation round {round_}"
+            fresh.invalidate(g)
+
+    def test_quantize_graph_keeps_float_plan(self):
+        """Quantisation metadata does not touch the float plan, so the
+        cached float plan survives (no wasted recompile)."""
+        engine = InferenceEngine()
+        g = tiny_cnn()
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(6, 6, 3))
+        engine.run(g, x, mode="float")
+        quantize_graph(g, [rng.normal(size=(6, 6, 3)) for _ in range(3)])
+        engine.run(g, x, mode="float")
+        assert engine.compile_count == 1
+
+
+class TestBatchHandling:
+    def test_single_sample_round_trips(self):
+        engine = InferenceEngine()
+        g = tiny_cnn()
+        out = engine.run(g, np.zeros((6, 6, 3)))
+        assert out.shape == (5,)
+
+    def test_batched_output_keeps_batch_axis(self):
+        engine = InferenceEngine()
+        g = tiny_cnn()
+        out = engine.run(g, np.zeros((7, 6, 6, 3)))
+        assert out.shape == (7, 5)
+
+    def test_wrong_shape_rejected(self):
+        engine = InferenceEngine()
+        with pytest.raises(ValueError, match="input shape"):
+            engine.run(tiny_cnn(), np.zeros((5, 5, 3)))
+
+    def test_run_batch_rejects_unbatched(self):
+        engine = InferenceEngine()
+        with pytest.raises(ValueError, match="input shape"):
+            engine.run_batch(tiny_cnn(), np.zeros((6, 6, 3)))
+
+    def test_unknown_mode_rejected(self):
+        engine = InferenceEngine()
+        with pytest.raises(ValueError, match="mode"):
+            engine.run(tiny_cnn(), np.zeros((6, 6, 3)), mode="fp16")
+
+    def test_return_acts_squeezed_for_single_sample(self):
+        engine = InferenceEngine()
+        g = tiny_cnn()
+        out, acts = engine.run(g, np.zeros((6, 6, 3)), return_acts=True)
+        assert set(acts) == {n.name for n in g}
+        assert acts["conv"].shape == (6, 6, 4)
+
+    def test_return_acts_batched(self):
+        engine = InferenceEngine()
+        g = tiny_cnn()
+        out, acts = engine.run_batch(
+            g, np.zeros((3, 6, 6, 3)), return_acts=True
+        )
+        assert acts["conv"].shape == (3, 6, 6, 4)
+
+
+@pytest.fixture(scope="module")
+def quantized_models():
+    rng = np.random.default_rng(0)
+    models = {}
+    for name, graph, shape in [
+        ("resnet", resnet18_cifar(num_classes=10, seed=0), (32, 32, 3)),
+        ("vit", vit_small(seed=0, depth=1), (224, 224, 3)),
+    ]:
+        calib = (rng.normal(size=shape) * 0.5).astype(np.float32)
+        quantize_graph(graph, [calib])
+        models[name] = (graph, shape)
+    return models
+
+
+class TestBatchedEquivalence:
+    """Batched engine == per-sample executor, bit for bit."""
+
+    @pytest.mark.parametrize("model", ["resnet", "vit"])
+    @pytest.mark.parametrize("mode", ["float", "int8"])
+    def test_bit_identical_to_per_sample(self, quantized_models, model, mode):
+        graph, shape = quantized_models[model]
+        rng = np.random.default_rng(7)
+        xs = (rng.normal(size=(2, *shape)) * 0.5).astype(np.float32)
+        engine = InferenceEngine()
+        batched = engine.run_batch(graph, xs, mode=mode)
+        per_sample = np.stack(
+            [execute_graph(graph, x, mode=mode, engine=engine) for x in xs]
+        )
+        assert batched.dtype == per_sample.dtype
+        assert np.array_equal(batched, per_sample)
+        assert np.isfinite(batched).all()

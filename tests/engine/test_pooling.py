@@ -1,0 +1,95 @@
+"""Regression tests for size-driven pooling windows.
+
+The seed executor read ``node.attrs["size"]`` but pooled with a
+``stride``-sized window (``reshape(oy, stride, ox, stride, c)``), so
+any graph with ``size != stride`` — e.g. the classic 3x3/stride-2
+downsampling of ResNet-style CNNs — computed wrong activations.  The
+engine windows with ``size`` and steps with ``stride``; these tests pin
+that behaviour against a naive loop reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.executor import execute_graph
+from repro.compiler.ir import Graph
+
+
+def pool_graph(op, hw, c=2, size=2, stride=2):
+    g = Graph("pool")
+    x = g.add_input("in", (hw, hw, c))
+    if op == "maxpool":
+        g.add_maxpool("p", x, size=size, stride=stride)
+    else:
+        g.add_avgpool("p", x, size=size, stride=stride)
+    return g
+
+
+def naive_pool(x, op, size, stride):
+    """Loop reference: size-sized windows, stride-sized steps, clipped
+    at the feature-map edge (avg divides by the valid tap count)."""
+    iy, ix, c = x.shape
+    oy, ox = iy // stride, ix // stride
+    out = np.zeros((oy, ox, c), dtype=np.float32)
+    for y in range(oy):
+        for xx in range(ox):
+            win = x[
+                y * stride : min(y * stride + size, iy),
+                xx * stride : min(xx * stride + size, ix),
+            ]
+            out[y, xx] = win.max(axis=(0, 1)) if op == "maxpool" else win.mean(
+                axis=(0, 1)
+            )
+    return out
+
+
+class TestSizeDrivenWindows:
+    @pytest.mark.parametrize("op", ["maxpool", "avgpool"])
+    def test_size3_stride2_regression(self, op):
+        """The headline bug: size=3, stride=2 must pool 3x3 windows."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(7, 7, 2)).astype(np.float32)
+        g = pool_graph(op, hw=7, size=3, stride=2)
+        got = execute_graph(g, x)
+        want = naive_pool(x, op, size=3, stride=2)
+        assert np.allclose(got, want, rtol=1e-6, atol=1e-6)
+
+    def test_size3_stride2_differs_from_stride_window(self):
+        """Proof the seed semantics were wrong: a value outside the
+        stride-sized window but inside the size-sized one must appear
+        in the max."""
+        x = np.zeros((7, 7, 1), dtype=np.float32)
+        x[2, 2, 0] = 9.0  # row/col 2: outside the seed's 2x2 window at (0, 0)
+        g = pool_graph("maxpool", hw=7, c=1, size=3, stride=2)
+        out = execute_graph(g, x)
+        assert out[0, 0, 0] == 9.0
+
+    @pytest.mark.parametrize("op", ["maxpool", "avgpool"])
+    def test_windows_clipped_at_edge(self, op):
+        """size=3 windows starting at the last stride step overrun a
+        6x6 map; out-of-bounds taps are ignored (avg: valid count)."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 6, 3)).astype(np.float32)
+        g = pool_graph(op, hw=6, c=3, size=3, stride=2)
+        got = execute_graph(g, x)
+        want = naive_pool(x, op, size=3, stride=2)
+        assert got.shape == (3, 3, 3)
+        assert np.allclose(got, want, rtol=1e-6, atol=1e-6)
+
+    @pytest.mark.parametrize("op", ["maxpool", "avgpool"])
+    def test_size_equals_stride_unchanged(self, op):
+        """The classic 2x2/stride-2 case keeps its historical result."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(8, 8, 2)).astype(np.float32)
+        g = pool_graph(op, hw=8, size=2, stride=2)
+        view = x.reshape(4, 2, 4, 2, 2)
+        want = view.max(axis=(1, 3)) if op == "maxpool" else view.mean(axis=(1, 3))
+        assert np.allclose(execute_graph(g, x), want, rtol=1e-6, atol=1e-6)
+
+    def test_batched_pooling_matches_per_sample(self):
+        rng = np.random.default_rng(3)
+        xs = rng.normal(size=(4, 7, 7, 2)).astype(np.float32)
+        g = pool_graph("avgpool", hw=7, size=3, stride=2)
+        batched = execute_graph(g, xs)
+        per_sample = np.stack([execute_graph(g, x) for x in xs])
+        assert np.array_equal(batched, per_sample)

@@ -1,10 +1,19 @@
 """Unit tests for the accuracy-trend harness (repro.eval.accuracy)."""
 
 import numpy as np
+import pytest
 
-from repro.eval.accuracy import accuracy_trend, build_small_cnn
+from repro.engine import InferenceEngine
+from repro.eval.accuracy import (
+    accuracy_trend,
+    build_small_cnn,
+    deployed_int8_accuracy,
+    sequential_to_graph,
+)
 from repro.sparsity.nm import FORMAT_1_8
 from repro.train.autograd import Tensor
+from repro.train.data import make_synthetic_dataset
+from repro.train.nn import Sequential
 from repro.train.srste import SparseConv2d, SparseLinear
 
 
@@ -33,6 +42,43 @@ class TestBuildSmallCnn:
         assert not isinstance(model.layers[0], SparseConv2d)
 
 
+class TestExportToGraph:
+    def test_export_matches_training_forward(self):
+        """The deployed graph computes the same function as the model."""
+        model = build_small_cnn(4, None, seed=0)
+        g = sequential_to_graph(model, (16, 16, 3), name="export")
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 16, 16, 3))
+        want = model(Tensor(x)).data
+        got = InferenceEngine().run_batch(g, x)
+        assert np.allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_sparse_layers_export_masked_weights(self):
+        model = build_small_cnn(4, FORMAT_1_8, seed=0)
+        g = sequential_to_graph(model, (16, 16, 3), name="export-sparse")
+        conv2 = g.node("conv3")  # layer index 3 is the sparse conv
+        w = conv2.attrs["weights"].reshape(conv2.attrs["weights"].shape[0], -1)
+        from repro.sparsity.stats import is_nm_sparse
+
+        assert is_nm_sparse(w, FORMAT_1_8)
+
+    def test_unsupported_layer_rejected(self):
+        class Mystery:
+            pass
+
+        model = Sequential(Mystery())
+        with pytest.raises(ValueError, match="cannot export"):
+            sequential_to_graph(model, (16, 16, 3))
+
+    def test_deployed_int8_accuracy_in_range(self):
+        data = make_synthetic_dataset(
+            n_classes=4, n_train=32, n_test=32, hw=16, noise=1.1, seed=0
+        )
+        model = build_small_cnn(4, None, seed=0)
+        acc = deployed_int8_accuracy(model, data)
+        assert 0.0 <= acc <= 1.0
+
+
 class TestTrendHarness:
     def test_quick_run_structure(self):
         table, points = accuracy_trend(
@@ -42,4 +88,5 @@ class TestTrendHarness:
         assert len(table.rows) == 4
         for p in points:
             assert 0.0 <= p.accuracy <= 1.0
+            assert 0.0 <= p.int8_accuracy <= 1.0
         assert all(p.weights_are_nm for p in points)

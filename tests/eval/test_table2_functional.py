@@ -1,0 +1,21 @@
+"""Tests for the engine-backed functional check behind Table 2."""
+
+import pytest
+
+from repro.eval.table2 import functional_check
+
+
+class TestFunctionalCheck:
+    def test_vit_int8_tracks_float(self):
+        """The quantised ViT deployment computes values close to the
+        float reference (small max deviation relative to float peak)."""
+        dev = functional_check(model="vit", batch=2, seed=0)
+        assert 0.0 <= dev < 0.25
+
+    def test_sparse_variant_accepted(self):
+        dev = functional_check(model="vit", fmt_name="1:8", batch=1, seed=0)
+        assert 0.0 <= dev < 0.25
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            functional_check(model="lstm")

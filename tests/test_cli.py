@@ -39,6 +39,11 @@ class TestCli:
         out = capsys.readouterr().out
         assert "pJ/MAC" in out and "CSR speedup" in out
 
+    def test_engine(self, capsys):
+        assert main(["engine", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "batched plan" in out and "speedup" in out
+
     def test_bad_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

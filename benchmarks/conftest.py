@@ -4,15 +4,26 @@ Every benchmark regenerates one of the paper's tables or figures,
 asserts its qualitative shape against the paper's reported values, and
 writes the rendered table to ``benchmarks/results/`` so EXPERIMENTS.md
 can be refreshed from a single run.
+
+Performance benchmarks additionally emit machine-readable
+``BENCH_<name>.json`` files next to the prose tables (via
+``record_bench``), so the perf trajectory — engine throughput, serving
+QPS — can be tracked across PRs by tooling instead of by reading
+rendered text.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Keys every BENCH_*.json entry must carry (extra keys are welcome).
+BENCH_SCHEMA = ("name", "batch", "qps", "speedup", "timestamp")
 
 
 @pytest.fixture(scope="session")
@@ -28,5 +39,33 @@ def record_table(results_dir):
     def _record(name: str, *blocks: str) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text("\n\n".join(blocks) + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_bench(results_dir):
+    """Write perf entries to ``BENCH_<name>.json`` in the results dir.
+
+    Each entry is a dict with at least ``name`` (measurement id),
+    ``batch`` (samples per call / policy ceiling), ``qps`` (samples or
+    requests per second), and ``speedup`` (vs the entry's stated
+    baseline); the fixture stamps ``timestamp`` (UTC ISO-8601) itself.
+    """
+
+    def _record(name: str, entries: list[dict]) -> Path:
+        stamp = datetime.datetime.now(datetime.timezone.utc).isoformat()
+        stamped = []
+        for entry in entries:
+            entry = {"timestamp": stamp, **entry}
+            missing = [key for key in BENCH_SCHEMA if key not in entry]
+            if missing:
+                raise KeyError(
+                    f"bench entry {entry.get('name')!r} missing {missing}"
+                )
+            stamped.append(entry)
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(stamped, indent=2) + "\n")
+        return path
 
     return _record

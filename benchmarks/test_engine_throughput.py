@@ -29,7 +29,7 @@ def result():
     return measure_throughput(resnet_style_graph(), batch=32, repeats=5)
 
 
-def test_engine_throughput_table(benchmark, record_table, result):
+def test_engine_throughput_table(benchmark, record_table, record_bench, result):
     res = benchmark.pedantic(lambda: result, rounds=1, iterations=1)
     table = Table(
         f"Engine throughput on {res.graph_name} ({res.mode}, batch {res.batch})",
@@ -49,6 +49,29 @@ def test_engine_throughput_table(benchmark, record_table, result):
             },
         )
     record_table("engine_throughput", table.render())
+    record_bench(
+        "engine",
+        [
+            {
+                "name": "per_sample_uncached",
+                "batch": 1,
+                "qps": res.uncached_throughput,
+                "speedup": 1.0,
+            },
+            {
+                "name": "per_sample_cached_plan",
+                "batch": 1,
+                "qps": res.per_sample_throughput,
+                "speedup": res.uncached_s / res.per_sample_s,
+            },
+            {
+                "name": "batched_plan",
+                "batch": res.batch,
+                "qps": res.batched_throughput,
+                "speedup": res.speedup,
+            },
+        ],
+    )
     assert len(table.rows) == 3
 
 

@@ -13,12 +13,22 @@ Usage::
     python -m repro extensions
     python -m repro accuracy [--epochs N]
     python -m repro engine [--batch N] [--mode float|int8]
+    python -m repro serve [--host H] [--port P] [--workers N]
+    python -m repro loadgen [--requests N] [--qps Q] [--connect H:P]
 
 Each command prints the corresponding table(s) with the paper's values
 alongside where applicable.  ``table2 --verify`` additionally runs a
 random batch through the batched inference engine in float and int8
 modes and reports their agreement; ``engine`` benchmarks batched
 against per-sample execution.
+
+``serve`` hosts the demo deployments (``resnet-float`` /
+``resnet-int8``) behind the JSON-lines TCP front-end with dynamic
+micro-batching; ``loadgen`` replays deterministic synthetic traffic at
+a target QPS against either an in-process server (the default — used
+by the CI smoke job) or a running ``repro serve`` via ``--connect``,
+then prints the run report and metrics snapshot and exits non-zero if
+any request was dropped or the metrics are inconsistent.
 """
 
 from __future__ import annotations
@@ -162,6 +172,155 @@ def _cmd_engine(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.batcher import BatchPolicy
+    from repro.serve.demo import demo_server
+    from repro.serve.tcp import serve_tcp
+
+    async def _serve() -> None:
+        server = demo_server(
+            policy=BatchPolicy(args.max_batch_size, args.max_wait_ms),
+            workers=args.workers,
+            max_queue_depth=args.max_queue_depth,
+        )
+        async with server:
+            tcp = await serve_tcp(server, args.host, args.port)
+            host, port = tcp.sockets[0].getsockname()[:2]
+            print(
+                f"serving {', '.join(server.registry.names())} "
+                f"on {host}:{port} "
+                f"(workers={args.workers}, "
+                f"max_batch_size={args.max_batch_size}, "
+                f"max_wait_ms={args.max_wait_ms})"
+            )
+            print(
+                "protocol: one JSON object per line — "
+                '{"op": "infer", "model": ..., "input": ...} | '
+                '{"op": "stats"} | {"op": "describe"} | {"op": "ping"}'
+            )
+            try:
+                await tcp.serve_forever()
+            finally:
+                tcp.close()
+                await tcp.wait_closed()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.serve.loadgen import run_loadgen
+    from repro.utils.tables import Table
+
+    async def _in_process():
+        from repro.serve.batcher import BatchPolicy
+        from repro.serve.demo import demo_server
+
+        server = demo_server(
+            policy=BatchPolicy(args.max_batch_size, args.max_wait_ms),
+            workers=args.workers,
+        )
+        async with server:
+            report, _ = await run_loadgen(
+                server,
+                args.model,
+                requests=args.requests,
+                qps=args.qps,
+                seed=args.seed,
+            )
+            return report, server.stats()
+
+    async def _over_tcp(host: str, port: int):
+        from repro.serve.tcp import TcpServeClient
+
+        async with TcpServeClient(host, port) as client:
+            report, _ = await run_loadgen(
+                client,
+                args.model,
+                requests=args.requests,
+                qps=args.qps,
+                seed=args.seed,
+            )
+            return report, await client.stats()
+
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        try:
+            port_num = int(port)
+        except ValueError:
+            print(
+                f"error: --connect expects HOST:PORT, got {args.connect!r}",
+                file=sys.stderr,
+            )
+            return 2
+        report, stats = asyncio.run(_over_tcp(host or "127.0.0.1", port_num))
+    else:
+        report, stats = asyncio.run(_in_process())
+
+    quantiles = report.latency_quantiles()
+    table = Table(
+        f"Loadgen report ({report.model}, target {report.target_qps:g} qps)",
+        ["metric", "value"],
+    )
+    for metric, value in [
+        ("requests sent", report.requests),
+        ("succeeded", report.succeeded),
+        ("rejected", report.rejected),
+        ("failed", report.failed),
+        ("duration s", report.duration_s),
+        ("achieved qps", report.achieved_qps),
+        ("latency p50 ms", quantiles["p50_ms"]),
+        ("latency p95 ms", quantiles["p95_ms"]),
+        ("latency p99 ms", quantiles["p99_ms"]),
+        ("server batches", stats["batches"]["count"]),
+        ("server mean batch", stats["batches"]["mean_size"]),
+        ("server queue depth", stats["queue_depth"]),
+    ]:
+        table.add_row(metric=metric, value=value)
+    print(table.render())
+
+    # Smoke-check (CI gate): every request served, counters consistent.
+    problems = []
+    if report.succeeded != report.requests:
+        problems.append(
+            f"{report.requests - report.succeeded} of {report.requests} "
+            "requests not served"
+        )
+    if not args.connect:
+        # The in-process server saw only this run's traffic, so its
+        # counters must line up exactly with the report.
+        if stats["requests"]["completed"] != report.succeeded:
+            problems.append(
+                f"metrics completed={stats['requests']['completed']} != "
+                f"report succeeded={report.succeeded}"
+            )
+        if stats["queue_depth"] != 0:
+            problems.append(
+                f"queue depth {stats['queue_depth']} != 0 after drain"
+            )
+        if stats["batches"]["count"] < 1:
+            problems.append("no batches recorded")
+        served = sum(
+            int(size) * n
+            for size, n in stats["batches"]["histogram"].items()
+        )
+        if served != report.succeeded:
+            problems.append(
+                f"batch histogram covers {served} samples != "
+                f"{report.succeeded} served"
+            )
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _cmd_accuracy(args) -> int:
     from repro.eval.accuracy import accuracy_trend
 
@@ -215,6 +374,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=32)
     p.add_argument("--mode", choices=["float", "int8"], default="float")
     p.set_defaults(func=_cmd_engine)
+
+    p = sub.add_parser(
+        "serve",
+        help="host the demo deployments over TCP with micro-batching",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8707)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-batch-size", type=int, default=32)
+    p.add_argument("--max-wait-ms", type=float, default=5.0)
+    p.add_argument("--max-queue-depth", type=int, default=256)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="replay deterministic synthetic traffic at a target QPS",
+    )
+    p.add_argument("--model", default="resnet-int8")
+    p.add_argument("--requests", type=int, default=100)
+    p.add_argument("--qps", type=float, default=200.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="target a running `repro serve` instead of an in-process server",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-batch-size", type=int, default=32)
+    p.add_argument("--max-wait-ms", type=float, default=5.0)
+    p.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -17,6 +17,7 @@ execute as a batch of one, which keeps both paths on the same kernels
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import TYPE_CHECKING
 
@@ -56,6 +57,12 @@ class InferenceEngine:
         self._plans: "weakref.WeakKeyDictionary[Graph, dict[str, tuple[ExecutionPlan, tuple]]]" = (
             weakref.WeakKeyDictionary()
         )
+        # Guards the check-then-compile below: concurrent callers (the
+        # serving layer runs plans from a worker pool) racing on the
+        # same (graph, mode) must compile once, not once per caller.
+        # compile_plan holds the GIL throughout anyway, so serialising
+        # it costs no real parallelism.
+        self._lock = threading.Lock()
         #: Number of actual plan compilations (cache misses).
         self.compile_count = 0
 
@@ -70,27 +77,30 @@ class InferenceEngine:
         """
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}")
-        per_graph = self._plans.get(graph)
-        if per_graph is None:
-            per_graph = {}
-            self._plans[graph] = per_graph
-        sig = _quant_signature(graph) if mode == "int8" else ()
-        entry = per_graph.get(mode)
-        if entry is not None and entry[1] != sig:
-            entry = None  # quantisation metadata changed: stale plan
-        if entry is None:
-            entry = (compile_plan(graph, mode), sig)
-            per_graph[mode] = entry
-            self.compile_count += 1
-        return entry[0]
+        with self._lock:
+            per_graph = self._plans.get(graph)
+            if per_graph is None:
+                per_graph = {}
+                self._plans[graph] = per_graph
+            sig = _quant_signature(graph) if mode == "int8" else ()
+            entry = per_graph.get(mode)
+            if entry is not None and entry[1] != sig:
+                entry = None  # quantisation metadata changed: stale plan
+            if entry is None:
+                entry = (compile_plan(graph, mode), sig)
+                per_graph[mode] = entry
+                self.compile_count += 1
+            return entry[0]
 
     def invalidate(self, graph: Graph) -> None:
         """Drop cached plans for ``graph`` (call after mutating weights)."""
-        self._plans.pop(graph, None)
+        with self._lock:
+            self._plans.pop(graph, None)
 
     def cached_plans(self, graph: Graph) -> tuple[str, ...]:
         """Modes for which ``graph`` currently has a compiled plan."""
-        return tuple(self._plans.get(graph, ()))
+        with self._lock:
+            return tuple(self._plans.get(graph, ()))
 
     # -- execution ------------------------------------------------------
 

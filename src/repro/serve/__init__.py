@@ -1,0 +1,47 @@
+"""``repro.serve`` — async model serving with dynamic micro-batching.
+
+The serving subsystem turns the batched
+:class:`~repro.engine.engine.InferenceEngine` into sustained request
+throughput: concurrent single-sample requests are coalesced into
+micro-batches (``Batcher`` + ``BatchPolicy``), executed by a bounded
+worker pool, and guarded by queue-depth backpressure, with metrics
+(batch-size histogram, latency quantiles, queue depth) exposed through
+:meth:`ModelServer.stats`.  See ``docs/serving.md`` for the
+architecture and ``examples/serve_quickstart.py`` for a runnable tour.
+"""
+
+from repro.serve.batcher import Batcher, BatchPolicy, MicroBatch
+from repro.serve.errors import (
+    BadRequest,
+    RequestTooLarge,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+    UnknownModel,
+)
+from repro.serve.loadgen import LoadgenReport, generate_inputs, run_loadgen
+from repro.serve.metrics import Metrics
+from repro.serve.registry import Deployment, ModelRegistry
+from repro.serve.server import ModelServer
+from repro.serve.tcp import TcpServeClient, serve_tcp
+
+__all__ = [
+    "BatchPolicy",
+    "Batcher",
+    "MicroBatch",
+    "ServeError",
+    "UnknownModel",
+    "BadRequest",
+    "RequestTooLarge",
+    "ServerOverloaded",
+    "ServerClosed",
+    "Metrics",
+    "Deployment",
+    "ModelRegistry",
+    "ModelServer",
+    "LoadgenReport",
+    "generate_inputs",
+    "run_loadgen",
+    "TcpServeClient",
+    "serve_tcp",
+]

@@ -1,0 +1,186 @@
+"""Dynamic micro-batching: coalesce in-flight requests per deployment.
+
+The :class:`Batcher` is the heart of the serving subsystem.  Each
+deployment gets one batcher; requests accepted by the server are
+appended to its pending deque, and an asyncio task forms micro-batches
+under the :class:`BatchPolicy`:
+
+- **flush when full** — as soon as the pending samples reach
+  ``max_batch_size``, a batch is formed immediately;
+- **flush at deadline** — otherwise the batcher waits at most
+  ``max_wait_ms`` after the *oldest* pending request arrived, so a lone
+  request is never stuck waiting for company;
+- **requests are atomic** — a request's samples all land in the same
+  micro-batch (batch formation takes a greedy prefix of the pending
+  deque), which is why the server rejects requests larger than
+  ``max_batch_size`` up front with
+  :class:`~repro.serve.errors.RequestTooLarge`.
+
+Formed :class:`MicroBatch` objects are put on the server's shared batch
+queue, where the worker pool picks them up and runs them through
+``InferenceEngine.run_batch``.  On :meth:`Batcher.close` the pending
+deque is flushed to the queue without waiting — accepted requests are
+drained, never dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.registry import Deployment
+
+__all__ = ["BatchPolicy", "PendingRequest", "MicroBatch", "Batcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs governing micro-batch formation.
+
+    ``max_batch_size`` is the ceiling in *samples* (a request may carry
+    several); ``max_wait_ms`` bounds how long the oldest pending
+    request may wait before a partial batch is flushed.  A policy of
+    ``(1, 0)`` degenerates to batch-size-1 serving — the baseline the
+    serve benchmark compares against.
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_ms / 1e3
+
+
+@dataclass
+class PendingRequest:
+    """One accepted request waiting to be batched."""
+
+    deployment: Deployment
+    batch: np.ndarray  # (samples, *input_shape), float32
+    samples: int
+    batched: bool  # payload arrived with a leading batch axis
+    future: "asyncio.Future[np.ndarray]"
+    enqueued_at: float  # loop.time() at acceptance
+
+
+@dataclass
+class MicroBatch:
+    """A formed batch: a greedy prefix of one deployment's pending deque."""
+
+    deployment: Deployment
+    requests: list[PendingRequest] = field(default_factory=list)
+
+    @property
+    def samples(self) -> int:
+        return sum(r.samples for r in self.requests)
+
+    def concat(self) -> np.ndarray:
+        """Stack the member requests into one (B, *input_shape) array."""
+        if len(self.requests) == 1:
+            return self.requests[0].batch
+        return np.concatenate([r.batch for r in self.requests], axis=0)
+
+
+class Batcher:
+    """Coalesces one deployment's requests into micro-batches.
+
+    Owns a pending deque and a formation task; formed batches go to
+    ``out_queue`` (the server's shared batch queue).  All interaction
+    happens on the event loop — no locks needed.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        policy: BatchPolicy,
+        out_queue: "asyncio.Queue[MicroBatch]",
+    ) -> None:
+        self.deployment = deployment
+        self.policy = policy
+        self._out = out_queue
+        self._pending: list[PendingRequest] = []
+        self._pending_samples = 0
+        self._wake = asyncio.Event()
+        self._closing = False
+        self._task: asyncio.Task | None = None
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def pending_samples(self) -> int:
+        return self._pending_samples
+
+    # -- request intake (event loop only) -------------------------------
+
+    def add(self, request: PendingRequest) -> None:
+        """Append an accepted request and wake the formation loop."""
+        if self._closing:
+            raise RuntimeError("batcher is closed")  # server guards this
+        self._pending.append(request)
+        self._pending_samples += request.samples
+        self._wake.set()
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"batcher-{self.deployment.name}"
+            )
+
+    async def close(self) -> None:
+        """Stop accepting, flush everything pending, end the task."""
+        self._closing = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # -- batch formation ------------------------------------------------
+
+    def _form(self) -> MicroBatch:
+        """Take the greedy prefix of pending that fits the policy."""
+        mb = MicroBatch(self.deployment)
+        taken = 0
+        for req in self._pending:
+            if mb.requests and taken + req.samples > self.policy.max_batch_size:
+                break
+            mb.requests.append(req)
+            taken += req.samples
+        del self._pending[: len(mb.requests)]
+        self._pending_samples -= taken
+        return mb
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._closing:
+                    return
+                self._wake.clear()
+                # Re-check after clearing: add() may have landed between
+                # the emptiness check and the clear.
+                if not self._pending and not self._closing:
+                    await self._wake.wait()
+                continue
+            deadline = self._pending[0].enqueued_at + self.policy.max_wait_s
+            while (
+                not self._closing
+                and self._pending_samples < self.policy.max_batch_size
+            ):
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), remaining)
+                except (asyncio.TimeoutError, TimeoutError):
+                    break
+            await self._out.put(self._form())

@@ -1,0 +1,43 @@
+"""The demo deployment set used by the CLI, CI smoke job, and examples.
+
+Hosts the engine benchmark's ResNet-style graph twice — ``resnet-float``
+and ``resnet-int8`` — on one server, exercising the registry's
+side-by-side (graph, mode) deployments.  Everything is seeded through
+:func:`repro.utils.rng.make_rng`, so the demo weights, calibration
+data, and therefore every served logit are reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.engine.bench import resnet_style_graph
+from repro.serve.batcher import BatchPolicy
+from repro.serve.server import ModelServer
+from repro.utils.rng import make_rng
+
+__all__ = ["DEMO_MODELS", "demo_server"]
+
+#: Deployment names the demo server hosts.
+DEMO_MODELS = ("resnet-float", "resnet-int8")
+
+
+def demo_server(
+    policy: BatchPolicy | None = None,
+    workers: int = 2,
+    max_queue_depth: int = 256,
+    seed: int = 0,
+) -> ModelServer:
+    """Build (but don't start) a server hosting the demo deployments."""
+    from repro.models.quantize import quantize_graph
+
+    graph = resnet_style_graph(seed=seed)
+    rng = make_rng(seed)
+    calib = [
+        rng.normal(size=(12, 12, 3)).astype("float32") for _ in range(4)
+    ]
+    quantize_graph(graph, calib)
+    server = ModelServer(
+        policy=policy, workers=workers, max_queue_depth=max_queue_depth
+    )
+    server.register("resnet-float", graph, "float")
+    server.register("resnet-int8", graph, "int8")
+    return server

@@ -1,0 +1,99 @@
+"""Typed errors raised by the serving subsystem.
+
+Every rejection the server can produce has its own exception class so
+clients (and the TCP front-end, which maps them to machine-readable
+``error`` codes) can react precisely instead of parsing messages.  All
+of them derive from :class:`ServeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "UnknownModel",
+    "RequestTooLarge",
+    "ServerOverloaded",
+    "ServerClosed",
+    "BadRequest",
+]
+
+
+class ServeError(Exception):
+    """Base class for all serving-layer errors.
+
+    ``code`` is the stable machine-readable identifier used on the
+    wire; subclasses override it.
+    """
+
+    code = "serve_error"
+
+
+class UnknownModel(ServeError, KeyError):
+    """The request named a deployment the registry does not host."""
+
+    code = "unknown_model"
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = available
+        detail = f"unknown model {name!r}"
+        if available:
+            detail += f" (hosted: {', '.join(available)})"
+        # Bypass KeyError's repr-quoting of the message.
+        Exception.__init__(self, detail)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class BadRequest(ServeError, ValueError):
+    """The request payload is malformed (wrong shape, dtype, fields)."""
+
+    code = "bad_request"
+
+
+class RequestTooLarge(BadRequest):
+    """A single request carried more samples than ``max_batch_size``.
+
+    Requests are batched atomically (a request is never split across
+    micro-batches), so one bigger than the largest batch the policy
+    allows can never be scheduled and is rejected up front.
+    """
+
+    code = "request_too_large"
+
+    def __init__(self, samples: int, max_batch_size: int):
+        self.samples = samples
+        self.max_batch_size = max_batch_size
+        super().__init__(
+            f"request carries {samples} samples but max_batch_size is "
+            f"{max_batch_size}; split it client-side"
+        )
+
+
+class ServerOverloaded(ServeError):
+    """Backpressure fast-fail: the pending queue is at its depth limit.
+
+    Raised at submit time — the request was *not* accepted and will not
+    be retried by the server; clients should back off and resubmit.
+    """
+
+    code = "server_overloaded"
+
+    def __init__(self, queue_depth: int, max_queue_depth: int):
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+        super().__init__(
+            f"queue depth {queue_depth} at limit {max_queue_depth}; "
+            "back off and retry"
+        )
+
+
+class ServerClosed(ServeError):
+    """The server is shutting down (or never started) — not accepting.
+
+    Requests accepted *before* shutdown began are still drained and
+    completed; only new submissions see this error.
+    """
+
+    code = "server_closed"

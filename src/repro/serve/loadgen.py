@@ -1,0 +1,209 @@
+"""Synthetic traffic generation against a model server.
+
+Replays a deterministic open-loop arrival process at a target QPS:
+inter-arrival gaps are exponential (Poisson arrivals) and inputs are
+Gaussian, both drawn from :func:`repro.utils.rng.make_rng` so a given
+``seed`` reproduces the exact same traffic — request payloads, arrival
+times, and therefore batch compositions are stable run-to-run (modulo
+scheduler timing).  Used by the ``repro loadgen`` CLI, the serve
+benchmark, and the CI smoke job.
+
+The generator is *open-loop*: it does not wait for a response before
+sending the next request (that would throttle to server latency and
+hide queueing behaviour), but it does cap the number of requests in
+flight so a stalled server cannot accumulate unbounded futures.
+
+A run can target either an in-process :class:`ModelServer` or a
+:class:`~repro.serve.tcp.TcpServeClient` connected to a remote
+``repro serve`` — the same pacing, payloads, and accounting apply, so
+in-process CI smoke runs and socketed runs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.serve.errors import (
+    BadRequest,
+    RequestTooLarge,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+    UnknownModel,
+)
+from repro.serve.server import ModelServer
+from repro.serve.tcp import TcpServeClient
+from repro.utils.rng import make_rng
+
+__all__ = ["LoadgenReport", "generate_inputs", "run_loadgen"]
+
+#: Error codes counted as *rejected* (admission control said no) as
+#: opposed to *failed* (accepted but errored during execution).
+_ADMISSION_CODES = frozenset(
+    cls.code
+    for cls in (
+        UnknownModel,
+        BadRequest,
+        RequestTooLarge,
+        ServerOverloaded,
+        ServerClosed,
+    )
+)
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one loadgen run, JSON-safe via :meth:`to_dict`."""
+
+    model: str
+    requests: int
+    succeeded: int
+    rejected: int
+    failed: int
+    duration_s: float
+    target_qps: float
+    latencies_ms: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.succeeded / self.duration_s if self.duration_s else 0.0
+
+    def latency_quantiles(self) -> dict[str, float]:
+        if not self.latencies_ms:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        p50, p95, p99 = np.percentile(self.latencies_ms, [50, 95, 99])
+        return {
+            "p50_ms": float(p50),
+            "p95_ms": float(p95),
+            "p99_ms": float(p99),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "requests": self.requests,
+            "succeeded": self.succeeded,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "duration_s": self.duration_s,
+            "target_qps": self.target_qps,
+            "achieved_qps": self.achieved_qps,
+            "latency": self.latency_quantiles(),
+        }
+
+
+def generate_inputs(
+    shape: tuple[int, ...], requests: int, seed: int = 0
+) -> np.ndarray:
+    """The deterministic request payloads for a loadgen run.
+
+    Exposed separately so tests can replay the exact traffic a run
+    produced through the engine directly and compare bit-for-bit.
+    """
+    rng = make_rng(seed)
+    return rng.normal(size=(requests, *shape)).astype(np.float32)
+
+
+async def run_loadgen(
+    target: Union[ModelServer, TcpServeClient],
+    model: str,
+    requests: int = 100,
+    qps: float = 200.0,
+    seed: int = 0,
+    max_in_flight: int = 256,
+    collect_outputs: bool = False,
+) -> tuple[LoadgenReport, list["np.ndarray | None"]]:
+    """Fire ``requests`` single-sample requests at ``target``.
+
+    Arrival gaps and payloads are deterministic in ``seed``.  Returns
+    the report plus, when ``collect_outputs`` is set, each request's
+    output array (``None`` for rejected/failed requests) in send order.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if qps <= 0:
+        raise ValueError("qps must be > 0")
+    if isinstance(target, ModelServer):
+        shape = tuple(target.registry.get(model).input_shape)
+
+        def submit(x: np.ndarray) -> "asyncio.Future[np.ndarray]":
+            return target.submit(model, x)
+
+    else:
+        described = await target.describe()
+        if model not in described:
+            raise UnknownModel(model, tuple(described))
+        shape = tuple(described[model]["input_shape"])
+
+        def submit(x: np.ndarray) -> "asyncio.Future[np.ndarray]":
+            return target.submit_infer(model, x)
+
+    inputs = generate_inputs(shape, requests, seed=seed)
+    gaps = make_rng(seed + 1).exponential(1.0 / qps, size=requests)
+
+    loop = asyncio.get_running_loop()
+    sem = asyncio.Semaphore(max_in_flight)
+    outputs: list["np.ndarray | None"] = [None] * requests
+    latencies_ms: list[float] = []
+    rejected = 0
+    failed = 0
+    pending: list[asyncio.Task] = []
+
+    async def finish(i: int, fut: "asyncio.Future[np.ndarray]", t0: float):
+        nonlocal rejected, failed
+        try:
+            out = await fut
+        except ServeError as err:
+            if getattr(err, "code", None) in _ADMISSION_CODES:
+                rejected += 1
+            else:
+                failed += 1
+        except (ConnectionError, asyncio.CancelledError):
+            failed += 1
+        else:
+            latencies_ms.append((loop.time() - t0) * 1e3)
+            if collect_outputs:
+                outputs[i] = out
+        finally:
+            sem.release()
+
+    t_start = loop.time()
+    next_send = t_start
+    for i in range(requests):
+        next_send += gaps[i]
+        delay = next_send - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        await sem.acquire()
+        try:
+            fut = submit(inputs[i])
+        except ServeError:
+            rejected += 1
+            sem.release()
+            continue
+        except ConnectionError:
+            # TCP target died mid-run; mirror the async path, which
+            # counts a dropped connection as a failed request.
+            failed += 1
+            sem.release()
+            continue
+        pending.append(loop.create_task(finish(i, fut, loop.time())))
+    if pending:
+        await asyncio.gather(*pending)
+    duration = loop.time() - t_start
+
+    report = LoadgenReport(
+        model=model,
+        requests=requests,
+        succeeded=len(latencies_ms),
+        rejected=rejected,
+        failed=failed,
+        duration_s=duration,
+        target_qps=qps,
+        latencies_ms=latencies_ms,
+    )
+    return report, outputs

@@ -1,0 +1,123 @@
+"""Serving metrics: counters, batch-size histogram, latency quantiles.
+
+:class:`Metrics` is a plain in-process collector — the server calls the
+``record_*`` hooks from its submit path and worker pool, and
+:meth:`Metrics.snapshot` renders everything into a JSON-safe dict (the
+payload behind the TCP ``stats`` op and the ``repro serve``/``loadgen``
+summaries).
+
+Latencies are kept in a bounded reservoir (the most recent
+``latency_window`` observations) so a long-running server's memory use
+stays flat; p50/p95/p99 are computed over that window on demand.  All
+mutation happens either on the event loop or under ``_lock``, so the
+collector is safe to share between the asyncio core and worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+
+import numpy as np
+
+__all__ = ["Metrics"]
+
+
+class Metrics:
+    """Mutable serving counters with a JSON-safe :meth:`snapshot`."""
+
+    def __init__(self, latency_window: int = 10_000) -> None:
+        if latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+        self._lock = threading.Lock()
+        #: Requests accepted into the queue.
+        self.requests_accepted = 0
+        #: Requests completed successfully.
+        self.requests_completed = 0
+        #: Requests that failed during execution (engine error).
+        self.requests_failed = 0
+        #: Rejections at submit time, keyed by error code.
+        self.requests_rejected: Counter[str] = Counter()
+        #: Total samples served (a request may carry several).
+        self.samples_completed = 0
+        #: Micro-batches executed, keyed by batch size (in samples).
+        self.batch_sizes: Counter[int] = Counter()
+        #: Samples accepted but not yet completed (queued + in flight).
+        self.queue_depth = 0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    # -- recording hooks ------------------------------------------------
+
+    def record_accepted(self, samples: int) -> None:
+        with self._lock:
+            self.requests_accepted += 1
+            self.queue_depth += samples
+
+    def record_rejected(self, code: str) -> None:
+        with self._lock:
+            self.requests_rejected[code] += 1
+
+    def record_batch(self, samples: int) -> None:
+        with self._lock:
+            self.batch_sizes[samples] += 1
+
+    def record_completed(self, samples: int, latency_s: float) -> None:
+        with self._lock:
+            self.requests_completed += 1
+            self.samples_completed += samples
+            self.queue_depth -= samples
+            self._latencies.append(latency_s)
+
+    def record_failed(self, samples: int) -> None:
+        with self._lock:
+            self.requests_failed += 1
+            self.queue_depth -= samples
+
+    # -- derived views --------------------------------------------------
+
+    def latency_quantiles(self) -> dict[str, float]:
+        """p50/p95/p99 over the latency window, in milliseconds."""
+        with self._lock:
+            lats = np.asarray(self._latencies, dtype=np.float64)
+        if lats.size == 0:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        p50, p95, p99 = np.percentile(lats, [50, 95, 99]) * 1e3
+        return {
+            "p50_ms": float(p50),
+            "p95_ms": float(p95),
+            "p99_ms": float(p99),
+        }
+
+    def _mean_batch_size_locked(self) -> float:
+        batches = sum(self.batch_sizes.values())
+        samples = sum(size * n for size, n in self.batch_sizes.items())
+        return samples / batches if batches else 0.0
+
+    def mean_batch_size(self) -> float:
+        """Average executed micro-batch size, in samples."""
+        with self._lock:
+            return self._mean_batch_size_locked()
+
+    def snapshot(self) -> dict:
+        """A JSON-safe view of every counter plus derived quantiles."""
+        quantiles = self.latency_quantiles()
+        with self._lock:
+            return {
+                "requests": {
+                    "accepted": self.requests_accepted,
+                    "completed": self.requests_completed,
+                    "failed": self.requests_failed,
+                    "rejected": dict(self.requests_rejected),
+                },
+                "samples_completed": self.samples_completed,
+                "queue_depth": self.queue_depth,
+                "batches": {
+                    "count": sum(self.batch_sizes.values()),
+                    "mean_size": self._mean_batch_size_locked(),
+                    "histogram": {
+                        str(size): n
+                        for size, n in sorted(self.batch_sizes.items())
+                    },
+                },
+                "latency": quantiles,
+            }

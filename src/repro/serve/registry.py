@@ -1,0 +1,113 @@
+"""Model registry: named (graph, mode) deployments with warm plans.
+
+A :class:`Deployment` pins one graph in one numeric mode under a
+serving name — ``"resnet-int8"`` and ``"resnet-float"`` are two
+deployments of the same graph, hosted side by side.  Registration
+compiles the execution plan immediately (*warm-up*), so the first
+request a deployment serves never pays compilation latency; the plan
+cache inside :class:`~repro.engine.engine.InferenceEngine` is
+lock-guarded, so registering while the worker pool is already running
+is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.plan import MODES, ExecutionPlan
+from repro.serve.errors import BadRequest, UnknownModel
+
+if TYPE_CHECKING:
+    from repro.compiler.ir import Graph
+
+__all__ = ["Deployment", "ModelRegistry"]
+
+
+@dataclass
+class Deployment:
+    """One named (graph, mode) pair hosted by the server."""
+
+    name: str
+    graph: "Graph"
+    mode: str
+    engine: InferenceEngine
+    plan: ExecutionPlan = field(repr=False)
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        return self.plan.input_shape
+
+    def coerce_request(self, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Validate a request payload against the declared input shape.
+
+        Returns ``(batched_array, was_batched)``: a single sample is
+        lifted to a batch of one (and the response is unbatched again
+        by the server), a ``(n, ...)`` payload passes through.  Any
+        other shape is a :class:`BadRequest`.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        declared = self.input_shape
+        if x.shape == declared:
+            return x[None], False
+        if x.ndim == len(declared) + 1 and x.shape[1:] == declared and x.shape[0] > 0:
+            return x, True
+        raise BadRequest(
+            f"model {self.name!r} expects input shaped {declared} or "
+            f"(n, {', '.join(map(str, declared))}), got {x.shape}"
+        )
+
+    def run_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Execute a formed micro-batch through the engine's plan cache."""
+        return self.engine.run_batch(self.graph, batch, mode=self.mode)
+
+
+class ModelRegistry:
+    """Named deployments sharing one engine (and its plan cache)."""
+
+    def __init__(self, engine: InferenceEngine | None = None) -> None:
+        self.engine = engine or InferenceEngine()
+        self._deployments: dict[str, Deployment] = {}
+
+    def register(
+        self, name: str, graph: "Graph", mode: str = "float"
+    ) -> Deployment:
+        """Host ``graph`` in ``mode`` under ``name``, warming its plan.
+
+        Compilation happens here, at registration time, so serving
+        traffic never sees a cold plan.  Re-registering an existing
+        name replaces the deployment (the engine-level plan cache keeps
+        any still-valid plan for the same graph).
+        """
+        if not name:
+            raise ValueError("deployment name must be non-empty")
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r} (expected one of {MODES})")
+        plan = self.engine.compile(graph, mode)  # warm-up
+        dep = Deployment(
+            name=name, graph=graph, mode=mode, engine=self.engine, plan=plan
+        )
+        self._deployments[name] = dep
+        return dep
+
+    def unregister(self, name: str) -> None:
+        """Remove a deployment (in-flight requests already hold the plan)."""
+        self._deployments.pop(name, None)
+
+    def get(self, name: str) -> Deployment:
+        try:
+            return self._deployments[name]
+        except KeyError:
+            raise UnknownModel(name, self.names()) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._deployments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._deployments
+
+    def __len__(self) -> int:
+        return len(self._deployments)

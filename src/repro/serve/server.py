@@ -1,0 +1,230 @@
+"""The asyncio serving core: request intake, worker pool, backpressure.
+
+:class:`ModelServer` glues the subsystem together:
+
+- :meth:`ModelServer.submit` validates a request against its
+  deployment, applies admission control, and hands it to that
+  deployment's :class:`~repro.serve.batcher.Batcher`;
+- one shared batch queue carries formed micro-batches to a pool of
+  ``workers`` asyncio tasks, each running
+  ``InferenceEngine.run_batch`` via :func:`asyncio.to_thread` so
+  GIL-releasing numpy kernels from different micro-batches can overlap;
+- backpressure is a queue-depth limit counted in *samples* accepted but
+  not yet completed: when admitting a request would exceed
+  ``max_queue_depth``, submit fast-fails with
+  :class:`~repro.serve.errors.ServerOverloaded` instead of growing an
+  unbounded backlog;
+- :meth:`ModelServer.shutdown` stops intake (new submissions raise
+  :class:`~repro.serve.errors.ServerClosed`), flushes every batcher,
+  and drains the batch queue — every accepted request resolves.
+
+Responses are bit-identical to direct ``InferenceEngine.run`` calls:
+batch formation only concatenates requests along the leading axis, and
+the engine's stacked-GEMM plans reduce each batch slice independently
+in the same order as a single-sample run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.serve.batcher import Batcher, BatchPolicy, MicroBatch, PendingRequest
+from repro.serve.errors import (
+    RequestTooLarge,
+    ServerClosed,
+    ServerOverloaded,
+)
+from repro.serve.metrics import Metrics
+from repro.serve.registry import ModelRegistry
+
+if TYPE_CHECKING:
+    from repro.compiler.ir import Graph
+
+__all__ = ["ModelServer"]
+
+
+class ModelServer:
+    """Async model server with dynamic micro-batching and backpressure."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        policy: BatchPolicy | None = None,
+        workers: int = 2,
+        max_queue_depth: int = 256,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.registry = registry or ModelRegistry()
+        self.policy = policy or BatchPolicy()
+        self.workers = workers
+        self.max_queue_depth = max_queue_depth
+        self.metrics = Metrics()
+        self._batchers: dict[str, Batcher] = {}
+        #: Batchers displaced by re-registration; still owed a drain.
+        self._retired: list[Batcher] = []
+        self._queue: "asyncio.Queue[MicroBatch | None]" = asyncio.Queue()
+        self._worker_tasks: list[asyncio.Task] = []
+        self._depth = 0  # samples accepted, not yet resolved
+        self._running = False
+        self._closing = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker pool; idempotent."""
+        if self._running:
+            return
+        self._running = True
+        self._closing = False
+        loop = asyncio.get_running_loop()
+        self._worker_tasks = [
+            loop.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def shutdown(self) -> None:
+        """Drain and stop: every accepted request resolves before return."""
+        if not self._running:
+            return
+        self._closing = True  # submit() now raises ServerClosed
+        # Flush every batcher's pending requests onto the batch queue —
+        # including batchers displaced by re-registration, whose
+        # accepted requests must drain like any other.
+        for batcher in (*self._batchers.values(), *self._retired):
+            await batcher.close()
+        self._retired = []
+        # One sentinel per worker: each consumes exactly one and exits
+        # after finishing whatever real batches precede it.
+        for _ in self._worker_tasks:
+            self._queue.put_nowait(None)
+        await asyncio.gather(*self._worker_tasks)
+        self._worker_tasks = []
+        self._batchers = {}
+        self._running = False
+
+    async def __aenter__(self) -> "ModelServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    # -- convenience registration --------------------------------------
+
+    def register(self, name: str, graph: "Graph", mode: str = "float"):
+        """Register (and plan-warm) a deployment on the server's registry."""
+        return self.registry.register(name, graph, mode)
+
+    # -- request path (event loop only) ---------------------------------
+
+    def submit(self, model: str, x: np.ndarray) -> "asyncio.Future[np.ndarray]":
+        """Admit one request; returns a future resolving to its output.
+
+        Raises the typed admission errors synchronously:
+        :class:`ServerClosed`, :class:`UnknownModel`,
+        :class:`BadRequest` / :class:`RequestTooLarge`, and
+        :class:`ServerOverloaded`.  Once a future is returned the
+        request *will* resolve, even across shutdown.
+        """
+        loop = asyncio.get_running_loop()
+        if not self._running or self._closing:
+            self.metrics.record_rejected(ServerClosed.code)
+            raise ServerClosed("server is not accepting requests")
+        try:
+            deployment = self.registry.get(model)
+            batch, batched = deployment.coerce_request(x)
+        except Exception as err:
+            self.metrics.record_rejected(getattr(err, "code", "bad_request"))
+            raise
+        samples = batch.shape[0]
+        if samples > self.policy.max_batch_size:
+            self.metrics.record_rejected(RequestTooLarge.code)
+            raise RequestTooLarge(samples, self.policy.max_batch_size)
+        if self._depth + samples > self.max_queue_depth:
+            self.metrics.record_rejected(ServerOverloaded.code)
+            raise ServerOverloaded(self._depth, self.max_queue_depth)
+        request = PendingRequest(
+            deployment=deployment,
+            batch=batch,
+            samples=samples,
+            batched=batched,
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+        )
+        self._depth += samples
+        self.metrics.record_accepted(samples)
+        self._batcher_for(deployment).add(request)
+        return request.future
+
+    async def infer(self, model: str, x: np.ndarray) -> np.ndarray:
+        """Submit and await one request."""
+        return await self.submit(model, x)
+
+    def stats(self) -> dict:
+        """JSON-safe metrics snapshot plus server-level gauges."""
+        snap = self.metrics.snapshot()
+        snap["server"] = {
+            "running": self._running and not self._closing,
+            "workers": self.workers,
+            "models": list(self.registry.names()),
+            "policy": {
+                "max_batch_size": self.policy.max_batch_size,
+                "max_wait_ms": self.policy.max_wait_ms,
+            },
+            "max_queue_depth": self.max_queue_depth,
+        }
+        return snap
+
+    # -- internals ------------------------------------------------------
+
+    def _batcher_for(self, deployment) -> Batcher:
+        batcher = self._batchers.get(deployment.name)
+        if batcher is None or batcher.deployment is not deployment:
+            if batcher is not None:
+                # The name was re-registered: the old batcher may still
+                # hold accepted requests, so keep it alive (it flushes
+                # to the shared queue) and drain it at shutdown.
+                self._retired.append(batcher)
+            batcher = Batcher(deployment, self.policy, self._queue)
+            batcher.start()
+            self._batchers[deployment.name] = batcher
+        return batcher
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            micro = await self._queue.get()
+            if micro is None:  # shutdown sentinel
+                return
+            if not micro.requests:  # empty flush artifact; ignore
+                continue
+            batch = micro.concat()
+            self.metrics.record_batch(batch.shape[0])
+            try:
+                out = await asyncio.to_thread(micro.deployment.run_batch, batch)
+            except BaseException as err:
+                for req in micro.requests:
+                    self._depth -= req.samples
+                    self.metrics.record_failed(req.samples)
+                    if not req.future.done():
+                        req.future.set_exception(err)
+                continue
+            now = loop.time()
+            offset = 0
+            for req in micro.requests:
+                result = out[offset : offset + req.samples]
+                offset += req.samples
+                self._depth -= req.samples
+                self.metrics.record_completed(
+                    req.samples, now - req.enqueued_at
+                )
+                if not req.future.done():
+                    req.future.set_result(
+                        result if req.batched else result[0]
+                    )

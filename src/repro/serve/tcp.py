@@ -1,0 +1,335 @@
+"""A newline-delimited-JSON TCP front-end for :class:`ModelServer`.
+
+Kept deliberately dependency-free (asyncio streams + ``json``): each
+connection sends one JSON object per line and receives one JSON object
+per line, in order.  Ops:
+
+- ``{"op": "infer", "model": name, "input": nested-list}`` →
+  ``{"ok": true, "output": nested-list}``; a single sample comes back
+  unbatched, a leading batch axis is preserved.
+- ``{"op": "stats"}`` → ``{"ok": true, "stats": snapshot}``.
+- ``{"op": "models"}`` → ``{"ok": true, "models": [...]}``.
+- ``{"op": "describe"}`` → ``{"ok": true, "models": {name: {"mode",
+  "input_shape"}}}`` (what a client needs to build requests).
+- ``{"op": "ping"}`` → ``{"ok": true, "pong": true}``.
+
+Errors come back as ``{"ok": false, "error": code, "detail": str}``
+with the stable codes from :mod:`repro.serve.errors`; a malformed line
+gets ``bad_request`` and the connection stays usable.  Pipelining is
+first-class — requests on one connection are dispatched concurrently
+into the batcher (so a single loadgen connection still benefits from
+micro-batching) and responses are written back in request order, which
+is also how :class:`TcpServeClient` matches them up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+
+import numpy as np
+
+from repro.serve.errors import BadRequest, ServeError
+from repro.serve.server import ModelServer
+
+__all__ = ["serve_tcp", "TcpServeClient"]
+
+_MAX_LINE = 2**24  # 16 MiB of JSON per request is plenty for MCU-scale nets
+
+
+async def _handle_request(server: ModelServer, msg: dict) -> dict:
+    op = msg.get("op", "infer")
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "stats":
+        return {"ok": True, "stats": server.stats()}
+    if op == "models":
+        return {"ok": True, "models": list(server.registry.names())}
+    if op == "describe":
+        return {
+            "ok": True,
+            "models": {
+                name: {
+                    "mode": dep.mode,
+                    "input_shape": list(dep.input_shape),
+                }
+                for name in server.registry.names()
+                for dep in [server.registry.get(name)]
+            },
+        }
+    if op == "infer":
+        model = msg.get("model")
+        if not isinstance(model, str):
+            raise BadRequest("'model' must be a string")
+        if "input" not in msg:
+            raise BadRequest("'input' field is required")
+        try:
+            x = np.asarray(msg["input"], dtype=np.float32)
+        except (TypeError, ValueError) as err:
+            raise BadRequest(f"'input' is not a numeric array: {err}") from None
+        out = await server.submit(model, x)
+        return {"ok": True, "output": out.tolist()}
+    raise BadRequest(f"unknown op {op!r}")
+
+
+async def _handle_connection(
+    server: ModelServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    async def process(line: bytes) -> dict:
+        try:
+            msg = json.loads(line)
+            if not isinstance(msg, dict):
+                raise BadRequest("request must be a JSON object")
+            return await _handle_request(server, msg)
+        except ServeError as err:
+            return {"ok": False, "error": err.code, "detail": str(err)}
+        except json.JSONDecodeError as err:
+            return {
+                "ok": False,
+                "error": BadRequest.code,
+                "detail": f"invalid JSON: {err}",
+            }
+        except Exception as err:
+            # Anything unexpected (e.g. an engine failure surfaced via
+            # the request future) must still produce a response line —
+            # otherwise the writer task dies and every later pipelined
+            # request on this connection hangs without a reply.
+            return {
+                "ok": False,
+                "error": ServeError.code,
+                "detail": f"{type(err).__name__}: {err}",
+            }
+
+    # In-order responses with concurrent dispatch: each line becomes a
+    # task immediately (so consecutive infer requests can share a
+    # micro-batch), and the writer drains results in request order.
+    responses: "asyncio.Queue[asyncio.Task | None]" = asyncio.Queue()
+
+    async def write_responses() -> None:
+        while True:
+            task = await responses.get()
+            if task is None:
+                return
+            payload = await task
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+
+    writer_task = asyncio.get_running_loop().create_task(write_responses())
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+                # readline() wraps a line longer than the stream limit
+                # in ValueError; the buffer can't be resynced after the
+                # truncation, so drop the connection cleanly.
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            responses.put_nowait(
+                asyncio.get_running_loop().create_task(process(line))
+            )
+    finally:
+        responses.put_nowait(None)
+        try:
+            await writer_task
+        except ConnectionError:
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def serve_tcp(
+    server: ModelServer, host: str = "127.0.0.1", port: int = 8707
+) -> asyncio.AbstractServer:
+    """Expose ``server`` over TCP; caller owns both lifecycles.
+
+    Returns the listening :class:`asyncio.AbstractServer`; close it
+    (then ``await server.shutdown()``) to stop.  Port 0 picks a free
+    port — read it back from ``sockets[0].getsockname()``.
+    """
+
+    async def handler(reader, writer):
+        await _handle_connection(server, reader, writer)
+
+    return await asyncio.start_server(handler, host, port, limit=_MAX_LINE)
+
+
+class TcpServeClient:
+    """Pipelined async client for the JSON-lines protocol.
+
+    ``submit_msg`` writes a request immediately and returns a future;
+    a background reader resolves futures in FIFO order (the server
+    guarantees in-order responses).  Many requests can therefore be in
+    flight on one connection — which is what lets a single loadgen
+    client exercise the server's micro-batching.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8707) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: deque[asyncio.Future] = deque()
+        self._reader_task: asyncio.Task | None = None
+
+    async def connect(self) -> "TcpServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=_MAX_LINE
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+        if self._reader_task is not None:
+            await self._reader_task
+            self._reader_task = None
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "TcpServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        while True:
+            try:
+                line = await self._reader.readline()
+            except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+                line = b""
+            if not line:
+                break
+            if self._pending:
+                fut = self._pending.popleft()
+                if not fut.done():
+                    fut.set_result(json.loads(line))
+        while self._pending:  # EOF with requests outstanding
+            fut = self._pending.popleft()
+            if not fut.done():
+                fut.set_exception(
+                    ConnectionError("server closed the connection")
+                )
+
+    # -- raw protocol ---------------------------------------------------
+
+    def submit_msg(self, msg: dict) -> "asyncio.Future[dict]":
+        """Send one request now; the future resolves to its response."""
+        if self._writer is None or self._writer.is_closing():
+            raise ConnectionError("client is not connected")
+        fut = asyncio.get_running_loop().create_future()
+        self._pending.append(fut)
+        self._writer.write(json.dumps(msg).encode() + b"\n")
+        return fut
+
+    async def request(self, msg: dict) -> dict:
+        return await self.submit_msg(msg)
+
+    # -- typed helpers --------------------------------------------------
+
+    def submit_infer(self, model: str, x) -> "asyncio.Future[np.ndarray]":
+        """Pipelined infer: future resolves to the output array.
+
+        A ``not ok`` response resolves the future with the matching
+        typed error from :mod:`repro.serve.errors`.
+        """
+        raw = self.submit_msg(
+            {"op": "infer", "model": model, "input": np.asarray(x).tolist()}
+        )
+        out: "asyncio.Future[np.ndarray]" = (
+            asyncio.get_running_loop().create_future()
+        )
+
+        def _done(f: "asyncio.Future[dict]") -> None:
+            if out.done():
+                return
+            if f.cancelled() or f.exception() is not None:
+                out.set_exception(
+                    f.exception() or ConnectionError("request cancelled")
+                )
+                return
+            resp = f.result()
+            if resp.get("ok"):
+                out.set_result(np.asarray(resp["output"], dtype=np.float32))
+            else:
+                out.set_exception(_error_from_code(resp))
+
+        raw.add_done_callback(_done)
+        return out
+
+    async def infer(self, model: str, x) -> np.ndarray:
+        return await self.submit_infer(model, x)
+
+    async def stats(self) -> dict:
+        resp = await self.request({"op": "stats"})
+        if not resp.get("ok"):
+            raise _error_from_code(resp)
+        return resp["stats"]
+
+    async def describe(self) -> dict:
+        """Hosted deployments: ``{name: {"mode", "input_shape"}}``."""
+        resp = await self.request({"op": "describe"})
+        if not resp.get("ok"):
+            raise _error_from_code(resp)
+        return resp["models"]
+
+
+def _error_from_code(resp: dict) -> ServeError:
+    from repro.serve import errors as E
+
+    code = resp.get("error", "serve_error")
+    detail = resp.get("detail", code)
+    for cls in (
+        E.UnknownModel,
+        E.RequestTooLarge,
+        E.ServerOverloaded,
+        E.ServerClosed,
+        E.BadRequest,
+    ):
+        if cls.code == code:
+            return _wire_class(cls)(detail)
+    return ServeError(detail)
+
+
+_WIRE_CACHE: dict[type, type] = {}
+
+
+def _wire_class(cls: type) -> type:
+    """A subclass of ``cls`` constructible from a bare message.
+
+    The structured ``__init__`` args of errors like
+    :class:`RequestTooLarge` don't travel over the wire, but ``except
+    RequestTooLarge`` style handlers should still work client-side —
+    so each error class gets a Remote* twin taking just the detail.
+    """
+    wire = _WIRE_CACHE.get(cls)
+    if wire is None:
+        wire = type(
+            f"Remote{cls.__name__}",
+            (cls,),
+            {
+                "__init__": lambda self, detail: Exception.__init__(
+                    self, detail
+                ),
+                "__str__": lambda self: self.args[0],
+            },
+        )
+        _WIRE_CACHE[cls] = wire
+    return wire

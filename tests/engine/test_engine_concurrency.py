@@ -1,0 +1,89 @@
+"""Plan-cache thread safety: racing callers must compile exactly once.
+
+The serving worker pool executes plans via threads, so two concurrent
+requests for the same (graph, mode) race the engine's check-then-
+compile.  The lock added for `repro.serve` makes that race benign:
+one compilation, one shared plan object.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import resnet_style_graph
+from repro.engine.engine import InferenceEngine
+
+
+@pytest.fixture
+def graph():
+    return resnet_style_graph()
+
+
+def _race(n_threads: int, fn):
+    """Run ``fn(i)`` on ``n_threads`` threads released simultaneously."""
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+    results: list = [None] * n_threads
+
+    def runner(i: int) -> None:
+        try:
+            barrier.wait()
+            results[i] = fn(i)
+        except BaseException as err:  # pragma: no cover - surfaced below
+            errors.append(err)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    return results
+
+
+class TestCompileRace:
+    def test_racing_compiles_compile_once(self, graph):
+        engine = InferenceEngine()
+        plans = _race(8, lambda i: engine.compile(graph, "float"))
+        assert engine.compile_count == 1
+        assert all(plan is plans[0] for plan in plans)
+
+    def test_racing_modes_compile_once_each(self, graph):
+        from repro.models.quantize import quantize_graph
+        from repro.utils.rng import make_rng
+
+        rng = make_rng(0)
+        quantize_graph(
+            graph, [rng.normal(size=(12, 12, 3)).astype(np.float32)]
+        )
+        engine = InferenceEngine()
+        modes = ["float", "int8"] * 4
+        plans = _race(8, lambda i: engine.compile(graph, modes[i]))
+        assert engine.compile_count == 2
+        float_plans = {id(p) for i, p in enumerate(plans) if modes[i] == "float"}
+        int8_plans = {id(p) for i, p in enumerate(plans) if modes[i] == "int8"}
+        assert len(float_plans) == 1
+        assert len(int8_plans) == 1
+
+    def test_racing_runs_share_one_plan(self, graph):
+        """Full run() calls racing from cold also compile exactly once
+        and agree bit-for-bit."""
+        engine = InferenceEngine()
+        x = np.linspace(-1, 1, 12 * 12 * 3, dtype=np.float32).reshape(
+            12, 12, 3
+        )
+        outs = _race(6, lambda i: engine.run(graph, x))
+        assert engine.compile_count == 1
+        for out in outs[1:]:
+            assert np.array_equal(out, outs[0])
+
+    def test_invalidate_then_recompile_under_threads(self, graph):
+        engine = InferenceEngine()
+        engine.compile(graph, "float")
+        engine.invalidate(graph)
+        _race(4, lambda i: engine.compile(graph, "float"))
+        assert engine.compile_count == 2  # once before, once after
+        assert engine.cached_plans(graph) == ("float",)

@@ -1,0 +1,125 @@
+"""Batching-policy edge cases: deadlines, flush-when-full, atomicity."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import resnet_style_graph
+from repro.serve.batcher import BatchPolicy
+from repro.serve.server import ModelServer
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return resnet_style_graph()
+
+
+def make_server(graph, policy, **kwargs) -> ModelServer:
+    server = ModelServer(policy=policy, **kwargs)
+    server.register("m", graph, "float")
+    return server
+
+
+class TestBatchPolicy:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_ms=-1.0)
+
+    def test_wait_seconds(self):
+        assert BatchPolicy(max_wait_ms=250.0).max_wait_s == 0.25
+
+
+class TestDeadlineFlush:
+    def test_lone_request_flushes_at_max_wait(self, graph):
+        """A lone request is released at the deadline — never stuck."""
+        policy = BatchPolicy(max_batch_size=64, max_wait_ms=80.0)
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            async with make_server(graph, policy) as server:
+                t0 = loop.time()
+                x = np.zeros(server.registry.get("m").input_shape, np.float32)
+                out = await asyncio.wait_for(server.infer("m", x), timeout=5.0)
+                return loop.time() - t0, out
+
+        elapsed, out = asyncio.run(run())
+        # Released at ~80 ms: after the deadline, but not multiples of it.
+        assert elapsed >= 0.05
+        assert elapsed < 2.0
+        assert out.shape == (10,)
+
+    def test_zero_wait_flushes_immediately(self, graph):
+        policy = BatchPolicy(max_batch_size=64, max_wait_ms=0.0)
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            async with make_server(graph, policy) as server:
+                t0 = loop.time()
+                x = np.zeros(server.registry.get("m").input_shape, np.float32)
+                await asyncio.wait_for(server.infer("m", x), timeout=5.0)
+                return loop.time() - t0
+
+        assert asyncio.run(run()) < 1.0
+
+
+class TestFullFlush:
+    def test_full_batch_does_not_wait_for_deadline(self, graph):
+        """max_batch_size pending samples flush immediately, long before
+        a (deliberately huge) max_wait_ms deadline."""
+        policy = BatchPolicy(max_batch_size=8, max_wait_ms=10_000.0)
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            async with make_server(graph, policy) as server:
+                shape = server.registry.get("m").input_shape
+                t0 = loop.time()
+                futs = [
+                    server.submit("m", np.zeros(shape, np.float32))
+                    for _ in range(8)
+                ]
+                await asyncio.gather(*futs)
+                return loop.time() - t0, dict(server.metrics.batch_sizes)
+
+        elapsed, sizes = asyncio.run(run())
+        assert elapsed < 5.0  # nowhere near the 10 s deadline
+        assert sizes == {8: 1}  # one full micro-batch
+
+    def test_overfull_backlog_splits_into_full_batches(self, graph):
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=50.0)
+
+        async def run():
+            async with make_server(graph, policy) as server:
+                shape = server.registry.get("m").input_shape
+                futs = [
+                    server.submit("m", np.zeros(shape, np.float32))
+                    for _ in range(10)
+                ]
+                await asyncio.gather(*futs)
+                return dict(server.metrics.batch_sizes)
+
+        sizes = asyncio.run(run())
+        # 10 singles under a 4-sample ceiling: two full batches plus a
+        # deadline-flushed remainder of 2.
+        assert sizes == {4: 2, 2: 1}
+
+
+class TestRequestAtomicity:
+    def test_requests_never_split_across_micro_batches(self, graph):
+        """Two 3-sample requests under a 4-sample ceiling must form two
+        3-sample batches — a request's samples stay together."""
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=20.0)
+
+        async def run():
+            async with make_server(graph, policy) as server:
+                shape = server.registry.get("m").input_shape
+                xs = np.zeros((3, *shape), np.float32)
+                futs = [server.submit("m", xs) for _ in range(2)]
+                outs = await asyncio.gather(*futs)
+                return dict(server.metrics.batch_sizes), outs
+
+        sizes, outs = asyncio.run(run())
+        assert sizes == {3: 2}
+        assert all(out.shape == (3, 10) for out in outs)

@@ -1,0 +1,85 @@
+"""Loadgen determinism and accounting (all sampling via repro.utils.rng)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import resnet_style_graph
+from repro.serve.batcher import BatchPolicy
+from repro.serve.loadgen import generate_inputs, run_loadgen
+from repro.serve.server import ModelServer
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return resnet_style_graph()
+
+
+def _run(graph, policy=None, **loadgen_kwargs):
+    async def main():
+        server = ModelServer(
+            policy=policy or BatchPolicy(16, 2.0),
+            **loadgen_kwargs.pop("server_kwargs", {}),
+        )
+        server.register("m", graph)
+        async with server:
+            return await run_loadgen(server, "m", **loadgen_kwargs)
+
+    return asyncio.run(main())
+
+
+class TestDeterminism:
+    def test_inputs_reproducible_per_seed(self):
+        a = generate_inputs((12, 12, 3), 8, seed=5)
+        b = generate_inputs((12, 12, 3), 8, seed=5)
+        c = generate_inputs((12, 12, 3), 8, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_two_runs_serve_identical_outputs(self, graph):
+        """Same seed → same payloads → bit-identical responses, even
+        though batch composition may differ between runs."""
+        kwargs = dict(
+            requests=32, qps=5000.0, seed=9, collect_outputs=True
+        )
+        report1, outs1 = _run(graph, **dict(kwargs))
+        report2, outs2 = _run(graph, **dict(kwargs))
+        assert report1.succeeded == report2.succeeded == 32
+        for o1, o2 in zip(outs1, outs2):
+            assert np.array_equal(o1, o2)
+
+
+class TestAccounting:
+    def test_report_counts_are_consistent(self, graph):
+        report, outs = _run(
+            graph, requests=20, qps=2000.0, collect_outputs=True
+        )
+        assert report.requests == 20
+        assert report.succeeded + report.rejected + report.failed == 20
+        assert report.succeeded == 20
+        assert len(report.latencies_ms) == report.succeeded
+        assert sum(out is not None for out in outs) == report.succeeded
+        d = report.to_dict()
+        assert d["achieved_qps"] > 0
+        assert d["latency"]["p50_ms"] <= d["latency"]["p99_ms"]
+
+    def test_overload_counts_as_rejected(self, graph):
+        """With a tiny queue and a long deadline, the burst overflows:
+        overflowed requests count as rejected, accepted ones succeed."""
+        report, _ = _run(
+            graph,
+            policy=BatchPolicy(max_batch_size=2, max_wait_ms=100.0),
+            server_kwargs=dict(max_queue_depth=2),
+            requests=12,
+            qps=100_000.0,
+        )
+        assert report.rejected > 0
+        assert report.succeeded >= 2
+        assert report.succeeded + report.rejected + report.failed == 12
+
+    def test_input_validation(self, graph):
+        with pytest.raises(ValueError):
+            _run(graph, requests=0)
+        with pytest.raises(ValueError):
+            _run(graph, requests=1, qps=0.0)

@@ -1,0 +1,129 @@
+"""Registry warm-up semantics and the metrics collector."""
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import resnet_style_graph
+from repro.engine.engine import InferenceEngine
+from repro.serve.errors import BadRequest, UnknownModel
+from repro.serve.metrics import Metrics
+from repro.serve.registry import ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return resnet_style_graph()
+
+
+class TestRegistry:
+    def test_registration_warms_the_plan(self, graph):
+        engine = InferenceEngine()
+        registry = ModelRegistry(engine)
+        assert engine.compile_count == 0
+        dep = registry.register("m", graph)
+        assert engine.compile_count == 1  # compiled at registration...
+        engine.run(graph, np.zeros(dep.input_shape, np.float32))
+        assert engine.compile_count == 1  # ...so serving hits the cache
+
+    def test_unknown_model_lists_available(self, graph):
+        registry = ModelRegistry()
+        registry.register("hosted", graph)
+        with pytest.raises(UnknownModel) as exc:
+            registry.get("ghost")
+        assert exc.value.available == ("hosted",)
+
+    def test_bad_mode_and_name_rejected(self, graph):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError):
+            registry.register("m", graph, mode="int4")
+        with pytest.raises(ValueError):
+            registry.register("", graph)
+
+    def test_container_protocol(self, graph):
+        registry = ModelRegistry()
+        registry.register("a", graph)
+        registry.register("b", graph, "float")
+        assert "a" in registry and len(registry) == 2
+        assert registry.names() == ("a", "b")
+        registry.unregister("a")
+        assert "a" not in registry and len(registry) == 1
+
+    def test_coerce_request_shapes(self, graph):
+        registry = ModelRegistry()
+        dep = registry.register("m", graph)
+        single, batched = dep.coerce_request(
+            np.zeros(dep.input_shape, np.float64)
+        )
+        assert single.shape == (1, *dep.input_shape)
+        assert single.dtype == np.float32
+        assert not batched
+        batch, batched = dep.coerce_request(np.zeros((3, *dep.input_shape)))
+        assert batch.shape == (3, *dep.input_shape)
+        assert batched
+        for bad in [
+            np.zeros((5, 5), np.float32),
+            np.zeros((0, *dep.input_shape), np.float32),  # empty batch
+        ]:
+            with pytest.raises(BadRequest):
+                dep.coerce_request(bad)
+
+
+class TestMetrics:
+    def test_counters_and_depth(self):
+        metrics = Metrics()
+        metrics.record_accepted(3)
+        metrics.record_accepted(1)
+        assert metrics.queue_depth == 4
+        metrics.record_batch(4)
+        metrics.record_completed(3, 0.010)
+        metrics.record_failed(1)
+        assert metrics.queue_depth == 0
+        snap = metrics.snapshot()
+        assert snap["requests"] == {
+            "accepted": 2,
+            "completed": 1,
+            "failed": 1,
+            "rejected": {},
+        }
+        assert snap["samples_completed"] == 3
+        assert snap["batches"]["histogram"] == {"4": 1}
+
+    def test_rejection_codes_counted(self):
+        metrics = Metrics()
+        metrics.record_rejected("server_overloaded")
+        metrics.record_rejected("server_overloaded")
+        metrics.record_rejected("request_too_large")
+        snap = metrics.snapshot()
+        assert snap["requests"]["rejected"] == {
+            "server_overloaded": 2,
+            "request_too_large": 1,
+        }
+
+    def test_latency_quantiles_ordering(self):
+        metrics = Metrics()
+        for ms in range(1, 101):  # 1..100 ms
+            metrics.record_completed(1, ms / 1e3)
+        q = metrics.latency_quantiles()
+        assert q["p50_ms"] <= q["p95_ms"] <= q["p99_ms"]
+        assert q["p50_ms"] == pytest.approx(50.5, abs=1.0)
+        assert q["p99_ms"] == pytest.approx(99.01, abs=1.0)
+
+    def test_latency_window_bounds_memory(self):
+        metrics = Metrics(latency_window=10)
+        for _ in range(100):
+            metrics.record_completed(1, 0.001)
+        assert len(metrics._latencies) == 10
+
+    def test_empty_quantiles_are_zero(self):
+        assert Metrics().latency_quantiles() == {
+            "p50_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+        }
+
+    def test_mean_batch_size(self):
+        metrics = Metrics()
+        assert metrics.mean_batch_size() == 0.0
+        metrics.record_batch(2)
+        metrics.record_batch(6)
+        assert metrics.mean_batch_size() == 4.0

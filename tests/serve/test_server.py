@@ -1,0 +1,236 @@
+"""Server admission control, backpressure, shutdown drain, failures."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import resnet_style_graph
+from repro.serve.batcher import BatchPolicy
+from repro.serve.errors import (
+    BadRequest,
+    RequestTooLarge,
+    ServerClosed,
+    ServerOverloaded,
+    UnknownModel,
+)
+from repro.serve.server import ModelServer
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return resnet_style_graph()
+
+
+def zeros(server, n=None):
+    shape = server.registry.get("m").input_shape
+    return (
+        np.zeros(shape, np.float32)
+        if n is None
+        else np.zeros((n, *shape), np.float32)
+    )
+
+
+class TestAdmission:
+    def test_request_larger_than_max_batch_rejected_typed(self, graph):
+        async def run():
+            policy = BatchPolicy(max_batch_size=4, max_wait_ms=1.0)
+            async with ModelServer(policy=policy) as server:
+                server.register("m", graph)
+                with pytest.raises(RequestTooLarge) as exc:
+                    server.submit("m", zeros(server, n=5))
+                assert exc.value.samples == 5
+                assert exc.value.max_batch_size == 4
+                assert exc.value.code == "request_too_large"
+                # ... and a max-sized request is still accepted.
+                out = await server.infer("m", zeros(server, n=4))
+                assert out.shape == (4, 10)
+                return server.metrics.requests_rejected
+
+        rejected = asyncio.run(run())
+        assert rejected["request_too_large"] == 1
+
+    def test_unknown_model_typed(self, graph):
+        async def run():
+            async with ModelServer() as server:
+                server.register("m", graph)
+                with pytest.raises(UnknownModel) as exc:
+                    server.submit("nope", np.zeros((1,), np.float32))
+                assert "nope" in str(exc.value)
+                assert "m" in str(exc.value)
+
+        asyncio.run(run())
+
+    def test_bad_shape_typed(self, graph):
+        async def run():
+            async with ModelServer() as server:
+                server.register("m", graph)
+                with pytest.raises(BadRequest):
+                    server.submit("m", np.zeros((5, 5), np.float32))
+
+        asyncio.run(run())
+
+    def test_submit_before_start_raises_closed(self, graph):
+        async def run():
+            server = ModelServer()
+            server.register("m", graph)
+            with pytest.raises(ServerClosed):
+                server.submit("m", zeros(server))
+
+        asyncio.run(run())
+
+
+class TestBackpressure:
+    def test_overload_fast_fails_and_recovers(self, graph):
+        """The depth-limit rejection is synchronous (fast-fail), leaves
+        accepted requests untouched, and clears once they complete."""
+
+        async def run():
+            # A long deadline keeps the accepted requests pending in the
+            # batcher, so the depth stays occupied deterministically.
+            policy = BatchPolicy(max_batch_size=2, max_wait_ms=300.0)
+            server = ModelServer(policy=policy, max_queue_depth=4)
+            server.register("m", graph)
+            async with server:
+                accepted = [server.submit("m", zeros(server)) for _ in range(4)]
+                with pytest.raises(ServerOverloaded) as exc:
+                    server.submit("m", zeros(server))
+                assert exc.value.code == "server_overloaded"
+                assert exc.value.max_queue_depth == 4
+                await asyncio.gather(*accepted)  # backlog drains...
+                out = await server.infer("m", zeros(server))  # ...and recovers
+                assert out.shape == (10,)
+                snap = server.stats()
+                return snap
+
+        snap = asyncio.run(run())
+        assert snap["requests"]["rejected"]["server_overloaded"] == 1
+        assert snap["requests"]["completed"] == 5
+        assert snap["queue_depth"] == 0
+
+
+class TestShutdown:
+    def test_shutdown_drains_accepted_requests(self, graph):
+        """Shutdown flushes pending batches immediately — accepted
+        requests resolve (long before their 10 s deadline), none drop."""
+
+        async def run():
+            policy = BatchPolicy(max_batch_size=64, max_wait_ms=10_000.0)
+            server = ModelServer(policy=policy, workers=2)
+            server.register("m", graph)
+            loop = asyncio.get_running_loop()
+            await server.start()
+            futs = [server.submit("m", zeros(server)) for _ in range(5)]
+            t0 = loop.time()
+            await server.shutdown()
+            elapsed = loop.time() - t0
+            outs = await asyncio.gather(*futs)
+            return elapsed, outs, server.stats()
+
+        elapsed, outs, snap = asyncio.run(run())
+        assert elapsed < 5.0  # did not wait out the 10 s deadline
+        assert len(outs) == 5
+        assert all(out.shape == (10,) for out in outs)
+        assert snap["requests"]["completed"] == 5
+        assert snap["queue_depth"] == 0
+
+    def test_reregistration_drains_displaced_batcher(self, graph):
+        """Re-registering a name must not drop requests accepted by the
+        displaced batcher — shutdown drains both old and new."""
+
+        async def run():
+            policy = BatchPolicy(max_batch_size=64, max_wait_ms=10_000.0)
+            server = ModelServer(policy=policy)
+            server.register("m", graph)
+            await server.start()
+            old_fut = server.submit("m", zeros(server))
+            server.register("m", graph)  # displaces the first deployment
+            new_fut = server.submit("m", zeros(server))
+            await server.shutdown()
+            return await asyncio.gather(old_fut, new_fut)
+
+        outs = asyncio.run(run())
+        assert all(out.shape == (10,) for out in outs)
+
+    def test_submit_after_shutdown_raises_closed(self, graph):
+        async def run():
+            server = ModelServer()
+            server.register("m", graph)
+            async with server:
+                pass
+            with pytest.raises(ServerClosed):
+                server.submit("m", zeros(server))
+
+        asyncio.run(run())
+
+    def test_restart_after_shutdown(self, graph):
+        async def run():
+            server = ModelServer(policy=BatchPolicy(4, 1.0))
+            server.register("m", graph)
+            async with server:
+                await server.infer("m", zeros(server))
+            async with server:
+                return await server.infer("m", zeros(server))
+
+        assert asyncio.run(run()).shape == (10,)
+
+
+class TestExecutionFailure:
+    def test_engine_error_fails_the_whole_micro_batch(self, graph):
+        async def run():
+            policy = BatchPolicy(max_batch_size=4, max_wait_ms=5.0)
+            server = ModelServer(policy=policy)
+            server.register("m", graph)
+            dep = server.registry.get("m")
+
+            def boom(batch):
+                raise RuntimeError("kernel exploded")
+
+            dep.run_batch = boom  # shadow the method on this deployment
+            async with server:
+                futs = [server.submit("m", zeros(server)) for _ in range(3)]
+                results = await asyncio.gather(*futs, return_exceptions=True)
+            return results, server.stats()
+
+        results, snap = asyncio.run(run())
+        assert len(results) == 3
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert snap["requests"]["failed"] == 3
+        assert snap["queue_depth"] == 0
+
+
+class TestResponses:
+    def test_single_sample_comes_back_unbatched(self, graph):
+        async def run():
+            async with ModelServer(policy=BatchPolicy(8, 1.0)) as server:
+                server.register("m", graph)
+                single = await server.infer("m", zeros(server))
+                batch = await server.infer("m", zeros(server, n=2))
+                return single, batch
+
+        single, batch = asyncio.run(run())
+        assert single.shape == (10,)
+        assert batch.shape == (2, 10)
+
+    def test_mixed_deployments_share_one_engine(self, graph):
+        """Float and int8 deployments of one graph serve side by side."""
+        from repro.models.quantize import quantize_graph
+        from repro.utils.rng import make_rng
+
+        qgraph = resnet_style_graph(seed=3)
+        rng = make_rng(3)
+        quantize_graph(qgraph, [rng.normal(size=(12, 12, 3)).astype(np.float32)])
+
+        async def run():
+            async with ModelServer(policy=BatchPolicy(8, 1.0)) as server:
+                server.register("f", qgraph, "float")
+                server.register("q", qgraph, "int8")
+                x = np.zeros((12, 12, 3), np.float32)
+                f, q = await asyncio.gather(
+                    server.infer("f", x), server.infer("q", x)
+                )
+                return f, q, server.registry.engine.compile_count
+
+        f, q, compiles = asyncio.run(run())
+        assert f.shape == q.shape == (10,)
+        assert compiles == 2  # one plan per mode, warmed at registration

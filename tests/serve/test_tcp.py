@@ -1,0 +1,151 @@
+"""The JSON-lines TCP front-end: protocol ops, errors, pipelining."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import resnet_style_graph
+from repro.engine.engine import InferenceEngine
+from repro.serve.batcher import BatchPolicy
+from repro.serve.errors import BadRequest, UnknownModel
+from repro.serve.server import ModelServer
+from repro.serve.tcp import TcpServeClient, serve_tcp
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return resnet_style_graph()
+
+
+async def _with_tcp(graph, fn, policy=None):
+    """Run ``fn(client, server)`` against a freshly served TCP endpoint."""
+    server = ModelServer(policy=policy or BatchPolicy(8, 2.0))
+    server.register("m", graph)
+    async with server:
+        tcp = await serve_tcp(server, port=0)
+        port = tcp.sockets[0].getsockname()[1]
+        try:
+            async with TcpServeClient(port=port) as client:
+                return await fn(client, server)
+        finally:
+            tcp.close()
+            await tcp.wait_closed()
+
+
+class TestProtocol:
+    def test_ping_models_describe_stats(self, graph):
+        async def fn(client, server):
+            pong = await client.request({"op": "ping"})
+            models = await client.request({"op": "models"})
+            described = await client.describe()
+            stats = await client.stats()
+            return pong, models, described, stats
+
+        pong, models, described, stats = asyncio.run(_with_tcp(graph, fn))
+        assert pong == {"ok": True, "pong": True}
+        assert models == {"ok": True, "models": ["m"]}
+        assert described == {
+            "m": {"mode": "float", "input_shape": [12, 12, 3]}
+        }
+        assert stats["server"]["running"] is True
+
+    def test_infer_matches_direct_engine(self, graph):
+        x = np.linspace(-1, 1, 12 * 12 * 3, dtype=np.float32).reshape(
+            12, 12, 3
+        )
+
+        async def fn(client, server):
+            single = await client.infer("m", x)
+            batch = await client.infer("m", np.stack([x, x]))
+            return single, batch
+
+        single, batch = asyncio.run(_with_tcp(graph, fn))
+        direct = InferenceEngine().run(graph, x)
+        # JSON round-trips float32 exactly (decimal repr is faithful).
+        assert np.array_equal(single, direct)
+        assert batch.shape == (2, 10)
+        assert np.array_equal(batch[0], direct)
+
+    def test_pipelined_requests_share_micro_batches(self, graph):
+        async def fn(client, server):
+            x = np.zeros((12, 12, 3), np.float32)
+            futs = [client.submit_infer("m", x) for _ in range(8)]
+            outs = await asyncio.gather(*futs)
+            return outs, server.metrics.mean_batch_size()
+
+        outs, mean_batch = asyncio.run(
+            _with_tcp(graph, fn, policy=BatchPolicy(8, 30.0))
+        )
+        assert len(outs) == 8
+        assert mean_batch > 1.0  # one connection still coalesces
+
+
+class TestErrors:
+    def test_unknown_model_comes_back_typed(self, graph):
+        async def fn(client, server):
+            with pytest.raises(UnknownModel):
+                await client.infer("ghost", np.zeros((12, 12, 3)))
+            return await client.request(
+                {"op": "infer", "model": "ghost", "input": [[0.0]]}
+            )
+
+        resp = asyncio.run(_with_tcp(graph, fn))
+        assert resp["ok"] is False
+        assert resp["error"] == "unknown_model"
+
+    def test_malformed_lines_keep_connection_usable(self, graph):
+        async def fn(client, server):
+            bad_json = await client.request({"op": "ping"})  # sanity first
+            # Raw garbage line, then a valid request on the same socket.
+            client._writer.write(b"this is not json\n")
+            fut = asyncio.get_running_loop().create_future()
+            client._pending.append(fut)
+            error_resp = await fut
+            pong = await client.request({"op": "ping"})
+            return bad_json, error_resp, pong
+
+        bad_json, error_resp, pong = asyncio.run(_with_tcp(graph, fn))
+        assert bad_json["ok"] is True
+        assert error_resp["ok"] is False
+        assert error_resp["error"] == "bad_request"
+        assert pong["ok"] is True
+
+    def test_unexpected_engine_error_still_answers(self, graph):
+        """A non-ServeError failure (engine blew up) must come back as a
+        serve_error response, leaving the connection usable."""
+
+        async def fn(client, server):
+            def boom(batch):
+                raise RuntimeError("kernel exploded")
+
+            server.registry.get("m").run_batch = boom
+            resp = await client.request(
+                {
+                    "op": "infer",
+                    "model": "m",
+                    "input": np.zeros((12, 12, 3)).tolist(),
+                }
+            )
+            pong = await client.request({"op": "ping"})
+            return resp, pong
+
+        resp, pong = asyncio.run(_with_tcp(graph, fn))
+        assert resp["ok"] is False
+        assert resp["error"] == "serve_error"
+        assert "kernel exploded" in resp["detail"]
+        assert pong["ok"] is True
+
+    def test_missing_fields_and_unknown_op(self, graph):
+        async def fn(client, server):
+            no_model = await client.request({"op": "infer", "input": [1.0]})
+            no_input = await client.request({"op": "infer", "model": "m"})
+            bad_op = await client.request({"op": "explode"})
+            with pytest.raises(BadRequest):
+                await client.infer("m", np.zeros((7, 7), np.float32))
+            return no_model, no_input, bad_op
+
+        no_model, no_input, bad_op = asyncio.run(_with_tcp(graph, fn))
+        for resp in (no_model, no_input, bad_op):
+            assert resp["ok"] is False
+            assert resp["error"] == "bad_request"

@@ -44,6 +44,36 @@ class TestCli:
         out = capsys.readouterr().out
         assert "batched plan" in out and "speedup" in out
 
+    def test_loadgen_in_process(self, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--requests", "16",
+                    "--qps", "2000",
+                    "--model", "resnet-float",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Loadgen report" in out
+        assert "succeeded" in out and "server mean batch" in out
+
+    def test_loadgen_bad_connect_address(self, capsys):
+        assert main(["loadgen", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_serve_parser_wiring(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-batch-size", "8"]
+        )
+        assert args.port == 0
+        assert args.max_batch_size == 8
+        assert args.func.__name__ == "_cmd_serve"
+
     def test_bad_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -13,6 +13,7 @@ Usage::
     python -m repro extensions
     python -m repro accuracy [--epochs N]
     python -m repro engine [--batch N] [--mode float|int8]
+    python -m repro engine --sparse [--fmt 1:4|1:8|1:16] [--batch N]
     python -m repro serve [--host H] [--port P] [--workers N]
     python -m repro loadgen [--requests N] [--qps Q] [--connect H:P]
 
@@ -20,10 +21,13 @@ Each command prints the corresponding table(s) with the paper's values
 alongside where applicable.  ``table2 --verify`` additionally runs a
 random batch through the batched inference engine in float and int8
 modes and reports their agreement; ``engine`` benchmarks batched
-against per-sample execution.
+against per-sample execution, and ``engine --sparse`` compares the
+sparse and dense int8 plans of an N:M-pruned demo model (exiting
+non-zero unless they are bit-identical — the CI sparse-smoke gate).
 
 ``serve`` hosts the demo deployments (``resnet-float`` /
-``resnet-int8``) behind the JSON-lines TCP front-end with dynamic
+``resnet-int8`` / pruned ``resnet-sparse-int8``) behind the JSON-lines
+TCP front-end with dynamic
 micro-batching; ``loadgen`` replays deterministic synthetic traffic at
 a target QPS against either an in-process server (the default — used
 by the CI smoke job) or a running ``repro serve`` via ``--connect``,
@@ -129,6 +133,8 @@ def _cmd_engine(args) -> int:
     if args.batch < 1:
         print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
         return 2
+    if args.sparse:
+        return _engine_sparse(args)
     graph = resnet_style_graph()
     if args.mode == "int8":
         # Attach quantisation metadata so the int8 benchmark exercises
@@ -172,6 +178,74 @@ def _cmd_engine(args) -> int:
     return 0
 
 
+def _engine_sparse(args) -> int:
+    """Sparse-vs-dense plan comparison on the pruned demo model.
+
+    The CI sparse-smoke job runs this path: it exits non-zero when the
+    sparse plan's output is not bit-identical to the dense plan's.
+    """
+    from repro.engine.bench import measure_sparse_throughput
+    from repro.sparsity.nm import SUPPORTED_FORMATS
+    from repro.utils.tables import Table
+
+    fmt = SUPPORTED_FORMATS[args.fmt]
+    result = measure_sparse_throughput(
+        fmt,
+        batch=args.batch,
+        force_method="gather" if args.force_gather else None,
+    )
+    table = Table(
+        f"Sparse vs dense int8 plans on {result.graph_name} "
+        f"({result.fmt_name}, batch {result.batch}"
+        f"{', forced gather' if args.force_gather else ''})",
+        ["plan", "latency ms", "samples/s", "weight bytes"],
+    )
+    table.add_row(
+        plan="dense int8",
+        **{
+            "latency ms": result.dense_s * 1e3,
+            "samples/s": result.dense_throughput,
+            "weight bytes": result.dense_weight_bytes,
+        },
+    )
+    table.add_row(
+        plan="sparse int8",
+        **{
+            "latency ms": result.sparse_s * 1e3,
+            "samples/s": result.sparse_throughput,
+            "weight bytes": result.sparse_weight_bytes,
+        },
+    )
+    print(table.render())
+    choices = Table(
+        "Compile-time kernel choices (sparse plan)",
+        ["layer", "format", "method", "variant", "weight bytes"],
+    )
+    for name, c in result.kernel_choices.items():
+        choices.add_row(
+            layer=name,
+            format=c.fmt or "dense",
+            method=c.method,
+            variant=c.variant or "-",
+            **{"weight bytes": c.weight_bytes},
+        )
+    print(choices.render())
+    print(
+        f"{result.sparse_layers} N:M layers "
+        f"({result.gather_layers} gather-bound), "
+        f"weight memory reduction {result.memory_reduction:.1%}, "
+        f"sparse/dense wall-clock {result.speedup:.2f}x"
+    )
+    if not result.identical:
+        print(
+            "error: sparse plan output is NOT bit-identical to the dense plan",
+            file=sys.stderr,
+        )
+        return 1
+    print("sparse plan output bit-identical to dense plan: OK")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -184,6 +258,7 @@ def _cmd_serve(args) -> int:
             policy=BatchPolicy(args.max_batch_size, args.max_wait_ms),
             workers=args.workers,
             max_queue_depth=args.max_queue_depth,
+            sparse=not args.no_sparse,
         )
         async with server:
             tcp = await serve_tcp(server, args.host, args.port)
@@ -226,6 +301,7 @@ def _cmd_loadgen(args) -> int:
         server = demo_server(
             policy=BatchPolicy(args.max_batch_size, args.max_wait_ms),
             workers=args.workers,
+            sparse=not args.no_sparse,
         )
         async with server:
             report, _ = await run_loadgen(
@@ -373,6 +449,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--batch", type=int, default=32)
     p.add_argument("--mode", choices=["float", "int8"], default="float")
+    p.add_argument(
+        "--sparse",
+        action="store_true",
+        help="compare sparse vs dense int8 plans on the pruned demo "
+        "model; exits non-zero if they are not bit-identical",
+    )
+    p.add_argument(
+        "--fmt",
+        choices=["1:4", "1:8", "1:16"],
+        default="1:8",
+        help="N:M format of the pruned demo model (with --sparse)",
+    )
+    p.add_argument(
+        "--force-gather",
+        action="store_true",
+        help="with --sparse: pin every N:M layer to the gather kernel "
+        "instead of the cost model's per-layer choice, so the "
+        "decimation path is exercised for every format",
+    )
     p.set_defaults(func=_cmd_engine)
 
     p = sub.add_parser(
@@ -385,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch-size", type=int, default=32)
     p.add_argument("--max-wait-ms", type=float, default=5.0)
     p.add_argument("--max-queue-depth", type=int, default=256)
+    p.add_argument(
+        "--no-sparse",
+        action="store_true",
+        help="do not host the pruned resnet-sparse-int8 deployment",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -403,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--max-batch-size", type=int, default=32)
     p.add_argument("--max-wait-ms", type=float, default=5.0)
+    p.add_argument(
+        "--no-sparse",
+        action="store_true",
+        help="in-process server only: skip the resnet-sparse-int8 deployment",
+    )
     p.set_defaults(func=_cmd_loadgen)
 
     return parser

@@ -61,8 +61,15 @@ def annotate_sparsity(graph: Graph) -> Graph:
     Uses the *quantised* weights when present (``attrs["weights_q"]``,
     set by the quantisation pass) since those are what the kernels see;
     otherwise the float weights' zero pattern.
+
+    An explicitly pre-set ``node.attrs["sparse_fmt"]`` is **never**
+    clobbered: callers can force a specific format on a layer (as long
+    as the weights satisfy it — the packer validates), or force a layer
+    dense by pre-setting ``sparse_fmt`` to None.
     """
     for node in graph:
+        if "sparse_fmt" in node.attrs:
+            continue  # explicit caller override — keep it
         mat = None
         if "weights_q" in node.attrs:
             w = node.attrs["weights_q"]

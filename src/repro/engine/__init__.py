@@ -5,17 +5,21 @@ The production-facing execution layer of the reproduction: a
 :class:`ExecutionPlan` (pre-validated topology, pre-reshaped and — in
 int8 mode — pre-widened weights, per-node kernel callables bound at
 compile time) and then serves arbitrarily many ``(B, ...)`` batches.
-:class:`InferenceEngine` caches plans per ``(graph, mode)``;
+:class:`InferenceEngine` caches plans per ``(graph, mode, sparse)``;
 :func:`get_default_engine` is the process-wide instance behind the
 historical :func:`repro.compiler.executor.execute_graph` entry point.
+Sparse plans (``sparse=True``) route N:M-annotated int8 layers through
+the batched sparse kernels, bit-identical to the dense plans.
 
-See ``docs/engine.md`` for the full API walkthrough.
+See ``docs/engine.md`` and ``docs/sparse_engine.md`` for the full API
+walkthrough.
 """
 
 from repro.engine.engine import InferenceEngine, get_default_engine
 from repro.engine.plan import (
     MODES,
     ExecutionPlan,
+    KernelChoice,
     PlanStep,
     compile_plan,
     quantize_activations,
@@ -24,6 +28,7 @@ from repro.engine.plan import (
 __all__ = [
     "MODES",
     "ExecutionPlan",
+    "KernelChoice",
     "PlanStep",
     "compile_plan",
     "quantize_activations",

@@ -10,15 +10,24 @@ loop against one batched call over the same samples.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.compiler.ir import Graph
 from repro.engine.engine import InferenceEngine
+from repro.engine.plan import KernelChoice
+from repro.sparsity.nm import NMFormat
+from repro.sparsity.pruning import prune_conv_weights, prune_fc_weights
 from repro.utils.rng import make_rng
 
-__all__ = ["ThroughputResult", "resnet_style_graph", "measure_throughput"]
+__all__ = [
+    "ThroughputResult",
+    "SparseThroughputResult",
+    "resnet_style_graph",
+    "measure_throughput",
+    "measure_sparse_throughput",
+]
 
 
 @dataclass
@@ -65,16 +74,30 @@ class ThroughputResult:
 
 
 def resnet_style_graph(
-    seed: int = 0, hw: int = 12, c0: int = 8, num_classes: int = 10
+    seed: int = 0,
+    hw: int = 12,
+    c0: int = 8,
+    num_classes: int = 10,
+    fmt: NMFormat | None = None,
 ) -> Graph:
-    """A small ResNet-style benchmark graph (residual CNN + pooling)."""
+    """A small ResNet-style benchmark graph (residual CNN + pooling).
+
+    With ``fmt`` set, every conv (and the head) whose reduce dimension
+    is a multiple of ``fmt.m`` is magnitude-pruned to the N:M pattern —
+    the pruned demo model the sparse-engine benchmark, demo server and
+    CI smoke job run (layers the pattern cannot cover, e.g. the C=3
+    stem, stay dense, so sparse plans exercise mixed graphs).
+    """
     rng = make_rng(seed)
 
     def he(k, fy, fx, c):
         std = np.sqrt(2.0 / (fy * fx * c))
-        return rng.normal(0, std, size=(k, fy, fx, c)).astype(np.float32)
+        w = rng.normal(0, std, size=(k, fy, fx, c)).astype(np.float32)
+        if fmt is not None and (fy * fx * c) % fmt.m == 0:
+            w = prune_conv_weights(w, fmt).astype(np.float32)
+        return w
 
-    g = Graph("resnet-style-bench")
+    g = Graph(f"resnet-style-bench{'-' + fmt.name if fmt else ''}")
     x = g.add_input("input", (hw, hw, 3))
     x = g.add_conv2d("stem", x, he(c0, 3, 3, 3), s=1, p=1)
     x = g.add_elementwise("stem_relu", "relu", x)
@@ -98,6 +121,8 @@ def resnet_style_graph(
     x = g.add_maxpool("pool", x, size=3, stride=2)
     x = g.add_global_avgpool("gap", x)
     head = rng.normal(0, 0.01, size=(num_classes, 2 * c0)).astype(np.float32)
+    if fmt is not None and (2 * c0) % fmt.m == 0:
+        head = prune_fc_weights(head, fmt).astype(np.float32)
     g.add_dense("head", x, head, bias=np.zeros(num_classes, dtype=np.float32))
     g.validate()
     return g
@@ -152,6 +177,138 @@ def measure_throughput(
         uncached_s=uncached_s,
         per_sample_s=per_sample_s,
         batched_s=batched_s,
+    )
+
+
+@dataclass
+class SparseThroughputResult:
+    """Sparse-vs-dense plan comparison on one pruned int8 graph.
+
+    ``identical`` is the acceptance gate: the sparse plan's batched
+    output must be bit-identical to the dense plan's (integer
+    accumulation is exact, so decimation cannot change a single bit).
+    Weight bytes are compile-time accounting from
+    :attr:`~repro.engine.plan.ExecutionPlan.kernel_choices`: for N:M
+    layers the packed storage (values + packed offsets), for dense
+    layers the int8 matrix.
+    """
+
+    graph_name: str
+    fmt_name: str
+    batch: int
+    dense_s: float
+    sparse_s: float
+    identical: bool
+    sparse_weight_bytes: int
+    dense_weight_bytes: int
+    sparse_layers: int
+    gather_layers: int
+    kernel_choices: dict[str, KernelChoice] = field(repr=False, default_factory=dict)
+    #: The measured (pruned, quantised) graph — kept for independent
+    #: re-verification of the packed weight accounting.
+    graph: Graph | None = field(repr=False, default=None)
+
+    @property
+    def dense_throughput(self) -> float:
+        """Samples/second of the dense int8 plan."""
+        return self.batch / self.dense_s if self.dense_s else 0.0
+
+    @property
+    def sparse_throughput(self) -> float:
+        """Samples/second of the sparse int8 plan."""
+        return self.batch / self.sparse_s if self.sparse_s else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Sparse plan speedup over the dense plan (host wall-clock)."""
+        return self.dense_s / self.sparse_s if self.sparse_s else 0.0
+
+    @property
+    def memory_reduction(self) -> float:
+        """Fractional weight-storage reduction of the sparse plan."""
+        if not self.dense_weight_bytes:
+            return 0.0
+        return 1.0 - self.sparse_weight_bytes / self.dense_weight_bytes
+
+
+def measure_sparse_throughput(
+    fmt: NMFormat,
+    batch: int = 32,
+    repeats: int = 3,
+    seed: int = 0,
+    graph: Graph | None = None,
+    engine: InferenceEngine | None = None,
+    force_method: str | None = None,
+) -> SparseThroughputResult:
+    """Compare the sparse and dense int8 plans of a pruned graph.
+
+    Builds (unless given) the pruned demo graph for ``fmt``, quantises
+    it, compiles both int8 plans on one engine, verifies batched
+    bit-identity, and times both plans over the same ``batch`` samples
+    (best of ``repeats``).  ``force_method`` pins every N:M layer to
+    one execution method ("gather" / "dense") instead of the cost
+    model's per-layer choice — the CI gather gate uses it so the
+    decimation path is exercised even where the model prefers dense.
+    """
+    from repro.models.quantize import quantize_graph
+
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if graph is None:
+        graph = resnet_style_graph(seed=seed, fmt=fmt)
+        rng = make_rng(seed)
+        calib = [
+            rng.normal(size=(12, 12, 3)).astype(np.float32) for _ in range(4)
+        ]
+        quantize_graph(graph, calib)
+    restore: list[tuple] = []
+    if force_method is not None:
+        # Pin the method for the duration of the measurement only; a
+        # caller-supplied graph must come back with its annotations
+        # untouched (the engine re-fingerprints them per compile).
+        for node in graph:
+            if node.op in ("conv2d", "dense"):
+                restore.append((node, node.attrs.get("sparse_method")))
+                node.attrs["sparse_method"] = force_method
+    try:
+        engine = engine or InferenceEngine()
+        dense_plan = engine.compile(graph, "int8", sparse=False)
+        sparse_plan = engine.compile(graph, "int8", sparse=True)
+        rng = make_rng(seed + 1)
+        xs = rng.normal(size=(batch, *dense_plan.input_shape)).astype(np.float32)
+
+        dense_out = engine.run_batch(graph, xs, mode="int8")
+        sparse_out = engine.run_batch(graph, xs, mode="int8", sparse=True)
+        identical = bool(np.array_equal(dense_out, sparse_out))
+
+        dense_s = min(
+            _time(lambda: engine.run_batch(graph, xs, mode="int8"))
+            for _ in range(repeats)
+        )
+        sparse_s = min(
+            _time(lambda: engine.run_batch(graph, xs, mode="int8", sparse=True))
+            for _ in range(repeats)
+        )
+    finally:
+        for node, prev in restore:
+            if prev is None:
+                node.attrs.pop("sparse_method", None)
+            else:
+                node.attrs["sparse_method"] = prev
+    choices = sparse_plan.kernel_choices
+    return SparseThroughputResult(
+        graph_name=graph.name,
+        fmt_name=fmt.name,
+        batch=batch,
+        dense_s=dense_s,
+        sparse_s=sparse_s,
+        identical=identical,
+        sparse_weight_bytes=sparse_plan.weight_bytes(),
+        dense_weight_bytes=sparse_plan.dense_weight_bytes(),
+        sparse_layers=sum(1 for c in choices.values() if c.fmt is not None),
+        gather_layers=sum(1 for c in choices.values() if c.method == "gather"),
+        kernel_choices=dict(choices),
+        graph=graph,
     )
 
 

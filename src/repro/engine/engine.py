@@ -50,6 +50,33 @@ def _quant_signature(graph: "Graph") -> tuple:
     )
 
 
+def _sparse_signature(graph: "Graph") -> tuple:
+    """Identity of the graph's sparse-routing annotations.
+
+    A sparse plan additionally bakes in each conv/dense node's
+    ``sparse_fmt`` / ``sparse_method`` overrides at compile time;
+    changing either must refresh the cached sparse plan (the dense
+    plans never read them).
+    """
+
+    def fmt_key(node):
+        if "sparse_fmt" not in node.attrs:
+            return None  # unannotated: format auto-detected at compile
+        fmt = node.attrs["sparse_fmt"]
+        return fmt.name if fmt is not None else "dense"
+
+    return tuple(
+        (node.name, fmt_key(node), node.attrs.get("sparse_method"))
+        for node in graph
+        if node.op in ("conv2d", "dense")
+    )
+
+
+def _plan_key(mode: str, sparse: bool) -> str:
+    """Cache key for a ``(mode, sparse)`` plan, e.g. ``"int8+sparse"``."""
+    return f"{mode}+sparse" if sparse else mode
+
+
 class InferenceEngine:
     """Compile-once, run-batched graph execution with a plan cache."""
 
@@ -68,27 +95,41 @@ class InferenceEngine:
 
     # -- plan management ------------------------------------------------
 
-    def compile(self, graph: Graph, mode: str = "float") -> ExecutionPlan:
-        """Return the cached plan for ``(graph, mode)``, compiling on miss.
+    def compile(
+        self, graph: Graph, mode: str = "float", sparse: bool = False
+    ) -> ExecutionPlan:
+        """Return the cached plan for ``(graph, mode, sparse)``.
 
-        A cached int8 plan is transparently recompiled when the graph's
-        quantisation metadata changed since it was built (the float
-        plan never reads that metadata and is unaffected).
+        ``sparse=True`` compiles a sparsity-aware plan: N:M-annotated
+        (or detected) int8 layers are packed and bound to the batched
+        sparse kernels; it is cached separately from the dense plan of
+        the same mode.  A cached int8 plan is transparently recompiled
+        when the graph's quantisation metadata changed since it was
+        built (the float plan never reads that metadata and is
+        unaffected); a cached sparse plan additionally refreshes when
+        a node's ``sparse_fmt`` / ``sparse_method`` override changed.
         """
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}")
+        # Float plans ignore the sparse knob (the packed format stores
+        # int8 values), so alias them onto the dense float plan rather
+        # than caching a byte-identical duplicate.
+        sparse = sparse and mode == "int8"
+        key = _plan_key(mode, sparse)
         with self._lock:
             per_graph = self._plans.get(graph)
             if per_graph is None:
                 per_graph = {}
                 self._plans[graph] = per_graph
             sig = _quant_signature(graph) if mode == "int8" else ()
-            entry = per_graph.get(mode)
+            if sparse:
+                sig = (sig, _sparse_signature(graph))
+            entry = per_graph.get(key)
             if entry is not None and entry[1] != sig:
                 entry = None  # quantisation metadata changed: stale plan
             if entry is None:
-                entry = (compile_plan(graph, mode), sig)
-                per_graph[mode] = entry
+                entry = (compile_plan(graph, mode, sparse=sparse), sig)
+                per_graph[key] = entry
                 self.compile_count += 1
             return entry[0]
 
@@ -98,7 +139,8 @@ class InferenceEngine:
             self._plans.pop(graph, None)
 
     def cached_plans(self, graph: Graph) -> tuple[str, ...]:
-        """Modes for which ``graph`` currently has a compiled plan."""
+        """Plan keys compiled for ``graph`` — ``"<mode>"`` for dense
+        plans, ``"<mode>+sparse"`` for sparsity-aware ones."""
         with self._lock:
             return tuple(self._plans.get(graph, ()))
 
@@ -110,15 +152,17 @@ class InferenceEngine:
         x: np.ndarray,
         mode: str = "float",
         return_acts: bool = False,
+        sparse: bool = False,
     ):
         """Run a forward pass over a single sample or a batch.
 
         A single sample (shape exactly as the input node declares) comes
         back unbatched; an ``(B, ...)`` input comes back with the
         leading batch axis intact, as do the activations when
-        ``return_acts`` is set.
+        ``return_acts`` is set.  ``sparse=True`` routes N:M layers
+        through the sparse kernels (bit-identical output).
         """
-        plan = self.compile(graph, mode)
+        plan = self.compile(graph, mode, sparse=sparse)
         x = np.asarray(x)
         declared = plan.input_shape
         if x.ndim == len(declared) and tuple(x.shape) == declared:
@@ -146,9 +190,10 @@ class InferenceEngine:
         batch: np.ndarray,
         mode: str = "float",
         return_acts: bool = False,
+        sparse: bool = False,
     ):
         """Run a strict ``(B, *input_shape)`` batch through the plan."""
-        plan = self.compile(graph, mode)
+        plan = self.compile(graph, mode, sparse=sparse)
         batch = np.asarray(batch)
         if tuple(batch.shape[1:]) != plan.input_shape or batch.ndim != len(
             plan.input_shape

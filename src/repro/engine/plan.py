@@ -29,6 +29,15 @@ carrying quantisation metadata, accumulates in int32 (the same maths
 the microcoded kernels perform), and dequantises.  Both paths quantise
 activations to **int8** — the accumulator sees values in [-128, 127]
 regardless of op kind.
+
+Sparse plans (``sparse=True``) additionally route int8 conv/dense nodes
+whose (quantised) weights satisfy an N:M pattern through the batched
+sparse kernels: the weights are packed into an
+:class:`~repro.sparsity.nm.NMSparseMatrix` once at compile time, the
+decimation gather indices are hoisted out of the per-call path, and the
+MCU cost model picks gather vs scatter-to-dense per layer (recorded in
+:attr:`ExecutionPlan.kernel_choices`).  Integer accumulation is exact,
+so sparse plans are **bit-identical** to dense plans on the same graph.
 """
 
 from __future__ import annotations
@@ -38,14 +47,18 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.kernels.conv_sparse import gather_indices, sparse_matmul_acc_batch
 from repro.kernels.im2col import im2col_batch
+from repro.kernels.registry import select_sparse_method
 from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import NMFormat, NMSparseMatrix, SUPPORTED_FORMATS
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.compiler
     from repro.compiler.ir import Graph, Node
 
 __all__ = [
     "MODES",
+    "KernelChoice",
     "PlanStep",
     "ExecutionPlan",
     "compile_plan",
@@ -77,6 +90,35 @@ def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 @dataclass(frozen=True)
+class KernelChoice:
+    """Compile-time kernel decision for one conv/dense node.
+
+    ``method`` names the bound execution path: ``"gather"`` (batched
+    decimation over hoisted gather indices), ``"dense"`` (plain GEMM —
+    either a genuinely dense layer, or a sparse layer whose packed
+    weights were scattered back to dense at compile time because the
+    cost model preferred the dense kernel).  ``weight_bytes`` is the
+    layer's deployable weight storage — for N:M layers, values + packed
+    offsets (:meth:`~repro.sparsity.nm.NMSparseMatrix.total_bytes`),
+    *regardless* of method: scatter-to-dense is a host-side execution
+    strategy, the packed layout is still what a deployment ships.
+    ``dense_bytes`` is what the dense binding in the same mode would
+    store, so ``1 - weight_bytes / dense_bytes`` is the layer's memory
+    reduction.  ``est_cycles`` / ``dense_cycles`` are the MCU cost
+    model's latencies behind the decision (None when unmodelled).
+    """
+
+    kind: str
+    fmt: str | None
+    method: str
+    variant: str | None
+    weight_bytes: int
+    dense_bytes: int
+    est_cycles: float | None = None
+    dense_cycles: float | None = None
+
+
+@dataclass(frozen=True)
 class PlanStep:
     """One pre-bound operation of a compiled plan.
 
@@ -103,14 +145,26 @@ class ExecutionPlan:
     input_name: str
     input_shape: tuple[int, ...]
     output: str
+    #: True when the plan was compiled with sparse kernel routing.
+    sparse: bool = False
     steps: list[PlanStep] = field(default_factory=list)
     #: Resolved geometry per conv node (introspection / cost hooks).
     conv_shapes: dict[str, ConvShape] = field(default_factory=dict)
     #: Resolved geometry per dense node.
     fc_shapes: dict[str, FcShape] = field(default_factory=dict)
+    #: Compile-time kernel decision per conv/dense node.
+    kernel_choices: dict[str, KernelChoice] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.steps)
+
+    def weight_bytes(self) -> int:
+        """Deployable weight storage summed over conv/dense layers."""
+        return sum(c.weight_bytes for c in self.kernel_choices.values())
+
+    def dense_weight_bytes(self) -> int:
+        """What the same layers would store under all-dense bindings."""
+        return sum(c.dense_bytes for c in self.kernel_choices.values())
 
     def execute(
         self, batch: np.ndarray, return_acts: bool = False
@@ -143,6 +197,97 @@ class ExecutionPlan:
 # -- per-op binding ------------------------------------------------------
 
 
+def _resolve_sparse_fmt(node: Node, mode: str, sparse: bool) -> NMFormat | None:
+    """The N:M format a sparse plan should bind for ``node``, if any.
+
+    Sparse routing applies only to int8 plans over quantised weights
+    (the packed format stores int8 values).  A ``sparse_fmt`` attr —
+    set by :func:`repro.compiler.patterns.annotate_sparsity` or by hand
+    (None forces a layer dense) — takes precedence; unannotated nodes
+    are detected here, so pre-annotation is optional.
+    """
+    if not sparse or mode != "int8" or "weights_q" not in node.attrs:
+        return None
+    if "sparse_fmt" in node.attrs:
+        return node.attrs["sparse_fmt"]
+    # Lazy import: repro.compiler pulls in the executor, which imports
+    # this module back.
+    from repro.compiler.patterns import detect_format
+
+    wq = np.asarray(node.attrs["weights_q"])
+    return detect_format(wq.reshape(wq.shape[0], -1))
+
+
+def _sparse_choice(
+    kind: str,
+    shape: ConvShape | FcShape,
+    fmt: NMFormat,
+    packed: NMSparseMatrix,
+    forced: str | None = None,
+) -> KernelChoice:
+    """Cost-model-driven gather-vs-dense decision for one sparse layer.
+
+    ``forced`` (from ``node.attrs["sparse_method"]``) overrides the
+    cost model — used to pin a layer to one execution method for
+    testing/CI gates and benchmarking; both methods are bit-identical.
+    """
+    if forced is not None and forced not in ("gather", "dense"):
+        raise ValueError(
+            f"unknown sparse_method override {forced!r} "
+            "(expected 'gather' or 'dense')"
+        )
+    dense_bytes = packed.dense_bytes()
+    if fmt.name not in SUPPORTED_FORMATS:
+        # The MCU cost model only covers the paper's formats (1:4/1:8/
+        # 1:16); an explicitly forced other format — general N, or an
+        # unmodelled M — still runs, via gather.
+        return KernelChoice(
+            kind,
+            fmt.name,
+            forced or "gather",
+            None,
+            packed.total_bytes(),
+            dense_bytes,
+        )
+    sel = select_sparse_method(kind, shape, fmt)
+    method = forced or sel.method
+    variant = sel.sparse_variant if method == "gather" else sel.dense_variant
+    return KernelChoice(
+        kind,
+        fmt.name,
+        method,
+        variant,
+        packed.total_bytes(),
+        dense_bytes,
+        sel.sparse_cycles,
+        sel.dense_cycles,
+    )
+
+
+def _dense_choice(
+    kind: str, shape: ConvShape | FcShape, node: Node, mode: str
+) -> KernelChoice:
+    """Introspection record for a dense-bound conv/dense node."""
+    from repro.kernels.registry import dense_variant_for
+
+    w = np.asarray(node.attrs["weights"])
+    n_weights = int(w.size)
+    int8_path = mode == "int8" and "weights_q" in node.attrs
+    weight_bytes = n_weights if int8_path else 4 * n_weights
+    variant = dense_variant_for(kind, shape)
+    cycles = variant.cycles(shape).total if variant is not None else None
+    return KernelChoice(
+        kind,
+        None,
+        "dense",
+        variant.name if variant is not None else None,
+        weight_bytes,
+        weight_bytes,
+        cycles,
+        cycles,
+    )
+
+
 def _conv_shape(node: Node, in_shape: tuple[int, ...]) -> ConvShape:
     w = node.attrs["weights"]
     return ConvShape(
@@ -157,11 +302,42 @@ def _conv_shape(node: Node, in_shape: tuple[int, ...]) -> ConvShape:
     )
 
 
-def _bind_conv(node: Node, in_shape: tuple[int, ...], mode: str):
+def _bind_conv(
+    node: Node, in_shape: tuple[int, ...], mode: str, fmt: NMFormat | None
+):
     shape = _conv_shape(node, in_shape)
     bias = node.attrs.get("bias")
     oy, ox, k = shape.oy, shape.ox, shape.k
-    if mode == "int8" and "weights_q" in node.attrs:
+    choice = None
+    if fmt is not None:
+        # Sparse routing (int8 + weights_q guaranteed by the caller):
+        # pack once at compile time, validate the pattern loudly, and
+        # record the cost model's gather-vs-dense decision.
+        wq = np.asarray(node.attrs["weights_q"]).reshape(k, -1)
+        packed = NMSparseMatrix.from_dense(wq, fmt)
+        choice = _sparse_choice(
+            "conv", shape, fmt, packed, node.attrs.get("sparse_method")
+        )
+        if choice.method != "gather":
+            # Scatter-to-dense: to_dense() round-trips bit-exactly to
+            # weights_q, so the layer shares the dense int8 binding
+            # below — only the KernelChoice records the decision.
+            fmt = None
+    if fmt is not None:
+        a_scale = float(node.attrs["act_scale"])
+        deq = a_scale * float(node.attrs["w_scale"])
+        idx = gather_indices(packed)  # hoisted out of the call path
+
+        def run(x: np.ndarray) -> np.ndarray:
+            xq = quantize_activations(x, a_scale)
+            cols = im2col_batch(xq, shape)
+            acc = sparse_matmul_acc_batch(cols, packed, "gather", idx)
+            out = acc.astype(np.float64) * deq
+            if bias is not None:
+                out = out + bias
+            return out.reshape(x.shape[0], oy, ox, k)
+
+    elif mode == "int8" and "weights_q" in node.attrs:
         # Pre-widen the quantised weights to the accumulator dtype and
         # pre-transpose; the per-call work is quantise + gather + GEMM.
         wq_t = np.ascontiguousarray(
@@ -191,10 +367,14 @@ def _bind_conv(node: Node, in_shape: tuple[int, ...], mode: str):
                 out = out + bias
             return out.reshape(x.shape[0], oy, ox, k)
 
-    return shape, run
+    if choice is None:
+        choice = _dense_choice("conv", shape, node, mode)
+    return shape, run, choice
 
 
-def _bind_dense(node: Node, in_shape: tuple[int, ...], mode: str):
+def _bind_dense(
+    node: Node, in_shape: tuple[int, ...], mode: str, fmt: NMFormat | None
+):
     k, c = node.attrs["weights"].shape
     tokens = int(np.prod(in_shape[:-1])) if len(in_shape) > 1 else 1
     fc_shape = FcShape(c=c, k=k, tokens=tokens)
@@ -202,7 +382,34 @@ def _bind_dense(node: Node, in_shape: tuple[int, ...], mode: str):
     # A vector input (C,) is lifted to one "token" so every batch slice
     # runs the same (T, C) @ (C, K) GEMM as a single-sample call.
     vector_in = len(in_shape) == 1
-    if mode == "int8" and "weights_q" in node.attrs:
+    choice = None
+    if fmt is not None:
+        wq = np.asarray(node.attrs["weights_q"])
+        packed = NMSparseMatrix.from_dense(wq, fmt)
+        choice = _sparse_choice(
+            "fc", fc_shape, fmt, packed, node.attrs.get("sparse_method")
+        )
+        if choice.method != "gather":
+            fmt = None  # share the dense int8 binding (bit-identical)
+    if fmt is not None:
+        a_scale = float(node.attrs["act_scale"])
+        deq = a_scale * float(node.attrs["w_scale"])
+        idx = gather_indices(packed)
+
+        def run(x: np.ndarray) -> np.ndarray:
+            xq = quantize_activations(x, a_scale)
+            if vector_in:
+                xq = xq[:, None, :]
+            toks = xq.reshape(xq.shape[0], -1, c)
+            acc = sparse_matmul_acc_batch(toks, packed, "gather", idx)
+            out = acc.astype(np.float64).reshape(*xq.shape[:-1], k) * deq
+            if vector_in:
+                out = out[:, 0]
+            if bias is not None:
+                out = out + bias
+            return out
+
+    elif mode == "int8" and "weights_q" in node.attrs:
         wq_t = np.ascontiguousarray(
             node.attrs["weights_q"].astype(np.int32).T
         )
@@ -233,7 +440,9 @@ def _bind_dense(node: Node, in_shape: tuple[int, ...], mode: str):
                 out = out + bias
             return out
 
-    return fc_shape, run
+    if choice is None:
+        choice = _dense_choice("fc", fc_shape, node, mode)
+    return fc_shape, run, choice
 
 
 def _bind_pool(node: Node, in_shape: tuple[int, ...]):
@@ -303,12 +512,16 @@ def _bind_step(
 ) -> Callable[..., np.ndarray]:
     """Resolve one node into its batched kernel callable."""
     if node.op == "conv2d":
-        shape, run = _bind_conv(node, in_shape, mode)
+        fmt = _resolve_sparse_fmt(node, mode, plan.sparse)
+        shape, run, choice = _bind_conv(node, in_shape, mode, fmt)
         plan.conv_shapes[node.name] = shape
+        plan.kernel_choices[node.name] = choice
         return run
     if node.op == "dense":
-        fc_shape, run = _bind_dense(node, in_shape, mode)
+        fmt = _resolve_sparse_fmt(node, mode, plan.sparse)
+        fc_shape, run, choice = _bind_dense(node, in_shape, mode, fmt)
         plan.fc_shapes[node.name] = fc_shape
+        plan.kernel_choices[node.name] = choice
         return run
     if node.op == "relu":
         return lambda x: np.maximum(x, np.float32(0))
@@ -341,7 +554,9 @@ def _bind_step(
     raise ValueError(f"cannot compile op {node.op!r}")
 
 
-def compile_plan(graph: Graph, mode: str = "float") -> ExecutionPlan:
+def compile_plan(
+    graph: Graph, mode: str = "float", sparse: bool = False
+) -> ExecutionPlan:
     """Compile ``graph`` into an :class:`ExecutionPlan` for ``mode``.
 
     Validates the topology once, resolves every node's geometry from
@@ -349,6 +564,13 @@ def compile_plan(graph: Graph, mode: str = "float") -> ExecutionPlan:
     node.  The returned plan holds snapshots of the (reshaped) weights:
     mutating the graph afterwards does not affect it — recompile (or
     use :meth:`repro.engine.InferenceEngine.invalidate`) instead.
+
+    With ``sparse=True``, int8 conv/dense nodes whose quantised weights
+    satisfy a supported N:M pattern are packed and bound to the batched
+    sparse kernels (see the module docstring); pre-annotated
+    ``sparse_fmt`` attrs are honoured, unannotated nodes are detected
+    here.  Float plans ignore the knob (the packed format stores int8
+    values), falling back to the dense float kernels.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}")
@@ -362,6 +584,7 @@ def compile_plan(graph: Graph, mode: str = "float") -> ExecutionPlan:
         input_name=input_node.name,
         input_shape=tuple(input_node.attrs["shape"]),
         output=graph.output,
+        sparse=sparse,
     )
     # Liveness: the step that consumes an activation last releases it.
     last_use: dict[str, int] = {}

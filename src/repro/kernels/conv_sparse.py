@@ -31,17 +31,91 @@ from repro.kernels.requant import QuantParams, requantize
 from repro.kernels.shapes import ConvShape
 from repro.sparsity.nm import NMSparseMatrix
 
-__all__ = ["conv2d_sparse", "conv2d_acc_sparse", "sparse_matmul_acc"]
+__all__ = [
+    "conv2d_sparse",
+    "conv2d_acc_sparse",
+    "gather_indices",
+    "sparse_matmul_acc",
+    "sparse_matmul_acc_batch",
+]
 
 #: Output channels processed per gather chunk (bounds peak memory of the
-#: (P, K_chunk, NNZ) gather tensor).
+#: (B, P, K_chunk, NNZ) gather tensor).
 _K_CHUNK = 32
+
+
+def gather_indices(sparse_w: NMSparseMatrix) -> np.ndarray:
+    """Im2col-buffer position of every stored value, shape ``(K, NNZ)``.
+
+    Entry ``[k, j]`` is ``block(j) * M + offset(k, j)`` — the address
+    the decimation loop reads for the j-th stored value of output
+    channel ``k`` (consecutive stored values advance one block every N
+    entries; N=1 for all paper formats).  Computing this once per
+    weight matrix hoists the index arithmetic out of the per-call path;
+    the execution-plan compiler does exactly that at plan-bind time.
+    """
+    fmt = sparse_w.fmt
+    nnz = sparse_w.values.shape[1]
+    block_starts = (np.arange(nnz) // fmt.n) * fmt.m
+    return block_starts[None, :] + sparse_w.offsets
+
+
+def sparse_matmul_acc_batch(
+    cols: np.ndarray,
+    sparse_w: NMSparseMatrix,
+    method: str = "gather",
+    gather_idx: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched int32 accumulators of ``cols @ sparse_w.T``: ``(B, P, K)``.
+
+    Parameters
+    ----------
+    cols:
+        int8 tensor ``(B, P, R)`` — batched im2col rows or FC tokens.
+    sparse_w:
+        N:M weights with ``dense_cols == R``.
+    method:
+        "gather" (mirrors the kernel's indexing) or "dense"
+        (scatter + BLAS; bit-identical — integer accumulation is exact,
+        so reduction order cannot change the result).
+    gather_idx:
+        Optional precomputed :func:`gather_indices` array; passing it
+        skips the per-call index computation (the plan compiler caches
+        it per layer).
+    """
+    cols = np.asarray(cols)
+    if cols.ndim != 3 or cols.shape[2] != sparse_w.dense_cols:
+        raise ValueError(
+            f"cols {cols.shape} incompatible with dense_cols="
+            f"{sparse_w.dense_cols}"
+        )
+    if method == "dense":
+        wmat = sparse_w.to_dense().astype(np.int32)
+        return cols.astype(np.int32) @ wmat.T
+
+    if method != "gather":
+        raise ValueError(f"unknown method {method!r}")
+    if gather_idx is None:
+        gather_idx = gather_indices(sparse_w)
+    b, p, _ = cols.shape
+    k_total = sparse_w.values.shape[0]
+    acc = np.empty((b, p, k_total), dtype=np.int32)
+    # Gather from the int8 buffer and widen per chunk: only the nnz/R
+    # positions the decimation actually reads are touched, and the
+    # int32 footprint stays bounded by the (B, P, kc, nnz) chunk.
+    for k0 in range(0, k_total, _K_CHUNK):
+        k1 = min(k0 + _K_CHUNK, k_total)
+        patches = cols[:, :, gather_idx[k0:k1]].astype(np.int32)  # (B, P, kc, nnz)
+        vals = sparse_w.values[k0:k1].astype(np.int32)  # (kc, nnz)
+        acc[:, :, k0:k1] = np.einsum("bpkn,kn->bpk", patches, vals)
+    return acc
 
 
 def sparse_matmul_acc(
     cols: np.ndarray,
     sparse_w: NMSparseMatrix,
     method: str = "gather",
+    gather_idx: np.ndarray | None = None,
 ) -> np.ndarray:
     """int32 accumulators of ``cols @ sparse_w.T`` via decimation.
 
@@ -54,6 +128,8 @@ def sparse_matmul_acc(
     method:
         "gather" (mirrors the kernel's indexing) or "dense"
         (scatter + BLAS; bit-identical).
+    gather_idx:
+        Optional precomputed :func:`gather_indices` array.
     """
     cols = np.asarray(cols)
     if cols.ndim != 2 or cols.shape[1] != sparse_w.dense_cols:
@@ -61,28 +137,7 @@ def sparse_matmul_acc(
             f"cols {cols.shape} incompatible with dense_cols="
             f"{sparse_w.dense_cols}"
         )
-    if method == "dense":
-        wmat = sparse_w.to_dense().astype(np.int32)
-        return cols.astype(np.int32) @ wmat.T
-
-    if method != "gather":
-        raise ValueError(f"unknown method {method!r}")
-    fmt = sparse_w.fmt
-    k_total, nnz = sparse_w.values.shape
-    p = cols.shape[0]
-    # Position of each stored value inside the im2col buffer:
-    # block_start + offset, where consecutive stored values advance one
-    # block every N entries (N=1 for all paper formats).
-    block_starts = (np.arange(nnz) // fmt.n) * fmt.m
-    acc = np.empty((p, k_total), dtype=np.int32)
-    cols32 = cols.astype(np.int32)
-    for k0 in range(0, k_total, _K_CHUNK):
-        k1 = min(k0 + _K_CHUNK, k_total)
-        gather_idx = block_starts[None, :] + sparse_w.offsets[k0:k1]  # (kc, nnz)
-        patches = cols32[:, gather_idx]  # (P, kc, nnz)
-        vals = sparse_w.values[k0:k1].astype(np.int32)  # (kc, nnz)
-        acc[:, k0:k1] = np.einsum("pkn,kn->pk", patches, vals)
-    return acc
+    return sparse_matmul_acc_batch(cols[None], sparse_w, method, gather_idx)[0]
 
 
 def conv2d_acc_sparse(

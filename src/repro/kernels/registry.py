@@ -19,7 +19,14 @@ from repro.kernels.cost_model import (
 from repro.kernels.shapes import ConvShape, FcShape
 from repro.sparsity.nm import NMFormat, SUPPORTED_FORMATS
 
-__all__ = ["KernelVariant", "KERNEL_VARIANTS", "variant_for"]
+__all__ = [
+    "KernelVariant",
+    "KERNEL_VARIANTS",
+    "variant_for",
+    "dense_variant_for",
+    "SparseMethodChoice",
+    "select_sparse_method",
+]
 
 
 @dataclass(frozen=True)
@@ -98,3 +105,67 @@ def variant_for(
     except KeyError:
         known = ", ".join(sorted(KERNEL_VARIANTS))
         raise KeyError(f"unknown kernel variant {name!r}; known: {known}") from None
+
+
+def dense_variant_for(kind: str, shape: ConvShape | FcShape) -> KernelVariant | None:
+    """The dense kernel the cost model would deploy for ``shape``.
+
+    Conv prefers the 4x2 schedule when its K%4 constraint holds and
+    falls back to 1x2 otherwise; the dense FC kernel needs an even K
+    (two channels per visit) and returns None when it cannot apply.
+    """
+    if kind == "conv":
+        engine = "dense-4x2" if shape.k % 4 == 0 else "dense-1x2"
+        return variant_for("conv", engine)
+    if shape.k % 2:
+        return None
+    return variant_for("fc", "dense")
+
+
+@dataclass(frozen=True)
+class SparseMethodChoice:
+    """Compile-time gather-vs-dense decision for one N:M sparse layer.
+
+    ``method`` is what the execution plan binds: ``"gather"`` runs the
+    decimation kernel (sparse weight stream, indexed activation loads),
+    ``"dense"`` scatters the packed matrix back to dense once at
+    compile time and runs the BLAS path (bit-identical output).  The
+    decision compares the MCU latency model of the SW sparse kernel
+    against the dense baseline kernel for the same geometry — the same
+    trade-off MATCH's lowering makes per layer.
+    """
+
+    method: str
+    sparse_variant: str
+    dense_variant: str | None
+    sparse_cycles: float
+    dense_cycles: float | None
+
+
+def select_sparse_method(
+    kind: str,
+    shape: ConvShape | FcShape,
+    fmt: NMFormat,
+    params: CostParams = DEFAULT_PARAMS,
+) -> SparseMethodChoice:
+    """Pick gather vs scatter-to-dense for a sparse layer at compile time.
+
+    Uses :mod:`repro.kernels.cost_model` through the registry: the
+    layer is routed to the decimation ("gather") path when the modelled
+    sparse-SW kernel is at least as fast as the modelled dense kernel
+    for the same shape, and to the compile-time dense scatter
+    otherwise.  When no dense kernel can serve the geometry (odd-K FC),
+    gather wins by default.
+    """
+    sparse_v = variant_for(kind, "sparse-sw", fmt)
+    sparse_cycles = sparse_v.cycles(shape, params).total
+    dense_v = dense_variant_for(kind, shape)
+    if dense_v is None:
+        return SparseMethodChoice(
+            "gather", sparse_v.name, None, sparse_cycles, None
+        )
+    dense_cycles = dense_v.cycles(shape, params).total
+    method = "gather" if sparse_cycles <= dense_cycles else "dense"
+    return SparseMethodChoice(
+        method, sparse_v.name, dense_v.name, sparse_cycles, dense_cycles
+    )

@@ -1,10 +1,11 @@
 """The demo deployment set used by the CLI, CI smoke job, and examples.
 
-Hosts the engine benchmark's ResNet-style graph twice — ``resnet-float``
-and ``resnet-int8`` — on one server, exercising the registry's
-side-by-side (graph, mode) deployments.  Everything is seeded through
-:func:`repro.utils.rng.make_rng`, so the demo weights, calibration
-data, and therefore every served logit are reproducible.
+Hosts the engine benchmark's ResNet-style graph as ``resnet-float`` and
+``resnet-int8``, plus an N:M-pruned sibling served through the sparse
+execution plan as ``resnet-sparse-int8`` — exercising the registry's
+side-by-side (graph, mode, sparse) deployments.  Everything is seeded
+through :func:`repro.utils.rng.make_rng`, so the demo weights,
+calibration data, and therefore every served logit are reproducible.
 """
 
 from __future__ import annotations
@@ -12,12 +13,16 @@ from __future__ import annotations
 from repro.engine.bench import resnet_style_graph
 from repro.serve.batcher import BatchPolicy
 from repro.serve.server import ModelServer
+from repro.sparsity.nm import FORMAT_1_8
 from repro.utils.rng import make_rng
 
-__all__ = ["DEMO_MODELS", "demo_server"]
+__all__ = ["DEMO_MODELS", "DEMO_SPARSE_FORMAT", "demo_server"]
 
 #: Deployment names the demo server hosts.
-DEMO_MODELS = ("resnet-float", "resnet-int8")
+DEMO_MODELS = ("resnet-float", "resnet-int8", "resnet-sparse-int8")
+
+#: N:M format of the pruned demo deployment.
+DEMO_SPARSE_FORMAT = FORMAT_1_8
 
 
 def demo_server(
@@ -25,8 +30,13 @@ def demo_server(
     workers: int = 2,
     max_queue_depth: int = 256,
     seed: int = 0,
+    sparse: bool = True,
 ) -> ModelServer:
-    """Build (but don't start) a server hosting the demo deployments."""
+    """Build (but don't start) a server hosting the demo deployments.
+
+    ``sparse=False`` drops the pruned ``resnet-sparse-int8``
+    deployment (the two dense-plan deployments are always hosted).
+    """
     from repro.models.quantize import quantize_graph
 
     graph = resnet_style_graph(seed=seed)
@@ -40,4 +50,8 @@ def demo_server(
     )
     server.register("resnet-float", graph, "float")
     server.register("resnet-int8", graph, "int8")
+    if sparse:
+        pruned = resnet_style_graph(seed=seed, fmt=DEMO_SPARSE_FORMAT)
+        quantize_graph(pruned, calib)
+        server.register("resnet-sparse-int8", pruned, "int8", sparse=True)
     return server

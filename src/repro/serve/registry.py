@@ -29,13 +29,19 @@ __all__ = ["Deployment", "ModelRegistry"]
 
 @dataclass
 class Deployment:
-    """One named (graph, mode) pair hosted by the server."""
+    """One named (graph, mode, sparse) triple hosted by the server.
+
+    ``sparse`` deployments execute through the sparsity-aware plan —
+    N:M-annotated int8 layers run the batched sparse kernels,
+    bit-identical to the dense plan of the same graph.
+    """
 
     name: str
     graph: "Graph"
     mode: str
     engine: InferenceEngine
     plan: ExecutionPlan = field(repr=False)
+    sparse: bool = False
 
     @property
     def input_shape(self) -> tuple[int, ...]:
@@ -62,7 +68,9 @@ class Deployment:
 
     def run_batch(self, batch: np.ndarray) -> np.ndarray:
         """Execute a formed micro-batch through the engine's plan cache."""
-        return self.engine.run_batch(self.graph, batch, mode=self.mode)
+        return self.engine.run_batch(
+            self.graph, batch, mode=self.mode, sparse=self.sparse
+        )
 
 
 class ModelRegistry:
@@ -73,22 +81,29 @@ class ModelRegistry:
         self._deployments: dict[str, Deployment] = {}
 
     def register(
-        self, name: str, graph: "Graph", mode: str = "float"
+        self, name: str, graph: "Graph", mode: str = "float", sparse: bool = False
     ) -> Deployment:
         """Host ``graph`` in ``mode`` under ``name``, warming its plan.
 
         Compilation happens here, at registration time, so serving
-        traffic never sees a cold plan.  Re-registering an existing
-        name replaces the deployment (the engine-level plan cache keeps
-        any still-valid plan for the same graph).
+        traffic never sees a cold plan — for ``sparse=True`` that
+        includes the N:M weight packing and per-layer kernel selection.
+        Re-registering an existing name replaces the deployment (the
+        engine-level plan cache keeps any still-valid plan for the same
+        graph).
         """
         if not name:
             raise ValueError("deployment name must be non-empty")
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r} (expected one of {MODES})")
-        plan = self.engine.compile(graph, mode)  # warm-up
+        plan = self.engine.compile(graph, mode, sparse=sparse)  # warm-up
         dep = Deployment(
-            name=name, graph=graph, mode=mode, engine=self.engine, plan=plan
+            name=name,
+            graph=graph,
+            mode=mode,
+            engine=self.engine,
+            plan=plan,
+            sparse=sparse,
         )
         self._deployments[name] = dep
         return dep

@@ -117,9 +117,11 @@ class ModelServer:
 
     # -- convenience registration --------------------------------------
 
-    def register(self, name: str, graph: "Graph", mode: str = "float"):
+    def register(
+        self, name: str, graph: "Graph", mode: str = "float", sparse: bool = False
+    ):
         """Register (and plan-warm) a deployment on the server's registry."""
-        return self.registry.register(name, graph, mode)
+        return self.registry.register(name, graph, mode, sparse=sparse)
 
     # -- request path (event loop only) ---------------------------------
 

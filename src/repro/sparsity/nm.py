@@ -193,9 +193,11 @@ class NMSparseMatrix:
             )
         # Select the N stored positions per block: non-zeros first (by
         # position), then pad with leading zero positions so every block
-        # contributes exactly N entries.
+        # contributes exactly N entries.  ``order[:, :, :n]`` is a view
+        # into ``order`` — sorting it in place would also scramble the
+        # slice of ``order`` it aliases, so copy before sorting.
         order = np.argsort(blocks == 0, axis=2, kind="stable")
-        keep = order[:, :, : fmt.n]
+        keep = order[:, :, : fmt.n].copy()
         keep.sort(axis=2)
         values = np.take_along_axis(blocks, keep, axis=2)
         values = values.reshape(rows, -1)

@@ -71,6 +71,33 @@ class TestAnnotate:
         annotate_sparsity(g)
         assert g.node("fc").attrs["sparse_fmt"] == FORMAT_1_4
 
+    def test_explicit_format_not_clobbered(self):
+        """A caller-forced format survives annotation even when
+        detection would pick another (or none)."""
+        rng = np.random.default_rng(6)
+        g = Graph()
+        x = g.add_input("in", (64,))
+        # 1:16-sparse weights: detection would say FORMAT_1_16, but the
+        # caller forces the coarser 1:4 packing.
+        w = pruned(rng, 4, 64, FORMAT_1_16).astype(np.float32)
+        g.add_dense("fc", x, w)
+        g.node("fc").attrs["sparse_fmt"] = FORMAT_1_4
+        annotate_sparsity(g)
+        assert g.node("fc").attrs["sparse_fmt"] == FORMAT_1_4
+
+    def test_explicit_force_dense_not_clobbered(self):
+        """Pre-setting sparse_fmt=None forces a sparse-capable layer
+        dense across annotation."""
+        rng = np.random.default_rng(7)
+        g = Graph()
+        x = g.add_input("in", (64,))
+        w = pruned(rng, 4, 64, FORMAT_1_8).astype(np.float32)
+        g.add_dense("fc", x, w)
+        g.node("fc").attrs["sparse_fmt"] = None
+        annotate_sparsity(g)
+        assert g.node("fc").attrs["sparse_fmt"] is None
+        assert sparsity_report(g) == [("fc", "dense", "dense")]
+
     def test_report_rows(self):
         rng = np.random.default_rng(5)
         g = Graph()

@@ -1,0 +1,140 @@
+"""Engine-vs-kernel-library int8 epilogue cross-validation.
+
+The engine and the kernel library share the *accumulator* maths — int8
+activations x int8 weights summed in int32 — but diverge in the
+epilogue: the engine dequantises with a float multiply
+(``acc * (a_scale * w_scale)``) and adds a float bias, while the kernel
+library requantises with an integer bias-add and a round-half-up
+fixed-point shift (:mod:`repro.kernels.requant`), producing int8.
+
+This module pins the shared part bit-exactly — the engine's
+pre-epilogue int32 accumulators must equal
+:func:`repro.kernels.conv_dense.conv2d_acc_dense` /
+:func:`repro.kernels.conv_sparse.conv2d_acc_sparse` /
+:func:`repro.kernels.fc_sparse.fc_acc_sparse` — and bounds the
+divergent part: with a 16-bit fixed-point multiplier the two epilogues
+agree within 1 LSB of the output scale (see docs/engine.md).
+
+Accumulator recovery: plan steps run *before* the executor's float32
+cast, so ``step.run`` returns float64 ``acc * deq + bias``; with
+``|acc| < 2**31`` and float64's 52-bit mantissa, dividing the bias out
+and rounding recovers the int32 accumulator exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import Graph
+from repro.engine import compile_plan, quantize_activations
+from repro.kernels.conv_dense import conv2d_acc_dense
+from repro.kernels.conv_sparse import conv2d_acc_sparse
+from repro.kernels.fc_sparse import fc_acc_sparse
+from repro.kernels.requant import QuantParams, requantize
+from repro.models.quantize import quantize_graph
+from repro.sparsity.nm import FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import prune_conv_weights, prune_fc_weights
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(0)
+    g = Graph("epilogue")
+    x = g.add_input("in", (8, 8, 16))
+    wc = prune_conv_weights(
+        (rng.normal(size=(8, 3, 3, 16)) * 0.4).astype(np.float32), FORMAT_1_8
+    )
+    x = g.add_conv2d(
+        "conv", x, wc.astype(np.float32), bias=rng.normal(size=8).astype(np.float32)
+    )
+    x = g.add_global_avgpool("pool", x)
+    wd = prune_fc_weights(
+        (rng.normal(size=(6, 8)) * 0.4).astype(np.float32), FORMAT_1_8
+    )
+    g.add_dense("fc", x, wd.astype(np.float32))
+    calib = [(rng.normal(size=(8, 8, 16)) * 0.5).astype(np.float32) for _ in range(3)]
+    quantize_graph(g, calib)
+    return g
+
+
+def recover_acc(step_out: np.ndarray, deq: float, bias) -> np.ndarray:
+    """Invert the engine's float epilogue back to int32 accumulators."""
+    out = np.asarray(step_out, dtype=np.float64)
+    if bias is not None:
+        out = out - bias
+    return np.rint(out / deq).astype(np.int32)
+
+
+class TestAccumulatorIdentity:
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_conv_acc_matches_kernel_library(self, graph, sparse):
+        node = graph.node("conv")
+        a_scale = float(node.attrs["act_scale"])
+        deq = a_scale * float(node.attrs["w_scale"])
+        plan = compile_plan(graph, mode="int8", sparse=sparse)
+        step = next(s for s in plan.steps if s.name == "conv")
+        shape = plan.conv_shapes["conv"]
+
+        rng = np.random.default_rng(1)
+        x = (rng.normal(size=(8, 8, 16)) * 0.5).astype(np.float32)
+        engine_acc = recover_acc(step.run(x[None])[0], deq, node.attrs["bias"])
+
+        xq = quantize_activations(x, a_scale)
+        wq = node.attrs["weights_q"]
+        dense_acc = conv2d_acc_dense(xq, wq, shape)
+        assert np.array_equal(engine_acc, dense_acc)
+
+        packed = NMSparseMatrix.from_dense(wq.reshape(shape.k, -1), FORMAT_1_8)
+        for method in ("gather", "dense"):
+            sparse_acc = conv2d_acc_sparse(xq, packed, shape, method)
+            assert np.array_equal(engine_acc, sparse_acc), method
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_fc_acc_matches_kernel_library(self, graph, sparse):
+        node = graph.node("fc")
+        a_scale = float(node.attrs["act_scale"])
+        deq = a_scale * float(node.attrs["w_scale"])
+        plan = compile_plan(graph, mode="int8", sparse=sparse)
+        step = next(s for s in plan.steps if s.name == "fc")
+        fc_shape = plan.fc_shapes["fc"]
+
+        rng = np.random.default_rng(2)
+        x = (rng.normal(size=8) * 0.2).astype(np.float32)
+        engine_acc = recover_acc(step.run(x[None])[0], deq, node.attrs.get("bias"))
+
+        xq = quantize_activations(x, a_scale)
+        packed = NMSparseMatrix.from_dense(node.attrs["weights_q"], FORMAT_1_8)
+        for method in ("gather", "dense"):
+            kernel_acc = fc_acc_sparse(xq, packed, fc_shape, method)[0]
+            assert np.array_equal(engine_acc, kernel_acc), method
+
+
+class TestEpilogueDivergence:
+    def test_fixed_point_requant_within_one_lsb_of_float(self, graph):
+        """The documented magnitude of the epilogue difference.
+
+        Quantising the engine's float conv output to an output scale
+        ``s_out`` and running the kernel epilogue (integer bias +
+        16-bit fixed-point multiplier, round-half-up) on the same
+        accumulators must agree within 1 LSB of ``s_out``.
+        """
+        node = graph.node("conv")
+        a_scale = float(node.attrs["act_scale"])
+        deq = a_scale * float(node.attrs["w_scale"])
+        bias = node.attrs["bias"]
+        plan = compile_plan(graph, mode="int8")
+        step = next(s for s in plan.steps if s.name == "conv")
+        shape = plan.conv_shapes["conv"]
+
+        rng = np.random.default_rng(3)
+        x = (rng.normal(size=(8, 8, 16)) * 0.5).astype(np.float32)
+        float_out = np.asarray(step.run(x[None])[0], dtype=np.float64)
+        acc = conv2d_acc_dense(quantize_activations(x, a_scale), node.attrs["weights_q"], shape)
+
+        s_out = float(np.abs(float_out).max()) / 127.0
+        engine_q = np.clip(np.rint(float_out / s_out), -128, 127)
+        bias_int = np.rint(np.asarray(bias, np.float64) / deq).astype(np.int64)
+        kernel_q = requantize(
+            acc, QuantParams.from_scale(deq / s_out), bias_int
+        ).astype(np.float64)
+        max_lsb = float(np.abs(engine_q - kernel_q).max())
+        assert max_lsb <= 1.0, f"epilogues diverge by {max_lsb} LSB"

@@ -1,0 +1,347 @@
+"""Sparsity-aware execution plans (repro.engine.plan, sparse=True).
+
+The acceptance bar: int8 sparse plans are **bit-identical** to dense
+plans on the same graph — layer by layer and end to end, on pruned
+ResNet and ViT models, and through the serving layer.  The decimation
+maths is exact (int32 accumulation of the same products), so any
+deviation is a routing or packing bug.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import Graph
+from repro.engine import InferenceEngine, compile_plan
+from repro.engine.bench import resnet_style_graph
+from repro.models.quantize import quantize_graph
+from repro.models.resnet import resnet18_cifar
+from repro.models.vit import vit_small
+from repro.serve.server import ModelServer
+from repro.sparsity.nm import FORMAT_1_4, FORMAT_1_8, FORMAT_1_16
+from repro.sparsity.pruning import prune_conv_weights, prune_fc_weights
+
+
+def pruned_cnn(fmt=FORMAT_1_8, seed=0):
+    """A small conv+fc graph with every pattern-eligible layer pruned."""
+    rng = np.random.default_rng(seed)
+    g = Graph(f"pruned-{fmt.name}")
+    x = g.add_input("in", (8, 8, 16))
+    wc = prune_conv_weights(
+        (rng.normal(size=(8, 3, 3, 16)) * 0.4).astype(np.float32), fmt
+    )
+    x = g.add_conv2d("conv", x, wc.astype(np.float32), bias=np.zeros(8, np.float32))
+    x = g.add_elementwise("relu", "relu", x)
+    x = g.add_global_avgpool("pool", x)
+    wd = prune_fc_weights(
+        (rng.normal(size=(6, 8)) * 0.4).astype(np.float32), FORMAT_1_4
+    )
+    g.add_dense("fc", x, wd.astype(np.float32))
+    return g
+
+
+def quantized(graph, shape, seed=0, n=3):
+    rng = np.random.default_rng(seed)
+    calib = [(rng.normal(size=shape) * 0.5).astype(np.float32) for _ in range(n)]
+    quantize_graph(graph, calib)
+    return graph
+
+
+class TestSparseRouting:
+    @pytest.mark.parametrize("fmt", [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16])
+    def test_formats_detected_and_bound(self, fmt):
+        g = quantized(pruned_cnn(fmt), (8, 8, 16))
+        plan = compile_plan(g, mode="int8", sparse=True)
+        assert plan.sparse
+        assert plan.kernel_choices["conv"].fmt == fmt.name
+        assert plan.kernel_choices["fc"].fmt == FORMAT_1_4.name
+        assert set(plan.kernel_choices) == {"conv", "fc"}
+
+    def test_dense_plan_records_choices_without_formats(self):
+        g = quantized(pruned_cnn(), (8, 8, 16))
+        plan = compile_plan(g, mode="int8", sparse=False)
+        assert not plan.sparse
+        assert all(c.fmt is None for c in plan.kernel_choices.values())
+        assert all(c.method == "dense" for c in plan.kernel_choices.values())
+
+    def test_float_mode_ignores_sparse_knob(self):
+        """The packed format stores int8 values; float plans fall back
+        to the dense float kernels, bit-identically."""
+        g = quantized(pruned_cnn(), (8, 8, 16))
+        xs = np.random.default_rng(1).normal(size=(3, 8, 8, 16)).astype(np.float32)
+        dense = compile_plan(g, mode="float").execute(xs)
+        sparse = compile_plan(g, mode="float", sparse=True).execute(xs)
+        assert np.array_equal(dense, sparse)
+        assert all(
+            c.fmt is None
+            for c in compile_plan(g, mode="float", sparse=True).kernel_choices.values()
+        )
+
+    def test_weight_bytes_match_packed_layout(self):
+        """Per-layer weight bytes equal NMSparseMatrix.total_bytes of
+        the independently re-packed quantised weights."""
+        from repro.sparsity.nm import NMSparseMatrix, SUPPORTED_FORMATS
+
+        g = quantized(pruned_cnn(FORMAT_1_8), (8, 8, 16))
+        plan = compile_plan(g, mode="int8", sparse=True)
+        for name, choice in plan.kernel_choices.items():
+            wq = np.asarray(g.node(name).attrs["weights_q"])
+            packed = NMSparseMatrix.from_dense(
+                wq.reshape(wq.shape[0], -1), SUPPORTED_FORMATS[choice.fmt]
+            )
+            assert choice.weight_bytes == packed.total_bytes()
+            assert choice.dense_bytes == packed.dense_bytes()
+        assert plan.weight_bytes() == sum(
+            c.weight_bytes for c in plan.kernel_choices.values()
+        )
+        assert plan.weight_bytes() < plan.dense_weight_bytes()
+
+    def test_unquantized_graph_compiles_dense(self):
+        """sparse=True on a graph without int8 metadata must not bind
+        sparse kernels (there is nothing int8 to pack)."""
+        g = pruned_cnn()
+        plan = compile_plan(g, mode="int8", sparse=True)
+        assert all(c.fmt is None for c in plan.kernel_choices.values())
+
+
+class TestAnnotationOverrides:
+    def test_force_dense_respected(self):
+        g = quantized(pruned_cnn(), (8, 8, 16))
+        g.node("conv").attrs["sparse_fmt"] = None  # force-dense
+        plan = compile_plan(g, mode="int8", sparse=True)
+        assert plan.kernel_choices["conv"].fmt is None
+        assert plan.kernel_choices["fc"].fmt == FORMAT_1_4.name
+
+    def test_forced_coarser_format_respected(self):
+        """1:8-sparse weights also satisfy 1:4; forcing 1:4 must win
+        over the auto-detected (most compressive) 1:8."""
+        g = quantized(pruned_cnn(FORMAT_1_8), (8, 8, 16))
+        g.node("conv").attrs["sparse_fmt"] = FORMAT_1_4
+        plan = compile_plan(g, mode="int8", sparse=True)
+        assert plan.kernel_choices["conv"].fmt == FORMAT_1_4.name
+        # Output stays bit-identical under either packing.
+        xs = np.random.default_rng(2).normal(size=(2, 8, 8, 16)).astype(np.float32)
+        dense_out = compile_plan(g, mode="int8").execute(xs)
+        assert np.array_equal(plan.execute(xs), dense_out)
+
+    def test_sparse_method_override_pins_execution_path(self):
+        """node.attrs['sparse_method'] overrides the cost model in
+        both directions, bit-identically."""
+        xs = np.random.default_rng(9).normal(size=(2, 8, 8, 16)).astype(np.float32)
+        g = quantized(pruned_cnn(FORMAT_1_8), (8, 8, 16))
+        dense_out = compile_plan(g, mode="int8").execute(xs)
+        for forced in ("gather", "dense"):
+            for node in g:
+                if node.op in ("conv2d", "dense"):
+                    node.attrs["sparse_method"] = forced
+            plan = compile_plan(g, mode="int8", sparse=True)
+            assert all(
+                c.method == forced for c in plan.kernel_choices.values()
+            )
+            assert np.array_equal(plan.execute(xs), dense_out), forced
+
+    def test_sparse_method_override_rejects_unknown_value(self):
+        g = quantized(pruned_cnn(FORMAT_1_8), (8, 8, 16))
+        g.node("conv").attrs["sparse_method"] = "turbo"
+        with pytest.raises(ValueError, match="sparse_method"):
+            compile_plan(g, mode="int8", sparse=True)
+
+    def test_forced_unmodelled_format_runs_via_gather(self):
+        """A forced format outside the paper's 1:4/1:8/1:16 set (here
+        1:32) has no cost-model entry; it must still compile — routed
+        through gather — and stay bit-identical to the dense plan."""
+        from repro.sparsity.nm import NMFormat
+        from repro.sparsity.pruning import nm_prune
+
+        rng = np.random.default_rng(8)
+        odd_fmt = NMFormat(1, 32)
+        g = Graph("forced-1:32")
+        x = g.add_input("in", (64,))
+        w = nm_prune((rng.normal(size=(6, 64)) * 0.4).astype(np.float32), odd_fmt)
+        g.add_dense("fc", x, w.astype(np.float32))
+        quantized(g, (64,))
+        g.node("fc").attrs["sparse_fmt"] = odd_fmt
+        plan = compile_plan(g, mode="int8", sparse=True)
+        choice = plan.kernel_choices["fc"]
+        assert choice.fmt == "1:32"
+        assert choice.method == "gather" and choice.variant is None
+        xs = rng.normal(size=(3, 64)).astype(np.float32)
+        assert np.array_equal(
+            plan.execute(xs), compile_plan(g, mode="int8").execute(xs)
+        )
+
+    def test_forced_unsatisfied_format_fails_loudly(self):
+        g = quantized(pruned_cnn(FORMAT_1_4), (8, 8, 16))  # 1:4-sparse only
+        g.node("conv").attrs["sparse_fmt"] = FORMAT_1_16
+        with pytest.raises(ValueError, match="violate"):
+            compile_plan(g, mode="int8", sparse=True)
+
+
+class TestPlanCache:
+    def test_sparse_and_dense_plans_cached_separately(self):
+        engine = InferenceEngine()
+        g = quantized(pruned_cnn(), (8, 8, 16))
+        x = np.zeros((8, 8, 16), np.float32)
+        engine.run(g, x, mode="int8")
+        engine.run(g, x, mode="int8", sparse=True)
+        engine.run(g, x, mode="int8", sparse=True)
+        assert engine.compile_count == 2
+        assert set(engine.cached_plans(g)) == {"int8", "int8+sparse"}
+
+    def test_float_sparse_aliases_dense_float_plan(self):
+        """Float plans ignore the sparse knob, so the engine must not
+        cache a byte-identical duplicate under 'float+sparse'."""
+        engine = InferenceEngine()
+        g = quantized(pruned_cnn(), (8, 8, 16))
+        x = np.zeros((8, 8, 16), np.float32)
+        engine.run(g, x, mode="float")
+        engine.run(g, x, mode="float", sparse=True)
+        assert engine.compile_count == 1
+        assert engine.cached_plans(g) == ("float",)
+
+    def test_annotation_change_refreshes_cached_sparse_plan(self):
+        """Setting a sparse_fmt / sparse_method override after a warm
+        compile must recompile the sparse plan (dense plans are
+        unaffected — they never read the annotations)."""
+        engine = InferenceEngine()
+        g = quantized(pruned_cnn(FORMAT_1_8), (8, 8, 16))
+        plan = engine.compile(g, "int8", sparse=True)
+        assert plan.kernel_choices["conv"].fmt == FORMAT_1_8.name
+        g.node("conv").attrs["sparse_fmt"] = None  # force-dense
+        refreshed = engine.compile(g, "int8", sparse=True)
+        assert refreshed is not plan
+        assert refreshed.kernel_choices["conv"].fmt is None
+        g.node("fc").attrs["sparse_method"] = "gather"
+        forced = engine.compile(g, "int8", sparse=True)
+        assert forced is not refreshed
+        assert forced.kernel_choices["fc"].method == "gather"
+        # The dense plan is untouched by annotation churn.
+        engine.compile(g, "int8")
+        count = engine.compile_count
+        g.node("conv").attrs["sparse_method"] = "dense"
+        engine.compile(g, "int8")
+        assert engine.compile_count == count
+
+    def test_measure_sparse_throughput_restores_forced_annotations(self):
+        from repro.engine.bench import measure_sparse_throughput
+
+        g = quantized(resnet_style_graph(fmt=FORMAT_1_8), (12, 12, 3), seed=3)
+        measure_sparse_throughput(
+            FORMAT_1_8, batch=2, repeats=1, graph=g, force_method="gather"
+        )
+        assert all("sparse_method" not in n.attrs for n in g)
+        natural = measure_sparse_throughput(FORMAT_1_8, batch=2, repeats=1, graph=g)
+        assert natural.gather_layers < natural.sparse_layers
+
+    def test_requantisation_refreshes_sparse_plan(self):
+        engine = InferenceEngine()
+        g = quantized(pruned_cnn(), (8, 8, 16))
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(8, 8, 16)).astype(np.float32)
+        before = engine.run(g, x, mode="int8", sparse=True)
+        quantized(g, (8, 8, 16), seed=9)  # re-quantise with other scales
+        after = engine.run(g, x, mode="int8", sparse=True)
+        assert engine.compile_count == 2
+        assert not np.array_equal(before, after)
+
+
+@pytest.fixture(scope="module")
+def pruned_models():
+    """Pruned + quantised paper models (the acceptance-bar graphs)."""
+    models = {}
+    for name, graph, shape in [
+        (
+            "resnet",
+            resnet18_cifar(num_classes=10, fmt=FORMAT_1_8, seed=0),
+            (32, 32, 3),
+        ),
+        ("vit", vit_small(fmt=FORMAT_1_8, seed=0, depth=1), (224, 224, 3)),
+    ]:
+        models[name] = (quantized(graph, shape), shape)
+    return models
+
+
+class TestBitIdenticalToDense:
+    """The tentpole contract, on the paper's model families."""
+
+    @pytest.mark.parametrize("model", ["resnet", "vit"])
+    def test_layerwise_and_end_to_end(self, pruned_models, model):
+        graph, shape = pruned_models[model]
+        rng = np.random.default_rng(7)
+        xs = (rng.normal(size=(2, *shape)) * 0.5).astype(np.float32)
+        engine = InferenceEngine()
+        dense_out, dense_acts = engine.run_batch(
+            graph, xs, mode="int8", return_acts=True
+        )
+        sparse_out, sparse_acts = engine.run_batch(
+            graph, xs, mode="int8", return_acts=True, sparse=True
+        )
+        sparse_plan = engine.compile(graph, "int8", sparse=True)
+        assert any(c.fmt is not None for c in sparse_plan.kernel_choices.values())
+        assert set(dense_acts) == set(sparse_acts)
+        for name in dense_acts:
+            assert np.array_equal(
+                dense_acts[name], sparse_acts[name]
+            ), f"layer {name} diverged"
+        assert np.array_equal(dense_out, sparse_out)
+        assert np.isfinite(sparse_out).all()
+
+    def test_resnet_style_demo_graph_all_formats(self):
+        for fmt in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16):
+            g = quantized(resnet_style_graph(fmt=fmt), (12, 12, 3), seed=1)
+            xs = (
+                np.random.default_rng(4).normal(size=(5, 12, 12, 3)).astype(np.float32)
+            )
+            engine = InferenceEngine()
+            dense = engine.run_batch(g, xs, mode="int8")
+            sparse = engine.run_batch(g, xs, mode="int8", sparse=True)
+            assert np.array_equal(dense, sparse), fmt.name
+
+
+class TestServedSparse:
+    def test_sparse_deployment_serves_dense_identical_responses(self):
+        """A (graph, int8, sparse) deployment served through the
+        batcher returns responses bit-identical to the dense
+        deployment of the same graph."""
+        g = quantized(resnet_style_graph(fmt=FORMAT_1_8), (12, 12, 3), seed=2)
+        xs = np.random.default_rng(5).normal(size=(6, 12, 12, 3)).astype(np.float32)
+
+        async def run():
+            async with ModelServer(workers=2) as server:
+                dense_dep = server.register("dense", g, "int8")
+                sparse_dep = server.register("sparse", g, "int8", sparse=True)
+                assert sparse_dep.sparse and not dense_dep.sparse
+                dense_res = await server.infer("dense", xs)
+                sparse_res = await server.infer("sparse", xs)
+                return dense_res, sparse_res
+
+        dense_res, sparse_res = asyncio.run(run())
+        assert np.array_equal(dense_res, sparse_res)
+
+    def test_demo_server_hosts_pruned_sparse_deployment(self):
+        from repro.serve.demo import DEMO_MODELS, demo_server
+
+        assert "resnet-sparse-int8" in DEMO_MODELS
+
+        async def run():
+            async with demo_server() as server:
+                dep = server.registry.get("resnet-sparse-int8")
+                assert dep.sparse and dep.mode == "int8"
+                assert any(
+                    c.fmt is not None for c in dep.plan.kernel_choices.values()
+                )
+                x = np.zeros((12, 12, 3), np.float32)
+                out = await server.infer("resnet-sparse-int8", x)
+                assert out.shape == (10,)
+
+        asyncio.run(run())
+
+    def test_demo_server_sparse_opt_out(self):
+        from repro.serve.demo import demo_server
+
+        async def run():
+            async with demo_server(sparse=False) as server:
+                assert "resnet-sparse-int8" not in server.registry.names()
+
+        asyncio.run(run())

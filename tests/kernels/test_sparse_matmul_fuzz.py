@@ -1,0 +1,148 @@
+"""Gather-vs-dense equivalence fuzzing for the sparse matmul core.
+
+The two execution methods of :func:`repro.kernels.conv_sparse.
+sparse_matmul_acc` (index-by-index decimation vs scatter-to-dense BLAS)
+must be **bit-identical** on every input — including the degenerate
+shapes the engine can produce: empty batches (``P == 0``), all-zero
+rows, underfull blocks, K smaller/larger than the chunking constant,
+and odd row counts.  The batched variant must match the per-sample one
+slice by slice, with and without precomputed gather indices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.conv_sparse import (
+    gather_indices,
+    sparse_matmul_acc,
+    sparse_matmul_acc_batch,
+)
+from repro.sparsity.nm import (
+    FORMAT_1_16,
+    FORMAT_1_4,
+    FORMAT_1_8,
+    NMSparseMatrix,
+    SUPPORTED_FORMATS,
+)
+from repro.sparsity.pruning import nm_prune
+
+FORMATS = (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16)
+
+
+def random_sparse(rng, rows, blocks, fmt, zero_rows=0):
+    """A random N:M matrix with ``zero_rows`` all-zero rows."""
+    dense = rng.integers(-128, 128, size=(rows, blocks * fmt.m)).astype(np.int8)
+    dense = nm_prune(dense, fmt)
+    if zero_rows:
+        dense[:zero_rows] = 0
+    return NMSparseMatrix.from_dense(dense, fmt), dense
+
+
+class TestGatherVsDense:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    @pytest.mark.parametrize(
+        "rows,blocks,p",
+        [
+            (1, 1, 1),  # minimal
+            (7, 3, 5),  # odd everything
+            (33, 2, 4),  # rows straddle the K chunk boundary
+            (64, 5, 9),  # two full chunks
+            (6, 4, 0),  # empty activation set (P == 0)
+        ],
+    )
+    def test_bit_identical(self, fmt, rows, blocks, p):
+        rng = np.random.default_rng(rows * 31 + blocks * 7 + p)
+        sparse_w, dense = random_sparse(rng, rows, blocks, fmt, zero_rows=1)
+        cols = rng.integers(-128, 128, size=(p, dense.shape[1])).astype(np.int8)
+        got = sparse_matmul_acc(cols, sparse_w, "gather")
+        want = sparse_matmul_acc(cols, sparse_w, "dense")
+        assert got.dtype == want.dtype == np.int32
+        assert np.array_equal(got, want)
+        # ... and both equal the plain integer reference product.
+        ref = cols.astype(np.int64) @ dense.astype(np.int64).T
+        assert np.array_equal(got.astype(np.int64), ref)
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_all_zero_matrix(self, fmt):
+        rng = np.random.default_rng(0)
+        dense = np.zeros((5, fmt.m * 2), dtype=np.int8)
+        sparse_w = NMSparseMatrix.from_dense(dense, fmt)
+        cols = rng.integers(-128, 128, size=(3, dense.shape[1])).astype(np.int8)
+        for method in ("gather", "dense"):
+            out = sparse_matmul_acc(cols, sparse_w, method)
+            assert out.shape == (3, 5)
+            assert not out.any()
+
+    def test_unknown_method_rejected(self):
+        sparse_w, dense = random_sparse(np.random.default_rng(1), 2, 1, FORMAT_1_4)
+        cols = np.zeros((2, dense.shape[1]), np.int8)
+        with pytest.raises(ValueError, match="unknown method"):
+            sparse_matmul_acc(cols, sparse_w, "turbo")
+
+    def test_shape_mismatch_rejected(self):
+        sparse_w, _ = random_sparse(np.random.default_rng(2), 2, 2, FORMAT_1_4)
+        with pytest.raises(ValueError, match="incompatible"):
+            sparse_matmul_acc(np.zeros((3, 4), np.int8), sparse_w)
+        with pytest.raises(ValueError, match="incompatible"):
+            sparse_matmul_acc_batch(np.zeros((1, 3, 4), np.int8), sparse_w)
+
+
+class TestBatchedVariant:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    @pytest.mark.parametrize("b", [0, 1, 3])
+    def test_matches_per_sample_slices(self, fmt, b):
+        rng = np.random.default_rng(b + fmt.m)
+        sparse_w, dense = random_sparse(rng, 9, 3, fmt, zero_rows=2)
+        cols = rng.integers(-128, 128, size=(b, 6, dense.shape[1])).astype(np.int8)
+        for method in ("gather", "dense"):
+            batched = sparse_matmul_acc_batch(cols, sparse_w, method)
+            assert batched.shape == (b, 6, 9)
+            for i in range(b):
+                assert np.array_equal(
+                    batched[i], sparse_matmul_acc(cols[i], sparse_w, method)
+                )
+
+    def test_precomputed_gather_indices_equivalent(self):
+        """Hoisting the block_starts + offsets computation out of the
+        call path (what the plan compiler does) changes nothing."""
+        rng = np.random.default_rng(5)
+        sparse_w, dense = random_sparse(rng, 40, 4, FORMAT_1_8)
+        idx = gather_indices(sparse_w)
+        assert idx.shape == sparse_w.values.shape
+        cols = rng.integers(-128, 128, size=(2, 7, dense.shape[1])).astype(np.int8)
+        a = sparse_matmul_acc_batch(cols, sparse_w, "gather")
+        b = sparse_matmul_acc_batch(cols, sparse_w, "gather", gather_idx=idx)
+        assert np.array_equal(a, b)
+
+    def test_gather_indices_address_the_im2col_buffer(self):
+        """Index [k, j] must equal block(j) * M + offset(k, j)."""
+        rng = np.random.default_rng(6)
+        sparse_w, _ = random_sparse(rng, 4, 3, FORMAT_1_4)
+        idx = gather_indices(sparse_w)
+        for j in range(idx.shape[1]):
+            block = j // sparse_w.fmt.n
+            assert (
+                idx[:, j] == block * sparse_w.fmt.m + sparse_w.offsets[:, j]
+            ).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    fmt_name=st.sampled_from(sorted(SUPPORTED_FORMATS)),
+    rows=st.integers(1, 40),
+    blocks=st.integers(1, 6),
+    p=st.integers(0, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_fuzz_gather_dense_batched_agree(fmt_name, rows, blocks, p, seed):
+    """Property: gather == dense == batched slices, on random shapes."""
+    fmt = SUPPORTED_FORMATS[fmt_name]
+    rng = np.random.default_rng(seed)
+    sparse_w, dense = random_sparse(rng, rows, blocks, fmt, zero_rows=rows % 3)
+    cols = rng.integers(-128, 128, size=(p, dense.shape[1])).astype(np.int8)
+    gather = sparse_matmul_acc(cols, sparse_w, "gather")
+    scatter = sparse_matmul_acc(cols, sparse_w, "dense")
+    assert np.array_equal(gather, scatter)
+    batched = sparse_matmul_acc_batch(cols[None], sparse_w, "gather")
+    assert np.array_equal(batched[0], gather)

@@ -1,0 +1,151 @@
+"""E-SELECT: cost-model format selection vs fixed-1:4 packing.
+
+Two sweeps of :func:`repro.engine.bench.measure_format_selection`:
+
+- **mixed demo, budget 0** (hard gate, also on CI): on the
+  mixed-format demo graph, lossless selection must pick each layer's
+  pruned format (1:8/1:16 where the weights allow) and beat the
+  uniform 1:4 packing on ``plan.weight_bytes()`` while staying
+  bit-identical to the dense int8 plan;
+- **uniform 1:4 demo, budget sweep** (reported + monotonicity gate):
+  raising the per-layer weight-energy budget lets the selector
+  re-prune layers to coarser formats — weight bytes must be
+  monotonically non-increasing in the budget, with every recorded loss
+  inside it.
+
+Results land in ``benchmarks/results/format_selection.txt`` and
+machine-readable ``BENCH_format_selection.json``.
+"""
+
+import pytest
+
+from repro.engine.bench import measure_format_selection
+from repro.sparsity.nm import FORMAT_1_4
+from repro.utils.tables import Table
+
+BATCH = 16
+BUDGETS = (0.0, 0.2, 0.4, 0.6)
+
+
+@pytest.fixture(scope="module")
+def mixed_result():
+    return measure_format_selection(budget=0.0, batch=BATCH, repeats=2)
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    return {
+        budget: measure_format_selection(
+            budget=budget, batch=BATCH, repeats=1, base_fmt=FORMAT_1_4
+        )
+        for budget in BUDGETS
+    }
+
+
+def test_format_selection_table(
+    benchmark, record_table, record_bench, mixed_result, sweep_results
+):
+    benchmark.pedantic(lambda: mixed_result, rounds=1, iterations=1)
+    mixed = Table(
+        f"Lossless selection vs fixed 1:4 (mixed demo graph, batch {BATCH})",
+        ["plan", "weight bytes", "vs fixed", "bit-identical"],
+    )
+    mixed.add_row(
+        plan="dense int8",
+        **{
+            "weight bytes": mixed_result.dense_weight_bytes,
+            "vs fixed": "-",
+            "bit-identical": "-",
+        },
+    )
+    mixed.add_row(
+        plan="fixed 1:4",
+        **{
+            "weight bytes": mixed_result.fixed_weight_bytes,
+            "vs fixed": "0.0%",
+            "bit-identical": "yes",
+        },
+    )
+    mixed.add_row(
+        plan="selected (budget 0)",
+        **{
+            "weight bytes": mixed_result.selected_weight_bytes,
+            "vs fixed": f"-{mixed_result.reduction_vs_fixed:.1%}",
+            "bit-identical": "yes" if mixed_result.identical else "NO",
+        },
+    )
+    sweep = Table(
+        "Budget sweep (uniform 1:4 demo graph): lossy re-pruning",
+        ["budget", "weight bytes", "vs fixed 1:4", "max rel dev", "formats"],
+    )
+    entries = [
+        {
+            "name": "select_mixed_budget0",
+            "batch": mixed_result.batch,
+            "qps": mixed_result.throughput,
+            "speedup": mixed_result.speedup,
+            "weight_bytes": mixed_result.selected_weight_bytes,
+            "fixed_weight_bytes": mixed_result.fixed_weight_bytes,
+            "dense_weight_bytes": mixed_result.dense_weight_bytes,
+            "reduction_vs_fixed": mixed_result.reduction_vs_fixed,
+            "bit_identical": mixed_result.identical,
+        }
+    ]
+    for budget, r in sweep_results.items():
+        fmts = sorted(
+            {fmt for fmt in r.selected_formats.values() if fmt is not None}
+        )
+        sweep.add_row(
+            budget=budget,
+            **{
+                "weight bytes": r.selected_weight_bytes,
+                "vs fixed 1:4": f"{1 - r.selected_weight_bytes / r.fixed_weight_bytes:.1%}",
+                "max rel dev": f"{r.max_rel_dev:.2e}",
+                "formats": "/".join(fmts) or "dense",
+            },
+        )
+        entries.append(
+            {
+                "name": f"select_uniform14_budget{budget:g}",
+                "batch": r.batch,
+                "qps": r.throughput,
+                "speedup": r.speedup,
+                "budget": budget,
+                "weight_bytes": r.selected_weight_bytes,
+                "fixed_weight_bytes": r.fixed_weight_bytes,
+                "max_rel_dev": r.max_rel_dev,
+                "losses_within_budget": r.losses_within_budget,
+            }
+        )
+    record_table("format_selection", mixed.render(), sweep.render())
+    record_bench("format_selection", entries)
+    assert len(sweep.rows) == len(BUDGETS)
+
+
+def test_lossless_selection_beats_fixed_14(mixed_result):
+    """Hard acceptance gate (mirrors the CI --select-fmt run)."""
+    r = mixed_result
+    assert r.selected_weight_bytes < r.fixed_weight_bytes
+    assert r.identical and r.finite and r.losses_within_budget
+    assert r.max_rel_dev == 0.0
+
+
+def test_budget_sweep_monotone_and_within_budget(sweep_results):
+    previous = None
+    for budget in BUDGETS:
+        r = sweep_results[budget]
+        assert r.losses_within_budget, budget
+        assert r.finite, budget
+        if previous is not None:
+            assert r.selected_weight_bytes <= previous, budget
+        previous = r.selected_weight_bytes
+    # At budget 0 the uniform graph has nothing coarser to pick...
+    assert (
+        sweep_results[0.0].selected_weight_bytes
+        == sweep_results[0.0].fixed_weight_bytes
+    )
+    # ...and a generous budget must actually buy memory.
+    assert (
+        sweep_results[BUDGETS[-1]].selected_weight_bytes
+        < sweep_results[0.0].selected_weight_bytes
+    )

@@ -1,0 +1,134 @@
+"""E-SPARSE-FLOAT: float sparse vs dense plans on the pruned demo model.
+
+The float counterpart of ``test_sparse_engine_throughput.py``.  For
+each supported N:M format, prunes the ResNet-style demo graph and
+compares the float sparse plan against the dense float plan at
+batch 32:
+
+- **correctness** (hard gate, also on CI): the sparse plan's output is
+  within the documented tolerance of the dense plan
+  (``FLOAT_SPARSE_REL_TOL`` — float gather accumulation differs from
+  the BLAS reduction order, so bit-identity is an int8-only contract),
+  and no layer silently fell back dense;
+- **memory** (hard gate): the plan's compile-time weight bytes equal
+  the independently re-packed float32 ``NMSparseMatrix.total_bytes``
+  (4-byte values + packed offsets) per layer;
+- **throughput** (reported, not gated): host wall-clock of both plans.
+
+Results land in ``benchmarks/results/sparse_float_throughput.txt`` and
+machine-readable ``BENCH_sparse_float.json``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import FLOAT_SPARSE_REL_TOL, measure_sparse_throughput
+from repro.sparsity.nm import NMSparseMatrix, SUPPORTED_FORMATS
+from repro.utils.tables import Table
+
+BATCH = 32
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        name: measure_sparse_throughput(fmt, batch=BATCH, repeats=3, mode="float")
+        for name, fmt in SUPPORTED_FORMATS.items()
+    }
+
+
+def test_sparse_float_table(benchmark, record_table, record_bench, results):
+    res = benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    table = Table(
+        f"Sparse vs dense float plans (pruned demo graph, batch {BATCH})",
+        [
+            "format",
+            "dense ms",
+            "sparse ms",
+            "speedup",
+            "N:M layers",
+            "gather",
+            "weight bytes",
+            "dense bytes",
+            "mem reduction",
+            "max rel dev",
+        ],
+    )
+    entries = []
+    for name, r in res.items():
+        table.add_row(
+            format=name,
+            **{
+                "dense ms": r.dense_s * 1e3,
+                "sparse ms": r.sparse_s * 1e3,
+                "speedup": r.speedup,
+                "N:M layers": r.sparse_layers,
+                "gather": r.gather_layers,
+                "weight bytes": r.sparse_weight_bytes,
+                "dense bytes": r.dense_weight_bytes,
+                "mem reduction": f"{r.memory_reduction:.1%}",
+                "max rel dev": f"{r.max_rel_dev:.2e}",
+            },
+        )
+        entries.append(
+            {
+                "name": f"sparse_float_plan_{name}",
+                "batch": r.batch,
+                "qps": r.sparse_throughput,
+                "speedup": r.speedup,
+                "dense_qps": r.dense_throughput,
+                "weight_bytes": r.sparse_weight_bytes,
+                "dense_weight_bytes": r.dense_weight_bytes,
+                "memory_reduction": r.memory_reduction,
+                "nm_layers": r.sparse_layers,
+                "gather_layers": r.gather_layers,
+                "max_rel_dev": r.max_rel_dev,
+                "within_tolerance": r.within_tolerance,
+            }
+        )
+    record_table("sparse_float_throughput", table.render())
+    record_bench("sparse_float", entries)
+    assert len(table.rows) == len(SUPPORTED_FORMATS)
+
+
+def test_float_plans_within_documented_tolerance(results):
+    """Hard acceptance gate: tolerance holds and nothing fell back
+    dense, every format."""
+    for name, r in results.items():
+        assert r.sparse_layers > 0, f"{name}: float plan fell back dense"
+        assert r.within_tolerance, (
+            f"{name}: deviation {r.max_rel_dev:.3e} exceeds "
+            f"{FLOAT_SPARSE_REL_TOL:.0e}"
+        )
+
+
+def test_forced_gather_within_tolerance_every_format():
+    """Pin every layer to the decimation kernel so the float gather
+    path itself is tolerance-gated per format."""
+    for name, fmt in SUPPORTED_FORMATS.items():
+        r = measure_sparse_throughput(
+            fmt, batch=8, repeats=1, force_method="gather", mode="float"
+        )
+        assert r.gather_layers == r.sparse_layers > 0, name
+        assert r.within_tolerance, f"{name}: forced-gather float deviated"
+
+
+def test_float_weight_bytes_match_packed_format(results):
+    """Compile-time accounting equals the float32 packed layout."""
+    for name, r in results.items():
+        fmt = SUPPORTED_FORMATS[name]
+        total = 0
+        for layer, choice in r.kernel_choices.items():
+            if choice.fmt is None:
+                total += choice.weight_bytes  # dense layer: float32 matrix
+                continue
+            assert choice.fmt == fmt.name
+            w = np.asarray(r.graph.node(layer).attrs["weights"], dtype=np.float32)
+            packed = NMSparseMatrix.from_dense(
+                w.reshape(w.shape[0], -1), fmt, dtype=np.float32
+            )
+            assert choice.weight_bytes == packed.total_bytes(), layer
+            assert choice.dense_bytes == packed.dense_bytes(), layer
+            total += packed.total_bytes()
+        assert r.sparse_weight_bytes == total
+        assert r.sparse_weight_bytes < r.dense_weight_bytes

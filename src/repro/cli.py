@@ -13,7 +13,8 @@ Usage::
     python -m repro extensions
     python -m repro accuracy [--epochs N]
     python -m repro engine [--batch N] [--mode float|int8]
-    python -m repro engine --sparse [--fmt 1:4|1:8|1:16] [--batch N]
+    python -m repro engine --sparse [--fmt 1:4|1:8|1:16] [--mode M] [--batch N]
+    python -m repro engine --sparse --select-fmt [--budget B] [--batch N]
     python -m repro serve [--host H] [--port P] [--workers N]
     python -m repro loadgen [--requests N] [--qps Q] [--connect H:P]
 
@@ -22,12 +23,19 @@ alongside where applicable.  ``table2 --verify`` additionally runs a
 random batch through the batched inference engine in float and int8
 modes and reports their agreement; ``engine`` benchmarks batched
 against per-sample execution, and ``engine --sparse`` compares the
-sparse and dense int8 plans of an N:M-pruned demo model (exiting
-non-zero unless they are bit-identical — the CI sparse-smoke gate).
+sparse and dense plans of an N:M-pruned demo model in ``--mode`` int8
+or float (exiting non-zero unless int8 is bit-identical / float is
+within the documented tolerance — the CI sparse-smoke gates).
+``engine --sparse --select-fmt`` runs the cost model's per-layer
+format selection on the mixed-format demo model and exits non-zero
+unless the selected plan beats the fixed-1:4 packing on weight bytes
+(and, at ``--budget 0``, matches the dense plan).  Exit-code contracts
+for every subcommand are documented in ``docs/cli.md``.
 
 ``serve`` hosts the demo deployments (``resnet-float`` /
-``resnet-int8`` / pruned ``resnet-sparse-int8``) behind the JSON-lines
-TCP front-end with dynamic
+``resnet-int8`` / pruned ``resnet-sparse-int8`` /
+``resnet-sparse-float`` / format-selected ``resnet-select-int8``)
+behind the JSON-lines TCP front-end with dynamic
 micro-batching; ``loadgen`` replays deterministic synthetic traffic at
 a target QPS against either an in-process server (the default — used
 by the CI smoke job) or a running ``repro serve`` via ``--connect``,
@@ -133,6 +141,23 @@ def _cmd_engine(args) -> int:
     if args.batch < 1:
         print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
         return 2
+    if args.mode is None:
+        # The sparse-smoke gates historically default to int8 (the
+        # bit-identity contract); everything else defaults to float.
+        args.mode = "int8" if args.sparse else "float"
+    if args.k_chunk is not None:
+        from repro.kernels.conv_sparse import set_k_chunk
+
+        try:
+            set_k_chunk(args.k_chunk)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+    if args.select_fmt:
+        if not args.sparse:
+            print("error: --select-fmt requires --sparse", file=sys.stderr)
+            return 2
+        return _engine_select(args)
     if args.sparse:
         return _engine_sparse(args)
     graph = resnet_style_graph()
@@ -181,10 +206,16 @@ def _cmd_engine(args) -> int:
 def _engine_sparse(args) -> int:
     """Sparse-vs-dense plan comparison on the pruned demo model.
 
-    The CI sparse-smoke job runs this path: it exits non-zero when the
-    sparse plan's output is not bit-identical to the dense plan's.
+    The CI sparse-smoke jobs run this path: it exits non-zero when the
+    sparse plan violates the mode's correctness contract — bit-identity
+    for int8, the documented relative tolerance
+    (:data:`repro.engine.bench.FLOAT_SPARSE_REL_TOL`) for float — or
+    when a float sparse plan silently fell back dense.
     """
-    from repro.engine.bench import measure_sparse_throughput
+    from repro.engine.bench import (
+        FLOAT_SPARSE_REL_TOL,
+        measure_sparse_throughput,
+    )
     from repro.sparsity.nm import SUPPORTED_FORMATS
     from repro.utils.tables import Table
 
@@ -193,15 +224,16 @@ def _engine_sparse(args) -> int:
         fmt,
         batch=args.batch,
         force_method="gather" if args.force_gather else None,
+        mode=args.mode,
     )
     table = Table(
-        f"Sparse vs dense int8 plans on {result.graph_name} "
+        f"Sparse vs dense {result.mode} plans on {result.graph_name} "
         f"({result.fmt_name}, batch {result.batch}"
         f"{', forced gather' if args.force_gather else ''})",
         ["plan", "latency ms", "samples/s", "weight bytes"],
     )
     table.add_row(
-        plan="dense int8",
+        plan=f"dense {result.mode}",
         **{
             "latency ms": result.dense_s * 1e3,
             "samples/s": result.dense_throughput,
@@ -209,7 +241,7 @@ def _engine_sparse(args) -> int:
         },
     )
     table.add_row(
-        plan="sparse int8",
+        plan=f"sparse {result.mode}",
         **{
             "latency ms": result.sparse_s * 1e3,
             "samples/s": result.sparse_throughput,
@@ -217,32 +249,126 @@ def _engine_sparse(args) -> int:
         },
     )
     print(table.render())
-    choices = Table(
-        "Compile-time kernel choices (sparse plan)",
-        ["layer", "format", "method", "variant", "weight bytes"],
-    )
-    for name, c in result.kernel_choices.items():
-        choices.add_row(
-            layer=name,
-            format=c.fmt or "dense",
-            method=c.method,
-            variant=c.variant or "-",
-            **{"weight bytes": c.weight_bytes},
-        )
-    print(choices.render())
+    print(_kernel_choice_table(result.kernel_choices).render())
     print(
         f"{result.sparse_layers} N:M layers "
         f"({result.gather_layers} gather-bound), "
         f"weight memory reduction {result.memory_reduction:.1%}, "
         f"sparse/dense wall-clock {result.speedup:.2f}x"
     )
-    if not result.identical:
+    if result.sparse_layers == 0:
         print(
-            "error: sparse plan output is NOT bit-identical to the dense plan",
+            "error: no layer was routed sparse (dense fallback)",
             file=sys.stderr,
         )
         return 1
-    print("sparse plan output bit-identical to dense plan: OK")
+    if result.mode == "int8":
+        if not result.identical:
+            print(
+                "error: sparse plan output is NOT bit-identical to the "
+                "dense plan",
+                file=sys.stderr,
+            )
+            return 1
+        print("sparse plan output bit-identical to dense plan: OK")
+        return 0
+    if not result.within_tolerance:
+        print(
+            f"error: sparse float deviation {result.max_rel_dev:.2e} of "
+            f"peak exceeds the documented tolerance "
+            f"{FLOAT_SPARSE_REL_TOL:.0e}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"sparse float deviation {result.max_rel_dev:.2e} of peak "
+        f"(tolerance {FLOAT_SPARSE_REL_TOL:.0e}): OK"
+    )
+    return 0
+
+
+def _kernel_choice_table(kernel_choices):
+    from repro.utils.tables import Table
+
+    choices = Table(
+        "Compile-time kernel choices (sparse plan)",
+        ["layer", "format", "method", "variant", "weight bytes", "loss"],
+    )
+    for name, c in kernel_choices.items():
+        choices.add_row(
+            layer=name,
+            format=c.fmt or "dense",
+            method=c.method,
+            variant=c.variant or "-",
+            loss=f"{c.loss:.3f}" if c.loss is not None else "-",
+            **{"weight bytes": c.weight_bytes},
+        )
+    return choices
+
+
+def _engine_select(args) -> int:
+    """Cost-model format selection vs fixed-1:4 packing (CI gate).
+
+    Exits non-zero unless the selected plan's weight bytes beat the
+    fixed-1:4 baseline, every recorded per-layer loss fits the budget,
+    the outputs are finite — and, at ``--budget 0`` (lossless), the
+    selected plan matches the dense plan (bit-identical for int8,
+    within the documented tolerance for float).
+    """
+    from repro.engine.bench import measure_format_selection
+    from repro.utils.tables import Table
+
+    result = measure_format_selection(
+        budget=args.budget, batch=args.batch, mode=args.mode
+    )
+    table = Table(
+        f"Format selection on {result.graph_name} ({result.mode}, "
+        f"budget {result.budget:g}, batch {result.batch})",
+        ["plan", "weight bytes", "reduction vs fixed"],
+    )
+    table.add_row(
+        plan="dense",
+        **{"weight bytes": result.dense_weight_bytes, "reduction vs fixed": "-"},
+    )
+    table.add_row(
+        plan="fixed 1:4",
+        **{"weight bytes": result.fixed_weight_bytes, "reduction vs fixed": "0.0%"},
+    )
+    table.add_row(
+        plan="selected",
+        **{
+            "weight bytes": result.selected_weight_bytes,
+            "reduction vs fixed": f"{result.reduction_vs_fixed:.1%}",
+        },
+    )
+    print(table.render())
+    print(_kernel_choice_table(result.kernel_choices).render())
+    print(
+        f"selected plan: {result.selected_weight_bytes} weight bytes "
+        f"({result.reduction_vs_fixed:.1%} below fixed 1:4), "
+        f"max |Δ| vs dense = {result.max_rel_dev:.2e} of peak, "
+        f"sparse/dense wall-clock {result.speedup:.2f}x"
+    )
+    problems = []
+    if result.selected_weight_bytes >= result.fixed_weight_bytes:
+        problems.append(
+            f"selected plan ({result.selected_weight_bytes} B) does not "
+            f"beat the fixed 1:4 packing ({result.fixed_weight_bytes} B)"
+        )
+    if not result.losses_within_budget:
+        problems.append("a layer's recorded loss exceeds the budget")
+    if not result.finite:
+        problems.append("selected plan produced non-finite outputs")
+    if result.budget == 0.0 and not result.within_tolerance:
+        problems.append(
+            "budget 0 selection must match the dense plan "
+            f"(max dev {result.max_rel_dev:.2e} of peak)"
+        )
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("format selection gates: OK")
     return 0
 
 
@@ -448,12 +574,19 @@ def build_parser() -> argparse.ArgumentParser:
         "engine", help="batched vs per-sample inference throughput"
     )
     p.add_argument("--batch", type=int, default=32)
-    p.add_argument("--mode", choices=["float", "int8"], default="float")
+    p.add_argument(
+        "--mode",
+        choices=["float", "int8"],
+        default=None,
+        help="numeric mode (default: float; int8 with --sparse, "
+        "matching the historical sparse-smoke behaviour)",
+    )
     p.add_argument(
         "--sparse",
         action="store_true",
-        help="compare sparse vs dense int8 plans on the pruned demo "
-        "model; exits non-zero if they are not bit-identical",
+        help="compare sparse vs dense plans on the pruned demo model; "
+        "exits non-zero unless int8 is bit-identical / float is within "
+        "the documented tolerance",
     )
     p.add_argument(
         "--fmt",
@@ -467,6 +600,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --sparse: pin every N:M layer to the gather kernel "
         "instead of the cost model's per-layer choice, so the "
         "decimation path is exercised for every format",
+    )
+    p.add_argument(
+        "--select-fmt",
+        action="store_true",
+        help="with --sparse: run the cost model's per-layer format "
+        "selection on the mixed-format demo model against the fixed "
+        "1:4 packing; exits non-zero unless it wins on weight bytes "
+        "(and, at --budget 0, matches the dense plan)",
+    )
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=0.0,
+        help="per-layer relative weight-energy loss budget of the "
+        "format selection (0 = lossless)",
+    )
+    p.add_argument(
+        "--k-chunk",
+        type=int,
+        default=None,
+        help="gather chunk size (output channels per decimation chunk); "
+        "overrides the REPRO_K_CHUNK environment variable for this run",
     )
     p.set_defaults(func=_cmd_engine)
 

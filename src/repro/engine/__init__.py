@@ -5,14 +5,18 @@ The production-facing execution layer of the reproduction: a
 :class:`ExecutionPlan` (pre-validated topology, pre-reshaped and — in
 int8 mode — pre-widened weights, per-node kernel callables bound at
 compile time) and then serves arbitrarily many ``(B, ...)`` batches.
-:class:`InferenceEngine` caches plans per ``(graph, mode, sparse)``;
-:func:`get_default_engine` is the process-wide instance behind the
-historical :func:`repro.compiler.executor.execute_graph` entry point.
-Sparse plans (``sparse=True``) route N:M-annotated int8 layers through
-the batched sparse kernels, bit-identical to the dense plans.
+:class:`InferenceEngine` caches plans per
+``(graph, mode, sparse, selection)``; :func:`get_default_engine` is the
+process-wide instance behind the historical
+:func:`repro.compiler.executor.execute_graph` entry point.  Sparse
+plans (``sparse=True``) route N:M layers through the batched sparse
+kernels — quantised weights in int8 mode (bit-identical to the dense
+plans), float32 weights in float mode (dense-identical to rounding) —
+and ``select_fmt=True`` lets the cost model pick each layer's N:M
+format under an accuracy budget.
 
-See ``docs/engine.md`` and ``docs/sparse_engine.md`` for the full API
-walkthrough.
+See ``docs/engine.md``, ``docs/sparse_engine.md``, and
+``docs/sparsity.md`` for the full API walkthrough.
 """
 
 from repro.engine.engine import InferenceEngine, get_default_engine

@@ -17,17 +17,62 @@ import numpy as np
 from repro.compiler.ir import Graph
 from repro.engine.engine import InferenceEngine
 from repro.engine.plan import KernelChoice
-from repro.sparsity.nm import NMFormat
+from repro.sparsity.nm import (
+    FORMAT_1_4,
+    FORMAT_1_8,
+    FORMAT_1_16,
+    NMFormat,
+)
 from repro.sparsity.pruning import prune_conv_weights, prune_fc_weights
 from repro.utils.rng import make_rng
 
 __all__ = [
+    "FLOAT_SPARSE_REL_TOL",
+    "MIXED_DEMO_FMTS",
     "ThroughputResult",
     "SparseThroughputResult",
+    "FormatSelectionResult",
     "resnet_style_graph",
     "measure_throughput",
     "measure_sparse_throughput",
+    "measure_format_selection",
 ]
+
+#: Documented tolerance of the float sparse gather path: the sparse
+#: plan's output must stay within this fraction of the dense plan's
+#: output peak (|Δ|_max <= tol * max|dense|).  Float accumulation
+#: order differs between the decimation gather and the dense GEMM, so
+#: bit-identity is an int8-only contract; measured deviations on the
+#: demo/paper models are ~1e-7..1e-6 of peak, so 1e-4 is a generous,
+#: stable gate (see docs/sparsity.md).
+FLOAT_SPARSE_REL_TOL = 1e-4
+
+def _relative_deviation(out: np.ndarray, reference: np.ndarray) -> float:
+    """max |out - reference| as a fraction of the reference peak.
+
+    The quantity :data:`FLOAT_SPARSE_REL_TOL` bounds; an all-zero
+    reference with a non-zero deviation is infinitely off.
+    """
+    peak = float(np.abs(reference).max())
+    dev = float(np.abs(np.asarray(out) - np.asarray(reference)).max())
+    if peak:
+        return dev / peak
+    return 0.0 if dev == 0.0 else float("inf")
+
+
+#: Per-layer N:M schedule of the mixed-format demo graph — what a
+#: sensitivity-aware pruning run produces (coarser formats where the
+#: layer tolerates them).  The stem stays dense (C=3 reduce dim divides
+#: no supported block size); the format-selection benchmark compares
+#: selecting these per layer against packing everything at 1:4.
+MIXED_DEMO_FMTS: dict[str, NMFormat] = {
+    "b0_conv1": FORMAT_1_8,
+    "b0_conv2": FORMAT_1_8,
+    "b1_conv1": FORMAT_1_8,
+    "b1_conv2": FORMAT_1_16,
+    "b1_down": FORMAT_1_8,
+    "head": FORMAT_1_16,
+}
 
 
 @dataclass
@@ -79,6 +124,7 @@ def resnet_style_graph(
     c0: int = 8,
     num_classes: int = 10,
     fmt: NMFormat | None = None,
+    layer_fmts: dict[str, NMFormat] | None = None,
 ) -> Graph:
     """A small ResNet-style benchmark graph (residual CNN + pooling).
 
@@ -87,33 +133,48 @@ def resnet_style_graph(
     the pruned demo model the sparse-engine benchmark, demo server and
     CI smoke job run (layers the pattern cannot cover, e.g. the C=3
     stem, stay dense, so sparse plans exercise mixed graphs).
+    ``layer_fmts`` overrides the format per layer name (see
+    :data:`MIXED_DEMO_FMTS`), building the mixed-format demo the format
+    selector is exercised on.
     """
     rng = make_rng(seed)
 
-    def he(k, fy, fx, c):
+    def fmt_for(name: str, reduce_dim: int) -> NMFormat | None:
+        f = (layer_fmts or {}).get(name, fmt)
+        if f is not None and reduce_dim % f.m == 0:
+            return f
+        return None
+
+    def he(name, k, fy, fx, c):
         std = np.sqrt(2.0 / (fy * fx * c))
         w = rng.normal(0, std, size=(k, fy, fx, c)).astype(np.float32)
-        if fmt is not None and (fy * fx * c) % fmt.m == 0:
-            w = prune_conv_weights(w, fmt).astype(np.float32)
+        f = fmt_for(name, fy * fx * c)
+        if f is not None:
+            w = prune_conv_weights(w, f).astype(np.float32)
         return w
 
-    g = Graph(f"resnet-style-bench{'-' + fmt.name if fmt else ''}")
+    suffix = "-mixed" if layer_fmts else f"-{fmt.name}" if fmt else ""
+    g = Graph(f"resnet-style-bench{suffix}")
     x = g.add_input("input", (hw, hw, 3))
-    x = g.add_conv2d("stem", x, he(c0, 3, 3, 3), s=1, p=1)
+    x = g.add_conv2d("stem", x, he("stem", c0, 3, 3, 3), s=1, p=1)
     x = g.add_elementwise("stem_relu", "relu", x)
     # Plain residual block.
     identity = x
-    x = g.add_conv2d("b0_conv1", x, he(c0, 3, 3, c0), s=1, p=1)
+    x = g.add_conv2d("b0_conv1", x, he("b0_conv1", c0, 3, 3, c0), s=1, p=1)
     x = g.add_elementwise("b0_relu1", "relu", x)
-    x = g.add_conv2d("b0_conv2", x, he(c0, 3, 3, c0), s=1, p=1)
+    x = g.add_conv2d("b0_conv2", x, he("b0_conv2", c0, 3, 3, c0), s=1, p=1)
     x = g.add_add("b0_add", x, identity)
     x = g.add_elementwise("b0_relu2", "relu", x)
     # Stride-2 downsampling block with a 1x1 shortcut.
     identity = x
-    x = g.add_conv2d("b1_conv1", x, he(2 * c0, 3, 3, c0), s=2, p=1)
+    x = g.add_conv2d("b1_conv1", x, he("b1_conv1", 2 * c0, 3, 3, c0), s=2, p=1)
     x = g.add_elementwise("b1_relu1", "relu", x)
-    x = g.add_conv2d("b1_conv2", x, he(2 * c0, 3, 3, 2 * c0), s=1, p=1)
-    identity = g.add_conv2d("b1_down", identity, he(2 * c0, 1, 1, c0), s=2, p=0)
+    x = g.add_conv2d(
+        "b1_conv2", x, he("b1_conv2", 2 * c0, 3, 3, 2 * c0), s=1, p=1
+    )
+    identity = g.add_conv2d(
+        "b1_down", identity, he("b1_down", 2 * c0, 1, 1, c0), s=2, p=0
+    )
     x = g.add_add("b1_add", x, identity)
     x = g.add_elementwise("b1_relu2", "relu", x)
     # size=3 / stride=2 pooling — the window geometry the legacy
@@ -121,8 +182,9 @@ def resnet_style_graph(
     x = g.add_maxpool("pool", x, size=3, stride=2)
     x = g.add_global_avgpool("gap", x)
     head = rng.normal(0, 0.01, size=(num_classes, 2 * c0)).astype(np.float32)
-    if fmt is not None and (2 * c0) % fmt.m == 0:
-        head = prune_fc_weights(head, fmt).astype(np.float32)
+    head_fmt = fmt_for("head", 2 * c0)
+    if head_fmt is not None:
+        head = prune_fc_weights(head, head_fmt).astype(np.float32)
     g.add_dense("head", x, head, bias=np.zeros(num_classes, dtype=np.float32))
     g.validate()
     return g
@@ -182,15 +244,19 @@ def measure_throughput(
 
 @dataclass
 class SparseThroughputResult:
-    """Sparse-vs-dense plan comparison on one pruned int8 graph.
+    """Sparse-vs-dense plan comparison on one pruned graph.
 
-    ``identical`` is the acceptance gate: the sparse plan's batched
-    output must be bit-identical to the dense plan's (integer
-    accumulation is exact, so decimation cannot change a single bit).
-    Weight bytes are compile-time accounting from
+    For int8 (``mode="int8"``) ``identical`` is the acceptance gate:
+    the sparse plan's batched output must be bit-identical to the dense
+    plan's (integer accumulation is exact, so decimation cannot change
+    a single bit).  For float (``mode="float"``) the gate is
+    ``within_tolerance``: gather layers accumulate in a different order
+    than the dense GEMM, so the contract is ``max_rel_dev <=``
+    :data:`FLOAT_SPARSE_REL_TOL` instead of bit-identity.  Weight bytes
+    are compile-time accounting from
     :attr:`~repro.engine.plan.ExecutionPlan.kernel_choices`: for N:M
     layers the packed storage (values + packed offsets), for dense
-    layers the int8 matrix.
+    layers the int8 (or float32) matrix.
     """
 
     graph_name: str
@@ -203,6 +269,9 @@ class SparseThroughputResult:
     dense_weight_bytes: int
     sparse_layers: int
     gather_layers: int
+    mode: str = "int8"
+    #: max |sparse - dense| as a fraction of the dense output peak.
+    max_rel_dev: float = 0.0
     kernel_choices: dict[str, KernelChoice] = field(repr=False, default_factory=dict)
     #: The measured (pruned, quantised) graph — kept for independent
     #: re-verification of the packed weight accounting.
@@ -230,6 +299,14 @@ class SparseThroughputResult:
             return 0.0
         return 1.0 - self.sparse_weight_bytes / self.dense_weight_bytes
 
+    @property
+    def within_tolerance(self) -> bool:
+        """The mode's correctness gate: bit-identity for int8, the
+        documented relative tolerance for float."""
+        if self.mode == "int8":
+            return self.identical
+        return self.max_rel_dev <= FLOAT_SPARSE_REL_TOL
+
 
 def measure_sparse_throughput(
     fmt: NMFormat,
@@ -239,16 +316,19 @@ def measure_sparse_throughput(
     graph: Graph | None = None,
     engine: InferenceEngine | None = None,
     force_method: str | None = None,
+    mode: str = "int8",
 ) -> SparseThroughputResult:
-    """Compare the sparse and dense int8 plans of a pruned graph.
+    """Compare the sparse and dense plans of a pruned graph.
 
     Builds (unless given) the pruned demo graph for ``fmt``, quantises
-    it, compiles both int8 plans on one engine, verifies batched
-    bit-identity, and times both plans over the same ``batch`` samples
-    (best of ``repeats``).  ``force_method`` pins every N:M layer to
-    one execution method ("gather" / "dense") instead of the cost
-    model's per-layer choice — the CI gather gate uses it so the
-    decimation path is exercised even where the model prefers dense.
+    it, compiles both plans of ``mode`` on one engine, verifies the
+    mode's correctness contract (batched bit-identity for int8, the
+    documented relative tolerance for float), and times both plans over
+    the same ``batch`` samples (best of ``repeats``).  ``force_method``
+    pins every N:M layer to one execution method ("gather" / "dense")
+    instead of the cost model's per-layer choice — the CI gather gate
+    uses it so the decimation path is exercised even where the model
+    prefers dense.
     """
     from repro.models.quantize import quantize_graph
 
@@ -272,21 +352,22 @@ def measure_sparse_throughput(
                 node.attrs["sparse_method"] = force_method
     try:
         engine = engine or InferenceEngine()
-        dense_plan = engine.compile(graph, "int8", sparse=False)
-        sparse_plan = engine.compile(graph, "int8", sparse=True)
+        dense_plan = engine.compile(graph, mode, sparse=False)
+        sparse_plan = engine.compile(graph, mode, sparse=True)
         rng = make_rng(seed + 1)
         xs = rng.normal(size=(batch, *dense_plan.input_shape)).astype(np.float32)
 
-        dense_out = engine.run_batch(graph, xs, mode="int8")
-        sparse_out = engine.run_batch(graph, xs, mode="int8", sparse=True)
+        dense_out = engine.run_batch(graph, xs, mode=mode)
+        sparse_out = engine.run_batch(graph, xs, mode=mode, sparse=True)
         identical = bool(np.array_equal(dense_out, sparse_out))
+        max_rel_dev = _relative_deviation(sparse_out, dense_out)
 
         dense_s = min(
-            _time(lambda: engine.run_batch(graph, xs, mode="int8"))
+            _time(lambda: engine.run_batch(graph, xs, mode=mode))
             for _ in range(repeats)
         )
         sparse_s = min(
-            _time(lambda: engine.run_batch(graph, xs, mode="int8", sparse=True))
+            _time(lambda: engine.run_batch(graph, xs, mode=mode, sparse=True))
             for _ in range(repeats)
         )
     finally:
@@ -307,6 +388,186 @@ def measure_sparse_throughput(
         dense_weight_bytes=sparse_plan.dense_weight_bytes(),
         sparse_layers=sum(1 for c in choices.values() if c.fmt is not None),
         gather_layers=sum(1 for c in choices.values() if c.method == "gather"),
+        mode=mode,
+        max_rel_dev=max_rel_dev,
+        kernel_choices=dict(choices),
+        graph=graph,
+    )
+
+
+@dataclass
+class FormatSelectionResult:
+    """Cost-model format selection vs fixed-1:4 packing on one graph.
+
+    ``fixed_weight_bytes`` is the uniform-format baseline: every
+    pattern-eligible layer packed at 1:4, the paper's least-compressive
+    deployment.  ``selected_weight_bytes`` is the plan the selector
+    compiled under ``budget``; the acceptance gate is that it is
+    strictly smaller.  At ``budget=0`` the selection is lossless, so
+    ``identical`` must hold for int8 (``max_rel_dev`` within the float
+    tolerance for float); a positive budget re-prunes layers, so only
+    ``losses_within_budget`` and finite outputs are gated.
+    """
+
+    graph_name: str
+    mode: str
+    budget: float
+    batch: int
+    dense_s: float
+    selected_s: float
+    dense_weight_bytes: int
+    fixed_weight_bytes: int
+    selected_weight_bytes: int
+    identical: bool
+    max_rel_dev: float
+    losses_within_budget: bool
+    finite: bool
+    kernel_choices: dict[str, KernelChoice] = field(repr=False, default_factory=dict)
+    graph: Graph | None = field(repr=False, default=None)
+
+    @property
+    def selected_formats(self) -> dict[str, str | None]:
+        """Layer -> chosen format name (None for dense bindings)."""
+        return {name: c.fmt for name, c in self.kernel_choices.items()}
+
+    @property
+    def reduction_vs_fixed(self) -> float:
+        """Fractional weight-byte reduction vs the fixed-1:4 plan."""
+        if not self.fixed_weight_bytes:
+            return 0.0
+        return 1.0 - self.selected_weight_bytes / self.fixed_weight_bytes
+
+    @property
+    def within_tolerance(self) -> bool:
+        """Whether the selected plan matches the dense plan under the
+        mode's contract: bit-identity for int8, the documented relative
+        tolerance for float.  Only meaningful as a gate at budget 0 —
+        a lossy selection legitimately changes the network."""
+        if self.mode == "int8":
+            return self.identical
+        return self.max_rel_dev <= FLOAT_SPARSE_REL_TOL
+
+    @property
+    def speedup(self) -> float:
+        """Selected-plan speedup over the dense plan (host wall-clock)."""
+        return self.dense_s / self.selected_s if self.selected_s else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Samples/second of the selected plan."""
+        return self.batch / self.selected_s if self.selected_s else 0.0
+
+
+def measure_format_selection(
+    budget: float = 0.0,
+    batch: int = 16,
+    repeats: int = 2,
+    seed: int = 0,
+    mode: str = "int8",
+    graph: Graph | None = None,
+    engine: InferenceEngine | None = None,
+    base_fmt: NMFormat | None = None,
+) -> FormatSelectionResult:
+    """Run per-layer format selection against a fixed-1:4 baseline.
+
+    Builds (unless given) the **mixed-format** demo graph — layers
+    pruned per :data:`MIXED_DEMO_FMTS` — then compiles three plans on
+    one engine: the dense reference, the fixed-1:4 sparse baseline
+    (every eligible layer annotated ``sparse_fmt=1:4``, the coarsest
+    supported packing every pruned layer satisfies), and the
+    format-selected plan under ``budget``.  The baseline annotations
+    are restored before returning, so a caller-supplied graph comes
+    back untouched.  ``base_fmt`` switches the demo to the *uniformly*
+    pruned graph of that format — the shape the lossy budget sweep
+    runs on (a 1:4-pruned layer can be re-pruned to 1:8/1:16 when the
+    energy budget allows, which the already-coarse mixed demo rarely
+    can).
+    """
+    from repro.compiler.patterns import detect_format
+    from repro.models.quantize import quantize_graph
+
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if graph is None:
+        if base_fmt is not None:
+            graph = resnet_style_graph(seed=seed, fmt=base_fmt)
+        else:
+            graph = resnet_style_graph(seed=seed, layer_fmts=MIXED_DEMO_FMTS)
+        rng = make_rng(seed)
+        calib = [
+            rng.normal(size=(12, 12, 3)).astype(np.float32) for _ in range(4)
+        ]
+        quantize_graph(graph, calib)
+    engine = engine or InferenceEngine()
+
+    # Fixed-1:4 baseline: annotate, compile, restore.
+    restore: list[tuple] = []
+    try:
+        for node in graph:
+            if node.op not in ("conv2d", "dense"):
+                continue
+            w = node.attrs.get("weights_q") if mode == "int8" else None
+            w = np.asarray(w if w is not None else node.attrs["weights"])
+            if detect_format(w.reshape(w.shape[0], -1)) is None:
+                continue  # stem and friends: no pattern to pack
+            restore.append((node, "sparse_fmt" in node.attrs, node.attrs.get("sparse_fmt")))
+            node.attrs["sparse_fmt"] = FORMAT_1_4
+        fixed_plan = engine.compile(graph, mode, sparse=True)
+        fixed_weight_bytes = fixed_plan.weight_bytes()
+    finally:
+        for node, had, prev in restore:
+            if had:
+                node.attrs["sparse_fmt"] = prev
+            else:
+                node.attrs.pop("sparse_fmt", None)
+
+    dense_plan = engine.compile(graph, mode, sparse=False)
+    selected_plan = engine.compile(
+        graph, mode, sparse=True, select_fmt=True, accuracy_budget=budget
+    )
+    rng = make_rng(seed + 1)
+    xs = rng.normal(size=(batch, *dense_plan.input_shape)).astype(np.float32)
+    dense_out = engine.run_batch(graph, xs, mode=mode)
+    selected_out = engine.run_batch(
+        graph, xs, mode=mode, sparse=True, select_fmt=True, accuracy_budget=budget
+    )
+    identical = bool(np.array_equal(dense_out, selected_out))
+    max_rel_dev = _relative_deviation(selected_out, dense_out)
+
+    dense_s = min(
+        _time(lambda: engine.run_batch(graph, xs, mode=mode))
+        for _ in range(repeats)
+    )
+    selected_s = min(
+        _time(
+            lambda: engine.run_batch(
+                graph,
+                xs,
+                mode=mode,
+                sparse=True,
+                select_fmt=True,
+                accuracy_budget=budget,
+            )
+        )
+        for _ in range(repeats)
+    )
+    choices = selected_plan.kernel_choices
+    return FormatSelectionResult(
+        graph_name=graph.name,
+        mode=mode,
+        budget=budget,
+        batch=batch,
+        dense_s=dense_s,
+        selected_s=selected_s,
+        dense_weight_bytes=selected_plan.dense_weight_bytes(),
+        fixed_weight_bytes=fixed_weight_bytes,
+        selected_weight_bytes=selected_plan.weight_bytes(),
+        identical=identical,
+        max_rel_dev=max_rel_dev,
+        losses_within_budget=all(
+            c.loss is None or c.loss <= budget + 1e-9 for c in choices.values()
+        ),
+        finite=bool(np.isfinite(selected_out).all()),
         kernel_choices=dict(choices),
         graph=graph,
     )

@@ -72,9 +72,21 @@ def _sparse_signature(graph: "Graph") -> tuple:
     )
 
 
-def _plan_key(mode: str, sparse: bool) -> str:
-    """Cache key for a ``(mode, sparse)`` plan, e.g. ``"int8+sparse"``."""
-    return f"{mode}+sparse" if sparse else mode
+def _plan_key(
+    mode: str,
+    sparse: bool,
+    select_fmt: bool = False,
+    accuracy_budget: float = 0.0,
+) -> str:
+    """Cache key for a plan, e.g. ``"int8+sparse"`` or
+    ``"float+sparse+select@0.1"`` (format-selected plans cache per
+    budget: a different budget can pick different formats)."""
+    key = mode
+    if sparse:
+        key += "+sparse"
+        if select_fmt:
+            key += f"+select@{accuracy_budget:g}"
+    return key
 
 
 class InferenceEngine:
@@ -96,26 +108,40 @@ class InferenceEngine:
     # -- plan management ------------------------------------------------
 
     def compile(
-        self, graph: Graph, mode: str = "float", sparse: bool = False
+        self,
+        graph: Graph,
+        mode: str = "float",
+        sparse: bool = False,
+        select_fmt: bool = False,
+        accuracy_budget: float = 0.0,
     ) -> ExecutionPlan:
-        """Return the cached plan for ``(graph, mode, sparse)``.
+        """Return the cached plan for ``(graph, mode, sparse, selection)``.
 
         ``sparse=True`` compiles a sparsity-aware plan: N:M-annotated
-        (or detected) int8 layers are packed and bound to the batched
-        sparse kernels; it is cached separately from the dense plan of
-        the same mode.  A cached int8 plan is transparently recompiled
-        when the graph's quantisation metadata changed since it was
-        built (the float plan never reads that metadata and is
-        unaffected); a cached sparse plan additionally refreshes when
-        a node's ``sparse_fmt`` / ``sparse_method`` override changed.
+        (or detected) layers are packed and bound to the batched sparse
+        kernels — quantised weights in int8 mode, float32 weights in
+        float mode; it is cached separately from the dense plan of the
+        same mode.  ``select_fmt=True`` additionally runs the per-layer
+        format search under ``accuracy_budget`` and caches per budget.
+        A cached int8 plan is transparently recompiled when the graph's
+        quantisation metadata changed since it was built (the float
+        plan never reads that metadata and is unaffected); a cached
+        sparse plan additionally refreshes when a node's ``sparse_fmt``
+        / ``sparse_method`` override changed.
         """
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}")
-        # Float plans ignore the sparse knob (the packed format stores
-        # int8 values), so alias them onto the dense float plan rather
-        # than caching a byte-identical duplicate.
-        sparse = sparse and mode == "int8"
-        key = _plan_key(mode, sparse)
+        # Validate before the cache lookup: _plan_key ignores select_fmt
+        # for dense plans, so an invalid (sparse=False, select_fmt=True)
+        # combination would otherwise silently return a cached dense
+        # plan instead of raising like the cold compile does.
+        if select_fmt and not sparse:
+            raise ValueError("select_fmt=True requires sparse=True")
+        if accuracy_budget < 0:
+            raise ValueError(
+                f"accuracy_budget must be >= 0, got {accuracy_budget}"
+            )
+        key = _plan_key(mode, sparse, select_fmt, accuracy_budget)
         with self._lock:
             per_graph = self._plans.get(graph)
             if per_graph is None:
@@ -128,7 +154,16 @@ class InferenceEngine:
             if entry is not None and entry[1] != sig:
                 entry = None  # quantisation metadata changed: stale plan
             if entry is None:
-                entry = (compile_plan(graph, mode, sparse=sparse), sig)
+                entry = (
+                    compile_plan(
+                        graph,
+                        mode,
+                        sparse=sparse,
+                        select_fmt=select_fmt,
+                        accuracy_budget=accuracy_budget,
+                    ),
+                    sig,
+                )
                 per_graph[key] = entry
                 self.compile_count += 1
             return entry[0]
@@ -153,6 +188,8 @@ class InferenceEngine:
         mode: str = "float",
         return_acts: bool = False,
         sparse: bool = False,
+        select_fmt: bool = False,
+        accuracy_budget: float = 0.0,
     ):
         """Run a forward pass over a single sample or a batch.
 
@@ -160,9 +197,17 @@ class InferenceEngine:
         back unbatched; an ``(B, ...)`` input comes back with the
         leading batch axis intact, as do the activations when
         ``return_acts`` is set.  ``sparse=True`` routes N:M layers
-        through the sparse kernels (bit-identical output).
+        through the sparse kernels (bit-identical output in int8, to
+        rounding in float); ``select_fmt`` / ``accuracy_budget`` enable
+        per-layer format selection (see :meth:`compile`).
         """
-        plan = self.compile(graph, mode, sparse=sparse)
+        plan = self.compile(
+            graph,
+            mode,
+            sparse=sparse,
+            select_fmt=select_fmt,
+            accuracy_budget=accuracy_budget,
+        )
         x = np.asarray(x)
         declared = plan.input_shape
         if x.ndim == len(declared) and tuple(x.shape) == declared:
@@ -191,9 +236,17 @@ class InferenceEngine:
         mode: str = "float",
         return_acts: bool = False,
         sparse: bool = False,
+        select_fmt: bool = False,
+        accuracy_budget: float = 0.0,
     ):
         """Run a strict ``(B, *input_shape)`` batch through the plan."""
-        plan = self.compile(graph, mode, sparse=sparse)
+        plan = self.compile(
+            graph,
+            mode,
+            sparse=sparse,
+            select_fmt=select_fmt,
+            accuracy_budget=accuracy_budget,
+        )
         batch = np.asarray(batch)
         if tuple(batch.shape[1:]) != plan.input_shape or batch.ndim != len(
             plan.input_shape

@@ -30,14 +30,28 @@ the microcoded kernels perform), and dequantises.  Both paths quantise
 activations to **int8** — the accumulator sees values in [-128, 127]
 regardless of op kind.
 
-Sparse plans (``sparse=True``) additionally route int8 conv/dense nodes
-whose (quantised) weights satisfy an N:M pattern through the batched
-sparse kernels: the weights are packed into an
+Sparse plans (``sparse=True``) additionally route conv/dense nodes
+whose weights satisfy an N:M pattern through the batched sparse
+kernels: the weights are packed into an
 :class:`~repro.sparsity.nm.NMSparseMatrix` once at compile time, the
 decimation gather indices are hoisted out of the per-call path, and the
 MCU cost model picks gather vs scatter-to-dense per layer (recorded in
-:attr:`ExecutionPlan.kernel_choices`).  Integer accumulation is exact,
-so sparse plans are **bit-identical** to dense plans on the same graph.
+:attr:`ExecutionPlan.kernel_choices`).  In int8 mode the *quantised*
+weights are packed and integer accumulation is exact, so sparse plans
+are **bit-identical** to dense plans on the same graph.  In float mode
+the float32 weights are packed (float-valued
+:class:`~repro.sparsity.nm.NMSparseMatrix`): scatter-to-dense layers
+stay bit-identical, gather layers accumulate only the NNZ products and
+match the dense GEMM to float rounding — the tolerance contract is
+documented in ``docs/sparsity.md``.
+
+With ``select_fmt=True`` a sparse plan additionally runs the cost
+model's per-layer *format* search
+(:func:`repro.kernels.registry.select_format`): each unannotated layer
+is deployed in the most compressive 1:M format whose weight-energy loss
+fits ``accuracy_budget`` (0.0 = lossless, i.e. only patterns the
+weights already satisfy), re-pruning at pack time when the budget
+allows a lossy win.
 """
 
 from __future__ import annotations
@@ -47,11 +61,16 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.kernels.conv_sparse import gather_indices, sparse_matmul_acc_batch
+from repro.kernels.conv_sparse import (
+    gather_indices,
+    sparse_matmul_acc_batch,
+    sparse_matmul_f32_batch,
+)
 from repro.kernels.im2col import im2col_batch
-from repro.kernels.registry import select_sparse_method
+from repro.kernels.registry import select_format, select_sparse_method
 from repro.kernels.shapes import ConvShape, FcShape
 from repro.sparsity.nm import NMFormat, NMSparseMatrix, SUPPORTED_FORMATS
+from repro.sparsity.pruning import nm_prune
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.compiler
     from repro.compiler.ir import Graph, Node
@@ -106,6 +125,10 @@ class KernelChoice:
     store, so ``1 - weight_bytes / dense_bytes`` is the layer's memory
     reduction.  ``est_cycles`` / ``dense_cycles`` are the MCU cost
     model's latencies behind the decision (None when unmodelled).
+    ``loss`` is set by format selection (``select_fmt=True``): the
+    relative weight-energy the chosen format cost this layer — 0.0 for
+    a lossless choice, positive when the layer was re-pruned at pack
+    time; None when selection did not run for the node.
     """
 
     kind: str
@@ -116,6 +139,7 @@ class KernelChoice:
     dense_bytes: int
     est_cycles: float | None = None
     dense_cycles: float | None = None
+    loss: float | None = None
 
 
 @dataclass(frozen=True)
@@ -147,6 +171,10 @@ class ExecutionPlan:
     output: str
     #: True when the plan was compiled with sparse kernel routing.
     sparse: bool = False
+    #: True when the plan ran per-layer N:M format selection.
+    select_fmt: bool = False
+    #: Per-layer weight-energy loss budget of the format selection.
+    accuracy_budget: float = 0.0
     steps: list[PlanStep] = field(default_factory=list)
     #: Resolved geometry per conv node (introspection / cost hooks).
     conv_shapes: dict[str, ConvShape] = field(default_factory=dict)
@@ -197,25 +225,67 @@ class ExecutionPlan:
 # -- per-op binding ------------------------------------------------------
 
 
-def _resolve_sparse_fmt(node: Node, mode: str, sparse: bool) -> NMFormat | None:
-    """The N:M format a sparse plan should bind for ``node``, if any.
+def _sparse_routing(
+    node: Node,
+    kind: str,
+    shape: ConvShape | FcShape,
+    mode: str,
+    plan: ExecutionPlan,
+) -> tuple[NMSparseMatrix | None, KernelChoice | None]:
+    """Resolve the sparse binding for one conv/dense node, if any.
 
-    Sparse routing applies only to int8 plans over quantised weights
-    (the packed format stores int8 values).  A ``sparse_fmt`` attr —
-    set by :func:`repro.compiler.patterns.annotate_sparsity` or by hand
-    (None forces a layer dense) — takes precedence; unannotated nodes
-    are detected here, so pre-annotation is optional.
+    Returns ``(packed, choice)`` — the compile-time packed weights plus
+    their :class:`KernelChoice` — or ``(None, None)`` for a dense
+    binding.  int8 plans pack the *quantised* weights (nodes without
+    int8 metadata stay dense: there is nothing int8 to pack); float
+    plans pack the float32 weights.  Format resolution order: an
+    explicit ``sparse_fmt`` annotation wins (None forces the layer
+    dense), then the plan's format selection (``select_fmt=True``),
+    then auto-detection of the most compressive satisfied pattern.
     """
-    if not sparse or mode != "int8" or "weights_q" not in node.attrs:
-        return None
+    if not plan.sparse:
+        return None, None
+    int8_path = mode == "int8" and "weights_q" in node.attrs
+    if mode == "int8" and not int8_path:
+        return None, None
+    if int8_path:
+        w = np.asarray(node.attrs["weights_q"])
+        dtype, value_bytes = np.int8, 1
+    else:
+        w = np.asarray(node.attrs["weights"], dtype=np.float32)
+        dtype, value_bytes = np.float32, 4
+    wmat = w.reshape(w.shape[0], -1)
+    loss: float | None = None
     if "sparse_fmt" in node.attrs:
-        return node.attrs["sparse_fmt"]
-    # Lazy import: repro.compiler pulls in the executor, which imports
-    # this module back.
-    from repro.compiler.patterns import detect_format
+        fmt = node.attrs["sparse_fmt"]
+    elif plan.select_fmt:
+        sel = select_format(
+            kind,
+            shape,
+            wmat,
+            budget=plan.accuracy_budget,
+            value_bytes=value_bytes,
+        )
+        fmt = sel.fmt
+        if fmt is not None:
+            loss = sel.loss
+            if sel.loss > 0.0:
+                # Lossy selection: re-prune at pack time.  The plan owns
+                # the pruned copy; the graph's weights are untouched.
+                wmat = nm_prune(wmat, fmt)
+    else:
+        # Lazy import: repro.compiler pulls in the executor, which
+        # imports this module back.
+        from repro.compiler.patterns import detect_format
 
-    wq = np.asarray(node.attrs["weights_q"])
-    return detect_format(wq.reshape(wq.shape[0], -1))
+        fmt = detect_format(wmat)
+    if fmt is None:
+        return None, None
+    packed = NMSparseMatrix.from_dense(wmat, fmt, dtype=dtype)
+    choice = _sparse_choice(
+        kind, shape, fmt, packed, node.attrs.get("sparse_method"), loss
+    )
+    return packed, choice
 
 
 def _sparse_choice(
@@ -224,12 +294,14 @@ def _sparse_choice(
     fmt: NMFormat,
     packed: NMSparseMatrix,
     forced: str | None = None,
+    loss: float | None = None,
 ) -> KernelChoice:
     """Cost-model-driven gather-vs-dense decision for one sparse layer.
 
     ``forced`` (from ``node.attrs["sparse_method"]``) overrides the
     cost model — used to pin a layer to one execution method for
-    testing/CI gates and benchmarking; both methods are bit-identical.
+    testing/CI gates and benchmarking; for int8 both methods are
+    bit-identical, for float they agree to rounding.
     """
     if forced is not None and forced not in ("gather", "dense"):
         raise ValueError(
@@ -248,6 +320,7 @@ def _sparse_choice(
             None,
             packed.total_bytes(),
             dense_bytes,
+            loss=loss,
         )
     sel = select_sparse_method(kind, shape, fmt)
     method = forced or sel.method
@@ -261,6 +334,7 @@ def _sparse_choice(
         dense_bytes,
         sel.sparse_cycles,
         sel.dense_cycles,
+        loss,
     )
 
 
@@ -303,27 +377,18 @@ def _conv_shape(node: Node, in_shape: tuple[int, ...]) -> ConvShape:
 
 
 def _bind_conv(
-    node: Node, in_shape: tuple[int, ...], mode: str, fmt: NMFormat | None
+    node: Node, in_shape: tuple[int, ...], mode: str, plan: ExecutionPlan
 ):
     shape = _conv_shape(node, in_shape)
     bias = node.attrs.get("bias")
     oy, ox, k = shape.oy, shape.ox, shape.k
-    choice = None
-    if fmt is not None:
-        # Sparse routing (int8 + weights_q guaranteed by the caller):
-        # pack once at compile time, validate the pattern loudly, and
-        # record the cost model's gather-vs-dense decision.
-        wq = np.asarray(node.attrs["weights_q"]).reshape(k, -1)
-        packed = NMSparseMatrix.from_dense(wq, fmt)
-        choice = _sparse_choice(
-            "conv", shape, fmt, packed, node.attrs.get("sparse_method")
-        )
-        if choice.method != "gather":
-            # Scatter-to-dense: to_dense() round-trips bit-exactly to
-            # weights_q, so the layer shares the dense int8 binding
-            # below — only the KernelChoice records the decision.
-            fmt = None
-    if fmt is not None:
+    # Sparse routing: pack once at compile time, validate the pattern
+    # loudly, and record the cost model's format + method decisions.
+    packed, choice = _sparse_routing(node, "conv", shape, mode, plan)
+    gather = packed is not None and choice.method == "gather"
+    int8_path = mode == "int8" and "weights_q" in node.attrs
+
+    if gather and int8_path:
         a_scale = float(node.attrs["act_scale"])
         deq = a_scale * float(node.attrs["w_scale"])
         idx = gather_indices(packed)  # hoisted out of the call path
@@ -337,12 +402,28 @@ def _bind_conv(
                 out = out + bias
             return out.reshape(x.shape[0], oy, ox, k)
 
-    elif mode == "int8" and "weights_q" in node.attrs:
+    elif gather:
+        idx = gather_indices(packed)
+
+        def run(x: np.ndarray) -> np.ndarray:
+            cols = im2col_batch(x, shape)
+            out = sparse_matmul_f32_batch(cols, packed, "gather", idx)
+            if bias is not None:
+                out = out + bias
+            return out.reshape(x.shape[0], oy, ox, k)
+
+    elif int8_path:
         # Pre-widen the quantised weights to the accumulator dtype and
         # pre-transpose; the per-call work is quantise + gather + GEMM.
-        wq_t = np.ascontiguousarray(
-            node.attrs["weights_q"].reshape(k, -1).astype(np.int32).T
+        # Scatter-to-dense sparse layers share this binding: to_dense()
+        # restores the packed matrix exactly (including any selection
+        # re-pruning), so only the KernelChoice records the decision.
+        wq = (
+            packed.to_dense()
+            if packed is not None
+            else np.asarray(node.attrs["weights_q"]).reshape(k, -1)
         )
+        wq_t = np.ascontiguousarray(wq.astype(np.int32).T)
         a_scale = float(node.attrs["act_scale"])
         deq = a_scale * float(node.attrs["w_scale"])
 
@@ -356,9 +437,12 @@ def _bind_conv(
             return out.reshape(x.shape[0], oy, ox, k)
 
     else:
-        w_t = np.ascontiguousarray(
-            node.attrs["weights"].reshape(k, -1).T.astype(np.float32)
+        w = (
+            packed.to_dense()
+            if packed is not None
+            else np.asarray(node.attrs["weights"]).reshape(k, -1)
         )
+        w_t = np.ascontiguousarray(w.T.astype(np.float32))
 
         def run(x: np.ndarray) -> np.ndarray:
             cols = im2col_batch(x, shape)
@@ -373,7 +457,7 @@ def _bind_conv(
 
 
 def _bind_dense(
-    node: Node, in_shape: tuple[int, ...], mode: str, fmt: NMFormat | None
+    node: Node, in_shape: tuple[int, ...], mode: str, plan: ExecutionPlan
 ):
     k, c = node.attrs["weights"].shape
     tokens = int(np.prod(in_shape[:-1])) if len(in_shape) > 1 else 1
@@ -382,16 +466,11 @@ def _bind_dense(
     # A vector input (C,) is lifted to one "token" so every batch slice
     # runs the same (T, C) @ (C, K) GEMM as a single-sample call.
     vector_in = len(in_shape) == 1
-    choice = None
-    if fmt is not None:
-        wq = np.asarray(node.attrs["weights_q"])
-        packed = NMSparseMatrix.from_dense(wq, fmt)
-        choice = _sparse_choice(
-            "fc", fc_shape, fmt, packed, node.attrs.get("sparse_method")
-        )
-        if choice.method != "gather":
-            fmt = None  # share the dense int8 binding (bit-identical)
-    if fmt is not None:
+    packed, choice = _sparse_routing(node, "fc", fc_shape, mode, plan)
+    gather = packed is not None and choice.method == "gather"
+    int8_path = mode == "int8" and "weights_q" in node.attrs
+
+    if gather and int8_path:
         a_scale = float(node.attrs["act_scale"])
         deq = a_scale * float(node.attrs["w_scale"])
         idx = gather_indices(packed)
@@ -409,10 +488,28 @@ def _bind_dense(
                 out = out + bias
             return out
 
-    elif mode == "int8" and "weights_q" in node.attrs:
-        wq_t = np.ascontiguousarray(
-            node.attrs["weights_q"].astype(np.int32).T
+    elif gather:
+        idx = gather_indices(packed)
+
+        def run(x: np.ndarray) -> np.ndarray:
+            if vector_in:
+                x = x[:, None, :]
+            toks = x.reshape(x.shape[0], -1, c)
+            out = sparse_matmul_f32_batch(toks, packed, "gather", idx)
+            out = out.reshape(*x.shape[:-1], k)
+            if vector_in:
+                out = out[:, 0]
+            if bias is not None:
+                out = out + bias
+            return out
+
+    elif int8_path:
+        wq = (
+            packed.to_dense()
+            if packed is not None
+            else np.asarray(node.attrs["weights_q"])
         )
+        wq_t = np.ascontiguousarray(wq.astype(np.int32).T)
         a_scale = float(node.attrs["act_scale"])
         deq = a_scale * float(node.attrs["w_scale"])
 
@@ -428,7 +525,12 @@ def _bind_dense(
             return out
 
     else:
-        w_t = np.ascontiguousarray(node.attrs["weights"].T.astype(np.float32))
+        w = (
+            packed.to_dense()
+            if packed is not None
+            else np.asarray(node.attrs["weights"])
+        )
+        w_t = np.ascontiguousarray(w.T.astype(np.float32))
 
         def run(x: np.ndarray) -> np.ndarray:
             if vector_in:
@@ -512,14 +614,12 @@ def _bind_step(
 ) -> Callable[..., np.ndarray]:
     """Resolve one node into its batched kernel callable."""
     if node.op == "conv2d":
-        fmt = _resolve_sparse_fmt(node, mode, plan.sparse)
-        shape, run, choice = _bind_conv(node, in_shape, mode, fmt)
+        shape, run, choice = _bind_conv(node, in_shape, mode, plan)
         plan.conv_shapes[node.name] = shape
         plan.kernel_choices[node.name] = choice
         return run
     if node.op == "dense":
-        fmt = _resolve_sparse_fmt(node, mode, plan.sparse)
-        fc_shape, run, choice = _bind_dense(node, in_shape, mode, fmt)
+        fc_shape, run, choice = _bind_dense(node, in_shape, mode, plan)
         plan.fc_shapes[node.name] = fc_shape
         plan.kernel_choices[node.name] = choice
         return run
@@ -555,7 +655,11 @@ def _bind_step(
 
 
 def compile_plan(
-    graph: Graph, mode: str = "float", sparse: bool = False
+    graph: Graph,
+    mode: str = "float",
+    sparse: bool = False,
+    select_fmt: bool = False,
+    accuracy_budget: float = 0.0,
 ) -> ExecutionPlan:
     """Compile ``graph`` into an :class:`ExecutionPlan` for ``mode``.
 
@@ -565,15 +669,35 @@ def compile_plan(
     mutating the graph afterwards does not affect it — recompile (or
     use :meth:`repro.engine.InferenceEngine.invalidate`) instead.
 
-    With ``sparse=True``, int8 conv/dense nodes whose quantised weights
-    satisfy a supported N:M pattern are packed and bound to the batched
-    sparse kernels (see the module docstring); pre-annotated
-    ``sparse_fmt`` attrs are honoured, unannotated nodes are detected
-    here.  Float plans ignore the knob (the packed format stores int8
-    values), falling back to the dense float kernels.
+    With ``sparse=True``, conv/dense nodes whose weights satisfy a
+    supported N:M pattern are packed and bound to the batched sparse
+    kernels (see the module docstring); pre-annotated ``sparse_fmt``
+    attrs are honoured, unannotated nodes are detected here.  int8
+    plans pack the quantised weights (exact — bit-identical to dense);
+    float plans pack the float32 weights (gather layers match dense to
+    rounding).  In int8 mode, nodes without quantisation metadata keep
+    their dense float fallback binding.
+
+    ``select_fmt=True`` (sparse plans only) replaces per-layer
+    auto-detection with the cost model's format search under
+    ``accuracy_budget`` — see
+    :func:`repro.kernels.registry.select_format`.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}")
+    if select_fmt and not sparse:
+        raise ValueError("select_fmt=True requires sparse=True")
+    if accuracy_budget < 0:
+        raise ValueError(
+            f"accuracy_budget must be >= 0, got {accuracy_budget}"
+        )
+    if sparse:
+        # Resolve the gather chunk size now so a bad REPRO_K_CHUNK env
+        # value fails at compile/registration time, not on the first
+        # inference request that hits a gather-bound layer.
+        from repro.kernels.conv_sparse import k_chunk
+
+        k_chunk()
     graph.validate()
     input_node = next((n for n in graph if n.op == "input"), None)
     if input_node is None:
@@ -585,6 +709,8 @@ def compile_plan(
         input_shape=tuple(input_node.attrs["shape"]),
         output=graph.output,
         sparse=sparse,
+        select_fmt=select_fmt,
+        accuracy_budget=accuracy_budget,
     )
     # Liveness: the step that consumes an activation last releases it.
     last_use: dict[str, int] = {}

@@ -18,12 +18,18 @@ from repro.kernels.shapes import ConvShape, FcShape
 from repro.kernels.requant import QuantParams, requantize
 from repro.kernels.im2col import im2col, im2col_buffer_bytes
 from repro.kernels.conv_dense import conv2d_dense
-from repro.kernels.conv_sparse import conv2d_sparse
+from repro.kernels.conv_sparse import (
+    conv2d_f32_sparse,
+    conv2d_sparse,
+    k_chunk,
+    set_k_chunk,
+)
 from repro.kernels.fc_dense import fc_dense
-from repro.kernels.fc_sparse import fc_sparse
+from repro.kernels.fc_sparse import fc_f32_sparse, fc_sparse
 from repro.kernels.registry import (
     KernelVariant,
     KERNEL_VARIANTS,
+    select_format,
     variant_for,
 )
 
@@ -36,9 +42,14 @@ __all__ = [
     "im2col_buffer_bytes",
     "conv2d_dense",
     "conv2d_sparse",
+    "conv2d_f32_sparse",
     "fc_dense",
     "fc_sparse",
+    "fc_f32_sparse",
+    "k_chunk",
+    "set_k_chunk",
     "KernelVariant",
     "KERNEL_VARIANTS",
+    "select_format",
     "variant_for",
 ]

@@ -16,6 +16,13 @@ optimised equivalent):
 - ``method="dense"`` scatters the N:M matrix back to dense and uses a
   BLAS matmul — bit-identical output, used for big end-to-end runs.
 
+Both paths exist in an int8 flavour (int32 accumulators — the MCU
+maths, exact, so gather and dense are bit-identical) and a float32
+flavour (:func:`sparse_matmul_f32_batch`): float accumulation is not
+associative, so the float gather path matches the dense GEMM only to
+rounding — the tolerance contract is documented in
+``docs/sparsity.md``.
+
 The SW-only and ISA-extended kernels compute identical results (the
 ``xDecimate`` instruction only accelerates the decimation); their
 separate latency models live in :mod:`repro.kernels.cost_model`, and
@@ -23,6 +30,8 @@ their instruction-level behaviour in :mod:`repro.kernels.microcode`.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -34,14 +43,60 @@ from repro.sparsity.nm import NMSparseMatrix
 __all__ = [
     "conv2d_sparse",
     "conv2d_acc_sparse",
+    "conv2d_f32_sparse",
     "gather_indices",
+    "k_chunk",
+    "set_k_chunk",
     "sparse_matmul_acc",
     "sparse_matmul_acc_batch",
+    "sparse_matmul_f32",
+    "sparse_matmul_f32_batch",
 ]
 
-#: Output channels processed per gather chunk (bounds peak memory of the
-#: (B, P, K_chunk, NNZ) gather tensor).
-_K_CHUNK = 32
+#: Environment variable overriding the gather chunk size per host.
+K_CHUNK_ENV = "REPRO_K_CHUNK"
+
+#: Default output channels processed per gather chunk (bounds peak
+#: memory of the (B, P, K_chunk, NNZ) gather tensor).
+_DEFAULT_K_CHUNK = 32
+
+_k_chunk_override: int | None = None
+
+
+def k_chunk() -> int:
+    """Output channels per gather chunk, resolved per call.
+
+    Precedence: :func:`set_k_chunk` override (the CLI's ``--k-chunk``
+    flag) > the ``REPRO_K_CHUNK`` environment variable > the built-in
+    default of 32.  Smaller chunks bound the peak memory of the
+    ``(B, P, K_chunk, NNZ)`` gather tensor; larger chunks amortise the
+    per-chunk einsum dispatch — the right value is host-dependent
+    (groundwork for per-host autotuning).  The chunking only groups
+    whole output channels, so the result is bit-identical for every
+    chunk size.
+    """
+    if _k_chunk_override is not None:
+        return _k_chunk_override
+    raw = os.environ.get(K_CHUNK_ENV)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{K_CHUNK_ENV}={raw!r} is not an integer"
+            ) from None
+        if value < 1:
+            raise ValueError(f"{K_CHUNK_ENV} must be >= 1, got {value}")
+        return value
+    return _DEFAULT_K_CHUNK
+
+
+def set_k_chunk(value: int | None) -> None:
+    """Process-wide gather chunk override; ``None`` resets to env/default."""
+    global _k_chunk_override
+    if value is not None and value < 1:
+        raise ValueError(f"k_chunk must be >= 1, got {value}")
+    _k_chunk_override = value
 
 
 def gather_indices(sparse_w: NMSparseMatrix) -> np.ndarray:
@@ -60,6 +115,48 @@ def gather_indices(sparse_w: NMSparseMatrix) -> np.ndarray:
     return block_starts[None, :] + sparse_w.offsets
 
 
+def _sparse_matmul_batch(
+    cols: np.ndarray,
+    sparse_w: NMSparseMatrix,
+    method: str,
+    gather_idx: np.ndarray | None,
+    acc_dtype: np.dtype,
+) -> np.ndarray:
+    """Shared gather/scatter core for both numeric flavours."""
+    cols = np.asarray(cols)
+    if cols.ndim != 3 or cols.shape[2] != sparse_w.dense_cols:
+        raise ValueError(
+            f"cols {cols.shape} incompatible with dense_cols="
+            f"{sparse_w.dense_cols}"
+        )
+    if method == "dense":
+        wmat = sparse_w.to_dense().astype(acc_dtype)
+        return cols.astype(acc_dtype, copy=False) @ wmat.T
+
+    if method != "gather":
+        raise ValueError(f"unknown method {method!r}")
+    if gather_idx is None:
+        gather_idx = gather_indices(sparse_w)
+    b, p, _ = cols.shape
+    k_total = sparse_w.values.shape[0]
+    acc = np.empty((b, p, k_total), dtype=acc_dtype)
+    # Gather from the narrow buffer and widen per chunk: only the nnz/R
+    # positions the decimation actually reads are touched, and the
+    # accumulator footprint stays bounded by the (B, P, kc, nnz) chunk.
+    step = k_chunk()
+    for k0 in range(0, k_total, step):
+        k1 = min(k0 + step, k_total)
+        # The fancy-index gather already materialises a fresh chunk, so
+        # the widening cast must not copy again when dtypes match
+        # (float32 in, float32 accumulators).
+        patches = cols[:, :, gather_idx[k0:k1]].astype(
+            acc_dtype, copy=False
+        )  # (B, P, kc, nnz)
+        vals = sparse_w.values[k0:k1].astype(acc_dtype, copy=False)  # (kc, nnz)
+        acc[:, :, k0:k1] = np.einsum("bpkn,kn->bpk", patches, vals)
+    return acc
+
+
 def sparse_matmul_acc_batch(
     cols: np.ndarray,
     sparse_w: NMSparseMatrix,
@@ -73,7 +170,7 @@ def sparse_matmul_acc_batch(
     cols:
         int8 tensor ``(B, P, R)`` — batched im2col rows or FC tokens.
     sparse_w:
-        N:M weights with ``dense_cols == R``.
+        int8 N:M weights with ``dense_cols == R``.
     method:
         "gather" (mirrors the kernel's indexing) or "dense"
         (scatter + BLAS; bit-identical — integer accumulation is exact,
@@ -83,32 +180,57 @@ def sparse_matmul_acc_batch(
         skips the per-call index computation (the plan compiler caches
         it per layer).
     """
+    if sparse_w.values.dtype != np.int8:
+        raise TypeError(
+            f"sparse_matmul_acc_batch expects int8 values, got "
+            f"{sparse_w.values.dtype} (use sparse_matmul_f32_batch)"
+        )
+    return _sparse_matmul_batch(
+        cols, sparse_w, method, gather_idx, np.dtype(np.int32)
+    )
+
+
+def sparse_matmul_f32_batch(
+    cols: np.ndarray,
+    sparse_w: NMSparseMatrix,
+    method: str = "gather",
+    gather_idx: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched float32 products of ``cols @ sparse_w.T``: ``(B, P, K)``.
+
+    The float flavour of :func:`sparse_matmul_acc_batch` for
+    float-valued :class:`~repro.sparsity.nm.NMSparseMatrix` weights.
+    ``method="dense"`` (scatter + BLAS) reproduces the dense float
+    kernel bit for bit — the scatter restores the exact float32 weight
+    matrix.  ``method="gather"`` accumulates only the NNZ products, in
+    decimation order; float addition is not associative, so it matches
+    the dense GEMM to rounding, not bit-exactly (tolerance contract in
+    ``docs/sparsity.md``).
+    """
+    if sparse_w.values.dtype != np.float32:
+        raise TypeError(
+            f"sparse_matmul_f32_batch expects float32 values, got "
+            f"{sparse_w.values.dtype} (use sparse_matmul_acc_batch)"
+        )
+    return _sparse_matmul_batch(
+        cols, sparse_w, method, gather_idx, np.dtype(np.float32)
+    )
+
+
+def sparse_matmul_f32(
+    cols: np.ndarray,
+    sparse_w: NMSparseMatrix,
+    method: str = "gather",
+    gather_idx: np.ndarray | None = None,
+) -> np.ndarray:
+    """float32 products of ``cols @ sparse_w.T`` for a single sample."""
     cols = np.asarray(cols)
-    if cols.ndim != 3 or cols.shape[2] != sparse_w.dense_cols:
+    if cols.ndim != 2 or cols.shape[1] != sparse_w.dense_cols:
         raise ValueError(
             f"cols {cols.shape} incompatible with dense_cols="
             f"{sparse_w.dense_cols}"
         )
-    if method == "dense":
-        wmat = sparse_w.to_dense().astype(np.int32)
-        return cols.astype(np.int32) @ wmat.T
-
-    if method != "gather":
-        raise ValueError(f"unknown method {method!r}")
-    if gather_idx is None:
-        gather_idx = gather_indices(sparse_w)
-    b, p, _ = cols.shape
-    k_total = sparse_w.values.shape[0]
-    acc = np.empty((b, p, k_total), dtype=np.int32)
-    # Gather from the int8 buffer and widen per chunk: only the nnz/R
-    # positions the decimation actually reads are touched, and the
-    # int32 footprint stays bounded by the (B, P, kc, nnz) chunk.
-    for k0 in range(0, k_total, _K_CHUNK):
-        k1 = min(k0 + _K_CHUNK, k_total)
-        patches = cols[:, :, gather_idx[k0:k1]].astype(np.int32)  # (B, P, kc, nnz)
-        vals = sparse_w.values[k0:k1].astype(np.int32)  # (kc, nnz)
-        acc[:, :, k0:k1] = np.einsum("bpkn,kn->bpk", patches, vals)
-    return acc
+    return sparse_matmul_f32_batch(cols[None], sparse_w, method, gather_idx)[0]
 
 
 def sparse_matmul_acc(
@@ -168,3 +290,23 @@ def conv2d_sparse(
     """N:M sparse int8 convolution with requantised int8 output."""
     acc = conv2d_acc_sparse(x, sparse_w, shape, method)
     return requantize(acc, quant or QuantParams(), bias)
+
+
+def conv2d_f32_sparse(
+    x: np.ndarray,
+    sparse_w: NMSparseMatrix,
+    shape: ConvShape,
+    bias: np.ndarray | None = None,
+    method: str = "gather",
+) -> np.ndarray:
+    """N:M sparse float32 convolution: ``(OY, OX, K)`` float output."""
+    if sparse_w.rows != shape.k or sparse_w.dense_cols != shape.reduce_dim:
+        raise ValueError(
+            f"sparse weights ({sparse_w.rows}, {sparse_w.dense_cols}) "
+            f"do not match {shape}"
+        )
+    cols = im2col(x, shape)
+    out = sparse_matmul_f32(cols, sparse_w, method)
+    if bias is not None:
+        out = out + bias
+    return out.reshape(shape.oy, shape.ox, shape.k)

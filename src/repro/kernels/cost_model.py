@@ -33,21 +33,45 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.hw.cluster import ClusterConfig, VEGA_CLUSTER
 from repro.hw.memory import DmaModel, MemoryHierarchy, VEGA_MEMORY
 from repro.kernels.shapes import ConvShape, FcShape
 from repro.sparsity.nm import NMFormat
+from repro.sparsity.pruning import nm_prune_mask
 
 __all__ = [
     "CostParams",
     "CycleBreakdown",
     "DEFAULT_PARAMS",
+    "format_energy_loss",
     "iter_cycles",
     "iter_equiv_macs",
     "weight_stream_bytes",
     "conv_layer_cycles",
     "fc_layer_cycles",
 ]
+
+def format_energy_loss(weights, fmt: NMFormat) -> float:
+    """Relative weight-energy loss of magnitude-pruning to ``fmt``.
+
+    The format selector's accuracy proxy: ``1 - ||prune(W)||² / ||W||²``
+    for the standard keep-N-largest-per-M-block criterion.  Exactly 0
+    when the matrix already satisfies the pattern (the selection is then
+    lossless and the compiled plan stays bit-identical to dense for
+    int8); an all-zero matrix is defined as lossless.  Accuracy drop on
+    a task correlates with, but is not equal to, this energy loss — the
+    budget is a *proxy* knob, calibrated per model (Sec. 2.1 prunes
+    offline and reports the resulting task accuracy).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    total = float(np.square(weights).sum())
+    if total == 0.0:
+        return 0.0
+    kept = float(np.square(weights[nm_prune_mask(weights, fmt)]).sum())
+    return 1.0 - kept / total
+
 
 #: Inner-loop cycles per iteration on an unloaded core: instruction
 #: counts from the paper's Fig. 4/5 (the 1:4 entries amortise the

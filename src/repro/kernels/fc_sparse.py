@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.conv_sparse import sparse_matmul_acc
+from repro.kernels.conv_sparse import sparse_matmul_acc, sparse_matmul_f32
 from repro.kernels.fc_dense import _as_tokens
 from repro.kernels.requant import QuantParams, requantize
 from repro.kernels.shapes import FcShape
 from repro.sparsity.nm import NMSparseMatrix
 
-__all__ = ["fc_sparse", "fc_acc_sparse"]
+__all__ = ["fc_sparse", "fc_acc_sparse", "fc_f32_sparse"]
 
 
 def fc_acc_sparse(
@@ -53,3 +53,29 @@ def fc_sparse(
     """N:M sparse int8 FC layer with requantised int8 output ``(T, K)``."""
     acc = fc_acc_sparse(x, sparse_w, shape, method)
     return requantize(acc, quant or QuantParams(), bias)
+
+
+def fc_f32_sparse(
+    x: np.ndarray,
+    sparse_w: NMSparseMatrix,
+    shape: FcShape,
+    bias: np.ndarray | None = None,
+    method: str = "gather",
+) -> np.ndarray:
+    """N:M sparse float32 FC layer: ``(T, K)`` float output.
+
+    The float flavour of :func:`fc_sparse` for float-valued packed
+    weights — no requantisation epilogue; ``method="dense"`` is
+    bit-identical to the dense float GEMM, ``method="gather"`` matches
+    it to rounding (see ``docs/sparsity.md``).
+    """
+    if sparse_w.rows != shape.k or sparse_w.dense_cols != shape.c:
+        raise ValueError(
+            f"sparse weights ({sparse_w.rows}, {sparse_w.dense_cols}) "
+            f"do not match {shape}"
+        )
+    tokens = _as_tokens(x, shape)
+    out = sparse_matmul_f32(tokens, sparse_w, method)
+    if bias is not None:
+        out = out + bias
+    return out

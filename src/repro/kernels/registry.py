@@ -3,11 +3,23 @@
 Maps variant names to their functional entry points, latency models and
 weight layouts, giving the compiler (:mod:`repro.compiler.codegen`) and
 the benchmark harness one place to enumerate what the library offers.
+
+Two compile-time selectors live here, both driven by the MCU cost
+model:
+
+- :func:`select_sparse_method` — gather vs scatter-to-dense for a layer
+  whose N:M format is already fixed (PR 3);
+- :func:`select_format` — *which* N:M format (1:4 / 1:8 / 1:16, or
+  dense) to deploy a layer in, under a per-layer accuracy budget — the
+  paper's central memory/latency-vs-accuracy trade, run as a
+  compile-time search over the candidate formats.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.kernels.cost_model import (
     CostParams,
@@ -15,6 +27,7 @@ from repro.kernels.cost_model import (
     DEFAULT_PARAMS,
     conv_layer_cycles,
     fc_layer_cycles,
+    format_energy_loss,
 )
 from repro.kernels.shapes import ConvShape, FcShape
 from repro.sparsity.nm import NMFormat, SUPPORTED_FORMATS
@@ -26,6 +39,9 @@ __all__ = [
     "dense_variant_for",
     "SparseMethodChoice",
     "select_sparse_method",
+    "FormatCandidate",
+    "FormatChoice",
+    "select_format",
 ]
 
 
@@ -168,4 +184,150 @@ def select_sparse_method(
     method = "gather" if sparse_cycles <= dense_cycles else "dense"
     return SparseMethodChoice(
         method, sparse_v.name, dense_v.name, sparse_cycles, dense_cycles
+    )
+
+
+@dataclass(frozen=True)
+class FormatCandidate:
+    """One scored entry of a per-layer format search.
+
+    ``fmt_name`` is ``"dense"`` or an N:M format name.  ``loss`` is the
+    relative weight-energy loss of magnitude-pruning the layer to the
+    candidate (:func:`repro.kernels.cost_model.format_energy_loss`) —
+    exactly 0 when the weights already satisfy the pattern.
+    ``weight_bytes`` is the candidate's deployable storage (packed
+    values + offsets, or the dense matrix); ``cycles`` the cost model's
+    best deployable latency for the geometry (min of the decimation
+    kernel and the dense kernel; None when no modelled kernel serves
+    it).  ``admissible`` marks candidates whose loss fits the budget.
+    """
+
+    fmt_name: str
+    loss: float
+    weight_bytes: int
+    cycles: float | None
+    admissible: bool
+
+
+@dataclass(frozen=True)
+class FormatChoice:
+    """Result of :func:`select_format` for one layer.
+
+    ``fmt`` is None when dense wins (no sparse candidate fits the
+    budget, or the geometry divides no supported block size).  ``loss``
+    is the chosen candidate's energy loss: 0.0 means the selection is
+    lossless (the weights already satisfied the chosen pattern); a
+    positive loss means the layer must be *re-pruned* to the chosen
+    format at pack time.  ``candidates`` records the full scored search
+    for introspection.
+    """
+
+    fmt: NMFormat | None
+    loss: float
+    weight_bytes: int
+    cycles: float | None
+    candidates: tuple[FormatCandidate, ...]
+
+
+def _best_cycles(
+    kind: str, shape: ConvShape | FcShape, fmt: NMFormat | None, params: CostParams
+) -> float | None:
+    """Best modelled deployable latency of ``shape`` at ``fmt``.
+
+    For an N:M format this is the better of the decimation kernel and
+    the scatter-to-dense execution (the same pair
+    :func:`select_sparse_method` arbitrates); for dense (``fmt=None``)
+    it is the dense kernel, or None when none applies (odd-K FC).
+    """
+    dense_v = dense_variant_for(kind, shape)
+    dense_cycles = dense_v.cycles(shape, params).total if dense_v else None
+    if fmt is None:
+        return dense_cycles
+    sparse_cycles = variant_for(kind, "sparse-sw", fmt).cycles(shape, params).total
+    if dense_cycles is None:
+        return sparse_cycles
+    return min(sparse_cycles, dense_cycles)
+
+
+def select_format(
+    kind: str,
+    shape: ConvShape | FcShape,
+    weights: np.ndarray,
+    budget: float = 0.0,
+    value_bytes: int = 1,
+    params: CostParams = DEFAULT_PARAMS,
+) -> FormatChoice:
+    """Pick the N:M format (or dense) to deploy one layer in.
+
+    Scores every supported format whose block size divides the layer's
+    reduce dimension, plus the dense baseline: the candidate's accuracy
+    cost is the relative weight-energy lost by magnitude-pruning to the
+    pattern, its memory cost the exact packed storage
+    (:meth:`~repro.sparsity.nm.NMFormat.packed_bytes`), its latency the
+    cost model's best deployable kernel.  Among candidates whose loss
+    fits ``budget``, the smallest ``weight_bytes`` wins (ties broken by
+    modelled cycles) — memory is the binding MCU constraint the paper
+    optimises (Sec. 2.1); the dense candidate (loss 0) guarantees a
+    fallback.
+
+    With the default ``budget=0.0`` the search is **lossless**: only
+    patterns the weights already satisfy are admissible, so for int8 the
+    compiled plan stays bit-identical to dense.  A positive budget
+    allows *re-pruning* the layer to a more compressive format at pack
+    time, trading accuracy for memory exactly as the paper's
+    deployment-time format sweep does.
+
+    Parameters
+    ----------
+    kind:
+        "conv" or "fc".
+    shape:
+        The layer geometry (for the latency model).
+    weights:
+        The 2-D reduce-major weight matrix the kernels consume —
+        quantised int8 for int8 plans, float32 for float plans.
+    budget:
+        Maximum admissible relative weight-energy loss per layer.
+    value_bytes:
+        Stored value width: 1 for int8, 4 for float32.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ValueError(f"expected a 2-D weight matrix, got {weights.shape}")
+    if budget < 0:
+        raise ValueError(f"accuracy budget must be >= 0, got {budget}")
+    rows, cols = weights.shape
+    dense_cand = FormatCandidate(
+        "dense",
+        0.0,
+        rows * cols * value_bytes,
+        _best_cycles(kind, shape, None, params),
+        True,
+    )
+    candidates = [dense_cand]
+    dense_matrix = not (weights != 0).any()
+    for fmt in sorted(SUPPORTED_FORMATS.values(), key=lambda f: f.m):
+        if cols % fmt.m:
+            continue
+        loss = format_energy_loss(weights, fmt)
+        candidates.append(
+            FormatCandidate(
+                fmt.name,
+                loss,
+                fmt.packed_bytes(rows, cols, value_bytes),
+                _best_cycles(kind, shape, fmt, params),
+                # An all-zero matrix trivially satisfies every pattern;
+                # lowering it sparse would be legal but pointless (and
+                # detect_format agrees), so keep it dense.
+                loss <= budget and not dense_matrix,
+            )
+        )
+    admissible = [c for c in candidates if c.admissible]
+    best = min(
+        admissible,
+        key=lambda c: (c.weight_bytes, c.cycles if c.cycles is not None else float("inf")),
+    )
+    fmt = None if best.fmt_name == "dense" else SUPPORTED_FORMATS[best.fmt_name]
+    return FormatChoice(
+        fmt, best.loss, best.weight_bytes, best.cycles, tuple(candidates)
     )

@@ -2,15 +2,18 @@
 
 Hosts the engine benchmark's ResNet-style graph as ``resnet-float`` and
 ``resnet-int8``, plus an N:M-pruned sibling served through the sparse
-execution plan as ``resnet-sparse-int8`` — exercising the registry's
-side-by-side (graph, mode, sparse) deployments.  Everything is seeded
+execution plans as ``resnet-sparse-int8`` (quantised packed weights)
+and ``resnet-sparse-float`` (float32 packed weights), and a
+format-selected deployment ``resnet-select-int8`` of the mixed-format
+demo graph — exercising the registry's side-by-side
+(graph, mode, sparse, selection) deployments.  Everything is seeded
 through :func:`repro.utils.rng.make_rng`, so the demo weights,
 calibration data, and therefore every served logit are reproducible.
 """
 
 from __future__ import annotations
 
-from repro.engine.bench import resnet_style_graph
+from repro.engine.bench import MIXED_DEMO_FMTS, resnet_style_graph
 from repro.serve.batcher import BatchPolicy
 from repro.serve.server import ModelServer
 from repro.sparsity.nm import FORMAT_1_8
@@ -19,9 +22,15 @@ from repro.utils.rng import make_rng
 __all__ = ["DEMO_MODELS", "DEMO_SPARSE_FORMAT", "demo_server"]
 
 #: Deployment names the demo server hosts.
-DEMO_MODELS = ("resnet-float", "resnet-int8", "resnet-sparse-int8")
+DEMO_MODELS = (
+    "resnet-float",
+    "resnet-int8",
+    "resnet-sparse-int8",
+    "resnet-sparse-float",
+    "resnet-select-int8",
+)
 
-#: N:M format of the pruned demo deployment.
+#: N:M format of the pruned demo deployments.
 DEMO_SPARSE_FORMAT = FORMAT_1_8
 
 
@@ -34,8 +43,10 @@ def demo_server(
 ) -> ModelServer:
     """Build (but don't start) a server hosting the demo deployments.
 
-    ``sparse=False`` drops the pruned ``resnet-sparse-int8``
-    deployment (the two dense-plan deployments are always hosted).
+    ``sparse=False`` drops the three sparse-plan deployments
+    (``resnet-sparse-int8``, ``resnet-sparse-float``,
+    ``resnet-select-int8``); the two dense-plan deployments are always
+    hosted.
     """
     from repro.models.quantize import quantize_graph
 
@@ -54,4 +65,10 @@ def demo_server(
         pruned = resnet_style_graph(seed=seed, fmt=DEMO_SPARSE_FORMAT)
         quantize_graph(pruned, calib)
         server.register("resnet-sparse-int8", pruned, "int8", sparse=True)
+        server.register("resnet-sparse-float", pruned, "float", sparse=True)
+        mixed = resnet_style_graph(seed=seed, layer_fmts=MIXED_DEMO_FMTS)
+        quantize_graph(mixed, calib)
+        server.register(
+            "resnet-select-int8", mixed, "int8", sparse=True, select_fmt=True
+        )
     return server

@@ -29,11 +29,15 @@ __all__ = ["Deployment", "ModelRegistry"]
 
 @dataclass
 class Deployment:
-    """One named (graph, mode, sparse) triple hosted by the server.
+    """One named (graph, mode, sparse, selection) tuple hosted by the
+    server.
 
     ``sparse`` deployments execute through the sparsity-aware plan —
-    N:M-annotated int8 layers run the batched sparse kernels,
-    bit-identical to the dense plan of the same graph.
+    N:M-annotated layers run the batched sparse kernels: quantised
+    weights in int8 mode (bit-identical to the dense plan of the same
+    graph), float32 weights in float mode (dense-identical to float
+    rounding).  ``select_fmt`` deployments additionally let the cost
+    model pick each layer's N:M format under ``accuracy_budget``.
     """
 
     name: str
@@ -42,6 +46,8 @@ class Deployment:
     engine: InferenceEngine
     plan: ExecutionPlan = field(repr=False)
     sparse: bool = False
+    select_fmt: bool = False
+    accuracy_budget: float = 0.0
 
     @property
     def input_shape(self) -> tuple[int, ...]:
@@ -69,7 +75,12 @@ class Deployment:
     def run_batch(self, batch: np.ndarray) -> np.ndarray:
         """Execute a formed micro-batch through the engine's plan cache."""
         return self.engine.run_batch(
-            self.graph, batch, mode=self.mode, sparse=self.sparse
+            self.graph,
+            batch,
+            mode=self.mode,
+            sparse=self.sparse,
+            select_fmt=self.select_fmt,
+            accuracy_budget=self.accuracy_budget,
         )
 
 
@@ -81,22 +92,35 @@ class ModelRegistry:
         self._deployments: dict[str, Deployment] = {}
 
     def register(
-        self, name: str, graph: "Graph", mode: str = "float", sparse: bool = False
+        self,
+        name: str,
+        graph: "Graph",
+        mode: str = "float",
+        sparse: bool = False,
+        select_fmt: bool = False,
+        accuracy_budget: float = 0.0,
     ) -> Deployment:
         """Host ``graph`` in ``mode`` under ``name``, warming its plan.
 
         Compilation happens here, at registration time, so serving
         traffic never sees a cold plan — for ``sparse=True`` that
-        includes the N:M weight packing and per-layer kernel selection.
-        Re-registering an existing name replaces the deployment (the
-        engine-level plan cache keeps any still-valid plan for the same
-        graph).
+        includes the N:M weight packing and per-layer kernel selection,
+        and for ``select_fmt=True`` the cost-model format search under
+        ``accuracy_budget``.  Re-registering an existing name replaces
+        the deployment (the engine-level plan cache keeps any
+        still-valid plan for the same graph).
         """
         if not name:
             raise ValueError("deployment name must be non-empty")
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r} (expected one of {MODES})")
-        plan = self.engine.compile(graph, mode, sparse=sparse)  # warm-up
+        plan = self.engine.compile(  # warm-up
+            graph,
+            mode,
+            sparse=sparse,
+            select_fmt=select_fmt,
+            accuracy_budget=accuracy_budget,
+        )
         dep = Deployment(
             name=name,
             graph=graph,
@@ -104,6 +128,8 @@ class ModelRegistry:
             engine=self.engine,
             plan=plan,
             sparse=sparse,
+            select_fmt=select_fmt,
+            accuracy_budget=accuracy_budget,
         )
         self._deployments[name] = dep
         return dep

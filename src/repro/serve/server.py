@@ -118,10 +118,23 @@ class ModelServer:
     # -- convenience registration --------------------------------------
 
     def register(
-        self, name: str, graph: "Graph", mode: str = "float", sparse: bool = False
+        self,
+        name: str,
+        graph: "Graph",
+        mode: str = "float",
+        sparse: bool = False,
+        select_fmt: bool = False,
+        accuracy_budget: float = 0.0,
     ):
         """Register (and plan-warm) a deployment on the server's registry."""
-        return self.registry.register(name, graph, mode, sparse=sparse)
+        return self.registry.register(
+            name,
+            graph,
+            mode,
+            sparse=sparse,
+            select_fmt=select_fmt,
+            accuracy_budget=accuracy_budget,
+        )
 
     # -- request path (event loop only) ---------------------------------
 

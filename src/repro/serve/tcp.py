@@ -10,7 +10,10 @@ per line, in order.  Ops:
 - ``{"op": "stats"}`` → ``{"ok": true, "stats": snapshot}``.
 - ``{"op": "models"}`` → ``{"ok": true, "models": [...]}``.
 - ``{"op": "describe"}`` → ``{"ok": true, "models": {name: {"mode",
-  "input_shape"}}}`` (what a client needs to build requests).
+  "input_shape", "sparse", "select_fmt", "weight_bytes",
+  "dense_weight_bytes"}}}`` — what a client needs to build requests,
+  plus per-deployment kernel/memory introspection (the compile-time
+  weight accounting from ``plan.weight_bytes()``).
 - ``{"op": "ping"}`` → ``{"ok": true, "pong": true}``.
 
 Errors come back as ``{"ok": false, "error": code, "detail": str}``
@@ -53,6 +56,10 @@ async def _handle_request(server: ModelServer, msg: dict) -> dict:
                 name: {
                     "mode": dep.mode,
                     "input_shape": list(dep.input_shape),
+                    "sparse": dep.sparse,
+                    "select_fmt": dep.select_fmt,
+                    "weight_bytes": dep.plan.weight_bytes(),
+                    "dense_weight_bytes": dep.plan.dense_weight_bytes(),
                 }
                 for name in server.registry.names()
                 for dep in [server.registry.get(name)]

@@ -4,7 +4,11 @@ A matrix with N:M sparsity has exactly N non-zero entries in every group
 of M consecutive elements along each row.  The paper (and this library)
 uses N=1 with M in {4, 8, 16}.  Storage is two arrays:
 
-- ``values``: the non-zero int8 weights, shape ``(rows, cols // M * N)``;
+- ``values``: the non-zero weights, shape ``(rows, cols // M * N)`` —
+  int8 for quantised deployments (the paper's MCU target) or float32
+  for float serving (the value dtype is orthogonal to the offset
+  layout: the decimation indices are identical, only the MAC width
+  changes);
 - ``offsets``: the relative index of each non-zero inside its M-block,
   stored in ``ceil(log2 M)`` bits rounded up to a power of two — 2 bits
   for M=4, 4 bits for M=8 and M=16 — and packed little-endian in bytes.
@@ -34,6 +38,7 @@ __all__ = [
     "FORMAT_1_8",
     "FORMAT_1_16",
     "SUPPORTED_FORMATS",
+    "VALUE_DTYPES",
 ]
 
 
@@ -104,6 +109,29 @@ class NMFormat:
         """
         return 1.0 - self.bits_per_dense_weight(duplicate_offsets) / 8.0
 
+    def packed_bytes(
+        self,
+        rows: int,
+        dense_cols: int,
+        value_bytes: int = 1,
+        duplicate_offsets: bool = False,
+    ) -> int:
+        """Exact storage of a ``(rows, dense_cols)`` matrix in this format.
+
+        Matches :meth:`NMSparseMatrix.total_bytes` (values plus packed,
+        per-row byte-rounded offsets) without materialising the packing
+        — the format selector scores candidate formats with this.
+        ``value_bytes`` is the stored value width: 1 for int8, 4 for
+        float32.
+        """
+        if dense_cols % self.m:
+            raise ValueError(
+                f"dense_cols={dense_cols} not a multiple of M={self.m}"
+            )
+        nnz = dense_cols // self.m * self.n
+        bits = nnz * self.offset_bits * (2 if duplicate_offsets else 1)
+        return rows * (nnz * value_bytes + (bits + 7) // 8)
+
 
 FORMAT_1_4 = NMFormat(1, 4)
 FORMAT_1_8 = NMFormat(1, 8)
@@ -115,8 +143,13 @@ SUPPORTED_FORMATS: dict[str, NMFormat] = {
 }
 
 
+#: Value dtypes the packed format supports: int8 (quantised MCU
+#: deployments) and float32 (float serving).
+VALUE_DTYPES = (np.dtype(np.int8), np.dtype(np.float32))
+
+
 class NMSparseMatrix:
-    """An int8 matrix stored in the N:M packed format.
+    """An int8 or float32 matrix stored in the N:M packed format.
 
     Rows correspond to output channels; columns to the flattened reduce
     dimension (``FY*FX*C`` for conv in im2col order, ``C`` for FC).
@@ -124,7 +157,9 @@ class NMSparseMatrix:
     Parameters
     ----------
     values:
-        Non-zero values, shape ``(rows, cols // M * N)``, int8.
+        Non-zero values, shape ``(rows, cols // M * N)``; int8 or
+        float32 (any other dtype is narrowed to int8, the historical
+        behaviour).
     offsets:
         Unpacked relative offsets in ``[0, M)``, same shape as
         ``values``, uint8.
@@ -141,7 +176,9 @@ class NMSparseMatrix:
         fmt: NMFormat,
         dense_cols: int,
     ) -> None:
-        values = np.asarray(values, dtype=np.int8)
+        values = np.asarray(values)
+        if values.dtype not in VALUE_DTYPES:
+            values = values.astype(np.int8)
         offsets = np.asarray(offsets, dtype=np.uint8)
         if values.shape != offsets.shape:
             raise ValueError(
@@ -166,8 +203,18 @@ class NMSparseMatrix:
     # -- construction -------------------------------------------------
 
     @classmethod
-    def from_dense(cls, dense: np.ndarray, fmt: NMFormat) -> "NMSparseMatrix":
-        """Encode a dense int8 matrix that satisfies the N:M pattern.
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        fmt: NMFormat,
+        dtype: np.dtype | type = np.int8,
+    ) -> "NMSparseMatrix":
+        """Encode a dense matrix that satisfies the N:M pattern.
+
+        ``dtype`` selects the stored value width: ``np.int8`` (the
+        default, matching the historical int8-only behaviour — float
+        inputs are *narrowed*) or ``np.float32`` for the float-serving
+        variant.
 
         Raises
         ------
@@ -177,7 +224,13 @@ class NMSparseMatrix:
             explicitly with offset equal to their position), mirroring
             what a pruned-then-quantised network can produce.
         """
-        dense = np.asarray(dense, dtype=np.int8)
+        dtype = np.dtype(dtype)
+        if dtype not in VALUE_DTYPES:
+            raise ValueError(
+                f"unsupported value dtype {dtype} "
+                f"(expected one of {[str(d) for d in VALUE_DTYPES]})"
+            )
+        dense = np.asarray(dense, dtype=dtype)
         if dense.ndim != 2:
             raise ValueError("from_dense expects a 2-D matrix")
         rows, cols = dense.shape
@@ -205,10 +258,10 @@ class NMSparseMatrix:
         return cls(values, offsets, fmt, cols)
 
     def to_dense(self) -> np.ndarray:
-        """Decode back to the dense int8 matrix."""
+        """Decode back to the dense matrix (same value dtype)."""
         rows = self.values.shape[0]
         n_blocks = self.dense_cols // self.fmt.m
-        dense = np.zeros((rows, n_blocks, self.fmt.m), dtype=np.int8)
+        dense = np.zeros((rows, n_blocks, self.fmt.m), dtype=self.values.dtype)
         vals = self.values.reshape(rows, n_blocks, self.fmt.n)
         offs = self.offsets.reshape(rows, n_blocks, self.fmt.n).astype(np.int64)
         np.put_along_axis(dense, offs, vals, axis=2)
@@ -260,9 +313,14 @@ class NMSparseMatrix:
         """Number of rows (output channels)."""
         return self.values.shape[0]
 
+    @property
+    def value_bytes(self) -> int:
+        """Storage bytes per stored value (1 for int8, 4 for float32)."""
+        return self.values.itemsize
+
     def values_bytes(self) -> int:
         """Bytes used by the non-zero value array."""
-        return self.values.size
+        return self.values.nbytes
 
     def offsets_bytes(self, duplicate: bool = False) -> int:
         """Bytes used by the packed offsets array."""
@@ -275,8 +333,8 @@ class NMSparseMatrix:
         return self.values_bytes() + self.offsets_bytes(duplicate_offsets)
 
     def dense_bytes(self) -> int:
-        """Storage of the equivalent dense int8 matrix."""
-        return self.rows * self.dense_cols
+        """Storage of the equivalent dense matrix (same value dtype)."""
+        return self.rows * self.dense_cols * self.value_bytes
 
     def memory_reduction(self, duplicate_offsets: bool = False) -> float:
         """Measured reduction vs dense; matches the format's analytical
@@ -287,5 +345,5 @@ class NMSparseMatrix:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"NMSparseMatrix({self.fmt.name}, rows={self.rows}, "
-            f"dense_cols={self.dense_cols})"
+            f"dense_cols={self.dense_cols}, dtype={self.values.dtype})"
         )

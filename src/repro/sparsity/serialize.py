@@ -24,8 +24,9 @@ def save_nm_weights(
 ) -> None:
     """Write a dict of named N:M layers to ``path`` (.npz).
 
-    Stored per layer: int8 values, uint8 offsets, and an int metadata
-    triple ``(n, m, dense_cols)``.
+    Stored per layer: the values array (int8 or float32 — the dtype
+    survives the round trip), uint8 offsets, and an int metadata triple
+    ``(n, m, dense_cols)``.
     """
     if not layers:
         raise ValueError("nothing to save")

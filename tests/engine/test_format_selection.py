@@ -1,0 +1,246 @@
+"""Cost-model-driven per-layer N:M format selection.
+
+Unit coverage of :func:`repro.kernels.registry.select_format` (the
+compile-time search over 1:4 / 1:8 / 1:16 / dense under a weight-energy
+budget) plus its integration through ``compile_plan(select_fmt=True)``,
+the engine plan cache, and the serving registry.  The acceptance bar:
+on the mixed-format demo graph the selected plan's ``weight_bytes()``
+beats the fixed-1:4 packing, losslessly (bit-identical to dense for
+int8) at budget 0.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import InferenceEngine, compile_plan
+from repro.engine.bench import (
+    MIXED_DEMO_FMTS,
+    measure_format_selection,
+    resnet_style_graph,
+)
+from repro.kernels.cost_model import format_energy_loss
+from repro.kernels.registry import select_format
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.models.quantize import quantize_graph
+from repro.sparsity.nm import FORMAT_1_4, FORMAT_1_8, FORMAT_1_16
+from repro.sparsity.pruning import nm_prune
+from repro.utils.rng import make_rng
+
+
+def fc_shape(k, c):
+    return FcShape(c=c, k=k, tokens=1)
+
+
+def quantized_mixed_graph(seed=0):
+    graph = resnet_style_graph(seed=seed, layer_fmts=MIXED_DEMO_FMTS)
+    rng = make_rng(seed)
+    calib = [rng.normal(size=(12, 12, 3)).astype(np.float32) for _ in range(4)]
+    quantize_graph(graph, calib)
+    return graph
+
+
+class TestFormatEnergyLoss:
+    def test_zero_for_satisfied_pattern(self):
+        rng = np.random.default_rng(0)
+        w = nm_prune(rng.normal(size=(6, 32)), FORMAT_1_8)
+        assert format_energy_loss(w, FORMAT_1_8) == 0.0
+        assert format_energy_loss(w, FORMAT_1_4) == 0.0  # 1:8 ⊂ 1:4
+
+    def test_positive_for_denser_matrix(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(6, 32))
+        loss = format_energy_loss(w, FORMAT_1_4)
+        assert 0.0 < loss < 1.0
+        # Coarser formats discard at least as much energy.
+        assert format_energy_loss(w, FORMAT_1_16) >= loss
+
+    def test_all_zero_matrix_is_lossless(self):
+        assert format_energy_loss(np.zeros((3, 16)), FORMAT_1_8) == 0.0
+
+
+class TestSelectFormat:
+    def test_lossless_picks_most_compressive_satisfied(self):
+        rng = np.random.default_rng(2)
+        w = nm_prune(rng.normal(size=(8, 64)).astype(np.float32), FORMAT_1_16)
+        choice = select_format("fc", fc_shape(8, 64), w, budget=0.0)
+        assert choice.fmt == FORMAT_1_16
+        assert choice.loss == 0.0
+        assert choice.cycles is not None
+
+    def test_dense_matrix_falls_back_dense_at_budget_zero(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(8, 64)).astype(np.float32)  # no zeros
+        choice = select_format("fc", fc_shape(8, 64), w, budget=0.0)
+        assert choice.fmt is None and choice.loss == 0.0
+        assert choice.weight_bytes == 8 * 64
+
+    def test_budget_admits_lossy_repruning(self):
+        """A 1:4-sparse matrix steps to 1:8 once the budget covers the
+        energy the extra pruning discards."""
+        rng = np.random.default_rng(4)
+        w = nm_prune(rng.normal(size=(8, 64)).astype(np.float32), FORMAT_1_4)
+        loss_18 = format_energy_loss(w, FORMAT_1_8)
+        assert loss_18 > 0.0
+        tight = select_format("fc", fc_shape(8, 64), w, budget=loss_18 / 2)
+        assert tight.fmt == FORMAT_1_4
+        loose = select_format("fc", fc_shape(8, 64), w, budget=1.0)
+        assert loose.fmt == FORMAT_1_16
+        assert loose.weight_bytes < tight.weight_bytes
+        assert loose.loss > 0.0
+
+    def test_all_zero_matrix_stays_dense(self):
+        """Pointless sparse lowering is suppressed (detect_format
+        agrees): an all-zero layer keeps its dense binding."""
+        w = np.zeros((4, 32), np.float32)
+        choice = select_format("fc", fc_shape(4, 32), w, budget=1.0)
+        assert choice.fmt is None
+
+    def test_misaligned_reduce_dim_skips_formats(self):
+        """R=72 divides 4 and 8 but not 16 — 1:16 must not be scored."""
+        rng = np.random.default_rng(5)
+        shape = ConvShape(iy=8, ix=8, c=8, k=8, fy=3, fx=3, s=1, p=1)
+        w = nm_prune(rng.normal(size=(8, 72)).astype(np.float32), FORMAT_1_8)
+        choice = select_format("conv", shape, w, budget=1.0)
+        assert "1:16" not in {c.fmt_name for c in choice.candidates}
+        assert choice.fmt == FORMAT_1_8
+
+    def test_value_bytes_scales_candidate_storage(self):
+        rng = np.random.default_rng(6)
+        w = nm_prune(rng.normal(size=(8, 64)).astype(np.float32), FORMAT_1_8)
+        int8 = select_format("fc", fc_shape(8, 64), w, value_bytes=1)
+        f32 = select_format("fc", fc_shape(8, 64), w, value_bytes=4)
+        assert int8.fmt == f32.fmt == FORMAT_1_8
+        nnz = 8 * 64 // 8
+        assert f32.weight_bytes - int8.weight_bytes == 3 * nnz
+
+    def test_candidates_recorded_with_dense_baseline(self):
+        rng = np.random.default_rng(7)
+        w = nm_prune(rng.normal(size=(8, 64)).astype(np.float32), FORMAT_1_8)
+        choice = select_format("fc", fc_shape(8, 64), w, budget=0.0)
+        names = [c.fmt_name for c in choice.candidates]
+        assert names[0] == "dense"
+        assert set(names) == {"dense", "1:4", "1:8", "1:16"}
+        by_name = {c.fmt_name: c for c in choice.candidates}
+        assert by_name["dense"].admissible
+        assert by_name["1:8"].admissible and not by_name["1:16"].admissible
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="budget"):
+            select_format("fc", fc_shape(2, 8), np.zeros((2, 8)), budget=-0.1)
+        with pytest.raises(ValueError, match="2-D"):
+            select_format("fc", fc_shape(2, 8), np.zeros(8))
+
+
+class TestSelectionPlans:
+    def test_select_fmt_requires_sparse(self):
+        g = quantized_mixed_graph()
+        with pytest.raises(ValueError, match="sparse"):
+            compile_plan(g, mode="int8", select_fmt=True)
+        with pytest.raises(ValueError, match="accuracy_budget"):
+            compile_plan(
+                g, mode="int8", sparse=True, select_fmt=True, accuracy_budget=-1.0
+            )
+
+    def test_engine_validates_select_fmt_before_cache_lookup(self):
+        """A warm dense plan must not mask the invalid combination:
+        the dense cache key ignores select_fmt, so without eager
+        validation a cached plan would be returned silently."""
+        engine = InferenceEngine()
+        g = quantized_mixed_graph()
+        engine.compile(g, "int8")  # warm the dense plan
+        with pytest.raises(ValueError, match="sparse"):
+            engine.compile(g, "int8", select_fmt=True)
+        with pytest.raises(ValueError, match="accuracy_budget"):
+            engine.compile(g, "int8", sparse=True, accuracy_budget=-0.5)
+
+    def test_budget_zero_bit_identical_and_beats_fixed_14(self):
+        """The acceptance bar: lossless selection packs each layer at
+        its most compressive satisfied format — fewer bytes than
+        uniform 1:4, zero output deviation."""
+        r = measure_format_selection(budget=0.0, batch=4, repeats=1)
+        assert r.selected_weight_bytes < r.fixed_weight_bytes
+        assert r.identical and r.finite and r.losses_within_budget
+        assert r.max_rel_dev == 0.0
+        # The mixed schedule is picked up layer by layer.
+        for name, fmt in MIXED_DEMO_FMTS.items():
+            assert r.selected_formats[name] == fmt.name, name
+        assert r.selected_formats["stem"] is None
+        assert all(
+            c.loss == 0.0 for c in r.kernel_choices.values() if c.fmt is not None
+        )
+
+    def test_lossy_budget_reprunes_uniform_graph(self):
+        """On the uniformly 1:4-pruned demo, a generous budget re-prunes
+        layers to coarser formats: fewer bytes, recorded losses, finite
+        outputs — and every loss within the budget."""
+        lossless = measure_format_selection(
+            budget=0.0, batch=4, repeats=1, base_fmt=FORMAT_1_4
+        )
+        lossy = measure_format_selection(
+            budget=0.5, batch=4, repeats=1, base_fmt=FORMAT_1_4
+        )
+        assert lossless.selected_weight_bytes == lossless.fixed_weight_bytes
+        assert lossy.selected_weight_bytes < lossless.selected_weight_bytes
+        assert lossy.losses_within_budget and lossy.finite
+        assert any(
+            c.loss is not None and c.loss > 0.0
+            for c in lossy.kernel_choices.values()
+        )
+        assert not lossy.identical  # re-pruned weights change the network
+
+    def test_explicit_annotation_wins_over_selection(self):
+        g = quantized_mixed_graph()
+        g.node("b0_conv1").attrs["sparse_fmt"] = FORMAT_1_4
+        plan = compile_plan(g, mode="int8", sparse=True, select_fmt=True)
+        assert plan.kernel_choices["b0_conv1"].fmt == FORMAT_1_4.name
+        assert plan.kernel_choices["b0_conv2"].fmt == FORMAT_1_8.name
+
+    def test_lossy_selection_does_not_mutate_graph(self):
+        g = quantized_mixed_graph()
+        before = {
+            n.name: np.asarray(n.attrs["weights_q"]).copy()
+            for n in g
+            if "weights_q" in n.attrs
+        }
+        compile_plan(
+            g, mode="int8", sparse=True, select_fmt=True, accuracy_budget=0.9
+        )
+        for name, w in before.items():
+            assert np.array_equal(np.asarray(g.node(name).attrs["weights_q"]), w)
+
+    def test_measure_restores_baseline_annotations(self):
+        g = quantized_mixed_graph()
+        measure_format_selection(budget=0.0, batch=2, repeats=1, graph=g)
+        assert all("sparse_fmt" not in n.attrs for n in g)
+
+    def test_float_mode_selection(self):
+        r = measure_format_selection(budget=0.0, batch=4, repeats=1, mode="float")
+        assert r.selected_weight_bytes < r.fixed_weight_bytes
+        from repro.engine.bench import FLOAT_SPARSE_REL_TOL
+
+        assert r.max_rel_dev <= FLOAT_SPARSE_REL_TOL
+
+    def test_selection_deployment_served(self):
+        import asyncio
+
+        from repro.serve.server import ModelServer
+
+        g = quantized_mixed_graph(seed=1)
+        xs = np.random.default_rng(8).normal(size=(3, 12, 12, 3)).astype(np.float32)
+
+        async def run():
+            async with ModelServer(workers=1) as server:
+                dense = server.register("dense", g, "int8")
+                sel = server.register(
+                    "sel", g, "int8", sparse=True, select_fmt=True
+                )
+                assert sel.select_fmt and sel.accuracy_budget == 0.0
+                assert sel.plan.select_fmt
+                assert sel.plan.weight_bytes() < dense.plan.weight_bytes()
+                return (
+                    await server.infer("dense", xs),
+                    await server.infer("sel", xs),
+                )
+
+        dense_out, sel_out = asyncio.run(run())
+        assert np.array_equal(dense_out, sel_out)  # lossless => bit-identical

@@ -1,0 +1,233 @@
+"""Float sparse execution plans (repro.engine.plan, mode="float").
+
+Mirrors tests/engine/test_sparse_plan.py for the float path.  The
+contract differs from int8 in exactly one place: gather-bound layers
+accumulate only the NNZ products (in decimation order), so their output
+matches the dense float GEMM to rounding, not bit-exactly — the
+documented gate is ``max |sparse - dense| <= FLOAT_SPARSE_REL_TOL *
+max |dense|`` (:data:`repro.engine.bench.FLOAT_SPARSE_REL_TOL`).
+Scatter-to-dense layers restore the exact float32 weight matrix and
+stay bit-identical.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import Graph
+from repro.engine import InferenceEngine, compile_plan
+from repro.engine.bench import (
+    FLOAT_SPARSE_REL_TOL,
+    measure_sparse_throughput,
+    resnet_style_graph,
+)
+from repro.models.resnet import resnet18_cifar
+from repro.models.vit import vit_small
+from repro.serve.server import ModelServer
+from repro.sparsity.nm import (
+    FORMAT_1_4,
+    FORMAT_1_8,
+    FORMAT_1_16,
+    NMSparseMatrix,
+    SUPPORTED_FORMATS,
+)
+from repro.sparsity.pruning import prune_conv_weights, prune_fc_weights
+
+
+def pruned_cnn(fmt=FORMAT_1_8, seed=0):
+    """A small float conv+fc graph with pattern-eligible layers pruned."""
+    rng = np.random.default_rng(seed)
+    g = Graph(f"float-pruned-{fmt.name}")
+    x = g.add_input("in", (8, 8, 16))
+    wc = prune_conv_weights(
+        (rng.normal(size=(8, 3, 3, 16)) * 0.4).astype(np.float32), fmt
+    )
+    x = g.add_conv2d("conv", x, wc.astype(np.float32), bias=np.zeros(8, np.float32))
+    x = g.add_elementwise("relu", "relu", x)
+    x = g.add_global_avgpool("pool", x)
+    wd = prune_fc_weights(
+        (rng.normal(size=(6, 8)) * 0.4).astype(np.float32), FORMAT_1_4
+    )
+    g.add_dense("fc", x, wd.astype(np.float32))
+    return g
+
+
+def assert_within_float_tol(sparse_out, dense_out, label=""):
+    peak = float(np.abs(dense_out).max())
+    dev = float(np.abs(np.asarray(sparse_out) - np.asarray(dense_out)).max())
+    assert dev <= FLOAT_SPARSE_REL_TOL * peak, (
+        f"{label}: deviation {dev:.3e} exceeds "
+        f"{FLOAT_SPARSE_REL_TOL:.0e} * peak ({peak:.3e})"
+    )
+
+
+class TestFloatSparseRouting:
+    @pytest.mark.parametrize("fmt", [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16])
+    def test_formats_detected_and_bound(self, fmt):
+        """No dense fallback: float plans detect and pack float weights."""
+        g = pruned_cnn(fmt)
+        plan = compile_plan(g, mode="float", sparse=True)
+        assert plan.sparse and plan.mode == "float"
+        assert plan.kernel_choices["conv"].fmt == fmt.name
+        assert plan.kernel_choices["fc"].fmt == FORMAT_1_4.name
+
+    def test_weight_bytes_match_float_packed_layout(self):
+        """Recorded bytes equal the float32 NMSparseMatrix layout
+        (4-byte values + packed offsets) of each layer's weights."""
+        g = pruned_cnn(FORMAT_1_8)
+        plan = compile_plan(g, mode="float", sparse=True)
+        for name, choice in plan.kernel_choices.items():
+            w = np.asarray(g.node(name).attrs["weights"], dtype=np.float32)
+            packed = NMSparseMatrix.from_dense(
+                w.reshape(w.shape[0], -1),
+                SUPPORTED_FORMATS[choice.fmt],
+                dtype=np.float32,
+            )
+            assert choice.weight_bytes == packed.total_bytes()
+            assert choice.dense_bytes == packed.dense_bytes() == 4 * w.size
+        assert plan.weight_bytes() < plan.dense_weight_bytes()
+
+    def test_scatter_to_dense_layers_bit_identical(self):
+        """Forcing every layer to the scatter method must reproduce the
+        dense float plan bit for bit (the scatter restores the exact
+        float32 matrix; same GEMM, same reduction order)."""
+        g = pruned_cnn(FORMAT_1_8)
+        xs = np.random.default_rng(2).normal(size=(3, 8, 8, 16)).astype(np.float32)
+        dense = compile_plan(g, mode="float").execute(xs)
+        for node in g:
+            if node.op in ("conv2d", "dense"):
+                node.attrs["sparse_method"] = "dense"
+        plan = compile_plan(g, mode="float", sparse=True)
+        assert all(c.method == "dense" for c in plan.kernel_choices.values())
+        assert all(c.fmt is not None for c in plan.kernel_choices.values())
+        assert np.array_equal(plan.execute(xs), dense)
+
+    def test_gather_layers_within_documented_tolerance(self):
+        g = pruned_cnn(FORMAT_1_8)
+        xs = np.random.default_rng(3).normal(size=(4, 8, 8, 16)).astype(np.float32)
+        dense = compile_plan(g, mode="float").execute(xs)
+        for node in g:
+            if node.op in ("conv2d", "dense"):
+                node.attrs["sparse_method"] = "gather"
+        plan = compile_plan(g, mode="float", sparse=True)
+        assert all(c.method == "gather" for c in plan.kernel_choices.values())
+        assert_within_float_tol(plan.execute(xs), dense, "forced gather")
+
+    def test_force_dense_annotation_respected(self):
+        g = pruned_cnn(FORMAT_1_8)
+        g.node("conv").attrs["sparse_fmt"] = None
+        plan = compile_plan(g, mode="float", sparse=True)
+        assert plan.kernel_choices["conv"].fmt is None
+        assert plan.kernel_choices["fc"].fmt == FORMAT_1_4.name
+
+    def test_int8_plan_of_same_graph_unaffected(self):
+        """The float routing must not leak into int8 plans: an int8
+        sparse plan still requires quantisation metadata."""
+        g = pruned_cnn(FORMAT_1_8)  # no weights_q attached
+        plan = compile_plan(g, mode="int8", sparse=True)
+        assert all(c.fmt is None for c in plan.kernel_choices.values())
+
+
+class TestFloatEquivalenceOnPaperModels:
+    """The tentpole contract, on the paper's model families (float)."""
+
+    @pytest.mark.parametrize(
+        "builder,shape",
+        [
+            (
+                lambda: resnet18_cifar(num_classes=10, fmt=FORMAT_1_8, seed=0),
+                (32, 32, 3),
+            ),
+            (
+                lambda: vit_small(fmt=FORMAT_1_8, seed=0, depth=1),
+                (224, 224, 3),
+            ),
+        ],
+        ids=["resnet18", "vit"],
+    )
+    def test_layerwise_and_end_to_end(self, builder, shape):
+        graph = builder()
+        rng = np.random.default_rng(7)
+        xs = (rng.normal(size=(2, *shape)) * 0.5).astype(np.float32)
+        engine = InferenceEngine()
+        dense_out, dense_acts = engine.run_batch(
+            graph, xs, mode="float", return_acts=True
+        )
+        sparse_out, sparse_acts = engine.run_batch(
+            graph, xs, mode="float", return_acts=True, sparse=True
+        )
+        plan = engine.compile(graph, "float", sparse=True)
+        assert any(c.fmt is not None for c in plan.kernel_choices.values())
+        assert set(dense_acts) == set(sparse_acts)
+        for name in dense_acts:
+            assert_within_float_tol(
+                sparse_acts[name], dense_acts[name], f"layer {name}"
+            )
+        assert_within_float_tol(sparse_out, dense_out, "output")
+        assert np.isfinite(sparse_out).all()
+
+    def test_resnet_style_demo_graph_all_formats(self):
+        for fmt in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16):
+            g = resnet_style_graph(fmt=fmt, seed=1)
+            xs = (
+                np.random.default_rng(4)
+                .normal(size=(5, 12, 12, 3))
+                .astype(np.float32)
+            )
+            engine = InferenceEngine()
+            dense = engine.run_batch(g, xs, mode="float")
+            sparse = engine.run_batch(g, xs, mode="float", sparse=True)
+            assert_within_float_tol(sparse, dense, fmt.name)
+
+    def test_measure_sparse_throughput_float_mode(self):
+        r = measure_sparse_throughput(FORMAT_1_8, batch=2, repeats=1, mode="float")
+        assert r.mode == "float"
+        assert r.sparse_layers > 0
+        assert r.within_tolerance
+        assert r.sparse_weight_bytes < r.dense_weight_bytes
+
+
+class TestServedFloatSparse:
+    def test_float_sparse_deployment_within_tolerance_of_dense(self):
+        g = resnet_style_graph(fmt=FORMAT_1_8, seed=2)
+        xs = np.random.default_rng(5).normal(size=(6, 12, 12, 3)).astype(np.float32)
+
+        async def run():
+            async with ModelServer(workers=2) as server:
+                dense_dep = server.register("dense", g, "float")
+                sparse_dep = server.register("sparse", g, "float", sparse=True)
+                assert sparse_dep.sparse and sparse_dep.mode == "float"
+                assert any(
+                    c.fmt is not None
+                    for c in sparse_dep.plan.kernel_choices.values()
+                )
+                return (
+                    await server.infer("dense", xs),
+                    await server.infer("sparse", xs),
+                )
+
+        dense_res, sparse_res = asyncio.run(run())
+        assert_within_float_tol(sparse_res, dense_res, "served")
+
+    def test_demo_server_hosts_float_sparse_and_selected_deployments(self):
+        from repro.serve.demo import DEMO_MODELS, demo_server
+
+        assert "resnet-sparse-float" in DEMO_MODELS
+        assert "resnet-select-int8" in DEMO_MODELS
+
+        async def run():
+            async with demo_server() as server:
+                dep = server.registry.get("resnet-sparse-float")
+                assert dep.sparse and dep.mode == "float"
+                assert any(
+                    c.fmt is not None for c in dep.plan.kernel_choices.values()
+                )
+                sel = server.registry.get("resnet-select-int8")
+                assert sel.sparse and sel.select_fmt
+                assert sel.plan.weight_bytes() < sel.plan.dense_weight_bytes()
+                x = np.zeros((12, 12, 3), np.float32)
+                out = await server.infer("resnet-sparse-float", x)
+                assert out.shape == (10,)
+
+        asyncio.run(run())

@@ -65,18 +65,21 @@ class TestSparseRouting:
         assert all(c.fmt is None for c in plan.kernel_choices.values())
         assert all(c.method == "dense" for c in plan.kernel_choices.values())
 
-    def test_float_mode_ignores_sparse_knob(self):
-        """The packed format stores int8 values; float plans fall back
-        to the dense float kernels, bit-identically."""
+    def test_float_mode_routes_sparse(self):
+        """Float sparse plans pack the float32 weights and bind the
+        float sparse kernels — no silent dense fallback; output within
+        the documented tolerance of the dense float plan (deeper
+        coverage in tests/engine/test_sparse_float_plan.py)."""
+        from repro.engine.bench import FLOAT_SPARSE_REL_TOL
+
         g = quantized(pruned_cnn(), (8, 8, 16))
         xs = np.random.default_rng(1).normal(size=(3, 8, 8, 16)).astype(np.float32)
         dense = compile_plan(g, mode="float").execute(xs)
-        sparse = compile_plan(g, mode="float", sparse=True).execute(xs)
-        assert np.array_equal(dense, sparse)
-        assert all(
-            c.fmt is None
-            for c in compile_plan(g, mode="float", sparse=True).kernel_choices.values()
-        )
+        plan = compile_plan(g, mode="float", sparse=True)
+        assert plan.kernel_choices["conv"].fmt == FORMAT_1_8.name
+        assert plan.kernel_choices["fc"].fmt == FORMAT_1_4.name
+        dev = np.abs(plan.execute(xs) - dense).max()
+        assert dev <= FLOAT_SPARSE_REL_TOL * np.abs(dense).max()
 
     def test_weight_bytes_match_packed_layout(self):
         """Per-layer weight bytes equal NMSparseMatrix.total_bytes of
@@ -189,16 +192,32 @@ class TestPlanCache:
         assert engine.compile_count == 2
         assert set(engine.cached_plans(g)) == {"int8", "int8+sparse"}
 
-    def test_float_sparse_aliases_dense_float_plan(self):
-        """Float plans ignore the sparse knob, so the engine must not
-        cache a byte-identical duplicate under 'float+sparse'."""
+    def test_float_sparse_cached_separately_from_dense_float(self):
+        """Float sparse plans are real since PR 4: they bind the float
+        sparse kernels, so they cache under their own key."""
         engine = InferenceEngine()
         g = quantized(pruned_cnn(), (8, 8, 16))
         x = np.zeros((8, 8, 16), np.float32)
         engine.run(g, x, mode="float")
         engine.run(g, x, mode="float", sparse=True)
-        assert engine.compile_count == 1
-        assert engine.cached_plans(g) == ("float",)
+        engine.run(g, x, mode="float", sparse=True)
+        assert engine.compile_count == 2
+        assert set(engine.cached_plans(g)) == {"float", "float+sparse"}
+
+    def test_select_fmt_plans_cached_per_budget(self):
+        engine = InferenceEngine()
+        g = quantized(pruned_cnn(), (8, 8, 16))
+        x = np.zeros((8, 8, 16), np.float32)
+        engine.run(g, x, mode="int8", sparse=True, select_fmt=True)
+        engine.run(g, x, mode="int8", sparse=True, select_fmt=True)
+        engine.run(
+            g, x, mode="int8", sparse=True, select_fmt=True, accuracy_budget=0.5
+        )
+        assert engine.compile_count == 2
+        assert set(engine.cached_plans(g)) == {
+            "int8+sparse+select@0",
+            "int8+sparse+select@0.5",
+        }
 
     def test_annotation_change_refreshes_cached_sparse_plan(self):
         """Setting a sparse_fmt / sparse_method override after a warm

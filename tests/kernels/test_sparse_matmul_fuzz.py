@@ -14,9 +14,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.kernels.conv_sparse import (
+    K_CHUNK_ENV,
     gather_indices,
+    k_chunk,
+    set_k_chunk,
     sparse_matmul_acc,
     sparse_matmul_acc_batch,
+    sparse_matmul_f32,
+    sparse_matmul_f32_batch,
 )
 from repro.sparsity.nm import (
     FORMAT_1_16,
@@ -146,3 +151,119 @@ def test_fuzz_gather_dense_batched_agree(fmt_name, rows, blocks, p, seed):
     assert np.array_equal(gather, scatter)
     batched = sparse_matmul_acc_batch(cols[None], sparse_w, "gather")
     assert np.array_equal(batched[0], gather)
+
+
+def random_sparse_f32(rng, rows, blocks, fmt, zero_rows=0):
+    """A random float32 N:M matrix with ``zero_rows`` all-zero rows."""
+    dense = nm_prune(rng.normal(size=(rows, blocks * fmt.m)), fmt)
+    if zero_rows:
+        dense[:zero_rows] = 0
+    dense = dense.astype(np.float32)
+    return NMSparseMatrix.from_dense(dense, fmt, dtype=np.float32), dense
+
+
+class TestFloatFlavour:
+    """sparse_matmul_f32[_batch]: tolerance vs the dense reference."""
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    @pytest.mark.parametrize("rows,blocks,p", [(1, 1, 1), (7, 3, 5), (33, 2, 4)])
+    def test_gather_matches_dense_to_rounding(self, fmt, rows, blocks, p):
+        rng = np.random.default_rng(rows * 13 + blocks + p)
+        sparse_w, dense = random_sparse_f32(rng, rows, blocks, fmt, zero_rows=1)
+        cols = rng.normal(size=(p, dense.shape[1])).astype(np.float32)
+        got = sparse_matmul_f32(cols, sparse_w, "gather")
+        want = sparse_matmul_f32(cols, sparse_w, "dense")
+        assert got.dtype == want.dtype == np.float32
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-5)
+        # The scatter path IS the dense float reference, bit for bit.
+        ref = cols @ dense.T
+        assert np.array_equal(want, ref)
+
+    def test_batched_matches_per_sample_slices(self):
+        rng = np.random.default_rng(9)
+        sparse_w, dense = random_sparse_f32(rng, 9, 3, FORMAT_1_8, zero_rows=2)
+        cols = rng.normal(size=(3, 6, dense.shape[1])).astype(np.float32)
+        for method in ("gather", "dense"):
+            batched = sparse_matmul_f32_batch(cols, sparse_w, method)
+            for i in range(3):
+                assert np.array_equal(
+                    batched[i], sparse_matmul_f32(cols[i], sparse_w, method)
+                )
+
+    def test_dtype_flavours_guarded(self):
+        rng = np.random.default_rng(10)
+        f32_w, f32_dense = random_sparse_f32(rng, 4, 2, FORMAT_1_4)
+        i8_w, i8_dense = random_sparse(rng, 4, 2, FORMAT_1_4)
+        with pytest.raises(TypeError, match="float32"):
+            sparse_matmul_acc_batch(
+                np.zeros((1, 2, f32_dense.shape[1]), np.int8), f32_w
+            )
+        with pytest.raises(TypeError, match="int8"):
+            sparse_matmul_f32_batch(
+                np.zeros((1, 2, i8_dense.shape[1]), np.float32), i8_w
+            )
+
+
+class TestKChunkConfig:
+    """The gather chunk size knob (REPRO_K_CHUNK / set_k_chunk)."""
+
+    @pytest.fixture(autouse=True)
+    def _reset(self):
+        yield
+        set_k_chunk(None)
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(K_CHUNK_ENV, raising=False)
+        assert k_chunk() == 32
+
+    def test_env_var_read_per_call(self, monkeypatch):
+        monkeypatch.setenv(K_CHUNK_ENV, "7")
+        assert k_chunk() == 7
+
+    def test_setter_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(K_CHUNK_ENV, "7")
+        set_k_chunk(3)
+        assert k_chunk() == 3
+        set_k_chunk(None)
+        assert k_chunk() == 7
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match=">= 1"):
+            set_k_chunk(0)
+        monkeypatch.setenv(K_CHUNK_ENV, "banana")
+        with pytest.raises(ValueError, match="integer"):
+            k_chunk()
+        monkeypatch.setenv(K_CHUNK_ENV, "-2")
+        with pytest.raises(ValueError, match=">= 1"):
+            k_chunk()
+
+    def test_bad_env_fails_at_sparse_compile_time(self, monkeypatch):
+        """A broken REPRO_K_CHUNK must surface when a sparse plan is
+        compiled (server registration / warm-up), not on the first
+        inference request that hits a gather-bound layer."""
+        from repro.engine import compile_plan
+        from repro.engine.bench import resnet_style_graph
+
+        monkeypatch.setenv(K_CHUNK_ENV, "banana")
+        g = resnet_style_graph(fmt=FORMAT_1_8)
+        with pytest.raises(ValueError, match="integer"):
+            compile_plan(g, mode="float", sparse=True)
+        # Dense plans never gather and stay compilable.
+        compile_plan(g, mode="float")
+
+    @pytest.mark.parametrize("chunk", [1, 3, 32, 1000])
+    def test_results_bit_identical_across_chunk_sizes(self, chunk):
+        """Chunking groups whole output channels, so any chunk size
+        must reproduce the default's output bit for bit — in both
+        numeric flavours."""
+        rng = np.random.default_rng(chunk)
+        i8_w, i8_dense = random_sparse(rng, 40, 3, FORMAT_1_8, zero_rows=1)
+        f32_w, f32_dense = random_sparse_f32(rng, 40, 3, FORMAT_1_8)
+        i8_cols = rng.integers(-128, 128, size=(2, 5, i8_dense.shape[1])).astype(np.int8)
+        f32_cols = rng.normal(size=(2, 5, f32_dense.shape[1])).astype(np.float32)
+        set_k_chunk(None)
+        i8_ref = sparse_matmul_acc_batch(i8_cols, i8_w)
+        f32_ref = sparse_matmul_f32_batch(f32_cols, f32_w)
+        set_k_chunk(chunk)
+        assert np.array_equal(sparse_matmul_acc_batch(i8_cols, i8_w), i8_ref)
+        assert np.array_equal(sparse_matmul_f32_batch(f32_cols, f32_w), f32_ref)

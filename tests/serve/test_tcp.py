@@ -45,9 +45,11 @@ class TestProtocol:
         pong, models, described, stats = asyncio.run(_with_tcp(graph, fn))
         assert pong == {"ok": True, "pong": True}
         assert models == {"ok": True, "models": ["m"]}
-        assert described == {
-            "m": {"mode": "float", "input_shape": [12, 12, 3]}
-        }
+        assert described["m"]["mode"] == "float"
+        assert described["m"]["input_shape"] == [12, 12, 3]
+        assert described["m"]["sparse"] is False
+        assert described["m"]["select_fmt"] is False
+        assert described["m"]["weight_bytes"] == described["m"]["dense_weight_bytes"] > 0
         assert stats["server"]["running"] is True
 
     def test_infer_matches_direct_engine(self, graph):

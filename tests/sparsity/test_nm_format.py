@@ -153,6 +153,90 @@ class TestNMSparseMatrix:
             )
 
 
+class TestFloatValues:
+    """The float32-valued packed variant (float serving)."""
+
+    def test_roundtrip_preserves_float_bits(self):
+        rng = np.random.default_rng(0)
+        dense = nm_prune(
+            rng.normal(size=(6, 64)).astype(np.float32), FORMAT_1_8
+        )
+        mat = NMSparseMatrix.from_dense(dense, FORMAT_1_8, dtype=np.float32)
+        assert mat.values.dtype == np.float32
+        out = mat.to_dense()
+        assert out.dtype == np.float32
+        assert np.array_equal(out, dense)  # bit-exact round trip
+
+    def test_byte_accounting_uses_itemsize(self):
+        rng = np.random.default_rng(1)
+        for fmt in (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16):
+            dense = nm_prune(
+                rng.normal(size=(4, fmt.m * 8)).astype(np.float32), fmt
+            )
+            mat = NMSparseMatrix.from_dense(dense, fmt, dtype=np.float32)
+            i8 = NMSparseMatrix.from_dense(
+                nm_prune(
+                    rng.integers(-128, 128, size=dense.shape).astype(np.int8),
+                    fmt,
+                ),
+                fmt,
+            )
+            assert mat.value_bytes == 4 and i8.value_bytes == 1
+            assert mat.values_bytes() == 4 * mat.values.size
+            assert mat.dense_bytes() == 4 * i8.dense_bytes()
+            assert mat.offsets_bytes() == i8.offsets_bytes()  # layout shared
+            assert mat.total_bytes() == fmt.packed_bytes(
+                mat.rows, mat.dense_cols, value_bytes=4
+            )
+
+    def test_default_dtype_narrows_to_int8(self):
+        """Backwards compatibility: without an explicit dtype, float
+        inputs are narrowed to int8 exactly as before."""
+        dense = np.zeros((2, 16), np.float64)
+        dense[:, 3] = 5.7
+        mat = NMSparseMatrix.from_dense(dense, FORMAT_1_8)
+        assert mat.values.dtype == np.int8
+        assert (mat.to_dense()[:, 3] == 5).all()
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            NMSparseMatrix.from_dense(
+                np.zeros((2, 16)), FORMAT_1_8, dtype=np.float64
+            )
+
+    def test_serialize_roundtrip_keeps_float_values(self):
+        import tempfile
+        from pathlib import Path
+
+        from repro.sparsity.serialize import load_nm_weights, save_nm_weights
+
+        rng = np.random.default_rng(2)
+        dense = nm_prune(rng.normal(size=(4, 32)).astype(np.float32), FORMAT_1_4)
+        mat = NMSparseMatrix.from_dense(dense, FORMAT_1_4, dtype=np.float32)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "w.npz"
+            save_nm_weights(path, {"fc": mat})
+            loaded = load_nm_weights(path)["fc"]
+        assert loaded.values.dtype == np.float32
+        assert np.array_equal(loaded.to_dense(), dense)
+
+
+class TestPackedBytes:
+    @pytest.mark.parametrize("fmt", [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16])
+    @pytest.mark.parametrize("duplicate", [False, True])
+    def test_matches_materialised_packing(self, fmt, duplicate):
+        rng = np.random.default_rng(3)
+        dense = _random_nm_dense(rng, 5, fmt.m * 7, fmt)
+        mat = NMSparseMatrix.from_dense(dense, fmt)
+        assert fmt.packed_bytes(
+            5, dense.shape[1], duplicate_offsets=duplicate
+        ) == mat.total_bytes(duplicate_offsets=duplicate)
+
+    def test_rejects_misaligned_columns(self):
+        with pytest.raises(ValueError, match="multiple"):
+            FORMAT_1_8.packed_bytes(2, 12)
+
+
 @settings(max_examples=40)
 @given(
     fmt=st.sampled_from([FORMAT_1_4, FORMAT_1_8, FORMAT_1_16]),
@@ -166,6 +250,35 @@ def test_roundtrip_property(fmt, rows, blocks, seed):
     dense = _random_nm_dense(rng, rows, blocks * fmt.m, fmt)
     mat = NMSparseMatrix.from_dense(dense, fmt)
     assert (mat.to_dense() == dense).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    fmt=st.sampled_from([FORMAT_1_4, FORMAT_1_8, FORMAT_1_16]),
+    rows=st.integers(1, 12),
+    blocks=st.integers(1, 10),
+    drop=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31),
+)
+def test_float_roundtrip_property(fmt, rows, blocks, drop, seed):
+    """Property: the float pack/unpack round trip is bit-exact for any
+    N:M-compliant float32 matrix, including underfull blocks, all-zero
+    rows, negative values, and subnormals — and the byte accounting
+    matches the analytic ``packed_bytes``."""
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(rows, blocks * fmt.m)).astype(np.float32)
+    dense[0] *= np.float32(1e-40)  # subnormal magnitudes survive packing
+    dense = nm_prune(dense, fmt).astype(np.float32)
+    dense = np.where(rng.random(dense.shape) < drop, 0, dense).astype(np.float32)
+    mat = NMSparseMatrix.from_dense(dense, fmt, dtype=np.float32)
+    assert mat.values.dtype == np.float32
+    assert np.array_equal(mat.to_dense(), dense)
+    assert mat.total_bytes() == fmt.packed_bytes(
+        rows, dense.shape[1], value_bytes=4
+    )
+    again = NMSparseMatrix.from_dense(dense, fmt, dtype=np.float32)
+    assert np.array_equal(again.values, mat.values)
+    assert np.array_equal(again.offsets, mat.offsets)
 
 
 @settings(max_examples=60, deadline=None)

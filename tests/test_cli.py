@@ -44,6 +44,45 @@ class TestCli:
         out = capsys.readouterr().out
         assert "batched plan" in out and "speedup" in out
 
+    def test_engine_sparse_float(self, capsys):
+        """Float sparse smoke: no dense fallback, within tolerance."""
+        assert (
+            main(["engine", "--sparse", "--mode", "float", "--fmt", "1:8",
+                  "--batch", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sparse float deviation" in out and "OK" in out
+        assert "N:M layers" in out
+
+    def test_engine_select_fmt(self, capsys):
+        assert main(["engine", "--sparse", "--select-fmt", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Format selection" in out
+        assert "below fixed 1:4" in out
+        assert "format selection gates: OK" in out
+
+    def test_engine_select_fmt_requires_sparse(self, capsys):
+        assert main(["engine", "--select-fmt", "--batch", "2"]) == 2
+        assert "--sparse" in capsys.readouterr().err
+
+    def test_engine_k_chunk_validated(self, capsys):
+        from repro.kernels.conv_sparse import k_chunk
+
+        assert main(["engine", "--sparse", "--k-chunk", "0", "--batch", "2"]) == 2
+        assert "k_chunk" in capsys.readouterr().err
+        assert (
+            main(["engine", "--sparse", "--k-chunk", "16", "--batch", "2",
+                  "--fmt", "1:4"])
+            == 0
+        )
+        try:
+            assert k_chunk() == 16  # the flag sets the process-wide knob
+        finally:
+            from repro.kernels.conv_sparse import set_k_chunk
+
+            set_k_chunk(None)
+
     def test_loadgen_in_process(self, capsys):
         assert (
             main(

@@ -1,0 +1,66 @@
+"""Intra-repo markdown link checking (the CI docs job).
+
+Walks ``README.md`` and every file under ``docs/``, extracts inline
+markdown links, and asserts that every relative link resolves to a file
+in the repository — and, when it carries a ``#anchor``, that the target
+file actually contains a heading with that GitHub-style slug.  External
+(``http(s)://``, ``mailto:``) links are out of scope.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files whose links are contract: the top-level README plus all docs.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slug (enough for our headings)."""
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def iter_links():
+    for doc in DOC_FILES:
+        # Strip fenced code blocks: URLs/paths in examples are not links.
+        body = re.sub(r"```.*?```", "", doc.read_text(), flags=re.DOTALL)
+        for match in _LINK.finditer(body):
+            yield doc, match.group(1)
+
+
+def test_doc_files_exist():
+    assert (REPO_ROOT / "README.md").is_file()
+    names = {p.name for p in DOC_FILES}
+    assert {"cli.md", "engine.md", "serving.md", "sparse_engine.md", "sparsity.md"} <= names
+
+
+@pytest.mark.parametrize(
+    "doc,target",
+    [(d, t) for d, t in iter_links()],
+    ids=[f"{d.name}:{t}" for d, t in iter_links()],
+)
+def test_intra_repo_links_resolve(doc, target):
+    if target.startswith(("http://", "https://", "mailto:")):
+        pytest.skip("external link")
+    path_part, _, anchor = target.partition("#")
+    target_path = doc.parent / path_part if path_part else doc
+    assert target_path.exists(), f"{doc.name}: broken link -> {target}"
+    if anchor:
+        assert target_path.suffix == ".md", f"{doc.name}: anchor on non-md {target}"
+        slugs = {
+            github_slug(h) for h in _HEADING.findall(target_path.read_text())
+        }
+        assert anchor in slugs, (
+            f"{doc.name}: anchor #{anchor} not found in {target_path.name} "
+            f"(known: {sorted(slugs)})"
+        )

@@ -1,0 +1,150 @@
+"""E-SPARSE-ISA: ISA-backend vs SW-backend sparse plans at B=32.
+
+For each supported N:M format, prunes the ResNet-style demo graph,
+quantises it, and compiles three int8 plans on one engine — dense, the
+SW sparse backend, and the ISA-extension emulation backend — then
+measures at batch 32:
+
+- **correctness** (hard gate, also on CI): the ISA plan's batched
+  output is bit-identical to both the SW sparse plan and the dense
+  plan (the ISA only accelerates the decimation, it never changes an
+  accumulator);
+- **memory** (reported): the ISA layouts' weight bytes — conv layers
+  pay for their duplicated offset streams (Sec. 4.1.3), FC layers
+  interleave without growing;
+- **throughput** (reported, not gated): isa-vs-sw wall-clock of the
+  host emulation plans.  Host-side numbers are not MCU speedups — the
+  cost model owns those (the same ranking ``backend="auto"`` runs).
+
+One extra run exercises ``backend="auto"`` and records the per-layer
+backend split the cost model picked.
+
+Results land in ``benchmarks/results/sparse_isa_throughput.txt`` and
+machine-readable ``BENCH_sparse_isa.json``.
+"""
+
+import pytest
+
+from repro.engine.bench import measure_sparse_throughput
+from repro.sparsity.nm import FORMAT_1_8, SUPPORTED_FORMATS
+from repro.utils.tables import Table
+
+BATCH = 32
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        name: measure_sparse_throughput(fmt, batch=BATCH, repeats=3, backend="isa")
+        for name, fmt in SUPPORTED_FORMATS.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def auto_result():
+    return measure_sparse_throughput(
+        FORMAT_1_8, batch=BATCH, repeats=3, backend="auto"
+    )
+
+
+def test_sparse_isa_table(benchmark, record_table, record_bench, results, auto_result):
+    res = benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    table = Table(
+        f"ISA vs SW sparse int8 plans (pruned demo graph, batch {BATCH})",
+        [
+            "format",
+            "sw ms",
+            "isa ms",
+            "isa/sw",
+            "isa layers",
+            "isa weight bytes",
+            "dense bytes",
+            "bit-identical",
+        ],
+    )
+    entries = []
+    for name, r in res.items():
+        table.add_row(
+            format=name,
+            **{
+                "sw ms": r.sw_s * 1e3,
+                "isa ms": r.sparse_s * 1e3,
+                "isa/sw": r.speedup_vs_sw,
+                "isa layers": r.backend_layers.get("sparse-isa", 0),
+                "isa weight bytes": r.sparse_weight_bytes,
+                "dense bytes": r.dense_weight_bytes,
+                "bit-identical": r.identical and r.matches_sw,
+            },
+        )
+        entries.append(
+            {
+                "name": f"sw_plan_{name}",
+                "batch": r.batch,
+                "qps": r.sw_throughput,
+                "speedup": 1.0,
+            }
+        )
+        entries.append(
+            {
+                "name": f"isa_plan_{name}",
+                "batch": r.batch,
+                "qps": r.sparse_throughput,
+                "speedup": r.speedup_vs_sw,
+                "weight_bytes": r.sparse_weight_bytes,
+                "dense_weight_bytes": r.dense_weight_bytes,
+                "isa_layers": r.backend_layers.get("sparse-isa", 0),
+                "nm_layers": r.sparse_layers,
+                "bit_identical_to_dense": r.identical,
+                "bit_identical_to_sw": r.matches_sw,
+            }
+        )
+    entries.append(
+        {
+            "name": "auto_plan_1:8",
+            "batch": auto_result.batch,
+            "qps": auto_result.sparse_throughput,
+            "speedup": auto_result.speedup_vs_sw,
+            "backend_layers": auto_result.backend_layers,
+            "bit_identical_to_dense": auto_result.identical,
+            "bit_identical_to_sw": auto_result.matches_sw,
+        }
+    )
+    auto_split = ", ".join(
+        f"{n} x {b}" for b, n in sorted(auto_result.backend_layers.items())
+    )
+    record_table(
+        "sparse_isa_throughput",
+        table.render(),
+        f"auto backend (1:8): {auto_split}; isa/sw wall-clock "
+        f"{auto_result.speedup_vs_sw:.2f}x",
+    )
+    record_bench("sparse_isa", entries)
+    assert len(table.rows) == len(SUPPORTED_FORMATS)
+
+
+def test_isa_plans_bit_identical(results, auto_result):
+    """Hard acceptance gate: zero deviation vs dense AND vs sw, every
+    format, and under the auto ranking."""
+    for name, r in results.items():
+        assert r.identical, f"{name}: isa plan deviates from dense"
+        assert r.matches_sw, f"{name}: isa plan deviates from sw"
+        assert r.max_rel_dev == 0.0, name
+    assert auto_result.identical and auto_result.matches_sw
+
+
+def test_isa_binds_every_eligible_layer(results):
+    """Under backend='isa' every modelled N:M layer runs the ISA
+    emulation (the demo graph has no odd-K FC fallbacks)."""
+    for name, r in results.items():
+        assert r.backend_layers.get("sparse-isa", 0) == r.sparse_layers, name
+
+
+def test_isa_conv_layers_pay_for_duplicated_offsets(results):
+    """ISA weight accounting: at least as many bytes as the SW packing
+    (duplicated conv offsets), still far below dense."""
+    for name, r in results.items():
+        sw = measure_sparse_throughput(
+            SUPPORTED_FORMATS[name], batch=2, repeats=1, backend="sw"
+        )
+        assert r.sparse_weight_bytes >= sw.sparse_weight_bytes, name
+        assert r.sparse_weight_bytes < r.dense_weight_bytes, name

@@ -14,8 +14,10 @@ Usage::
     python -m repro accuracy [--epochs N]
     python -m repro engine [--batch N] [--mode float|int8]
     python -m repro engine --sparse [--fmt 1:4|1:8|1:16] [--mode M] [--batch N]
+    python -m repro engine --sparse --backend sw|isa|auto [--model demo|resnet18|vit]
     python -m repro engine --sparse --select-fmt [--budget B] [--batch N]
-    python -m repro serve [--host H] [--port P] [--workers N]
+    python -m repro engine --autotune-k-chunk [--batch N]
+    python -m repro serve [--host H] [--port P] [--workers N] [--max-weight-mb M]
     python -m repro loadgen [--requests N] [--qps Q] [--connect H:P]
 
 Each command prints the corresponding table(s) with the paper's values
@@ -29,8 +31,15 @@ within the documented tolerance — the CI sparse-smoke gates).
 ``engine --sparse --select-fmt`` runs the cost model's per-layer
 format selection on the mixed-format demo model and exits non-zero
 unless the selected plan beats the fixed-1:4 packing on weight bytes
-(and, at ``--budget 0``, matches the dense plan).  Exit-code contracts
-for every subcommand are documented in ``docs/cli.md``.
+(and, at ``--budget 0``, matches the dense plan).  ``engine --sparse
+--backend isa|auto`` compiles the sparse plan through the
+ISA-extension emulation backend (or the cost model's per-layer
+sw/isa/dense ranking) and additionally gates against the SW sparse
+plan; ``--model resnet18|vit`` swaps the demo graph for the pruned
+paper models.  ``engine --autotune-k-chunk`` sweeps the gather chunk
+size on the compiled plan and applies the measured winner (advisory —
+bit-identical across chunk sizes by construction).  Exit-code
+contracts for every subcommand are documented in ``docs/cli.md``.
 
 ``serve`` hosts the demo deployments (``resnet-float`` /
 ``resnet-int8`` / pruned ``resnet-sparse-int8`` /
@@ -144,7 +153,7 @@ def _cmd_engine(args) -> int:
     if args.mode is None:
         # The sparse-smoke gates historically default to int8 (the
         # bit-identity contract); everything else defaults to float.
-        args.mode = "int8" if args.sparse else "float"
+        args.mode = "int8" if (args.sparse or args.autotune_k_chunk) else "float"
     if args.k_chunk is not None:
         from repro.kernels.conv_sparse import set_k_chunk
 
@@ -153,6 +162,15 @@ def _cmd_engine(args) -> int:
         except ValueError as err:
             print(f"error: {err}", file=sys.stderr)
             return 2
+    if args.autotune_k_chunk or args.select_fmt:
+        # These paths measure fixed demo graphs; silently ignoring a
+        # requested paper model would fake coverage in CI scripts.
+        if args.model != "demo":
+            which = "--autotune-k-chunk" if args.autotune_k_chunk else "--select-fmt"
+            print(f"error: --model is not supported with {which}", file=sys.stderr)
+            return 2
+    if args.autotune_k_chunk:
+        return _engine_autotune(args)
     if args.select_fmt:
         if not args.sparse:
             print("error: --select-fmt requires --sparse", file=sys.stderr)
@@ -160,6 +178,9 @@ def _cmd_engine(args) -> int:
         return _engine_select(args)
     if args.sparse:
         return _engine_sparse(args)
+    if args.model != "demo":
+        print("error: --model requires --sparse", file=sys.stderr)
+        return 2
     graph = resnet_style_graph()
     if args.mode == "int8":
         # Attach quantisation metadata so the int8 benchmark exercises
@@ -203,6 +224,33 @@ def _cmd_engine(args) -> int:
     return 0
 
 
+def _sparse_model_graph(args, fmt):
+    """Resolve ``--model``: None for the demo graph (built inside
+    :func:`measure_sparse_throughput`), or a pruned + quantised paper
+    model (ResNet18 / ViT-Small)."""
+    if args.model == "demo":
+        return None
+    import numpy as np
+
+    from repro.models.quantize import quantize_graph
+    from repro.utils.rng import make_rng
+
+    if args.model == "resnet18":
+        from repro.models.resnet import resnet18_cifar
+
+        graph, shape = resnet18_cifar(num_classes=10, fmt=fmt), (32, 32, 3)
+    else:
+        from repro.models.vit import vit_small
+
+        graph, shape = vit_small(fmt=fmt, depth=1), (224, 224, 3)
+    rng = make_rng(0)
+    calib = [
+        (rng.normal(size=shape) * 0.5).astype(np.float32) for _ in range(3)
+    ]
+    quantize_graph(graph, calib)
+    return graph
+
+
 def _engine_sparse(args) -> int:
     """Sparse-vs-dense plan comparison on the pruned demo model.
 
@@ -210,7 +258,11 @@ def _engine_sparse(args) -> int:
     sparse plan violates the mode's correctness contract — bit-identity
     for int8, the documented relative tolerance
     (:data:`repro.engine.bench.FLOAT_SPARSE_REL_TOL`) for float — or
-    when a float sparse plan silently fell back dense.
+    when a float sparse plan silently fell back dense.  With
+    ``--backend isa`` / ``--backend auto`` the chosen backend's plan is
+    additionally gated against the SW sparse plan (same contract), and
+    ``--backend isa`` requires at least one layer bound to the ISA
+    emulation kernels.
     """
     from repro.engine.bench import (
         FLOAT_SPARSE_REL_TOL,
@@ -225,10 +277,13 @@ def _engine_sparse(args) -> int:
         batch=args.batch,
         force_method="gather" if args.force_gather else None,
         mode=args.mode,
+        backend=args.backend,
+        graph=_sparse_model_graph(args, fmt),
     )
     table = Table(
         f"Sparse vs dense {result.mode} plans on {result.graph_name} "
-        f"({result.fmt_name}, batch {result.batch}"
+        f"({result.fmt_name}, backend {result.backend}, "
+        f"batch {result.batch}"
         f"{', forced gather' if args.force_gather else ''})",
         ["plan", "latency ms", "samples/s", "weight bytes"],
     )
@@ -241,24 +296,55 @@ def _engine_sparse(args) -> int:
         },
     )
     table.add_row(
-        plan=f"sparse {result.mode}",
+        plan=f"sparse {result.mode} ({result.backend})",
         **{
             "latency ms": result.sparse_s * 1e3,
             "samples/s": result.sparse_throughput,
             "weight bytes": result.sparse_weight_bytes,
         },
     )
+    if result.backend != "sw":
+        table.add_row(
+            plan=f"sparse {result.mode} (sw)",
+            **{
+                "latency ms": result.sw_s * 1e3,
+                "samples/s": result.sw_throughput,
+                "weight bytes": "-",
+            },
+        )
     print(table.render())
     print(_kernel_choice_table(result.kernel_choices).render())
+    backends = ", ".join(
+        f"{n} x {name}" for name, n in sorted(result.backend_layers.items())
+    )
     print(
         f"{result.sparse_layers} N:M layers "
-        f"({result.gather_layers} gather-bound), "
+        f"({result.gather_layers} gather-bound; {backends}), "
         f"weight memory reduction {result.memory_reduction:.1%}, "
         f"sparse/dense wall-clock {result.speedup:.2f}x"
+        + (
+            f", vs sw sparse {result.speedup_vs_sw:.2f}x"
+            if result.backend != "sw"
+            else ""
+        )
     )
     if result.sparse_layers == 0:
         print(
             "error: no layer was routed sparse (dense fallback)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.backend == "isa" and not result.backend_layers.get("sparse-isa"):
+        print(
+            "error: --backend isa bound no layer to the ISA emulation "
+            "kernels",
+            file=sys.stderr,
+        )
+        return 1
+    if result.backend != "sw" and not result.matches_sw:
+        print(
+            f"error: {result.backend} backend output does not match the "
+            "sw sparse plan",
             file=sys.stderr,
         )
         return 1
@@ -270,7 +356,11 @@ def _engine_sparse(args) -> int:
                 file=sys.stderr,
             )
             return 1
-        print("sparse plan output bit-identical to dense plan: OK")
+        print(
+            "sparse plan output bit-identical to dense plan"
+            + (" and to the sw sparse plan" if result.backend != "sw" else "")
+            + ": OK"
+        )
         return 0
     if not result.within_tolerance:
         print(
@@ -287,18 +377,65 @@ def _engine_sparse(args) -> int:
     return 0
 
 
+def _engine_autotune(args) -> int:
+    """Measure the gather-chunk sweep and apply the winner (advisory).
+
+    Exits non-zero only if outputs diverged across chunk sizes — a
+    hard invariant violation, since chunking groups whole output
+    channels and can never change numerics.
+    """
+    from repro.engine.bench import autotune_k_chunk
+    from repro.kernels.conv_sparse import set_k_chunk
+    from repro.utils.tables import Table
+
+    result = autotune_k_chunk(batch=args.batch, mode=args.mode)
+    table = Table(
+        f"Gather k-chunk sweep on {result.graph_name} ({result.mode}, "
+        f"batch {result.batch}, forced gather)",
+        ["k_chunk", "latency ms", "samples/s"],
+    )
+    for chunk, seconds in sorted(result.timings_s.items()):
+        table.add_row(
+            k_chunk=str(chunk) + (" *" if chunk == result.best else ""),
+            **{
+                "latency ms": seconds * 1e3,
+                "samples/s": result.batch / seconds if seconds else 0.0,
+            },
+        )
+    print(table.render())
+    if not result.identical:
+        print(
+            "error: outputs diverged across chunk sizes (chunking must "
+            "be bit-identical)",
+            file=sys.stderr,
+        )
+        return 1
+    # Apply the winner so an embedding caller (repro.cli.main from
+    # Python) keeps it; a plain CLI invocation exits right after, so
+    # the printed knobs are what carry the result to future runs.
+    set_k_chunk(result.best)
+    print(
+        f"best k_chunk: {result.best} "
+        f"({result.speedup_vs_default:.2f}x vs previous {result.previous}); "
+        f"advisory — export REPRO_K_CHUNK={result.best} or pass "
+        f"--k-chunk {result.best} to use it in future runs"
+    )
+    return 0
+
+
 def _kernel_choice_table(kernel_choices):
     from repro.utils.tables import Table
 
     choices = Table(
         "Compile-time kernel choices (sparse plan)",
-        ["layer", "format", "method", "variant", "weight bytes", "loss"],
+        ["layer", "format", "method", "backend", "variant", "weight bytes", "loss"],
     )
     for name, c in kernel_choices.items():
         choices.add_row(
             layer=name,
             format=c.fmt or "dense",
             method=c.method,
+            backend=c.backend or "-",
             variant=c.variant or "-",
             loss=f"{c.loss:.3f}" if c.loss is not None else "-",
             **{"weight bytes": c.weight_bytes},
@@ -372,11 +509,18 @@ def _engine_select(args) -> int:
     return 0
 
 
+def _weight_budget_bytes(args) -> int | None:
+    if args.max_weight_mb is None:
+        return None
+    return int(args.max_weight_mb * 2**20)
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
     from repro.serve.batcher import BatchPolicy
     from repro.serve.demo import demo_server
+    from repro.serve.errors import WeightBudgetExceeded
     from repro.serve.tcp import serve_tcp
 
     async def _serve() -> None:
@@ -385,6 +529,7 @@ def _cmd_serve(args) -> int:
             workers=args.workers,
             max_queue_depth=args.max_queue_depth,
             sparse=not args.no_sparse,
+            max_weight_bytes=_weight_budget_bytes(args),
         )
         async with server:
             tcp = await serve_tcp(server, args.host, args.port)
@@ -409,6 +554,9 @@ def _cmd_serve(args) -> int:
 
     try:
         asyncio.run(_serve())
+    except WeightBudgetExceeded as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
     except KeyboardInterrupt:
         print("shutting down")
     return 0
@@ -417,6 +565,7 @@ def _cmd_serve(args) -> int:
 def _cmd_loadgen(args) -> int:
     import asyncio
 
+    from repro.serve.errors import WeightBudgetExceeded
     from repro.serve.loadgen import run_loadgen
     from repro.utils.tables import Table
 
@@ -428,6 +577,7 @@ def _cmd_loadgen(args) -> int:
             policy=BatchPolicy(args.max_batch_size, args.max_wait_ms),
             workers=args.workers,
             sparse=not args.no_sparse,
+            max_weight_bytes=_weight_budget_bytes(args),
         )
         async with server:
             report, _ = await run_loadgen(
@@ -464,7 +614,11 @@ def _cmd_loadgen(args) -> int:
             return 2
         report, stats = asyncio.run(_over_tcp(host or "127.0.0.1", port_num))
     else:
-        report, stats = asyncio.run(_in_process())
+        try:
+            report, stats = asyncio.run(_in_process())
+        except WeightBudgetExceeded as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
 
     quantiles = report.latency_quantiles()
     table = Table(
@@ -595,6 +749,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="N:M format of the pruned demo model (with --sparse)",
     )
     p.add_argument(
+        "--backend",
+        choices=["sw", "isa", "auto"],
+        default="sw",
+        help="with --sparse: sparse execution backend — sw (software "
+        "gather), isa (ISA-extension emulation kernels), or auto "
+        "(cost-model per-layer ranking); isa/auto additionally gate "
+        "against the sw sparse plan",
+    )
+    p.add_argument(
+        "--model",
+        choices=["demo", "resnet18", "vit"],
+        default="demo",
+        help="with --sparse: graph to measure — the ResNet-style demo "
+        "(default), pruned ResNet18, or pruned ViT-Small (depth 1)",
+    )
+    p.add_argument(
+        "--autotune-k-chunk",
+        action="store_true",
+        help="measure a gather chunk-size sweep on the compiled sparse "
+        "plan, print the winner, and apply it via set_k_chunk "
+        "(advisory; bit-identical across chunk sizes by construction)",
+    )
+    p.add_argument(
         "--force-gather",
         action="store_true",
         help="with --sparse: pin every N:M layer to the gather kernel "
@@ -640,6 +817,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not host the pruned resnet-sparse-int8 deployment",
     )
+    p.add_argument(
+        "--max-weight-mb",
+        type=float,
+        default=None,
+        help="weight-memory budget (MiB) for the registry; the server "
+        "refuses to start when the demo deployments' cumulative "
+        "plan.weight_bytes() exceed it (exit code 1)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -662,6 +847,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sparse",
         action="store_true",
         help="in-process server only: skip the resnet-sparse-int8 deployment",
+    )
+    p.add_argument(
+        "--max-weight-mb",
+        type=float,
+        default=None,
+        help="in-process server only: weight-memory budget (MiB); "
+        "exits 1 with the typed rejection when the demo deployments "
+        "do not fit (the CI weight-budget smoke)",
     )
     p.set_defaults(func=_cmd_loadgen)
 

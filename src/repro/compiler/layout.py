@@ -57,6 +57,7 @@ def build_interleaved_tiles(
     k_tile: int,
     engine: str = "sparse-sw",
     interleaved: bool = True,
+    kind: str = "conv",
 ) -> WeightTileLayout:
     """Build the L2 byte image of an N:M layer's weights.
 
@@ -68,27 +69,47 @@ def build_interleaved_tiles(
         Channels per tile; must divide the channel count.
     engine:
         "sparse-sw" or "sparse-isa" — selects the offsets encoding
-        (plain vs duplicated, Sec. 4.1.3).
+        (plain vs the ISA streams of Sec. 4.1.3/4.2.3).
     interleaved:
         Interleave values and offsets per tile (the paper's policy), or
         keep them separate (ablation baseline).
+    kind:
+        "conv" or "fc".  Only the ISA engine distinguishes them:
+        conv tiles carry the duplicated-offset stream, FC tiles the
+        channel-pair interleaved stream (so ``k_tile`` must be even —
+        a pair's shared OFFSETS words cannot straddle two tiles).
     """
     if mat.rows % k_tile:
         raise ValueError(f"k_tile {k_tile} does not divide K={mat.rows}")
+    if kind not in ("conv", "fc"):
+        raise ValueError(f"unknown layer kind {kind!r}")
+    # Offsets stream rows: one per channel, except the ISA FC layout
+    # which merges channel pairs into one interleaved stream row.
+    stream_rows = mat.rows
     if engine == "sparse-sw":
         vals, offs, nnz_pad = mc.pack_sparse_rows_sw(mat)
-        off_row_bytes = len(offs) // mat.rows
     elif engine == "sparse-isa":
-        vals, offs, nnz_pad = mc.pack_sparse_rows_isa_conv(mat)
-        off_row_bytes = len(offs) // mat.rows
+        if kind == "fc":
+            if k_tile % 2:
+                raise ValueError(
+                    "ISA FC tiles interleave channel pairs; "
+                    f"k_tile must be even, got {k_tile}"
+                )
+            vals, offs, nnz_pad = mc.pack_sparse_rows_isa_fc(mat)
+            stream_rows = mat.rows // 2
+        else:
+            vals, offs, nnz_pad = mc.pack_sparse_rows_isa_conv(mat)
     else:
         raise ValueError(f"unknown engine {engine!r}")
-    vals = vals.view(np.uint8).reshape(mat.rows, nnz_pad)
-    offs = offs.reshape(mat.rows, off_row_bytes)
+    off_row_bytes = len(offs) // stream_rows
+    vals = vals.view(np.uint8).reshape(mat.rows, -1)
+    offs = offs.reshape(stream_rows, off_row_bytes)
+    rows_per_tile = k_tile * stream_rows // mat.rows
     tiles = []
     for k0 in range(0, mat.rows, k_tile):
         v = vals[k0 : k0 + k_tile].reshape(-1)
-        o = offs[k0 : k0 + k_tile].reshape(-1)
+        s0 = k0 * stream_rows // mat.rows
+        o = offs[s0 : s0 + rows_per_tile].reshape(-1)
         if interleaved:
             tiles.append(np.concatenate([v, o]))
         else:

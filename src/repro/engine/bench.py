@@ -10,6 +10,7 @@ loop against one batched call over the same samples.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,10 +33,12 @@ __all__ = [
     "ThroughputResult",
     "SparseThroughputResult",
     "FormatSelectionResult",
+    "KChunkAutotuneResult",
     "resnet_style_graph",
     "measure_throughput",
     "measure_sparse_throughput",
     "measure_format_selection",
+    "autotune_k_chunk",
 ]
 
 #: Documented tolerance of the float sparse gather path: the sparse
@@ -190,6 +193,43 @@ def resnet_style_graph(
     return g
 
 
+def _pruned_demo_graph(fmt: NMFormat, seed: int) -> Graph:
+    """Pruned + quantised demo graph (the sparse measurements' subject)."""
+    from repro.models.quantize import quantize_graph
+
+    graph = resnet_style_graph(seed=seed, fmt=fmt)
+    rng = make_rng(seed)
+    calib = [
+        rng.normal(size=(12, 12, 3)).astype(np.float32) for _ in range(4)
+    ]
+    quantize_graph(graph, calib)
+    return graph
+
+
+@contextmanager
+def _pinned_sparse_method(graph: Graph, method: str | None):
+    """Pin ``sparse_method`` on every conv/dense node for the duration.
+
+    A caller-supplied graph must come back with its annotations
+    untouched (the engine re-fingerprints them per compile); ``None``
+    pins nothing and is a no-op.
+    """
+    restore: list[tuple] = []
+    if method is not None:
+        for node in graph:
+            if node.op in ("conv2d", "dense"):
+                restore.append((node, node.attrs.get("sparse_method")))
+                node.attrs["sparse_method"] = method
+    try:
+        yield
+    finally:
+        for node, prev in restore:
+            if prev is None:
+                node.attrs.pop("sparse_method", None)
+            else:
+                node.attrs["sparse_method"] = prev
+
+
 def measure_throughput(
     graph: Graph,
     batch: int = 32,
@@ -276,6 +316,16 @@ class SparseThroughputResult:
     #: The measured (pruned, quantised) graph — kept for independent
     #: re-verification of the packed weight accounting.
     graph: Graph | None = field(repr=False, default=None)
+    #: Engine knob the sparse plan was compiled with ("sw"/"isa"/"auto").
+    backend: str = "sw"
+    #: Wall-clock of the SW-backend sparse plan over the same samples —
+    #: equals ``sparse_s`` when ``backend == "sw"``; the isa-vs-sw
+    #: baseline otherwise.
+    sw_s: float = 0.0
+    #: Whether the measured backend matched the SW backend's output
+    #: under the mode's contract (bit-identity for int8, the documented
+    #: tolerance for float).  Trivially True for ``backend == "sw"``.
+    matches_sw: bool = True
 
     @property
     def dense_throughput(self) -> float:
@@ -307,6 +357,30 @@ class SparseThroughputResult:
             return self.identical
         return self.max_rel_dev <= FLOAT_SPARSE_REL_TOL
 
+    @property
+    def sw_throughput(self) -> float:
+        """Samples/second of the SW-backend sparse plan."""
+        return self.batch / self.sw_s if self.sw_s else 0.0
+
+    @property
+    def speedup_vs_sw(self) -> float:
+        """Measured-backend speedup over the SW sparse plan."""
+        return self.sw_s / self.sparse_s if self.sparse_s else 0.0
+
+    @property
+    def backend_layers(self) -> dict[str, int]:
+        """N:M layers per bound backend (from ``kernel_choices``).
+
+        Counts only sparse-format layers — ``"dense"`` here means
+        scatter-to-dense, not genuinely dense layers — so the values
+        sum to ``sparse_layers``.
+        """
+        counts: dict[str, int] = {}
+        for c in self.kernel_choices.values():
+            if c.fmt is not None and c.backend is not None:
+                counts[c.backend] = counts.get(c.backend, 0) + 1
+        return counts
+
 
 def measure_sparse_throughput(
     fmt: NMFormat,
@@ -317,6 +391,7 @@ def measure_sparse_throughput(
     engine: InferenceEngine | None = None,
     force_method: str | None = None,
     mode: str = "int8",
+    backend: str = "sw",
 ) -> SparseThroughputResult:
     """Compare the sparse and dense plans of a pruned graph.
 
@@ -328,37 +403,27 @@ def measure_sparse_throughput(
     pins every N:M layer to one execution method ("gather" / "dense")
     instead of the cost model's per-layer choice — the CI gather gate
     uses it so the decimation path is exercised even where the model
-    prefers dense.
+    prefers dense.  ``backend`` compiles the sparse plan under that
+    engine knob; for ``"isa"`` and ``"auto"`` the SW sparse plan is
+    additionally compiled, cross-checked (``matches_sw``) and timed
+    (``sw_s``) — the isa-vs-sw numbers ``BENCH_sparse_isa.json``
+    reports.
     """
-    from repro.models.quantize import quantize_graph
-
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
     if graph is None:
-        graph = resnet_style_graph(seed=seed, fmt=fmt)
-        rng = make_rng(seed)
-        calib = [
-            rng.normal(size=(12, 12, 3)).astype(np.float32) for _ in range(4)
-        ]
-        quantize_graph(graph, calib)
-    restore: list[tuple] = []
-    if force_method is not None:
-        # Pin the method for the duration of the measurement only; a
-        # caller-supplied graph must come back with its annotations
-        # untouched (the engine re-fingerprints them per compile).
-        for node in graph:
-            if node.op in ("conv2d", "dense"):
-                restore.append((node, node.attrs.get("sparse_method")))
-                node.attrs["sparse_method"] = force_method
-    try:
+        graph = _pruned_demo_graph(fmt, seed)
+    with _pinned_sparse_method(graph, force_method):
         engine = engine or InferenceEngine()
         dense_plan = engine.compile(graph, mode, sparse=False)
-        sparse_plan = engine.compile(graph, mode, sparse=True)
+        sparse_plan = engine.compile(graph, mode, sparse=True, backend=backend)
         rng = make_rng(seed + 1)
         xs = rng.normal(size=(batch, *dense_plan.input_shape)).astype(np.float32)
 
         dense_out = engine.run_batch(graph, xs, mode=mode)
-        sparse_out = engine.run_batch(graph, xs, mode=mode, sparse=True)
+        sparse_out = engine.run_batch(
+            graph, xs, mode=mode, sparse=True, backend=backend
+        )
         identical = bool(np.array_equal(dense_out, sparse_out))
         max_rel_dev = _relative_deviation(sparse_out, dense_out)
 
@@ -367,15 +432,28 @@ def measure_sparse_throughput(
             for _ in range(repeats)
         )
         sparse_s = min(
-            _time(lambda: engine.run_batch(graph, xs, mode=mode, sparse=True))
+            _time(
+                lambda: engine.run_batch(
+                    graph, xs, mode=mode, sparse=True, backend=backend
+                )
+            )
             for _ in range(repeats)
         )
-    finally:
-        for node, prev in restore:
-            if prev is None:
-                node.attrs.pop("sparse_method", None)
+        if backend == "sw":
+            sw_s, matches_sw = sparse_s, True
+        else:
+            sw_out = engine.run_batch(graph, xs, mode=mode, sparse=True)
+            if mode == "int8":
+                matches_sw = bool(np.array_equal(sw_out, sparse_out))
             else:
-                node.attrs["sparse_method"] = prev
+                matches_sw = (
+                    _relative_deviation(sparse_out, sw_out)
+                    <= FLOAT_SPARSE_REL_TOL
+                )
+            sw_s = min(
+                _time(lambda: engine.run_batch(graph, xs, mode=mode, sparse=True))
+                for _ in range(repeats)
+            )
     choices = sparse_plan.kernel_choices
     return SparseThroughputResult(
         graph_name=graph.name,
@@ -392,6 +470,9 @@ def measure_sparse_throughput(
         max_rel_dev=max_rel_dev,
         kernel_choices=dict(choices),
         graph=graph,
+        backend=backend,
+        sw_s=sw_s,
+        matches_sw=matches_sw,
     )
 
 
@@ -570,6 +651,112 @@ def measure_format_selection(
         finite=bool(np.isfinite(selected_out).all()),
         kernel_choices=dict(choices),
         graph=graph,
+    )
+
+
+@dataclass
+class KChunkAutotuneResult:
+    """Measured gather-chunk sweep on one compiled sparse plan.
+
+    ``timings_s`` maps each candidate chunk size to its best wall-clock
+    over the batch; ``best`` is the fastest candidate.  The result is
+    *advisory*: chunking only groups whole output channels, so
+    ``identical`` asserting that every candidate produced bit-identical
+    outputs is a hard invariant, not a tolerance.
+    """
+
+    graph_name: str
+    fmt_name: str
+    mode: str
+    batch: int
+    timings_s: dict[int, float]
+    best: int
+    identical: bool
+    #: What k_chunk() resolved to before the sweep (restored after).
+    previous: int
+
+    @property
+    def best_s(self) -> float:
+        return self.timings_s[self.best]
+
+    @property
+    def speedup_vs_default(self) -> float:
+        """Best-candidate speedup over the pre-sweep chunk size (1.0
+        when the previous size was not among the candidates)."""
+        prev = self.timings_s.get(self.previous)
+        if prev is None or not self.best_s:
+            return 1.0
+        return prev / self.best_s
+
+
+def autotune_k_chunk(
+    candidates: tuple[int, ...] = (8, 16, 32, 64, 128),
+    batch: int = 16,
+    repeats: int = 2,
+    seed: int = 0,
+    fmt: NMFormat | None = None,
+    mode: str = "int8",
+    graph: Graph | None = None,
+    engine: InferenceEngine | None = None,
+) -> KChunkAutotuneResult:
+    """Measure a small ``_K_CHUNK`` sweep on the compiled sparse plan.
+
+    Builds (unless given) the pruned demo graph, pins every N:M layer
+    to the gather method (the chunk size only affects the decimation
+    kernels), then times the same compiled plan under each candidate
+    chunk size — the knob is read per call, so no recompilation happens
+    between candidates.  The process-wide override is restored before
+    returning; applying the winner is the caller's decision
+    (``repro engine --autotune-k-chunk`` prints it and calls
+    :func:`repro.kernels.conv_sparse.set_k_chunk`).  Outputs are
+    cross-checked bit-identical across all candidates — the sweep can
+    never change numerics, only wall-clock.
+    """
+    from repro.kernels import conv_sparse
+
+    if not candidates:
+        raise ValueError("need at least one candidate chunk size")
+    fmt = fmt or FORMAT_1_8
+    if graph is None:
+        graph = _pruned_demo_graph(fmt, seed)
+    engine = engine or InferenceEngine()
+    prev_override = conv_sparse._k_chunk_override
+    previous = conv_sparse.k_chunk()
+    try:
+        with _pinned_sparse_method(graph, "gather"):
+            plan = engine.compile(graph, mode, sparse=True)
+            rng = make_rng(seed + 1)
+            xs = rng.normal(size=(batch, *plan.input_shape)).astype(np.float32)
+            timings: dict[int, float] = {}
+            reference: np.ndarray | None = None
+            identical = True
+            for chunk in candidates:
+                conv_sparse.set_k_chunk(chunk)
+                out = engine.run_batch(graph, xs, mode=mode, sparse=True)
+                if reference is None:
+                    reference = out
+                elif not np.array_equal(out, reference):
+                    identical = False
+                timings[chunk] = min(
+                    _time(
+                        lambda: engine.run_batch(
+                            graph, xs, mode=mode, sparse=True
+                        )
+                    )
+                    for _ in range(repeats)
+                )
+    finally:
+        conv_sparse.set_k_chunk(prev_override)
+    best = min(timings, key=lambda c: timings[c])
+    return KChunkAutotuneResult(
+        graph_name=graph.name,
+        fmt_name=fmt.name,
+        mode=mode,
+        batch=batch,
+        timings_s=timings,
+        best=best,
+        identical=identical,
+        previous=previous,
     )
 
 

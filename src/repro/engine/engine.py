@@ -23,7 +23,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.engine.plan import MODES, ExecutionPlan, compile_plan
+from repro.engine.plan import (
+    BACKEND_KNOBS,
+    MODES,
+    ExecutionPlan,
+    compile_plan,
+)
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.compiler
     from repro.compiler.ir import Graph
@@ -77,15 +82,26 @@ def _plan_key(
     sparse: bool,
     select_fmt: bool = False,
     accuracy_budget: float = 0.0,
+    backend: str = "sw",
+    accum_dtype: str | None = None,
 ) -> str:
     """Cache key for a plan, e.g. ``"int8+sparse"`` or
     ``"float+sparse+select@0.1"`` (format-selected plans cache per
-    budget: a different budget can pick different formats)."""
+    budget: a different budget can pick different formats).  Sparse
+    plans additionally cache per execution backend
+    (``"int8+sparse+isa"``) — the knob changes the bound kernels and
+    the recorded weight accounting, so backends must never share a
+    cache slot — and float sparse plans per accumulation width
+    (``"float+sparse+acc64"``)."""
     key = mode
     if sparse:
         key += "+sparse"
         if select_fmt:
             key += f"+select@{accuracy_budget:g}"
+        if backend != "sw":
+            key += f"+{backend}"
+        if accum_dtype == "float64":
+            key += "+acc64"
     return key
 
 
@@ -114,8 +130,11 @@ class InferenceEngine:
         sparse: bool = False,
         select_fmt: bool = False,
         accuracy_budget: float = 0.0,
+        backend: str = "sw",
+        accum_dtype: str | None = None,
     ) -> ExecutionPlan:
-        """Return the cached plan for ``(graph, mode, sparse, selection)``.
+        """Return the cached plan for ``(graph, mode, sparse, selection,
+        backend)``.
 
         ``sparse=True`` compiles a sparsity-aware plan: N:M-annotated
         (or detected) layers are packed and bound to the batched sparse
@@ -123,6 +142,11 @@ class InferenceEngine:
         float mode; it is cached separately from the dense plan of the
         same mode.  ``select_fmt=True`` additionally runs the per-layer
         format search under ``accuracy_budget`` and caches per budget.
+        ``backend`` selects the sparse execution engine (``"sw"`` /
+        ``"isa"`` / ``"auto"``) and caches per knob — the bound kernels
+        and weight layouts differ, only the int8 numerics are
+        guaranteed identical.  ``accum_dtype="float64"`` caches the
+        widened float gather accumulation separately.
         A cached int8 plan is transparently recompiled when the graph's
         quantisation metadata changed since it was built (the float
         plan never reads that metadata and is unaffected); a cached
@@ -141,7 +165,33 @@ class InferenceEngine:
             raise ValueError(
                 f"accuracy_budget must be >= 0, got {accuracy_budget}"
             )
-        key = _plan_key(mode, sparse, select_fmt, accuracy_budget)
+        if backend not in BACKEND_KNOBS:
+            raise ValueError(
+                f"unknown backend {backend!r} "
+                f"(expected one of {BACKEND_KNOBS})"
+            )
+        if accum_dtype is not None:
+            # Normalise AND validate before the key is built: "float64",
+            # np.float64 and dtype('float64') must land in one cache
+            # slot, and an invalid value must raise even when a plan for
+            # the would-be key is already cached (compile_plan only runs
+            # on a miss).
+            accum_dtype = np.dtype(accum_dtype).name
+            if accum_dtype == "float32":
+                accum_dtype = None
+            elif accum_dtype != "float64":
+                raise ValueError(
+                    f"accum_dtype must be float32 or float64, "
+                    f"got {accum_dtype!r}"
+                )
+            elif not (sparse and mode == "float"):
+                raise ValueError(
+                    "accum_dtype='float64' only applies to float sparse "
+                    "plans (int8 accumulation is already exact)"
+                )
+        key = _plan_key(
+            mode, sparse, select_fmt, accuracy_budget, backend, accum_dtype
+        )
         with self._lock:
             per_graph = self._plans.get(graph)
             if per_graph is None:
@@ -161,6 +211,8 @@ class InferenceEngine:
                         sparse=sparse,
                         select_fmt=select_fmt,
                         accuracy_budget=accuracy_budget,
+                        backend=backend,
+                        accum_dtype=accum_dtype,
                     ),
                     sig,
                 )
@@ -190,6 +242,8 @@ class InferenceEngine:
         sparse: bool = False,
         select_fmt: bool = False,
         accuracy_budget: float = 0.0,
+        backend: str = "sw",
+        accum_dtype: str | None = None,
     ):
         """Run a forward pass over a single sample or a batch.
 
@@ -199,7 +253,9 @@ class InferenceEngine:
         ``return_acts`` is set.  ``sparse=True`` routes N:M layers
         through the sparse kernels (bit-identical output in int8, to
         rounding in float); ``select_fmt`` / ``accuracy_budget`` enable
-        per-layer format selection (see :meth:`compile`).
+        per-layer format selection; ``backend`` picks the sparse
+        execution engine and ``accum_dtype`` the float gather
+        accumulation width (see :meth:`compile`).
         """
         plan = self.compile(
             graph,
@@ -207,6 +263,8 @@ class InferenceEngine:
             sparse=sparse,
             select_fmt=select_fmt,
             accuracy_budget=accuracy_budget,
+            backend=backend,
+            accum_dtype=accum_dtype,
         )
         x = np.asarray(x)
         declared = plan.input_shape
@@ -238,6 +296,8 @@ class InferenceEngine:
         sparse: bool = False,
         select_fmt: bool = False,
         accuracy_budget: float = 0.0,
+        backend: str = "sw",
+        accum_dtype: str | None = None,
     ):
         """Run a strict ``(B, *input_shape)`` batch through the plan."""
         plan = self.compile(
@@ -246,6 +306,8 @@ class InferenceEngine:
             sparse=sparse,
             select_fmt=select_fmt,
             accuracy_budget=accuracy_budget,
+            backend=backend,
+            accum_dtype=accum_dtype,
         )
         batch = np.asarray(batch)
         if tuple(batch.shape[1:]) != plan.input_shape or batch.ndim != len(

@@ -32,18 +32,28 @@ regardless of op kind.
 
 Sparse plans (``sparse=True``) additionally route conv/dense nodes
 whose weights satisfy an N:M pattern through the batched sparse
-kernels: the weights are packed into an
-:class:`~repro.sparsity.nm.NMSparseMatrix` once at compile time, the
-decimation gather indices are hoisted out of the per-call path, and the
-MCU cost model picks gather vs scatter-to-dense per layer (recorded in
-:attr:`ExecutionPlan.kernel_choices`).  In int8 mode the *quantised*
-weights are packed and integer accumulation is exact, so sparse plans
-are **bit-identical** to dense plans on the same graph.  In float mode
-the float32 weights are packed (float-valued
+kernels.  Every conv/dense node is bound through the **kernel-backend
+layer** (:mod:`repro.kernels.backend`): the weights are packed once at
+compile time into the chosen backend's layout — the logical N:M
+values+offsets for ``sparse-sw``, the duplicated-offset /
+channel-interleaved ISA streams for ``sparse-isa``, the (scattered)
+dense matrix for the dense GEMM — and the backend's batched core is
+bound into the step callable.  The plan-level ``backend`` knob selects
+the engine: ``"sw"`` keeps the PR-3 behaviour (cost model arbitrates
+gather vs scatter-to-dense), ``"isa"`` pins the ISA-extension
+emulation kernels, ``"auto"`` lets the cost model rank
+sw / isa / dense per layer
+(:func:`repro.kernels.backend.select_backend`); the decision lands in
+:attr:`ExecutionPlan.kernel_choices` including the winning backend.
+In int8 mode the *quantised* weights are packed and integer
+accumulation is exact, so sparse plans of **every** backend are
+**bit-identical** to dense plans on the same graph.  In float mode the
+float32 weights are packed (float-valued
 :class:`~repro.sparsity.nm.NMSparseMatrix`): scatter-to-dense layers
 stay bit-identical, gather layers accumulate only the NNZ products and
 match the dense GEMM to float rounding — the tolerance contract is
-documented in ``docs/sparsity.md``.
+documented in ``docs/sparsity.md`` (``accum_dtype="float64"`` widens
+the gather accumulation for tighter contracts).
 
 With ``select_fmt=True`` a sparse plan additionally runs the cost
 model's per-layer *format* search
@@ -61,13 +71,18 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.kernels.conv_sparse import (
-    gather_indices,
-    sparse_matmul_acc_batch,
-    sparse_matmul_f32_batch,
+from repro.kernels.backend import (
+    BACKEND_KNOBS,
+    get_backend,
+    select_backend,
 )
 from repro.kernels.im2col import im2col_batch
-from repro.kernels.registry import select_format, select_sparse_method
+from repro.kernels.registry import (
+    dense_variant_for,
+    select_format,
+    select_sparse_method,
+    variant_for,
+)
 from repro.kernels.shapes import ConvShape, FcShape
 from repro.sparsity.nm import NMFormat, NMSparseMatrix, SUPPORTED_FORMATS
 from repro.sparsity.pruning import nm_prune
@@ -77,6 +92,7 @@ if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.compiler
 
 __all__ = [
     "MODES",
+    "BACKEND_KNOBS",
     "KernelChoice",
     "PlanStep",
     "ExecutionPlan",
@@ -128,7 +144,11 @@ class KernelChoice:
     ``loss`` is set by format selection (``select_fmt=True``): the
     relative weight-energy the chosen format cost this layer — 0.0 for
     a lossless choice, positive when the layer was re-pruned at pack
-    time; None when selection did not run for the node.
+    time; None when selection did not run for the node.  ``backend``
+    names the :mod:`repro.kernels.backend` object that bound the layer:
+    ``"sparse-sw"`` or ``"sparse-isa"`` for gather-bound N:M layers,
+    ``"dense"`` for dense bindings (including scatter-to-dense sparse
+    layers).
     """
 
     kind: str
@@ -140,6 +160,7 @@ class KernelChoice:
     est_cycles: float | None = None
     dense_cycles: float | None = None
     loss: float | None = None
+    backend: str | None = None
 
 
 @dataclass(frozen=True)
@@ -175,6 +196,10 @@ class ExecutionPlan:
     select_fmt: bool = False
     #: Per-layer weight-energy loss budget of the format selection.
     accuracy_budget: float = 0.0
+    #: Engine knob of the sparse bindings: "sw", "isa" or "auto".
+    backend: str = "sw"
+    #: Widened float gather accumulation ("float64"), or None (float32).
+    accum_dtype: str | None = None
     steps: list[PlanStep] = field(default_factory=list)
     #: Resolved geometry per conv node (introspection / cost hooks).
     conv_shapes: dict[str, ConvShape] = field(default_factory=dict)
@@ -224,18 +249,20 @@ class ExecutionPlan:
 
 # -- per-op binding ------------------------------------------------------
 
+_DENSE_BACKEND = get_backend("dense")
 
-def _sparse_routing(
+
+def _resolve_sparse_format(
     node: Node,
     kind: str,
     shape: ConvShape | FcShape,
     mode: str,
     plan: ExecutionPlan,
-) -> tuple[NMSparseMatrix | None, KernelChoice | None]:
-    """Resolve the sparse binding for one conv/dense node, if any.
+) -> tuple[NMSparseMatrix | None, float | None]:
+    """Resolve one conv/dense node's packed sparse weights, if any.
 
-    Returns ``(packed, choice)`` — the compile-time packed weights plus
-    their :class:`KernelChoice` — or ``(None, None)`` for a dense
+    Returns ``(packed, loss)`` — the compile-time packed weights plus
+    the format-selection loss — or ``(None, None)`` for a dense
     binding.  int8 plans pack the *quantised* weights (nodes without
     int8 metadata stay dense: there is nothing int8 to pack); float
     plans pack the float32 weights.  Format resolution order: an
@@ -281,69 +308,163 @@ def _sparse_routing(
         fmt = detect_format(wmat)
     if fmt is None:
         return None, None
-    packed = NMSparseMatrix.from_dense(wmat, fmt, dtype=dtype)
-    choice = _sparse_choice(
-        kind, shape, fmt, packed, node.attrs.get("sparse_method"), loss
-    )
-    return packed, choice
+    return NMSparseMatrix.from_dense(wmat, fmt, dtype=dtype), loss
 
 
-def _sparse_choice(
+def _dense_variant_name(kind: str, shape: ConvShape | FcShape) -> str | None:
+    variant = dense_variant_for(kind, shape)
+    return variant.name if variant is not None else None
+
+
+def _choose_sparse_binding(
+    node: Node,
     kind: str,
     shape: ConvShape | FcShape,
-    fmt: NMFormat,
     packed: NMSparseMatrix,
-    forced: str | None = None,
-    loss: float | None = None,
-) -> KernelChoice:
-    """Cost-model-driven gather-vs-dense decision for one sparse layer.
+    loss: float | None,
+    plan: ExecutionPlan,
+):
+    """Backend + method decision for one N:M layer.
 
-    ``forced`` (from ``node.attrs["sparse_method"]``) overrides the
-    cost model — used to pin a layer to one execution method for
-    testing/CI gates and benchmarking; for int8 both methods are
-    bit-identical, for float they agree to rounding.
+    Returns ``(choice, backend, layout)``: the recorded
+    :class:`KernelChoice`, the :mod:`repro.kernels.backend` object that
+    binds the layer, and its packed :class:`~repro.kernels.backend.
+    PackedLayout`.  The plan's ``backend`` knob steers the decision:
+
+    - ``"sw"`` — the PR-3 behaviour: the cost model arbitrates the SW
+      decimation kernel against scatter-to-dense
+      (:func:`repro.kernels.registry.select_sparse_method`);
+    - ``"isa"`` — pin the ISA-extension emulation (falling back to the
+      SW arbitration only where no ISA kernel exists: odd-K FC layers,
+      formats outside the paper's set);
+    - ``"auto"`` — rank sparse-isa / sparse-sw / dense per layer by
+      modelled cycles (:func:`repro.kernels.backend.select_backend`).
+
+    A ``node.attrs["sparse_method"]`` override still pins the execution
+    *method* in every mode: ``"dense"`` forces the compile-time
+    scatter, ``"gather"`` forces a decimation backend (the knob decides
+    which one).
     """
+    fmt = packed.fmt
+    forced = node.attrs.get("sparse_method")
     if forced is not None and forced not in ("gather", "dense"):
         raise ValueError(
             f"unknown sparse_method override {forced!r} "
             "(expected 'gather' or 'dense')"
         )
-    dense_bytes = packed.dense_bytes()
+    sw = get_backend("sparse-sw")
+    isa = get_backend("sparse-isa")
+    variant: str | None
     if fmt.name not in SUPPORTED_FORMATS:
         # The MCU cost model only covers the paper's formats (1:4/1:8/
         # 1:16); an explicitly forced other format — general N, or an
-        # unmodelled M — still runs, via gather.
-        return KernelChoice(
-            kind,
-            fmt.name,
-            forced or "gather",
-            None,
-            packed.total_bytes(),
-            dense_bytes,
-            loss=loss,
-        )
-    sel = select_sparse_method(kind, shape, fmt)
-    method = forced or sel.method
-    variant = sel.sparse_variant if method == "gather" else sel.dense_variant
-    return KernelChoice(
+        # unmodelled M — still runs, via the SW gather.
+        method = forced or "gather"
+        backend = _DENSE_BACKEND if method == "dense" else sw
+        variant, est_cycles, dense_cycles = None, None, None
+    elif plan.backend == "isa" and isa.supports(kind, shape, fmt):
+        method = forced or "gather"
+        dense_cycles = _DENSE_BACKEND.cost(kind, shape, None)
+        if method == "gather":
+            backend = isa
+            variant = variant_for(kind, "sparse-isa", fmt).name
+            est_cycles = isa.cost(kind, shape, fmt)
+        else:
+            backend = _DENSE_BACKEND
+            variant = _dense_variant_name(kind, shape)
+            est_cycles = dense_cycles
+    elif plan.backend == "auto":
+        dense_cycles = _DENSE_BACKEND.cost(kind, shape, None)
+        if forced == "dense":
+            method, backend = "dense", _DENSE_BACKEND
+            variant, est_cycles = _dense_variant_name(kind, shape), dense_cycles
+        else:
+            allow = (
+                ("sparse-isa", "sparse-sw")
+                if forced == "gather"
+                else ("sparse-isa", "sparse-sw", "dense")
+            )
+            sel = select_backend(kind, shape, fmt, allow=allow)
+            backend = get_backend(sel.backend)
+            est_cycles = sel.cycles
+            if sel.backend == "dense":
+                method, variant = "dense", _dense_variant_name(kind, shape)
+            else:
+                method = "gather"
+                variant = variant_for(kind, sel.backend, fmt).name
+    else:  # "sw", or "isa" on a geometry the ISA kernels cannot serve
+        sel = select_sparse_method(kind, shape, fmt)
+        method = forced or sel.method
+        dense_cycles = sel.dense_cycles
+        if method == "gather":
+            backend, variant = sw, sel.sparse_variant
+            est_cycles = sel.sparse_cycles
+        else:
+            backend, variant = _DENSE_BACKEND, sel.dense_variant
+            est_cycles = sel.dense_cycles
+    layout = (
+        _DENSE_BACKEND.pack(packed)
+        if backend is _DENSE_BACKEND
+        else backend.pack(packed, None, kind)
+    )
+    choice = KernelChoice(
         kind,
         fmt.name,
         method,
         variant,
-        packed.total_bytes(),
-        dense_bytes,
-        sel.sparse_cycles,
-        sel.dense_cycles,
+        layout.weight_bytes,
+        packed.dense_bytes(),
+        est_cycles,
+        dense_cycles,
         loss,
+        backend.name,
     )
+    return choice, backend, layout
+
+
+def _bind_core(
+    node: Node,
+    kind: str,
+    shape: ConvShape | FcShape,
+    mode: str,
+    plan: ExecutionPlan,
+):
+    """Resolve one conv/dense node into ``(core, choice)``.
+
+    ``core`` is the backend-bound batched accumulator callable — it
+    takes the ``(B, P, R)`` activation rows (int8 for the int8 path,
+    float32 otherwise) and returns ``(B, P, K)`` accumulators.  Every
+    binding, dense included, goes through a backend's pack/bind pair;
+    the surrounding quantise/im2col/requant scaffolding stays in the
+    per-op wrappers below.
+    """
+    int8_path = mode == "int8" and "weights_q" in node.attrs
+    out_dtype = np.int32 if int8_path else np.float32
+    packed, loss = _resolve_sparse_format(node, kind, shape, mode, plan)
+    if packed is None:
+        w = np.asarray(
+            node.attrs["weights_q"] if int8_path else node.attrs["weights"]
+        )
+        layout = _DENSE_BACKEND.pack(w.reshape(w.shape[0], -1))
+        return (
+            _DENSE_BACKEND.bind(layout, out_dtype),
+            _dense_choice(kind, shape, node, mode),
+        )
+    choice, backend, layout = _choose_sparse_binding(
+        node, kind, shape, packed, loss, plan
+    )
+    accum = (
+        np.dtype(np.float64)
+        if plan.accum_dtype == "float64" and not int8_path
+        else None
+    )
+    return backend.bind(layout, out_dtype, accum), choice
 
 
 def _dense_choice(
     kind: str, shape: ConvShape | FcShape, node: Node, mode: str
 ) -> KernelChoice:
     """Introspection record for a dense-bound conv/dense node."""
-    from repro.kernels.registry import dense_variant_for
-
     w = np.asarray(node.attrs["weights"])
     n_weights = int(w.size)
     int8_path = mode == "int8" and "weights_q" in node.attrs
@@ -359,6 +480,7 @@ def _dense_choice(
         weight_bytes,
         cycles,
         cycles,
+        backend="dense",
     )
 
 
@@ -382,77 +504,36 @@ def _bind_conv(
     shape = _conv_shape(node, in_shape)
     bias = node.attrs.get("bias")
     oy, ox, k = shape.oy, shape.ox, shape.k
-    # Sparse routing: pack once at compile time, validate the pattern
-    # loudly, and record the cost model's format + method decisions.
-    packed, choice = _sparse_routing(node, "conv", shape, mode, plan)
-    gather = packed is not None and choice.method == "gather"
+    # Backend routing: pack once at compile time, validate the pattern
+    # loudly, and record the format / method / backend decisions.  The
+    # core sees raw int8 (or float32) im2col rows and widens chunk-wise
+    # (gather backends) or once up front (the dense GEMM) — both orders
+    # produce identical accumulators.
+    core, choice = _bind_core(node, "conv", shape, mode, plan)
     int8_path = mode == "int8" and "weights_q" in node.attrs
 
-    if gather and int8_path:
+    if int8_path:
         a_scale = float(node.attrs["act_scale"])
         deq = a_scale * float(node.attrs["w_scale"])
-        idx = gather_indices(packed)  # hoisted out of the call path
 
         def run(x: np.ndarray) -> np.ndarray:
             xq = quantize_activations(x, a_scale)
             cols = im2col_batch(xq, shape)
-            acc = sparse_matmul_acc_batch(cols, packed, "gather", idx)
-            out = acc.astype(np.float64) * deq
-            if bias is not None:
-                out = out + bias
-            return out.reshape(x.shape[0], oy, ox, k)
-
-    elif gather:
-        idx = gather_indices(packed)
-
-        def run(x: np.ndarray) -> np.ndarray:
-            cols = im2col_batch(x, shape)
-            out = sparse_matmul_f32_batch(cols, packed, "gather", idx)
-            if bias is not None:
-                out = out + bias
-            return out.reshape(x.shape[0], oy, ox, k)
-
-    elif int8_path:
-        # Pre-widen the quantised weights to the accumulator dtype and
-        # pre-transpose; the per-call work is quantise + gather + GEMM.
-        # Scatter-to-dense sparse layers share this binding: to_dense()
-        # restores the packed matrix exactly (including any selection
-        # re-pruning), so only the KernelChoice records the decision.
-        wq = (
-            packed.to_dense()
-            if packed is not None
-            else np.asarray(node.attrs["weights_q"]).reshape(k, -1)
-        )
-        wq_t = np.ascontiguousarray(wq.astype(np.int32).T)
-        a_scale = float(node.attrs["act_scale"])
-        deq = a_scale * float(node.attrs["w_scale"])
-
-        def run(x: np.ndarray) -> np.ndarray:
-            xq = quantize_activations(x, a_scale)
-            cols = im2col_batch(xq, shape).astype(np.int32)
-            acc = np.matmul(cols, wq_t)  # (B, OY*OX, K) int32
+            acc = core(cols)  # (B, OY*OX, K) int32
             out = acc.astype(np.float64) * deq
             if bias is not None:
                 out = out + bias
             return out.reshape(x.shape[0], oy, ox, k)
 
     else:
-        w = (
-            packed.to_dense()
-            if packed is not None
-            else np.asarray(node.attrs["weights"]).reshape(k, -1)
-        )
-        w_t = np.ascontiguousarray(w.T.astype(np.float32))
 
         def run(x: np.ndarray) -> np.ndarray:
             cols = im2col_batch(x, shape)
-            out = np.matmul(cols, w_t)  # (B, OY*OX, K)
+            out = core(cols)  # (B, OY*OX, K) float32
             if bias is not None:
                 out = out + bias
             return out.reshape(x.shape[0], oy, ox, k)
 
-    if choice is None:
-        choice = _dense_choice("conv", shape, node, mode)
     return shape, run, choice
 
 
@@ -466,21 +547,19 @@ def _bind_dense(
     # A vector input (C,) is lifted to one "token" so every batch slice
     # runs the same (T, C) @ (C, K) GEMM as a single-sample call.
     vector_in = len(in_shape) == 1
-    packed, choice = _sparse_routing(node, "fc", fc_shape, mode, plan)
-    gather = packed is not None and choice.method == "gather"
+    core, choice = _bind_core(node, "fc", fc_shape, mode, plan)
     int8_path = mode == "int8" and "weights_q" in node.attrs
 
-    if gather and int8_path:
+    if int8_path:
         a_scale = float(node.attrs["act_scale"])
         deq = a_scale * float(node.attrs["w_scale"])
-        idx = gather_indices(packed)
 
         def run(x: np.ndarray) -> np.ndarray:
             xq = quantize_activations(x, a_scale)
             if vector_in:
                 xq = xq[:, None, :]
             toks = xq.reshape(xq.shape[0], -1, c)
-            acc = sparse_matmul_acc_batch(toks, packed, "gather", idx)
+            acc = core(toks)
             out = acc.astype(np.float64).reshape(*xq.shape[:-1], k) * deq
             if vector_in:
                 out = out[:, 0]
@@ -488,62 +567,19 @@ def _bind_dense(
                 out = out + bias
             return out
 
-    elif gather:
-        idx = gather_indices(packed)
+    else:
 
         def run(x: np.ndarray) -> np.ndarray:
             if vector_in:
                 x = x[:, None, :]
             toks = x.reshape(x.shape[0], -1, c)
-            out = sparse_matmul_f32_batch(toks, packed, "gather", idx)
-            out = out.reshape(*x.shape[:-1], k)
+            out = core(toks).reshape(*x.shape[:-1], k)
             if vector_in:
                 out = out[:, 0]
             if bias is not None:
                 out = out + bias
             return out
 
-    elif int8_path:
-        wq = (
-            packed.to_dense()
-            if packed is not None
-            else np.asarray(node.attrs["weights_q"])
-        )
-        wq_t = np.ascontiguousarray(wq.astype(np.int32).T)
-        a_scale = float(node.attrs["act_scale"])
-        deq = a_scale * float(node.attrs["w_scale"])
-
-        def run(x: np.ndarray) -> np.ndarray:
-            xq = quantize_activations(x, a_scale).astype(np.int32)
-            if vector_in:
-                xq = xq[:, None, :]
-            out = np.matmul(xq, wq_t).astype(np.float64) * deq
-            if vector_in:
-                out = out[:, 0]
-            if bias is not None:
-                out = out + bias
-            return out
-
-    else:
-        w = (
-            packed.to_dense()
-            if packed is not None
-            else np.asarray(node.attrs["weights"])
-        )
-        w_t = np.ascontiguousarray(w.T.astype(np.float32))
-
-        def run(x: np.ndarray) -> np.ndarray:
-            if vector_in:
-                x = x[:, None, :]
-            out = np.matmul(x, w_t)
-            if vector_in:
-                out = out[:, 0]
-            if bias is not None:
-                out = out + bias
-            return out
-
-    if choice is None:
-        choice = _dense_choice("fc", fc_shape, node, mode)
     return fc_shape, run, choice
 
 
@@ -660,6 +696,8 @@ def compile_plan(
     sparse: bool = False,
     select_fmt: bool = False,
     accuracy_budget: float = 0.0,
+    backend: str = "sw",
+    accum_dtype: str | None = None,
 ) -> ExecutionPlan:
     """Compile ``graph`` into an :class:`ExecutionPlan` for ``mode``.
 
@@ -682,6 +720,14 @@ def compile_plan(
     auto-detection with the cost model's format search under
     ``accuracy_budget`` — see
     :func:`repro.kernels.registry.select_format`.
+
+    ``backend`` selects the sparse execution engine: ``"sw"`` (the SW
+    decimation path plus cost-model scatter arbitration), ``"isa"``
+    (pin the ISA-extension emulation kernels), or ``"auto"`` (rank
+    sw / isa / dense per layer by modelled cycles).  int8 plans are
+    bit-identical across all three.  ``accum_dtype="float64"``
+    (float sparse plans only) widens the gather accumulation for
+    serving contracts tighter than the default float tolerance.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}")
@@ -691,6 +737,23 @@ def compile_plan(
         raise ValueError(
             f"accuracy_budget must be >= 0, got {accuracy_budget}"
         )
+    if backend not in BACKEND_KNOBS:
+        raise ValueError(
+            f"unknown backend {backend!r} (expected one of {BACKEND_KNOBS})"
+        )
+    if accum_dtype is not None:
+        accum_dtype = np.dtype(accum_dtype).name
+        if accum_dtype == "float32":
+            accum_dtype = None  # float32 is the default accumulation
+        elif accum_dtype != "float64":
+            raise ValueError(
+                f"accum_dtype must be float32 or float64, got {accum_dtype!r}"
+            )
+        elif not (sparse and mode == "float"):
+            raise ValueError(
+                "accum_dtype='float64' only applies to float sparse plans "
+                "(int8 accumulation is already exact)"
+            )
     if sparse:
         # Resolve the gather chunk size now so a bad REPRO_K_CHUNK env
         # value fails at compile/registration time, not on the first
@@ -711,6 +774,8 @@ def compile_plan(
         sparse=sparse,
         select_fmt=select_fmt,
         accuracy_budget=accuracy_budget,
+        backend=backend,
+        accum_dtype=accum_dtype,
     )
     # Liveness: the step that consumes an activation last releases it.
     last_use: dict[str, int] = {}

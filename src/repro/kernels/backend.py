@@ -1,0 +1,459 @@
+"""Pluggable kernel execution backends (dense / sparse-sw / sparse-isa).
+
+The execution-plan compiler (:mod:`repro.engine.plan`) binds each
+conv/dense layer through one of three :class:`KernelBackend` objects
+instead of special-casing sparse dispatch inline:
+
+- :class:`DenseBackend` — the plain GEMM over a (possibly
+  scattered-back-to-dense) weight matrix;
+- :class:`SparseSwBackend` — the software decimation path: logical N:M
+  ``values`` + per-row gather indices, exactly the layout the SW-only
+  MCU kernels consume (paper Sec. 4.1.2 / 4.2.2);
+- :class:`SparseIsaBackend` — the hardware-extension path: weights are
+  packed into the **ISA layouts** (conv offsets duplicated entry by
+  entry for the ``xDecimate`` double-buffer unroll, Sec. 4.1.3; FC
+  offsets channel-pair interleaved, Sec. 4.2.3 / Fig. 6) and executed
+  by a vectorised emulation that *decodes those packed streams back*
+  into decimation addresses — so a packing bug breaks execution loudly
+  instead of being papered over by the logical offsets.  Per-element
+  semantics match the :mod:`repro.kernels.microcode` programs run on
+  the core model (cross-checked in
+  ``tests/kernels/test_backend_micro_crosscheck.py``), and int8 results
+  are bit-identical to the SW path: the ISA only accelerates the
+  decimation, it never changes an accumulator.
+
+Every backend implements the same small protocol:
+
+- ``pack(weights, fmt, kind)`` → :class:`PackedLayout` (the
+  compile-time weight image plus the decoded gather plan);
+- ``bind(layout, out_dtype)`` → a batched core callable
+  ``(B, P, R) cols → (B, P, K) accumulators``;
+- ``cost(kind, shape, fmt)`` → modelled MCU cycles (None when the
+  backend cannot serve the geometry).
+
+:func:`select_backend` is the compile-time selector the ``"auto"``
+engine knob runs: it ranks the deployable backends by modelled cycles
+and returns the full scored candidate list for introspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.kernels import microcode as mc
+from repro.kernels.conv_sparse import gather_indices, gather_matmul_batch
+from repro.kernels.cost_model import (
+    CostParams,
+    DEFAULT_PARAMS,
+    conv_layer_cycles,
+    fc_layer_cycles,
+    variant_supported,
+)
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import NMFormat, NMSparseMatrix, SUPPORTED_FORMATS
+
+__all__ = [
+    "BACKEND_KNOBS",
+    "PackedLayout",
+    "KernelBackend",
+    "DenseBackend",
+    "SparseSwBackend",
+    "SparseIsaBackend",
+    "BACKENDS",
+    "get_backend",
+    "BackendCandidate",
+    "BackendChoice",
+    "select_backend",
+]
+
+#: Values the plan-level ``backend=`` knob accepts: pin the SW engine,
+#: pin the ISA engine, or let the cost model rank them per layer.
+BACKEND_KNOBS = ("sw", "isa", "auto")
+
+
+@dataclass(frozen=True)
+class PackedLayout:
+    """One layer's compile-time weight image under a backend.
+
+    ``values`` is the kernel-order value array — the logical
+    ``(K, NNZ)`` non-zeros for the SW backend, the padded
+    ``(K, nnz_pad)`` array for the ISA backend, the dense ``(K, R)``
+    matrix for the dense backend.  ``packed_offsets`` is the OFFSETS
+    byte stream the corresponding MCU kernel consumes (None for
+    dense), ``gather_idx`` the decoded per-value decimation addresses
+    (None for dense; padded entries are clamped in-range and carry
+    value 0).  ``weight_bytes`` is the deployable storage of this
+    layout — values plus packed offsets, with the conv ISA layout
+    paying for its duplicated indices.
+    """
+
+    backend: str
+    layout: str  # "dense" | "sw" | "isa-conv" | "isa-fc"
+    matrix: NMSparseMatrix | None
+    values: np.ndarray
+    packed_offsets: np.ndarray | None
+    gather_idx: np.ndarray | None
+    nnz_pad: int
+    weight_bytes: int
+
+
+def _as_matrix(
+    weights: np.ndarray | NMSparseMatrix, fmt: NMFormat | None
+) -> NMSparseMatrix:
+    if isinstance(weights, NMSparseMatrix):
+        return weights
+    if fmt is None:
+        raise ValueError("packing a dense matrix sparse requires an NMFormat")
+    weights = np.asarray(weights)
+    return NMSparseMatrix.from_dense(weights, fmt, dtype=weights.dtype)
+
+
+class KernelBackend:
+    """Protocol base: pack a layer's weights, bind its batched core."""
+
+    name: str = "?"
+
+    def supports(
+        self,
+        kind: str,
+        shape: ConvShape | FcShape,
+        fmt: NMFormat | None,
+    ) -> bool:
+        """Whether this backend can execute ``(kind, shape, fmt)``."""
+        raise NotImplementedError
+
+    def pack(
+        self,
+        weights: np.ndarray | NMSparseMatrix,
+        fmt: NMFormat | None,
+        kind: str = "conv",
+    ) -> PackedLayout:
+        """Build the compile-time weight image for one layer."""
+        raise NotImplementedError
+
+    def bind(
+        self,
+        layout: PackedLayout,
+        out_dtype: np.dtype | type,
+        accum_dtype: np.dtype | str | None = None,
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """A batched ``(B, P, R) -> (B, P, K)`` accumulator core."""
+        raise NotImplementedError
+
+    def cost(
+        self,
+        kind: str,
+        shape: ConvShape | FcShape,
+        fmt: NMFormat | None,
+        params: CostParams = DEFAULT_PARAMS,
+    ) -> float | None:
+        """Modelled MCU cycles, or None when the geometry is unserved."""
+        raise NotImplementedError
+
+    # Shared helper: cycle model lookup for a concrete variant name.
+    @staticmethod
+    def _cycles(
+        kind: str,
+        variant: str,
+        shape: ConvShape | FcShape,
+        fmt: NMFormat | None,
+        params: CostParams,
+    ) -> float:
+        if kind == "conv":
+            return conv_layer_cycles(shape, variant, fmt, params).total
+        return fc_layer_cycles(shape, variant, fmt, params).total
+
+
+class DenseBackend(KernelBackend):
+    """Plain GEMM over the dense weight matrix.
+
+    Also serves scatter-to-dense sparse layers: packing an
+    :class:`NMSparseMatrix` scatters it back once at compile time
+    (bit-identical — the scatter restores the exact matrix), while
+    ``weight_bytes`` keeps the *packed* accounting, since the packed
+    layout is still what a deployment ships.
+    """
+
+    name = "dense"
+
+    def supports(self, kind, shape, fmt) -> bool:
+        return self.cost(kind, shape, None) is not None
+
+    def pack(self, weights, fmt=None, kind="conv") -> PackedLayout:
+        if isinstance(weights, NMSparseMatrix):
+            dense = weights.to_dense()
+            matrix: NMSparseMatrix | None = weights
+            weight_bytes = weights.total_bytes()
+        else:
+            dense = np.asarray(weights)
+            matrix = None
+            weight_bytes = dense.size * dense.itemsize
+        return PackedLayout(
+            backend=self.name,
+            layout="dense",
+            matrix=matrix,
+            values=dense,
+            packed_offsets=None,
+            gather_idx=None,
+            nnz_pad=0,
+            weight_bytes=weight_bytes,
+        )
+
+    def bind(self, layout, out_dtype, accum_dtype=None):
+        out_dtype = np.dtype(out_dtype)
+        w_t = np.ascontiguousarray(layout.values.T.astype(out_dtype))
+
+        def core(cols: np.ndarray) -> np.ndarray:
+            return np.matmul(cols.astype(out_dtype, copy=False), w_t)
+
+        return core
+
+    def cost(self, kind, shape, fmt, params=DEFAULT_PARAMS):
+        # fmt is ignored: the dense kernel's latency does not depend on
+        # the sparsity pattern it scattered away.
+        if kind == "conv":
+            variant = (
+                "dense-4x2"
+                if variant_supported(kind, "dense-4x2", shape)
+                else "dense-1x2"
+            )
+        else:
+            if not variant_supported(kind, "dense", shape):
+                return None
+            variant = "dense"
+        return self._cycles(kind, variant, shape, None, params)
+
+
+class SparseSwBackend(KernelBackend):
+    """The software decimation path (paper Sec. 4.1.2 / 4.2.2).
+
+    Packs the logical N:M layout (values + per-value offsets at
+    ``fmt.offset_bits``) and hoists the decimation addresses
+    (:func:`repro.kernels.conv_sparse.gather_indices`) out of the
+    per-call path — exactly the binding execution plans used before the
+    backend layer existed, moved behind the interface.
+    """
+
+    name = "sparse-sw"
+
+    def supports(self, kind, shape, fmt) -> bool:
+        return fmt is not None
+
+    def pack(self, weights, fmt=None, kind="conv") -> PackedLayout:
+        matrix = _as_matrix(weights, fmt)
+        nnz = matrix.values.shape[1]
+        return PackedLayout(
+            backend=self.name,
+            layout="sw",
+            matrix=matrix,
+            values=matrix.values,
+            packed_offsets=matrix.packed_offsets(),
+            gather_idx=gather_indices(matrix),
+            nnz_pad=nnz,
+            weight_bytes=matrix.total_bytes(),
+        )
+
+    def bind(self, layout, out_dtype, accum_dtype=None):
+        out_dtype = np.dtype(out_dtype)
+        values, idx = layout.values, layout.gather_idx
+
+        def core(cols: np.ndarray) -> np.ndarray:
+            return gather_matmul_batch(cols, values, idx, out_dtype, accum_dtype)
+
+        return core
+
+    def cost(self, kind, shape, fmt, params=DEFAULT_PARAMS):
+        if fmt is None or fmt.name not in SUPPORTED_FORMATS:
+            return None  # the MCU model covers the paper's formats only
+        return self._cycles(kind, "sparse-sw", shape, fmt, params)
+
+
+class SparseIsaBackend(KernelBackend):
+    """The hardware-extension path (paper Sec. 4.1.3 / 4.2.3).
+
+    ``pack`` emits the ISA offset streams through the layout builders in
+    :mod:`repro.kernels.microcode` (the same builders the micro-runner
+    programs consume): conv offsets are duplicated entry by entry —
+    ``xDecimate`` advances its block pointer only every second
+    execution, once per im2col buffer of the output pair — and FC
+    offsets of channel pairs are interleaved so the conv instruction
+    flavour serves FC layers unchanged.  The emulation then *decodes*
+    the packed stream back (verifying duplication / de-interleaving via
+    :meth:`~repro.sparsity.nm.NMSparseMatrix.from_packed`) into padded
+    decimation addresses; padded tail entries carry value 0 and their
+    addresses are clamped in-range, mirroring the slack bytes the MCU
+    kernels over-allocate past each activation buffer.
+    """
+
+    name = "sparse-isa"
+
+    def supports(self, kind, shape, fmt) -> bool:
+        # xDecimate handles the paper's 1:M formats; the interleaved FC
+        # layout additionally merges channel pairs (Fig. 6, even K) —
+        # both constraints live in the cost model's support predicate.
+        if fmt is None or fmt.name not in SUPPORTED_FORMATS:
+            return False
+        return variant_supported(kind, "sparse-isa", shape, fmt)
+
+    def pack(self, weights, fmt=None, kind="conv") -> PackedLayout:
+        matrix = _as_matrix(weights, fmt)
+        fmt = matrix.fmt
+        if fmt.name not in SUPPORTED_FORMATS:
+            raise ValueError(
+                f"sparse-isa supports formats {sorted(SUPPORTED_FORMATS)}, "
+                f"got {fmt.name}"
+            )
+        if kind == "conv":
+            flat, packed, nnz_pad = mc.pack_sparse_rows_isa_conv(matrix)
+            layout_name = "isa-conv"
+            weight_bytes = matrix.total_bytes(duplicate_offsets=True)
+        elif kind == "fc":
+            if matrix.rows % 2:
+                raise ValueError(
+                    "the ISA FC layout interleaves channel pairs and "
+                    f"needs an even K, got {matrix.rows}"
+                )
+            flat, packed, nnz_pad = mc.pack_sparse_rows_isa_fc(matrix)
+            layout_name = "isa-fc"
+            # Interleaving permutes the offsets, it does not grow them.
+            weight_bytes = matrix.total_bytes()
+        else:
+            raise ValueError(f"unknown layer kind {kind!r}")
+        values = flat.reshape(matrix.rows, nnz_pad)
+        # Round-trip the stream: the emulation must run off what the
+        # layout actually encodes, not off the logical offsets it was
+        # built from — a packing bug fails here, at compile time.
+        decoded = NMSparseMatrix.from_packed(
+            values, packed, fmt, matrix.dense_cols, matrix.rows, layout_name
+        )
+        if not (
+            np.array_equal(decoded.values, matrix.values)
+            and np.array_equal(decoded.offsets, matrix.offsets)
+        ):
+            raise RuntimeError(
+                f"{layout_name} stream did not round-trip the packed "
+                "matrix (layout builder / decoder disagree)"
+            )
+        nnz = matrix.values.shape[1]
+        offsets_pad = np.zeros((matrix.rows, nnz_pad), dtype=np.int64)
+        offsets_pad[:, :nnz] = decoded.offsets
+        block_starts = (np.arange(nnz_pad) // fmt.n) * fmt.m
+        # Padded entries address blocks past the reduce dimension (the
+        # MCU buffers own that slack); values there are 0, so clamping
+        # the emulation's addresses in-range cannot change a result.
+        gather_idx = np.minimum(
+            block_starts[None, :] + offsets_pad, matrix.dense_cols - 1
+        )
+        return PackedLayout(
+            backend=self.name,
+            layout=layout_name,
+            matrix=matrix,
+            values=values,
+            packed_offsets=packed,
+            gather_idx=gather_idx,
+            nnz_pad=nnz_pad,
+            weight_bytes=weight_bytes,
+        )
+
+    def bind(self, layout, out_dtype, accum_dtype=None):
+        out_dtype = np.dtype(out_dtype)
+        values, idx = layout.values, layout.gather_idx
+
+        def core(cols: np.ndarray) -> np.ndarray:
+            return gather_matmul_batch(cols, values, idx, out_dtype, accum_dtype)
+
+        return core
+
+    def cost(self, kind, shape, fmt, params=DEFAULT_PARAMS):
+        if not self.supports(kind, shape, fmt):
+            return None
+        return self._cycles(kind, "sparse-isa", shape, fmt, params)
+
+
+#: The backend registry, keyed by backend name.
+BACKENDS: dict[str, KernelBackend] = {
+    b.name: b for b in (DenseBackend(), SparseSwBackend(), SparseIsaBackend())
+}
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a backend; raises KeyError with the known names on miss."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise KeyError(f"unknown backend {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class BackendCandidate:
+    """One scored entry of a per-layer backend ranking."""
+
+    backend: str
+    cycles: float | None
+    supported: bool
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """Result of :func:`select_backend` for one N:M layer.
+
+    ``backend`` is the winner of the modelled-cycle ranking —
+    ``"sparse-isa"``, ``"sparse-sw"``, or ``"dense"`` (scatter the
+    packed matrix back and run the dense kernel).  Ties prefer the ISA
+    engine, then SW, then dense — the same order the paper's deployment
+    flow privileges hardware support.  ``candidates`` records the full
+    scored ranking for introspection and tests.
+    """
+
+    backend: str
+    cycles: float | None
+    candidates: tuple[BackendCandidate, ...]
+
+    def cycles_of(self, backend: str) -> float | None:
+        for cand in self.candidates:
+            if cand.backend == backend:
+                return cand.cycles
+        return None
+
+
+#: Tie-break preference of the auto ranking (lower wins on equal cycles).
+_AUTO_PREFERENCE = {"sparse-isa": 0, "sparse-sw": 1, "dense": 2}
+
+
+def select_backend(
+    kind: str,
+    shape: ConvShape | FcShape,
+    fmt: NMFormat,
+    params: CostParams = DEFAULT_PARAMS,
+    allow: tuple[str, ...] = ("sparse-isa", "sparse-sw", "dense"),
+) -> BackendChoice:
+    """Rank the deployable backends for one N:M layer by modelled cycles.
+
+    The ``"auto"`` engine knob's per-layer decision: every backend in
+    ``allow`` that supports the geometry is scored with its own
+    :meth:`KernelBackend.cost`, and the cheapest wins (ties broken by
+    ISA > SW > dense preference).  At least one sparse backend always
+    supports a paper-format layer, so the choice never comes back
+    empty-handed.
+    """
+    candidates = []
+    for name in allow:
+        backend = get_backend(name)
+        fmt_arg = None if name == "dense" else fmt
+        cycles = backend.cost(kind, shape, fmt_arg, params)
+        candidates.append(
+            BackendCandidate(name, cycles, cycles is not None)
+        )
+    scored = [c for c in candidates if c.cycles is not None]
+    if not scored:
+        raise ValueError(
+            f"no backend in {allow} supports ({kind}, {fmt.name}, {shape})"
+        )
+    best = min(
+        scored, key=lambda c: (c.cycles, _AUTO_PREFERENCE.get(c.backend, 9))
+    )
+    return BackendChoice(best.backend, best.cycles, tuple(candidates))

@@ -45,6 +45,7 @@ __all__ = [
     "conv2d_acc_sparse",
     "conv2d_f32_sparse",
     "gather_indices",
+    "gather_matmul_batch",
     "k_chunk",
     "set_k_chunk",
     "sparse_matmul_acc",
@@ -115,12 +116,56 @@ def gather_indices(sparse_w: NMSparseMatrix) -> np.ndarray:
     return block_starts[None, :] + sparse_w.offsets
 
 
+def gather_matmul_batch(
+    cols: np.ndarray,
+    values: np.ndarray,
+    gather_idx: np.ndarray,
+    out_dtype: np.dtype,
+    accum_dtype: np.dtype | None = None,
+) -> np.ndarray:
+    """Batched decimation core: ``out[b,p,k] = Σ_j cols[b,p,idx[k,j]] * values[k,j]``.
+
+    The vectorised inner loop every sparse execution path shares —
+    the SW gather kernel feeds it :func:`gather_indices`, the ISA
+    backend (:mod:`repro.kernels.backend`) the indices decoded from its
+    duplicated/interleaved OFFSETS streams (padded entries carry value
+    0, so their clamped addresses contribute nothing).  ``accum_dtype``
+    optionally widens the accumulation (float64 for the tight float
+    serving contract); the result is narrowed back to ``out_dtype``.
+    """
+    cols = np.asarray(cols)
+    b, p, _ = cols.shape
+    k_total, _ = values.shape
+    if gather_idx.shape != values.shape:
+        raise ValueError(
+            f"gather_idx {gather_idx.shape} != values {values.shape}"
+        )
+    acc = np.empty((b, p, k_total), dtype=out_dtype)
+    accum = np.dtype(accum_dtype if accum_dtype is not None else out_dtype)
+    # Gather from the narrow buffer and widen per chunk: only the nnz/R
+    # positions the decimation actually reads are touched, and the
+    # accumulator footprint stays bounded by the (B, P, kc, nnz) chunk.
+    step = k_chunk()
+    for k0 in range(0, k_total, step):
+        k1 = min(k0 + step, k_total)
+        # The fancy-index gather already materialises a fresh chunk, so
+        # the widening cast must not copy again when dtypes match
+        # (float32 in, float32 accumulators).
+        patches = cols[:, :, gather_idx[k0:k1]].astype(
+            accum, copy=False
+        )  # (B, P, kc, nnz)
+        vals = values[k0:k1].astype(accum, copy=False)  # (kc, nnz)
+        acc[:, :, k0:k1] = np.einsum("bpkn,kn->bpk", patches, vals)
+    return acc
+
+
 def _sparse_matmul_batch(
     cols: np.ndarray,
     sparse_w: NMSparseMatrix,
     method: str,
     gather_idx: np.ndarray | None,
     acc_dtype: np.dtype,
+    accum_dtype: np.dtype | None = None,
 ) -> np.ndarray:
     """Shared gather/scatter core for both numeric flavours."""
     cols = np.asarray(cols)
@@ -137,24 +182,9 @@ def _sparse_matmul_batch(
         raise ValueError(f"unknown method {method!r}")
     if gather_idx is None:
         gather_idx = gather_indices(sparse_w)
-    b, p, _ = cols.shape
-    k_total = sparse_w.values.shape[0]
-    acc = np.empty((b, p, k_total), dtype=acc_dtype)
-    # Gather from the narrow buffer and widen per chunk: only the nnz/R
-    # positions the decimation actually reads are touched, and the
-    # accumulator footprint stays bounded by the (B, P, kc, nnz) chunk.
-    step = k_chunk()
-    for k0 in range(0, k_total, step):
-        k1 = min(k0 + step, k_total)
-        # The fancy-index gather already materialises a fresh chunk, so
-        # the widening cast must not copy again when dtypes match
-        # (float32 in, float32 accumulators).
-        patches = cols[:, :, gather_idx[k0:k1]].astype(
-            acc_dtype, copy=False
-        )  # (B, P, kc, nnz)
-        vals = sparse_w.values[k0:k1].astype(acc_dtype, copy=False)  # (kc, nnz)
-        acc[:, :, k0:k1] = np.einsum("bpkn,kn->bpk", patches, vals)
-    return acc
+    return gather_matmul_batch(
+        cols, sparse_w.values, gather_idx, acc_dtype, accum_dtype
+    )
 
 
 def sparse_matmul_acc_batch(
@@ -195,6 +225,7 @@ def sparse_matmul_f32_batch(
     sparse_w: NMSparseMatrix,
     method: str = "gather",
     gather_idx: np.ndarray | None = None,
+    accum_dtype: np.dtype | str | None = None,
 ) -> np.ndarray:
     """Batched float32 products of ``cols @ sparse_w.T``: ``(B, P, K)``.
 
@@ -206,14 +237,32 @@ def sparse_matmul_f32_batch(
     decimation order; float addition is not associative, so it matches
     the dense GEMM to rounding, not bit-exactly (tolerance contract in
     ``docs/sparsity.md``).
+
+    ``accum_dtype=np.float64`` widens the gather accumulation (the
+    result is still float32): each product is formed and summed in
+    double precision, which keeps the decimation-order sum within one
+    float32 ulp of the dense GEMM — the opt-in path for serving
+    contracts tighter than the default tolerance.
     """
     if sparse_w.values.dtype != np.float32:
         raise TypeError(
             f"sparse_matmul_f32_batch expects float32 values, got "
             f"{sparse_w.values.dtype} (use sparse_matmul_acc_batch)"
         )
+    if accum_dtype is not None and np.dtype(accum_dtype) not in (
+        np.dtype(np.float32),
+        np.dtype(np.float64),
+    ):
+        raise ValueError(
+            f"accum_dtype must be float32 or float64, got {accum_dtype!r}"
+        )
     return _sparse_matmul_batch(
-        cols, sparse_w, method, gather_idx, np.dtype(np.float32)
+        cols,
+        sparse_w,
+        method,
+        gather_idx,
+        np.dtype(np.float32),
+        np.dtype(accum_dtype) if accum_dtype is not None else None,
     )
 
 
@@ -262,20 +311,40 @@ def sparse_matmul_acc(
     return sparse_matmul_acc_batch(cols[None], sparse_w, method, gather_idx)[0]
 
 
+def _isa_core(sparse_w: NMSparseMatrix, kind: str, out_dtype: np.dtype):
+    """One-off ISA-backend core for the functional layer wrappers.
+
+    Lazy import: :mod:`repro.kernels.backend` builds on this module's
+    gather core, so the dependency must point that way at import time.
+    """
+    from repro.kernels.backend import get_backend
+
+    backend = get_backend("sparse-isa")
+    return backend.bind(backend.pack(sparse_w, None, kind), out_dtype)
+
+
 def conv2d_acc_sparse(
     x: np.ndarray,
     sparse_w: NMSparseMatrix,
     shape: ConvShape,
     method: str = "gather",
 ) -> np.ndarray:
-    """int32 accumulators of an N:M sparse conv (before bias/requant)."""
+    """int32 accumulators of an N:M sparse conv (before bias/requant).
+
+    ``method="isa"`` routes through the ISA-extension emulation backend
+    (duplicated-offset layout, Sec. 4.1.3) — bit-identical to
+    ``"gather"``, the decimation indices are the same.
+    """
     if sparse_w.rows != shape.k or sparse_w.dense_cols != shape.reduce_dim:
         raise ValueError(
             f"sparse weights ({sparse_w.rows}, {sparse_w.dense_cols}) "
             f"do not match {shape}"
         )
     cols = im2col(x, shape)
-    acc = sparse_matmul_acc(cols, sparse_w, method)
+    if method == "isa":
+        acc = _isa_core(sparse_w, "conv", np.dtype(np.int32))(cols[None])[0]
+    else:
+        acc = sparse_matmul_acc(cols, sparse_w, method)
     return acc.reshape(shape.oy, shape.ox, shape.k)
 
 
@@ -299,14 +368,20 @@ def conv2d_f32_sparse(
     bias: np.ndarray | None = None,
     method: str = "gather",
 ) -> np.ndarray:
-    """N:M sparse float32 convolution: ``(OY, OX, K)`` float output."""
+    """N:M sparse float32 convolution: ``(OY, OX, K)`` float output.
+
+    ``method="isa"`` runs the ISA-extension emulation backend.
+    """
     if sparse_w.rows != shape.k or sparse_w.dense_cols != shape.reduce_dim:
         raise ValueError(
             f"sparse weights ({sparse_w.rows}, {sparse_w.dense_cols}) "
             f"do not match {shape}"
         )
     cols = im2col(x, shape)
-    out = sparse_matmul_f32(cols, sparse_w, method)
+    if method == "isa":
+        out = _isa_core(sparse_w, "conv", np.dtype(np.float32))(cols[None])[0]
+    else:
+        out = sparse_matmul_f32(cols, sparse_w, method)
     if bias is not None:
         out = out + bias
     return out.reshape(shape.oy, shape.ox, shape.k)

@@ -48,6 +48,7 @@ __all__ = [
     "format_energy_loss",
     "iter_cycles",
     "iter_equiv_macs",
+    "variant_supported",
     "weight_stream_bytes",
     "conv_layer_cycles",
     "fc_layer_cycles",
@@ -204,6 +205,34 @@ class CycleBreakdown:
             dma=self.dma * factor,
             macs=int(self.macs * factor),
         )
+
+
+def variant_supported(
+    kind: str,
+    variant: str,
+    shape: ConvShape | FcShape,
+    fmt: NMFormat | None = None,
+) -> bool:
+    """Whether ``(kind, variant, fmt)`` can deploy on ``shape``.
+
+    The geometry constraints the kernels impose, in one place — the
+    backend layer (:mod:`repro.kernels.backend`) consults this instead
+    of re-deriving them: the 4x2 dense conv schedule needs K % 4 == 0,
+    the dense and ISA FC kernels process channel *pairs* (even K, the
+    ISA one because its OFFSETS stream interleaves two channels), and
+    the sparse kernels are modelled only for the paper's 1:M formats.
+    """
+    if variant.startswith("dense"):
+        if kind == "conv":
+            return variant != "dense-4x2" or shape.k % 4 == 0
+        return shape.k % 2 == 0
+    if fmt is None or fmt.n != 1:
+        return False
+    if (kind, variant, fmt.m) not in INNER_ITER_CYCLES:
+        return False
+    if kind == "fc" and variant == "sparse-isa" and shape.k % 2:
+        return False
+    return True
 
 
 def _check_variant(kind: str, variant: str, fmt: NMFormat | None) -> int:

@@ -17,7 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.conv_sparse import sparse_matmul_acc, sparse_matmul_f32
+from repro.kernels.conv_sparse import (
+    _isa_core,
+    sparse_matmul_acc,
+    sparse_matmul_f32,
+)
 from repro.kernels.fc_dense import _as_tokens
 from repro.kernels.requant import QuantParams, requantize
 from repro.kernels.shapes import FcShape
@@ -32,13 +36,20 @@ def fc_acc_sparse(
     shape: FcShape,
     method: str = "gather",
 ) -> np.ndarray:
-    """int32 accumulators of an N:M sparse FC layer ``(T, K)``."""
+    """int32 accumulators of an N:M sparse FC layer ``(T, K)``.
+
+    ``method="isa"`` routes through the ISA-extension emulation backend
+    (channel-pair interleaved offsets, Sec. 4.2.3; needs an even K) —
+    bit-identical to ``"gather"``.
+    """
     if sparse_w.rows != shape.k or sparse_w.dense_cols != shape.c:
         raise ValueError(
             f"sparse weights ({sparse_w.rows}, {sparse_w.dense_cols}) "
             f"do not match {shape}"
         )
     tokens = _as_tokens(x, shape)
+    if method == "isa":
+        return _isa_core(sparse_w, "fc", np.dtype(np.int32))(tokens[None])[0]
     return sparse_matmul_acc(tokens, sparse_w, method)
 
 
@@ -66,8 +77,9 @@ def fc_f32_sparse(
 
     The float flavour of :func:`fc_sparse` for float-valued packed
     weights — no requantisation epilogue; ``method="dense"`` is
-    bit-identical to the dense float GEMM, ``method="gather"`` matches
-    it to rounding (see ``docs/sparsity.md``).
+    bit-identical to the dense float GEMM, ``method="gather"`` (and the
+    ISA emulation via ``method="isa"``) matches it to rounding (see
+    ``docs/sparsity.md``).
     """
     if sparse_w.rows != shape.k or sparse_w.dense_cols != shape.c:
         raise ValueError(
@@ -75,7 +87,10 @@ def fc_f32_sparse(
             f"do not match {shape}"
         )
     tokens = _as_tokens(x, shape)
-    out = sparse_matmul_f32(tokens, sparse_w, method)
+    if method == "isa":
+        out = _isa_core(sparse_w, "fc", np.dtype(np.float32))(tokens[None])[0]
+    else:
+        out = sparse_matmul_f32(tokens, sparse_w, method)
     if bias is not None:
         out = out + bias
     return out

@@ -113,10 +113,16 @@ def pad_unit(fmt: NMFormat, engine: str, kind: str) -> int:
 
 
 def _padded(mat: NMSparseMatrix, unit: int) -> tuple[np.ndarray, np.ndarray, int]:
-    """Pad values/offsets rows to a multiple of ``unit`` (zeros)."""
+    """Pad values/offsets rows to a multiple of ``unit`` (zeros).
+
+    Values keep the matrix's dtype: int8 for the microcoded kernels,
+    float32 when the emulation backend packs a float-serving layout
+    (padded entries are zero either way, so the extra decimated loads
+    never change a result).
+    """
     k, nnz = mat.values.shape
     nnz_pad = ((nnz + unit - 1) // unit) * unit
-    values = np.zeros((k, nnz_pad), dtype=np.int8)
+    values = np.zeros((k, nnz_pad), dtype=mat.values.dtype)
     offsets = np.zeros((k, nnz_pad), dtype=np.uint8)
     values[:, :nnz] = mat.values
     offsets[:, :nnz] = mat.offsets

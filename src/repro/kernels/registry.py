@@ -4,11 +4,14 @@ Maps variant names to their functional entry points, latency models and
 weight layouts, giving the compiler (:mod:`repro.compiler.codegen`) and
 the benchmark harness one place to enumerate what the library offers.
 
-Two compile-time selectors live here, both driven by the MCU cost
-model:
+Three compile-time selectors live here, all driven by the MCU cost
+model through the kernel-backend layer (:mod:`repro.kernels.backend`):
 
 - :func:`select_sparse_method` — gather vs scatter-to-dense for a layer
   whose N:M format is already fixed (PR 3);
+- :func:`select_backend` (re-exported from the backend module) — which
+  *execution backend* (``sparse-isa`` / ``sparse-sw`` / dense scatter)
+  runs an N:M layer, the ``"auto"`` engine knob's per-layer ranking;
 - :func:`select_format` — *which* N:M format (1:4 / 1:8 / 1:16, or
   dense) to deploy a layer in, under a per-layer accuracy budget — the
   paper's central memory/latency-vs-accuracy trade, run as a
@@ -21,6 +24,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.backend import (
+    BackendCandidate,
+    BackendChoice,
+    get_backend,
+    select_backend,
+)
 from repro.kernels.cost_model import (
     CostParams,
     CycleBreakdown,
@@ -39,6 +48,9 @@ __all__ = [
     "dense_variant_for",
     "SparseMethodChoice",
     "select_sparse_method",
+    "BackendCandidate",
+    "BackendChoice",
+    "select_backend",
     "FormatCandidate",
     "FormatChoice",
     "select_format",
@@ -174,13 +186,13 @@ def select_sparse_method(
     gather wins by default.
     """
     sparse_v = variant_for(kind, "sparse-sw", fmt)
-    sparse_cycles = sparse_v.cycles(shape, params).total
+    sparse_cycles = get_backend("sparse-sw").cost(kind, shape, fmt, params)
     dense_v = dense_variant_for(kind, shape)
-    if dense_v is None:
+    dense_cycles = get_backend("dense").cost(kind, shape, None, params)
+    if dense_v is None or dense_cycles is None:
         return SparseMethodChoice(
             "gather", sparse_v.name, None, sparse_cycles, None
         )
-    dense_cycles = dense_v.cycles(shape, params).total
     method = "gather" if sparse_cycles <= dense_cycles else "dense"
     return SparseMethodChoice(
         method, sparse_v.name, dense_v.name, sparse_cycles, dense_cycles

@@ -2,12 +2,14 @@
 
 Hosts the engine benchmark's ResNet-style graph as ``resnet-float`` and
 ``resnet-int8``, plus an N:M-pruned sibling served through the sparse
-execution plans as ``resnet-sparse-int8`` (quantised packed weights)
-and ``resnet-sparse-float`` (float32 packed weights), and a
+execution plans as ``resnet-sparse-int8`` (quantised packed weights,
+SW backend), ``resnet-sparse-isa`` (the same pruned graph pinned to the
+ISA-extension emulation backend — bit-identical responses, ISA weight
+layouts) and ``resnet-sparse-float`` (float32 packed weights), and a
 format-selected deployment ``resnet-select-int8`` of the mixed-format
 demo graph — exercising the registry's side-by-side
-(graph, mode, sparse, selection) deployments.  Everything is seeded
-through :func:`repro.utils.rng.make_rng`, so the demo weights,
+(graph, mode, sparse, selection, backend) deployments.  Everything is
+seeded through :func:`repro.utils.rng.make_rng`, so the demo weights,
 calibration data, and therefore every served logit are reproducible.
 """
 
@@ -26,6 +28,7 @@ DEMO_MODELS = (
     "resnet-float",
     "resnet-int8",
     "resnet-sparse-int8",
+    "resnet-sparse-isa",
     "resnet-sparse-float",
     "resnet-select-int8",
 )
@@ -40,13 +43,18 @@ def demo_server(
     max_queue_depth: int = 256,
     seed: int = 0,
     sparse: bool = True,
+    max_weight_bytes: int | None = None,
 ) -> ModelServer:
     """Build (but don't start) a server hosting the demo deployments.
 
-    ``sparse=False`` drops the three sparse-plan deployments
-    (``resnet-sparse-int8``, ``resnet-sparse-float``,
-    ``resnet-select-int8``); the two dense-plan deployments are always
-    hosted.
+    ``sparse=False`` drops the four sparse-plan deployments
+    (``resnet-sparse-int8``, ``resnet-sparse-isa``,
+    ``resnet-sparse-float``, ``resnet-select-int8``); the two
+    dense-plan deployments are always hosted.  ``max_weight_bytes``
+    budgets the registry's cumulative weight memory — a demo set that
+    does not fit raises
+    :class:`~repro.serve.errors.WeightBudgetExceeded` at build time
+    (the ``repro serve --max-weight-mb`` / CI rejection path).
     """
     from repro.models.quantize import quantize_graph
 
@@ -57,7 +65,10 @@ def demo_server(
     ]
     quantize_graph(graph, calib)
     server = ModelServer(
-        policy=policy, workers=workers, max_queue_depth=max_queue_depth
+        policy=policy,
+        workers=workers,
+        max_queue_depth=max_queue_depth,
+        max_weight_bytes=max_weight_bytes,
     )
     server.register("resnet-float", graph, "float")
     server.register("resnet-int8", graph, "int8")
@@ -65,6 +76,9 @@ def demo_server(
         pruned = resnet_style_graph(seed=seed, fmt=DEMO_SPARSE_FORMAT)
         quantize_graph(pruned, calib)
         server.register("resnet-sparse-int8", pruned, "int8", sparse=True)
+        server.register(
+            "resnet-sparse-isa", pruned, "int8", sparse=True, backend="isa"
+        )
         server.register("resnet-sparse-float", pruned, "float", sparse=True)
         mixed = resnet_style_graph(seed=seed, layer_fmts=MIXED_DEMO_FMTS)
         quantize_graph(mixed, calib)

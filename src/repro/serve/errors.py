@@ -15,6 +15,7 @@ __all__ = [
     "ServerOverloaded",
     "ServerClosed",
     "BadRequest",
+    "WeightBudgetExceeded",
 ]
 
 
@@ -97,3 +98,29 @@ class ServerClosed(ServeError):
     """
 
     code = "server_closed"
+
+
+class WeightBudgetExceeded(ServeError):
+    """Registering the deployment would blow the weight-memory budget.
+
+    Raised at *registration* time (never on the request path): the
+    registry was built with ``max_weight_bytes`` and the new
+    deployment's compiled ``plan.weight_bytes()`` would push the
+    cumulative hosted weight storage past it.  The registry is left
+    unchanged — unregister something or raise the budget.
+    """
+
+    code = "weight_budget_exceeded"
+
+    def __init__(
+        self, name: str, needed: int, used: int, max_weight_bytes: int
+    ):
+        self.name = name
+        self.needed = needed
+        self.used = used
+        self.max_weight_bytes = max_weight_bytes
+        super().__init__(
+            f"registering {name!r} needs {needed} weight bytes but only "
+            f"{max_weight_bytes - used} of {max_weight_bytes} remain "
+            f"({used} in use)"
+        )

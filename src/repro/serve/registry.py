@@ -18,8 +18,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.engine.engine import InferenceEngine
-from repro.engine.plan import MODES, ExecutionPlan
-from repro.serve.errors import BadRequest, UnknownModel
+from repro.engine.plan import BACKEND_KNOBS, MODES, ExecutionPlan
+from repro.serve.errors import BadRequest, UnknownModel, WeightBudgetExceeded
 
 if TYPE_CHECKING:
     from repro.compiler.ir import Graph
@@ -38,6 +38,10 @@ class Deployment:
     graph), float32 weights in float mode (dense-identical to float
     rounding).  ``select_fmt`` deployments additionally let the cost
     model pick each layer's N:M format under ``accuracy_budget``.
+    ``backend`` pins the sparse execution engine (``"sw"`` / ``"isa"``
+    / ``"auto"`` — see :mod:`repro.kernels.backend`); ``accum_dtype``
+    opts a float sparse deployment into float64 gather accumulation
+    for tighter serving contracts.
     """
 
     name: str
@@ -48,6 +52,8 @@ class Deployment:
     sparse: bool = False
     select_fmt: bool = False
     accuracy_budget: float = 0.0
+    backend: str = "sw"
+    accum_dtype: str | None = None
 
     @property
     def input_shape(self) -> tuple[int, ...]:
@@ -81,15 +87,50 @@ class Deployment:
             sparse=self.sparse,
             select_fmt=self.select_fmt,
             accuracy_budget=self.accuracy_budget,
+            backend=self.backend,
+            accum_dtype=self.accum_dtype,
         )
 
 
 class ModelRegistry:
-    """Named deployments sharing one engine (and its plan cache)."""
+    """Named deployments sharing one engine (and its plan cache).
 
-    def __init__(self, engine: InferenceEngine | None = None) -> None:
+    ``max_weight_bytes`` caps the cumulative compiled weight storage
+    (``plan.weight_bytes()`` summed over hosted deployments): a
+    registration that would exceed it raises
+    :class:`~repro.serve.errors.WeightBudgetExceeded` and leaves the
+    registry untouched — the multi-model analogue of an MCU's fixed
+    weight memory.  ``None`` (the default) means unbudgeted.
+
+    The budget models *deployable* weight bytes, not host RSS: the
+    warm-up plan of a rejected registration stays in the shared
+    engine's plan cache (keyed weakly by graph — it is reused if the
+    model is re-registered under a raised budget, and freed when the
+    caller drops the graph).  Call
+    :meth:`~repro.engine.engine.InferenceEngine.invalidate` to evict a
+    rejected graph's plans eagerly.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine | None = None,
+        max_weight_bytes: int | None = None,
+    ) -> None:
+        if max_weight_bytes is not None and max_weight_bytes < 0:
+            raise ValueError(
+                f"max_weight_bytes must be >= 0, got {max_weight_bytes}"
+            )
         self.engine = engine or InferenceEngine()
+        self.max_weight_bytes = max_weight_bytes
         self._deployments: dict[str, Deployment] = {}
+
+    def weight_bytes_used(self, exclude: str | None = None) -> int:
+        """Cumulative compiled weight bytes of the hosted deployments."""
+        return sum(
+            dep.plan.weight_bytes()
+            for name, dep in self._deployments.items()
+            if name != exclude
+        )
 
     def register(
         self,
@@ -99,28 +140,48 @@ class ModelRegistry:
         sparse: bool = False,
         select_fmt: bool = False,
         accuracy_budget: float = 0.0,
+        backend: str = "sw",
+        accum_dtype: str | None = None,
     ) -> Deployment:
         """Host ``graph`` in ``mode`` under ``name``, warming its plan.
 
         Compilation happens here, at registration time, so serving
         traffic never sees a cold plan — for ``sparse=True`` that
-        includes the N:M weight packing and per-layer kernel selection,
-        and for ``select_fmt=True`` the cost-model format search under
-        ``accuracy_budget``.  Re-registering an existing name replaces
-        the deployment (the engine-level plan cache keeps any
-        still-valid plan for the same graph).
+        includes the N:M weight packing and per-layer kernel selection
+        under the chosen ``backend``, and for ``select_fmt=True`` the
+        cost-model format search under ``accuracy_budget``.
+        Re-registering an existing name replaces the deployment (the
+        engine-level plan cache keeps any still-valid plan for the same
+        graph).  With a weight budget configured, a deployment whose
+        compiled weight bytes do not fit raises
+        :class:`~repro.serve.errors.WeightBudgetExceeded` (replacing a
+        name only charges the delta — the old plan's bytes are freed).
         """
         if not name:
             raise ValueError("deployment name must be non-empty")
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r} (expected one of {MODES})")
+        if backend not in BACKEND_KNOBS:
+            raise ValueError(
+                f"unknown backend {backend!r} "
+                f"(expected one of {BACKEND_KNOBS})"
+            )
         plan = self.engine.compile(  # warm-up
             graph,
             mode,
             sparse=sparse,
             select_fmt=select_fmt,
             accuracy_budget=accuracy_budget,
+            backend=backend,
+            accum_dtype=accum_dtype,
         )
+        if self.max_weight_bytes is not None:
+            used = self.weight_bytes_used(exclude=name)
+            needed = plan.weight_bytes()
+            if used + needed > self.max_weight_bytes:
+                raise WeightBudgetExceeded(
+                    name, needed, used, self.max_weight_bytes
+                )
         dep = Deployment(
             name=name,
             graph=graph,
@@ -130,6 +191,8 @@ class ModelRegistry:
             sparse=sparse,
             select_fmt=select_fmt,
             accuracy_budget=accuracy_budget,
+            backend=backend,
+            accum_dtype=accum_dtype,
         )
         self._deployments[name] = dep
         return dep

@@ -55,12 +55,20 @@ class ModelServer:
         policy: BatchPolicy | None = None,
         workers: int = 2,
         max_queue_depth: int = 256,
+        max_weight_bytes: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
-        self.registry = registry or ModelRegistry()
+        if registry is not None and max_weight_bytes is not None:
+            raise ValueError(
+                "pass max_weight_bytes to the ModelRegistry when "
+                "supplying one explicitly"
+            )
+        self.registry = registry or ModelRegistry(
+            max_weight_bytes=max_weight_bytes
+        )
         self.policy = policy or BatchPolicy()
         self.workers = workers
         self.max_queue_depth = max_queue_depth
@@ -125,6 +133,8 @@ class ModelServer:
         sparse: bool = False,
         select_fmt: bool = False,
         accuracy_budget: float = 0.0,
+        backend: str = "sw",
+        accum_dtype: str | None = None,
     ):
         """Register (and plan-warm) a deployment on the server's registry."""
         return self.registry.register(
@@ -134,6 +144,8 @@ class ModelServer:
             sparse=sparse,
             select_fmt=select_fmt,
             accuracy_budget=accuracy_budget,
+            backend=backend,
+            accum_dtype=accum_dtype,
         )
 
     # -- request path (event loop only) ---------------------------------

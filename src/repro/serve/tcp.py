@@ -10,10 +10,12 @@ per line, in order.  Ops:
 - ``{"op": "stats"}`` → ``{"ok": true, "stats": snapshot}``.
 - ``{"op": "models"}`` → ``{"ok": true, "models": [...]}``.
 - ``{"op": "describe"}`` → ``{"ok": true, "models": {name: {"mode",
-  "input_shape", "sparse", "select_fmt", "weight_bytes",
-  "dense_weight_bytes"}}}`` — what a client needs to build requests,
-  plus per-deployment kernel/memory introspection (the compile-time
-  weight accounting from ``plan.weight_bytes()``).
+  "input_shape", "sparse", "select_fmt", "backend", "accum_dtype",
+  "weight_bytes", "dense_weight_bytes"}}, "weight_budget":
+  {"max_weight_bytes", "used_weight_bytes"}}`` — what a client needs
+  to build requests, plus per-deployment kernel/memory introspection
+  (the compile-time weight accounting from ``plan.weight_bytes()``)
+  and the registry's weight-memory budget status.
 - ``{"op": "ping"}`` → ``{"ok": true, "pong": true}``.
 
 Errors come back as ``{"ok": false, "error": code, "detail": str}``
@@ -50,6 +52,7 @@ async def _handle_request(server: ModelServer, msg: dict) -> dict:
     if op == "models":
         return {"ok": True, "models": list(server.registry.names())}
     if op == "describe":
+        registry = server.registry
         return {
             "ok": True,
             "models": {
@@ -58,11 +61,17 @@ async def _handle_request(server: ModelServer, msg: dict) -> dict:
                     "input_shape": list(dep.input_shape),
                     "sparse": dep.sparse,
                     "select_fmt": dep.select_fmt,
+                    "backend": dep.backend,
+                    "accum_dtype": dep.accum_dtype,
                     "weight_bytes": dep.plan.weight_bytes(),
                     "dense_weight_bytes": dep.plan.dense_weight_bytes(),
                 }
-                for name in server.registry.names()
-                for dep in [server.registry.get(name)]
+                for name in registry.names()
+                for dep in [registry.get(name)]
+            },
+            "weight_budget": {
+                "max_weight_bytes": registry.max_weight_bytes,
+                "used_weight_bytes": registry.weight_bytes_used(),
             },
         }
     if op == "infer":
@@ -291,11 +300,18 @@ class TcpServeClient:
         return resp["stats"]
 
     async def describe(self) -> dict:
-        """Hosted deployments: ``{name: {"mode", "input_shape"}}``."""
+        """Hosted deployments: ``{name: {"mode", "input_shape", ...}}``."""
         resp = await self.request({"op": "describe"})
         if not resp.get("ok"):
             raise _error_from_code(resp)
         return resp["models"]
+
+    async def weight_budget(self) -> dict:
+        """The registry's weight budget: max and used bytes."""
+        resp = await self.request({"op": "describe"})
+        if not resp.get("ok"):
+            raise _error_from_code(resp)
+        return resp["weight_budget"]
 
 
 def _error_from_code(resp: dict) -> ServeError:
@@ -308,6 +324,7 @@ def _error_from_code(resp: dict) -> ServeError:
         E.RequestTooLarge,
         E.ServerOverloaded,
         E.ServerClosed,
+        E.WeightBudgetExceeded,
         E.BadRequest,
     ):
         if cls.code == code:

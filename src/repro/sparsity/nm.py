@@ -257,6 +257,95 @@ class NMSparseMatrix:
         offsets = keep.reshape(rows, -1).astype(np.uint8)
         return cls(values, offsets, fmt, cols)
 
+    @classmethod
+    def from_packed(
+        cls,
+        values: np.ndarray,
+        packed_offsets: np.ndarray,
+        fmt: NMFormat,
+        dense_cols: int,
+        rows: int,
+        layout: str = "sw",
+    ) -> "NMSparseMatrix":
+        """Decode a kernel-consumable layout back into a matrix.
+
+        The inverse of the layout builders in
+        :mod:`repro.kernels.microcode` (``pack_sparse_rows_sw`` /
+        ``pack_sparse_rows_isa_conv`` / ``pack_sparse_rows_isa_fc``):
+        ``values`` is the flat (or ``(rows, nnz_pad)``) padded value
+        array and ``packed_offsets`` the packed OFFSETS byte stream in
+        one of the three encodings —
+
+        - ``"sw"``: one offset per stored value;
+        - ``"isa-conv"``: every offset duplicated (Sec. 4.1.3; the
+          duplication is *verified*, a stream whose pairs disagree is
+          rejected);
+        - ``"isa-fc"``: offsets of channel pairs interleaved
+          (Sec. 4.2.3; requires an even ``rows``).
+
+        Padding entries past the logical NNZ are dropped after checking
+        they carry value 0 (a non-zero pad means a corrupt artifact).
+        """
+        values = np.asarray(values)
+        if rows < 1 or values.size % rows:
+            raise ValueError(
+                f"values of size {values.size} do not split into {rows} rows"
+            )
+        values = values.reshape(rows, -1)
+        nnz_pad = values.shape[1]
+        nnz = dense_cols // fmt.m * fmt.n
+        if nnz_pad < nnz:
+            raise ValueError(
+                f"padded nnz {nnz_pad} < logical nnz {nnz} for "
+                f"dense_cols={dense_cols} at {fmt.name}"
+            )
+        if (values[:, nnz:] != 0).any():
+            raise ValueError("padding entries carry non-zero values")
+        packed = np.asarray(packed_offsets, dtype=np.uint8).reshape(-1)
+        if layout == "sw":
+            stream_rows, per_row = rows, nnz_pad
+        elif layout == "isa-conv":
+            stream_rows, per_row = rows, 2 * nnz_pad
+        elif layout == "isa-fc":
+            if rows % 2:
+                raise ValueError("isa-fc layout requires an even row count")
+            stream_rows, per_row = rows // 2, 2 * nnz_pad
+        else:
+            raise ValueError(
+                f"unknown layout {layout!r} "
+                "(expected 'sw', 'isa-conv' or 'isa-fc')"
+            )
+        row_bytes = (per_row * fmt.offset_bits + 7) // 8
+        if packed.size != stream_rows * row_bytes:
+            raise ValueError(
+                f"packed offsets of {packed.size} bytes != "
+                f"{stream_rows} rows x {row_bytes} bytes ({layout})"
+            )
+        stream = np.stack(
+            [
+                unpack_bits(row, fmt.offset_bits, per_row)
+                for row in packed.reshape(stream_rows, row_bytes)
+            ],
+            axis=0,
+        )
+        if layout == "sw":
+            offsets = stream
+        elif layout == "isa-conv":
+            pairs = stream.reshape(rows, nnz_pad, 2)
+            if (pairs[:, :, 0] != pairs[:, :, 1]).any():
+                raise ValueError(
+                    "isa-conv stream is not entry-duplicated "
+                    "(corrupt or mis-tagged layout)"
+                )
+            offsets = pairs[:, :, 0]
+        else:  # isa-fc: de-interleave channel pairs
+            offsets = (
+                stream.reshape(rows // 2, nnz_pad, 2)
+                .transpose(0, 2, 1)
+                .reshape(rows, nnz_pad)
+            )
+        return cls(values[:, :nnz], offsets[:, :nnz], fmt, dense_cols)
+
     def to_dense(self) -> np.ndarray:
         """Decode back to the dense matrix (same value dtype)."""
         rows = self.values.shape[0]

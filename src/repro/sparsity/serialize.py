@@ -4,6 +4,22 @@ A deployment artifact format: one ``.npz`` per model holding, per
 layer, the packed values/offsets arrays plus the format metadata needed
 to reconstruct an :class:`NMSparseMatrix` (or hand the blobs straight
 to a C runtime).  Round-trips exactly.
+
+Two encodings per layer:
+
+- the **logical** layout (the default): unpacked per-value offsets,
+  exactly the PR-1 ``repro-nm-v1`` format — old artifacts keep
+  loading, new logical saves stay byte-compatible;
+- a **kernel** layout (``layouts={name: "isa-conv" | "isa-fc" |
+  "sw"}``): the flat padded value array plus the packed OFFSETS byte
+  stream a specific MCU kernel family consumes (built by the layout
+  packers in :mod:`repro.kernels.microcode`), so a deployment artifact
+  can carry the exact bytes the target streams from flash.  Loading
+  decodes the stream back through
+  :meth:`~repro.sparsity.nm.NMSparseMatrix.from_packed` — which also
+  *verifies* it (offset duplication for ``isa-conv``, pair
+  de-interleaving for ``isa-fc``, zero-valued padding), so a corrupted
+  or mis-tagged artifact fails loudly instead of decoding to garbage.
 """
 
 from __future__ import annotations
@@ -14,22 +30,53 @@ import numpy as np
 
 from repro.sparsity.nm import NMFormat, NMSparseMatrix
 
-__all__ = ["save_nm_weights", "load_nm_weights"]
+__all__ = ["KERNEL_LAYOUTS", "save_nm_weights", "load_nm_weights"]
 
 _MAGIC = "repro-nm-v1"
 
+#: Kernel layout tags a layer may be stored in (beyond the logical
+#: default): the SW stream and the two ISA streams of Sec. 4.1.3/4.2.3.
+KERNEL_LAYOUTS = ("sw", "isa-conv", "isa-fc")
+
+
+def _pack_kernel_layout(
+    mat: NMSparseMatrix, layout: str
+) -> tuple[np.ndarray, np.ndarray, int]:
+    # Lazy import: repro.kernels.microcode imports this package's nm
+    # module; keeping the dependency call-time-only avoids any cycle.
+    from repro.kernels import microcode as mc
+
+    if layout == "sw":
+        return mc.pack_sparse_rows_sw(mat)
+    if layout == "isa-conv":
+        return mc.pack_sparse_rows_isa_conv(mat)
+    if layout == "isa-fc":
+        return mc.pack_sparse_rows_isa_fc(mat)
+    raise ValueError(
+        f"unknown kernel layout {layout!r} (expected one of {KERNEL_LAYOUTS})"
+    )
+
 
 def save_nm_weights(
-    path: str | Path, layers: dict[str, NMSparseMatrix]
+    path: str | Path,
+    layers: dict[str, NMSparseMatrix],
+    layouts: dict[str, str] | None = None,
 ) -> None:
     """Write a dict of named N:M layers to ``path`` (.npz).
 
     Stored per layer: the values array (int8 or float32 — the dtype
     survives the round trip), uint8 offsets, and an int metadata triple
-    ``(n, m, dense_cols)``.
+    ``(n, m, dense_cols)``.  Layers named in ``layouts`` are instead
+    stored in the given kernel layout: padded values, the packed
+    OFFSETS byte stream, a four-entry meta ``(n, m, dense_cols,
+    nnz_pad)`` and the layout tag.
     """
     if not layers:
         raise ValueError("nothing to save")
+    layouts = layouts or {}
+    unknown = set(layouts) - set(layers)
+    if unknown:
+        raise ValueError(f"layouts name unsaved layers: {sorted(unknown)}")
     arrays: dict[str, np.ndarray] = {
         "__magic__": np.array([_MAGIC]),
         "__names__": np.array(sorted(layers)),
@@ -37,26 +84,55 @@ def save_nm_weights(
     for name, mat in layers.items():
         if "/" in name:
             raise ValueError(f"layer name {name!r} may not contain '/'")
-        arrays[f"{name}/values"] = mat.values
-        arrays[f"{name}/offsets"] = mat.offsets
-        arrays[f"{name}/meta"] = np.array(
-            [mat.fmt.n, mat.fmt.m, mat.dense_cols], dtype=np.int64
-        )
+        layout = layouts.get(name)
+        if layout is None:
+            arrays[f"{name}/values"] = mat.values
+            arrays[f"{name}/offsets"] = mat.offsets
+            arrays[f"{name}/meta"] = np.array(
+                [mat.fmt.n, mat.fmt.m, mat.dense_cols], dtype=np.int64
+            )
+        else:
+            flat, packed, nnz_pad = _pack_kernel_layout(mat, layout)
+            arrays[f"{name}/values"] = flat.reshape(mat.rows, nnz_pad)
+            arrays[f"{name}/offsets"] = packed
+            arrays[f"{name}/meta"] = np.array(
+                [mat.fmt.n, mat.fmt.m, mat.dense_cols, nnz_pad],
+                dtype=np.int64,
+            )
+            arrays[f"{name}/layout"] = np.array([layout])
     np.savez_compressed(Path(path), **arrays)
 
 
 def load_nm_weights(path: str | Path) -> dict[str, NMSparseMatrix]:
-    """Load layers written by :func:`save_nm_weights`."""
+    """Load layers written by :func:`save_nm_weights`.
+
+    Kernel-layout layers are decoded (and verified) back into logical
+    :class:`NMSparseMatrix` objects, so a loaded model is usable by
+    every backend regardless of the layout it shipped in.
+    """
     with np.load(Path(path), allow_pickle=False) as data:
         if "__magic__" not in data or data["__magic__"][0] != _MAGIC:
             raise ValueError(f"{path} is not a repro N:M weight file")
         out: dict[str, NMSparseMatrix] = {}
         for name in data["__names__"]:
-            n, m, dense_cols = (int(v) for v in data[f"{name}/meta"])
-            out[str(name)] = NMSparseMatrix(
-                values=data[f"{name}/values"],
-                offsets=data[f"{name}/offsets"],
-                fmt=NMFormat(n, m),
-                dense_cols=dense_cols,
-            )
+            meta = [int(v) for v in data[f"{name}/meta"]]
+            n, m, dense_cols = meta[:3]
+            fmt = NMFormat(n, m)
+            if f"{name}/layout" in data:
+                values = data[f"{name}/values"]
+                out[str(name)] = NMSparseMatrix.from_packed(
+                    values,
+                    data[f"{name}/offsets"],
+                    fmt,
+                    dense_cols,
+                    rows=values.shape[0],
+                    layout=str(data[f"{name}/layout"][0]),
+                )
+            else:
+                out[str(name)] = NMSparseMatrix(
+                    values=data[f"{name}/values"],
+                    offsets=data[f"{name}/offsets"],
+                    fmt=fmt,
+                    dense_cols=dense_cols,
+                )
         return out

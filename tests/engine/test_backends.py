@@ -1,0 +1,335 @@
+"""Execution backends in the plan compiler (backend= knob).
+
+Tentpole contracts:
+
+- int8 sparse plans of **every** backend knob (sw / isa / auto) are
+  bit-identical to the dense plan — layerwise and end-to-end, on the
+  pruned paper models (ResNet18 / ViT);
+- ``"auto"`` records per-layer backend choices that match the cost
+  model's cycle ranking (:func:`repro.kernels.backend.select_backend`);
+- backend knobs never share an engine plan-cache slot;
+- ``accum_dtype="float64"`` tightens the float gather contract and
+  caches separately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import Graph
+from repro.engine import InferenceEngine, compile_plan
+from repro.engine.bench import (
+    FLOAT_SPARSE_REL_TOL,
+    autotune_k_chunk,
+    measure_sparse_throughput,
+    resnet_style_graph,
+)
+from repro.kernels.backend import select_backend
+from repro.models.quantize import quantize_graph
+from repro.models.resnet import resnet18_cifar
+from repro.models.vit import vit_small
+from repro.sparsity.nm import FORMAT_1_8, SUPPORTED_FORMATS
+from repro.sparsity.pruning import prune_conv_weights, prune_fc_weights
+
+KNOBS = ("sw", "isa", "auto")
+
+
+def quantized(graph, shape, seed=0, n=3):
+    rng = np.random.default_rng(seed)
+    calib = [(rng.normal(size=shape) * 0.5).astype(np.float32) for _ in range(n)]
+    quantize_graph(graph, calib)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def pruned_demo():
+    return quantized(resnet_style_graph(fmt=FORMAT_1_8), (12, 12, 3))
+
+
+@pytest.fixture(scope="module")
+def pruned_models():
+    """Pruned + quantised paper models (the acceptance-bar graphs)."""
+    models = {}
+    for name, graph, shape in [
+        (
+            "resnet",
+            resnet18_cifar(num_classes=10, fmt=FORMAT_1_8, seed=0),
+            (32, 32, 3),
+        ),
+        ("vit", vit_small(fmt=FORMAT_1_8, seed=0, depth=1), (224, 224, 3)),
+    ]:
+        models[name] = (quantized(graph, shape), shape)
+    return models
+
+
+class TestBitIdenticalAcrossBackends:
+    @pytest.mark.parametrize("model", ["resnet", "vit"])
+    def test_isa_and_auto_match_dense_on_paper_models(
+        self, pruned_models, model
+    ):
+        graph, shape = pruned_models[model]
+        rng = np.random.default_rng(7)
+        xs = (rng.normal(size=(2, *shape)) * 0.5).astype(np.float32)
+        engine = InferenceEngine()
+        dense_out, dense_acts = engine.run_batch(
+            graph, xs, mode="int8", return_acts=True
+        )
+        for knob in ("isa", "auto"):
+            out, acts = engine.run_batch(
+                graph,
+                xs,
+                mode="int8",
+                sparse=True,
+                backend=knob,
+                return_acts=True,
+            )
+            plan = engine.compile(graph, "int8", sparse=True, backend=knob)
+            assert any(
+                c.backend == "sparse-isa"
+                for c in plan.kernel_choices.values()
+            ), f"{model}/{knob}: no layer bound to the ISA backend"
+            for name in dense_acts:
+                assert np.array_equal(
+                    dense_acts[name], acts[name]
+                ), f"{model}/{knob}: layer {name} diverged"
+            assert np.array_equal(out, dense_out)
+
+    @pytest.mark.parametrize("fmt_name", list(SUPPORTED_FORMATS))
+    @pytest.mark.parametrize("knob", KNOBS)
+    def test_demo_graph_all_formats(self, fmt_name, knob):
+        fmt = SUPPORTED_FORMATS[fmt_name]
+        g = quantized(resnet_style_graph(fmt=fmt), (12, 12, 3), seed=1)
+        xs = np.random.default_rng(4).normal(size=(5, 12, 12, 3)).astype(np.float32)
+        engine = InferenceEngine()
+        dense = engine.run_batch(g, xs, mode="int8")
+        out = engine.run_batch(g, xs, mode="int8", sparse=True, backend=knob)
+        assert np.array_equal(dense, out), f"{fmt_name}/{knob}"
+
+    def test_float_isa_within_tolerance(self, pruned_demo):
+        xs = np.random.default_rng(5).normal(size=(3, 12, 12, 3)).astype(np.float32)
+        engine = InferenceEngine()
+        dense = engine.run_batch(pruned_demo, xs, mode="float")
+        out = engine.run_batch(
+            pruned_demo, xs, mode="float", sparse=True, backend="isa"
+        )
+        dev = np.abs(out - dense).max()
+        assert dev <= FLOAT_SPARSE_REL_TOL * np.abs(dense).max()
+
+
+class TestAutoRanking:
+    def test_choices_match_cost_model_ranking(self, pruned_demo):
+        """Every N:M layer of an auto plan is bound to the backend the
+        cost-model cycle ranking picks for its geometry."""
+        plan = compile_plan(pruned_demo, "int8", sparse=True, backend="auto")
+        checked = 0
+        for name, choice in plan.kernel_choices.items():
+            if choice.fmt is None:
+                continue
+            kind = choice.kind
+            shape = (
+                plan.conv_shapes[name] if kind == "conv" else plan.fc_shapes[name]
+            )
+            expected = select_backend(kind, shape, SUPPORTED_FORMATS[choice.fmt])
+            assert choice.backend == expected.backend, name
+            assert choice.est_cycles == expected.cycles, name
+            checked += 1
+        assert checked > 0
+
+    def test_auto_prefers_modelled_cheapest(self):
+        """select_backend returns the argmin over the scored candidates
+        (ties broken isa > sw > dense)."""
+        from repro.kernels.shapes import ConvShape
+
+        shape = ConvShape(iy=8, ix=8, c=16, k=8, fy=3, fx=3, s=1, p=1)
+        sel = select_backend("conv", shape, FORMAT_1_8)
+        scored = [c for c in sel.candidates if c.cycles is not None]
+        assert sel.cycles == min(c.cycles for c in scored)
+        assert sel.backend in [c.backend for c in scored]
+
+    def test_forced_method_respected_under_every_knob(self, pruned_demo):
+        xs = np.random.default_rng(9).normal(size=(2, 12, 12, 3)).astype(np.float32)
+        dense_out = compile_plan(pruned_demo, "int8").execute(xs)
+        for knob in KNOBS:
+            for forced in ("gather", "dense"):
+                for node in pruned_demo:
+                    if node.op in ("conv2d", "dense"):
+                        node.attrs["sparse_method"] = forced
+                try:
+                    plan = compile_plan(
+                        pruned_demo, "int8", sparse=True, backend=knob
+                    )
+                finally:
+                    for node in pruned_demo:
+                        node.attrs.pop("sparse_method", None)
+                nm = [c for c in plan.kernel_choices.values() if c.fmt]
+                assert all(c.method == forced for c in nm), (knob, forced)
+                if forced == "dense":
+                    assert all(c.backend == "dense" for c in nm)
+                elif knob == "isa":
+                    assert all(c.backend == "sparse-isa" for c in nm)
+                assert np.array_equal(plan.execute(xs), dense_out), (knob, forced)
+
+    def test_isa_falls_back_to_sw_on_odd_k_fc(self):
+        """The ISA FC layout needs an even K; an odd-K layer under the
+        isa knob falls back to the SW arbitration, bit-identically."""
+        rng = np.random.default_rng(8)
+        g = Graph("odd-k")
+        x = g.add_input("in", (64,))
+        w = prune_fc_weights(
+            (rng.normal(size=(5, 64)) * 0.4).astype(np.float32), FORMAT_1_8
+        )
+        g.add_dense("fc", x, w.astype(np.float32))
+        quantized(g, (64,))
+        plan = compile_plan(g, "int8", sparse=True, backend="isa")
+        choice = plan.kernel_choices["fc"]
+        assert choice.fmt == FORMAT_1_8.name
+        assert choice.backend in ("sparse-sw", "dense")  # never sparse-isa
+        xs = rng.normal(size=(3, 64)).astype(np.float32)
+        assert np.array_equal(
+            plan.execute(xs), compile_plan(g, "int8").execute(xs)
+        )
+
+    def test_isa_conv_records_duplicated_offset_bytes(self, pruned_demo):
+        """ISA conv layers ship duplicated indices — their recorded
+        weight bytes exceed the SW layout's for the same layer."""
+        sw_plan = compile_plan(pruned_demo, "int8", sparse=True, backend="sw")
+        isa_plan = compile_plan(pruned_demo, "int8", sparse=True, backend="isa")
+        grew = 0
+        for name, c in isa_plan.kernel_choices.items():
+            if c.backend != "sparse-isa" or c.kind != "conv":
+                continue
+            # Byte rounding can absorb the duplication for tiny rows
+            # (1 nnz/row packs into one byte either way) — never the
+            # other direction though, and real layers must grow.
+            assert c.weight_bytes >= sw_plan.kernel_choices[name].weight_bytes
+            grew += c.weight_bytes > sw_plan.kernel_choices[name].weight_bytes
+        assert grew > 0
+
+
+class TestBackendCacheIsolation:
+    def test_knobs_cache_separately(self, pruned_demo):
+        engine = InferenceEngine()
+        x = np.zeros((12, 12, 3), np.float32)
+        for knob in KNOBS:
+            engine.run(pruned_demo, x, mode="int8", sparse=True, backend=knob)
+            engine.run(pruned_demo, x, mode="int8", sparse=True, backend=knob)
+        assert engine.compile_count == 3
+        assert set(engine.cached_plans(pruned_demo)) == {
+            "int8+sparse",
+            "int8+sparse+isa",
+            "int8+sparse+auto",
+        }
+        plans = {
+            knob: engine.compile(pruned_demo, "int8", sparse=True, backend=knob)
+            for knob in KNOBS
+        }
+        assert plans["sw"] is not plans["isa"]
+        assert plans["isa"] is not plans["auto"]
+        assert plans["isa"].backend == "isa"
+
+    def test_dense_plans_ignore_the_knob(self, pruned_demo):
+        engine = InferenceEngine()
+        a = engine.compile(pruned_demo, "int8", backend="sw")
+        b = engine.compile(pruned_demo, "int8", backend="isa")
+        assert a is b
+        assert engine.compile_count == 1
+
+    def test_unknown_knob_rejected(self, pruned_demo):
+        engine = InferenceEngine()
+        with pytest.raises(ValueError, match="backend"):
+            engine.compile(pruned_demo, "int8", sparse=True, backend="turbo")
+        with pytest.raises(ValueError, match="backend"):
+            compile_plan(pruned_demo, "int8", sparse=True, backend="turbo")
+
+    def test_registry_serves_isa_deployment_identically(self, pruned_demo):
+        import asyncio
+
+        from repro.serve.server import ModelServer
+
+        xs = np.random.default_rng(5).normal(size=(4, 12, 12, 3)).astype(np.float32)
+
+        async def run():
+            async with ModelServer(workers=2) as server:
+                server.register("sw", pruned_demo, "int8", sparse=True)
+                dep = server.register(
+                    "isa", pruned_demo, "int8", sparse=True, backend="isa"
+                )
+                assert dep.backend == "isa"
+                assert any(
+                    c.backend == "sparse-isa"
+                    for c in dep.plan.kernel_choices.values()
+                )
+                return await server.infer("sw", xs), await server.infer("isa", xs)
+
+        sw_res, isa_res = asyncio.run(run())
+        assert np.array_equal(sw_res, isa_res)
+
+
+class TestAccumDtype:
+    def test_float64_accum_tightens_gather(self, pruned_demo):
+        """Widened accumulation lands within one float32 ulp of the
+        dense GEMM — at least as tight as the float32 gather."""
+        engine = InferenceEngine()
+        xs = np.random.default_rng(6).normal(size=(4, 12, 12, 3)).astype(np.float32)
+        for node in pruned_demo:
+            if node.op in ("conv2d", "dense"):
+                node.attrs["sparse_method"] = "gather"
+        try:
+            dense = engine.run_batch(pruned_demo, xs, mode="float")
+            f32 = engine.run_batch(pruned_demo, xs, mode="float", sparse=True)
+            f64 = engine.run_batch(
+                pruned_demo, xs, mode="float", sparse=True, accum_dtype="float64"
+            )
+        finally:
+            for node in pruned_demo:
+                node.attrs.pop("sparse_method", None)
+        dev32 = np.abs(f32 - dense).max()
+        dev64 = np.abs(f64 - dense).max()
+        assert dev64 <= dev32
+        assert dev64 <= 1e-5 * np.abs(dense).max()
+
+    def test_accum_caches_separately_and_off_by_default(self, pruned_demo):
+        engine = InferenceEngine()
+        x = np.zeros((12, 12, 3), np.float32)
+        engine.run(pruned_demo, x, mode="float", sparse=True)
+        engine.run(pruned_demo, x, mode="float", sparse=True, accum_dtype="float64")
+        engine.run(pruned_demo, x, mode="float", sparse=True, accum_dtype=np.float64)
+        engine.run(pruned_demo, x, mode="float", sparse=True, accum_dtype="float32")
+        assert engine.compile_count == 2
+        assert set(engine.cached_plans(pruned_demo)) == {
+            "float+sparse",
+            "float+sparse+acc64",
+        }
+        plan = engine.compile(
+            pruned_demo, "float", sparse=True, accum_dtype="float64"
+        )
+        assert plan.accum_dtype == "float64"
+
+    def test_accum_rejected_outside_float_sparse(self, pruned_demo):
+        with pytest.raises(ValueError, match="float sparse"):
+            compile_plan(pruned_demo, "int8", sparse=True, accum_dtype="float64")
+        with pytest.raises(ValueError, match="float sparse"):
+            compile_plan(pruned_demo, "float", accum_dtype="float64")
+        with pytest.raises(ValueError, match="accum_dtype"):
+            compile_plan(pruned_demo, "float", sparse=True, accum_dtype="int16")
+
+
+class TestMeasurementHarness:
+    def test_measure_backend_cross_checks_sw(self):
+        result = measure_sparse_throughput(
+            FORMAT_1_8, batch=4, repeats=1, backend="isa"
+        )
+        assert result.backend == "isa"
+        assert result.identical and result.matches_sw
+        assert result.sw_s > 0
+        assert result.backend_layers.get("sparse-isa", 0) > 0
+
+    def test_autotune_k_chunk_is_advisory_and_exact(self):
+        from repro.kernels import conv_sparse
+
+        before = conv_sparse._k_chunk_override
+        result = autotune_k_chunk(candidates=(8, 32), batch=4, repeats=1)
+        assert conv_sparse._k_chunk_override == before  # restored
+        assert result.best in (8, 32)
+        assert result.identical
+        assert set(result.timings_s) == {8, 32}
+        assert all(t > 0 for t in result.timings_s.values())

@@ -1,0 +1,131 @@
+"""ISA emulation backend vs the microcoded kernels on the core model.
+
+The acceptance bar for :class:`repro.kernels.backend.SparseIsaBackend`:
+its vectorised batched emulation must reproduce, element by element,
+the int32 accumulators the :mod:`repro.kernels.microcode` ISA programs
+produce when executed instruction-by-instruction on the behavioural
+core model (including the xDecimate XFU) — on every paper format,
+for conv pairs and FC layers, including zero-padded NNZ tails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.backend import get_backend
+from repro.kernels.conv_sparse import conv2d_acc_sparse
+from repro.kernels.fc_sparse import fc_acc_sparse
+from repro.kernels.micro_runner import run_conv_pair, run_fc_micro
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import FORMAT_1_16, FORMAT_1_4, FORMAT_1_8, NMSparseMatrix
+from repro.sparsity.pruning import nm_prune
+
+FORMATS = [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16]
+
+ISA = get_backend("sparse-isa")
+
+
+def sparse_mat(rng, k, r, fmt):
+    w = nm_prune(rng.integers(-128, 128, (k, r)).astype(np.int8), fmt)
+    return NMSparseMatrix.from_dense(w, fmt)
+
+
+class TestConvEmulationVsMicrocode:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_conv_pair_accumulators_match(self, fmt):
+        rng = np.random.default_rng(10)
+        k, r = 5, 6 * fmt.m
+        mat = sparse_mat(rng, k, r, fmt)
+        buf1 = rng.integers(-128, 128, r).astype(np.int8)
+        buf2 = rng.integers(-128, 128, r).astype(np.int8)
+        micro = run_conv_pair("sparse-isa", mat, buf1, buf2)
+        core = ISA.bind(ISA.pack(mat, None, "conv"), np.int32)
+        emulated = core(np.stack([buf1, buf2])[None])[0]  # (2, K)
+        assert np.array_equal(emulated[0], micro.acc[0])
+        assert np.array_equal(emulated[1], micro.acc[1])
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_padded_nnz_tail(self, fmt):
+        """NNZ not divisible by the pad unit: the microcode decimates
+        zero-valued pad entries past the buffer, the emulation clamps
+        their addresses — both must agree (and equal the exact ref)."""
+        rng = np.random.default_rng(11)
+        r = 2 * fmt.m  # nnz=2 per row -> padded to 4 (sw) / 8 (1:4 isa)
+        mat = sparse_mat(rng, 4, r, fmt)
+        buf1 = rng.integers(-128, 128, r).astype(np.int8)
+        buf2 = rng.integers(-128, 128, r).astype(np.int8)
+        micro = run_conv_pair("sparse-isa", mat, buf1, buf2)
+        core = ISA.bind(ISA.pack(mat, None, "conv"), np.int32)
+        emulated = core(np.stack([buf1, buf2])[None])[0]
+        ref = np.stack([buf1, buf2]).astype(np.int32) @ mat.to_dense().astype(np.int32).T
+        assert np.array_equal(emulated[0], micro.acc[0])
+        assert np.array_equal(emulated[1], micro.acc[1])
+        assert np.array_equal(emulated, ref)
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_whole_conv_layer_via_functional_wrapper(self, fmt):
+        """conv2d_acc_sparse(method='isa') == the gather reference on a
+        strided, padded layer geometry."""
+        rng = np.random.default_rng(12)
+        shape = ConvShape(iy=6, ix=6, c=fmt.m, k=3, fy=2, fx=2, s=2, p=1)
+        mat = sparse_mat(rng, shape.k, shape.reduce_dim, fmt)
+        x = rng.integers(-128, 128, (6, 6, fmt.m)).astype(np.int8)
+        isa_acc = conv2d_acc_sparse(x, mat, shape, method="isa")
+        ref_acc = conv2d_acc_sparse(x, mat, shape, method="dense")
+        assert np.array_equal(isa_acc, ref_acc)
+
+
+class TestFcEmulationVsMicrocode:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_fc_accumulators_match(self, fmt):
+        rng = np.random.default_rng(13)
+        k, c = 6, 8 * fmt.m
+        mat = sparse_mat(rng, k, c, fmt)
+        x = rng.integers(-128, 128, c).astype(np.int8)
+        micro = run_fc_micro("sparse-isa", mat, x)
+        core = ISA.bind(ISA.pack(mat, None, "fc"), np.int32)
+        emulated = core(x[None, None, :])[0, 0]
+        assert np.array_equal(emulated, micro.acc)
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_fc_functional_wrapper(self, fmt):
+        rng = np.random.default_rng(14)
+        k, c = 4, 3 * fmt.m
+        mat = sparse_mat(rng, k, c, fmt)
+        shape = FcShape(c=c, k=k, tokens=2)
+        x = rng.integers(-128, 128, (2, c)).astype(np.int8)
+        assert np.array_equal(
+            fc_acc_sparse(x, mat, shape, method="isa"),
+            fc_acc_sparse(x, mat, shape, method="dense"),
+        )
+
+    def test_fc_isa_odd_k_rejected(self):
+        rng = np.random.default_rng(15)
+        mat = sparse_mat(rng, 3, 32, FORMAT_1_8)
+        with pytest.raises(ValueError, match="even"):
+            ISA.pack(mat, None, "fc")
+
+
+class TestEmulationConsumesTheStream:
+    def test_conv_layout_bytes_match_micro_runner_image(self):
+        """The backend packs with the same layout builders the
+        micro-runner places in memory — the streams are byte-equal."""
+        from repro.kernels import microcode as mc
+
+        rng = np.random.default_rng(16)
+        mat = sparse_mat(rng, 4, 4 * 8, FORMAT_1_8)
+        vals, offs, nnz_pad = mc.pack_sparse_rows_isa_conv(mat)
+        layout = ISA.pack(mat, None, "conv")
+        assert np.array_equal(layout.packed_offsets, offs)
+        assert np.array_equal(layout.values.reshape(-1), vals)
+        assert layout.nnz_pad == nnz_pad
+
+    def test_conv_weight_bytes_pay_for_duplication(self):
+        rng = np.random.default_rng(17)
+        mat = sparse_mat(rng, 4, 4 * 8, FORMAT_1_8)
+        conv_layout = ISA.pack(mat, None, "conv")
+        fc_layout = ISA.pack(mat, None, "fc")
+        assert conv_layout.weight_bytes == mat.total_bytes(
+            duplicate_offsets=True
+        )
+        assert fc_layout.weight_bytes == mat.total_bytes()
+        assert conv_layout.weight_bytes > fc_layout.weight_bytes

@@ -1,0 +1,163 @@
+"""Serving weight-memory budgeting (ModelRegistry(max_weight_bytes=...)).
+
+The multi-model analogue of an MCU's fixed weight memory: cumulative
+compiled ``plan.weight_bytes()`` across hosted deployments may not
+exceed the budget; violations raise the typed
+:class:`~repro.serve.errors.WeightBudgetExceeded` at registration time
+and leave the registry untouched.  Surfaced through the TCP
+``describe`` op and ``repro serve --max-weight-mb``.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import resnet_style_graph
+from repro.models.quantize import quantize_graph
+from repro.serve.errors import WeightBudgetExceeded
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ModelServer
+from repro.sparsity.nm import FORMAT_1_8
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def demo_graph():
+    g = resnet_style_graph()
+    rng = make_rng(0)
+    quantize_graph(
+        g, [rng.normal(size=(12, 12, 3)).astype(np.float32) for _ in range(4)]
+    )
+    return g
+
+
+@pytest.fixture(scope="module")
+def pruned_graph():
+    g = resnet_style_graph(fmt=FORMAT_1_8)
+    rng = make_rng(0)
+    quantize_graph(
+        g, [rng.normal(size=(12, 12, 3)).astype(np.float32) for _ in range(4)]
+    )
+    return g
+
+
+class TestRegistryBudget:
+    def test_unbudgeted_by_default(self, demo_graph):
+        reg = ModelRegistry()
+        assert reg.max_weight_bytes is None
+        reg.register("a", demo_graph, "int8")
+        reg.register("b", demo_graph, "float")
+        assert reg.weight_bytes_used() == sum(
+            reg.get(n).plan.weight_bytes() for n in ("a", "b")
+        )
+
+    def test_over_budget_registration_rejected_and_registry_untouched(
+        self, demo_graph
+    ):
+        reg = ModelRegistry(max_weight_bytes=1)
+        with pytest.raises(WeightBudgetExceeded) as exc:
+            reg.register("a", demo_graph, "int8")
+        assert exc.value.code == "weight_budget_exceeded"
+        assert exc.value.name == "a"
+        assert exc.value.max_weight_bytes == 1
+        assert len(reg) == 0
+        assert reg.weight_bytes_used() == 0
+
+    def test_cumulative_accounting(self, demo_graph):
+        reg = ModelRegistry()
+        first = reg.register("a", demo_graph, "int8").plan.weight_bytes()
+        budgeted = ModelRegistry(max_weight_bytes=first + first // 2)
+        budgeted.register("a", demo_graph, "int8")
+        # The second int8 deployment of the same graph needs `first`
+        # more bytes — only half of that remains.
+        with pytest.raises(WeightBudgetExceeded) as exc:
+            budgeted.register("b", demo_graph, "int8")
+        assert exc.value.used == first
+        assert exc.value.needed == first
+        assert list(budgeted.names()) == ["a"]
+
+    def test_sparse_plan_fits_where_dense_does_not(self, pruned_graph):
+        """The packed layout's smaller footprint is what the budget
+        charges — a pruned model can fit where its dense plan cannot."""
+        reg = ModelRegistry()
+        dense_bytes = reg.register(
+            "dense", pruned_graph, "int8"
+        ).plan.weight_bytes()
+        sparse_bytes = reg.register(
+            "sparse", pruned_graph, "int8", sparse=True
+        ).plan.weight_bytes()
+        assert sparse_bytes < dense_bytes
+        tight = ModelRegistry(max_weight_bytes=(sparse_bytes + dense_bytes) // 2)
+        tight.register("sparse", pruned_graph, "int8", sparse=True)
+        with pytest.raises(WeightBudgetExceeded):
+            tight.register("dense", pruned_graph, "int8")
+
+    def test_replacing_a_name_charges_the_delta(self, demo_graph):
+        reg = ModelRegistry()
+        bytes_int8 = reg.register("m", demo_graph, "int8").plan.weight_bytes()
+        budgeted = ModelRegistry(max_weight_bytes=bytes_int8)
+        budgeted.register("m", demo_graph, "int8")
+        # Re-registering the same name frees the old plan's bytes first:
+        # the replacement fits even though used == budget.
+        budgeted.register("m", demo_graph, "int8")
+        assert budgeted.weight_bytes_used() == bytes_int8
+
+    def test_unregister_frees_budget(self, demo_graph):
+        reg = ModelRegistry(
+            max_weight_bytes=ModelRegistry()
+            .register("probe", demo_graph, "int8")
+            .plan.weight_bytes()
+        )
+        reg.register("a", demo_graph, "int8")
+        with pytest.raises(WeightBudgetExceeded):
+            reg.register("b", demo_graph, "int8")
+        reg.unregister("a")
+        reg.register("b", demo_graph, "int8")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_weight_bytes"):
+            ModelRegistry(max_weight_bytes=-1)
+
+
+class TestServerSurface:
+    def test_server_ctor_passthrough(self, demo_graph):
+        server = ModelServer(max_weight_bytes=1)
+        with pytest.raises(WeightBudgetExceeded):
+            server.register("a", demo_graph, "int8")
+
+    def test_explicit_registry_plus_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_weight_bytes"):
+            ModelServer(registry=ModelRegistry(), max_weight_bytes=1)
+
+    def test_describe_reports_budget_and_backend(self, pruned_graph):
+        from repro.serve.tcp import TcpServeClient, serve_tcp
+
+        async def run():
+            server = ModelServer(max_weight_bytes=10 * 2**20)
+            server.register("isa", pruned_graph, "int8", sparse=True, backend="isa")
+            async with server:
+                tcp = await serve_tcp(server, port=0)
+                port = tcp.sockets[0].getsockname()[1]
+                try:
+                    async with TcpServeClient(port=port) as client:
+                        described = await client.describe()
+                        budget = await client.weight_budget()
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+            return described, budget
+
+        described, budget = asyncio.run(run())
+        assert described["isa"]["backend"] == "isa"
+        assert described["isa"]["sparse"] is True
+        assert budget["max_weight_bytes"] == 10 * 2**20
+        assert (
+            budget["used_weight_bytes"] == described["isa"]["weight_bytes"] > 0
+        )
+
+    def test_demo_server_budget_knob(self):
+        from repro.serve.demo import demo_server
+
+        with pytest.raises(WeightBudgetExceeded):
+            demo_server(max_weight_bytes=16)

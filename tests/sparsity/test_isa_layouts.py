@@ -1,0 +1,189 @@
+"""ISA-layout pack / decode / serialize round-trips.
+
+The ISA kernels consume reorganised OFFSETS streams — duplicated
+entries for conv (Sec. 4.1.3), channel-pair interleaving for FC
+(Sec. 4.2.3) — built by the layout packers in
+:mod:`repro.kernels.microcode`.  ``NMSparseMatrix.from_packed`` is
+their inverse; these tests pin the round trip for every format,
+including underfull blocks (explicit stored zeros), all-zero rows,
+float32 values, and the loud rejection of corrupt / mis-tagged
+streams.  The serialisation artifact format carries the same layouts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import microcode as mc
+from repro.sparsity.nm import (
+    FORMAT_1_16,
+    FORMAT_1_4,
+    FORMAT_1_8,
+    NMSparseMatrix,
+)
+from repro.sparsity.pruning import nm_prune
+from repro.sparsity.serialize import load_nm_weights, save_nm_weights
+
+FORMATS = [FORMAT_1_4, FORMAT_1_8, FORMAT_1_16]
+
+
+def make_mat(fmt, rows=6, blocks=7, seed=0, dtype=np.int8, underfull=False):
+    rng = np.random.default_rng(seed)
+    if dtype == np.int8:
+        w = rng.integers(-128, 128, (rows, blocks * fmt.m)).astype(np.int8)
+    else:
+        w = (rng.normal(size=(rows, blocks * fmt.m)) * 2).astype(np.float32)
+    w = nm_prune(w, fmt)
+    if underfull:
+        # Zero out some kept values: blocks with *fewer* than N
+        # non-zeros store explicit zeros (offset = position).
+        w[:, :: fmt.m] = 0
+        w[rows // 2] = 0  # one all-zero row
+    return NMSparseMatrix.from_dense(w.astype(dtype), fmt, dtype=dtype)
+
+
+PACKERS = {
+    "sw": mc.pack_sparse_rows_sw,
+    "isa-conv": mc.pack_sparse_rows_isa_conv,
+    "isa-fc": mc.pack_sparse_rows_isa_fc,
+}
+
+
+class TestFromPackedRoundtrip:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    @pytest.mark.parametrize("layout", ["sw", "isa-conv", "isa-fc"])
+    @pytest.mark.parametrize("underfull", [False, True])
+    def test_roundtrip(self, fmt, layout, underfull):
+        mat = make_mat(fmt, underfull=underfull)
+        flat, packed, nnz_pad = PACKERS[layout](mat)
+        decoded = NMSparseMatrix.from_packed(
+            flat, packed, fmt, mat.dense_cols, mat.rows, layout
+        )
+        assert np.array_equal(decoded.values, mat.values)
+        assert np.array_equal(decoded.offsets, mat.offsets)
+        assert np.array_equal(decoded.to_dense(), mat.to_dense())
+
+    @pytest.mark.parametrize("layout", ["sw", "isa-conv", "isa-fc"])
+    def test_float_values_roundtrip(self, layout):
+        mat = make_mat(FORMAT_1_8, dtype=np.float32)
+        flat, packed, nnz_pad = PACKERS[layout](mat)
+        assert flat.dtype == np.float32  # padding preserves the dtype
+        decoded = NMSparseMatrix.from_packed(
+            flat, packed, FORMAT_1_8, mat.dense_cols, mat.rows, layout
+        )
+        assert decoded.values.dtype == np.float32
+        assert np.array_equal(decoded.to_dense(), mat.to_dense())
+
+    def test_isa_conv_duplication_verified(self):
+        """A stream whose entry pairs disagree is not an ISA conv
+        layout — decoding must reject it, not guess."""
+        mat = make_mat(FORMAT_1_8)
+        flat, packed, nnz_pad = PACKERS["sw"](mat)
+        # The SW stream has the right byte count for a matrix with half
+        # the padded NNZ per row — force the shape mismatch instead:
+        with pytest.raises(ValueError, match="bytes"):
+            NMSparseMatrix.from_packed(
+                flat, packed, FORMAT_1_8, mat.dense_cols, mat.rows, "isa-conv"
+            )
+        # A right-sized but non-duplicated stream is rejected loudly.
+        dup_flat, dup_packed, _ = PACKERS["isa-conv"](mat)
+        tampered = dup_packed.copy()
+        tampered[0] ^= 0x0F  # break the first duplicated pair
+        with pytest.raises(ValueError, match="duplicated"):
+            NMSparseMatrix.from_packed(
+                dup_flat, tampered, FORMAT_1_8, mat.dense_cols, mat.rows, "isa-conv"
+            )
+
+    def test_nonzero_padding_rejected(self):
+        mat = make_mat(FORMAT_1_8)
+        flat, packed, nnz_pad = PACKERS["isa-conv"](mat)
+        values = flat.reshape(mat.rows, nnz_pad).copy()
+        if values.shape[1] == mat.values.shape[1]:
+            pytest.skip("no padding for this geometry")
+        values[0, -1] = 7  # corrupt a pad entry
+        with pytest.raises(ValueError, match="padding"):
+            NMSparseMatrix.from_packed(
+                values, packed, FORMAT_1_8, mat.dense_cols, mat.rows, "isa-conv"
+            )
+
+    def test_isa_fc_needs_even_rows(self):
+        mat = make_mat(FORMAT_1_8, rows=5)
+        flat, packed, nnz_pad = PACKERS["sw"](mat)
+        with pytest.raises(ValueError, match="even"):
+            NMSparseMatrix.from_packed(
+                flat, packed, FORMAT_1_8, mat.dense_cols, mat.rows, "isa-fc"
+            )
+
+    def test_unknown_layout_rejected(self):
+        mat = make_mat(FORMAT_1_8)
+        flat, packed, _ = PACKERS["sw"](mat)
+        with pytest.raises(ValueError, match="layout"):
+            NMSparseMatrix.from_packed(
+                flat, packed, FORMAT_1_8, mat.dense_cols, mat.rows, "turbo"
+            )
+
+
+class TestSerializeKernelLayouts:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_mixed_layout_artifact_roundtrips(self, tmp_path, fmt):
+        layers = {
+            "conv1": make_mat(fmt, rows=6, seed=1),
+            "fc1": make_mat(fmt, rows=4, seed=2),
+            "plain": make_mat(fmt, rows=3, seed=3),
+        }
+        path = tmp_path / "w.npz"
+        save_nm_weights(
+            path, layers, layouts={"conv1": "isa-conv", "fc1": "isa-fc"}
+        )
+        loaded = load_nm_weights(path)
+        for name, mat in layers.items():
+            assert np.array_equal(
+                loaded[name].to_dense(), mat.to_dense()
+            ), name
+            assert loaded[name].fmt == mat.fmt
+
+    def test_underfull_blocks_survive_isa_artifact(self, tmp_path):
+        mat = make_mat(FORMAT_1_8, underfull=True)
+        path = tmp_path / "w.npz"
+        save_nm_weights(path, {"l": mat}, layouts={"l": "isa-conv"})
+        assert np.array_equal(
+            load_nm_weights(path)["l"].to_dense(), mat.to_dense()
+        )
+
+    def test_float_isa_artifact(self, tmp_path):
+        mat = make_mat(FORMAT_1_4, dtype=np.float32)
+        path = tmp_path / "w.npz"
+        save_nm_weights(path, {"l": mat}, layouts={"l": "isa-conv"})
+        loaded = load_nm_weights(path)["l"]
+        assert loaded.values.dtype == np.float32
+        assert np.array_equal(loaded.to_dense(), mat.to_dense())
+
+    def test_logical_save_stays_v1_compatible(self, tmp_path):
+        """A save without layouts carries no layout keys — the exact
+        PR-1 artifact shape."""
+        mat = make_mat(FORMAT_1_8)
+        path = tmp_path / "w.npz"
+        save_nm_weights(path, {"l": mat})
+        with np.load(path, allow_pickle=False) as data:
+            assert "l/layout" not in data
+            assert len(data["l/meta"]) == 3
+
+    def test_layouts_naming_unknown_layer_rejected(self, tmp_path):
+        mat = make_mat(FORMAT_1_8)
+        with pytest.raises(ValueError, match="unsaved"):
+            save_nm_weights(
+                tmp_path / "w.npz", {"l": mat}, layouts={"ghost": "isa-conv"}
+            )
+
+    def test_unknown_layout_tag_rejected(self, tmp_path):
+        mat = make_mat(FORMAT_1_8)
+        with pytest.raises(ValueError, match="layout"):
+            save_nm_weights(
+                tmp_path / "w.npz", {"l": mat}, layouts={"l": "turbo"}
+            )
+
+    def test_odd_k_isa_fc_save_fails_loudly(self, tmp_path):
+        mat = make_mat(FORMAT_1_8, rows=5)
+        with pytest.raises(ValueError, match="even"):
+            save_nm_weights(
+                tmp_path / "w.npz", {"l": mat}, layouts={"l": "isa-fc"}
+            )

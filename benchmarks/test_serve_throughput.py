@@ -1,13 +1,20 @@
-"""S-SRV: dynamic-batched serving vs batch-size-1 serving.
+"""S-SRV: dynamic-batched serving vs batch-size-1, and sharded serving.
 
-The acceptance experiment for the ``repro.serve`` subsystem: the same
-burst of single-sample requests is served by two servers at equal
-worker count, one with dynamic micro-batching (``BatchPolicy(64, 5ms)``)
-and one degenerate (``BatchPolicy(1, 0)``).  The bar is >= 3x sustained
-QPS for the batched server, plus bit-identity: every response served
-through the batching path must equal a direct
-``InferenceEngine.run`` / ``run_batch`` call on a fresh engine, in both
-float and int8 modes.
+Two acceptance experiments for the ``repro.serve`` subsystem:
+
+1. the same burst of single-sample requests is served by two servers at
+   equal worker count, one with dynamic micro-batching
+   (``BatchPolicy(64, 5ms)``) and one degenerate (``BatchPolicy(1, 0)``).
+   The bar is >= 3x sustained QPS for the batched server, plus
+   bit-identity: every response served through the batching path must
+   equal a direct ``InferenceEngine.run`` / ``run_batch`` call on a
+   fresh engine, in both float and int8 modes.
+2. a mixed-deployment burst (dense int8 + sparse-sw + sparse-isa) is
+   served by the sharded ``RouterServer`` at 1/2/4 worker processes and
+   by a single-process reference.  Bit-identity and the
+   shared-not-replicated weight accounting are asserted everywhere;
+   the >= 2.5x QPS-at-4-workers bar additionally needs >= 4 cores and
+   a quiet machine (``timing_sensitive``).
 
 Results land in ``results/serve_throughput.txt`` (prose table) and
 ``results/BENCH_serve.json`` (machine-readable trajectory).
@@ -22,7 +29,10 @@ import pytest
 from repro.engine.bench import resnet_style_graph
 from repro.engine.engine import InferenceEngine
 from repro.serve.batcher import BatchPolicy
-from repro.serve.bench import measure_serve_throughput
+from repro.serve.bench import (
+    measure_serve_throughput,
+    measure_sharded_throughput,
+)
 from repro.serve.loadgen import generate_inputs, run_loadgen
 from repro.serve.server import ModelServer
 from repro.utils.rng import make_rng
@@ -39,6 +49,11 @@ timing_sensitive = pytest.mark.skipif(
 REQUESTS = 256
 WORKERS = 2
 MAX_BATCH = 64
+
+#: BENCH_serve.json is written whole on each record_bench call, so the
+#: batching and sharding tests pool their entries here and re-record
+#: the union — whichever runs last writes the complete file.
+_BENCH_ENTRIES: list[dict] = []
 
 
 @pytest.fixture(scope="module")
@@ -84,8 +99,7 @@ def test_serve_throughput_table(benchmark, record_table, record_bench, result):
             },
         )
     record_table("serve_throughput", table.render())
-    record_bench(
-        "serve",
+    _BENCH_ENTRIES.extend(
         [
             {
                 "name": "dynamic_batched",
@@ -103,8 +117,9 @@ def test_serve_throughput_table(benchmark, record_table, record_bench, result):
                 "mean_batch": res.batch1_mean_batch,
                 "workers": res.workers,
             },
-        ],
+        ]
     )
+    record_bench("serve", _BENCH_ENTRIES)
     assert len(table.rows) == 2
 
 
@@ -177,3 +192,150 @@ def test_served_batch_requests_bit_identical(mode):
     out = asyncio.run(serve_batch())
     direct = InferenceEngine().run_batch(graph, xs, mode=mode)
     assert np.array_equal(out, direct)
+
+
+# ---------------------------------------------------------------------------
+# Sharded serving: router + worker processes, shared weights
+# ---------------------------------------------------------------------------
+
+SHARDED_WORKERS = (1, 2, 4)
+SHARDED_MODELS = ("resnet-int8", "resnet-sparse-int8", "resnet-sparse-isa")
+SHARDED_REQUESTS = 96
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    return measure_sharded_throughput(
+        worker_counts=SHARDED_WORKERS,
+        models=SHARDED_MODELS,
+        requests=SHARDED_REQUESTS,
+        repeats=2,
+    )
+
+
+def test_sharded_serve_table(record_table, record_bench, sharded):
+    table = Table(
+        f"Sharded serving ({len(sharded.models)} mixed deployments, "
+        f"{sharded.requests} requests)",
+        ["workers", "latency ms", "qps", "speedup", "weight MiB"],
+    )
+    table.add_row(
+        workers="single-process",
+        **{
+            "latency ms": sharded.single_s * 1e3,
+            "qps": sharded.single_qps,
+            "speedup": 1.0,
+            "weight MiB": sharded.single_weight_bytes / 2**20,
+        },
+    )
+    entries = [
+        {
+            "name": "sharded_single",
+            "batch": sharded.max_batch_size,
+            "qps": sharded.single_qps,
+            "speedup": 1.0,
+            "weight_bytes": sharded.single_weight_bytes,
+        }
+    ]
+    for n in SHARDED_WORKERS:
+        table.add_row(
+            workers=f"{n} processes",
+            **{
+                "latency ms": sharded.sharded_s[n] * 1e3,
+                "qps": sharded.sharded_qps(n),
+                "speedup": sharded.speedup(n),
+                "weight MiB": sharded.sharded_weight_bytes[n] / 2**20,
+            },
+        )
+        entries.append(
+            {
+                "name": f"sharded_w{n}",
+                "batch": sharded.max_batch_size,
+                "qps": sharded.sharded_qps(n),
+                "speedup": sharded.speedup(n),
+                "weight_bytes": sharded.sharded_weight_bytes[n],
+                "shm_bytes": sharded.shm_payload_bytes[n],
+                "identical": sharded.identical[n],
+            }
+        )
+    record_table("sharded_serve", table.render())
+    _BENCH_ENTRIES.extend(entries)
+    record_bench("serve", _BENCH_ENTRIES)
+    assert len(table.rows) == 1 + len(SHARDED_WORKERS)
+
+
+def test_sharded_responses_bit_identical(sharded):
+    """Acceptance (always on): every response from every worker count
+    is bit-identical to the single-process reference."""
+    assert sharded.all_identical, (
+        f"sharded responses diverged from single-process: "
+        f"{sharded.identical}"
+    )
+
+
+def test_sharded_weights_shared_not_replicated(sharded):
+    """Acceptance (always on): the budget-visible weight bytes stay
+    ~flat as replicas are added — one shared copy, not R copies."""
+    for n in SHARDED_WORKERS:
+        assert (
+            sharded.sharded_weight_bytes[n]
+            <= 1.1 * sharded.single_weight_bytes
+        ), (
+            f"{n} workers report {sharded.sharded_weight_bytes[n]} weight "
+            f"bytes > 1.1x single-process {sharded.single_weight_bytes}"
+        )
+        # And the shared segments actually carry the packed payloads.
+        assert sharded.shm_payload_bytes[n] > 0
+
+
+@timing_sensitive
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="QPS scaling across 4 worker processes needs >= 4 cores",
+)
+def test_sharded_scaling_at_4_workers(sharded):
+    """Acceptance: 4 sharded workers >= 2.5x single-process QPS."""
+    assert sharded.speedup(4) >= 2.5, (
+        f"4-worker sharded speedup {sharded.speedup(4):.2f}x < 2.5x "
+        f"(sharded {sharded.sharded_qps(4):.0f} qps, "
+        f"single {sharded.single_qps:.0f} qps)"
+    )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SERVE_SOAK") != "1",
+    reason="long soak; opt in with REPRO_SERVE_SOAK=1",
+)
+def test_sharded_soak_no_drops():
+    """Opt-in long soak: >= 100k mixed requests through the sharded
+    router with zero rejected/failed requests and a clean drain."""
+    from repro.serve.demo import demo_server
+    from repro.serve.tcp import snapshot_stats
+
+    requests = int(os.environ.get("REPRO_SERVE_SOAK_REQUESTS", "100000"))
+
+    async def _soak():
+        server = demo_server(
+            policy=BatchPolicy(64, 2.0),
+            max_queue_depth=4096,
+            processes=2,
+        )
+        async with server:
+            report, _ = await run_loadgen(
+                server,
+                list(SHARDED_MODELS),
+                requests=requests,
+                qps=4000.0,
+                seed=3,
+                max_in_flight=2048,
+            )
+            stats = await snapshot_stats(server)
+        return report, stats
+
+    report, stats = asyncio.run(_soak())
+    assert report.succeeded == requests, (
+        f"{report.rejected} rejected / {report.failed} failed "
+        f"of {requests}"
+    )
+    assert stats["queue_depth"] == 0
+    assert stats["requests"]["completed"] == requests

@@ -19,6 +19,7 @@ Usage::
     python -m repro engine --autotune-k-chunk [--batch N]
     python -m repro serve [--host H] [--port P] [--workers N] [--max-weight-mb M]
     python -m repro loadgen [--requests N] [--qps Q] [--connect H:P]
+    python -m repro loadgen --workers 2 --model A,B [--verify-identity]
 
 Each command prints the corresponding table(s) with the paper's values
 alongside where applicable.  ``table2 --verify`` additionally runs a
@@ -37,19 +38,25 @@ ISA-extension emulation backend (or the cost model's per-layer
 sw/isa/dense ranking) and additionally gates against the SW sparse
 plan; ``--model resnet18|vit`` swaps the demo graph for the pruned
 paper models.  ``engine --autotune-k-chunk`` sweeps the gather chunk
-size on the compiled plan and applies the measured winner (advisory —
-bit-identical across chunk sizes by construction).  Exit-code
-contracts for every subcommand are documented in ``docs/cli.md``.
+size on the compiled plan, applies the measured winner, and persists
+it to the host-keyed tuning cache consulted by future plan compiles
+(advisory — bit-identical across chunk sizes by construction).
+Exit-code contracts for every subcommand are documented in
+``docs/cli.md``.
 
 ``serve`` hosts the demo deployments (``resnet-float`` /
 ``resnet-int8`` / pruned ``resnet-sparse-int8`` /
 ``resnet-sparse-float`` / format-selected ``resnet-select-int8``)
 behind the JSON-lines TCP front-end with dynamic
-micro-batching; ``loadgen`` replays deterministic synthetic traffic at
-a target QPS against either an in-process server (the default — used
-by the CI smoke job) or a running ``repro serve`` via ``--connect``,
-then prints the run report and metrics snapshot and exits non-zero if
-any request was dropped or the metrics are inconsistent.
+micro-batching; ``--workers N`` with N >= 2 shards them across worker
+processes that share one copy of the packed weights.  ``loadgen``
+replays deterministic synthetic traffic at a target QPS against either
+an in-process server (the default — used by the CI smoke job; also
+sharded under ``--workers N``) or a running ``repro serve`` via
+``--connect``, then prints the run report and metrics snapshot and
+exits non-zero if any request was dropped, the metrics are
+inconsistent, or ``--verify-identity`` found a response that differs
+from the single-process engine reference.
 """
 
 from __future__ import annotations
@@ -386,6 +393,7 @@ def _engine_autotune(args) -> int:
     """
     from repro.engine.bench import autotune_k_chunk
     from repro.kernels.conv_sparse import set_k_chunk
+    from repro.kernels.tuning import save_k_chunk
     from repro.utils.tables import Table
 
     result = autotune_k_chunk(batch=args.batch, mode=args.mode)
@@ -411,14 +419,21 @@ def _engine_autotune(args) -> int:
         )
         return 1
     # Apply the winner so an embedding caller (repro.cli.main from
-    # Python) keeps it; a plain CLI invocation exits right after, so
-    # the printed knobs are what carry the result to future runs.
+    # Python) keeps it, and persist it to the host-keyed tuning cache
+    # so future plan compiles on this machine pick it up automatically
+    # (still advisory: --k-chunk / REPRO_K_CHUNK outrank the cache, and
+    # the chunk size never changes numerics).
     set_k_chunk(result.best)
+    cache_path = save_k_chunk(result.best)
     print(
         f"best k_chunk: {result.best} "
         f"({result.speedup_vs_default:.2f}x vs previous {result.previous}); "
         f"advisory — export REPRO_K_CHUNK={result.best} or pass "
         f"--k-chunk {result.best} to use it in future runs"
+    )
+    print(
+        f"saved to {cache_path} (host-keyed; consulted automatically "
+        "unless --k-chunk or REPRO_K_CHUNK overrides)"
     )
     return 0
 
@@ -526,18 +541,24 @@ def _cmd_serve(args) -> int:
     async def _serve() -> None:
         server = demo_server(
             policy=BatchPolicy(args.max_batch_size, args.max_wait_ms),
-            workers=args.workers,
+            workers=args.threads,
             max_queue_depth=args.max_queue_depth,
             sparse=not args.no_sparse,
             max_weight_bytes=_weight_budget_bytes(args),
+            processes=args.workers,
         )
         async with server:
             tcp = await serve_tcp(server, args.host, args.port)
             host, port = tcp.sockets[0].getsockname()[:2]
+            sharding = (
+                f"workers={args.workers} processes (shared weights), "
+                if args.workers > 1
+                else ""
+            )
             print(
                 f"serving {', '.join(server.registry.names())} "
                 f"on {host}:{port} "
-                f"(workers={args.workers}, "
+                f"({sharding}threads={args.threads}, "
                 f"max_batch_size={args.max_batch_size}, "
                 f"max_wait_ms={args.max_wait_ms})"
             )
@@ -562,6 +583,50 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _verify_identity(models: list[str], outputs: list, args) -> list[str]:
+    """Replay the run's deterministic schedule through a fresh
+    single-process engine and compare every response bit-for-bit.
+
+    The serving contract — single-process or sharded — is that batching
+    and process distribution never change numerics; this is the CLI
+    gate for it (the CI multi-worker bit-identity step).
+    """
+    import numpy as np
+
+    from repro.serve.demo import demo_registrations
+    from repro.serve.loadgen import mixed_schedule
+    from repro.serve.registry import ModelRegistry
+
+    registry = ModelRegistry()
+    for name, graph, mode, kwargs in demo_registrations(
+        sparse=not args.no_sparse
+    ):
+        if name in models:
+            registry.register(name, graph, mode, **kwargs)
+    shapes = {name: tuple(registry.get(name).input_shape) for name in models}
+    schedule = mixed_schedule(shapes, models, args.requests, seed=args.seed)
+    missing = 0
+    mismatched = 0
+    for (name, x), out in zip(schedule, outputs):
+        if out is None:
+            missing += 1
+            continue
+        ref = registry.get(name).run_batch(x[None])[0]
+        if not np.array_equal(out, ref):
+            mismatched += 1
+    problems = []
+    if missing:
+        problems.append(
+            f"identity check: {missing} requests returned no output"
+        )
+    if mismatched:
+        problems.append(
+            f"identity check: {mismatched} responses differ from the "
+            "single-process engine reference"
+        )
+    return problems
+
+
 def _cmd_loadgen(args) -> int:
     import asyncio
 
@@ -569,25 +634,39 @@ def _cmd_loadgen(args) -> int:
     from repro.serve.loadgen import run_loadgen
     from repro.utils.tables import Table
 
+    models = [m.strip() for m in args.model.split(",") if m.strip()]
+    if not models:
+        print("error: --model must name at least one deployment", file=sys.stderr)
+        return 2
+    identity_failures: list[str] = []
+
     async def _in_process():
         from repro.serve.batcher import BatchPolicy
         from repro.serve.demo import demo_server
+        from repro.serve.tcp import snapshot_stats
 
         server = demo_server(
             policy=BatchPolicy(args.max_batch_size, args.max_wait_ms),
-            workers=args.workers,
+            workers=args.threads,
             sparse=not args.no_sparse,
             max_weight_bytes=_weight_budget_bytes(args),
+            processes=args.workers,
         )
         async with server:
-            report, _ = await run_loadgen(
+            report, outputs = await run_loadgen(
                 server,
-                args.model,
+                models if len(models) > 1 else models[0],
                 requests=args.requests,
                 qps=args.qps,
                 seed=args.seed,
+                collect_outputs=args.verify_identity,
             )
-            return report, server.stats()
+            stats = await snapshot_stats(server)
+        if args.verify_identity:
+            identity_failures.extend(
+                _verify_identity(models, outputs, args)
+            )
+        return report, stats
 
     async def _over_tcp(host: str, port: int):
         from repro.serve.tcp import TcpServeClient
@@ -595,13 +674,20 @@ def _cmd_loadgen(args) -> int:
         async with TcpServeClient(host, port) as client:
             report, _ = await run_loadgen(
                 client,
-                args.model,
+                models if len(models) > 1 else models[0],
                 requests=args.requests,
                 qps=args.qps,
                 seed=args.seed,
             )
             return report, await client.stats()
 
+    if args.connect and args.verify_identity:
+        print(
+            "error: --verify-identity needs the in-process server "
+            "(drop --connect)",
+            file=sys.stderr,
+        )
+        return 2
     if args.connect:
         host, _, port = args.connect.rpartition(":")
         try:
@@ -672,6 +758,12 @@ def _cmd_loadgen(args) -> int:
                 f"batch histogram covers {served} samples != "
                 f"{report.succeeded} served"
             )
+    problems.extend(identity_failures)
+    if args.verify_identity and not identity_failures:
+        print(
+            f"identity check: all {report.succeeded} responses "
+            "bit-identical to the single-process engine reference"
+        )
     for problem in problems:
         print(f"error: {problem}", file=sys.stderr)
     return 1 if problems else 0
@@ -808,7 +900,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8707)
-    p.add_argument("--workers", type=int, default=2)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker replica processes; >= 2 shards the deployments "
+        "across a router + worker processes sharing one copy of the "
+        "packed weights (default: 1, classic in-process server)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=2,
+        help="per-worker asyncio execution tasks (default: 2)",
+    )
     p.add_argument("--max-batch-size", type=int, default=32)
     p.add_argument("--max-wait-ms", type=float, default=5.0)
     p.add_argument("--max-queue-depth", type=int, default=256)
@@ -831,7 +936,12 @@ def build_parser() -> argparse.ArgumentParser:
         "loadgen",
         help="replay deterministic synthetic traffic at a target QPS",
     )
-    p.add_argument("--model", default="resnet-int8")
+    p.add_argument(
+        "--model",
+        default="resnet-int8",
+        help="deployment to target; a comma-separated list cycles the "
+        "requests round-robin over the named deployments",
+    )
     p.add_argument("--requests", type=int, default=100)
     p.add_argument("--qps", type=float, default=200.0)
     p.add_argument("--seed", type=int, default=0)
@@ -840,7 +950,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         help="target a running `repro serve` instead of an in-process server",
     )
-    p.add_argument("--workers", type=int, default=2)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="in-process server only: worker replica processes; >= 2 "
+        "serves through the sharded router with shared weights "
+        "(default: 1)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=2,
+        help="in-process server only: per-worker asyncio tasks",
+    )
+    p.add_argument(
+        "--verify-identity",
+        action="store_true",
+        help="in-process server only: re-run every request through a "
+        "fresh single-process engine and exit non-zero unless all "
+        "responses are bit-identical (the sharded bit-identity gate)",
+    )
     p.add_argument("--max-batch-size", type=int, default=32)
     p.add_argument("--max-wait-ms", type=float, default=5.0)
     p.add_argument(

@@ -74,6 +74,7 @@ import numpy as np
 from repro.kernels.backend import (
     BACKEND_KNOBS,
     get_backend,
+    intern_layout,
     select_backend,
 )
 from repro.kernels.im2col import im2col_batch
@@ -446,6 +447,9 @@ def _bind_core(
             node.attrs["weights_q"] if int8_path else node.attrs["weights"]
         )
         layout = _DENSE_BACKEND.pack(w.reshape(w.shape[0], -1))
+        # Under sharded serving the active store moves the packed
+        # storage into shared memory; otherwise this is the identity.
+        layout = intern_layout(f"{node.name}/{layout.layout}", layout)
         return (
             _DENSE_BACKEND.bind(layout, out_dtype),
             _dense_choice(kind, shape, node, mode),
@@ -453,6 +457,7 @@ def _bind_core(
     choice, backend, layout = _choose_sparse_binding(
         node, kind, shape, packed, loss, plan
     )
+    layout = intern_layout(f"{node.name}/{layout.layout}", layout)
     accum = (
         np.dtype(np.float64)
         if plan.accum_dtype == "float64" and not int8_path

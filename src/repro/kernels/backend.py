@@ -38,6 +38,8 @@ and returns the full scored candidate list for introspection.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
@@ -67,6 +69,8 @@ __all__ = [
     "BackendCandidate",
     "BackendChoice",
     "select_backend",
+    "layout_interning",
+    "intern_layout",
 ]
 
 #: Values the plan-level ``backend=`` knob accepts: pin the SW engine,
@@ -98,6 +102,65 @@ class PackedLayout:
     gather_idx: np.ndarray | None
     nnz_pad: int
     weight_bytes: int
+    #: Set when the layout's storage was interned into a shared-weight
+    #: store (sharded serving); None for ordinary private layouts.
+    shared_key: str | None = None
+
+
+# -- layout interning (sharded serving hook) ----------------------------
+#
+# The plan compiler calls intern_layout() on every packed layout it
+# binds; with no active store that is the identity, so the engine layer
+# never depends on repro.serve.  The serving registry activates a store
+# (repro.serve.shm.SharedWeightStore or anything with the same
+# ``intern_layout(key, layout)`` / ``intern(key, arrays)`` duck type)
+# around compilation via layout_interning().
+
+_INTERN_STATE = threading.local()
+
+
+def _active_interner():
+    return getattr(_INTERN_STATE, "value", None)
+
+
+@contextmanager
+def layout_interning(store, prefix: str):
+    """Route layouts packed inside the block through ``store``.
+
+    ``prefix`` namespaces the store keys (one deployment's compile uses
+    one prefix, derived from the engine plan-cache key).  Thread-local
+    and re-entrant: the innermost activation wins, and plan compilation
+    is already serialised per engine.
+    """
+    prev = _active_interner()
+    _INTERN_STATE.value = (store, prefix)
+    try:
+        yield store
+    finally:
+        _INTERN_STATE.value = prev
+
+
+def intern_layout(subkey: str, layout: PackedLayout) -> PackedLayout:
+    """Intern one packed layout under the active store (identity if none)."""
+    active = _active_interner()
+    if active is None:
+        return layout
+    store, prefix = active
+    return store.intern_layout(f"{prefix}/{subkey}", layout)
+
+
+def _intern_derived(layout: PackedLayout, tag: str, build):
+    """Intern a bind-time derived array (e.g. the dense transposed copy).
+
+    Only layouts that were themselves interned (``shared_key`` set)
+    share their derived arrays — the key extends the layout's own, so
+    attaching workers resolve the same segment.
+    """
+    active = _active_interner()
+    if active is None or layout.shared_key is None:
+        return build()
+    store, _ = active
+    return store.intern(f"{layout.shared_key}#{tag}", {tag: build()})[tag]
 
 
 def _as_matrix(
@@ -204,7 +267,14 @@ class DenseBackend(KernelBackend):
 
     def bind(self, layout, out_dtype, accum_dtype=None):
         out_dtype = np.dtype(out_dtype)
-        w_t = np.ascontiguousarray(layout.values.T.astype(out_dtype))
+        # The transposed/widened GEMM operand is derived at bind time;
+        # under sharded serving it is interned like the layout arrays so
+        # replicas share the copy the kernel actually multiplies.
+        w_t = _intern_derived(
+            layout,
+            f"wT-{out_dtype.name}",
+            lambda: np.ascontiguousarray(layout.values.T.astype(out_dtype)),
+        )
 
         def core(cols: np.ndarray) -> np.ndarray:
             return np.matmul(cols.astype(out_dtype, copy=False), w_t)

@@ -68,11 +68,13 @@ def k_chunk() -> int:
     """Output channels per gather chunk, resolved per call.
 
     Precedence: :func:`set_k_chunk` override (the CLI's ``--k-chunk``
-    flag) > the ``REPRO_K_CHUNK`` environment variable > the built-in
-    default of 32.  Smaller chunks bound the peak memory of the
-    ``(B, P, K_chunk, NNZ)`` gather tensor; larger chunks amortise the
-    per-chunk einsum dispatch — the right value is host-dependent
-    (groundwork for per-host autotuning).  The chunking only groups
+    flag) > the ``REPRO_K_CHUNK`` environment variable > the host-keyed
+    autotune cache (:mod:`repro.kernels.tuning`, written by
+    ``repro engine --autotune-k-chunk``) > the built-in default of 32.
+    Smaller chunks bound the peak memory of the ``(B, P, K_chunk, NNZ)``
+    gather tensor; larger chunks amortise the per-chunk einsum
+    dispatch — the right value is host-dependent, which is why the
+    autotuned winner persists per host.  The chunking only groups
     whole output channels, so the result is bit-identical for every
     chunk size.
     """
@@ -89,6 +91,11 @@ def k_chunk() -> int:
         if value < 1:
             raise ValueError(f"{K_CHUNK_ENV} must be >= 1, got {value}")
         return value
+    from repro.kernels.tuning import cached_k_chunk
+
+    tuned = cached_k_chunk()
+    if tuned is not None:
+        return tuned
     return _DEFAULT_K_CHUNK
 
 

@@ -1,0 +1,121 @@
+"""Host-keyed persistence for autotuned kernel knobs (advisory).
+
+``repro engine --autotune-k-chunk`` sweeps the gather chunk size and
+finds the host's best value; this module remembers the winner in a
+small JSON cache so later plan compilations on the same host start from
+it instead of the built-in default.  Strictly advisory: the chunk size
+only groups whole output channels, so a stale or wrong cache entry can
+cost performance, never correctness (the bit-identity invariant of
+:func:`repro.kernels.conv_sparse.gather_matmul_batch` is unchanged).
+
+The cache lives at ``~/.cache/repro/tuning.json`` (override with the
+``REPRO_TUNING_CACHE`` environment variable; tests point it at a tmp
+path) and is keyed by a host fingerprint, so one shared home directory
+across heterogeneous machines keeps per-host winners.  Reads are
+memoized per (path, mtime); a corrupt or unreadable file is treated as
+empty — tuning must never take a process down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = [
+    "TUNING_CACHE_ENV",
+    "tuning_cache_path",
+    "host_key",
+    "cached_k_chunk",
+    "save_k_chunk",
+    "invalidate_cache",
+]
+
+#: Environment variable overriding the cache file location.
+TUNING_CACHE_ENV = "REPRO_TUNING_CACHE"
+
+#: Memoized (path, mtime_ns) -> parsed cache dict.
+_READ_CACHE: dict[tuple[str, int], dict] = {}
+
+
+def tuning_cache_path() -> Path:
+    """Resolved cache file location (env override > XDG-style default)."""
+    override = os.environ.get(TUNING_CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "tuning.json"
+
+
+def host_key() -> str:
+    """Fingerprint separating hosts that share a cache file."""
+    return f"{platform.node() or 'unknown'}:{platform.machine() or '?'}"
+
+
+def invalidate_cache() -> None:
+    """Drop the memoized reads (tests, or after an external edit)."""
+    _READ_CACHE.clear()
+
+
+def _load() -> dict:
+    path = tuning_cache_path()
+    try:
+        mtime = path.stat().st_mtime_ns
+    except OSError:
+        return {}
+    memo_key = (str(path), mtime)
+    cached = _READ_CACHE.get(memo_key)
+    if cached is not None:
+        return cached
+    try:
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict):
+            data = {}
+    except (OSError, ValueError):
+        data = {}
+    _READ_CACHE.clear()  # keep only the current (path, mtime)
+    _READ_CACHE[memo_key] = data
+    return data
+
+
+def cached_k_chunk() -> int | None:
+    """This host's persisted gather-chunk winner, or None."""
+    entry = _load().get("k_chunk", {})
+    if not isinstance(entry, dict):
+        return None
+    record = entry.get(host_key())
+    if not isinstance(record, dict):
+        return None
+    value = record.get("value")
+    if isinstance(value, int) and value >= 1:
+        return value
+    return None
+
+
+def save_k_chunk(value: int) -> Path:
+    """Persist the autotune winner for this host; returns the path."""
+    if value < 1:
+        raise ValueError(f"k_chunk must be >= 1, got {value}")
+    path = tuning_cache_path()
+    data = _load()
+    # Re-read uncached in case another process wrote since the memo.
+    try:
+        fresh = json.loads(path.read_text())
+        if isinstance(fresh, dict):
+            data = fresh
+    except (OSError, ValueError):
+        pass
+    entry = data.setdefault("k_chunk", {})
+    if not isinstance(entry, dict):
+        entry = data["k_chunk"] = {}
+    entry[host_key()] = {
+        "value": int(value),
+        "saved_at": datetime.now(timezone.utc).isoformat(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    invalidate_cache()
+    return path

@@ -6,8 +6,12 @@ throughput: concurrent single-sample requests are coalesced into
 micro-batches (``Batcher`` + ``BatchPolicy``), executed by a bounded
 worker pool, and guarded by queue-depth backpressure, with metrics
 (batch-size histogram, latency quantiles, queue depth) exposed through
-:meth:`ModelServer.stats`.  See ``docs/serving.md`` for the
-architecture and ``examples/serve_quickstart.py`` for a runnable tour.
+:meth:`ModelServer.stats`.  For multi-core machines,
+:class:`RouterServer` shards the same deployment set across worker
+*processes* that share one copy of the packed weights through
+POSIX shared memory (:class:`SharedWeightStore`).  See
+``docs/serving.md`` for the architecture and
+``examples/serve_quickstart.py`` for a runnable tour.
 """
 
 from repro.serve.batcher import Batcher, BatchPolicy, MicroBatch
@@ -18,12 +22,15 @@ from repro.serve.errors import (
     ServerClosed,
     ServerOverloaded,
     UnknownModel,
+    WorkerCrashed,
 )
 from repro.serve.loadgen import LoadgenReport, generate_inputs, run_loadgen
 from repro.serve.metrics import Metrics
 from repro.serve.registry import Deployment, ModelRegistry
+from repro.serve.router import RouterServer
 from repro.serve.server import ModelServer
-from repro.serve.tcp import TcpServeClient, serve_tcp
+from repro.serve.shm import SharedWeightStore
+from repro.serve.tcp import TcpServeClient, serve_tcp, snapshot_stats
 
 __all__ = [
     "BatchPolicy",
@@ -35,13 +42,17 @@ __all__ = [
     "RequestTooLarge",
     "ServerOverloaded",
     "ServerClosed",
+    "WorkerCrashed",
     "Metrics",
     "Deployment",
     "ModelRegistry",
     "ModelServer",
+    "RouterServer",
+    "SharedWeightStore",
     "LoadgenReport",
     "generate_inputs",
     "run_loadgen",
     "TcpServeClient",
     "serve_tcp",
+    "snapshot_stats",
 ]

@@ -140,8 +140,19 @@ class Batcher:
         self._closing = True
         self._wake.set()
         if self._task is not None:
-            await self._task
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass  # externally cancelled; flush below still runs
+            except Exception:
+                pass  # formation task crashed; flush below still runs
             self._task = None
+        # The formation loop normally drains _pending before exiting;
+        # if it died early, accepted requests would be dropped silently
+        # (the old ServerClosed race) — flush the remainder here so
+        # every accepted request reaches the queue and resolves.
+        while self._pending:
+            await self._out.put(self._form())
 
     # -- batch formation ------------------------------------------------
 

@@ -17,14 +17,22 @@ throughput, not arrival-limited throughput (use
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.engine.bench import resnet_style_graph
 from repro.serve.batcher import BatchPolicy
-from repro.serve.loadgen import generate_inputs
+from repro.serve.loadgen import generate_inputs, mixed_schedule
+from repro.serve.router import RouterServer
 from repro.serve.server import ModelServer
 
-__all__ = ["ServeThroughputResult", "measure_serve_throughput"]
+__all__ = [
+    "ServeThroughputResult",
+    "ShardedServeResult",
+    "measure_serve_throughput",
+    "measure_sharded_throughput",
+]
 
 
 @dataclass
@@ -120,3 +128,152 @@ def measure_serve_throughput(
         )
 
     return asyncio.run(_run())
+
+
+# ---------------------------------------------------------------------------
+# Sharded (router + worker processes) throughput
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardedServeResult:
+    """Sharded-vs-single-process comparison on a mixed-deployment soak.
+
+    ``sharded_s[w]`` is the best-of-repeats wall time for the full
+    mixed burst against a :class:`RouterServer` with ``w`` replicas;
+    ``single_s`` is the same burst against one in-process
+    :class:`ModelServer`.  ``identical[w]`` records whether *every*
+    sharded response was bit-identical to the single-process reference,
+    and the weight-byte fields capture the shared-not-replicated memory
+    accounting (the router registry's budget-visible bytes plus the
+    actual shared-segment payload).
+    """
+
+    models: tuple[str, ...]
+    requests: int
+    threads_per_worker: int
+    max_batch_size: int
+    single_s: float
+    single_weight_bytes: int
+    sharded_s: dict[int, float] = field(default_factory=dict)
+    sharded_weight_bytes: dict[int, int] = field(default_factory=dict)
+    shm_payload_bytes: dict[int, int] = field(default_factory=dict)
+    identical: dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def single_qps(self) -> float:
+        return self.requests / self.single_s if self.single_s else 0.0
+
+    def sharded_qps(self, workers: int) -> float:
+        elapsed = self.sharded_s[workers]
+        return self.requests / elapsed if elapsed else 0.0
+
+    def speedup(self, workers: int) -> float:
+        """Sharded QPS at ``workers`` replicas over single-process QPS."""
+        return self.single_s / self.sharded_s[workers] if self.sharded_s[workers] else 0.0
+
+    @property
+    def all_identical(self) -> bool:
+        return all(self.identical.values())
+
+
+async def _mixed_burst(server, work, repeats: int):
+    """Best-of-``repeats`` wall time plus the final pass's outputs."""
+    loop = asyncio.get_running_loop()
+    await asyncio.gather(*[server.submit(m, x) for m, x in work[:4]])
+    best = float("inf")
+    outputs = None
+    for _ in range(repeats):
+        t0 = loop.time()
+        outputs = await asyncio.gather(
+            *[server.submit(m, x) for m, x in work]
+        )
+        best = min(best, loop.time() - t0)
+    return best, outputs
+
+
+def measure_sharded_throughput(
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    models: tuple[str, ...] = (
+        "resnet-int8",
+        "resnet-sparse-int8",
+        "resnet-sparse-isa",
+    ),
+    requests: int = 192,
+    threads_per_worker: int = 2,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    repeats: int = 2,
+    seed: int = 0,
+) -> ShardedServeResult:
+    """Measure router-sharded serving against single-process serving.
+
+    Fires the same mixed-deployment burst (round-robin over ``models``,
+    dense and sparse plans together) at one in-process server and at a
+    :class:`RouterServer` for each entry of ``worker_counts``, checking
+    every sharded response bit-for-bit against the single-process
+    reference.  This is the acceptance experiment for the sharded
+    tentpole: QPS should scale with replicas while the registry's
+    budget-visible weight bytes stay ~flat (one shared copy).
+    """
+    from repro.serve.demo import demo_registrations
+
+    regs = [r for r in demo_registrations(seed=seed) if r[0] in models]
+    found = tuple(r[0] for r in regs)
+    missing = set(models) - set(found)
+    if missing:
+        raise ValueError(f"unknown demo models: {sorted(missing)}")
+    policy = BatchPolicy(max_batch_size, max_wait_ms)
+    depth = 2 * requests
+
+    async def _single() -> tuple[float, list, int, dict]:
+        ref = ModelServer(
+            policy=policy, workers=threads_per_worker, max_queue_depth=depth
+        )
+        for name, graph, mode, kwargs in regs:
+            ref.register(name, graph, mode, **kwargs)
+        shapes = {
+            name: tuple(ref.registry.get(name).input_shape)
+            for name in models
+        }
+        work = mixed_schedule(shapes, tuple(models), requests, seed=seed)
+        async with ref:
+            elapsed, outputs = await _mixed_burst(ref, work, repeats)
+        return elapsed, outputs, ref.registry.weight_bytes_used(), work
+
+    single_s, ref_outputs, single_bytes, work = asyncio.run(_single())
+    result = ShardedServeResult(
+        models=tuple(models),
+        requests=requests,
+        threads_per_worker=threads_per_worker,
+        max_batch_size=max_batch_size,
+        single_s=single_s,
+        single_weight_bytes=single_bytes,
+    )
+
+    async def _sharded(nworkers: int) -> None:
+        router = RouterServer(
+            policy=policy,
+            workers=nworkers,
+            threads_per_worker=threads_per_worker,
+            max_queue_depth=depth,
+        )
+        for name, graph, mode, kwargs in regs:
+            router.register(name, graph, mode, **kwargs)
+        async with router:
+            elapsed, outputs = await _mixed_burst(router, work, repeats)
+            result.sharded_s[nworkers] = elapsed
+            result.sharded_weight_bytes[nworkers] = (
+                router.registry.weight_bytes_used()
+            )
+            result.shm_payload_bytes[nworkers] = (
+                router.shared_store.total_bytes()
+            )
+            result.identical[nworkers] = all(
+                np.array_equal(out, ref)
+                for out, ref in zip(outputs, ref_outputs)
+            )
+
+    for nworkers in worker_counts:
+        asyncio.run(_sharded(nworkers))
+    return result

@@ -11,17 +11,31 @@ demo graph — exercising the registry's side-by-side
 (graph, mode, sparse, selection, backend) deployments.  Everything is
 seeded through :func:`repro.utils.rng.make_rng`, so the demo weights,
 calibration data, and therefore every served logit are reproducible.
+
+``demo_server(processes=N)`` with ``N >= 2`` hosts the same set on a
+sharded :class:`~repro.serve.router.RouterServer` — N worker processes
+sharing one copy of the packed weights through
+:mod:`repro.serve.shm` — instead of a single-process
+:class:`~repro.serve.server.ModelServer`.  Registration order, graphs,
+and plans are identical either way, which is what the multi-worker
+bit-identity checks rely on.
 """
 
 from __future__ import annotations
 
 from repro.engine.bench import MIXED_DEMO_FMTS, resnet_style_graph
 from repro.serve.batcher import BatchPolicy
+from repro.serve.router import RouterServer
 from repro.serve.server import ModelServer
 from repro.sparsity.nm import FORMAT_1_8
 from repro.utils.rng import make_rng
 
-__all__ = ["DEMO_MODELS", "DEMO_SPARSE_FORMAT", "demo_server"]
+__all__ = [
+    "DEMO_MODELS",
+    "DEMO_SPARSE_FORMAT",
+    "demo_registrations",
+    "demo_server",
+]
 
 #: Deployment names the demo server hosts.
 DEMO_MODELS = (
@@ -37,6 +51,54 @@ DEMO_MODELS = (
 DEMO_SPARSE_FORMAT = FORMAT_1_8
 
 
+def demo_registrations(
+    seed: int = 0, sparse: bool = True
+) -> list[tuple[str, object, str, dict]]:
+    """The demo deployment specs: ``(name, graph, mode, kwargs)`` rows.
+
+    One definition shared by the single-process and sharded demo
+    servers (and by tests that need a direct-engine reference for the
+    served deployments), so every flavour registers byte-identical
+    graphs in the same order.
+    """
+    from repro.models.quantize import quantize_graph
+
+    graph = resnet_style_graph(seed=seed)
+    rng = make_rng(seed)
+    calib = [
+        rng.normal(size=(12, 12, 3)).astype("float32") for _ in range(4)
+    ]
+    quantize_graph(graph, calib)
+    regs: list[tuple[str, object, str, dict]] = [
+        ("resnet-float", graph, "float", {}),
+        ("resnet-int8", graph, "int8", {}),
+    ]
+    if sparse:
+        pruned = resnet_style_graph(seed=seed, fmt=DEMO_SPARSE_FORMAT)
+        quantize_graph(pruned, calib)
+        regs += [
+            ("resnet-sparse-int8", pruned, "int8", {"sparse": True}),
+            (
+                "resnet-sparse-isa",
+                pruned,
+                "int8",
+                {"sparse": True, "backend": "isa"},
+            ),
+            ("resnet-sparse-float", pruned, "float", {"sparse": True}),
+        ]
+        mixed = resnet_style_graph(seed=seed, layer_fmts=MIXED_DEMO_FMTS)
+        quantize_graph(mixed, calib)
+        regs.append(
+            (
+                "resnet-select-int8",
+                mixed,
+                "int8",
+                {"sparse": True, "select_fmt": True},
+            )
+        )
+    return regs
+
+
 def demo_server(
     policy: BatchPolicy | None = None,
     workers: int = 2,
@@ -44,7 +106,8 @@ def demo_server(
     seed: int = 0,
     sparse: bool = True,
     max_weight_bytes: int | None = None,
-) -> ModelServer:
+    processes: int = 1,
+) -> ModelServer | RouterServer:
     """Build (but don't start) a server hosting the demo deployments.
 
     ``sparse=False`` drops the four sparse-plan deployments
@@ -55,34 +118,39 @@ def demo_server(
     does not fit raises
     :class:`~repro.serve.errors.WeightBudgetExceeded` at build time
     (the ``repro serve --max-weight-mb`` / CI rejection path).
-    """
-    from repro.models.quantize import quantize_graph
 
-    graph = resnet_style_graph(seed=seed)
-    rng = make_rng(seed)
-    calib = [
-        rng.normal(size=(12, 12, 3)).astype("float32") for _ in range(4)
-    ]
-    quantize_graph(graph, calib)
-    server = ModelServer(
-        policy=policy,
-        workers=workers,
-        max_queue_depth=max_queue_depth,
-        max_weight_bytes=max_weight_bytes,
-    )
-    server.register("resnet-float", graph, "float")
-    server.register("resnet-int8", graph, "int8")
-    if sparse:
-        pruned = resnet_style_graph(seed=seed, fmt=DEMO_SPARSE_FORMAT)
-        quantize_graph(pruned, calib)
-        server.register("resnet-sparse-int8", pruned, "int8", sparse=True)
-        server.register(
-            "resnet-sparse-isa", pruned, "int8", sparse=True, backend="isa"
+    ``processes >= 2`` returns a sharded
+    :class:`~repro.serve.router.RouterServer` with that many worker
+    replicas (``workers`` then sizes each replica's in-process thread
+    pool); the weight budget is enforced once, globally, and the packed
+    weights are shared across the replicas.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    if processes > 1:
+        server: ModelServer | RouterServer = RouterServer(
+            policy=policy,
+            workers=processes,
+            threads_per_worker=workers,
+            max_queue_depth=max_queue_depth,
+            max_weight_bytes=max_weight_bytes,
         )
-        server.register("resnet-sparse-float", pruned, "float", sparse=True)
-        mixed = resnet_style_graph(seed=seed, layer_fmts=MIXED_DEMO_FMTS)
-        quantize_graph(mixed, calib)
-        server.register(
-            "resnet-select-int8", mixed, "int8", sparse=True, select_fmt=True
+    else:
+        server = ModelServer(
+            policy=policy,
+            workers=workers,
+            max_queue_depth=max_queue_depth,
+            max_weight_bytes=max_weight_bytes,
         )
+    try:
+        for name, graph, mode, kwargs in demo_registrations(
+            seed=seed, sparse=sparse
+        ):
+            server.register(name, graph, mode, **kwargs)
+    except BaseException:
+        if isinstance(server, RouterServer):
+            # Budget rejection before start(): release the segments the
+            # earlier, accepted registrations already published.
+            server.shared_store.unlink()
+        raise
     return server

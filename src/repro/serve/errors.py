@@ -16,6 +16,9 @@ __all__ = [
     "ServerClosed",
     "BadRequest",
     "WeightBudgetExceeded",
+    "WorkerCrashed",
+    "error_from_code",
+    "wire_class",
 ]
 
 
@@ -124,3 +127,70 @@ class WeightBudgetExceeded(ServeError):
             f"{max_weight_bytes - used} of {max_weight_bytes} remain "
             f"({used} in use)"
         )
+
+
+class WorkerCrashed(ServeError):
+    """A sharded worker process died with the request in flight.
+
+    The router fails every request it had dispatched to the dead worker
+    with this error and re-routes that worker's deployments to the
+    surviving replicas — later submissions succeed (or see this
+    synchronously once no replica is left).  Not an admission code:
+    the request *was* accepted, so loadgen counts it as failed.
+    """
+
+    code = "worker_crashed"
+
+
+#: Wire-decodable error classes, most specific first (subclasses before
+#: their bases, so e.g. ``request_too_large`` never decodes as the
+#: ``bad_request`` base).
+_WIRE_ERRORS = (
+    UnknownModel,
+    RequestTooLarge,
+    ServerOverloaded,
+    ServerClosed,
+    WeightBudgetExceeded,
+    WorkerCrashed,
+    BadRequest,
+)
+
+_WIRE_CACHE: dict[type, type] = {}
+
+
+def wire_class(cls: type) -> type:
+    """A subclass of ``cls`` constructible from a bare message.
+
+    The structured ``__init__`` args of errors like
+    :class:`RequestTooLarge` don't travel across a wire or process
+    boundary, but ``except RequestTooLarge`` style handlers should
+    still work on the receiving side — so each error class gets a
+    Remote* twin taking just the detail string.
+    """
+    wire = _WIRE_CACHE.get(cls)
+    if wire is None:
+        wire = type(
+            f"Remote{cls.__name__}",
+            (cls,),
+            {
+                "__init__": lambda self, detail: Exception.__init__(
+                    self, detail
+                ),
+                "__str__": lambda self: self.args[0],
+            },
+        )
+        _WIRE_CACHE[cls] = wire
+    return wire
+
+
+def error_from_code(code: str, detail: str) -> ServeError:
+    """Rebuild the typed error for a stable wire code.
+
+    Shared by the TCP client and the sharded router (worker -> router
+    error frames): an unknown code degrades to the :class:`ServeError`
+    base rather than failing the decode.
+    """
+    for cls in _WIRE_ERRORS:
+        if cls.code == code:
+            return wire_class(cls)(detail)
+    return ServeError(detail)

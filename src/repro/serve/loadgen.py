@@ -13,17 +13,22 @@ sending the next request (that would throttle to server latency and
 hide queueing behaviour), but it does cap the number of requests in
 flight so a stalled server cannot accumulate unbounded futures.
 
-A run can target either an in-process :class:`ModelServer` or a
+A run can target an in-process :class:`ModelServer`, a sharded
+:class:`~repro.serve.router.RouterServer`, or a
 :class:`~repro.serve.tcp.TcpServeClient` connected to a remote
 ``repro serve`` — the same pacing, payloads, and accounting apply, so
 in-process CI smoke runs and socketed runs are directly comparable.
+``model`` may also be a list of deployment names: requests then cycle
+through the models round-robin (the mixed-deployment soak the sharded
+benchmark uses), with each model drawing from its own deterministic
+payload stream.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -39,10 +44,17 @@ from repro.serve.server import ModelServer
 from repro.serve.tcp import TcpServeClient
 from repro.utils.rng import make_rng
 
-__all__ = ["LoadgenReport", "generate_inputs", "run_loadgen"]
+__all__ = [
+    "LoadgenReport",
+    "generate_inputs",
+    "mixed_schedule",
+    "run_loadgen",
+]
 
 #: Error codes counted as *rejected* (admission control said no) as
 #: opposed to *failed* (accepted but errored during execution).
+#: ``worker_crashed`` is deliberately absent: a request lost to a dying
+#: replica was accepted, so it counts as failed.
 _ADMISSION_CODES = frozenset(
     cls.code
     for cls in (
@@ -108,9 +120,40 @@ def generate_inputs(
     return rng.normal(size=(requests, *shape)).astype(np.float32)
 
 
+def mixed_schedule(
+    shapes: dict[str, tuple[int, ...]],
+    models: Sequence[str],
+    requests: int,
+    seed: int = 0,
+) -> list[tuple[str, np.ndarray]]:
+    """The deterministic ``(model, payload)`` sequence of a run.
+
+    Round-robin over ``models``; the *j*-th model's payloads come from
+    its own :func:`generate_inputs` stream seeded ``seed + 101*j``.
+    This is exactly the traffic :func:`run_loadgen` sends, exposed so
+    bit-identity checks (CLI ``--verify-identity``, the sharded
+    benchmark) can replay it through a reference engine.
+    """
+    models = list(models)
+    counts = {
+        name: len(range(j, requests, len(models)))
+        for j, name in enumerate(models)
+    }
+    streams = {
+        name: iter(
+            generate_inputs(shapes[name], counts[name], seed=seed + 101 * j)
+        )
+        for j, name in enumerate(models)
+    }
+    return [
+        (models[i % len(models)], next(streams[models[i % len(models)]]))
+        for i in range(requests)
+    ]
+
+
 async def run_loadgen(
-    target: Union[ModelServer, TcpServeClient],
-    model: str,
+    target: Union[ModelServer, "object", TcpServeClient],
+    model: Union[str, Sequence[str]],
     requests: int = 100,
     qps: float = 200.0,
     seed: int = 0,
@@ -122,27 +165,47 @@ async def run_loadgen(
     Arrival gaps and payloads are deterministic in ``seed``.  Returns
     the report plus, when ``collect_outputs`` is set, each request's
     output array (``None`` for rejected/failed requests) in send order.
+
+    ``model`` may be one deployment name or a sequence of names;
+    request ``i`` goes to ``models[i % len(models)]``, and each model's
+    payloads come from its own :func:`generate_inputs` stream (seeded
+    ``seed + 101*j`` for the *j*-th model), so a single-model run is
+    byte-identical to the pre-multi-model behaviour.
     """
     if requests < 1:
         raise ValueError("requests must be >= 1")
     if qps <= 0:
         raise ValueError("qps must be > 0")
-    if isinstance(target, ModelServer):
-        shape = tuple(target.registry.get(model).input_shape)
+    models = [model] if isinstance(model, str) else list(model)
+    if not models:
+        raise ValueError("model list must not be empty")
+    if isinstance(target, TcpServeClient):
+        described = await target.describe()
+        for name in models:
+            if name not in described:
+                raise UnknownModel(name, tuple(described))
+        shapes = {
+            name: tuple(described[name]["input_shape"]) for name in models
+        }
 
-        def submit(x: np.ndarray) -> "asyncio.Future[np.ndarray]":
-            return target.submit(model, x)
+        def submit(name: str, x: np.ndarray) -> "asyncio.Future[np.ndarray]":
+            return target.submit_infer(name, x)
 
     else:
-        described = await target.describe()
-        if model not in described:
-            raise UnknownModel(model, tuple(described))
-        shape = tuple(described[model]["input_shape"])
+        # Duck-typed server: ModelServer and RouterServer share the
+        # registry/submit surface.
+        shapes = {
+            name: tuple(target.registry.get(name).input_shape)
+            for name in models
+        }
 
-        def submit(x: np.ndarray) -> "asyncio.Future[np.ndarray]":
-            return target.submit_infer(model, x)
+        def submit(name: str, x: np.ndarray) -> "asyncio.Future[np.ndarray]":
+            return target.submit(name, x)
 
-    inputs = generate_inputs(shape, requests, seed=seed)
+    # Per-model deterministic payload streams, interleaved round-robin.
+    schedule = mixed_schedule(shapes, models, requests, seed=seed)
+    request_models = [name for name, _ in schedule]
+    inputs = [x for _, x in schedule]
     gaps = make_rng(seed + 1).exponential(1.0 / qps, size=requests)
 
     loop = asyncio.get_running_loop()
@@ -180,7 +243,7 @@ async def run_loadgen(
             await asyncio.sleep(delay)
         await sem.acquire()
         try:
-            fut = submit(inputs[i])
+            fut = submit(request_models[i], inputs[i])
         except ServeError:
             rejected += 1
             sem.release()
@@ -197,7 +260,7 @@ async def run_loadgen(
     duration = loop.time() - t_start
 
     report = LoadgenReport(
-        model=model,
+        model=",".join(models),
         requests=requests,
         succeeded=len(latencies_ms),
         rejected=rejected,

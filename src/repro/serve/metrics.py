@@ -98,6 +98,66 @@ class Metrics:
         with self._lock:
             return self._mean_batch_size_locked()
 
+    # -- cross-process aggregation --------------------------------------
+
+    def state(self) -> dict:
+        """The raw, mergeable collector state (JSON/pickle-safe).
+
+        Unlike :meth:`snapshot` this keeps the latency *reservoir*
+        rather than derived quantiles — quantiles of quantiles are
+        meaningless, so cross-worker aggregation ships the reservoirs
+        and recomputes p50/p95/p99 over the merged window.
+        """
+        with self._lock:
+            return {
+                "requests_accepted": self.requests_accepted,
+                "requests_completed": self.requests_completed,
+                "requests_failed": self.requests_failed,
+                "requests_rejected": dict(self.requests_rejected),
+                "samples_completed": self.samples_completed,
+                "queue_depth": self.queue_depth,
+                "batch_sizes": {
+                    str(size): n for size, n in self.batch_sizes.items()
+                },
+                "latencies_s": [float(v) for v in self._latencies],
+                "latency_window": self._latencies.maxlen,
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Metrics":
+        """Rebuild a collector from a :meth:`state` payload."""
+        return cls.merge([state], latency_window=state["latency_window"])
+
+    @classmethod
+    def merge(
+        cls, parts, latency_window: int | None = None
+    ) -> "Metrics":
+        """Aggregate collectors and/or :meth:`state` payloads.
+
+        Counters and batch-size histograms add; latency reservoirs
+        concatenate, so the merged p50/p95/p99 are computed over the
+        union of the retained observations.  The merged window defaults
+        to the sum of the parts' windows — merging N full workers drops
+        nothing.
+        """
+        states = [p.state() if isinstance(p, Metrics) else p for p in parts]
+        if latency_window is None:
+            latency_window = max(
+                1, sum(s["latency_window"] for s in states)
+            )
+        merged = cls(latency_window=latency_window)
+        for s in states:
+            merged.requests_accepted += s["requests_accepted"]
+            merged.requests_completed += s["requests_completed"]
+            merged.requests_failed += s["requests_failed"]
+            merged.requests_rejected.update(s["requests_rejected"])
+            merged.samples_completed += s["samples_completed"]
+            merged.queue_depth += s["queue_depth"]
+            for size, n in s["batch_sizes"].items():
+                merged.batch_sizes[int(size)] += n
+            merged._latencies.extend(s["latencies_s"])
+        return merged
+
     def snapshot(self) -> dict:
         """A JSON-safe view of every counter plus derived quantiles."""
         quantiles = self.latency_quantiles()

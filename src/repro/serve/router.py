@@ -1,0 +1,760 @@
+"""Sharded serving: a router dispatching to N engine worker processes.
+
+:class:`RouterServer` scales :class:`~repro.serve.server.ModelServer`
+past the single GIL: it spawns ``workers`` replica processes, each
+running a full single-process server (its own
+:class:`~repro.engine.engine.InferenceEngine`, pre-warmed plans,
+batcher, thread pool) for every deployment, and dispatches requests
+over duplex pipes with consistent per-deployment routing — all of one
+model's traffic lands on one live replica, so its micro-batches keep
+coalescing exactly as they would in-process.
+
+The request contract is the single-process one, preserved across the
+process boundary:
+
+- admission errors (:class:`~repro.serve.errors.ServerClosed`,
+  :class:`~repro.serve.errors.UnknownModel`,
+  :class:`~repro.serve.errors.BadRequest` /
+  :class:`~repro.serve.errors.RequestTooLarge`,
+  :class:`~repro.serve.errors.ServerOverloaded`) raise synchronously
+  from :meth:`RouterServer.submit`; the queue-depth cap is enforced
+  *globally* at the router;
+- a returned future always resolves — worker-side errors travel back
+  as ``(code, detail)`` frames and re-raise as their Remote* typed
+  twins; a worker that dies mid-request fails its in-flight futures
+  with :class:`~repro.serve.errors.WorkerCrashed` and its deployments
+  are re-routed to the surviving replicas;
+- responses are bit-identical to single-process serving: workers run
+  the same deterministic plan compilation and the same batched kernels.
+
+Weight memory is paid ~once, not once per replica: the router's
+registry compiles every plan inside a
+:class:`~repro.serve.shm.SharedWeightStore` (owner mode) so the packed
+weight images live in POSIX shared memory; each worker re-compiles
+deterministically in attach mode and maps the same segments (see
+:mod:`repro.serve.shm`).  The weight *budget* is likewise enforced
+once, globally, at router registration.
+
+Shutdown is drain-then-deadline: workers get a ``shutdown`` frame,
+drain their batchers (resolving every accepted request) and answer
+``bye``; a worker still silent at the drain deadline is killed and
+reported in ``stats()['server']['killed_workers']`` — never orphaned.
+Shared segments are unlinked last and leak-checked by the tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing as mp
+import queue
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.engine import _plan_key
+from repro.kernels.backend import layout_interning
+from repro.serve.batcher import BatchPolicy
+from repro.serve.errors import (
+    RequestTooLarge,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+    WorkerCrashed,
+    error_from_code,
+    wire_class,
+)
+from repro.serve.metrics import Metrics
+from repro.serve.registry import ModelRegistry
+from repro.serve.shm import SharedWeightStore
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+    from repro.compiler.ir import Graph
+
+__all__ = ["DeploymentSpec", "RouterServer"]
+
+_EOF = object()
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Everything a worker needs to rebuild one deployment (picklable).
+
+    ``shm_prefix`` is the router-assigned shared-weight key prefix —
+    derived from the deployment name and the engine plan-cache key —
+    that the worker's attach-mode compile must reuse verbatim to land
+    on the owner's segments.
+    """
+
+    name: str
+    graph: "Graph"
+    mode: str
+    sparse: bool
+    select_fmt: bool
+    accuracy_budget: float
+    backend: str
+    accum_dtype: str | None
+    shm_prefix: str
+
+    def register_kwargs(self) -> dict:
+        return {
+            "sparse": self.sparse,
+            "select_fmt": self.select_fmt,
+            "accuracy_budget": self.accuracy_budget,
+            "backend": self.backend,
+            "accum_dtype": self.accum_dtype,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _recv_or_eof(conn: "Connection"):
+    try:
+        return conn.recv()
+    except (EOFError, OSError):
+        return _EOF
+
+
+async def _worker_loop(
+    conn: "Connection",
+    namespace: str,
+    specs: list[DeploymentSpec],
+    policy: BatchPolicy,
+    threads: int,
+    max_queue_depth: int,
+) -> None:
+    from repro.serve.server import ModelServer
+
+    store = SharedWeightStore(namespace, create=False)
+    registry = ModelRegistry()
+    for spec in specs:
+        # Deterministic recompilation under the owner's key prefix:
+        # the packed arrays come back as views of the shared segments.
+        with layout_interning(store, spec.shm_prefix):
+            registry.register(
+                spec.name, spec.graph, spec.mode, **spec.register_kwargs()
+            )
+    server = ModelServer(
+        registry=registry,
+        policy=policy,
+        workers=threads,
+        max_queue_depth=max_queue_depth,
+    )
+    loop = asyncio.get_running_loop()
+    await server.start()
+    conn.send(
+        ("ready", {"models": list(registry.names()), "shm": store.stats()})
+    )
+
+    def respond(rid: int, fut: "asyncio.Future") -> None:
+        try:
+            out = fut.result()
+        except ServeError as err:
+            payload = ("err", rid, getattr(err, "code", "serve_error"), str(err))
+        except BaseException as err:
+            payload = ("err", rid, "serve_error", f"{type(err).__name__}: {err}")
+        else:
+            payload = ("ok", rid, out)
+        try:
+            conn.send(payload)
+        except (OSError, ValueError):
+            pass  # router went away; nothing to answer
+
+    while True:
+        msg = await loop.run_in_executor(None, _recv_or_eof, conn)
+        if msg is _EOF:
+            await server.shutdown()
+            return
+        op = msg[0]
+        if op == "infer":
+            _, rid, model, x = msg
+            try:
+                fut = server.submit(model, x)
+            except ServeError as err:
+                conn.send(("err", rid, err.code, str(err)))
+                continue
+            fut.add_done_callback(
+                lambda f, rid=rid: respond(rid, f)
+            )
+        elif op == "stats":
+            conn.send(("stats", msg[1], server.metrics.state()))
+        elif op == "shutdown":
+            await server.shutdown()
+            conn.send(("bye", server.metrics.state()))
+            return
+        elif op == "_test_hang":
+            # Test-only: wedge the event loop so the router's drain
+            # deadline and kill-path can be exercised deterministically.
+            time.sleep(msg[1])
+
+
+def _worker_main(
+    conn: "Connection",
+    namespace: str,
+    specs: list[DeploymentSpec],
+    policy: BatchPolicy,
+    threads: int,
+    max_queue_depth: int,
+) -> None:
+    try:
+        asyncio.run(
+            _worker_loop(conn, namespace, specs, policy, threads, max_queue_depth)
+        )
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Router
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    index: int
+    proc: "mp.process.BaseProcess"
+    conn: "Connection"
+    send_q: "queue.SimpleQueue"
+    ready: "asyncio.Future"
+    bye: "asyncio.Future"
+    sender: threading.Thread | None = None
+    reader: threading.Thread | None = None
+    alive: bool = True
+    saw_bye: bool = False
+    killed: bool = False
+    final_state: dict | None = None
+    pending_rids: set = field(default_factory=set)
+
+
+@dataclass
+class _Pending:
+    future: "asyncio.Future"
+    samples: int
+    batched: bool
+    worker: int
+
+
+class RouterServer:
+    """Multi-process sharded model server (router + worker replicas).
+
+    Mirrors the :class:`~repro.serve.server.ModelServer` surface
+    (``register`` / ``start`` / ``submit`` / ``infer`` / ``stats`` /
+    ``shutdown``, async-context-manager lifecycle) so the TCP
+    front-end, loadgen, and CLI drive either interchangeably — with
+    one deliberate asymmetry: :meth:`stats` is a coroutine (it
+    round-trips the workers), see
+    :func:`repro.serve.tcp.snapshot_stats`.
+
+    Deployments must be registered *before* :meth:`start`: workers
+    receive their deployment set once, at spawn.  Crashed workers are
+    not respawned — their deployments re-route to the survivors and
+    the crash is visible in ``stats()``.
+    """
+
+    def __init__(
+        self,
+        policy: BatchPolicy | None = None,
+        workers: int = 2,
+        max_queue_depth: int = 256,
+        max_weight_bytes: int | None = None,
+        threads_per_worker: int = 2,
+        drain_timeout_s: float = 10.0,
+        start_timeout_s: float = 120.0,
+        stats_timeout_s: float = 5.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.policy = policy or BatchPolicy()
+        self.workers = workers
+        self.max_queue_depth = max_queue_depth
+        self.threads_per_worker = threads_per_worker
+        self.drain_timeout_s = drain_timeout_s
+        self.start_timeout_s = start_timeout_s
+        self.stats_timeout_s = stats_timeout_s
+        #: Owner-mode shared segments; workers attach by namespace.
+        self.shared_store = SharedWeightStore(create=True)
+        #: The router-side registry: global weight budget, admission
+        #: metadata (shapes, plan introspection for describe).
+        self.registry = ModelRegistry(max_weight_bytes=max_weight_bytes)
+        self.killed_workers: list[int] = []
+        self._specs: dict[str, DeploymentSpec] = {}
+        self._serial = itertools.count()
+        self._workers: list[_Worker] = []
+        self._assignment: dict[str, int] = {}
+        self._rid = itertools.count()
+        self._sid = itertools.count()
+        self._pending: dict[int, _Pending] = {}
+        self._stat_waiters: dict[tuple[int, int], "asyncio.Future"] = {}
+        self._rejections: Counter = Counter()
+        self._crash_failed = 0
+        self._depth = 0
+        self._running = False
+        self._closing = False
+
+    # -- registration (pre-start) ---------------------------------------
+
+    def register(
+        self,
+        name: str,
+        graph: "Graph",
+        mode: str = "float",
+        sparse: bool = False,
+        select_fmt: bool = False,
+        accuracy_budget: float = 0.0,
+        backend: str = "sw",
+        accum_dtype: str | None = None,
+    ):
+        """Register a deployment; compiles the warm plan into shared
+        memory and enforces the weight budget once, globally.
+
+        On any failure — including
+        :class:`~repro.serve.errors.WeightBudgetExceeded` raised after
+        compilation — the deployment's freshly published segments are
+        unlinked and its warm plan evicted, so a rejected registration
+        leaves neither shared memory nor cache residue behind.
+        """
+        if self._running or self._closing:
+            raise RuntimeError(
+                "sharded deployments must be registered before start()"
+            )
+        plan_key = _plan_key(
+            mode, sparse, select_fmt, accuracy_budget, backend, accum_dtype
+        )
+        prefix = f"{name}#{next(self._serial)}:{plan_key}"
+        with self.shared_store.capture() as created:
+            try:
+                with layout_interning(self.shared_store, prefix):
+                    dep = self.registry.register(
+                        name,
+                        graph,
+                        mode,
+                        sparse=sparse,
+                        select_fmt=select_fmt,
+                        accuracy_budget=accuracy_budget,
+                        backend=backend,
+                        accum_dtype=accum_dtype,
+                    )
+            except Exception:
+                self.shared_store.release(created)
+                self.registry.engine.invalidate(graph)
+                raise
+        self._specs[name] = DeploymentSpec(
+            name=name,
+            graph=graph,
+            mode=mode,
+            sparse=sparse,
+            select_fmt=select_fmt,
+            accuracy_budget=accuracy_budget,
+            backend=backend,
+            accum_dtype=accum_dtype,
+            shm_prefix=prefix,
+        )
+        return dep
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn and handshake the worker replicas; idempotent."""
+        if self._running:
+            return
+        loop = asyncio.get_running_loop()
+        ctx = mp.get_context("spawn")
+        specs = list(self._specs.values())
+        for i in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    self.shared_store.namespace,
+                    specs,
+                    self.policy,
+                    self.threads_per_worker,
+                    self.max_queue_depth,
+                ),
+                name=f"serve-shard-{i}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            w = _Worker(
+                index=i,
+                proc=proc,
+                conn=parent_conn,
+                send_q=queue.SimpleQueue(),
+                ready=loop.create_future(),
+                bye=loop.create_future(),
+            )
+            w.sender = threading.Thread(
+                target=_sender_loop, args=(w,), daemon=True,
+                name=f"router-send-{i}",
+            )
+            w.reader = threading.Thread(
+                target=self._reader_loop, args=(w, loop), daemon=True,
+                name=f"router-recv-{i}",
+            )
+            w.sender.start()
+            w.reader.start()
+            self._workers.append(w)
+        self._running = True
+        self._closing = False
+        self._rebalance()
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*(w.ready for w in self._workers)),
+                timeout=self.start_timeout_s,
+            )
+        except BaseException:
+            await self._teardown(drain=False)
+            raise
+
+    async def shutdown(self) -> None:
+        """Drain workers, join with a deadline, kill stragglers, unlink."""
+        if not self._running and not self._workers:
+            # Never started (or already torn down): release any
+            # segments published at registration time.
+            self.shared_store.unlink()
+            return
+        await self._teardown(drain=True)
+
+    async def __aenter__(self) -> "RouterServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    async def _teardown(self, drain: bool) -> None:
+        loop = asyncio.get_running_loop()
+        self._closing = True
+        if drain:
+            for w in self._workers:
+                if w.alive:
+                    w.send_q.put(("shutdown",))
+            deadline = loop.time() + self.drain_timeout_s
+            for w in self._workers:
+                remaining = max(0.0, deadline - loop.time())
+                try:
+                    await asyncio.wait_for(asyncio.shield(w.bye), remaining)
+                except (asyncio.TimeoutError, TimeoutError):
+                    pass
+        # A worker that never answered bye is hung (or long dead):
+        # kill it — reported, never orphaned.
+        for w in self._workers:
+            if not w.saw_bye and w.proc.is_alive():
+                w.proc.kill()
+                w.killed = True
+                w.alive = False
+                self.killed_workers.append(w.index)
+        await loop.run_in_executor(None, self._join_procs)
+        # In-flight requests of killed/dead workers resolve typed.
+        for rid in list(self._pending):
+            self._finish(
+                rid,
+                error=wire_class(WorkerCrashed)(
+                    "worker killed at shutdown with the request in flight"
+                ),
+                crash=True,
+            )
+        for w in self._workers:
+            w.send_q.put(None)
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+        await loop.run_in_executor(None, self._join_threads)
+        for w in self._workers:
+            w.alive = False
+        self._workers = []
+        self._assignment = {}
+        self._running = False
+        self.shared_store.unlink()
+
+    def _join_procs(self) -> None:
+        for w in self._workers:
+            w.proc.join(timeout=self.drain_timeout_s)
+            if w.proc.is_alive():
+                w.proc.kill()
+                w.proc.join(timeout=self.drain_timeout_s)
+                if not w.killed:
+                    w.killed = True
+                    self.killed_workers.append(w.index)
+            try:
+                w.proc.close()
+            except ValueError:
+                pass
+
+    def _join_threads(self) -> None:
+        for w in self._workers:
+            for t in (w.sender, w.reader):
+                if t is not None:
+                    t.join(timeout=5.0)
+
+    # -- pipe plumbing (threads <-> event loop) -------------------------
+
+    def _reader_loop(self, w: _Worker, loop: asyncio.AbstractEventLoop):
+        while True:
+            try:
+                msg = w.conn.recv()
+            except (EOFError, OSError):
+                try:
+                    loop.call_soon_threadsafe(self._on_worker_eof, w)
+                except RuntimeError:
+                    pass  # loop already closed
+                return
+            try:
+                loop.call_soon_threadsafe(self._on_message, w, msg)
+            except RuntimeError:
+                return
+
+    def _on_message(self, w: _Worker, msg: tuple) -> None:
+        op = msg[0]
+        if op == "ok":
+            self._finish(msg[1], result=msg[2])
+        elif op == "err":
+            self._finish(msg[1], error=error_from_code(msg[2], msg[3]))
+        elif op == "stats":
+            fut = self._stat_waiters.pop((w.index, msg[1]), None)
+            if fut is not None and not fut.done():
+                fut.set_result(msg[2])
+        elif op == "ready":
+            if not w.ready.done():
+                w.ready.set_result(msg[1])
+        elif op == "bye":
+            w.saw_bye = True
+            w.final_state = msg[1]
+            if not w.bye.done():
+                w.bye.set_result(msg[1])
+
+    def _on_worker_eof(self, w: _Worker) -> None:
+        w.alive = False
+        if not w.ready.done():
+            w.ready.set_exception(
+                wire_class(WorkerCrashed)(
+                    f"worker {w.index} exited during startup"
+                )
+            )
+        if not w.bye.done():
+            # EOF after bye is the normal close; EOF without bye means
+            # the process died — unblock shutdown either way.
+            w.bye.set_result(w.final_state)
+        for rid in list(w.pending_rids):
+            self._finish(
+                rid,
+                error=wire_class(WorkerCrashed)(
+                    f"worker {w.index} died with the request in flight"
+                ),
+                crash=True,
+            )
+        for key in [k for k in self._stat_waiters if k[0] == w.index]:
+            fut = self._stat_waiters.pop(key)
+            if not fut.done():
+                fut.set_result(None)
+        if not self._closing:
+            self._rebalance()
+
+    def _finish(self, rid: int, result=None, error=None, crash=False) -> None:
+        entry = self._pending.pop(rid, None)
+        if entry is None:
+            return
+        self._depth -= entry.samples
+        worker = self._workers[entry.worker] if entry.worker < len(self._workers) else None
+        if worker is not None:
+            worker.pending_rids.discard(rid)
+        if crash:
+            self._crash_failed += 1
+        if entry.future.done():
+            return
+        if error is not None:
+            entry.future.set_exception(error)
+        else:
+            entry.future.set_result(
+                result if entry.batched else result[0]
+            )
+
+    def _rebalance(self) -> None:
+        """Consistent per-deployment routing over the live replicas.
+
+        Deployments are assigned round-robin over sorted names modulo
+        the live worker list — balanced by construction, recomputed
+        only on membership change (a worker death), so a deployment's
+        traffic stays on one replica and keeps batching.
+        """
+        alive = [w.index for w in self._workers if w.alive]
+        if not alive:
+            self._assignment = {}
+            return
+        self._assignment = {
+            name: alive[i % len(alive)]
+            for i, name in enumerate(sorted(self._specs))
+        }
+
+    # -- request path (event loop only) ---------------------------------
+
+    def submit(self, model: str, x: np.ndarray) -> "asyncio.Future[np.ndarray]":
+        """Admit one request; returns a future resolving to its output.
+
+        Same synchronous admission contract as
+        :meth:`ModelServer.submit`, plus
+        :class:`~repro.serve.errors.WorkerCrashed` when no live
+        replica remains to serve the deployment.
+        """
+        loop = asyncio.get_running_loop()
+        if not self._running or self._closing:
+            self._rejections[ServerClosed.code] += 1
+            raise ServerClosed("server is not accepting requests")
+        try:
+            deployment = self.registry.get(model)
+            batch, batched = deployment.coerce_request(x)
+        except Exception as err:
+            self._rejections[getattr(err, "code", "bad_request")] += 1
+            raise
+        samples = batch.shape[0]
+        if samples > self.policy.max_batch_size:
+            self._rejections[RequestTooLarge.code] += 1
+            raise RequestTooLarge(samples, self.policy.max_batch_size)
+        if self._depth + samples > self.max_queue_depth:
+            self._rejections[ServerOverloaded.code] += 1
+            raise ServerOverloaded(self._depth, self.max_queue_depth)
+        windex = self._assignment.get(model)
+        if windex is None:
+            self._rejections[WorkerCrashed.code] += 1
+            raise wire_class(WorkerCrashed)(
+                "no live worker replica left to dispatch to"
+            )
+        w = self._workers[windex]
+        rid = next(self._rid)
+        fut: "asyncio.Future[np.ndarray]" = loop.create_future()
+        self._pending[rid] = _Pending(fut, samples, batched, windex)
+        w.pending_rids.add(rid)
+        self._depth += samples
+        w.send_q.put(("infer", rid, model, batch))
+        return fut
+
+    async def infer(self, model: str, x: np.ndarray) -> np.ndarray:
+        """Submit and await one request."""
+        return await self.submit(model, x)
+
+    # -- stats ----------------------------------------------------------
+
+    def _router_state(self) -> dict:
+        """Router-level counters as a mergeable Metrics state.
+
+        Only what the workers cannot see: router-side admission
+        rejections and requests failed by a worker crash (a crashed
+        worker's own counters die with it).
+        """
+        return {
+            "requests_accepted": 0,
+            "requests_completed": 0,
+            "requests_failed": self._crash_failed,
+            "requests_rejected": dict(self._rejections),
+            "samples_completed": 0,
+            "queue_depth": 0,
+            "batch_sizes": {},
+            "latencies_s": [],
+            "latency_window": 1,
+        }
+
+    async def _collect_worker_states(self) -> dict[int, dict]:
+        loop = asyncio.get_running_loop()
+        futs: dict[int, "asyncio.Future"] = {}
+        for w in self._workers:
+            if not w.alive:
+                if w.final_state is not None:
+                    done = loop.create_future()
+                    done.set_result(w.final_state)
+                    futs[w.index] = done
+                continue
+            sid = next(self._sid)
+            fut = loop.create_future()
+            self._stat_waiters[(w.index, sid)] = fut
+            w.send_q.put(("stats", sid))
+            futs[w.index] = fut
+        states: dict[int, dict] = {}
+        for index, fut in futs.items():
+            try:
+                state = await asyncio.wait_for(fut, self.stats_timeout_s)
+            except (asyncio.TimeoutError, TimeoutError):
+                state = None
+            if state is not None:
+                states[index] = state
+        return states
+
+    async def stats(self) -> dict:
+        """Aggregate snapshot (same shape as :meth:`ModelServer.stats`)
+        plus ``per_worker`` views and sharding gauges.
+
+        Counters/histograms add across workers and the latency
+        reservoirs are pooled before the quantiles are recomputed
+        (:meth:`~repro.serve.metrics.Metrics.merge`), so the top-level
+        fields read exactly like a single-process server's.
+        """
+        states = await self._collect_worker_states()
+        merged = Metrics.merge([*states.values(), self._router_state()])
+        snap = merged.snapshot()
+        snap["server"] = {
+            "running": self._running and not self._closing,
+            "sharded": True,
+            "workers": self.workers,
+            "alive_workers": sum(w.alive for w in self._workers),
+            "killed_workers": list(self.killed_workers),
+            "models": list(self.registry.names()),
+            "policy": {
+                "max_batch_size": self.policy.max_batch_size,
+                "max_wait_ms": self.policy.max_wait_ms,
+            },
+            "max_queue_depth": self.max_queue_depth,
+            "shm": self.shared_store.stats(),
+        }
+        snap["per_worker"] = {
+            str(index): Metrics.from_state(state).snapshot()
+            for index, state in sorted(states.items())
+        }
+        return snap
+
+    def describe_extra(self) -> dict:
+        """Sharding/shm introspection merged into the TCP describe op."""
+        return {
+            "sharding": {
+                "workers": self.workers,
+                "alive_workers": sum(w.alive for w in self._workers),
+                "killed_workers": list(self.killed_workers),
+                "assignment": {
+                    name: int(index)
+                    for name, index in sorted(self._assignment.items())
+                },
+                "shm": self.shared_store.stats(),
+            }
+        }
+
+    # -- test hooks -----------------------------------------------------
+
+    def _hang_worker(self, index: int, seconds: float) -> None:
+        """Test-only: wedge a worker's event loop for ``seconds``."""
+        self._workers[index].send_q.put(("_test_hang", seconds))
+
+
+def _sender_loop(w: _Worker) -> None:
+    while True:
+        item = w.send_q.get()
+        if item is None:
+            return
+        try:
+            w.conn.send(item)
+        except (OSError, ValueError, BrokenPipeError):
+            return  # reader thread's EOF path fails the pending rids

@@ -111,10 +111,38 @@ class ModelServer:
         # after finishing whatever real batches precede it.
         for _ in self._worker_tasks:
             self._queue.put_nowait(None)
-        await asyncio.gather(*self._worker_tasks)
+        # return_exceptions: a crashed/cancelled worker task must not
+        # abort the drain of the others — whatever it left on the queue
+        # is failed explicitly below instead of being dropped silently.
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
         self._worker_tasks = []
+        self._drain_queue_failed()
         self._batchers = {}
         self._running = False
+
+    def _drain_queue_failed(self) -> None:
+        """Fail any micro-batches stranded on the queue at shutdown.
+
+        Normally empty: the sentinel protocol has every worker finish
+        the real batches ahead of its sentinel.  But if a worker task
+        died (bug, cancellation), its share of the queue would
+        otherwise be dropped with the futures left pending forever —
+        the accepted-requests-always-resolve contract says they must
+        resolve, so they resolve exceptionally with ``ServerClosed``.
+        """
+        while not self._queue.empty():
+            micro = self._queue.get_nowait()
+            if micro is None or not micro.requests:
+                continue
+            for req in micro.requests:
+                self._depth -= req.samples
+                self.metrics.record_failed(req.samples)
+                if not req.future.done():
+                    req.future.set_exception(
+                        ServerClosed(
+                            "server shut down before the request ran"
+                        )
+                    )
 
     async def __aenter__(self) -> "ModelServer":
         await self.start()
@@ -231,9 +259,12 @@ class ModelServer:
                 return
             if not micro.requests:  # empty flush artifact; ignore
                 continue
-            batch = micro.concat()
-            self.metrics.record_batch(batch.shape[0])
             try:
+                # concat/record inside the try: a failure anywhere in
+                # handling this batch fails its requests, never the
+                # worker task (a dead worker silently strands batches).
+                batch = micro.concat()
+                self.metrics.record_batch(batch.shape[0])
                 out = await asyncio.to_thread(micro.deployment.run_batch, batch)
             except BaseException as err:
                 for req in micro.requests:
@@ -241,6 +272,8 @@ class ModelServer:
                     self.metrics.record_failed(req.samples)
                     if not req.future.done():
                         req.future.set_exception(err)
+                if isinstance(err, asyncio.CancelledError):
+                    raise  # shutdown drains the rest of the queue
                 continue
             now = loop.time()
             offset = 0

@@ -1,0 +1,299 @@
+"""Shared-memory weight segments for sharded serving.
+
+:class:`SharedWeightStore` moves the compile-time weight images of a
+deployment — the dense GEMM matrices and the packed
+:class:`~repro.sparsity.nm.NMSparseMatrix` buffers (values, OFFSETS
+streams, decoded gather indices, ISA layouts) — into POSIX
+``multiprocessing.shared_memory`` segments so R worker replicas map
+*one* copy instead of each materialising its own.  The router owns the
+store in ``create`` mode; each worker process opens the same namespace
+in attach mode and, because plan compilation is deterministic, rebuilds
+byte-identical arrays whose storage is then swapped for read-only views
+of the shared segments.
+
+Segments are keyed by ``deployment-key / layer / layout / tag`` strings
+derived from the engine's plan-cache keys (see
+:meth:`repro.serve.router.RouterServer.register`); the key is hashed
+into the segment name so arbitrary key strings never hit the OS name
+length limit.  Layout inside a segment is deterministic: member arrays
+are placed in sorted-tag order at 64-byte-aligned offsets, so an
+attacher can derive every offset from the shapes/dtypes of its own
+locally-built arrays without a header.
+
+Lifecycle rules (learned the hard way from the 3.11 resource tracker):
+
+- the owner alone calls :meth:`unlink`; ``SharedMemory.unlink`` also
+  unregisters the name from the resource tracker, which spawned
+  children *share* with the parent — a worker must never unregister or
+  the owner's later unlink double-removes and the tracker logs noise;
+- :meth:`close` tolerates ``BufferError``: numpy views handed to live
+  execution plans keep the mapping exported, and on POSIX an unlinked
+  segment is freed when the last mapping goes away regardless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+from contextlib import contextmanager
+from dataclasses import replace
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["SharedWeightStore", "leaked_segments"]
+
+#: Byte alignment of member arrays inside a segment (cache-line).
+_ALIGN = 64
+
+_NAMESPACE_COUNTER = itertools.count()
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def leaked_segments(namespace: str) -> list[str]:
+    """Names of this namespace's segments still present in ``/dev/shm``.
+
+    Empty after a clean :meth:`SharedWeightStore.unlink` — the
+    leak-check assertion tests run at server shutdown.  Returns empty
+    on platforms without a ``/dev/shm`` view of POSIX shm.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    return sorted(p.name for p in root.glob(f"{namespace}.*"))
+
+
+class SharedWeightStore:
+    """One namespace of shared weight segments (owner or attacher).
+
+    ``create=True`` (the router) creates segments on :meth:`intern` and
+    owns their unlink; ``create=False`` (a worker) attaches to existing
+    segments and falls back to the caller's private arrays (counting an
+    ``attach_miss``) when a segment is absent — sharing is a memory
+    optimisation, never a correctness dependency.
+    """
+
+    def __init__(self, namespace: str | None = None, create: bool = True):
+        if namespace is None:
+            if not create:
+                raise ValueError("attach mode requires an explicit namespace")
+            namespace = (
+                f"repro{os.getpid():x}x{next(_NAMESPACE_COUNTER):x}"
+            )
+        self.namespace = namespace
+        self.create = create
+        #: key -> (SharedMemory, payload bytes)
+        self._segments: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+        #: key -> {tag: shared view} (dedupe re-interning the same key)
+        self._views: dict[str, dict[str, np.ndarray]] = {}
+        self.attach_misses = 0
+        self._capture_stack: list[list[str]] = []
+        self._unlinked = False
+
+    # -- naming ---------------------------------------------------------
+
+    def segment_name(self, key: str) -> str:
+        """OS-level segment name for a store key (hashed, length-safe)."""
+        digest = hashlib.sha1(key.encode()).hexdigest()[:16]
+        return f"{self.namespace}.{digest}"
+
+    # -- interning ------------------------------------------------------
+
+    @staticmethod
+    def _plan_offsets(
+        arrays: dict[str, np.ndarray]
+    ) -> tuple[list[tuple[str, int, np.ndarray]], int]:
+        placed = []
+        offset = 0
+        for tag in sorted(arrays):
+            arr = np.ascontiguousarray(arrays[tag])
+            offset = _align(offset)
+            placed.append((tag, offset, arr))
+            offset += arr.nbytes
+        return placed, offset
+
+    def intern(
+        self, key: str, arrays: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Move ``arrays`` into the segment for ``key``; return views.
+
+        Owner mode creates the segment and copies the data in; attach
+        mode maps the existing segment and returns views shaped/typed
+        like the (byte-identical, deterministically recompiled) local
+        arrays.  Re-interning a known key returns the cached views.
+        All returned views are read-only — packed weights are immutable
+        once published.
+        """
+        if self._unlinked:
+            raise RuntimeError("store already unlinked")
+        cached = self._views.get(key)
+        if cached is not None:
+            return dict(cached)
+        placed, total = self._plan_offsets(arrays)
+        name = self.segment_name(key)
+        if self.create:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(total, 1)
+            )
+        else:
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                self.attach_misses += 1
+                return dict(arrays)
+            if shm.size < total:
+                # Key collision / stale segment: never serve torn data.
+                shm.close()
+                self.attach_misses += 1
+                return dict(arrays)
+        views: dict[str, np.ndarray] = {}
+        for tag, offset, arr in placed:
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset
+            )
+            if self.create:
+                view[...] = arr
+            view.flags.writeable = False
+            views[tag] = view
+        self._segments[key] = (shm, total)
+        self._views[key] = views
+        for captured in self._capture_stack:
+            captured.append(key)
+        return dict(views)
+
+    def intern_layout(self, key: str, layout):
+        """Rehydrate a :class:`~repro.kernels.backend.PackedLayout`
+        around shared storage.
+
+        Every array the bound kernels touch at run time moves into the
+        segment: ``values`` / ``packed_offsets`` / ``gather_idx`` plus
+        the logical matrix's value/offset arrays (the SW layout aliases
+        ``values`` to ``matrix.values`` — the alias is preserved so the
+        bytes are stored once).  ``weight_bytes`` accounting is
+        untouched; only the storage moves.
+        """
+        from repro.sparsity.nm import NMSparseMatrix
+
+        matrix = layout.matrix
+        values_alias_matrix = (
+            matrix is not None and layout.values is matrix.values
+        )
+        arrays: dict[str, np.ndarray] = {}
+        if not values_alias_matrix:
+            arrays["values"] = layout.values
+        if layout.packed_offsets is not None:
+            arrays["packed_offsets"] = layout.packed_offsets
+        if layout.gather_idx is not None:
+            arrays["gather_idx"] = layout.gather_idx
+        if matrix is not None:
+            arrays["matrix_values"] = matrix.values
+            arrays["matrix_offsets"] = matrix.offsets
+        shared = self.intern(key, arrays)
+        if matrix is not None:
+            matrix = NMSparseMatrix(
+                shared["matrix_values"],
+                shared["matrix_offsets"],
+                matrix.fmt,
+                matrix.dense_cols,
+            )
+        return replace(
+            layout,
+            matrix=matrix,
+            values=(
+                shared["matrix_values"]
+                if values_alias_matrix
+                else shared["values"]
+            ),
+            packed_offsets=shared.get("packed_offsets"),
+            gather_idx=shared.get("gather_idx"),
+            shared_key=key,
+        )
+
+    @contextmanager
+    def capture(self):
+        """Record the keys created inside the block (for rollback).
+
+        Registration wraps plan compilation in this so an exception —
+        e.g. :class:`~repro.serve.errors.WeightBudgetExceeded` raised
+        *after* the plan was compiled and its segments published —
+        can :meth:`release` exactly that deployment's segments.
+        """
+        created: list[str] = []
+        self._capture_stack.append(created)
+        try:
+            yield created
+        finally:
+            self._capture_stack.remove(created)
+
+    def release(self, keys) -> None:
+        """Unlink and forget specific segments (owner only)."""
+        if not self.create:
+            raise RuntimeError("only the owning store may release segments")
+        for key in keys:
+            entry = self._segments.pop(key, None)
+            self._views.pop(key, None)
+            if entry is None:
+                continue
+            shm, _ = entry
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            try:
+                shm.close()
+            except BufferError:
+                pass  # plan views still exported; freed with the mapping
+
+    # -- introspection --------------------------------------------------
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self._segments)
+
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(self.segment_name(key) for key in self._segments)
+
+    def total_bytes(self) -> int:
+        """Payload bytes across segments (each counted once, shared)."""
+        return sum(size for _, size in self._segments.values())
+
+    def stats(self) -> dict:
+        return {
+            "namespace": self.namespace,
+            "segments": len(self._segments),
+            "bytes": self.total_bytes(),
+            "attach_misses": self.attach_misses,
+            "owner": self.create,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Best-effort close of the local handles (attacher shutdown)."""
+        for shm, _ in self._segments.values():
+            try:
+                shm.close()
+            except BufferError:
+                pass
+        self._segments = {}
+        self._views = {}
+
+    def unlink(self) -> None:
+        """Owner teardown: unlink every segment; idempotent.
+
+        ``SharedMemory.unlink`` also unregisters from the resource
+        tracker, which this process registered at create time — workers
+        never unregister (see module docstring).
+        """
+        if not self.create:
+            raise RuntimeError("only the owning store may unlink")
+        self.release(list(self._segments))
+        self._unlinked = True
+
+    def leaked(self) -> list[str]:
+        """Segments of this namespace still visible in ``/dev/shm``."""
+        return leaked_segments(self.namespace)

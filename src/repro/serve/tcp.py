@@ -35,12 +35,31 @@ from collections import deque
 
 import numpy as np
 
-from repro.serve.errors import BadRequest, ServeError
+from repro.serve.errors import (
+    BadRequest,
+    ServeError,
+    error_from_code,
+    wire_class,
+)
 from repro.serve.server import ModelServer
 
-__all__ = ["serve_tcp", "TcpServeClient"]
+__all__ = ["serve_tcp", "TcpServeClient", "snapshot_stats"]
 
 _MAX_LINE = 2**24  # 16 MiB of JSON per request is plenty for MCU-scale nets
+
+
+async def snapshot_stats(server) -> dict:
+    """``server.stats()``, awaited when needed.
+
+    :meth:`ModelServer.stats` is synchronous;
+    :meth:`~repro.serve.router.RouterServer.stats` round-trips the
+    worker processes and is a coroutine.  The TCP front-end (and the
+    loadgen CLI) serve both through this helper.
+    """
+    stats = server.stats()
+    if asyncio.iscoroutine(stats):
+        stats = await stats
+    return stats
 
 
 async def _handle_request(server: ModelServer, msg: dict) -> dict:
@@ -48,12 +67,12 @@ async def _handle_request(server: ModelServer, msg: dict) -> dict:
     if op == "ping":
         return {"ok": True, "pong": True}
     if op == "stats":
-        return {"ok": True, "stats": server.stats()}
+        return {"ok": True, "stats": await snapshot_stats(server)}
     if op == "models":
         return {"ok": True, "models": list(server.registry.names())}
     if op == "describe":
         registry = server.registry
-        return {
+        payload = {
             "ok": True,
             "models": {
                 name: {
@@ -74,6 +93,11 @@ async def _handle_request(server: ModelServer, msg: dict) -> dict:
                 "used_weight_bytes": registry.weight_bytes_used(),
             },
         }
+        # Sharded servers add routing/shared-memory introspection.
+        describe_extra = getattr(server, "describe_extra", None)
+        if describe_extra is not None:
+            payload.update(describe_extra())
+        return payload
     if op == "infer":
         model = msg.get("model")
         if not isinstance(model, str):
@@ -315,45 +339,10 @@ class TcpServeClient:
 
 
 def _error_from_code(resp: dict) -> ServeError:
-    from repro.serve import errors as E
-
     code = resp.get("error", "serve_error")
-    detail = resp.get("detail", code)
-    for cls in (
-        E.UnknownModel,
-        E.RequestTooLarge,
-        E.ServerOverloaded,
-        E.ServerClosed,
-        E.WeightBudgetExceeded,
-        E.BadRequest,
-    ):
-        if cls.code == code:
-            return _wire_class(cls)(detail)
-    return ServeError(detail)
+    return error_from_code(code, resp.get("detail", code))
 
 
-_WIRE_CACHE: dict[type, type] = {}
-
-
-def _wire_class(cls: type) -> type:
-    """A subclass of ``cls`` constructible from a bare message.
-
-    The structured ``__init__`` args of errors like
-    :class:`RequestTooLarge` don't travel over the wire, but ``except
-    RequestTooLarge`` style handlers should still work client-side —
-    so each error class gets a Remote* twin taking just the detail.
-    """
-    wire = _WIRE_CACHE.get(cls)
-    if wire is None:
-        wire = type(
-            f"Remote{cls.__name__}",
-            (cls,),
-            {
-                "__init__": lambda self, detail: Exception.__init__(
-                    self, detail
-                ),
-                "__str__": lambda self: self.args[0],
-            },
-        )
-        _WIRE_CACHE[cls] = wire
-    return wire
+# Back-compat alias: the Remote* twin factory moved to repro.serve.errors
+# so the sharded router can reuse it for worker -> router error frames.
+_wire_class = wire_class

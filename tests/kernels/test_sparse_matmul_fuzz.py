@@ -212,9 +212,23 @@ class TestKChunkConfig:
         yield
         set_k_chunk(None)
 
-    def test_default(self, monkeypatch):
+    def test_default(self, monkeypatch, tmp_path):
         monkeypatch.delenv(K_CHUNK_ENV, raising=False)
+        # Isolate from any host-level autotune cache (advisory tier).
+        monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "none.json"))
         assert k_chunk() == 32
+
+    def test_tuning_cache_consulted_below_env(self, monkeypatch, tmp_path):
+        from repro.kernels import tuning
+
+        monkeypatch.delenv(K_CHUNK_ENV, raising=False)
+        monkeypatch.setenv(tuning.TUNING_CACHE_ENV, str(tmp_path / "t.json"))
+        tuning.save_k_chunk(24)
+        assert k_chunk() == 24
+        monkeypatch.setenv(K_CHUNK_ENV, "7")
+        assert k_chunk() == 7  # env outranks the persisted winner
+        set_k_chunk(3)
+        assert k_chunk() == 3  # explicit override outranks both
 
     def test_env_var_read_per_call(self, monkeypatch):
         monkeypatch.setenv(K_CHUNK_ENV, "7")

@@ -83,3 +83,69 @@ class TestAccounting:
             _run(graph, requests=0)
         with pytest.raises(ValueError):
             _run(graph, requests=1, qps=0.0)
+
+
+class TestMixedModels:
+    def test_round_robin_over_model_list(self, graph):
+        """A model list cycles deterministically and the report carries
+        the joined model names."""
+
+        async def main():
+            server = ModelServer(policy=BatchPolicy(16, 2.0))
+            server.register("a", graph)
+            server.register("b", graph)
+            async with server:
+                report, outs = await run_loadgen(
+                    server,
+                    ["a", "b"],
+                    requests=10,
+                    qps=10_000.0,
+                    seed=3,
+                    collect_outputs=True,
+                )
+            return report, outs
+
+        report, outs = asyncio.run(main())
+        assert report.model == "a,b"
+        assert report.succeeded == 10
+        assert all(out is not None for out in outs)
+
+    def test_single_model_traffic_unchanged_by_multi_support(self, graph):
+        """A 1-element list sends byte-identical traffic to the plain
+        string form (seed offsets only kick in for later models)."""
+        from repro.serve.loadgen import mixed_schedule
+
+        shapes = {"m": (12, 12, 3)}
+        single = generate_inputs((12, 12, 3), 6, seed=9)
+        sched = mixed_schedule(shapes, ["m"], 6, seed=9)
+        for i, (name, x) in enumerate(sched):
+            assert name == "m"
+            assert np.array_equal(x, single[i])
+
+    def test_mixed_schedule_matches_run_loadgen_outputs(self, graph):
+        """Replaying mixed_schedule through the engine reproduces the
+        collected outputs bit-for-bit — the identity-check contract."""
+        from repro.engine.engine import InferenceEngine
+        from repro.serve.loadgen import mixed_schedule
+
+        async def main():
+            server = ModelServer(policy=BatchPolicy(16, 2.0))
+            server.register("a", graph)
+            server.register("b", graph)
+            async with server:
+                _, outs = await run_loadgen(
+                    server,
+                    ["a", "b"],
+                    requests=8,
+                    qps=10_000.0,
+                    seed=4,
+                    collect_outputs=True,
+                )
+            return outs
+
+        outs = asyncio.run(main())
+        shapes = {"a": (12, 12, 3), "b": (12, 12, 3)}
+        schedule = mixed_schedule(shapes, ["a", "b"], 8, seed=4)
+        engine = InferenceEngine()
+        for out, (name, x) in zip(outs, schedule):
+            assert np.array_equal(out, engine.run(graph, x))

@@ -127,3 +127,61 @@ class TestMetrics:
         metrics.record_batch(2)
         metrics.record_batch(6)
         assert metrics.mean_batch_size() == 4.0
+
+
+class TestMetricsMerge:
+    """Cross-worker aggregation: the sharded router's stats() path."""
+
+    def _worker(self, latencies_ms, rejected=None):
+        metrics = Metrics()
+        for ms in latencies_ms:
+            metrics.record_accepted(1)
+            metrics.record_batch(1)
+            metrics.record_completed(1, ms / 1e3)
+        for code in rejected or []:
+            metrics.record_rejected(code)
+        return metrics
+
+    def test_counters_and_histograms_add(self):
+        a = self._worker([1, 2], rejected=["server_overloaded"])
+        b = self._worker([3], rejected=["server_overloaded", "unknown_model"])
+        merged = Metrics.merge([a, b])
+        snap = merged.snapshot()
+        assert snap["requests"]["accepted"] == 3
+        assert snap["requests"]["completed"] == 3
+        assert snap["requests"]["rejected"] == {
+            "server_overloaded": 2,
+            "unknown_model": 1,
+        }
+        assert snap["batches"]["count"] == 3
+        assert snap["batches"]["histogram"] == {"1": 3}
+
+    def test_quantiles_computed_over_pooled_reservoirs(self):
+        # Worker quantiles alone would be 25.5 / 75.5; the pooled p50
+        # over 1..100 must land near 50 — reservoirs merge, not
+        # quantiles of quantiles.
+        a = self._worker(range(1, 51))
+        b = self._worker(range(51, 101))
+        q = Metrics.merge([a, b]).latency_quantiles()
+        assert q["p50_ms"] == pytest.approx(50.5, abs=1.0)
+        assert q["p99_ms"] == pytest.approx(99.01, abs=1.0)
+
+    def test_merge_accepts_state_dicts(self):
+        # The router merges pickled state() payloads from workers, not
+        # live objects — and the merged window sums the parts' windows
+        # so nothing is dropped.
+        parts = [self._worker([5]).state(), self._worker([7])]
+        merged = Metrics.merge(parts)
+        assert merged.requests_completed == 2
+        assert merged._latencies.maxlen == 20_000
+
+    def test_from_state_round_trips_snapshot(self):
+        metrics = self._worker([1, 2, 3], rejected=["bad_request"])
+        rebuilt = Metrics.from_state(metrics.state())
+        assert rebuilt.snapshot() == metrics.snapshot()
+
+    def test_state_is_json_safe(self):
+        import json
+
+        state = self._worker([1.5]).state()
+        assert json.loads(json.dumps(state)) == state

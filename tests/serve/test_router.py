@@ -1,0 +1,276 @@
+"""RouterServer: cross-process contract, crash recovery, clean shutdown.
+
+Worker processes are spawned for real (spawn context), so each test
+builds small deployments to keep compile time down.  The typed-error,
+bit-identity, and drain contracts asserted here are the single-process
+``ModelServer`` contracts — preserved across the process boundary.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import resnet_style_graph
+from repro.serve.batcher import BatchPolicy
+from repro.serve.errors import (
+    BadRequest,
+    RequestTooLarge,
+    ServerClosed,
+    ServerOverloaded,
+    UnknownModel,
+    WorkerCrashed,
+)
+from repro.serve.router import RouterServer
+from repro.serve.server import ModelServer
+from repro.serve.shm import leaked_segments
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return resnet_style_graph()
+
+
+def make_inputs(n, seed=0):
+    return make_rng(seed).normal(size=(n, 12, 12, 3)).astype(np.float32)
+
+
+async def _wait_for(predicate, timeout=15.0, interval=0.05):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError("condition not reached before timeout")
+        await asyncio.sleep(interval)
+
+
+class TestEndToEnd:
+    def test_bit_identity_stats_and_clean_unlink(self, graph):
+        """Mixed dense/sparse traffic over two workers: responses are
+        bit-identical to single-process serving, stats aggregate with
+        per-worker views, and no shm segment survives shutdown."""
+        from repro.serve.demo import demo_registrations
+
+        regs = [
+            r
+            for r in demo_registrations()
+            if r[0] in ("resnet-int8", "resnet-sparse-isa")
+        ]
+        xs = make_inputs(12, seed=5)
+        names = [regs[i % 2][0] for i in range(12)]
+
+        async def sharded():
+            router = RouterServer(workers=2, threads_per_worker=2)
+            for name, g, mode, kw in regs:
+                router.register(name, g, mode, **kw)
+            namespace = router.shared_store.namespace
+            async with router:
+                outs = await asyncio.gather(
+                    *[router.submit(names[i], xs[i]) for i in range(12)]
+                )
+                stats = await router.stats()
+                extra = router.describe_extra()
+            return outs, stats, extra, namespace
+
+        async def single():
+            server = ModelServer()
+            for name, g, mode, kw in regs:
+                server.register(name, g, mode, **kw)
+            async with server:
+                return await asyncio.gather(
+                    *[server.submit(names[i], xs[i]) for i in range(12)]
+                )
+
+        outs, stats, extra, namespace = asyncio.run(sharded())
+        refs = asyncio.run(single())
+        for out, ref in zip(outs, refs):
+            assert np.array_equal(out, ref)
+        # Aggregate snapshot keeps the single-process shape (the
+        # loadgen CLI consistency checks read these keys verbatim).
+        assert stats["requests"]["completed"] == 12
+        assert stats["queue_depth"] == 0
+        assert stats["batches"]["count"] >= 1
+        assert stats["server"]["sharded"] is True
+        assert stats["server"]["workers"] == 2
+        assert sorted(stats["per_worker"]) == ["0", "1"]
+        # Both workers actually served (one deployment each).
+        per_worker_done = [
+            stats["per_worker"][i]["requests"]["completed"] for i in "01"
+        ]
+        assert all(done > 0 for done in per_worker_done)
+        assert sum(per_worker_done) == 12
+        # Shared weights: one namespace, both models interned, and the
+        # segments are gone after shutdown.
+        assert extra["sharding"]["shm"]["segments"] > 0
+        assert sorted(extra["sharding"]["assignment"]) == [
+            "resnet-int8",
+            "resnet-sparse-isa",
+        ]
+        assert leaked_segments(namespace) == []
+
+    def test_weight_budget_enforced_once_globally(self, graph):
+        """A too-small budget raises the typed rejection at register
+        time and rolls back that deployment's shm segments."""
+        from repro.serve.errors import WeightBudgetExceeded
+
+        router = RouterServer(workers=2, max_weight_bytes=16)
+        try:
+            with pytest.raises(WeightBudgetExceeded):
+                router.register("m", graph, "float")
+            assert router.shared_store.keys() == ()
+        finally:
+            router.shared_store.unlink()
+        assert leaked_segments(router.shared_store.namespace) == []
+
+
+class TestTypedErrors:
+    def test_admission_errors_preserved(self, graph):
+        async def run():
+            router = RouterServer(
+                workers=1,
+                policy=BatchPolicy(max_batch_size=4),
+                max_queue_depth=4,
+            )
+            router.register("m", graph, "float")
+            async with router:
+                with pytest.raises(UnknownModel):
+                    router.submit("nope", make_inputs(1)[0])
+                with pytest.raises(BadRequest):
+                    router.submit("m", np.zeros((3, 3), np.float32))
+                with pytest.raises(RequestTooLarge):
+                    router.submit("m", make_inputs(5))
+                first = router.submit("m", make_inputs(4))
+                with pytest.raises(ServerOverloaded):
+                    router.submit("m", make_inputs(1)[0])
+                await first
+                # Registration is pre-start only on the sharded server.
+                with pytest.raises(RuntimeError):
+                    router.register("late", graph, "float")
+            with pytest.raises(ServerClosed):
+                router.submit("m", make_inputs(1)[0])
+
+        asyncio.run(run())
+
+    def test_rejections_counted_in_stats(self, graph):
+        async def run():
+            router = RouterServer(workers=1)
+            router.register("m", graph, "float")
+            async with router:
+                with pytest.raises(UnknownModel):
+                    router.submit("nope", make_inputs(1)[0])
+                return await router.stats()
+
+        stats = asyncio.run(run())
+        assert stats["requests"]["rejected"] == {"unknown_model": 1}
+
+
+class TestCrashRecovery:
+    def test_inflight_fails_typed_and_survivors_take_over(self, graph):
+        """Kill a wedged worker mid-request: its in-flight request
+        fails with WorkerCrashed, its deployments re-route to the
+        survivor, and later requests still serve bit-identically."""
+
+        async def run():
+            router = RouterServer(workers=2, threads_per_worker=1)
+            router.register("a", graph, "float")
+            router.register("b", graph, "float")
+            async with router:
+                victim = router._assignment["a"]
+                survivor = 1 - victim
+                # Wedge the victim's event loop, then land a request on
+                # it — the request cannot complete.
+                router._hang_worker(victim, 60.0)
+                await asyncio.sleep(0.3)
+                doomed = router.submit("a", make_inputs(1)[0])
+                router._workers[victim].proc.kill()
+                with pytest.raises(WorkerCrashed):
+                    await asyncio.wait_for(doomed, timeout=15.0)
+                await _wait_for(
+                    lambda: not router._workers[victim].alive
+                )
+                # Deployment "a" re-routed to the survivor.
+                assert router._assignment["a"] == survivor
+                out = await asyncio.wait_for(
+                    router.infer("a", make_inputs(1)[0]), timeout=15.0
+                )
+                stats = await router.stats()
+                assert stats["server"]["alive_workers"] == 1
+                assert stats["requests"]["failed"] >= 1
+            return out, router.shared_store.namespace
+
+        out, namespace = asyncio.run(run())
+
+        async def reference():
+            server = ModelServer()
+            server.register("a", graph, "float")
+            async with server:
+                return await server.infer("a", make_inputs(1)[0])
+
+        assert np.array_equal(out, asyncio.run(reference()))
+        assert leaked_segments(namespace) == []
+
+    def test_all_workers_dead_raises_sync(self, graph):
+        async def run():
+            router = RouterServer(workers=1)
+            router.register("m", graph, "float")
+            async with router:
+                router._workers[0].proc.kill()
+                await _wait_for(lambda: not router._workers[0].alive)
+                with pytest.raises(WorkerCrashed):
+                    router.submit("m", make_inputs(1)[0])
+
+        asyncio.run(run())
+
+
+class TestShutdown:
+    def test_accepted_requests_drain_before_close(self, graph):
+        async def run():
+            router = RouterServer(workers=2)
+            router.register("m", graph, "float")
+            async with router:
+                futs = [
+                    router.submit("m", x) for x in make_inputs(8, seed=2)
+                ]
+            # __aexit__ drained: every accepted request resolved.
+            assert all(f.done() for f in futs)
+            return [f.result() for f in futs]
+
+        outs = asyncio.run(run())
+        assert len(outs) == 8
+
+    def test_hung_worker_killed_and_reported_never_orphaned(self, graph):
+        async def run():
+            router = RouterServer(workers=1, drain_timeout_s=0.5)
+            router.register("m", graph, "float")
+            await router.start()
+            proc = router._workers[0].proc
+            pid = proc.pid
+            router._hang_worker(0, 120.0)
+            await asyncio.sleep(0.3)  # let the worker eat the frame
+            await asyncio.wait_for(router.shutdown(), timeout=30.0)
+            assert router.killed_workers == [0]
+            return pid, router.shared_store.namespace
+
+        pid, namespace = asyncio.run(run())
+        # The killed worker is really gone (no orphan process) ...
+        with pytest.raises(OSError):
+            os.kill(pid, 0)
+        # ... and its shared segments were unlinked regardless.
+        assert leaked_segments(namespace) == []
+
+    def test_stats_before_start_and_restartless_contract(self, graph):
+        """stats() works pre-start (running: False) and shutdown on a
+        never-started router still releases its segments."""
+
+        async def run():
+            router = RouterServer(workers=1)
+            router.register("m", graph, "float")
+            stats = await router.stats()
+            assert stats["server"]["running"] is False
+            await router.shutdown()
+            return router.shared_store.namespace
+
+        namespace = asyncio.run(run())
+        assert leaked_segments(namespace) == []

@@ -163,6 +163,36 @@ class TestShutdown:
 
         asyncio.run(run())
 
+    def test_dead_worker_tasks_cannot_drop_queued_requests(self, graph):
+        """Regression for the ServerClosed race: if the worker tasks
+        die (cancellation, bug) with requests still queued, shutdown
+        must resolve those futures typed — never leave them pending or
+        drop them silently."""
+
+        async def run():
+            policy = BatchPolicy(max_batch_size=64, max_wait_ms=10_000.0)
+            server = ModelServer(policy=policy, workers=2)
+            server.register("m", graph)
+            await server.start()
+            futs = [server.submit("m", zeros(server)) for _ in range(4)]
+            # Kill the entire worker pool out from under the queue.
+            for task in server._worker_tasks:
+                task.cancel()
+            await asyncio.wait_for(server.shutdown(), timeout=5.0)
+            return futs, server.stats()
+
+        futs, snap = asyncio.run(run())
+        assert all(f.done() for f in futs)
+        resolved = {type(f.exception()).__name__ for f in futs if f.exception()}
+        completed = sum(1 for f in futs if f.exception() is None)
+        # Every accepted request resolved: either it ran before the
+        # cancellation landed, or it failed typed at shutdown.
+        assert resolved <= {"ServerClosed", "CancelledError"}
+        assert completed + sum(
+            1 for f in futs if f.exception() is not None
+        ) == 4
+        assert snap["queue_depth"] == 0
+
     def test_restart_after_shutdown(self, graph):
         async def run():
             server = ModelServer(policy=BatchPolicy(4, 1.0))

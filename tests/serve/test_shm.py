@@ -1,0 +1,151 @@
+"""SharedWeightStore: intern/attach round-trips, rollback, leak checks."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.backend import (
+    get_backend,
+    intern_layout,
+    layout_interning,
+)
+from repro.serve.shm import SharedWeightStore, leaked_segments
+from repro.sparsity.nm import FORMAT_1_4, NMSparseMatrix
+from repro.sparsity.pruning import nm_prune
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def store():
+    s = SharedWeightStore(create=True)
+    yield s
+    s.unlink()
+    assert s.leaked() == []
+
+
+def _arrays():
+    rng = make_rng(0)
+    return {
+        "a": rng.normal(size=(16, 8)).astype(np.float32),
+        "b": (rng.integers(-100, 100, size=(32,))).astype(np.int8),
+    }
+
+
+class TestIntern:
+    def test_round_trip_bit_identical(self, store):
+        arrays = _arrays()
+        views = store.intern("k1", arrays)
+        for tag, arr in arrays.items():
+            assert np.array_equal(views[tag], arr)
+            assert views[tag].dtype == arr.dtype
+
+    def test_views_read_only(self, store):
+        views = store.intern("k1", _arrays())
+        with pytest.raises(ValueError):
+            views["a"][0, 0] = 1.0
+
+    def test_attacher_maps_owner_segments(self, store):
+        arrays = _arrays()
+        store.intern("k1", arrays)
+        attach = SharedWeightStore(store.namespace, create=False)
+        try:
+            views = attach.intern("k1", arrays)
+            for tag, arr in arrays.items():
+                assert np.array_equal(views[tag], arr)
+            assert attach.attach_misses == 0
+            assert attach.stats()["owner"] is False
+        finally:
+            attach.close()
+
+    def test_attach_miss_falls_back_private(self, store):
+        attach = SharedWeightStore(store.namespace, create=False)
+        try:
+            arrays = _arrays()
+            views = attach.intern("never-published", arrays)
+            for tag, arr in arrays.items():
+                assert np.array_equal(views[tag], arr)
+            assert attach.attach_misses == 1
+        finally:
+            attach.close()
+
+    def test_intern_is_cached_per_key(self, store):
+        arrays = _arrays()
+        v1 = store.intern("k1", arrays)
+        v2 = store.intern("k1", arrays)
+        assert v1["a"] is v2["a"]
+        assert store.stats()["segments"] == 1
+
+    def test_total_bytes_counts_payload_once(self, store):
+        arrays = _arrays()
+        store.intern("k1", arrays)
+        store.intern("k1", arrays)
+        payload = sum(a.nbytes for a in arrays.values())
+        assert store.total_bytes() >= payload
+
+
+class TestCaptureRollback:
+    def test_release_unlinks_only_captured_keys(self, store):
+        store.intern("keep", _arrays())
+        with store.capture() as created:
+            store.intern("rollback", _arrays())
+        assert created == ["rollback"]
+        store.release(created)
+        assert "keep" in store.keys()
+        assert "rollback" not in store.keys()
+        # The keep segment is still attachable; the rolled-back one not.
+        attach = SharedWeightStore(store.namespace, create=False)
+        try:
+            attach.intern("keep", _arrays())
+            assert attach.attach_misses == 0
+            attach.intern("rollback", _arrays())
+            assert attach.attach_misses == 1
+        finally:
+            attach.close()
+
+    def test_unlink_leaves_no_segments(self):
+        store = SharedWeightStore(create=True)
+        store.intern("k1", _arrays())
+        namespace = store.namespace
+        store.unlink()
+        assert leaked_segments(namespace) == []
+
+
+class TestLayoutInterning:
+    def _sparse_layout(self):
+        rng = make_rng(1)
+        w = (rng.normal(size=(16, 32)) * 20).astype(np.float32)
+        matrix = NMSparseMatrix.from_dense(
+            nm_prune(w, FORMAT_1_4), FORMAT_1_4
+        )
+        return get_backend("sparse-sw").pack(matrix, None, "conv")
+
+    def test_intern_layout_round_trip(self, store):
+        layout = self._sparse_layout()
+        shared = store.intern_layout("dep/sw", layout)
+        assert shared.shared_key == "dep/sw"
+        assert np.array_equal(shared.values, layout.values)
+        assert np.array_equal(shared.matrix.values, layout.matrix.values)
+        assert np.array_equal(shared.matrix.offsets, layout.matrix.offsets)
+        assert shared.matrix.fmt == layout.matrix.fmt
+
+    def test_thread_local_hook_identity_without_store(self):
+        layout = self._sparse_layout()
+        assert intern_layout("dep/sw", layout) is layout
+
+    def test_thread_local_hook_interns_with_store(self, store):
+        layout = self._sparse_layout()
+        with layout_interning(store, "pre"):
+            shared = intern_layout("dep/sw", layout)
+        assert shared.shared_key == "pre/dep/sw"
+        assert np.array_equal(shared.values, layout.values)
+
+    def test_attacher_rebuilds_same_layout(self, store):
+        layout = self._sparse_layout()
+        store.intern_layout("dep/sw", layout)
+        attach = SharedWeightStore(store.namespace, create=False)
+        try:
+            twin = attach.intern_layout("dep/sw", layout)
+            assert attach.attach_misses == 0
+            assert np.array_equal(twin.values, layout.values)
+            assert np.array_equal(twin.matrix.offsets, layout.matrix.offsets)
+        finally:
+            attach.close()

@@ -151,3 +151,44 @@ class TestErrors:
         for resp in (no_model, no_input, bad_op):
             assert resp["ok"] is False
             assert resp["error"] == "bad_request"
+
+
+class TestShardedFrontend:
+    """The same TCP protocol served by a RouterServer backend."""
+
+    def test_router_behind_tcp(self, graph):
+        from repro.serve.router import RouterServer
+
+        x = np.linspace(-1, 1, 12 * 12 * 3, dtype=np.float32).reshape(
+            12, 12, 3
+        )
+
+        async def run():
+            router = RouterServer(workers=2, policy=BatchPolicy(8, 2.0))
+            router.register("m", graph, "float")
+            async with router:
+                tcp = await serve_tcp(router, port=0)
+                port = tcp.sockets[0].getsockname()[1]
+                try:
+                    async with TcpServeClient(port=port) as client:
+                        out = await client.infer("m", x)
+                        stats = await client.stats()
+                        resp = await client.request({"op": "describe"})
+                        with pytest.raises(UnknownModel):
+                            await client.infer("nope", x)
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+            return out, stats, resp
+
+        out, stats, resp = asyncio.run(run())
+        direct = InferenceEngine().run(graph, x)
+        assert np.array_equal(out, direct)
+        # The coroutine stats() path aggregated the worker processes.
+        assert stats["server"]["sharded"] is True
+        assert stats["requests"]["completed"] == 1
+        # describe keeps the per-model payload and adds sharding info.
+        assert resp["models"]["m"]["input_shape"] == [12, 12, 3]
+        assert resp["sharding"]["workers"] == 2
+        assert resp["sharding"]["assignment"] == {"m": 0}
+        assert resp["sharding"]["shm"]["segments"] > 0

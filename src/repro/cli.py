@@ -20,6 +20,8 @@ Usage::
     python -m repro serve [--host H] [--port P] [--workers N] [--max-weight-mb M]
     python -m repro loadgen [--requests N] [--qps Q] [--connect H:P]
     python -m repro loadgen --workers 2 --model A,B [--verify-identity]
+    python -m repro loadgen --workers 2 --trace out.json [--stats-json S]
+    python -m repro perfgate [--write] [--threshold PCT] [--window N]
 
 Each command prints the corresponding table(s) with the paper's values
 alongside where applicable.  ``table2 --verify`` additionally runs a
@@ -148,12 +150,18 @@ def _cmd_extensions(args) -> int:
     return 0
 
 
+def _write_trace(tracer, path: str | None, command: str) -> None:
+    """Write a CLI run's trace file (no-op when tracing is off)."""
+    if tracer is None or not path:
+        return
+    from repro.trace import run_manifest
+
+    count = tracer.write(path, manifest=run_manifest({"command": command}))
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"trace: wrote {count} events{dropped} to {path}")
+
+
 def _cmd_engine(args) -> int:
-    import numpy as np
-
-    from repro.engine.bench import measure_throughput, resnet_style_graph
-    from repro.utils.tables import Table
-
     if args.batch < 1:
         print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
         return 2
@@ -176,18 +184,38 @@ def _cmd_engine(args) -> int:
             which = "--autotune-k-chunk" if args.autotune_k_chunk else "--select-fmt"
             print(f"error: --model is not supported with {which}", file=sys.stderr)
             return 2
+    tracer = None
+    args.engine = None
+    if args.trace:
+        from repro.engine.engine import InferenceEngine
+        from repro.trace import Tracer
+
+        tracer = Tracer(process_name="repro-engine")
+        args.engine = InferenceEngine(trace=tracer)
     if args.autotune_k_chunk:
-        return _engine_autotune(args)
-    if args.select_fmt:
+        rc = _engine_autotune(args)
+    elif args.select_fmt:
         if not args.sparse:
             print("error: --select-fmt requires --sparse", file=sys.stderr)
             return 2
-        return _engine_select(args)
-    if args.sparse:
-        return _engine_sparse(args)
-    if args.model != "demo":
+        rc = _engine_select(args)
+    elif args.sparse:
+        rc = _engine_sparse(args)
+    elif args.model != "demo":
         print("error: --model requires --sparse", file=sys.stderr)
         return 2
+    else:
+        rc = _engine_dense(args)
+    _write_trace(tracer, args.trace, "engine")
+    return rc
+
+
+def _engine_dense(args) -> int:
+    import numpy as np
+
+    from repro.engine.bench import measure_throughput, resnet_style_graph
+    from repro.utils.tables import Table
+
     graph = resnet_style_graph()
     if args.mode == "int8":
         # Attach quantisation metadata so the int8 benchmark exercises
@@ -196,7 +224,9 @@ def _cmd_engine(args) -> int:
 
         rng = np.random.default_rng(0)
         quantize_graph(graph, [rng.normal(size=(12, 12, 3)).astype(np.float32)])
-    result = measure_throughput(graph, batch=args.batch, mode=args.mode)
+    result = measure_throughput(
+        graph, batch=args.batch, mode=args.mode, engine=args.engine
+    )
     table = Table(
         f"Engine throughput on {result.graph_name} ({result.mode}, "
         f"batch {result.batch})",
@@ -286,6 +316,7 @@ def _engine_sparse(args) -> int:
         mode=args.mode,
         backend=args.backend,
         graph=_sparse_model_graph(args, fmt),
+        engine=getattr(args, "engine", None),
     )
     table = Table(
         f"Sparse vs dense {result.mode} plans on {result.graph_name} "
@@ -396,7 +427,9 @@ def _engine_autotune(args) -> int:
     from repro.kernels.tuning import save_k_chunk
     from repro.utils.tables import Table
 
-    result = autotune_k_chunk(batch=args.batch, mode=args.mode)
+    result = autotune_k_chunk(
+        batch=args.batch, mode=args.mode, engine=getattr(args, "engine", None)
+    )
     table = Table(
         f"Gather k-chunk sweep on {result.graph_name} ({result.mode}, "
         f"batch {result.batch}, forced gather)",
@@ -471,7 +504,10 @@ def _engine_select(args) -> int:
     from repro.utils.tables import Table
 
     result = measure_format_selection(
-        budget=args.budget, batch=args.batch, mode=args.mode
+        budget=args.budget,
+        batch=args.batch,
+        mode=args.mode,
+        engine=getattr(args, "engine", None),
     )
     table = Table(
         f"Format selection on {result.graph_name} ({result.mode}, "
@@ -538,6 +574,12 @@ def _cmd_serve(args) -> int:
     from repro.serve.errors import WeightBudgetExceeded
     from repro.serve.tcp import serve_tcp
 
+    tracer = None
+    if args.trace:
+        from repro.trace import Tracer
+
+        tracer = Tracer(process_name="repro-serve")
+
     async def _serve() -> None:
         server = demo_server(
             policy=BatchPolicy(args.max_batch_size, args.max_wait_ms),
@@ -546,6 +588,7 @@ def _cmd_serve(args) -> int:
             sparse=not args.no_sparse,
             max_weight_bytes=_weight_budget_bytes(args),
             processes=args.workers,
+            tracer=tracer,
         )
         async with server:
             tcp = await serve_tcp(server, args.host, args.port)
@@ -580,6 +623,7 @@ def _cmd_serve(args) -> int:
         return 1
     except KeyboardInterrupt:
         print("shutting down")
+    _write_trace(tracer, args.trace, "serve")
     return 0
 
 
@@ -638,6 +682,17 @@ def _cmd_loadgen(args) -> int:
     if not models:
         print("error: --model must name at least one deployment", file=sys.stderr)
         return 2
+    if args.connect and args.trace:
+        print(
+            "error: --trace needs the in-process server (drop --connect)",
+            file=sys.stderr,
+        )
+        return 2
+    tracer = None
+    if args.trace:
+        from repro.trace import Tracer
+
+        tracer = Tracer(process_name="repro-loadgen")
     identity_failures: list[str] = []
 
     async def _in_process():
@@ -651,6 +706,7 @@ def _cmd_loadgen(args) -> int:
             sparse=not args.no_sparse,
             max_weight_bytes=_weight_budget_bytes(args),
             processes=args.workers,
+            tracer=tracer,
         )
         async with server:
             report, outputs = await run_loadgen(
@@ -728,6 +784,22 @@ def _cmd_loadgen(args) -> int:
         table.add_row(metric=metric, value=value)
     print(table.render())
 
+    _write_trace(tracer, args.trace, "loadgen")
+    if args.stats_json:
+        import json
+
+        from repro.trace import run_manifest
+
+        payload = {
+            "report": report.to_dict(),
+            "stats": stats,
+            "manifest": run_manifest({"command": "loadgen"}),
+        }
+        with open(args.stats_json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"stats: wrote report + metrics snapshot to {args.stats_json}")
+
     # Smoke-check (CI gate): every request served, counters consistent.
     problems = []
     if report.succeeded != report.requests:
@@ -767,6 +839,92 @@ def _cmd_loadgen(args) -> int:
     for problem in problems:
         print(f"error: {problem}", file=sys.stderr)
     return 1 if problems else 0
+
+
+def _cmd_perfgate(args) -> int:
+    """Merge BENCH_*.json into TREND.json and gate on QPS regressions.
+
+    Exit codes: 0 — every series within threshold (or trivially
+    passing with a single point); 1 — at least one series regressed;
+    2 — nothing to gate (no trend file and no BENCH results).
+    """
+    from repro.trace.trend import (
+        DEFAULT_THRESHOLD_PCT,
+        DEFAULT_WINDOW,
+        evaluate_trend,
+        load_trend,
+        merge_bench_results,
+        save_trend,
+    )
+    from repro.utils.tables import Table
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD_PCT
+    )
+    window = args.window if args.window is not None else DEFAULT_WINDOW
+    if threshold <= 0:
+        print("error: --threshold must be > 0", file=sys.stderr)
+        return 2
+    if window < 1:
+        print("error: --window must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        trend = load_trend(args.trend)
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    try:
+        added = merge_bench_results(trend, args.results_dir)
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if not trend.get("series"):
+        print(
+            f"error: nothing to gate — no series in {args.trend} and no "
+            f"BENCH_*.json under {args.results_dir} "
+            "(run the perf benchmarks first)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.write:
+        save_trend(trend, args.trend)
+    verdicts = evaluate_trend(trend, threshold_pct=threshold, window=window)
+    table = Table(
+        f"Perf gate: latest QPS vs trailing median of {window} "
+        f"(threshold -{threshold:g}%)",
+        ["series", "points", "latest qps", "baseline qps", "change", "verdict"],
+    )
+    for v in verdicts:
+        table.add_row(
+            series=v.series,
+            points=v.points,
+            **{
+                "latest qps": f"{v.latest_qps:.1f}",
+                "baseline qps": (
+                    f"{v.baseline_qps:.1f}" if v.baseline_qps is not None else "-"
+                ),
+                "change": (
+                    f"{v.change_pct:+.1f}%" if v.change_pct is not None else "-"
+                ),
+                "verdict": "REGRESSED" if v.regressed else "ok",
+            },
+        )
+    print(table.render())
+    merged = f"merged {added} new point(s)" + (
+        f" into {args.trend}" if args.write else " (in memory; use --write)"
+    )
+    print(merged)
+    regressed = [v for v in verdicts if v.regressed]
+    for v in regressed:
+        print(
+            f"error: {v.series} regressed {v.change_pct:.1f}% "
+            f"({v.latest_qps:.1f} qps vs baseline {v.baseline_qps:.1f})",
+            file=sys.stderr,
+        )
+    if regressed:
+        return 1
+    print(f"perf gate: {len(verdicts)} series within threshold: OK")
+    return 0
 
 
 def _cmd_accuracy(args) -> int:
@@ -892,6 +1050,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="gather chunk size (output channels per decimation chunk); "
         "overrides the REPRO_K_CHUNK environment variable for this run",
     )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a chrome-tracing timeline of the run (per-layer "
+        "kernel spans, plan compiles, cache hits) to PATH; open in "
+        "Perfetto or chrome://tracing",
+    )
     p.set_defaults(func=_cmd_engine)
 
     p = sub.add_parser(
@@ -929,6 +1095,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="weight-memory budget (MiB) for the registry; the server "
         "refuses to start when the demo deployments' cumulative "
         "plan.weight_bytes() exceed it (exit code 1)",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a chrome-tracing timeline (request/batch spans, "
+        "queue-depth counters, per-worker-process tracks) to PATH on "
+        "shutdown",
     )
     p.set_defaults(func=_cmd_serve)
 
@@ -986,7 +1160,60 @@ def build_parser() -> argparse.ArgumentParser:
         "exits 1 with the typed rejection when the demo deployments "
         "do not fit (the CI weight-budget smoke)",
     )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="in-process server only: write a chrome-tracing timeline "
+        "of the run (request/queue-wait/batch spans, per-layer kernel "
+        "spans, queue-depth counters; with --workers >= 2, one track "
+        "per worker process) to PATH",
+    )
+    p.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="also dump the loadgen report, server metrics snapshot, "
+        "and run manifest as JSON to PATH",
+    )
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "perfgate",
+        help="merge BENCH_*.json into TREND.json and gate for regressions",
+    )
+    p.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory holding the BENCH_*.json files (default: "
+        "benchmarks/results)",
+    )
+    p.add_argument(
+        "--trend",
+        default="benchmarks/results/TREND.json",
+        help="TREND.json accumulator to merge into and gate against",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="allowed QPS drop in percent vs the trailing baseline "
+        "(default: 30)",
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="trailing points the baseline median is computed over "
+        "(default: 5)",
+    )
+    p.add_argument(
+        "--write",
+        action="store_true",
+        help="persist the merged trend back to --trend (otherwise the "
+        "merge is evaluated in memory only)",
+    )
+    p.set_defaults(func=_cmd_perfgate)
 
     return parser
 

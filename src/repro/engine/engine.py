@@ -18,6 +18,7 @@ execute as a batch of one, which keeps both paths on the same kernels
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from typing import TYPE_CHECKING
 
@@ -108,7 +109,7 @@ def _plan_key(
 class InferenceEngine:
     """Compile-once, run-batched graph execution with a plan cache."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace=None) -> None:
         self._plans: "weakref.WeakKeyDictionary[Graph, dict[str, tuple[ExecutionPlan, tuple]]]" = (
             weakref.WeakKeyDictionary()
         )
@@ -120,6 +121,15 @@ class InferenceEngine:
         self._lock = threading.Lock()
         #: Number of actual plan compilations (cache misses).
         self.compile_count = 0
+        #: Optional :class:`repro.trace.Tracer`: plan-compile spans,
+        #: cache hit/miss instants, and per-layer kernel spans on every
+        #: execute.  ``None`` (the default) keeps the hot path exactly
+        #: as untraced — the attribute is read once per run and the
+        #: traced branches are never entered.
+        self.tracer = trace
+        self._cache_hits = 0
+        self._compile_time_s = 0.0
+        self._per_key_stats: dict[str, dict] = {}
 
     # -- plan management ------------------------------------------------
 
@@ -203,9 +213,26 @@ class InferenceEngine:
             entry = per_graph.get(key)
             if entry is not None and entry[1] != sig:
                 entry = None  # quantisation metadata changed: stale plan
+            tracer = self.tracer
             if entry is None:
-                entry = (
-                    compile_plan(
+                started = time.perf_counter()
+                if tracer is not None and tracer.enabled:
+                    with tracer.span(
+                        "compile_plan",
+                        cat="engine",
+                        args={"graph": graph.name, "key": key},
+                    ):
+                        plan = compile_plan(
+                            graph,
+                            mode,
+                            sparse=sparse,
+                            select_fmt=select_fmt,
+                            accuracy_budget=accuracy_budget,
+                            backend=backend,
+                            accum_dtype=accum_dtype,
+                        )
+                else:
+                    plan = compile_plan(
                         graph,
                         mode,
                         sparse=sparse,
@@ -213,12 +240,54 @@ class InferenceEngine:
                         accuracy_budget=accuracy_budget,
                         backend=backend,
                         accum_dtype=accum_dtype,
-                    ),
-                    sig,
-                )
+                    )
+                elapsed = time.perf_counter() - started
+                entry = (plan, sig)
                 per_graph[key] = entry
                 self.compile_count += 1
+                self._compile_time_s += elapsed
+                stats = self._key_stats(key)
+                stats["misses"] += 1
+                stats["compile_time_s"] += elapsed
+                if tracer is not None and tracer.enabled:
+                    tracer.instant(
+                        "plan_cache_miss",
+                        cat="engine",
+                        args={"graph": graph.name, "key": key},
+                    )
+            else:
+                self._cache_hits += 1
+                self._key_stats(key)["hits"] += 1
+                if tracer is not None and tracer.enabled:
+                    tracer.instant(
+                        "plan_cache_hit",
+                        cat="engine",
+                        args={"graph": graph.name, "key": key},
+                    )
             return entry[0]
+
+    def _key_stats(self, key: str) -> dict:
+        """Per-plan-key counters (caller holds ``self._lock``)."""
+        stats = self._per_key_stats.get(key)
+        if stats is None:
+            stats = {"hits": 0, "misses": 0, "compile_time_s": 0.0}
+            self._per_key_stats[key] = stats
+        return stats
+
+    def cache_stats(self) -> dict:
+        """Plan-cache counters: hits, misses (= :attr:`compile_count`),
+        cumulative compile seconds, and the same split per plan key.
+        Surfaced by the serving layer's TCP ``describe`` response."""
+        with self._lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self.compile_count,
+                "compile_time_s": self._compile_time_s,
+                "per_key": {
+                    key: dict(stats)
+                    for key, stats in sorted(self._per_key_stats.items())
+                },
+            }
 
     def invalidate(self, graph: Graph) -> None:
         """Drop cached plans for ``graph`` (call after mutating weights)."""
@@ -279,12 +348,12 @@ class InferenceEngine:
                 f"input shape {x.shape} != declared {declared}"
             )
         if return_acts:
-            out, acts = plan.execute(xb, return_acts=True)
+            out, acts = plan.execute(xb, return_acts=True, tracer=self.tracer)
             if not batched:
                 out = out[0]
                 acts = {name: a[0] for name, a in acts.items()}
             return out, acts
-        out = plan.execute(xb)
+        out = plan.execute(xb, tracer=self.tracer)
         return out if batched else out[0]
 
     def run_batch(
@@ -317,7 +386,7 @@ class InferenceEngine:
                 f"input shape {batch.shape} != declared "
                 f"(B, {', '.join(map(str, plan.input_shape))})"
             )
-        return plan.execute(batch, return_acts=return_acts)
+        return plan.execute(batch, return_acts=return_acts, tracer=self.tracer)
 
 
 _DEFAULT_ENGINE = InferenceEngine()

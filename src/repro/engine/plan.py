@@ -208,6 +208,10 @@ class ExecutionPlan:
     fc_shapes: dict[str, FcShape] = field(default_factory=dict)
     #: Compile-time kernel decision per conv/dense node.
     kernel_choices: dict[str, KernelChoice] = field(default_factory=dict)
+    #: Lazily built per-step trace attribution (see _step_trace_args).
+    _trace_args: dict[str, dict] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -221,19 +225,28 @@ class ExecutionPlan:
         return sum(c.dense_bytes for c in self.kernel_choices.values())
 
     def execute(
-        self, batch: np.ndarray, return_acts: bool = False
+        self, batch: np.ndarray, return_acts: bool = False, tracer=None
     ) -> np.ndarray | tuple[np.ndarray, dict[str, np.ndarray]]:
         """Run the plan over a ``(B, *input_shape)`` batch.
 
         Unless ``return_acts`` is set, intermediate activations are
         freed as soon as their last consumer has run, so peak memory
         tracks the live set rather than the whole network's depth.
+
+        ``tracer`` (a :class:`repro.trace.Tracer`) records one span
+        per step — conv/dense steps carry their compile-time kernel
+        attribution (backend, N:M format, k-chunk, weight bytes) as
+        span args.  The ``tracer=None`` default takes the exact
+        untraced loop below: the hot path allocates nothing for
+        tracing when it is disabled.
         """
         batch = np.asarray(batch)
         if tuple(batch.shape[1:]) != self.input_shape:
             raise ValueError(
                 f"input shape {batch.shape[1:]} != declared {self.input_shape}"
             )
+        if tracer is not None and tracer.enabled:
+            return self._execute_traced(batch, return_acts, tracer)
         acts: dict[str, np.ndarray] = {
             self.input_name: batch.astype(np.float32)
         }
@@ -246,6 +259,86 @@ class ExecutionPlan:
         if return_acts:
             return acts[self.output], acts
         return acts[self.output]
+
+    def _execute_traced(
+        self, batch: np.ndarray, return_acts: bool, tracer
+    ) -> np.ndarray | tuple[np.ndarray, dict[str, np.ndarray]]:
+        """The traced twin of :meth:`execute`'s step loop."""
+        targs = self._step_trace_args()
+        acts: dict[str, np.ndarray] = {
+            self.input_name: batch.astype(np.float32)
+        }
+        with tracer.span(
+            f"plan:{self.graph_name}",
+            cat="plan",
+            args={
+                "mode": self.mode,
+                "batch": int(batch.shape[0]),
+                "sparse": self.sparse,
+                "backend": self.backend,
+            },
+        ):
+            for step in self.steps:
+                srcs = (acts[name] for name in step.inputs)
+                cat = "kernel" if step.name in self.kernel_choices else "op"
+                with tracer.span(step.name, cat=cat, args=targs[step.name]):
+                    out = step.run(*srcs)
+                acts[step.name] = out.astype(np.float32, copy=False)
+                if not return_acts:
+                    for name in step.release:
+                        del acts[name]
+        if return_acts:
+            return acts[self.output], acts
+        return acts[self.output]
+
+    def _step_trace_args(self) -> dict[str, dict]:
+        """Per-step span args, built once per plan on first traced run.
+
+        Conv/dense steps carry the full kernel attribution recorded at
+        compile time (:class:`KernelChoice`) plus the resolved layer
+        geometry; other ops carry just their op name.  The gather
+        chunk size is resolved here (not per execute) — it is a
+        process-wide knob read at bind time, so the first traced run's
+        value is the honest one.
+        """
+        if self._trace_args is None:
+            from repro.kernels.conv_sparse import k_chunk
+
+            args: dict[str, dict] = {}
+            for step in self.steps:
+                a: dict = {"op": step.op}
+                choice = self.kernel_choices.get(step.name)
+                if choice is not None:
+                    shape = self.conv_shapes.get(
+                        step.name
+                    ) or self.fc_shapes.get(step.name)
+                    a.update(
+                        kind=choice.kind,
+                        shape=_shape_str(shape),
+                        backend=choice.backend,
+                        method=choice.method,
+                        format=choice.fmt or "dense",
+                        variant=choice.variant,
+                        weight_bytes=choice.weight_bytes,
+                        dense_bytes=choice.dense_bytes,
+                    )
+                    if choice.method == "gather":
+                        a["k_chunk"] = k_chunk()
+                args[step.name] = a
+            self._trace_args = args
+        return self._trace_args
+
+
+def _shape_str(shape: ConvShape | FcShape | None) -> str | None:
+    """Compact human-readable layer geometry for trace span args."""
+    if isinstance(shape, ConvShape):
+        return (
+            f"{shape.iy}x{shape.ix}x{shape.c}->{shape.k}"
+            f"@{shape.fy}x{shape.fx}s{shape.s}p{shape.p}"
+        )
+    if isinstance(shape, FcShape):
+        return f"{shape.tokens}x{shape.c}->{shape.k}"
+    return None
 
 
 # -- per-op binding ------------------------------------------------------

@@ -70,6 +70,7 @@ class PendingRequest:
     batched: bool  # payload arrived with a leading batch axis
     future: "asyncio.Future[np.ndarray]"
     enqueued_at: float  # loop.time() at acceptance
+    trace_id: int = -1  # server-assigned id correlating trace spans
 
 
 @dataclass
@@ -103,10 +104,15 @@ class Batcher:
         deployment: Deployment,
         policy: BatchPolicy,
         out_queue: "asyncio.Queue[MicroBatch]",
+        tracer=None,
     ) -> None:
         self.deployment = deployment
         self.policy = policy
         self._out = out_queue
+        # Queue-wait spans and flush instants are asynchronous trace
+        # events: batchers for several deployments interleave on one
+        # event loop, so strictly-nested B/E spans would not balance.
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self._pending: list[PendingRequest] = []
         self._pending_samples = 0
         self._wake = asyncio.Event()
@@ -127,6 +133,15 @@ class Batcher:
             raise RuntimeError("batcher is closed")  # server guards this
         self._pending.append(request)
         self._pending_samples += request.samples
+        if self._tracer is not None and request.trace_id >= 0:
+            self._tracer.begin_async(
+                "queue_wait",
+                request.trace_id,
+                args={
+                    "deployment": self.deployment.name,
+                    "samples": request.samples,
+                },
+            )
         self._wake.set()
 
     def start(self) -> None:
@@ -152,11 +167,11 @@ class Batcher:
         # (the old ServerClosed race) — flush the remainder here so
         # every accepted request reaches the queue and resolves.
         while self._pending:
-            await self._out.put(self._form())
+            await self._out.put(self._form("close"))
 
     # -- batch formation ------------------------------------------------
 
-    def _form(self) -> MicroBatch:
+    def _form(self, reason: str = "deadline") -> MicroBatch:
         """Take the greedy prefix of pending that fits the policy."""
         mb = MicroBatch(self.deployment)
         taken = 0
@@ -167,6 +182,19 @@ class Batcher:
             taken += req.samples
         del self._pending[: len(mb.requests)]
         self._pending_samples -= taken
+        if self._tracer is not None:
+            for req in mb.requests:
+                if req.trace_id >= 0:
+                    self._tracer.end_async("queue_wait", req.trace_id)
+            self._tracer.instant(
+                "flush",
+                args={
+                    "deployment": self.deployment.name,
+                    "requests": len(mb.requests),
+                    "samples": taken,
+                    "reason": reason,
+                },
+            )
         return mb
 
     async def _run(self) -> None:
@@ -194,4 +222,10 @@ class Batcher:
                     await asyncio.wait_for(self._wake.wait(), remaining)
                 except (asyncio.TimeoutError, TimeoutError):
                     break
-            await self._out.put(self._form())
+            if self._closing:
+                reason = "close"
+            elif self._pending_samples >= self.policy.max_batch_size:
+                reason = "full"
+            else:
+                reason = "deadline"
+            await self._out.put(self._form(reason))

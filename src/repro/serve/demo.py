@@ -107,6 +107,7 @@ def demo_server(
     sparse: bool = True,
     max_weight_bytes: int | None = None,
     processes: int = 1,
+    tracer=None,
 ) -> ModelServer | RouterServer:
     """Build (but don't start) a server hosting the demo deployments.
 
@@ -134,6 +135,7 @@ def demo_server(
             threads_per_worker=workers,
             max_queue_depth=max_queue_depth,
             max_weight_bytes=max_weight_bytes,
+            tracer=tracer,
         )
     else:
         server = ModelServer(
@@ -141,6 +143,7 @@ def demo_server(
             workers=workers,
             max_queue_depth=max_queue_depth,
             max_weight_bytes=max_weight_bytes,
+            tracer=tracer,
         )
     try:
         for name, graph, mode, kwargs in demo_registrations(

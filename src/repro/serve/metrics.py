@@ -45,6 +45,13 @@ class Metrics:
         #: Samples accepted but not yet completed (queued + in flight).
         self.queue_depth = 0
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        #: Per-observation weights, parallel to ``_latencies``.  Live
+        #: recording always appends 1.0; :meth:`merge` up-weights the
+        #: retained observations of an overflowed reservoir so each
+        #: part contributes to the pooled quantiles in proportion to
+        #: the traffic it actually served, not to what its window
+        #: happened to retain.
+        self._latency_weights: deque[float] = deque(maxlen=latency_window)
 
     # -- recording hooks ------------------------------------------------
 
@@ -67,6 +74,7 @@ class Metrics:
             self.samples_completed += samples
             self.queue_depth -= samples
             self._latencies.append(latency_s)
+            self._latency_weights.append(1.0)
 
     def record_failed(self, samples: int) -> None:
         with self._lock:
@@ -76,12 +84,42 @@ class Metrics:
     # -- derived views --------------------------------------------------
 
     def latency_quantiles(self) -> dict[str, float]:
-        """p50/p95/p99 over the latency window, in milliseconds."""
+        """p50/p95/p99 over the latency window, in milliseconds.
+
+        Weight-aware: observations carry per-part weights after a
+        :meth:`merge`, so a worker whose reservoir overflowed still
+        pulls the pooled quantiles in proportion to its real traffic.
+        The unweighted case (every live collector, and merges of
+        non-overflowed parts) keeps the exact ``np.percentile``
+        numbers.
+        """
         with self._lock:
             lats = np.asarray(self._latencies, dtype=np.float64)
+            wts = np.asarray(self._latency_weights, dtype=np.float64)
         if lats.size == 0:
             return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
-        p50, p95, p99 = np.percentile(lats, [50, 95, 99]) * 1e3
+        if wts.size != lats.size or np.all(wts == wts[0]):
+            # Uniform weights: identical to the plain percentile.
+            p50, p95, p99 = np.percentile(lats, [50, 95, 99]) * 1e3
+        else:
+            # Weights are repeat counts: an observation of weight w
+            # stands for w identical requests.  Each block occupies the
+            # 0-based virtual indices [cum - w, cum - 1]; interpolating
+            # the percentile target q*(N-1) over the block edges is
+            # exactly np.percentile's linear rule over the expanded
+            # array (and degenerates to it when every weight is 1).
+            order = np.argsort(lats, kind="stable")
+            sl = lats[order]
+            sw = wts[order]
+            cum = np.cumsum(sw)
+            left = cum - sw
+            right = np.maximum(cum - 1.0, left)
+            xs = np.empty(2 * sl.size)
+            xs[0::2] = left
+            xs[1::2] = right
+            vals = np.repeat(sl, 2)
+            targets = np.array([0.50, 0.95, 0.99]) * (cum[-1] - 1.0)
+            p50, p95, p99 = np.interp(targets, xs, vals) * 1e3
         return {
             "p50_ms": float(p50),
             "p95_ms": float(p95),
@@ -120,6 +158,9 @@ class Metrics:
                     str(size): n for size, n in self.batch_sizes.items()
                 },
                 "latencies_s": [float(v) for v in self._latencies],
+                "latency_weights": [
+                    float(v) for v in self._latency_weights
+                ],
                 "latency_window": self._latencies.maxlen,
             }
 
@@ -135,10 +176,20 @@ class Metrics:
         """Aggregate collectors and/or :meth:`state` payloads.
 
         Counters and batch-size histograms add; latency reservoirs
-        concatenate, so the merged p50/p95/p99 are computed over the
-        union of the retained observations.  The merged window defaults
-        to the sum of the parts' windows — merging N full workers drops
-        nothing.
+        pool *traffic-weighted*: a part whose reservoir overflowed
+        (``requests_completed`` exceeds the retained observations) has
+        its observations up-weighted by ``completed / retained`` so the
+        pooled p50/p95/p99 reflect each worker's true share of the
+        traffic rather than whatever its bounded window happened to
+        keep.  Empty reservoirs contribute their counters and nothing
+        to the quantiles (previously a part with completed requests but
+        no retained latencies — a crashed worker's partial state, or
+        the router's counter-only state — could only be represented by
+        silently skewing the pool).  Merging is idempotent under
+        re-merge: weights ship in the state payload and the scaling
+        condition compares completed against the existing weight mass.
+        The merged window defaults to the sum of the parts' windows —
+        merging N full workers drops nothing.
         """
         states = [p.state() if isinstance(p, Metrics) else p for p in parts]
         if latency_window is None:
@@ -155,7 +206,21 @@ class Metrics:
             merged.queue_depth += s["queue_depth"]
             for size, n in s["batch_sizes"].items():
                 merged.batch_sizes[int(size)] += n
-            merged._latencies.extend(s["latencies_s"])
+            lats = s["latencies_s"]
+            if not lats:
+                continue  # counters merged above; nothing to pool
+            wts = s.get("latency_weights")
+            if not wts or len(wts) != len(lats):
+                # Pre-weights state payload (an older worker across a
+                # rolling upgrade): every retained observation counts 1.
+                wts = [1.0] * len(lats)
+            mass = float(sum(wts))
+            completed = s["requests_completed"]
+            if completed > mass > 0:
+                scale = completed / mass
+                wts = [w * scale for w in wts]
+            merged._latencies.extend(lats)
+            merged._latency_weights.extend(wts)
         return merged
 
     def snapshot(self) -> dict:

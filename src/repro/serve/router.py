@@ -48,6 +48,7 @@ import asyncio
 import itertools
 import multiprocessing as mp
 import queue
+import signal
 import threading
 import time
 from collections import Counter
@@ -131,9 +132,20 @@ async def _worker_loop(
     policy: BatchPolicy,
     threads: int,
     max_queue_depth: int,
+    index: int = 0,
+    trace: bool = False,
 ) -> None:
     from repro.serve.server import ModelServer
 
+    tracer = None
+    if trace:
+        # Each replica records into its own buffer (timestamps are
+        # wall-clock, comparable across processes); the router merges
+        # the drained events into one timeline at shutdown via the
+        # ("trace", events) frame below.
+        from repro.trace import Tracer
+
+        tracer = Tracer(process_name=f"serve-shard-{index}")
     store = SharedWeightStore(namespace, create=False)
     registry = ModelRegistry()
     for spec in specs:
@@ -148,6 +160,7 @@ async def _worker_loop(
         policy=policy,
         workers=threads,
         max_queue_depth=max_queue_depth,
+        tracer=tracer,
     )
     loop = asyncio.get_running_loop()
     await server.start()
@@ -189,6 +202,10 @@ async def _worker_loop(
             conn.send(("stats", msg[1], server.metrics.state()))
         elif op == "shutdown":
             await server.shutdown()
+            if tracer is not None:
+                # Ship the replica's trace buffer home before the bye
+                # frame (whose shape stays backward-compatible).
+                conn.send(("trace", tracer.drain()))
             conn.send(("bye", server.metrics.state()))
             return
         elif op == "_test_hang":
@@ -204,10 +221,28 @@ def _worker_main(
     policy: BatchPolicy,
     threads: int,
     max_queue_depth: int,
+    index: int = 0,
+    trace: bool = False,
 ) -> None:
+    # A terminal Ctrl-C reaches the whole foreground process group, so
+    # without this the replicas die on their own KeyboardInterrupt
+    # before the router's ``shutdown`` frame arrives — dropping queued
+    # requests and the trace buffers mid-drain.  Shutdown is the
+    # router's call: workers exit on the ``shutdown`` frame or on pipe
+    # EOF (the router vanishing), never on the signal itself.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     try:
         asyncio.run(
-            _worker_loop(conn, namespace, specs, policy, threads, max_queue_depth)
+            _worker_loop(
+                conn,
+                namespace,
+                specs,
+                policy,
+                threads,
+                max_queue_depth,
+                index=index,
+                trace=trace,
+            )
         )
     finally:
         try:
@@ -273,11 +308,18 @@ class RouterServer:
         drain_timeout_s: float = 10.0,
         start_timeout_s: float = 120.0,
         stats_timeout_s: float = 5.0,
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        #: Optional :class:`repro.trace.Tracer`.  The router records
+        #: per-request pipe round-trip (``rpc``) spans and global
+        #: queue-depth counters; worker replicas each record their own
+        #: buffer, drained back into this one at shutdown so the
+        #: written trace shows every process as a distinct track.
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
         self.policy = policy or BatchPolicy()
         self.workers = workers
         self.max_queue_depth = max_queue_depth
@@ -290,6 +332,10 @@ class RouterServer:
         #: The router-side registry: global weight budget, admission
         #: metadata (shapes, plan introspection for describe).
         self.registry = ModelRegistry(max_weight_bytes=max_weight_bytes)
+        if self.tracer is not None:
+            # Warm-plan compilations at register() show up as engine
+            # spans on the router's own track.
+            self.registry.engine.tracer = self.tracer
         self.killed_workers: list[int] = []
         self._specs: dict[str, DeploymentSpec] = {}
         self._serial = itertools.count()
@@ -385,12 +431,19 @@ class RouterServer:
                     self.policy,
                     self.threads_per_worker,
                     self.max_queue_depth,
+                    i,
+                    self.tracer is not None,
                 ),
                 name=f"serve-shard-{i}",
                 daemon=True,
             )
             proc.start()
             child_conn.close()
+            if self.tracer is not None:
+                # Label the replica's track up front: pid→name metadata
+                # lives in the router buffer even if the worker dies
+                # before draining its own events home.
+                self.tracer.meta_process(f"serve-shard-{i}", pid=proc.pid)
             w = _Worker(
                 index=i,
                 proc=proc,
@@ -531,6 +584,11 @@ class RouterServer:
             fut = self._stat_waiters.pop((w.index, msg[1]), None)
             if fut is not None and not fut.done():
                 fut.set_result(msg[2])
+        elif op == "trace":
+            # A draining replica's trace buffer: merge it into the
+            # router's timeline (events carry the worker's own pid).
+            if self.tracer is not None:
+                self.tracer.extend(msg[1])
         elif op == "ready":
             if not w.ready.done():
                 w.ready.set_result(msg[1])
@@ -577,6 +635,11 @@ class RouterServer:
             worker.pending_rids.discard(rid)
         if crash:
             self._crash_failed += 1
+        if self.tracer is not None:
+            self.tracer.end_async(
+                "rpc", rid, cat="router", args={"ok": error is None}
+            )
+            self.tracer.counter("queue_depth", {"samples": self._depth})
         if entry.future.done():
             return
         if error is not None:
@@ -642,6 +705,14 @@ class RouterServer:
         self._pending[rid] = _Pending(fut, samples, batched, windex)
         w.pending_rids.add(rid)
         self._depth += samples
+        if self.tracer is not None:
+            self.tracer.begin_async(
+                "rpc",
+                rid,
+                cat="router",
+                args={"model": model, "worker": windex, "samples": samples},
+            )
+            self.tracer.counter("queue_depth", {"samples": self._depth})
         w.send_q.put(("infer", rid, model, batch))
         return fut
 
@@ -667,6 +738,7 @@ class RouterServer:
             "queue_depth": 0,
             "batch_sizes": {},
             "latencies_s": [],
+            "latency_weights": [],
             "latency_window": 1,
         }
 

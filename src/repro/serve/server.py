@@ -27,6 +27,7 @@ in the same order as a single-sample run.
 from __future__ import annotations
 
 import asyncio
+import itertools
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -56,6 +57,7 @@ class ModelServer:
         workers: int = 2,
         max_queue_depth: int = 256,
         max_weight_bytes: int | None = None,
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -69,6 +71,15 @@ class ModelServer:
         self.registry = registry or ModelRegistry(
             max_weight_bytes=max_weight_bytes
         )
+        #: Optional :class:`repro.trace.Tracer`.  The server emits async
+        #: request/batch spans and queue-depth counter samples, and
+        #: attaches the tracer to the registry's engine so per-layer
+        #: kernel spans from the worker pool land in the same buffer.
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        if self.tracer is not None:
+            self.registry.engine.tracer = self.tracer
+        self._trace_ids = itertools.count()
+        self._sampler_task: asyncio.Task | None = None
         self.policy = policy or BatchPolicy()
         self.workers = workers
         self.max_queue_depth = max_queue_depth
@@ -95,6 +106,10 @@ class ModelServer:
             loop.create_task(self._worker(), name=f"serve-worker-{i}")
             for i in range(self.workers)
         ]
+        if self.tracer is not None and self._sampler_task is None:
+            self._sampler_task = loop.create_task(
+                self._sample_queue_depth(), name="serve-trace-sampler"
+            )
 
     async def shutdown(self) -> None:
         """Drain and stop: every accepted request resolves before return."""
@@ -119,6 +134,24 @@ class ModelServer:
         self._drain_queue_failed()
         self._batchers = {}
         self._running = False
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
+
+    async def _sample_queue_depth(self) -> None:
+        """Periodic queue-depth counter samples (~20 Hz while running).
+
+        Event-driven counter emission alone leaves gaps when the server
+        idles; the sampler guarantees the Perfetto counter track has a
+        point at least every 50 ms so plateaus render truthfully.
+        """
+        while True:
+            self.tracer.counter("queue_depth", {"samples": self._depth})
+            await asyncio.sleep(0.05)
 
     def _drain_queue_failed(self) -> None:
         """Fail any micro-batches stranded on the queue at shutdown.
@@ -137,6 +170,10 @@ class ModelServer:
             for req in micro.requests:
                 self._depth -= req.samples
                 self.metrics.record_failed(req.samples)
+                if self.tracer is not None and req.trace_id >= 0:
+                    self.tracer.end_async(
+                        "request", req.trace_id, args={"ok": False}
+                    )
                 if not req.future.done():
                     req.future.set_exception(
                         ServerClosed(
@@ -214,6 +251,14 @@ class ModelServer:
         )
         self._depth += samples
         self.metrics.record_accepted(samples)
+        if self.tracer is not None:
+            request.trace_id = next(self._trace_ids)
+            self.tracer.begin_async(
+                "request",
+                request.trace_id,
+                args={"model": model, "samples": samples},
+            )
+            self.tracer.counter("queue_depth", {"samples": self._depth})
         self._batcher_for(deployment).add(request)
         return request.future
 
@@ -246,7 +291,9 @@ class ModelServer:
                 # hold accepted requests, so keep it alive (it flushes
                 # to the shared queue) and drain it at shutdown.
                 self._retired.append(batcher)
-            batcher = Batcher(deployment, self.policy, self._queue)
+            batcher = Batcher(
+                deployment, self.policy, self._queue, tracer=self.tracer
+            )
             batcher.start()
             self._batchers[deployment.name] = batcher
         return batcher
@@ -259,12 +306,25 @@ class ModelServer:
                 return
             if not micro.requests:  # empty flush artifact; ignore
                 continue
+            tracer = self.tracer
+            batch_id = -1
             try:
                 # concat/record inside the try: a failure anywhere in
                 # handling this batch fails its requests, never the
                 # worker task (a dead worker silently strands batches).
                 batch = micro.concat()
                 self.metrics.record_batch(batch.shape[0])
+                if tracer is not None:
+                    batch_id = next(self._trace_ids)
+                    tracer.begin_async(
+                        "batch",
+                        batch_id,
+                        args={
+                            "deployment": micro.deployment.name,
+                            "requests": len(micro.requests),
+                            "samples": int(batch.shape[0]),
+                        },
+                    )
                 out = await asyncio.to_thread(micro.deployment.run_batch, batch)
             except BaseException as err:
                 for req in micro.requests:
@@ -272,6 +332,12 @@ class ModelServer:
                     self.metrics.record_failed(req.samples)
                     if not req.future.done():
                         req.future.set_exception(err)
+                if tracer is not None:
+                    if batch_id >= 0:
+                        tracer.end_async(
+                            "batch", batch_id, args={"ok": False}
+                        )
+                    self._trace_finish(micro, ok=False)
                 if isinstance(err, asyncio.CancelledError):
                     raise  # shutdown drains the rest of the queue
                 continue
@@ -288,3 +354,19 @@ class ModelServer:
                     req.future.set_result(
                         result if req.batched else result[0]
                     )
+            if tracer is not None:
+                tracer.end_async("batch", batch_id, args={"ok": True})
+                self._trace_finish(micro, ok=True)
+
+    def _trace_finish(self, micro: MicroBatch, ok: bool) -> None:
+        """Close the member requests' async spans and resample depth.
+
+        Called after the member requests' depth contributions have been
+        released, so the counter sample reflects the post-batch queue.
+        """
+        for req in micro.requests:
+            if req.trace_id >= 0:
+                self.tracer.end_async(
+                    "request", req.trace_id, args={"ok": ok}
+                )
+        self.tracer.counter("queue_depth", {"samples": self._depth})

@@ -12,10 +12,12 @@ per line, in order.  Ops:
 - ``{"op": "describe"}`` → ``{"ok": true, "models": {name: {"mode",
   "input_shape", "sparse", "select_fmt", "backend", "accum_dtype",
   "weight_bytes", "dense_weight_bytes"}}, "weight_budget":
-  {"max_weight_bytes", "used_weight_bytes"}}`` — what a client needs
-  to build requests, plus per-deployment kernel/memory introspection
-  (the compile-time weight accounting from ``plan.weight_bytes()``)
-  and the registry's weight-memory budget status.
+  {"max_weight_bytes", "used_weight_bytes"}, "engine": {"plan_cache":
+  cache_stats}}`` — what a client needs to build requests, plus
+  per-deployment kernel/memory introspection (the compile-time weight
+  accounting from ``plan.weight_bytes()``), the registry's
+  weight-memory budget status, and the engine's plan-cache counters
+  (:meth:`repro.engine.engine.InferenceEngine.cache_stats`).
 - ``{"op": "ping"}`` → ``{"ok": true, "pong": true}``.
 
 Errors come back as ``{"ok": false, "error": code, "detail": str}``
@@ -92,6 +94,7 @@ async def _handle_request(server: ModelServer, msg: dict) -> dict:
                 "max_weight_bytes": registry.max_weight_bytes,
                 "used_weight_bytes": registry.weight_bytes_used(),
             },
+            "engine": {"plan_cache": registry.engine.cache_stats()},
         }
         # Sharded servers add routing/shared-memory introspection.
         describe_extra = getattr(server, "describe_extra", None)

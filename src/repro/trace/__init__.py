@@ -1,0 +1,31 @@
+"""Trace-level observability: chrome-tracing timelines and perf trends.
+
+Two halves:
+
+- :mod:`repro.trace.tracer` — the :class:`Tracer` ring buffer and
+  Chrome Trace Event Format emission, threaded through the engine and
+  serving layers (``InferenceEngine(trace=...)``,
+  ``ModelServer(tracer=...)``, ``RouterServer(tracer=...)``, the
+  ``--trace`` CLI flags).  Open the written JSON in
+  `Perfetto <https://ui.perfetto.dev>`_ or ``chrome://tracing``.
+- :mod:`repro.trace.trend` — the perf-regression bookkeeping behind
+  ``repro perfgate``: BENCH_*.json results accumulate into
+  ``benchmarks/results/TREND.json`` and each series' latest QPS is
+  gated against its trailing baseline.
+
+See ``docs/observability.md`` for the full story.
+"""
+
+from repro.trace.tracer import (
+    Tracer,
+    run_manifest,
+    trace_span,
+    validate_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "run_manifest",
+    "trace_span",
+    "validate_trace",
+]

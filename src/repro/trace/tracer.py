@@ -1,0 +1,459 @@
+"""Chrome-tracing instrumentation: ring-buffered span/counter capture.
+
+:class:`Tracer` records Trace Event Format events — the JSON consumed
+by ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ —
+into a bounded, thread-safe ring buffer.  One tracer instance is
+threaded through the whole stack (engine → plan → serving), so a
+single timeline shows plan compiles, per-layer kernel spans with
+backend/format attribution, batcher flushes, queue-wait and execution
+spans, and queue-depth counters.
+
+Event vocabulary (the subset of the Trace Event Format we emit):
+
+- ``ph: "B"/"E"`` — synchronous duration spans, strictly nested per
+  ``(pid, tid)``.  Used only inside single-threaded synchronous code
+  (plan execution, plan compilation), where nesting holds by
+  construction.
+- ``ph: "b"/"e"`` — async spans matched by ``(cat, id, name)``.  Used
+  for request-scoped intervals that cross tasks/threads (queue wait,
+  micro-batch execution, router pipe round-trips).  Ids are qualified
+  with the emitting pid so worker-process events never collide with
+  the router's after the buffers are merged.
+- ``ph: "C"`` — counter samples (queue depth).
+- ``ph: "i"`` — instant events (batcher flushes, plan-cache hits).
+- ``ph: "M"`` — metadata (``process_name`` per pid), so each worker
+  process renders as its own named track.
+
+Timestamps are wall-clock microseconds (``time.time_ns() // 1000``):
+unlike ``perf_counter``, the epoch is shared across processes, which
+is what lets the router splice worker-process buffers into one
+timeline at drain.
+
+Overhead contract: the *disabled* path is free.  Call sites hold a
+plain attribute (``tracer``) that is ``None`` by default and branch on
+it — no tracer object, no span object, no allocation on the hot path
+(guarded by a tracemalloc micro-check in ``tests/trace``).  A
+constructed tracer can also be switched off (``enabled=False``), in
+which case :meth:`span` returns a shared no-op context manager.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import sys
+import threading
+import time
+from collections import deque
+from datetime import datetime, timezone
+from typing import Any, Iterable
+
+__all__ = [
+    "Tracer",
+    "trace_span",
+    "run_manifest",
+    "validate_trace",
+]
+
+
+def _now_us() -> int:
+    return time.time_ns() // 1_000
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live B/E span; emits on enter/exit."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._tracer._emit(
+            {
+                "ph": "B",
+                "name": self._name,
+                "cat": self._cat,
+                "ts": _now_us(),
+                "pid": self._tracer.pid,
+                "tid": threading.get_native_id(),
+                "args": self._args or {},
+            }
+        )
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._emit(
+            {
+                "ph": "E",
+                "name": self._name,
+                "cat": self._cat,
+                "ts": _now_us(),
+                "pid": self._tracer.pid,
+                "tid": threading.get_native_id(),
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Thread-safe ring buffer of Chrome Trace Event Format events.
+
+    ``capacity`` bounds memory: the buffer keeps the most recent
+    events (oldest are dropped silently — a trace is a diagnostic
+    artifact, not an audit log).  ``process_name`` emits a
+    ``process_name`` metadata event up front so the emitting process
+    renders as a named track.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 250_000,
+        enabled: bool = True,
+        process_name: str | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.enabled = enabled
+        self.pid = os.getpid()
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._dropped = 0
+        if process_name is not None:
+            self.meta_process(process_name)
+
+    # -- event intake ---------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self._dropped += 1
+            self._events.append(event)
+
+    def span(self, name: str, cat: str = "", args: dict | None = None):
+        """Context manager recording a synchronous B/E span.
+
+        Use only where nesting per thread is guaranteed (synchronous
+        code); request-scoped intervals that cross tasks belong in
+        :meth:`begin_async` / :meth:`end_async`.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    def begin_async(
+        self, name: str, id: int | str, cat: str = "serve", args: dict | None = None
+    ) -> None:
+        """Open an async span; match with :meth:`end_async` on the same
+        ``(cat, id, name)``.  The id is qualified with this tracer's
+        pid so merged multi-process timelines never collide."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "ph": "b",
+                "name": name,
+                "cat": cat,
+                "id": f"{self.pid}.{id}",
+                "ts": _now_us(),
+                "pid": self.pid,
+                "tid": threading.get_native_id(),
+                "args": args or {},
+            }
+        )
+
+    def end_async(
+        self, name: str, id: int | str, cat: str = "serve", args: dict | None = None
+    ) -> None:
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "ph": "e",
+                "name": name,
+                "cat": cat,
+                "id": f"{self.pid}.{id}",
+                "ts": _now_us(),
+                "pid": self.pid,
+                "tid": threading.get_native_id(),
+                "args": args or {},
+            }
+        )
+
+    def instant(
+        self, name: str, cat: str = "", args: dict | None = None
+    ) -> None:
+        """Record a zero-duration marker (thread-scoped)."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": cat,
+                "s": "t",
+                "ts": _now_us(),
+                "pid": self.pid,
+                "tid": threading.get_native_id(),
+                "args": args or {},
+            }
+        )
+
+    def counter(self, name: str, values: dict[str, float]) -> None:
+        """Record a counter sample, e.g. ``counter("queue_depth",
+        {"samples": 12})`` — renders as a stacked area track."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "ph": "C",
+                "name": name,
+                "ts": _now_us(),
+                "pid": self.pid,
+                "tid": threading.get_native_id(),
+                "args": {k: float(v) for k, v in values.items()},
+            }
+        )
+
+    def meta_process(self, name: str, pid: int | None = None) -> None:
+        """Name a process track (defaults to this tracer's pid)."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": self.pid if pid is None else int(pid),
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+
+    def meta_thread(self, name: str, tid: int | None = None) -> None:
+        """Name a thread track within this tracer's process."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": self.pid,
+                "tid": threading.get_native_id() if tid is None else int(tid),
+                "args": {"name": name},
+            }
+        )
+
+    # -- buffer management ----------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer since construction."""
+        with self._lock:
+            return self._dropped
+
+    def events(self) -> list[dict]:
+        """A snapshot copy of the buffered events (oldest first)."""
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> list[dict]:
+        """Atomically take (and clear) the buffered events.
+
+        This is how worker processes ship their buffers to the router
+        at shutdown: the returned list is pickle/JSON-safe and is
+        spliced into the parent's buffer with :meth:`extend`.
+        """
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+            return events
+
+    def extend(self, events: Iterable[dict]) -> None:
+        """Splice foreign events (e.g. a worker process's drained
+        buffer) into this buffer.  Events keep their own pid/tid, so
+        they land on their own tracks in the merged timeline."""
+        with self._lock:
+            for event in events:
+                if len(self._events) == self._events.maxlen:
+                    self._dropped += 1
+                self._events.append(event)
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome(self, manifest: dict | None = None) -> dict:
+        """The JSON-object trace: ``{"traceEvents": [...], ...}``.
+
+        Events are sorted by timestamp (metadata first) so merged
+        multi-process buffers render deterministically; ``otherData``
+        carries the run manifest.
+        """
+        events = self.events()
+        events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0)))
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": manifest or {},
+        }
+
+    def write(self, path: str, manifest: dict | None = None) -> int:
+        """Write the Chrome-tracing JSON to ``path``; returns the
+        number of events written."""
+        payload = self.to_chrome(manifest=manifest)
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")
+        return len(payload["traceEvents"])
+
+
+def trace_span(
+    tracer: Tracer | None, name: str, cat: str = "", args: dict | None = None
+):
+    """``tracer.span(...)`` tolerant of ``tracer=None`` (disabled)."""
+    if tracer is None or not tracer.enabled:
+        return _NULL_SPAN
+    return tracer.span(name, cat=cat, args=args)
+
+
+def run_manifest(extra: dict | None = None) -> dict:
+    """Reproducibility metadata stamped into traces and stats dumps.
+
+    Identifies the run (UTC timestamp, host, platform, interpreter,
+    numpy, pid, argv) so a trace or TREND point can be traced back to
+    the machine and command that produced it.
+    """
+    try:
+        import numpy as np
+
+        numpy_version = np.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    manifest = {
+        "created": datetime.now(timezone.utc).isoformat(),
+        "host": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": numpy_version,
+        "pid": os.getpid(),
+        "argv": list(sys.argv),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+# -- validation -----------------------------------------------------------
+
+_REQUIRED_BY_PH = {
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
+    "b": ("name", "ts", "pid", "tid", "id", "cat"),
+    "e": ("name", "ts", "pid", "tid", "id", "cat"),
+    "i": ("name", "ts", "pid", "tid"),
+    "C": ("name", "ts", "pid", "tid", "args"),
+    "M": ("name", "pid", "args"),
+}
+
+
+def validate_trace(payload: Any) -> list[str]:
+    """Schema/balance checks over a trace payload; returns problems.
+
+    Accepts the JSON-object form (``{"traceEvents": [...]}``) or a
+    bare event array.  Checks per-event required fields, strict B/E
+    nesting per ``(pid, tid)`` (an ``E`` must close the innermost open
+    ``B`` of the same name), async b/e pairing per ``(cat, id,
+    name)``, and numeric counter values.  An empty list means the
+    trace is well-formed.
+    """
+    problems: list[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["payload has no 'traceEvents' list"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return [f"payload must be a dict or list, got {type(payload).__name__}"]
+
+    stacks: dict[tuple, list[str]] = {}
+    open_async: dict[tuple, int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _REQUIRED_BY_PH:
+            problems.append(f"event {i} has unknown ph {ph!r}")
+            continue
+        for key in _REQUIRED_BY_PH[ph]:
+            if key not in ev:
+                problems.append(f"event {i} (ph {ph}) is missing {key!r}")
+        if "ts" in _REQUIRED_BY_PH[ph] and not isinstance(
+            ev.get("ts"), (int, float)
+        ):
+            problems.append(f"event {i} has non-numeric ts")
+            continue
+        if ph == "B":
+            stacks.setdefault((ev.get("pid"), ev.get("tid")), []).append(
+                ev.get("name", "")
+            )
+        elif ph == "E":
+            stack = stacks.get((ev.get("pid"), ev.get("tid")), [])
+            if not stack:
+                problems.append(f"event {i}: E without an open B")
+            else:
+                opened = stack.pop()
+                name = ev.get("name")
+                if name is not None and name != opened:
+                    problems.append(
+                        f"event {i}: E({name!r}) does not close the "
+                        f"innermost open B({opened!r}) — spans not nested"
+                    )
+        elif ph == "b":
+            key = (ev.get("cat"), ev.get("id"), ev.get("name"))
+            open_async[key] = open_async.get(key, 0) + 1
+        elif ph == "e":
+            key = (ev.get("cat"), ev.get("id"), ev.get("name"))
+            if open_async.get(key, 0) < 1:
+                problems.append(f"event {i}: async e without matching b {key}")
+            else:
+                open_async[key] -= 1
+        elif ph == "C":
+            args = ev.get("args", {})
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"event {i}: counter args must be numeric")
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            problems.append(
+                f"unbalanced B/E on pid={pid} tid={tid}: "
+                f"{len(stack)} spans never closed ({stack[-1]!r} innermost)"
+            )
+    for key, n in open_async.items():
+        if n:
+            problems.append(f"async span {key} opened {n}x without close")
+    return problems

@@ -1,0 +1,185 @@
+"""Perf-trend bookkeeping: merge BENCH_*.json into TREND.json and gate.
+
+The benchmark harness (``benchmarks/conftest.py``) emits one
+``BENCH_<experiment>.json`` per perf benchmark — a JSON array of
+entries carrying at least ``name`` / ``batch`` / ``qps`` / ``speedup``
+/ ``timestamp``.  Those files are overwritten per run, so on their own
+they hold a single point per series.  This module accumulates them
+into ``benchmarks/results/TREND.json``:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "series": {
+        "<experiment>/<entry-name>": [
+          {"timestamp": "...", "qps": 123.4, "batch": 32,
+           "speedup": 5.6, "meta": {"...": "extra entry keys"}},
+          ...
+        ]
+      }
+    }
+
+Series are keyed ``<experiment>/<entry-name>`` (the BENCH file stem
+minus the ``BENCH_`` prefix, then the entry's measurement id); points
+are deduplicated by timestamp and kept sorted, so re-merging the same
+results directory is idempotent.  Every key of a BENCH entry beyond
+the core schema lands in the point's ``meta`` — the run metadata the
+series is keyed by (worker counts, mean batch, weight bytes, ...).
+
+``evaluate_trend`` is the ``repro perfgate`` CI gate: each series'
+latest QPS is compared against the median of its trailing ``window``
+prior points; a drop of more than ``threshold_pct`` percent fails the
+gate.  Series with a single point pass trivially (no baseline yet).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+
+__all__ = [
+    "TREND_VERSION",
+    "DEFAULT_THRESHOLD_PCT",
+    "DEFAULT_WINDOW",
+    "SeriesVerdict",
+    "load_trend",
+    "save_trend",
+    "merge_bench_results",
+    "evaluate_trend",
+]
+
+TREND_VERSION = 1
+
+#: Allowed QPS drop (percent) vs the trailing baseline before the gate
+#: fails.  Generous on purpose: BENCH numbers come from whatever
+#: machine ran the benchmarks, and the gate must catch real
+#: regressions (kernel slowdowns, lost batching) without tripping on
+#: scheduler noise.
+DEFAULT_THRESHOLD_PCT = 30.0
+
+#: Trailing points the baseline median is computed over.
+DEFAULT_WINDOW = 5
+
+#: BENCH entry keys with dedicated TREND point fields; everything else
+#: is run metadata and lands in ``meta``.
+_CORE_KEYS = frozenset(("name", "batch", "qps", "speedup", "timestamp"))
+
+
+def load_trend(path: str | Path) -> dict:
+    """Load TREND.json, or an empty trend when the file is absent."""
+    path = Path(path)
+    if not path.exists():
+        return {"version": TREND_VERSION, "series": {}}
+    with open(path) as fh:
+        trend = json.load(fh)
+    if not isinstance(trend, dict) or "series" not in trend:
+        raise ValueError(f"{path} is not a TREND.json payload")
+    return trend
+
+
+def save_trend(trend: dict, path: str | Path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(trend, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def merge_bench_results(trend: dict, results_dir: str | Path) -> int:
+    """Fold every ``BENCH_*.json`` under ``results_dir`` into ``trend``.
+
+    Returns the number of new points appended.  Points are
+    deduplicated per series by timestamp (the bench harness stamps one
+    UTC ISO timestamp per run), so merging an already-recorded results
+    directory adds nothing.
+    """
+    series = trend.setdefault("series", {})
+    trend.setdefault("version", TREND_VERSION)
+    added = 0
+    for path in sorted(Path(results_dir).glob("BENCH_*.json")):
+        experiment = path.stem[len("BENCH_"):]
+        with open(path) as fh:
+            entries = json.load(fh)
+        if not isinstance(entries, list):
+            raise ValueError(f"{path} is not a list of bench entries")
+        for entry in entries:
+            missing = _CORE_KEYS - entry.keys()
+            if missing:
+                raise ValueError(
+                    f"{path}: entry {entry.get('name')!r} is missing "
+                    f"{sorted(missing)}"
+                )
+            key = f"{experiment}/{entry['name']}"
+            points = series.setdefault(key, [])
+            if any(p["timestamp"] == entry["timestamp"] for p in points):
+                continue
+            points.append(
+                {
+                    "timestamp": entry["timestamp"],
+                    "qps": float(entry["qps"]),
+                    "batch": entry["batch"],
+                    "speedup": entry["speedup"],
+                    "meta": {
+                        k: v for k, v in entry.items() if k not in _CORE_KEYS
+                    },
+                }
+            )
+            points.sort(key=lambda p: p["timestamp"])
+            added += 1
+    return added
+
+
+@dataclass(frozen=True)
+class SeriesVerdict:
+    """One series' gate outcome.
+
+    ``baseline_qps`` / ``change_pct`` are ``None`` when the series has
+    a single point (nothing to compare against — passes trivially).
+    ``change_pct`` is signed: negative means the latest point is
+    slower than the baseline.
+    """
+
+    series: str
+    points: int
+    latest_qps: float
+    baseline_qps: float | None
+    change_pct: float | None
+    regressed: bool
+
+
+def evaluate_trend(
+    trend: dict,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    window: int = DEFAULT_WINDOW,
+) -> list[SeriesVerdict]:
+    """Gate every series: latest vs trailing-median baseline."""
+    if threshold_pct <= 0:
+        raise ValueError("threshold_pct must be > 0")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    verdicts: list[SeriesVerdict] = []
+    for key in sorted(trend.get("series", {})):
+        points = trend["series"][key]
+        if not points:
+            continue
+        latest = float(points[-1]["qps"])
+        prior = [float(p["qps"]) for p in points[:-1][-window:]]
+        if not prior:
+            verdicts.append(
+                SeriesVerdict(key, len(points), latest, None, None, False)
+            )
+            continue
+        baseline = float(median(prior))
+        change = (
+            (latest - baseline) / baseline * 100.0 if baseline > 0 else 0.0
+        )
+        regressed = baseline > 0 and latest < baseline * (
+            1.0 - threshold_pct / 100.0
+        )
+        verdicts.append(
+            SeriesVerdict(key, len(points), latest, baseline, change, regressed)
+        )
+    return verdicts

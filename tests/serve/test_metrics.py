@@ -1,0 +1,157 @@
+"""Regression tests for weighted latency-reservoir pooling.
+
+``Metrics.merge`` used to concatenate reservoirs verbatim, which
+mis-weighted the pooled quantiles whenever a part's reservoir had
+overflowed (a busy worker's retained window under-represents its
+traffic) or was empty-but-counted (the router's counter-only state).
+These tests pin the traffic-weighted pooling semantics and the
+uniform-weight fast path that keeps single-collector numbers
+bit-identical to ``np.percentile``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import Metrics
+
+
+def _filled(latencies, window=10_000):
+    m = Metrics(latency_window=window)
+    for v in latencies:
+        m.record_accepted(1)
+        m.record_completed(1, v)
+    return m
+
+
+class TestUniformPath:
+    def test_live_collector_matches_np_percentile(self):
+        lats = [0.001 * (i + 1) for i in range(97)]
+        m = _filled(lats)
+        q = m.latency_quantiles()
+        p50, p95, p99 = np.percentile(np.asarray(lats), [50, 95, 99]) * 1e3
+        assert q["p50_ms"] == pytest.approx(float(p50), abs=0)
+        assert q["p95_ms"] == pytest.approx(float(p95), abs=0)
+        assert q["p99_ms"] == pytest.approx(float(p99), abs=0)
+
+    def test_merge_of_non_overflowed_parts_stays_uniform(self):
+        # Neither reservoir overflowed -> no up-weighting -> exact
+        # np.percentile over the union, as before the fix.
+        a = _filled([0.001 * v for v in range(1, 51)])
+        b = _filled([0.001 * v for v in range(51, 101)])
+        q = Metrics.merge([a, b]).latency_quantiles()
+        expect = np.percentile(np.arange(1, 101) / 1e3, [50, 95, 99]) * 1e3
+        assert q["p50_ms"] == pytest.approx(float(expect[0]), abs=0)
+        assert q["p99_ms"] == pytest.approx(float(expect[2]), abs=0)
+
+
+class TestWeightedPooling:
+    def test_overflowed_reservoir_is_upweighted(self):
+        # Busy worker: 1000 completed, window of 10 retains only its
+        # last 10 observations (all 5 ms).  Quiet worker: 10 completed,
+        # all retained (all 50 ms).  Naive concatenation would say the
+        # pool is half 5 ms / half 50 ms (p50 midway); traffic
+        # weighting says ~99% of requests saw 5 ms.
+        busy = Metrics(latency_window=10)
+        for _ in range(1000):
+            busy.record_accepted(1)
+            busy.record_completed(1, 0.005)
+        quiet = _filled([0.050] * 10)
+        q = Metrics.merge([busy, quiet]).latency_quantiles()
+        assert q["p50_ms"] == pytest.approx(5.0, rel=1e-6)
+        assert q["p95_ms"] == pytest.approx(5.0, rel=1e-6)
+
+    def test_empty_reservoir_contributes_counters_only(self):
+        # The router's own state carries failure/rejection counters but
+        # no latencies; a crashed worker may report completed requests
+        # with an empty reservoir.  Neither may move the quantiles.
+        counted_empty = {
+            "requests_accepted": 5,
+            "requests_completed": 5,
+            "requests_failed": 2,
+            "requests_rejected": {"overloaded": 3},
+            "samples_completed": 5,
+            "queue_depth": 0,
+            "batch_sizes": {},
+            "latencies_s": [],
+            "latency_weights": [],
+            "latency_window": 1,
+        }
+        real = _filled([0.010] * 20)
+        merged = Metrics.merge([real, counted_empty])
+        assert merged.requests_completed == 25
+        assert merged.requests_failed == 2
+        assert merged.requests_rejected["overloaded"] == 3
+        q = merged.latency_quantiles()
+        assert q["p50_ms"] == pytest.approx(10.0, rel=1e-6)
+        assert q["p99_ms"] == pytest.approx(10.0, rel=1e-6)
+
+    def test_short_reservoir_single_observation(self):
+        # A single retained observation for 100 completed requests must
+        # carry the full 100-request mass, not weight 1.
+        short = {
+            "requests_accepted": 100,
+            "requests_completed": 100,
+            "requests_failed": 0,
+            "requests_rejected": {},
+            "samples_completed": 100,
+            "queue_depth": 0,
+            "batch_sizes": {},
+            "latencies_s": [0.002],
+            "latency_weights": [1.0],
+            "latency_window": 1,
+        }
+        other = _filled([0.200] * 3)
+        q = Metrics.merge([short, other]).latency_quantiles()
+        assert q["p50_ms"] == pytest.approx(2.0, rel=1e-6)
+
+    def test_missing_weights_defaults_to_uniform(self):
+        # Pre-fix state payloads (no latency_weights key) still merge:
+        # retained observations count 1 each, then scale by traffic.
+        legacy = {
+            "requests_accepted": 10,
+            "requests_completed": 10,
+            "requests_failed": 0,
+            "requests_rejected": {},
+            "samples_completed": 10,
+            "queue_depth": 0,
+            "batch_sizes": {},
+            "latencies_s": [0.001] * 10,
+            "latency_window": 100,
+        }
+        merged = Metrics.merge([legacy])
+        assert merged.latency_quantiles()["p50_ms"] == pytest.approx(1.0)
+
+    def test_remerge_is_idempotent(self):
+        # Router stats are computed repeatedly from fresh worker states;
+        # merging a merged state again must not re-scale the weights
+        # (completed == existing mass -> no-op).
+        busy = Metrics(latency_window=10)
+        for _ in range(500):
+            busy.record_accepted(1)
+            busy.record_completed(1, 0.004)
+        quiet = _filled([0.040] * 8)
+        once = Metrics.merge([busy, quiet])
+        twice = Metrics.merge([once.state()])
+        assert once.latency_quantiles() == twice.latency_quantiles()
+
+    def test_weights_survive_state_roundtrip(self):
+        busy = Metrics(latency_window=4)
+        for _ in range(100):
+            busy.record_accepted(1)
+            busy.record_completed(1, 0.003)
+        merged = Metrics.merge([busy, _filled([0.300] * 4)])
+        state = merged.state()
+        assert len(state["latency_weights"]) == len(state["latencies_s"])
+        rebuilt = Metrics.from_state(state)
+        assert rebuilt.latency_quantiles() == merged.latency_quantiles()
+
+
+class TestRecordingLockstep:
+    def test_weights_track_latencies_under_window_rollover(self):
+        m = Metrics(latency_window=5)
+        for i in range(12):
+            m.record_accepted(1)
+            m.record_completed(1, 0.001 * (i + 1))
+        assert len(m._latencies) == 5
+        assert len(m._latency_weights) == 5
+        assert all(w == 1.0 for w in m._latency_weights)

@@ -1,0 +1,283 @@
+"""End-to-end tracing through the engine and serving layers.
+
+The contract under test: one tracer threaded through the stack yields
+a single well-formed timeline — per-layer kernel spans with
+backend/format attribution from plan execution, compile/cache events
+from the engine, async request/queue-wait/batch spans and flush
+instants from the serving core, and (sharded) per-worker-process
+tracks merged at drain.  And with tracing off, behaviour and outputs
+are exactly the untraced ones.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine.bench import resnet_style_graph
+from repro.engine.engine import InferenceEngine
+from repro.serve.batcher import BatchPolicy
+from repro.serve.server import ModelServer
+from repro.trace import Tracer, validate_trace
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return resnet_style_graph()
+
+
+def _events_by_name(tracer, name, ph=None):
+    return [
+        e
+        for e in tracer.events()
+        if e.get("name") == name and (ph is None or e["ph"] == ph)
+    ]
+
+
+class TestEngineTracing:
+    def test_kernel_spans_carry_attribution(self, graph):
+        t = Tracer()
+        engine = InferenceEngine(trace=t)
+        x = make_rng(0).normal(size=(2, 12, 12, 3)).astype(np.float32)
+        engine.run_batch(graph, x, mode="float")
+        assert validate_trace(t.events()) == []
+        kernels = [
+            e
+            for e in t.events()
+            if e.get("cat") == "kernel" and e["ph"] == "B"
+        ]
+        assert kernels, "no kernel spans recorded"
+        for ev in kernels:
+            args = ev["args"]
+            assert args["kind"] in ("conv", "fc")
+            assert "backend" in args and "format" in args
+            assert args["weight_bytes"] > 0
+            assert "shape" in args
+
+    def test_cache_hit_miss_instants_and_stats(self, graph):
+        t = Tracer()
+        engine = InferenceEngine(trace=t)
+        x = make_rng(0).normal(size=(1, 12, 12, 3)).astype(np.float32)
+        engine.run_batch(graph, x, mode="float")
+        engine.run_batch(graph, x, mode="float")
+        assert len(_events_by_name(t, "plan_cache_miss")) == 1
+        assert len(_events_by_name(t, "plan_cache_hit")) == 1
+        assert len(_events_by_name(t, "compile_plan", ph="B")) == 1
+        stats = engine.cache_stats()
+        assert stats["misses"] == engine.compile_count == 1
+        assert stats["hits"] == 1
+        assert stats["compile_time_s"] > 0
+        assert stats["per_key"]["float"]["hits"] == 1
+        assert stats["per_key"]["float"]["misses"] == 1
+
+    def test_cache_stats_without_tracer(self, graph):
+        engine = InferenceEngine()
+        x = make_rng(0).normal(size=(1, 12, 12, 3)).astype(np.float32)
+        engine.run_batch(graph, x, mode="float")
+        engine.run_batch(graph, x, mode="float")
+        stats = engine.cache_stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 1,
+            "compile_time_s": stats["compile_time_s"],
+            "per_key": {
+                "float": {
+                    "hits": 1,
+                    "misses": 1,
+                    "compile_time_s": stats["per_key"]["float"][
+                        "compile_time_s"
+                    ],
+                }
+            },
+        }
+
+    def test_traced_output_bit_identical_to_untraced(self, graph):
+        x = make_rng(1).normal(size=(3, 12, 12, 3)).astype(np.float32)
+        traced = InferenceEngine(trace=Tracer())
+        plain = InferenceEngine()
+        assert np.array_equal(
+            traced.run_batch(graph, x, mode="float"),
+            plain.run_batch(graph, x, mode="float"),
+        )
+
+
+class TestServerTracing:
+    def test_request_batch_queue_events_one_process(self, graph):
+        t = Tracer(process_name="test-server")
+
+        async def run():
+            server = ModelServer(
+                policy=BatchPolicy(8, 2.0), workers=2, tracer=t
+            )
+            server.register("m", graph, "float")
+            xs = make_rng(2).normal(size=(6, 12, 12, 3)).astype(np.float32)
+            async with server:
+                await asyncio.gather(
+                    *(server.infer("m", x) for x in xs)
+                )
+
+        asyncio.run(run())
+        assert validate_trace(t.events()) == []
+        for name, count in (("request", 6), ("queue_wait", 6)):
+            begins = [
+                e
+                for e in t.events()
+                if e.get("name") == name and e["ph"] == "b"
+            ]
+            ends = [
+                e
+                for e in t.events()
+                if e.get("name") == name and e["ph"] == "e"
+            ]
+            assert len(begins) == len(ends) == count
+        flushes = _events_by_name(t, "flush")
+        assert flushes and all(
+            e["args"]["reason"] in ("full", "deadline", "close")
+            for e in flushes
+        )
+        batches = [
+            e
+            for e in t.events()
+            if e.get("name") == "batch" and e["ph"] == "b"
+        ]
+        assert batches
+        depth = _events_by_name(t, "queue_depth")
+        assert depth and all(
+            isinstance(e["args"]["samples"], float) for e in depth
+        )
+        # Tracer attach: the registry's engine records into the same
+        # buffer, so the per-layer kernel spans are present too.
+        assert any(e.get("cat") == "kernel" for e in t.events())
+
+    def test_untraced_server_unaffected(self, graph):
+        async def run():
+            server = ModelServer(policy=BatchPolicy(8, 2.0), workers=1)
+            server.register("m", graph, "float")
+            x = make_rng(3).normal(size=(12, 12, 3)).astype(np.float32)
+            async with server:
+                out = await server.infer("m", x)
+            return out
+
+        out = asyncio.run(run())
+        assert np.isfinite(out).all()
+
+
+class TestRouterTracing:
+    def test_merged_timeline_has_distinct_worker_pids(self, graph):
+        from repro.serve.router import RouterServer
+
+        t = Tracer(process_name="router")
+
+        async def run():
+            server = RouterServer(
+                policy=BatchPolicy(8, 2.0), workers=2, tracer=t
+            )
+            server.register("a", graph, "float")
+            server.register("b", graph, "int8")
+            xs = make_rng(4).normal(size=(8, 12, 12, 3)).astype(np.float32)
+            async with server:
+                await asyncio.gather(
+                    *(
+                        server.infer("a" if i % 2 else "b", x)
+                        for i, x in enumerate(xs)
+                    )
+                )
+
+        asyncio.run(run())
+        events = t.events()
+        assert validate_trace(events) == []
+        pids = {e["pid"] for e in events}
+        # Router + 2 worker replicas = 3 distinct process tracks.
+        assert len(pids) == 3
+        named = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(named.values()) >= {
+            "router",
+            "serve-shard-0",
+            "serve-shard-1",
+        }
+        rpcs = [
+            e for e in events if e.get("name") == "rpc" and e["ph"] == "b"
+        ]
+        assert len(rpcs) == 8
+        # Worker-side spans really came home through the trace frame.
+        worker_pids = pids - {t.pid}
+        assert any(
+            e.get("name") == "request" and e["pid"] in worker_pids
+            for e in events
+        )
+        assert any(
+            e.get("cat") == "kernel" and e["pid"] in worker_pids
+            for e in events
+        )
+
+
+class TestWorkerSigint:
+    def test_workers_survive_sigint_and_drain_traces(self, graph):
+        # A terminal Ctrl-C signals the whole foreground process group.
+        # Workers must ignore the SIGINT (shutdown is the router's
+        # call), keep serving, and still ship their trace buffers home
+        # at the router-orchestrated drain.
+        import os
+        import signal
+
+        from repro.serve.router import RouterServer
+
+        t = Tracer(process_name="router")
+
+        async def run():
+            server = RouterServer(
+                policy=BatchPolicy(8, 2.0), workers=2, tracer=t
+            )
+            server.register("m", graph, "float")
+            xs = make_rng(6).normal(size=(4, 12, 12, 3)).astype(np.float32)
+            async with server:
+                await server.infer("m", xs[0])
+                for w in server._workers:
+                    os.kill(w.proc.pid, signal.SIGINT)
+                await asyncio.sleep(0.1)
+                await asyncio.gather(
+                    *(server.infer("m", x) for x in xs[1:])
+                )
+
+        asyncio.run(run())
+        events = t.events()
+        assert validate_trace(events) == []
+        worker_pids = {e["pid"] for e in events} - {t.pid}
+        assert len(worker_pids) == 2
+        assert any(
+            e.get("name") == "request" and e["pid"] in worker_pids
+            for e in events
+        )
+
+
+class TestDescribeCacheStats:
+    def test_tcp_describe_exposes_plan_cache(self, graph):
+        from repro.serve.tcp import TcpServeClient, serve_tcp
+
+        async def run():
+            server = ModelServer(policy=BatchPolicy(8, 2.0), workers=1)
+            server.register("m", graph, "float")
+            x = make_rng(5).normal(size=(12, 12, 3)).astype(np.float32)
+            async with server:
+                tcp = await serve_tcp(server, "127.0.0.1", 0)
+                host, port = tcp.sockets[0].getsockname()[:2]
+                try:
+                    async with TcpServeClient(host, port) as client:
+                        await client.infer("m", x)
+                        resp = await client.request({"op": "describe"})
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+            return resp
+
+        resp = asyncio.run(run())
+        cache = resp["engine"]["plan_cache"]
+        assert cache["misses"] >= 1
+        assert cache["hits"] >= 1  # the served request hit the warm plan
+        assert "float" in cache["per_key"]
+        assert cache["compile_time_s"] > 0

@@ -1,0 +1,84 @@
+"""Chrome-trace schema validation, local and CI-driven.
+
+By default this validates a small in-process trace.  CI points it at a
+real artifact instead: the serve-smoke job runs ``repro loadgen
+--workers 2 --trace /tmp/serve_trace.json`` and then re-runs this test
+with ``REPRO_TRACE_FILE=/tmp/serve_trace.json`` (and
+``REPRO_TRACE_MIN_PIDS=3``) so the shipped trace — router plus two
+worker replicas merged into one timeline — is held to the same schema
+as the unit fixtures.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.trace import Tracer, run_manifest, validate_trace
+
+TRACE_FILE = os.environ.get("REPRO_TRACE_FILE")
+MIN_PIDS = int(os.environ.get("REPRO_TRACE_MIN_PIDS", "1"))
+
+
+def _local_payload(tmp_path):
+    t = Tracer(process_name="schema-test")
+    with t.span("plan:demo", cat="plan"):
+        with t.span("conv0", cat="kernel", args={"kind": "conv"}):
+            pass
+    t.begin_async("request", 0, args={"model": "demo"})
+    t.counter("queue_depth", {"samples": 1})
+    t.end_async("request", 0, args={"ok": True})
+    t.instant("flush", args={"reason": "deadline"})
+    path = tmp_path / "trace.json"
+    t.write(str(path), manifest=run_manifest({"command": "schema-test"}))
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    if TRACE_FILE:
+        with open(TRACE_FILE) as fh:
+            return json.load(fh)
+    return _local_payload(tmp_path_factory.mktemp("trace"))
+
+
+class TestTraceSchema:
+    def test_payload_shape(self, payload):
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"], "trace is empty"
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_manifest_present(self, payload):
+        manifest = payload["otherData"]
+        for key in ("created", "host", "python", "pid", "argv"):
+            assert key in manifest
+
+    def test_events_validate_clean(self, payload):
+        assert validate_trace(payload) == []
+
+    def test_distinct_process_tracks(self, payload):
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert len(pids) >= MIN_PIDS
+        named = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert {e["pid"] for e in named} == pids
+
+    def test_metadata_sorted_first(self, payload):
+        events = payload["traceEvents"]
+        metas = [i for i, e in enumerate(events) if e["ph"] == "M"]
+        assert metas == list(range(len(metas)))
+
+    @pytest.mark.skipif(
+        not TRACE_FILE, reason="needs a real serve trace (CI artifact)"
+    )
+    def test_serve_trace_content(self, payload):
+        events = payload["traceEvents"]
+        assert any(e.get("cat") == "kernel" and e["ph"] == "B" for e in events)
+        assert any(e.get("name") == "flush" for e in events)
+        assert any(e.get("name") == "queue_depth" for e in events)
+        assert any(
+            e.get("name") == "rpc" and e["ph"] == "b" for e in events
+        )

@@ -1,0 +1,207 @@
+"""Unit tests for the Tracer ring buffer and Chrome-trace emission."""
+
+import json
+import threading
+import tracemalloc
+
+import pytest
+
+import repro.trace.tracer as tracer_mod
+from repro.trace import Tracer, run_manifest, trace_span, validate_trace
+
+
+class TestSpans:
+    def test_sync_span_emits_balanced_be(self):
+        t = Tracer()
+        with t.span("outer", cat="test", args={"k": 1}):
+            with t.span("inner", cat="test"):
+                pass
+        evs = t.events()
+        assert [e["ph"] for e in evs] == ["B", "B", "E", "E"]
+        assert [e["name"] for e in evs[:2]] == ["outer", "inner"]
+        assert evs[0]["args"] == {"k": 1}
+        assert validate_trace(evs) == []
+
+    def test_async_span_ids_are_pid_qualified(self):
+        t = Tracer()
+        t.begin_async("req", 7, args={"model": "m"})
+        t.end_async("req", 7)
+        b, e = t.events()
+        assert b["id"] == e["id"] == f"{t.pid}.7"
+        assert validate_trace(t.events()) == []
+
+    def test_counter_and_instant(self):
+        t = Tracer()
+        t.counter("queue_depth", {"samples": 3})
+        t.instant("flush", args={"reason": "full"})
+        c, i = t.events()
+        assert c["ph"] == "C" and c["args"] == {"samples": 3.0}
+        assert i["ph"] == "i" and i["s"] == "t"
+        assert validate_trace(t.events()) == []
+
+    def test_trace_span_helper_tolerates_none(self):
+        with trace_span(None, "noop"):
+            pass  # must not raise
+
+    def test_timestamps_are_wall_clock_microseconds(self):
+        import time
+
+        t = Tracer()
+        before = time.time_ns() // 1_000
+        with t.span("x"):
+            pass
+        after = time.time_ns() // 1_000
+        for ev in t.events():
+            assert before <= ev["ts"] <= after
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        with t.span("a"):
+            pass
+        t.begin_async("r", 1)
+        t.end_async("r", 1)
+        t.counter("c", {"v": 1})
+        t.instant("i")
+        t.meta_process("p")
+        assert len(t) == 0
+
+    def test_disabled_span_is_shared_singleton(self):
+        t = Tracer(enabled=False)
+        assert t.span("a") is t.span("b")
+
+    def test_disabled_span_allocates_nothing_in_tracer_module(self):
+        # The overhead contract: with tracing off, entering/exiting
+        # spans must not allocate (no per-call span objects).
+        t = Tracer(enabled=False)
+        filt = tracemalloc.Filter(True, tracer_mod.__file__)
+        tracemalloc.start()
+        try:
+            for _ in range(50):
+                with t.span("hot"):
+                    pass
+            snap = tracemalloc.take_snapshot().filter_traces([filt])
+            allocated = sum(stat.size for stat in snap.statistics("lineno"))
+        finally:
+            tracemalloc.stop()
+        assert allocated == 0
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_and_counts_drops(self):
+        t = Tracer(capacity=4)
+        for i in range(10):
+            t.instant(f"e{i}")
+        assert len(t) == 4
+        assert t.dropped == 6
+        assert [e["name"] for e in t.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_drain_clears_and_extend_splices(self):
+        a = Tracer()
+        a.instant("one")
+        events = a.drain()
+        assert len(a) == 0 and len(events) == 1
+        b = Tracer()
+        b.instant("two")
+        b.extend(events)
+        assert [e["name"] for e in b.events()] == ["two", "one"]
+
+    def test_thread_safety_under_concurrent_emission(self):
+        t = Tracer()
+        n, threads = 200, 8
+
+        def hammer():
+            for i in range(n):
+                with t.span("s"):
+                    pass
+
+        ts = [threading.Thread(target=hammer) for _ in range(threads)]
+        for th in ts:
+            th.start()
+        for th in ts:
+            th.join()
+        assert len(t) == 2 * n * threads
+        assert validate_trace(t.events()) == []
+
+
+class TestExport:
+    def test_to_chrome_sorts_metadata_first(self):
+        t = Tracer()
+        t.instant("later")
+        t.meta_process("me")
+        payload = t.to_chrome(manifest={"command": "test"})
+        assert payload["traceEvents"][0]["ph"] == "M"
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["command"] == "test"
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        t = Tracer(process_name="unit")
+        with t.span("a", cat="k"):
+            pass
+        path = tmp_path / "trace.json"
+        count = t.write(str(path), manifest=run_manifest({"x": 1}))
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == count == 3
+        assert validate_trace(payload) == []
+        assert payload["otherData"]["x"] == 1
+
+    def test_run_manifest_core_fields(self):
+        m = run_manifest()
+        for key in ("created", "host", "platform", "python", "pid", "argv"):
+            assert key in m
+
+
+class TestValidate:
+    def test_rejects_crossed_sync_spans(self):
+        t = Tracer()
+        pid, tid = 1, 1
+        events = [
+            {"ph": "B", "name": "a", "ts": 1, "pid": pid, "tid": tid},
+            {"ph": "B", "name": "b", "ts": 2, "pid": pid, "tid": tid},
+            {"ph": "E", "name": "a", "ts": 3, "pid": pid, "tid": tid},
+            {"ph": "E", "name": "b", "ts": 4, "pid": pid, "tid": tid},
+        ]
+        assert any("not nested" in p for p in validate_trace(events))
+
+    def test_rejects_unclosed_spans(self):
+        events = [{"ph": "B", "name": "a", "ts": 1, "pid": 1, "tid": 1}]
+        assert any("never closed" in p for p in validate_trace(events))
+
+    def test_rejects_unmatched_async_end(self):
+        events = [
+            {
+                "ph": "e",
+                "name": "r",
+                "cat": "serve",
+                "id": "1.1",
+                "ts": 1,
+                "pid": 1,
+                "tid": 1,
+            }
+        ]
+        assert any("without matching b" in p for p in validate_trace(events))
+
+    def test_rejects_non_numeric_counter(self):
+        events = [
+            {
+                "ph": "C",
+                "name": "c",
+                "ts": 1,
+                "pid": 1,
+                "tid": 1,
+                "args": {"v": "high"},
+            }
+        ]
+        assert any("numeric" in p for p in validate_trace(events))
+
+    def test_rejects_unknown_ph_and_missing_fields(self):
+        problems = validate_trace(
+            [{"ph": "Z"}, {"ph": "B", "name": "a"}]
+        )
+        assert any("unknown ph" in p for p in problems)
+        assert any("missing" in p for p in problems)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)

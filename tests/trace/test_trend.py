@@ -1,0 +1,221 @@
+"""Tests for TREND.json accumulation and the perfgate evaluation."""
+
+import json
+
+import pytest
+
+from repro.trace.trend import (
+    evaluate_trend,
+    load_trend,
+    merge_bench_results,
+    save_trend,
+)
+
+
+def _bench_file(tmp_path, experiment, entries):
+    path = tmp_path / f"BENCH_{experiment}.json"
+    path.write_text(json.dumps(entries))
+    return path
+
+
+def _entry(name, qps, ts, **extra):
+    return {
+        "name": name,
+        "batch": 32,
+        "qps": qps,
+        "speedup": 2.0,
+        "timestamp": ts,
+        **extra,
+    }
+
+
+class TestMerge:
+    def test_merge_creates_series_and_meta(self, tmp_path):
+        _bench_file(
+            tmp_path,
+            "engine",
+            [_entry("batched", 100.0, "2026-01-01T00:00:00+00:00", workers=2)],
+        )
+        trend = load_trend(tmp_path / "TREND.json")
+        added = merge_bench_results(trend, tmp_path)
+        assert added == 1
+        points = trend["series"]["engine/batched"]
+        assert points[0]["qps"] == 100.0
+        assert points[0]["meta"] == {"workers": 2}
+
+    def test_remerge_is_idempotent(self, tmp_path):
+        _bench_file(
+            tmp_path, "engine", [_entry("b", 50.0, "2026-01-01T00:00:00+00:00")]
+        )
+        trend = {"version": 1, "series": {}}
+        assert merge_bench_results(trend, tmp_path) == 1
+        assert merge_bench_results(trend, tmp_path) == 0
+        assert len(trend["series"]["engine/b"]) == 1
+
+    def test_points_sorted_by_timestamp(self, tmp_path):
+        trend = {"version": 1, "series": {}}
+        _bench_file(
+            tmp_path, "e", [_entry("b", 2.0, "2026-01-02T00:00:00+00:00")]
+        )
+        merge_bench_results(trend, tmp_path)
+        _bench_file(
+            tmp_path, "e", [_entry("b", 1.0, "2026-01-01T00:00:00+00:00")]
+        )
+        merge_bench_results(trend, tmp_path)
+        stamps = [p["timestamp"] for p in trend["series"]["e/b"]]
+        assert stamps == sorted(stamps)
+
+    def test_missing_core_key_raises(self, tmp_path):
+        _bench_file(tmp_path, "e", [{"name": "x", "qps": 1.0}])
+        with pytest.raises(ValueError, match="missing"):
+            merge_bench_results({"version": 1, "series": {}}, tmp_path)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trend = {"version": 1, "series": {"a/b": []}}
+        path = tmp_path / "sub" / "TREND.json"
+        save_trend(trend, path)
+        assert load_trend(path) == trend
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "TREND.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_trend(path)
+
+
+def _series(*qps_values):
+    return [
+        {
+            "timestamp": f"2026-01-{i + 1:02d}T00:00:00+00:00",
+            "qps": q,
+            "batch": 1,
+            "speedup": 1.0,
+            "meta": {},
+        }
+        for i, q in enumerate(qps_values)
+    ]
+
+
+class TestGate:
+    def test_single_point_passes_trivially(self):
+        verdicts = evaluate_trend(
+            {"version": 1, "series": {"e/b": _series(100.0)}}
+        )
+        assert len(verdicts) == 1
+        assert not verdicts[0].regressed
+        assert verdicts[0].baseline_qps is None
+
+    def test_within_threshold_passes(self):
+        trend = {"version": 1, "series": {"e/b": _series(100.0, 100.0, 80.0)}}
+        (v,) = evaluate_trend(trend, threshold_pct=30.0)
+        assert not v.regressed
+        assert v.baseline_qps == 100.0
+        assert v.change_pct == pytest.approx(-20.0)
+
+    def test_regression_beyond_threshold_fails(self):
+        trend = {"version": 1, "series": {"e/b": _series(100.0, 100.0, 60.0)}}
+        (v,) = evaluate_trend(trend, threshold_pct=30.0)
+        assert v.regressed
+        assert v.change_pct == pytest.approx(-40.0)
+
+    def test_baseline_is_median_of_trailing_window(self):
+        # Window 3 over the priors [90, 100, 110] -> median 100; the
+        # older outlier (1000) must not poison the baseline.
+        trend = {
+            "version": 1,
+            "series": {"e/b": _series(1000.0, 90.0, 100.0, 110.0, 65.0)},
+        }
+        (v,) = evaluate_trend(trend, threshold_pct=30.0, window=3)
+        assert v.baseline_qps == 100.0
+        assert v.regressed
+
+    def test_improvement_never_regresses(self):
+        trend = {"version": 1, "series": {"e/b": _series(50.0, 500.0)}}
+        (v,) = evaluate_trend(trend, threshold_pct=30.0)
+        assert not v.regressed
+        assert v.change_pct == pytest.approx(900.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_trend({"series": {}}, threshold_pct=0)
+        with pytest.raises(ValueError):
+            evaluate_trend({"series": {}}, window=0)
+
+
+class TestCli:
+    def test_perfgate_passes_then_fails_on_injected_regression(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        _bench_file(
+            tmp_path, "e", [_entry("b", 100.0, "2026-01-01T00:00:00+00:00")]
+        )
+        trend_path = tmp_path / "TREND.json"
+        rc = main(
+            [
+                "perfgate",
+                "--results-dir",
+                str(tmp_path),
+                "--trend",
+                str(trend_path),
+                "--write",
+            ]
+        )
+        assert rc == 0
+        assert trend_path.exists()
+        capsys.readouterr()
+        # Inject a 70% QPS drop as a newer bench result.
+        _bench_file(
+            tmp_path, "e", [_entry("b", 30.0, "2026-01-02T00:00:00+00:00")]
+        )
+        rc = main(
+            [
+                "perfgate",
+                "--results-dir",
+                str(tmp_path),
+                "--trend",
+                str(trend_path),
+            ]
+        )
+        assert rc == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_perfgate_nothing_to_gate_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "perfgate",
+                "--results-dir",
+                str(tmp_path),
+                "--trend",
+                str(tmp_path / "TREND.json"),
+            ]
+        )
+        assert rc == 2
+        assert "nothing to gate" in capsys.readouterr().err
+
+    def test_perfgate_on_repo_trend_passes(self):
+        # The committed TREND.json must gate green (the CI perf-trend
+        # job runs exactly this).
+        from pathlib import Path
+
+        from repro.cli import main
+
+        repo = Path(__file__).resolve().parents[2]
+        results = repo / "benchmarks" / "results"
+        if not (results / "TREND.json").exists():
+            pytest.skip("no committed TREND.json")
+        assert (
+            main(
+                [
+                    "perfgate",
+                    "--results-dir",
+                    str(results),
+                    "--trend",
+                    str(results / "TREND.json"),
+                ]
+            )
+            == 0
+        )

@@ -1,0 +1,47 @@
+"""Static analysis for the repro stack: plan verification + linting.
+
+Two pillars, one diagnostic vocabulary (see
+:mod:`repro.analyze.diagnostics`):
+
+- :mod:`repro.analyze.plancheck` proves plan invariants — shapes,
+  quantisation metadata, N:M format legality, packed offset bounds,
+  byte accounting, cache-key completeness — without executing a plan.
+  ``compile_plan(verify=True)`` (the default) and
+  ``ModelRegistry.register`` run it; ``repro check`` is the CLI.
+- :mod:`repro.analyze.lint` enforces project invariants over the
+  source tree; ``repro lint`` is the CLI.
+
+The full rule catalog lives in ``docs/analysis.md``.
+"""
+
+from repro.analyze.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    PlanVerificationError,
+    errors_only,
+)
+from repro.analyze.lint import LINT_RULES, lint_file, lint_paths
+from repro.analyze.plancheck import (
+    PLAN_RULES,
+    check_cache_keys,
+    check_graph,
+    check_model,
+    verify_plan,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "PlanVerificationError",
+    "errors_only",
+    "LINT_RULES",
+    "lint_file",
+    "lint_paths",
+    "PLAN_RULES",
+    "check_cache_keys",
+    "check_graph",
+    "check_model",
+    "verify_plan",
+]

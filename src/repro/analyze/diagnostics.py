@@ -1,0 +1,114 @@
+"""Structured diagnostics shared by the plan verifier and the linter.
+
+Every check in :mod:`repro.analyze` reports through the same record —
+a :class:`Diagnostic` names the violated rule, where it fired (a layer
+name for plan checks, ``file:line`` for lint findings), what is wrong,
+and how to fix it.  Tooling (the ``repro check`` / ``repro lint`` CLI,
+CI) renders or serialises the records; nothing in here prints.
+
+:class:`PlanVerificationError` is the typed rejection the compile and
+serving layers raise when error-severity plan diagnostics survive: it
+derives from :class:`ValueError` (an invalid plan configuration *is* a
+value error, and pre-verifier callers caught exactly that) and carries
+a stable ``code`` so the serving wire protocol can transport it like
+any other typed serve error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "PlanVerificationError",
+    "errors_only",
+]
+
+#: Severity levels.  ``error`` diagnostics fail ``repro check`` /
+#: ``repro lint`` and make the plan verifier raise; ``warning``
+#: diagnostics are reported but do not gate.
+ERROR = "error"
+WARNING = "warning"
+_SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a plan-verifier or lint rule.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier (``plan-*`` for the verifier, lint rule
+        ids otherwise) — the key into the docs/analysis.md catalog and
+        the ``# repro: allow(<rule>)`` suppression syntax.
+    severity:
+        ``"error"`` or ``"warning"``.
+    where:
+        Locus of the finding: a graph/layer name for plan checks,
+        ``path:line`` for lint findings.
+    message:
+        What invariant is violated, with the observed values.
+    hint:
+        How to fix it (may be empty).
+    """
+
+    rule: str
+    severity: str
+    where: str
+    message: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {_SEVERITIES}, got {self.severity!r}"
+            )
+
+    def format(self) -> str:
+        """One-line human rendering: ``where: severity [rule] message``."""
+        line = f"{self.where}: {self.severity} [{self.rule}] {self.message}"
+        if self.hint:
+            line += f" (hint: {self.hint})"
+        return line
+
+    def to_json(self) -> dict:
+        """JSON-safe dict (the ``--json`` CLI output shape)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "where": self.where,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def errors_only(diagnostics) -> list[Diagnostic]:
+    """The error-severity subset, in report order."""
+    return [d for d in diagnostics if d.severity == ERROR]
+
+
+class PlanVerificationError(ValueError):
+    """A plan (or its graph) failed static verification.
+
+    Raised by :func:`repro.engine.plan.compile_plan` (``verify=True``)
+    and by serving registration before a bad deployment can take
+    traffic.  ``diagnostics`` holds the error-severity records behind
+    the rejection; ``code`` is the stable wire identifier the serving
+    error protocol transports (see :mod:`repro.serve.errors`).
+    """
+
+    code = "plan_verification"
+    #: Class-level fallback: wire-decoded twins carry only the detail
+    #: string, so attribute access stays safe on the receiving side.
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    def __init__(self, diagnostics=(), detail: str | None = None):
+        self.diagnostics = tuple(diagnostics)
+        if detail is None:
+            detail = "; ".join(d.format() for d in self.diagnostics) or (
+                "plan verification failed"
+            )
+        super().__init__(detail)

@@ -1,0 +1,567 @@
+"""AST-based project-invariant linter over ``src/repro``.
+
+The rules encode the repo's cross-cutting conventions — the things a
+reviewer has to re-check on every PR because no tool enforces them:
+
+- ``tracer-guard``: every tracer call site is guarded by a
+  ``tracer is None`` comparison in the enclosing function.  The tracer
+  is optional everywhere (PR 7's discipline); an unguarded call is an
+  ``AttributeError`` on the first untraced request.
+- ``serve-typed-errors``: code under ``serve/`` raises only the typed
+  errors of :mod:`repro.serve.errors` (plus validation/transport
+  exceptions) — anything else crosses the TCP/pipe boundary as an
+  opaque ``serve_error`` and loses its contract.
+- ``trace-walltime``: inside :mod:`repro.trace`, wall-clock reads go
+  through ``_now_us`` only, so every span shares one clock.
+- ``mutable-default``: no mutable default arguments.
+- ``bare-except``: no bare ``except:`` — it swallows
+  ``KeyboardInterrupt``/``SystemExit`` in serving loops.
+- ``kernel-loop-alloc``: no ndarray allocation inside the registered
+  kernel inner-loop functions' ``for``/``while`` bodies — per-iteration
+  allocation is exactly the overhead the batched kernels exist to
+  avoid.
+
+Findings are :class:`~repro.analyze.diagnostics.Diagnostic` records
+(``where`` is ``path:line``).  A finding is suppressed by
+``# repro: allow(<rule>[, <rule>...])`` on the flagged line or the
+line above it — suppressions are deliberate, grep-able exemptions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.analyze.diagnostics import ERROR, Diagnostic
+
+__all__ = [
+    "LINT_RULES",
+    "LintRule",
+    "lint_file",
+    "lint_paths",
+    "parse_suppressions",
+]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """``# repro: allow(...)`` comments as a line -> rule-ids map."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(line)
+        if m:
+            out[lineno] = {
+                r.strip() for r in m.group(1).split(",") if r.strip()
+            }
+    return out
+
+
+def _src(node: ast.AST) -> str | None:
+    """Dotted source of a Name/Attribute chain (None when not one)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _src(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+class LintRule:
+    """One project invariant.
+
+    Subclasses set ``id``/``description`` and implement
+    :meth:`check`, returning raw findings; the driver applies
+    suppressions.
+    """
+
+    id = ""
+    description = ""
+
+    def check(
+        self, tree: ast.Module, path: str
+    ) -> list[Diagnostic]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _finding(self, path: str, node: ast.AST, message: str, hint: str = ""):
+        return Diagnostic(
+            self.id, ERROR, f"{path}:{node.lineno}", message, hint
+        )
+
+
+# -- tracer-guard --------------------------------------------------------
+
+#: The Tracer surface (repro.trace.tracer.Tracer) — a call to any of
+#: these on a receiver named ``tracer``/``_tracer`` is a trace site.
+_TRACER_METHODS = frozenset(
+    {
+        "span",
+        "instant",
+        "counter",
+        "begin_async",
+        "end_async",
+        "meta_process",
+        "meta_thread",
+        "write",
+        "drain",
+        "extend",
+    }
+)
+
+
+class TracerGuardRule(LintRule):
+    """Tracer calls must sit in a function that None-checks the tracer.
+
+    A receiver counts as a tracer when its final attribute is named
+    ``tracer`` or ``_tracer`` (covers ``tracer``, ``self.tracer``,
+    ``self._tracer``, ``plan._tracer``).  The guard is any
+    ``<receiver> is None`` / ``is not None`` comparison in the
+    innermost enclosing function — if-guards, early returns, and
+    conditional expressions all qualify.  :func:`trace_span` carries
+    the guard internally and needs none at the call site.
+    """
+
+    id = "tracer-guard"
+    description = (
+        "tracer method calls must be guarded by a `tracer is None` "
+        "check in the enclosing function"
+    )
+
+    def check(self, tree, path):
+        spans: list[tuple[int, int]] = []
+        compares: list[tuple[str, int]] = []
+        calls: list[tuple[str, ast.Call]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+            elif isinstance(node, ast.Compare):
+                if len(node.ops) == 1 and isinstance(
+                    node.ops[0], (ast.Is, ast.IsNot)
+                ):
+                    left = _src(node.left)
+                    right = node.comparators[0]
+                    if left and isinstance(right, ast.Constant) and right.value is None:
+                        compares.append((left, node.lineno))
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr not in _TRACER_METHODS:
+                    continue
+                recv = _src(node.func.value)
+                if recv and recv.rsplit(".", 1)[-1] in ("tracer", "_tracer"):
+                    calls.append((recv, node))
+
+        def innermost(line: int) -> tuple[int, int] | None:
+            best = None
+            for lo, hi in spans:
+                if lo <= line <= hi:
+                    if best is None or (hi - lo) < (best[1] - best[0]):
+                        best = (lo, hi)
+            return best
+
+        out = []
+        for recv, call in calls:
+            span = innermost(call.lineno)
+            if span is not None:
+                in_scope = lambda line: span[0] <= line <= span[1]
+            else:  # module-level call: module-level guards only
+                in_scope = lambda line: innermost(line) is None
+            guarded = any(
+                r == recv and in_scope(line) for r, line in compares
+            )
+            if not guarded:
+                out.append(
+                    self._finding(
+                        path,
+                        call,
+                        f"tracer call `{recv}.{call.func.attr}(...)` has no "
+                        f"`{recv} is None` guard in the enclosing function",
+                        hint=(
+                            "guard with `if <tracer> is not None:` or use "
+                            "repro.trace.tracer.trace_span, which is "
+                            "None-tolerant"
+                        ),
+                    )
+                )
+        return out
+
+
+# -- serve-typed-errors --------------------------------------------------
+
+#: Builtins that must never cross the serving wire: they decode as the
+#: generic ``serve_error`` and drop the typed contract.
+_UNTYPED_RAISES = frozenset(
+    {
+        "RuntimeError",
+        "Exception",
+        "BaseException",
+        "KeyError",
+        "IndexError",
+        "AttributeError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "SystemError",
+        "StopIteration",
+    }
+)
+
+
+class ServeTypedErrorsRule(LintRule):
+    """``serve/`` raises typed errors only.
+
+    Allowed: the :mod:`repro.serve.errors` family (and anything not in
+    the builtin denylist — project classes are assumed typed),
+    ``ValueError``/``TypeError`` (argument validation happens before a
+    request exists), the ``OSError`` family (transport errors — the
+    framing layer maps them), bare re-raises, and raising a caught
+    exception variable.
+    """
+
+    id = "serve-typed-errors"
+    description = (
+        "code under serve/ may only raise typed serve errors across "
+        "the TCP/pipe boundary"
+    )
+
+    def applies(self, path: str) -> bool:
+        return "/serve/" in path.replace("\\", "/")
+
+    def check(self, tree, path):
+        if not self.applies(path):
+            return []
+        out = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            name = _src(target)
+            if name is None:
+                continue
+            bare = name.rsplit(".", 1)[-1]
+            if not isinstance(exc, ast.Call) and bare[:1].islower():
+                continue  # `raise err` — re-raising a caught variable
+            if bare in _UNTYPED_RAISES:
+                out.append(
+                    self._finding(
+                        path,
+                        node,
+                        f"`raise {bare}` in serve/ — decodes as the "
+                        "opaque `serve_error` on the client side",
+                        hint=(
+                            "raise a typed error from repro.serve.errors "
+                            "(subclass ServeError and register it in "
+                            "_WIRE_ERRORS if none fits)"
+                        ),
+                    )
+                )
+        return out
+
+
+# -- trace-walltime ------------------------------------------------------
+
+_WALLCLOCK = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+    }
+)
+
+
+class TraceWalltimeRule(LintRule):
+    """``trace/`` reads the wall clock only inside ``_now_us``.
+
+    Span/instant timestamps must share one clock; a second
+    ``time.time()`` call site in the trace layer silently skews
+    timelines between events.
+    """
+
+    id = "trace-walltime"
+    description = (
+        "inside repro.trace, wall-clock reads are confined to _now_us"
+    )
+
+    def applies(self, path: str) -> bool:
+        return "/trace/" in path.replace("\\", "/")
+
+    def check(self, tree, path):
+        if not self.applies(path):
+            return []
+        sanctioned: list[tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "_now_us"
+            ):
+                sanctioned.append(
+                    (node.lineno, node.end_lineno or node.lineno)
+                )
+        out = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_clock = (
+                isinstance(func, ast.Attribute)
+                and func.attr in _WALLCLOCK
+                and _src(func.value) == "time"
+            ) or (isinstance(func, ast.Name) and func.id in _WALLCLOCK)
+            if not is_clock:
+                continue
+            if any(lo <= node.lineno <= hi for lo, hi in sanctioned):
+                continue
+            out.append(
+                self._finding(
+                    path,
+                    node,
+                    "wall-clock read outside _now_us — span timestamps "
+                    "must come from the single sanctioned clock",
+                    hint="call _now_us() (or take the timestamp as input)",
+                )
+            )
+        return out
+
+
+# -- mutable-default -----------------------------------------------------
+
+
+class MutableDefaultRule(LintRule):
+    """No mutable default arguments anywhere in the tree."""
+
+    id = "mutable-default"
+    description = "no mutable default arguments ([], {}, set())"
+
+    def check(self, tree, path):
+        out = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(
+                    default, (ast.List, ast.Dict, ast.Set)
+                ) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set", "bytearray")
+                )
+                if mutable:
+                    out.append(
+                        self._finding(
+                            path,
+                            default,
+                            f"mutable default argument in {node.name}() — "
+                            "shared across every call",
+                            hint="default to None and construct inside",
+                        )
+                    )
+        return out
+
+
+# -- bare-except ---------------------------------------------------------
+
+
+class BareExceptRule(LintRule):
+    """No bare ``except:`` clauses."""
+
+    id = "bare-except"
+    description = "no bare except: clauses"
+
+    def check(self, tree, path):
+        out = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                out.append(
+                    self._finding(
+                        path,
+                        node,
+                        "bare `except:` also swallows KeyboardInterrupt "
+                        "and SystemExit",
+                        hint="catch Exception (or something narrower)",
+                    )
+                )
+        return out
+
+
+# -- kernel-loop-alloc ---------------------------------------------------
+
+#: The registered kernel inner-loop functions, per module basename.
+#: These are the hot paths the cost model prices; allocating inside
+#: their loops is per-iteration overhead the MCU kernels do not pay.
+KERNEL_HOT_FUNCTIONS: dict[str, frozenset[str]] = {
+    "conv_sparse.py": frozenset(
+        {
+            "gather_matmul_batch",
+            "_sparse_matmul_batch",
+            "sparse_matmul_acc_batch",
+            "sparse_matmul_f32_batch",
+            "sparse_matmul_acc",
+            "sparse_matmul_f32",
+        }
+    ),
+    "fc_dense.py": frozenset({"fc_acc_dense", "fc_dense"}),
+    "csr_kernel.py": frozenset({"fc_acc_csr"}),
+    "im2col.py": frozenset({"im2col", "im2col_batch"}),
+}
+
+_ALLOC_FUNCS = frozenset(
+    {
+        "zeros",
+        "empty",
+        "ones",
+        "full",
+        "zeros_like",
+        "empty_like",
+        "ones_like",
+        "full_like",
+        "array",
+        "arange",
+        "concatenate",
+        "stack",
+        "tile",
+        "repeat",
+    }
+)
+
+
+class KernelLoopAllocRule(LintRule):
+    """No ndarray allocation inside kernel inner-loop bodies.
+
+    Scoped to the declared hot functions (:data:`KERNEL_HOT_FUNCTIONS`)
+    so cold paths — packing, planning, validation — stay free to
+    allocate.
+    """
+
+    id = "kernel-loop-alloc"
+    description = (
+        "no np.ndarray allocation inside registered kernel inner loops"
+    )
+
+    def check(self, tree, path):
+        hot = KERNEL_HOT_FUNCTIONS.get(Path(path).name)
+        if not hot:
+            return []
+        out = []
+        for node in ast.walk(tree):
+            if (
+                not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                or node.name not in hot
+            ):
+                continue
+            for loop in ast.walk(node):
+                if not isinstance(loop, (ast.For, ast.While)):
+                    continue
+                for inner in ast.walk(loop):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    func = inner.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _ALLOC_FUNCS
+                        and _src(func.value) in ("np", "numpy")
+                    ):
+                        out.append(
+                            self._finding(
+                                path,
+                                inner,
+                                f"np.{func.attr}(...) inside a loop of "
+                                f"kernel hot function {node.name}() — "
+                                "allocates every iteration",
+                                hint=(
+                                    "hoist the allocation out of the "
+                                    "loop (preallocate and fill)"
+                                ),
+                            )
+                        )
+        return out
+
+
+#: Rule registry, id -> instance (catalog order = docs order).
+LINT_RULES: dict[str, LintRule] = {
+    rule.id: rule
+    for rule in (
+        TracerGuardRule(),
+        ServeTypedErrorsRule(),
+        TraceWalltimeRule(),
+        MutableDefaultRule(),
+        BareExceptRule(),
+        KernelLoopAllocRule(),
+    )
+}
+
+
+def lint_file(
+    path: str | Path,
+    rules: Iterable[LintRule] | None = None,
+    source: str | None = None,
+) -> list[Diagnostic]:
+    """Lint one file; suppressions applied, findings in line order."""
+    path = Path(path)
+    if source is None:
+        source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as err:
+        return [
+            Diagnostic(
+                "syntax",
+                ERROR,
+                f"{path}:{err.lineno or 0}",
+                f"file does not parse: {err.msg}",
+            )
+        ]
+    allow = parse_suppressions(source)
+    out: list[Diagnostic] = []
+    for rule in rules if rules is not None else LINT_RULES.values():
+        for diag in rule.check(tree, str(path)):
+            line = int(diag.where.rsplit(":", 1)[-1])
+            if any(
+                diag.rule in allow.get(at, ())
+                for at in (line, line - 1)
+            ):
+                continue
+            out.append(diag)
+    out.sort(key=lambda d: int(d.where.rsplit(":", 1)[-1]))
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rule_ids: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint files/directories (``.py`` files, recursively).
+
+    ``rule_ids`` restricts to a subset of :data:`LINT_RULES`; unknown
+    ids raise ``ValueError`` so a typoed ``--rule`` cannot silently
+    lint nothing.
+    """
+    if rule_ids is None:
+        rules = list(LINT_RULES.values())
+    else:
+        unknown = [r for r in rule_ids if r not in LINT_RULES]
+        if unknown:
+            raise ValueError(
+                f"unknown lint rule(s) {unknown}; known: "
+                f"{sorted(LINT_RULES)}"
+            )
+        rules = [LINT_RULES[r] for r in rule_ids]
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    out: list[Diagnostic] = []
+    for f in files:
+        out.extend(lint_file(f, rules))
+    return out

@@ -1,0 +1,762 @@
+"""Static plan verification: prove plan invariants without executing.
+
+Two entry points mirror the two halves of a compile:
+
+- :func:`check_graph` walks a :class:`~repro.compiler.ir.Graph` *before*
+  any weight is packed: abstract shape inference re-derives every op's
+  output shape and compares it to the recorded one, int8 quantisation
+  metadata is checked for dtype/scale consistency, and N:M sparsity
+  annotations are proven legal for each layer's geometry — so an
+  illegal ``1:16`` on a too-narrow FC is a structured diagnostic here
+  instead of a ``ValueError`` deep inside ``NMSparseMatrix.from_dense``
+  (or an IndexError under traffic).
+
+- :func:`verify_plan` inspects a compiled
+  :class:`~repro.engine.plan.ExecutionPlan`: every packed layout's
+  gather/ISA offsets are proven in-bounds from its
+  :class:`~repro.sparsity.nm.NMSparseMatrix` metadata, kernel-choice
+  variants are re-checked against
+  :func:`repro.kernels.cost_model.variant_supported`, and the byte
+  accounting must agree end to end — packed layout bytes ==
+  :class:`~repro.engine.plan.KernelChoice` bytes == the plan's reported
+  ``weight_bytes()`` (== the shared-memory segment sizes under sharded
+  serving, and <= ``max_weight_bytes`` when a budget is given).
+
+:func:`check_cache_keys` closes the third gap: the plan-cache key must
+cover every plan-affecting compile knob.  ``engine/plan.py`` declares
+the knob registry (:data:`~repro.engine.plan.PLAN_KNOBS`); this check
+fails if a ``compile_plan`` parameter is undeclared, or if a declared
+key-relevant knob's probe configurations collapse to the same cache
+key — the mechanical version of the PR-5 ``+acc64`` key-bug review.
+
+All checks emit :class:`~repro.analyze.diagnostics.Diagnostic` records;
+none of them executes a kernel or allocates more than metadata.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.analyze.diagnostics import ERROR, WARNING, Diagnostic
+from repro.kernels.cost_model import variant_supported
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import NMFormat, SUPPORTED_FORMATS
+
+if TYPE_CHECKING:
+    from repro.compiler.ir import Graph, Node
+    from repro.engine.plan import ExecutionPlan
+
+__all__ = [
+    "PLAN_RULES",
+    "check_graph",
+    "verify_plan",
+    "check_cache_keys",
+    "check_model",
+]
+
+#: Rule catalog: id -> one-line invariant (docs/analysis.md holds the
+#: full rationale per rule).
+PLAN_RULES = {
+    "plan-shape": (
+        "abstract shape inference agrees with every node's recorded "
+        "out_shape and all op preconditions hold"
+    ),
+    "plan-quant": (
+        "int8 quantisation metadata is complete and consistent "
+        "(int8 weights_q matching the float weights, positive finite "
+        "scales)"
+    ),
+    "plan-sparse-format": (
+        "every N:M sparsity annotation is legal for its layer's "
+        "geometry (reduce dim divisible by M, known method overrides)"
+    ),
+    "plan-kernel-choice": (
+        "each bound kernel variant passes variant_supported for its "
+        "layer geometry and format"
+    ),
+    "plan-offset-bounds": (
+        "packed gather/ISA offsets are provably in-bounds from the "
+        "NMSparseMatrix metadata"
+    ),
+    "plan-bytes": (
+        "packed layout bytes == kernel-choice bytes == plan "
+        "weight_bytes() == shared-memory segment sizes"
+    ),
+    "plan-budget": "the plan fits the deployment's max_weight_bytes",
+    "plan-cache-key": (
+        "every plan-affecting compile knob is declared and reaches the "
+        "plan-cache key"
+    ),
+}
+
+
+# -- abstract shape inference -------------------------------------------
+
+
+def _pool_shape(in_shape, node) -> tuple[int, ...] | str:
+    if len(in_shape) != 3:
+        return f"expects an (H, W, C) input, got {in_shape}"
+    iy, ix, c = in_shape
+    stride = node.attrs.get("stride")
+    if not stride or stride < 1:
+        return f"stride must be >= 1, got {stride!r}"
+    return (iy // stride, ix // stride, c)
+
+
+def _infer_shape(node: "Node", in_shapes) -> tuple[int, ...] | str | None:
+    """Re-derive ``node``'s output shape from its producers' shapes.
+
+    Returns the inferred shape tuple, an error string when an op
+    precondition is violated, or None for an op the engine cannot
+    compile (reported as its own diagnostic).
+    """
+    op = node.op
+    if op == "input":
+        return tuple(node.attrs["shape"])
+    x = in_shapes[0]
+    if op == "conv2d":
+        if len(x) != 3:
+            return f"expects an (H, W, C) input, got {x}"
+        iy, ix, c = x
+        w = np.asarray(node.attrs["weights"])
+        if w.ndim != 4:
+            return f"weights must be (K, FY, FX, C), got {w.shape}"
+        k, fy, fx, wc = w.shape
+        if wc != c:
+            return f"weight channels {wc} != input channels {c}"
+        s, p = node.attrs.get("s", 1), node.attrs.get("p", 1)
+        oy = (iy + 2 * p - fy) // s + 1
+        ox = (ix + 2 * p - fx) // s + 1
+        if oy < 1 or ox < 1:
+            return (
+                f"kernel {fy}x{fx} stride {s} pad {p} collapses the "
+                f"{iy}x{ix} map to {oy}x{ox}"
+            )
+        return (oy, ox, k)
+    if op == "dense":
+        w = np.asarray(node.attrs["weights"])
+        if w.ndim != 2:
+            return f"weights must be (K, C), got {w.shape}"
+        k, c = w.shape
+        if x[-1] != c:
+            return f"weight cols {c} != input dim {x[-1]}"
+        return (*x[:-1], k)
+    if op in ("relu", "gelu"):
+        return x
+    if op == "add":
+        if in_shapes[0] != in_shapes[1]:
+            return f"input shapes differ: {in_shapes[0]} vs {in_shapes[1]}"
+        return x
+    if op in ("maxpool", "avgpool"):
+        return _pool_shape(x, node)
+    if op == "global_avgpool":
+        if len(x) != 3:
+            return f"expects an (H, W, C) input, got {x}"
+        return (x[2],)
+    if op == "layernorm":
+        gamma = np.asarray(node.attrs["gamma"])
+        if gamma.shape != (x[-1],):
+            return f"gamma shape {gamma.shape} != last dim ({x[-1]},)"
+        return x
+    if op == "attention":
+        if len(x) != 2:
+            return f"expects a (T, D) token input, got {x}"
+        t, d = x
+        heads = node.attrs.get("heads", 0)
+        if heads < 1 or d % heads:
+            return f"dim {d} not divisible by {heads} heads"
+        for key in ("wq", "wk", "wv", "wo"):
+            w = np.asarray(node.attrs[key])
+            if w.shape != (d, d):
+                return f"{key} shape {w.shape} != ({d}, {d})"
+        return (t, d)
+    if op == "flatten":
+        return (int(np.prod(x)),)
+    if op == "tokens":
+        if len(x) != 3:
+            return f"expects an (H, W, C) input, got {x}"
+        return (x[0] * x[1], x[2])
+    if op == "token_mean":
+        if len(x) != 2:
+            return f"expects a (T, C) token input, got {x}"
+        return (x[1],)
+    return None
+
+
+def _reduce_dim(node: "Node") -> int:
+    """Flattened reduce dimension the N:M pattern runs over."""
+    w = np.asarray(node.attrs["weights"])
+    return int(np.prod(w.shape[1:]))
+
+
+def _check_quant(node: "Node", out: list[Diagnostic]) -> None:
+    """int8 metadata consistency for one conv/dense node."""
+    attrs = node.attrs
+    present = [k for k in ("weights_q", "w_scale", "act_scale") if k in attrs]
+    if not present:
+        return  # unquantised nodes keep the documented float fallback
+    missing = [
+        k for k in ("weights_q", "w_scale", "act_scale") if k not in attrs
+    ]
+    if missing:
+        out.append(
+            Diagnostic(
+                "plan-quant",
+                ERROR,
+                node.name,
+                f"partial int8 metadata: has {present}, missing {missing}",
+                hint="quantize_graph attaches all three together",
+            )
+        )
+        return
+    wq = np.asarray(attrs["weights_q"])
+    w = np.asarray(attrs["weights"])
+    if wq.dtype != np.int8:
+        out.append(
+            Diagnostic(
+                "plan-quant",
+                ERROR,
+                node.name,
+                f"weights_q dtype {wq.dtype} is not int8 — the integer "
+                "kernels accumulate int8 x int8 into int32",
+                hint="re-quantise; float scales never reach the kernel",
+            )
+        )
+    if wq.shape != w.shape:
+        out.append(
+            Diagnostic(
+                "plan-quant",
+                ERROR,
+                node.name,
+                f"weights_q shape {wq.shape} != weights shape {w.shape}",
+            )
+        )
+    for key in ("w_scale", "act_scale"):
+        scale = float(attrs[key])
+        if not np.isfinite(scale) or scale <= 0:
+            out.append(
+                Diagnostic(
+                    "plan-quant",
+                    ERROR,
+                    node.name,
+                    f"{key} must be a positive finite float, got {scale!r}",
+                    hint="a zero/NaN scale makes dequantisation undefined",
+                )
+            )
+
+
+def _check_sparse_annotations(node: "Node", out: list[Diagnostic]) -> None:
+    """N:M annotation legality for one conv/dense node (sparse plans)."""
+    method = node.attrs.get("sparse_method")
+    if method is not None and method not in ("gather", "dense"):
+        out.append(
+            Diagnostic(
+                "plan-sparse-format",
+                ERROR,
+                node.name,
+                f"unknown sparse_method override {method!r}",
+                hint="expected 'gather' or 'dense'",
+            )
+        )
+    if "sparse_fmt" not in node.attrs:
+        return
+    fmt = node.attrs["sparse_fmt"]
+    if fmt is None:
+        return  # an explicit None forces the layer dense — always legal
+    if not isinstance(fmt, NMFormat):
+        out.append(
+            Diagnostic(
+                "plan-sparse-format",
+                ERROR,
+                node.name,
+                f"sparse_fmt must be an NMFormat or None, got {type(fmt).__name__}",
+            )
+        )
+        return
+    r = _reduce_dim(node)
+    if r % fmt.m:
+        out.append(
+            Diagnostic(
+                "plan-sparse-format",
+                ERROR,
+                node.name,
+                f"format {fmt.name} cannot pack the layer: reduce dim "
+                f"{r} is not a multiple of M={fmt.m}",
+                hint=(
+                    "drop the annotation (the layer stays dense) or pick "
+                    "a format whose M divides the reduce dimension"
+                ),
+            )
+        )
+        return
+    if fmt.name not in SUPPORTED_FORMATS:
+        out.append(
+            Diagnostic(
+                "plan-sparse-format",
+                WARNING,
+                node.name,
+                f"format {fmt.name} is outside the paper set "
+                f"({', '.join(sorted(SUPPORTED_FORMATS))}): it runs via "
+                "the SW gather but is unmodelled by the cost model",
+            )
+        )
+
+
+def check_graph(
+    graph: "Graph",
+    mode: str = "float",
+    sparse: bool = False,
+    select_fmt: bool = False,
+    accuracy_budget: float = 0.0,
+    backend: str = "sw",
+    accum_dtype: str | None = None,
+) -> list[Diagnostic]:
+    """Pre-compile static checks over ``graph`` for one knob setting.
+
+    Runs abstract shape inference over every node (``plan-shape``),
+    int8 metadata consistency in int8 mode (``plan-quant``), and — for
+    sparse plans — N:M annotation legality (``plan-sparse-format``).
+    Pure metadata walk: no weight is packed, no kernel is bound.
+    """
+    del select_fmt, accuracy_budget, backend, accum_dtype  # shape-neutral
+    out: list[Diagnostic] = []
+    known: dict[str, tuple[int, ...]] = {}
+    for node in graph:
+        in_shapes = []
+        resolvable = True
+        for dep in node.inputs:
+            if dep not in known:
+                resolvable = False  # graph.validate() reports topology
+                break
+            in_shapes.append(known[dep])
+        recorded = tuple(node.out_shape)
+        known[node.name] = recorded
+        if not resolvable:
+            continue
+        inferred = _infer_shape(node, in_shapes)
+        if inferred is None:
+            out.append(
+                Diagnostic(
+                    "plan-shape",
+                    ERROR,
+                    node.name,
+                    f"the engine cannot compile op {node.op!r}",
+                    hint="see repro.compiler.ir for the supported op set",
+                )
+            )
+            continue
+        if isinstance(inferred, str):
+            out.append(
+                Diagnostic("plan-shape", ERROR, node.name, inferred)
+            )
+            continue
+        if inferred != recorded:
+            out.append(
+                Diagnostic(
+                    "plan-shape",
+                    ERROR,
+                    node.name,
+                    f"recorded out_shape {recorded} != inferred {inferred} "
+                    f"for op {node.op!r}",
+                    hint=(
+                        "the graph was mutated after construction; "
+                        "rebuild it through the Graph builders"
+                    ),
+                )
+            )
+            continue
+        known[node.name] = inferred
+        if node.op in ("conv2d", "dense"):
+            if mode == "int8":
+                _check_quant(node, out)
+            if sparse:
+                _check_sparse_annotations(node, out)
+    return out
+
+
+# -- compiled-plan checks ------------------------------------------------
+
+
+def _layer_shape(plan: "ExecutionPlan", name: str) -> ConvShape | FcShape | None:
+    return plan.conv_shapes.get(name) or plan.fc_shapes.get(name)
+
+
+def _check_layout_bounds(
+    name: str, layout, out: list[Diagnostic]
+) -> None:
+    """Offset/gather in-bounds proof for one packed layout."""
+    matrix = layout.matrix
+    if matrix is not None:
+        fmt = matrix.fmt
+        offsets = np.asarray(matrix.offsets)
+        expected = matrix.dense_cols // fmt.m * fmt.n
+        if offsets.shape != matrix.values.shape or (
+            offsets.ndim != 2 or offsets.shape[1] != expected
+        ):
+            out.append(
+                Diagnostic(
+                    "plan-offset-bounds",
+                    ERROR,
+                    name,
+                    f"packed arrays inconsistent: values "
+                    f"{matrix.values.shape}, offsets {offsets.shape}, "
+                    f"expected (*, {expected}) for {fmt.name} over "
+                    f"{matrix.dense_cols} dense cols",
+                )
+            )
+            return
+        if offsets.size and int(offsets.max()) >= fmt.m:
+            out.append(
+                Diagnostic(
+                    "plan-offset-bounds",
+                    ERROR,
+                    name,
+                    f"offset {int(offsets.max())} escapes its "
+                    f"M={fmt.m} block — the gather would read a "
+                    "neighbouring block's weight",
+                    hint="the packed stream is corrupt; re-pack from dense",
+                )
+            )
+    if layout.gather_idx is not None and layout.gather_idx.size:
+        gi = layout.gather_idx
+        lo, hi = int(gi.min()), int(gi.max())
+        limit = matrix.dense_cols if matrix is not None else None
+        if lo < 0 or (limit is not None and hi >= limit):
+            out.append(
+                Diagnostic(
+                    "plan-offset-bounds",
+                    ERROR,
+                    name,
+                    f"gather addresses span [{lo}, {hi}] but the dense "
+                    f"reduce dimension is {limit} — out-of-bounds "
+                    "activation reads at run time",
+                    hint="the decoded gather stream is corrupt",
+                )
+            )
+
+
+def _expected_layout_bytes(layout) -> int | None:
+    """Deployable bytes the layout *should* report, from its matrix."""
+    matrix = layout.matrix
+    if matrix is None:
+        return None
+    return matrix.total_bytes(
+        duplicate_offsets=(layout.layout == "isa-conv")
+    )
+
+
+def verify_plan(
+    plan: "ExecutionPlan",
+    graph: "Graph | None" = None,
+    store=None,
+    max_weight_bytes: int | None = None,
+) -> list[Diagnostic]:
+    """Post-compile static checks over a bound :class:`ExecutionPlan`.
+
+    Validates, without executing a single step: kernel-choice legality
+    against the layer geometry (``plan-kernel-choice``), packed
+    offset/gather bounds from the recorded layouts
+    (``plan-offset-bounds``), and byte-accounting consistency between
+    layouts, kernel choices, the plan total, and — when ``store`` (a
+    :class:`~repro.serve.shm.SharedWeightStore`) is given — the shared
+    segments backing the layouts (``plan-bytes``).  With
+    ``max_weight_bytes`` set, the plan must fit it (``plan-budget``).
+
+    ``graph`` enables an extra cross-check that every conv/dense node
+    has a recorded kernel choice.
+    """
+    out: list[Diagnostic] = []
+    layouts = getattr(plan, "_layouts", {})
+    for name, choice in plan.kernel_choices.items():
+        shape = _layer_shape(plan, name)
+        fmt = SUPPORTED_FORMATS.get(choice.fmt) if choice.fmt else None
+        # Registered variant display names are "kind/engine[/fmt]"
+        # ("conv/dense-4x2", "conv/sparse-sw/1:8"); the support
+        # predicate takes the bare engine name.
+        variant = None
+        if choice.variant:
+            parts = choice.variant.split("/")
+            variant = parts[1] if len(parts) > 1 else parts[0]
+        if (
+            shape is not None
+            and variant is not None
+            and (variant.startswith("dense") or fmt is not None)
+            and not variant_supported(choice.kind, variant, shape, fmt)
+        ):
+            out.append(
+                Diagnostic(
+                    "plan-kernel-choice",
+                    ERROR,
+                    name,
+                    f"variant {choice.variant!r} ({choice.kind}, format "
+                    f"{choice.fmt}) is not supported for the layer "
+                    "geometry",
+                    hint="variant_supported() is the single source of truth",
+                )
+            )
+        layout = layouts.get(name)
+        if layout is None:
+            continue
+        _check_layout_bounds(name, layout, out)
+        if layout.weight_bytes != choice.weight_bytes:
+            out.append(
+                Diagnostic(
+                    "plan-bytes",
+                    ERROR,
+                    name,
+                    f"packed layout reports {layout.weight_bytes} weight "
+                    f"bytes but the kernel choice recorded "
+                    f"{choice.weight_bytes}",
+                )
+            )
+        expected = _expected_layout_bytes(layout)
+        if expected is not None and layout.weight_bytes != expected:
+            out.append(
+                Diagnostic(
+                    "plan-bytes",
+                    ERROR,
+                    name,
+                    f"layout {layout.layout!r} reports "
+                    f"{layout.weight_bytes} bytes but its N:M metadata "
+                    f"packs to {expected}",
+                )
+            )
+    if graph is not None:
+        for node in graph:
+            if (
+                node.op in ("conv2d", "dense")
+                and node.name not in plan.kernel_choices
+            ):
+                out.append(
+                    Diagnostic(
+                        "plan-bytes",
+                        ERROR,
+                        node.name,
+                        "conv/dense node has no recorded kernel choice — "
+                        "its bytes are missing from the plan accounting",
+                    )
+                )
+    if layouts and set(layouts) == set(plan.kernel_choices):
+        layout_total = sum(lo.weight_bytes for lo in layouts.values())
+        if layout_total != plan.weight_bytes():
+            out.append(
+                Diagnostic(
+                    "plan-bytes",
+                    ERROR,
+                    plan.graph_name,
+                    f"packed layouts total {layout_total} bytes but "
+                    f"plan.weight_bytes() reports {plan.weight_bytes()}",
+                )
+            )
+    if store is not None:
+        for name, layout in layouts.items():
+            if layout.shared_key is None:
+                continue
+            seg = store.segment_bytes(layout.shared_key)
+            if seg is None:
+                out.append(
+                    Diagnostic(
+                        "plan-bytes",
+                        ERROR,
+                        name,
+                        f"layout claims shared segment "
+                        f"{layout.shared_key!r} but the store has no "
+                        "such segment",
+                    )
+                )
+                continue
+            needed = sum(
+                arr.nbytes
+                for arr in (
+                    layout.values,
+                    layout.packed_offsets,
+                    layout.gather_idx,
+                )
+                if arr is not None
+            )
+            if seg < needed:
+                out.append(
+                    Diagnostic(
+                        "plan-bytes",
+                        ERROR,
+                        name,
+                        f"shared segment {layout.shared_key!r} holds "
+                        f"{seg} bytes but the layout's run-time arrays "
+                        f"need {needed}",
+                    )
+                )
+    if (
+        max_weight_bytes is not None
+        and plan.weight_bytes() > max_weight_bytes
+    ):
+        out.append(
+            Diagnostic(
+                "plan-budget",
+                ERROR,
+                plan.graph_name,
+                f"plan needs {plan.weight_bytes()} weight bytes but the "
+                f"budget is {max_weight_bytes}",
+                hint=(
+                    "raise max_weight_bytes, pick a more compressive "
+                    "format, or unregister another deployment"
+                ),
+            )
+        )
+    return out
+
+
+# -- cache-key completeness ----------------------------------------------
+
+
+def check_cache_keys(
+    key_fn=None, knobs=None, compile_fn=None
+) -> list[Diagnostic]:
+    """Prove the plan-cache key covers every plan-affecting knob.
+
+    Three obligations, all reported under ``plan-cache-key``:
+
+    1. every ``compile_plan`` parameter (except the graph and the
+       ``verify`` toggle, which never changes the produced plan) is
+       declared in :data:`~repro.engine.plan.PLAN_KNOBS`;
+    2. every *key-relevant* knob's declared probe pair maps to two
+       **distinct** cache keys under ``key_fn`` — a knob that changes
+       the plan but not the key silently serves the wrong plan from
+       cache (the historical ``+acc64`` bug class);
+    3. every *key-neutral* knob declares why it may stay out of the key.
+
+    The defaults check the real registry against the real
+    ``_plan_key``; tests inject broken ``key_fn``/``knobs`` to prove
+    the check bites.
+    """
+    if key_fn is None:
+        from repro.engine.engine import _plan_key
+
+        key_fn = _plan_key
+    if knobs is None:
+        from repro.engine.plan import PLAN_KNOBS
+
+        knobs = PLAN_KNOBS
+    if compile_fn is None:
+        from repro.engine.plan import compile_plan
+
+        compile_fn = compile_plan
+    out: list[Diagnostic] = []
+    declared = {k.name for k in knobs}
+    params = [
+        p
+        for p in inspect.signature(compile_fn).parameters
+        if p not in ("graph", "verify")
+    ]
+    for p in params:
+        if p not in declared:
+            out.append(
+                Diagnostic(
+                    "plan-cache-key",
+                    ERROR,
+                    f"compile_plan({p})",
+                    f"parameter {p!r} is not declared in PLAN_KNOBS — "
+                    "the verifier cannot prove it reaches the cache key",
+                    hint=(
+                        "declare it in repro.engine.plan.PLAN_KNOBS with "
+                        "a probe pair (key-relevant) or a reason "
+                        "(key-neutral)"
+                    ),
+                )
+            )
+    for knob in knobs:
+        if not knob.key_relevant:
+            if not knob.reason:
+                out.append(
+                    Diagnostic(
+                        "plan-cache-key",
+                        ERROR,
+                        knob.name,
+                        "key-neutral knob declares no justification",
+                        hint="explain why two settings may share a plan",
+                    )
+                )
+            continue
+        if not knob.probes:
+            out.append(
+                Diagnostic(
+                    "plan-cache-key",
+                    ERROR,
+                    knob.name,
+                    "key-relevant knob declares no probe pair — "
+                    "distinctness cannot be proven",
+                )
+            )
+            continue
+        a, b = knob.probes
+        key_a, key_b = key_fn(**a), key_fn(**b)
+        if key_a == key_b:
+            out.append(
+                Diagnostic(
+                    "plan-cache-key",
+                    ERROR,
+                    knob.name,
+                    f"knob does not reach the plan-cache key: probe "
+                    f"settings {a} and {b} both map to {key_a!r} — the "
+                    "cache would serve one knob setting's plan for the "
+                    "other",
+                    hint="extend _plan_key to encode the knob",
+                )
+            )
+    return out
+
+
+# -- whole-model convenience --------------------------------------------
+
+
+def check_model(
+    graph: "Graph",
+    mode: str = "float",
+    sparse: bool = False,
+    select_fmt: bool = False,
+    accuracy_budget: float = 0.0,
+    backend: str = "sw",
+    accum_dtype: str | None = None,
+    max_weight_bytes: int | None = None,
+) -> list[Diagnostic]:
+    """Graph checks + a verified compile for one knob configuration.
+
+    The ``repro check`` CLI's per-configuration unit: run
+    :func:`check_graph`; when it is error-free actually compile (with
+    the in-line verifier off — :func:`verify_plan` runs explicitly so
+    *all* diagnostics are collected instead of raising on the first).
+    """
+    diags = check_graph(
+        graph,
+        mode=mode,
+        sparse=sparse,
+        select_fmt=select_fmt,
+        accuracy_budget=accuracy_budget,
+        backend=backend,
+        accum_dtype=accum_dtype,
+    )
+    if any(d.severity == ERROR for d in diags):
+        return diags
+    from repro.engine.plan import compile_plan
+
+    plan = compile_plan(
+        graph,
+        mode,
+        sparse=sparse,
+        select_fmt=select_fmt,
+        accuracy_budget=accuracy_budget,
+        backend=backend,
+        accum_dtype=accum_dtype,
+        verify=False,
+    )
+    diags.extend(
+        verify_plan(plan, graph, max_weight_bytes=max_weight_bytes)
+    )
+    return diags
+
+
+def iter_rules() -> Iterable[tuple[str, str]]:
+    """(rule id, invariant) pairs, catalog order."""
+    return tuple(PLAN_RULES.items())

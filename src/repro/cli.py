@@ -22,6 +22,8 @@ Usage::
     python -m repro loadgen --workers 2 --model A,B [--verify-identity]
     python -m repro loadgen --workers 2 --trace out.json [--stats-json S]
     python -m repro perfgate [--write] [--threshold PCT] [--window N]
+    python -m repro check [--model demo|resnet18|vit] [--backend B] [--json]
+    python -m repro lint [--rule ID] [--json] [paths ...]
 
 Each command prints the corresponding table(s) with the paper's values
 alongside where applicable.  ``table2 --verify`` additionally runs a
@@ -43,7 +45,14 @@ paper models.  ``engine --autotune-k-chunk`` sweeps the gather chunk
 size on the compiled plan, applies the measured winner, and persists
 it to the host-keyed tuning cache consulted by future plan compiles
 (advisory — bit-identical across chunk sizes by construction).
-Exit-code contracts for every subcommand are documented in
+``check`` runs the static plan verifier
+(:mod:`repro.analyze.plancheck`) over a model's full knob matrix —
+modes x sparse x backends — plus the plan-cache-key completeness
+check, without serving a single request; ``lint`` runs the project
+invariant linter (:mod:`repro.analyze.lint`) over ``src/repro`` (or
+the given paths).  Both exit 0 when clean, 1 on error-severity
+diagnostics, 2 on usage errors — the CI static-analysis job gates on
+them.  Exit-code contracts for every subcommand are documented in
 ``docs/cli.md``.
 
 ``serve`` hosts the demo deployments (``resnet-float`` /
@@ -1215,7 +1224,172 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_perfgate)
 
+    p = sub.add_parser(
+        "check",
+        help="statically verify a model's plans across the knob matrix",
+    )
+    p.add_argument(
+        "--model",
+        choices=("demo", "resnet18", "vit"),
+        default="demo",
+        help="model to verify (default: demo)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("sw", "isa", "auto", "all"),
+        default="all",
+        help="sparse backend(s) to cover (default: all three)",
+    )
+    p.add_argument(
+        "--fmt",
+        choices=("1:4", "1:8", "1:16"),
+        default="1:8",
+        help="N:M pruning format of the checked model (default: 1:8)",
+    )
+    p.add_argument(
+        "--max-weight-mb",
+        type=float,
+        default=None,
+        help="also check every plan against this weight budget (MiB)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured diagnostics as JSON",
+    )
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the project-invariant linter over the source tree",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro)",
+    )
+    p.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="restrict to a rule id (repeatable; default: all rules)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the findings as JSON",
+    )
+    p.set_defaults(func=_cmd_lint)
+
     return parser
+
+
+def _cmd_check(args) -> int:
+    """Static plan verification over a model's compile-knob matrix.
+
+    Exit codes: 0 every configuration verified clean, 1 error-severity
+    diagnostics were emitted, 2 usage error.
+    """
+    import json
+
+    from repro.analyze.diagnostics import ERROR
+    from repro.analyze.plancheck import check_cache_keys, check_model
+    from repro.sparsity.nm import SUPPORTED_FORMATS
+
+    fmt = SUPPORTED_FORMATS[args.fmt]
+    if args.model == "demo":
+        from repro.engine.bench import _pruned_demo_graph
+
+        graph = _pruned_demo_graph(fmt, seed=0)
+    else:
+        graph = _sparse_model_graph(args, fmt)
+    backends = (
+        ("sw", "isa", "auto") if args.backend == "all" else (args.backend,)
+    )
+    max_bytes = (
+        int(args.max_weight_mb * 1024 * 1024)
+        if args.max_weight_mb is not None
+        else None
+    )
+    configs = [
+        {"mode": mode, "sparse": False, "backend": "sw"}
+        for mode in ("float", "int8")
+    ] + [
+        {"mode": mode, "sparse": True, "backend": backend}
+        for mode in ("float", "int8")
+        for backend in backends
+    ]
+    diagnostics = []
+    results = []
+    for cfg in configs:
+        diags = check_model(graph, max_weight_bytes=max_bytes, **cfg)
+        diagnostics.extend(diags)
+        results.append(
+            {**cfg, "diagnostics": [d.to_json() for d in diags]}
+        )
+    key_diags = check_cache_keys()
+    diagnostics.extend(key_diags)
+    errors = [d for d in diagnostics if d.severity == ERROR]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "model": args.model,
+                    "configurations": results,
+                    "cache_key": [d.to_json() for d in key_diags],
+                    "errors": len(errors),
+                    "ok": not errors,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for d in diagnostics:
+            print(d.format())
+        print(
+            f"check: {args.model}: {len(configs)} configurations, "
+            f"{len(diagnostics)} diagnostic(s), {len(errors)} error(s)"
+        )
+    return 1 if errors else 0
+
+
+def _cmd_lint(args) -> int:
+    """Project-invariant linting over the source tree.
+
+    Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule id
+    or missing path).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.analyze.lint import lint_paths
+
+    paths = args.paths or ["src/repro"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"lint: no such path(s): {missing}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(paths, rule_ids=args.rule or None)
+    except ValueError as err:
+        print(f"lint: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [d.to_json() for d in findings],
+                    "ok": not findings,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for d in findings:
+            print(d.format())
+        print(f"lint: {len(findings)} finding(s)")
+    return 1 if findings else 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -109,7 +109,7 @@ def _plan_key(
 class InferenceEngine:
     """Compile-once, run-batched graph execution with a plan cache."""
 
-    def __init__(self, trace=None) -> None:
+    def __init__(self, trace=None, verify: bool = True) -> None:
         self._plans: "weakref.WeakKeyDictionary[Graph, dict[str, tuple[ExecutionPlan, tuple]]]" = (
             weakref.WeakKeyDictionary()
         )
@@ -127,6 +127,12 @@ class InferenceEngine:
         #: as untraced — the attribute is read once per run and the
         #: traced branches are never entered.
         self.tracer = trace
+        #: Engine-level default for :meth:`compile`'s ``verify``
+        #: parameter.  ``False`` opts the whole engine out of static
+        #: plan verification — the seed-behaviour baseline the
+        #: throughput benchmarks measure; serving engines keep the
+        #: verified default.
+        self.verify = verify
         self._cache_hits = 0
         self._compile_time_s = 0.0
         self._per_key_stats: dict[str, dict] = {}
@@ -142,6 +148,7 @@ class InferenceEngine:
         accuracy_budget: float = 0.0,
         backend: str = "sw",
         accum_dtype: str | None = None,
+        verify: bool | None = None,
     ) -> ExecutionPlan:
         """Return the cached plan for ``(graph, mode, sparse, selection,
         backend)``.
@@ -162,7 +169,16 @@ class InferenceEngine:
         plan never reads that metadata and is unaffected); a cached
         sparse plan additionally refreshes when a node's ``sparse_fmt``
         / ``sparse_method`` override changed.
+
+        ``verify=True`` requires a statically verified plan (see
+        :func:`repro.engine.plan.compile_plan`): cold compiles run the
+        verifier in-line, and a cached plan compiled with
+        ``verify=False`` is re-verified before it is returned.  ``None``
+        (the default) defers to the engine-level default (``True``
+        unless the engine was built with ``verify=False``).
         """
+        if verify is None:
+            verify = self.verify
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}")
         # Validate before the cache lookup: _plan_key ignores select_fmt
@@ -230,6 +246,7 @@ class InferenceEngine:
                             accuracy_budget=accuracy_budget,
                             backend=backend,
                             accum_dtype=accum_dtype,
+                            verify=verify,
                         )
                 else:
                     plan = compile_plan(
@@ -240,6 +257,7 @@ class InferenceEngine:
                         accuracy_budget=accuracy_budget,
                         backend=backend,
                         accum_dtype=accum_dtype,
+                        verify=verify,
                     )
                 elapsed = time.perf_counter() - started
                 entry = (plan, sig)
@@ -264,7 +282,21 @@ class InferenceEngine:
                         cat="engine",
                         args={"graph": graph.name, "key": key},
                     )
-            return entry[0]
+            plan = entry[0]
+            if verify and not plan.verified:
+                # Cache hit on a plan compiled with verify=False: the
+                # verified contract still holds for this caller.
+                from repro.analyze.diagnostics import (
+                    PlanVerificationError,
+                    errors_only,
+                )
+                from repro.analyze.plancheck import verify_plan
+
+                problems = errors_only(verify_plan(plan, graph))
+                if problems:
+                    raise PlanVerificationError(problems)
+                plan.verified = True
+            return plan
 
     def _key_stats(self, key: str) -> dict:
         """Per-plan-key counters (caller holds ``self._lock``)."""

@@ -165,6 +165,102 @@ class KernelChoice:
 
 
 @dataclass(frozen=True)
+class PlanKnob:
+    """Declaration of one plan-affecting compile knob.
+
+    The registry below (:data:`PLAN_KNOBS`) is the contract the plan
+    verifier's cache-key check enforces
+    (:func:`repro.analyze.plancheck.check_cache_keys`): every
+    ``compile_plan`` parameter must be declared here, every
+    *key-relevant* knob must supply a probe pair (two complete
+    ``_plan_key`` argument dicts differing only in this knob) that the
+    check proves maps to two distinct cache keys, and every
+    *key-neutral* knob must say why two settings may legally share a
+    cached plan.  Adding a compile knob without extending the cache key
+    now fails ``repro check`` instead of silently serving a stale plan
+    (the historical ``+acc64`` bug class).
+    """
+
+    name: str
+    key_relevant: bool
+    reason: str = ""
+    probes: tuple[dict, dict] | None = None
+
+
+#: Every plan-affecting knob, declared.  Probe dicts are complete
+#: ``_plan_key`` call kwargs; the pair differs only in the knob itself.
+PLAN_KNOBS: tuple[PlanKnob, ...] = (
+    PlanKnob(
+        "mode",
+        key_relevant=True,
+        probes=(
+            {"mode": "float", "sparse": False},
+            {"mode": "int8", "sparse": False},
+        ),
+    ),
+    PlanKnob(
+        "sparse",
+        key_relevant=True,
+        probes=(
+            {"mode": "int8", "sparse": False},
+            {"mode": "int8", "sparse": True},
+        ),
+    ),
+    PlanKnob(
+        "select_fmt",
+        key_relevant=True,
+        probes=(
+            {"mode": "int8", "sparse": True, "select_fmt": False},
+            {"mode": "int8", "sparse": True, "select_fmt": True},
+        ),
+    ),
+    PlanKnob(
+        "accuracy_budget",
+        key_relevant=True,
+        probes=(
+            {
+                "mode": "int8",
+                "sparse": True,
+                "select_fmt": True,
+                "accuracy_budget": 0.0,
+            },
+            {
+                "mode": "int8",
+                "sparse": True,
+                "select_fmt": True,
+                "accuracy_budget": 0.25,
+            },
+        ),
+    ),
+    PlanKnob(
+        "backend",
+        key_relevant=True,
+        probes=(
+            {"mode": "int8", "sparse": True, "backend": "sw"},
+            {"mode": "int8", "sparse": True, "backend": "isa"},
+        ),
+    ),
+    PlanKnob(
+        "accum_dtype",
+        key_relevant=True,
+        probes=(
+            {"mode": "float", "sparse": True, "accum_dtype": None},
+            {"mode": "float", "sparse": True, "accum_dtype": "float64"},
+        ),
+    ),
+    PlanKnob(
+        "k_chunk",
+        key_relevant=False,
+        reason=(
+            "advisory gather chunk size: results are bit-identical "
+            "across chunk sizes (CI's autotune gate proves it), and it "
+            "is a process-wide env knob, not a compile_plan parameter"
+        ),
+    ),
+)
+
+
+@dataclass(frozen=True)
 class PlanStep:
     """One pre-bound operation of a compiled plan.
 
@@ -211,6 +307,13 @@ class ExecutionPlan:
     #: Lazily built per-step trace attribution (see _step_trace_args).
     _trace_args: dict[str, dict] | None = field(
         default=None, repr=False, compare=False
+    )
+    #: True once the static verifier has passed over this plan.
+    verified: bool = field(default=False, compare=False)
+    #: Packed layout per conv/dense node, recorded at bind time for
+    #: the verifier's offset-bounds and byte-accounting checks.
+    _layouts: dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False
     )
 
     def __len__(self) -> int:
@@ -268,6 +371,8 @@ class ExecutionPlan:
         acts: dict[str, np.ndarray] = {
             self.input_name: batch.astype(np.float32)
         }
+        # Callers dispatch here only with a live tracer (see execute).
+        # repro: allow(tracer-guard)
         with tracer.span(
             f"plan:{self.graph_name}",
             cat="plan",
@@ -281,6 +386,7 @@ class ExecutionPlan:
             for step in self.steps:
                 srcs = (acts[name] for name in step.inputs)
                 cat = "kernel" if step.name in self.kernel_choices else "op"
+                # repro: allow(tracer-guard) — same caller guarantee
                 with tracer.span(step.name, cat=cat, args=targs[step.name]):
                     out = step.run(*srcs)
                 acts[step.name] = out.astype(np.float32, copy=False)
@@ -543,6 +649,7 @@ def _bind_core(
         # Under sharded serving the active store moves the packed
         # storage into shared memory; otherwise this is the identity.
         layout = intern_layout(f"{node.name}/{layout.layout}", layout)
+        plan._layouts[node.name] = layout
         return (
             _DENSE_BACKEND.bind(layout, out_dtype),
             _dense_choice(kind, shape, node, mode),
@@ -551,6 +658,7 @@ def _bind_core(
         node, kind, shape, packed, loss, plan
     )
     layout = intern_layout(f"{node.name}/{layout.layout}", layout)
+    plan._layouts[node.name] = layout
     accum = (
         np.dtype(np.float64)
         if plan.accum_dtype == "float64" and not int8_path
@@ -796,6 +904,7 @@ def compile_plan(
     accuracy_budget: float = 0.0,
     backend: str = "sw",
     accum_dtype: str | None = None,
+    verify: bool = True,
 ) -> ExecutionPlan:
     """Compile ``graph`` into an :class:`ExecutionPlan` for ``mode``.
 
@@ -826,6 +935,16 @@ def compile_plan(
     bit-identical across all three.  ``accum_dtype="float64"``
     (float sparse plans only) widens the gather accumulation for
     serving contracts tighter than the default float tolerance.
+
+    ``verify=True`` (the default) runs the static plan verifier
+    (:mod:`repro.analyze.plancheck`) around the compile: graph-level
+    checks (shapes, quantisation metadata, N:M format legality) before
+    any weight is packed, plan-level checks (kernel variants, packed
+    offset bounds, byte accounting) on the bound result.  Error
+    diagnostics raise
+    :class:`~repro.analyze.diagnostics.PlanVerificationError` (a
+    ``ValueError``); on success ``plan.verified`` is True and the
+    verification is cached with the plan.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}")
@@ -860,6 +979,26 @@ def compile_plan(
 
         k_chunk()
     graph.validate()
+    if verify:
+        # Graph-level checks run before any weight is packed, so an
+        # illegal annotation is a structured diagnostic here instead of
+        # a ValueError deep inside NMSparseMatrix.from_dense.
+        from repro.analyze.diagnostics import PlanVerificationError, errors_only
+        from repro.analyze.plancheck import check_graph
+
+        problems = errors_only(
+            check_graph(
+                graph,
+                mode=mode,
+                sparse=sparse,
+                select_fmt=select_fmt,
+                accuracy_budget=accuracy_budget,
+                backend=backend,
+                accum_dtype=accum_dtype,
+            )
+        )
+        if problems:
+            raise PlanVerificationError(problems)
     input_node = next((n for n in graph if n.op == "input"), None)
     if input_node is None:
         raise ValueError(f"graph {graph.name!r} has no input node")
@@ -894,4 +1033,11 @@ def compile_plan(
         plan.steps.append(
             PlanStep(node.name, node.op, tuple(node.inputs), run, release)
         )
+    if verify:
+        from repro.analyze.plancheck import verify_plan
+
+        problems = errors_only(verify_plan(plan, graph))
+        if problems:
+            raise PlanVerificationError(problems)
+        plan.verified = True
     return plan

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.serve.errors import ServerClosed
 from repro.serve.registry import Deployment
 
 __all__ = ["BatchPolicy", "PendingRequest", "MicroBatch", "Batcher"]
@@ -130,7 +131,7 @@ class Batcher:
     def add(self, request: PendingRequest) -> None:
         """Append an accepted request and wake the formation loop."""
         if self._closing:
-            raise RuntimeError("batcher is closed")  # server guards this
+            raise ServerClosed("batcher is closed")
         self._pending.append(request)
         self._pending_samples += request.samples
         if self._tracer is not None and request.trace_id >= 0:

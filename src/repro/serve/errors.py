@@ -8,6 +8,8 @@ of them derive from :class:`ServeError`.
 
 from __future__ import annotations
 
+from repro.analyze.diagnostics import PlanVerificationError
+
 __all__ = [
     "ServeError",
     "UnknownModel",
@@ -17,6 +19,7 @@ __all__ = [
     "BadRequest",
     "WeightBudgetExceeded",
     "WorkerCrashed",
+    "PlanVerificationError",
     "error_from_code",
     "wire_class",
 ]
@@ -144,7 +147,10 @@ class WorkerCrashed(ServeError):
 
 #: Wire-decodable error classes, most specific first (subclasses before
 #: their bases, so e.g. ``request_too_large`` never decodes as the
-#: ``bad_request`` base).
+#: ``bad_request`` base).  :class:`PlanVerificationError` is raised at
+#: registration time by the static plan verifier (it lives in
+#: :mod:`repro.analyze.diagnostics` — the analyze layer must not import
+#: serve) and is re-exported here as part of the serving contract.
 _WIRE_ERRORS = (
     UnknownModel,
     RequestTooLarge,
@@ -152,6 +158,7 @@ _WIRE_ERRORS = (
     ServerClosed,
     WeightBudgetExceeded,
     WorkerCrashed,
+    PlanVerificationError,
     BadRequest,
 )
 
@@ -183,12 +190,14 @@ def wire_class(cls: type) -> type:
     return wire
 
 
-def error_from_code(code: str, detail: str) -> ServeError:
+def error_from_code(code: str, detail: str) -> Exception:
     """Rebuild the typed error for a stable wire code.
 
     Shared by the TCP client and the sharded router (worker -> router
     error frames): an unknown code degrades to the :class:`ServeError`
-    base rather than failing the decode.
+    base rather than failing the decode.  (The return type is
+    ``Exception`` because :class:`PlanVerificationError` is typed but
+    not a :class:`ServeError` — it belongs to the analyze layer.)
     """
     for cls in _WIRE_ERRORS:
         if cls.code == code:

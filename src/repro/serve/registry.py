@@ -156,6 +156,13 @@ class ModelRegistry:
         compiled weight bytes do not fit raises
         :class:`~repro.serve.errors.WeightBudgetExceeded` (replacing a
         name only charges the delta — the old plan's bytes are freed).
+
+        The warm-up compile runs the static plan verifier
+        (:mod:`repro.analyze.plancheck`): a deployment whose graph or
+        compiled plan violates a plan invariant is rejected with
+        :class:`~repro.serve.errors.PlanVerificationError` before it
+        can take traffic (cache hits included — an unverified cached
+        plan is re-verified here).
         """
         if not name:
             raise ValueError("deployment name must be non-empty")

@@ -374,6 +374,9 @@ class RouterServer:
         leaves neither shared memory nor cache residue behind.
         """
         if self._running or self._closing:
+            # Lifecycle misuse by the embedding process, never a wire
+            # error (and the public contract is pinned to RuntimeError).
+            # repro: allow(serve-typed-errors)
             raise RuntimeError(
                 "sharded deployments must be registered before start()"
             )

@@ -150,7 +150,8 @@ class ModelServer:
         point at least every 50 ms so plateaus render truthfully.
         """
         while True:
-            self.tracer.counter("queue_depth", {"samples": self._depth})
+            if self.tracer is not None:
+                self.tracer.counter("queue_depth", {"samples": self._depth})
             await asyncio.sleep(0.05)
 
     def _drain_queue_failed(self) -> None:
@@ -364,6 +365,8 @@ class ModelServer:
         Called after the member requests' depth contributions have been
         released, so the counter sample reflects the post-batch queue.
         """
+        if self.tracer is None:
+            return
         for req in micro.requests:
             if req.trace_id >= 0:
                 self.tracer.end_async(

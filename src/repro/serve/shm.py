@@ -130,6 +130,8 @@ class SharedWeightStore:
         once published.
         """
         if self._unlinked:
+            # Lifecycle misuse inside the owning process; never crosses
+            # the wire.  # repro: allow(serve-typed-errors)
             raise RuntimeError("store already unlinked")
         cached = self._views.get(key)
         if cached is not None:
@@ -233,6 +235,8 @@ class SharedWeightStore:
     def release(self, keys) -> None:
         """Unlink and forget specific segments (owner only)."""
         if not self.create:
+            # Owner-only lifecycle guard; never crosses the wire.
+            # repro: allow(serve-typed-errors)
             raise RuntimeError("only the owning store may release segments")
         for key in keys:
             entry = self._segments.pop(key, None)
@@ -260,6 +264,15 @@ class SharedWeightStore:
     def total_bytes(self) -> int:
         """Payload bytes across segments (each counted once, shared)."""
         return sum(size for _, size in self._segments.values())
+
+    def segment_bytes(self, key: str) -> int | None:
+        """Recorded payload bytes of one segment (None when unknown).
+
+        The plan verifier's byte-accounting check compares this against
+        the packed layouts that claim the segment.
+        """
+        entry = self._segments.get(key)
+        return entry[1] if entry is not None else None
 
     def stats(self) -> dict:
         return {
@@ -290,6 +303,8 @@ class SharedWeightStore:
         never unregister (see module docstring).
         """
         if not self.create:
+            # Owner-only lifecycle guard; never crosses the wire.
+            # repro: allow(serve-typed-errors)
             raise RuntimeError("only the owning store may unlink")
         self.release(list(self._segments))
         self._unlinked = True

@@ -139,10 +139,12 @@ async def _handle_connection(
             # Anything unexpected (e.g. an engine failure surfaced via
             # the request future) must still produce a response line —
             # otherwise the writer task dies and every later pipelined
-            # request on this connection hangs without a reply.
+            # request on this connection hangs without a reply.  Typed
+            # non-ServeError rejections (PlanVerificationError carries
+            # a stable ``code``) keep their code on the wire.
             return {
                 "ok": False,
-                "error": ServeError.code,
+                "error": getattr(err, "code", ServeError.code),
                 "detail": f"{type(err).__name__}: {err}",
             }
 
@@ -341,7 +343,7 @@ class TcpServeClient:
         return resp["weight_budget"]
 
 
-def _error_from_code(resp: dict) -> ServeError:
+def _error_from_code(resp: dict) -> Exception:
     code = resp.get("error", "serve_error")
     return error_from_code(code, resp.get("detail", code))
 

@@ -1,0 +1,143 @@
+"""Defect corpus for the static analyzers.
+
+Each builder returns a deliberately-broken graph or plan exercising
+exactly one plancheck rule; the tests assert each yields its diagnostic
+and nothing else.  The lint fixtures live alongside as ``.py`` data
+files (under ``serve/`` / ``trace/`` subdirs where a rule is
+path-scoped) — they are linted, never imported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.ir import Graph
+from repro.engine.bench import _pruned_demo_graph, resnet_style_graph
+from repro.engine.plan import compile_plan
+from repro.sparsity.nm import FORMAT_1_8, FORMAT_1_16
+
+
+def clean_demo_graph():
+    """The verifier-clean pruned+quantised demo graph (control)."""
+    return _pruned_demo_graph(FORMAT_1_8, 0)
+
+
+def illegal_116_fc_graph() -> Graph:
+    """A 1:16 annotation on an FC too narrow for it (plan-sparse-format).
+
+    The head FC reduces over 24 inputs; 24 % 16 != 0, so the 1:16
+    pattern cannot tile the rows.  Without the verifier this crashes
+    inside ``NMSparseMatrix.from_dense`` mid-compile.
+    """
+    g = Graph("illegal-1-16")
+    x = g.add_input("x", (24,))
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=(10, 24)).astype(np.float32)
+    g.add_dense("head", x, w, bias=np.zeros(10, dtype=np.float32))
+    g.node("head").attrs["sparse_fmt"] = FORMAT_1_16
+    return g
+
+
+def shape_mismatch_graph() -> Graph:
+    """A recorded out_shape the ops cannot produce (plan-shape)."""
+    g = resnet_style_graph()
+    g.node("head").out_shape = (11,)  # the weights produce (10,)
+    return g
+
+
+def bad_quant_dtype_graph() -> Graph:
+    """int8 metadata whose weights_q is not int8 (plan-quant)."""
+    g = clean_demo_graph()
+    node = g.node("head")
+    node.attrs["weights_q"] = node.attrs["weights_q"].astype(np.int16)
+    return g
+
+
+def partial_quant_graph() -> Graph:
+    """A node with scales but no quantised weights (plan-quant)."""
+    g = clean_demo_graph()
+    del g.node("head").attrs["weights_q"]
+    return g
+
+
+def _sparse_layout(plan, need_gather=False):
+    """First (name, layout) with packed N:M metadata, layer order."""
+    for name, layout in plan._layouts.items():
+        if layout.matrix is None:
+            continue
+        if need_gather and layout.gather_idx is None:
+            continue
+        return name, layout
+    raise AssertionError("demo plan bound no sparse layer")
+
+
+def out_of_bounds_offsets_plan():
+    """A compiled plan whose packed offsets escape their M-block
+    (plan-offset-bounds).
+
+    ``NMSparseMatrix`` validates offsets at construction, so the
+    corruption is applied in place *after* the compile — modelling a
+    corrupted deployment artifact, which is exactly what the verifier
+    must catch without executing.
+    """
+    plan = compile_plan(
+        clean_demo_graph(), "int8", sparse=True, verify=False
+    )
+    _, layout = _sparse_layout(plan)
+    layout.matrix.offsets.flags.writeable = True
+    layout.matrix.offsets[0, 0] = layout.matrix.fmt.m  # escapes the block
+    return plan
+
+
+def out_of_bounds_gather_plan():
+    """A plan whose decoded gather addresses escape the reduce dim."""
+    plan = compile_plan(
+        clean_demo_graph(), "int8", sparse=True, verify=False
+    )
+    _, layout = _sparse_layout(plan, need_gather=True)
+    layout.gather_idx.flags.writeable = True
+    layout.gather_idx[0, 0] = layout.matrix.dense_cols  # one past the end
+    return plan
+
+
+def byte_mismatch_plan():
+    """A plan whose kernel-choice bytes disagree with its packed layout
+    (plan-bytes)."""
+    from dataclasses import replace
+
+    plan = compile_plan(
+        clean_demo_graph(), "int8", sparse=True, verify=False
+    )
+    choice = plan.kernel_choices["head"]
+    plan.kernel_choices["head"] = replace(
+        choice, weight_bytes=choice.weight_bytes + 1
+    )
+    return plan
+
+
+def budget_exceeding_plan():
+    """A verifier-clean plan checked against an impossible budget
+    (plan-budget)."""
+    return compile_plan(
+        clean_demo_graph(), "int8", sparse=True, verify=False
+    )
+
+
+def key_fn_missing_accum_dtype(
+    mode,
+    sparse,
+    select_fmt=False,
+    accuracy_budget=0.0,
+    backend="sw",
+    accum_dtype=None,
+):
+    """A fake plan-cache key that forgets ``accum_dtype`` — the
+    historical ``+acc64`` bug class (plan-cache-key)."""
+    key = mode
+    if sparse:
+        key += "+sparse"
+    if select_fmt:
+        key += f"+select@{accuracy_budget:g}"
+    if backend != "sw":
+        key += f"+{backend}"
+    return key

@@ -1,0 +1,41 @@
+"""Lint fixture: kernel-loop-alloc (basename-scoped to conv_sparse.py).
+
+Mirrors the real kernel's shape: the hot function allocating inside
+its chunk loop is the defect; the hoisted variant is the fix.
+"""
+
+import numpy as np
+
+
+def gather_matmul_batch(cols, values, gather_idx, out_dtype):
+    b, p, _ = cols.shape
+    k_total, _ = values.shape
+    out_chunks = []
+    for k0 in range(0, k_total, 8):
+        acc = np.zeros((b, p, min(8, k_total - k0)), dtype=out_dtype)  # finding
+        out_chunks.append(acc)
+    return out_chunks
+
+
+def _sparse_matmul_batch(cols, values, gather_idx, out_dtype):
+    b, p, _ = cols.shape
+    k_total, _ = values.shape
+    acc = np.empty((b, p, k_total), dtype=out_dtype)  # hoisted: fine
+    for k0 in range(0, k_total, 8):
+        acc[:, :, k0 : k0 + 8] = 0
+    return acc
+
+
+def sparse_matmul_acc_batch(cols, values, gather_idx, out_dtype):
+    for k0 in range(0, 64, 8):
+        # staging buffer measured as harmless for this path
+        # repro: allow(kernel-loop-alloc)
+        _ = np.empty((1, 1, 8), dtype=out_dtype)
+    return None
+
+
+def cold_path_helper(rows):
+    out = []
+    for r in rows:  # not a registered hot function: allocation is fine
+        out.append(np.zeros_like(r))
+    return out

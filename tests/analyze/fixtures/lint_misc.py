@@ -1,0 +1,36 @@
+"""Lint fixture: mutable-default + bare-except."""
+
+
+def mutable(items=[]):  # finding: mutable-default
+    items.append(1)
+    return items
+
+
+def fixed(items=None):
+    return list(items or ())
+
+
+def allowed_mutable(cache={}):  # repro: allow(mutable-default)
+    return cache
+
+
+def swallow():
+    try:
+        return 1 / 0
+    except:  # finding: bare-except
+        return None
+
+
+def narrow():
+    try:
+        return 1 / 0
+    except ZeroDivisionError:
+        return None
+
+
+def allowed_swallow():
+    try:
+        return 1 / 0
+    # last-resort reply path must never die
+    except:  # repro: allow(bare-except)
+        return None

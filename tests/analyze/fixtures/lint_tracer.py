@@ -1,0 +1,32 @@
+"""Lint fixture: tracer-guard (data file — linted, never imported)."""
+
+
+class Worker:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def unguarded(self, depth):
+        self.tracer.counter("queue_depth", {"samples": depth})  # finding
+
+    def guarded(self, depth):
+        if self.tracer is not None:
+            self.tracer.counter("queue_depth", {"samples": depth})
+
+    def early_return(self, depth):
+        if self.tracer is None:
+            return
+        self.tracer.counter("queue_depth", {"samples": depth})
+
+    def allowed(self, depth):
+        # caller guarantees a live tracer
+        # repro: allow(tracer-guard)
+        self.tracer.counter("queue_depth", {"samples": depth})
+
+
+def local_unguarded(tracer):
+    tracer.instant("boom")  # finding
+
+
+def local_guarded(tracer):
+    if tracer is not None:
+        tracer.instant("fine")

@@ -1,0 +1,38 @@
+"""Lint fixture: serve-typed-errors (path-scoped to serve/)."""
+
+
+class ServerClosed(Exception):
+    code = "server_closed"
+
+
+def untyped(closing):
+    if closing:
+        raise RuntimeError("batcher is closed")  # finding
+
+
+def typed(closing):
+    if closing:
+        raise ServerClosed("batcher is closed")
+
+
+def validation(x):
+    if x < 0:
+        raise ValueError("x must be >= 0")  # validation is allowed
+
+
+def transport():
+    raise ConnectionError("client is not connected")  # OSError family
+
+
+def reraise():
+    try:
+        untyped(True)
+    except ServerClosed as err:
+        raise err
+
+
+def allowed(closing):
+    if closing:
+        # lifecycle guard, never crosses the wire
+        # repro: allow(serve-typed-errors)
+        raise RuntimeError("owner-only teardown")

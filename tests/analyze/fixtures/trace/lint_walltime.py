@@ -1,0 +1,21 @@
+"""Lint fixture: trace-walltime (path-scoped to trace/)."""
+
+import time
+
+
+def _now_us():
+    return time.time_ns() // 1_000  # the sanctioned clock
+
+
+def skewed_span_start():
+    return int(time.time() * 1e6)  # finding
+
+
+def fine_span_start():
+    return _now_us()
+
+
+def allowed_drift_probe():
+    # deliberate second clock for drift measurement
+    # repro: allow(trace-walltime)
+    return time.monotonic()

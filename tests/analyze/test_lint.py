@@ -1,0 +1,139 @@
+"""Lint-rule tests over the fixture corpus (repro.analyze.lint)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.lint import (
+    LINT_RULES,
+    lint_file,
+    lint_paths,
+    parse_suppressions,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lines(diags):
+    return [int(d.where.rsplit(":", 1)[-1]) for d in diags]
+
+
+def rules(diags):
+    return [d.rule for d in diags]
+
+
+class TestSuppressions:
+    def test_parse(self):
+        src = "x = 1\n# repro: allow(tracer-guard, bare-except)\ny = 2\n"
+        assert parse_suppressions(src) == {
+            2: {"tracer-guard", "bare-except"}
+        }
+
+    def test_allow_on_same_and_previous_line(self):
+        src = (
+            "def f(items=[]):  # repro: allow(mutable-default)\n"
+            "    return items\n"
+            "\n"
+            "# repro: allow(mutable-default)\n"
+            "def g(items=[]):\n"
+            "    return items\n"
+            "\n"
+            "def h(items=[]):\n"
+            "    return items\n"
+        )
+        diags = lint_file("inline.py", source=src)
+        assert rules(diags) == ["mutable-default"]
+        assert lines(diags) == [8]
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = "def f(items=[]):  # repro: allow(bare-except)\n    pass\n"
+        assert rules(lint_file("inline.py", source=src)) == [
+            "mutable-default"
+        ]
+
+
+class TestTracerGuard:
+    def test_fixture(self):
+        diags = lint_file(
+            FIXTURES / "lint_tracer.py",
+            rules=[LINT_RULES["tracer-guard"]],
+        )
+        assert rules(diags) == ["tracer-guard"] * 2
+        assert lines(diags) == [9, 27]  # guarded/early-return/allow silent
+
+    def test_trace_span_helper_not_flagged(self):
+        src = (
+            "from repro.trace.tracer import trace_span\n"
+            "def f(tracer):\n"
+            "    with trace_span(tracer, 'x'):\n"
+            "        pass\n"
+        )
+        assert lint_file("inline.py", source=src) == []
+
+
+class TestServeTypedErrors:
+    def test_fixture(self):
+        diags = lint_file(
+            FIXTURES / "serve" / "lint_raises.py",
+            rules=[LINT_RULES["serve-typed-errors"]],
+        )
+        assert rules(diags) == ["serve-typed-errors"]
+        assert lines(diags) == [10]  # ValueError/OSError/re-raise/allow ok
+
+    def test_rule_is_path_scoped(self):
+        src = "def f():\n    raise RuntimeError('fine outside serve/')\n"
+        assert lint_file("engine/plan.py", source=src) == []
+
+
+class TestTraceWalltime:
+    def test_fixture(self):
+        diags = lint_file(
+            FIXTURES / "trace" / "lint_walltime.py",
+            rules=[LINT_RULES["trace-walltime"]],
+        )
+        assert rules(diags) == ["trace-walltime"]
+        assert lines(diags) == [11]  # _now_us body + allow twin silent
+
+
+class TestKernelLoopAlloc:
+    def test_fixture(self):
+        diags = lint_file(
+            FIXTURES / "conv_sparse.py",
+            rules=[LINT_RULES["kernel-loop-alloc"]],
+        )
+        assert rules(diags) == ["kernel-loop-alloc"]
+        assert lines(diags) == [15]  # hoisted / allow / cold-path silent
+
+    def test_rule_is_basename_scoped(self):
+        src = (
+            "import numpy as np\n"
+            "def gather_matmul_batch(xs):\n"
+            "    for x in xs:\n"
+            "        np.zeros(3)\n"
+        )
+        assert lint_file("somewhere/else.py", source=src) == []
+
+
+class TestMiscRules:
+    def test_fixture(self):
+        diags = lint_file(FIXTURES / "lint_misc.py")
+        assert rules(diags) == ["mutable-default", "bare-except"]
+        assert lines(diags) == [4, 20]
+
+
+class TestDriver:
+    def test_shipped_tree_is_clean(self):
+        src_root = Path(__file__).parents[2] / "src" / "repro"
+        assert lint_paths([src_root]) == []
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            lint_paths([FIXTURES], rule_ids=["no-such-rule"])
+
+    def test_syntax_error_reported_not_raised(self):
+        diags = lint_file("broken.py", source="def f(:\n")
+        assert rules(diags) == ["syntax"]
+
+    def test_every_lint_rule_has_a_fixture_finding(self):
+        found = {d.rule for d in lint_paths([FIXTURES])}
+        assert set(LINT_RULES) <= found

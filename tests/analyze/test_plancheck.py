@@ -1,0 +1,180 @@
+"""Defect-corpus tests: each broken fixture yields exactly its
+diagnostic (repro.analyze.plancheck)."""
+
+import numpy as np
+import pytest
+
+from repro.analyze.diagnostics import (
+    ERROR,
+    Diagnostic,
+    PlanVerificationError,
+    errors_only,
+)
+from repro.analyze.plancheck import (
+    PLAN_RULES,
+    check_cache_keys,
+    check_graph,
+    check_model,
+    verify_plan,
+)
+from repro.engine.plan import PLAN_KNOBS, PlanKnob, compile_plan
+
+from fixtures import (
+    bad_quant_dtype_graph,
+    budget_exceeding_plan,
+    byte_mismatch_plan,
+    clean_demo_graph,
+    illegal_116_fc_graph,
+    key_fn_missing_accum_dtype,
+    out_of_bounds_gather_plan,
+    out_of_bounds_offsets_plan,
+    partial_quant_graph,
+    shape_mismatch_graph,
+)
+
+
+def rules(diags):
+    return [d.rule for d in diags]
+
+
+class TestDiagnostics:
+    def test_format_carries_rule_and_hint(self):
+        d = Diagnostic("plan-shape", ERROR, "conv1", "bad", hint="fix it")
+        assert d.format() == "conv1: error [plan-shape] bad (hint: fix it)"
+        assert d.to_json()["rule"] == "plan-shape"
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Diagnostic("r", "fatal", "x", "m")
+
+    def test_error_joins_diagnostics(self):
+        d = Diagnostic("plan-budget", ERROR, "g", "too big")
+        err = PlanVerificationError([d])
+        assert err.code == "plan_verification"
+        assert "plan-budget" in str(err)
+        assert err.diagnostics == (d,)
+        assert isinstance(err, ValueError)
+
+
+class TestCleanTree:
+    """The control: the shipped demo graph verifies clean everywhere."""
+
+    def test_demo_graph_clean(self):
+        g = clean_demo_graph()
+        assert check_graph(g, "int8", sparse=True) == []
+        assert errors_only(check_model(g, "int8", sparse=True)) == []
+
+    def test_compile_marks_verified(self):
+        plan = compile_plan(clean_demo_graph(), "int8", sparse=True)
+        assert plan.verified
+        assert verify_plan(plan) == []
+
+    def test_verify_false_skips(self):
+        plan = compile_plan(
+            clean_demo_graph(), "int8", sparse=True, verify=False
+        )
+        assert not plan.verified
+
+    def test_real_cache_key_is_complete(self):
+        assert check_cache_keys() == []
+
+
+class TestDefectCorpus:
+    """One broken artifact per rule; exactly that rule fires."""
+
+    def test_illegal_1_16_on_narrow_fc(self):
+        diags = check_graph(illegal_116_fc_graph(), "float", sparse=True)
+        assert rules(diags) == ["plan-sparse-format"]
+        assert "1:16" in diags[0].message and "16" in diags[0].message
+        # and the in-line verifier rejects the compile with the typed error
+        with pytest.raises(PlanVerificationError, match="plan-sparse-format"):
+            compile_plan(illegal_116_fc_graph(), "float", sparse=True)
+
+    def test_shape_mismatch(self):
+        diags = check_graph(shape_mismatch_graph(), "float")
+        assert rules(diags) == ["plan-shape"]
+        assert diags[0].where == "head"
+
+    def test_quant_dtype(self):
+        assert rules(check_graph(bad_quant_dtype_graph(), "int8")) == [
+            "plan-quant"
+        ]
+
+    def test_quant_partial_metadata(self):
+        assert rules(check_graph(partial_quant_graph(), "int8")) == [
+            "plan-quant"
+        ]
+
+    def test_quant_ignored_in_float_mode(self):
+        assert check_graph(bad_quant_dtype_graph(), "float") == []
+
+    def test_out_of_bounds_offset(self):
+        diags = verify_plan(out_of_bounds_offsets_plan())
+        assert rules(diags) == ["plan-offset-bounds"]
+
+    def test_out_of_bounds_gather(self):
+        diags = verify_plan(out_of_bounds_gather_plan())
+        assert rules(diags) == ["plan-offset-bounds"]
+
+    def test_byte_mismatch(self):
+        diags = verify_plan(byte_mismatch_plan())
+        assert set(rules(diags)) == {"plan-bytes"}
+
+    def test_budget_exceeded(self):
+        plan = budget_exceeding_plan()
+        diags = verify_plan(plan, max_weight_bytes=16)
+        assert rules(diags) == ["plan-budget"]
+        assert verify_plan(plan, max_weight_bytes=plan.weight_bytes()) == []
+
+    def test_knob_missing_from_cache_key(self):
+        """The PR-5 +acc64 regression, caught mechanically."""
+        diags = check_cache_keys(key_fn=key_fn_missing_accum_dtype)
+        assert rules(diags) == ["plan-cache-key"]
+        assert diags[0].where == "accum_dtype"
+
+    def test_undeclared_compile_parameter(self):
+        knobs = tuple(k for k in PLAN_KNOBS if k.name != "backend")
+        diags = check_cache_keys(knobs=knobs)
+        assert rules(diags) == ["plan-cache-key"]
+        assert "backend" in diags[0].where
+
+    def test_key_neutral_knob_needs_reason(self):
+        knobs = PLAN_KNOBS + (PlanKnob("mystery", key_relevant=False),)
+        diags = check_cache_keys(knobs=knobs)
+        assert rules(diags) == ["plan-cache-key"]
+        assert diags[0].where == "mystery"
+
+
+class TestCatalog:
+    def test_every_plan_rule_documented(self):
+        assert set(PLAN_RULES) == {
+            "plan-shape",
+            "plan-quant",
+            "plan-sparse-format",
+            "plan-kernel-choice",
+            "plan-offset-bounds",
+            "plan-bytes",
+            "plan-budget",
+            "plan-cache-key",
+        }
+
+
+class TestShapeInference:
+    """The abstract inference agrees with the builders' formulas."""
+
+    def test_mutated_conv_weights_caught(self):
+        g = clean_demo_graph()
+        node = g.node("stem")
+        w = np.asarray(node.attrs["weights"])
+        node.attrs["weights"] = w[:, :1]  # now a 1-row kernel
+        diags = check_graph(g, "float")
+        assert "plan-shape" in rules(diags)
+
+    def test_unknown_op(self):
+        from repro.compiler.ir import Node
+
+        g = clean_demo_graph()
+        g._add(Node("mystery", "mystery_op", ["head"], {}, (5,)))
+        diags = check_graph(g, "float")
+        assert rules(diags) == ["plan-shape"]
+        assert "mystery_op" in diags[0].message

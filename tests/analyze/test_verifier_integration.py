@@ -1,0 +1,100 @@
+"""Verifier integration: registry rejection, wire round-trip, and the
+clean-implies-executable property (repro.analyze <-> engine <-> serve)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analyze.diagnostics import PlanVerificationError
+from repro.analyze.plancheck import check_model
+from repro.engine.bench import resnet_style_graph
+from repro.engine.plan import compile_plan
+from repro.serve.errors import ServeError, error_from_code
+from repro.serve.registry import ModelRegistry
+
+from fixtures import illegal_116_fc_graph, shape_mismatch_graph
+
+
+class TestRegistryRejection:
+    def test_corrupt_deployment_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(PlanVerificationError, match="plan-sparse-format"):
+            registry.register(
+                "bad", illegal_116_fc_graph(), mode="float", sparse=True
+            )
+        assert "bad" not in registry
+        assert len(registry) == 0
+
+    def test_shape_corrupt_deployment_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(PlanVerificationError, match="plan-shape"):
+            registry.register("bad", shape_mismatch_graph())
+        assert len(registry) == 0
+
+    def test_rejection_is_a_value_error(self):
+        """Callers with pre-verifier except ValueError handlers keep working."""
+        registry = ModelRegistry()
+        with pytest.raises(ValueError):
+            registry.register("bad", shape_mismatch_graph())
+
+
+class TestWireRoundTrip:
+    """The typed rejection survives a TCP describe-style error payload."""
+
+    def capture(self):
+        try:
+            ModelRegistry().register(
+                "bad", illegal_116_fc_graph(), mode="float", sparse=True
+            )
+        except PlanVerificationError as err:
+            return err
+        pytest.fail("registration unexpectedly succeeded")
+
+    def test_round_trip_preserves_type_and_detail(self):
+        err = self.capture()
+        # what tcp.py's generic handler would put on the wire
+        payload = {"ok": False, "error": err.code, "detail": str(err)}
+        assert payload["error"] == "plan_verification"
+
+        decoded = error_from_code(payload["error"], payload["detail"])
+        assert isinstance(decoded, PlanVerificationError)
+        assert isinstance(decoded, ValueError)
+        assert not isinstance(decoded, ServeError)
+        assert decoded.code == "plan_verification"
+        assert "plan-sparse-format" in str(decoded)
+        # structured diagnostics don't travel; the class fallback keeps
+        # `except PlanVerificationError as e: e.diagnostics` safe remotely
+        assert decoded.diagnostics == ()
+
+    def test_unknown_code_still_degrades(self):
+        assert type(error_from_code("no_such_code", "x")) is ServeError
+
+
+class TestCleanImpliesExecutable:
+    """Property: a verifier-clean demo graph executes without kernel
+    exceptions — the verifier's pass is a real safety guarantee, not a
+    vacuous one."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        fmt_name=st.sampled_from(["1:4", "1:8", "1:16"]),
+        mode=st.sampled_from(["float", "int8"]),
+        backend=st.sampled_from(["sw", "isa"]),
+    )
+    def test_clean_graph_executes(self, seed, fmt_name, mode, backend):
+        from repro.sparsity.nm import SUPPORTED_FORMATS
+
+        graph = resnet_style_graph(
+            seed=seed, fmt=SUPPORTED_FORMATS[fmt_name]
+        )
+        diags = check_model(graph, mode, sparse=True, backend=backend)
+        assert [d for d in diags if d.severity == "error"] == []
+
+        plan = compile_plan(graph, mode, sparse=True, backend=backend)
+        assert plan.verified
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 12, 12, 3)).astype(np.float32)
+        out = plan.execute(x)
+        assert out.shape == (1, 10)
+        assert np.all(np.isfinite(out))

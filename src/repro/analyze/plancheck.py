@@ -90,6 +90,11 @@ PLAN_RULES = {
         "every plan-affecting compile knob is declared and reaches the "
         "plan-cache key"
     ),
+    "plan-act-skip": (
+        "activation-skip metadata is consistent: a skip-bound kernel "
+        "choice is gather-bound under an enabled plan knob and carries "
+        "a density estimate in [0, 1]; non-skip choices carry none"
+    ),
 }
 
 
@@ -313,6 +318,7 @@ def check_graph(
     accuracy_budget: float = 0.0,
     backend: str = "sw",
     accum_dtype: str | None = None,
+    act_skip: str = "off",
 ) -> list[Diagnostic]:
     """Pre-compile static checks over ``graph`` for one knob setting.
 
@@ -321,7 +327,8 @@ def check_graph(
     sparse plans — N:M annotation legality (``plan-sparse-format``).
     Pure metadata walk: no weight is packed, no kernel is bound.
     """
-    del select_fmt, accuracy_budget, backend, accum_dtype  # shape-neutral
+    # shape-neutral knobs
+    del select_fmt, accuracy_budget, backend, accum_dtype, act_skip
     out: list[Diagnostic] = []
     known: dict[str, tuple[int, ...]] = {}
     for node in graph:
@@ -495,6 +502,55 @@ def verify_plan(
                     f"{choice.fmt}) is not supported for the layer "
                     "geometry",
                     hint="variant_supported() is the single source of truth",
+                )
+            )
+        plan_knob = getattr(plan, "act_skip", "off")
+        if choice.act_skip:
+            if choice.method != "gather" or choice.backend not in (
+                "sparse-sw",
+                "sparse-isa",
+            ):
+                out.append(
+                    Diagnostic(
+                        "plan-act-skip",
+                        ERROR,
+                        name,
+                        f"act_skip is bound on a {choice.method!r} choice "
+                        f"(backend {choice.backend!r}) — skipping is a "
+                        "gather-kernel fast path only",
+                    )
+                )
+            if plan_knob == "off":
+                out.append(
+                    Diagnostic(
+                        "plan-act-skip",
+                        ERROR,
+                        name,
+                        "kernel choice carries act_skip but the plan knob "
+                        "is 'off'",
+                    )
+                )
+            if choice.act_density is None or not (
+                0.0 <= choice.act_density <= 1.0
+            ):
+                out.append(
+                    Diagnostic(
+                        "plan-act-skip",
+                        ERROR,
+                        name,
+                        f"act_density estimate {choice.act_density!r} is "
+                        "not a density in [0, 1]",
+                        hint="calibrate_act_density() stamps the estimate",
+                    )
+                )
+        elif choice.act_density is not None:
+            out.append(
+                Diagnostic(
+                    "plan-act-skip",
+                    ERROR,
+                    name,
+                    f"act_density {choice.act_density!r} recorded on a "
+                    "choice that is not skip-bound",
                 )
             )
         layout = layouts.get(name)
@@ -719,6 +775,7 @@ def check_model(
     accuracy_budget: float = 0.0,
     backend: str = "sw",
     accum_dtype: str | None = None,
+    act_skip: str = "off",
     max_weight_bytes: int | None = None,
 ) -> list[Diagnostic]:
     """Graph checks + a verified compile for one knob configuration.
@@ -736,6 +793,7 @@ def check_model(
         accuracy_budget=accuracy_budget,
         backend=backend,
         accum_dtype=accum_dtype,
+        act_skip=act_skip,
     )
     if any(d.severity == ERROR for d in diags):
         return diags
@@ -749,6 +807,7 @@ def check_model(
         accuracy_budget=accuracy_budget,
         backend=backend,
         accum_dtype=accum_dtype,
+        act_skip=act_skip,
         verify=False,
     )
     diags.extend(

@@ -193,6 +193,19 @@ def _cmd_engine(args) -> int:
             which = "--autotune-k-chunk" if args.autotune_k_chunk else "--select-fmt"
             print(f"error: --model is not supported with {which}", file=sys.stderr)
             return 2
+    if args.act_skip != "off":
+        if not args.sparse:
+            print("error: --act-skip requires --sparse", file=sys.stderr)
+            return 2
+        if args.autotune_k_chunk or args.select_fmt:
+            which = (
+                "--autotune-k-chunk" if args.autotune_k_chunk else "--select-fmt"
+            )
+            print(
+                f"error: --act-skip is not supported with {which}",
+                file=sys.stderr,
+            )
+            return 2
     tracer = None
     args.engine = None
     if args.trace:
@@ -326,6 +339,10 @@ def _engine_sparse(args) -> int:
         backend=args.backend,
         graph=_sparse_model_graph(args, fmt),
         engine=getattr(args, "engine", None),
+        act_skip=args.act_skip,
+    )
+    skip_layers = sum(
+        1 for c in result.kernel_choices.values() if c.act_skip
     )
     table = Table(
         f"Sparse vs dense {result.mode} plans on {result.graph_name} "
@@ -374,7 +391,19 @@ def _engine_sparse(args) -> int:
             if result.backend != "sw"
             else ""
         )
+        + (
+            f", {skip_layers} activation-skip layers"
+            if args.act_skip != "off"
+            else ""
+        )
     )
+    if args.act_skip == "force" and skip_layers == 0:
+        print(
+            "error: --act-skip force bound no layer to the "
+            "activation-skipping path (no gather-bound layer?)",
+            file=sys.stderr,
+        )
+        return 1
     if result.sparse_layers == 0:
         print(
             "error: no layer was routed sparse (dense fallback)",
@@ -485,7 +514,16 @@ def _kernel_choice_table(kernel_choices):
 
     choices = Table(
         "Compile-time kernel choices (sparse plan)",
-        ["layer", "format", "method", "backend", "variant", "weight bytes", "loss"],
+        [
+            "layer",
+            "format",
+            "method",
+            "backend",
+            "variant",
+            "act skip",
+            "weight bytes",
+            "loss",
+        ],
     )
     for name, c in kernel_choices.items():
         choices.add_row(
@@ -495,7 +533,12 @@ def _kernel_choice_table(kernel_choices):
             backend=c.backend or "-",
             variant=c.variant or "-",
             loss=f"{c.loss:.3f}" if c.loss is not None else "-",
-            **{"weight bytes": c.weight_bytes},
+            **{
+                "act skip": (
+                    f"@{c.act_density:.2f}" if c.act_skip else "-"
+                ),
+                "weight bytes": c.weight_bytes,
+            },
         )
     return choices
 
@@ -598,6 +641,7 @@ def _cmd_serve(args) -> int:
             max_weight_bytes=_weight_budget_bytes(args),
             processes=args.workers,
             tracer=tracer,
+            act_skip=args.act_skip,
         )
         async with server:
             tcp = await serve_tcp(server, args.host, args.port)
@@ -642,7 +686,11 @@ def _verify_identity(models: list[str], outputs: list, args) -> list[str]:
 
     The serving contract — single-process or sharded — is that batching
     and process distribution never change numerics; this is the CLI
-    gate for it (the CI multi-worker bit-identity step).
+    gate for it (the CI multi-worker bit-identity step).  The reference
+    registry is deliberately built with ``act_skip="off"``: a run under
+    ``--act-skip auto/force`` is then gated against the plain kernels,
+    proving the zero-skipping fast path bit-identical end to end rather
+    than comparing two skipping stacks against each other.
     """
     import numpy as np
 
@@ -716,6 +764,7 @@ def _cmd_loadgen(args) -> int:
             max_weight_bytes=_weight_budget_bytes(args),
             processes=args.workers,
             tracer=tracer,
+            act_skip=args.act_skip,
         )
         async with server:
             report, outputs = await run_loadgen(
@@ -1060,6 +1109,16 @@ def build_parser() -> argparse.ArgumentParser:
         "overrides the REPRO_K_CHUNK environment variable for this run",
     )
     p.add_argument(
+        "--act-skip",
+        choices=["off", "auto", "force"],
+        default="off",
+        help="with --sparse: runtime activation zero-skipping on "
+        "gather-bound layers — auto engages per layer when the cost "
+        "model deems the measured activation density profitable, force "
+        "engages every gather-bound layer; outputs stay bit-identical "
+        "either way (the identity gates still apply)",
+    )
+    p.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -1096,6 +1155,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sparse",
         action="store_true",
         help="do not host the pruned resnet-sparse-int8 deployment",
+    )
+    p.add_argument(
+        "--act-skip",
+        choices=["off", "auto", "force"],
+        default="off",
+        help="activation zero-skipping knob of the sparse demo "
+        "deployments (calibrated on the demo batch; off for dense "
+        "deployments)",
     )
     p.add_argument(
         "--max-weight-mb",
@@ -1160,6 +1227,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sparse",
         action="store_true",
         help="in-process server only: skip the resnet-sparse-int8 deployment",
+    )
+    p.add_argument(
+        "--act-skip",
+        choices=["off", "auto", "force"],
+        default="off",
+        help="in-process server only: activation zero-skipping knob of "
+        "the sparse demo deployments (pairs with --verify-identity for "
+        "the skip-path bit-identity gate)",
     )
     p.add_argument(
         "--max-weight-mb",
@@ -1316,9 +1391,17 @@ def _cmd_check(args) -> int:
         {"mode": mode, "sparse": False, "backend": "sw"}
         for mode in ("float", "int8")
     ] + [
-        {"mode": mode, "sparse": True, "backend": backend}
+        # act_skip="force" rides the sparse matrix so the verifier's
+        # plan-act-skip rule sees actual skip-bound choices.
+        {
+            "mode": mode,
+            "sparse": True,
+            "backend": backend,
+            "act_skip": act_skip,
+        }
         for mode in ("float", "int8")
         for backend in backends
+        for act_skip in ("off", "force")
     ]
     diagnostics = []
     results = []

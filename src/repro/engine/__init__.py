@@ -19,8 +19,10 @@ See ``docs/engine.md``, ``docs/sparse_engine.md``, and
 ``docs/sparsity.md`` for the full API walkthrough.
 """
 
+from repro.engine.calibrate import calibrate_act_density
 from repro.engine.engine import InferenceEngine, get_default_engine
 from repro.engine.plan import (
+    ACT_SKIP_KNOBS,
     MODES,
     ExecutionPlan,
     KernelChoice,
@@ -30,7 +32,9 @@ from repro.engine.plan import (
 )
 
 __all__ = [
+    "ACT_SKIP_KNOBS",
     "MODES",
+    "calibrate_act_density",
     "ExecutionPlan",
     "KernelChoice",
     "PlanStep",

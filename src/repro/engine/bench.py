@@ -32,11 +32,13 @@ __all__ = [
     "MIXED_DEMO_FMTS",
     "ThroughputResult",
     "SparseThroughputResult",
+    "ActSkipSweepResult",
     "FormatSelectionResult",
     "KChunkAutotuneResult",
     "resnet_style_graph",
     "measure_throughput",
     "measure_sparse_throughput",
+    "measure_act_skip_sweep",
     "measure_format_selection",
     "autotune_k_chunk",
 ]
@@ -396,6 +398,7 @@ def measure_sparse_throughput(
     force_method: str | None = None,
     mode: str = "int8",
     backend: str = "sw",
+    act_skip: str = "off",
 ) -> SparseThroughputResult:
     """Compare the sparse and dense plans of a pruned graph.
 
@@ -411,7 +414,11 @@ def measure_sparse_throughput(
     engine knob; for ``"isa"`` and ``"auto"`` the SW sparse plan is
     additionally compiled, cross-checked (``matches_sw``) and timed
     (``sw_s``) — the isa-vs-sw numbers ``BENCH_sparse_isa.json``
-    reports.
+    reports.  ``act_skip`` opts the sparse plan into activation
+    zero-skipping (the benchmark batch doubles as the density
+    calibration batch for ``"auto"``); the mode's correctness contract
+    gates the skipping plan against the *dense* plan, so the CI smoke
+    proves skip-path bit-identity end to end.
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
@@ -420,13 +427,20 @@ def measure_sparse_throughput(
     with _pinned_sparse_method(graph, force_method):
         engine = engine or InferenceEngine()
         dense_plan = engine.compile(graph, mode, sparse=False)
-        sparse_plan = engine.compile(graph, mode, sparse=True, backend=backend)
         rng = make_rng(seed + 1)
         xs = rng.normal(size=(batch, *dense_plan.input_shape)).astype(np.float32)
+        if act_skip != "off":
+            from repro.engine.calibrate import calibrate_act_density
+
+            calibrate_act_density(graph, xs)
+        sparse_plan = engine.compile(
+            graph, mode, sparse=True, backend=backend, act_skip=act_skip
+        )
 
         dense_out = engine.run_batch(graph, xs, mode=mode)
         sparse_out = engine.run_batch(
-            graph, xs, mode=mode, sparse=True, backend=backend
+            graph, xs, mode=mode, sparse=True, backend=backend,
+            act_skip=act_skip,
         )
         identical = bool(np.array_equal(dense_out, sparse_out))
         max_rel_dev = _relative_deviation(sparse_out, dense_out)
@@ -438,7 +452,8 @@ def measure_sparse_throughput(
         sparse_s = min(
             _time(
                 lambda: engine.run_batch(
-                    graph, xs, mode=mode, sparse=True, backend=backend
+                    graph, xs, mode=mode, sparse=True, backend=backend,
+                    act_skip=act_skip,
                 )
             )
             for _ in range(repeats)
@@ -478,6 +493,161 @@ def measure_sparse_throughput(
         sw_s=sw_s,
         matches_sw=matches_sw,
     )
+
+
+@dataclass
+class ActSkipSweepResult:
+    """One density point of the activation zero-skipping sweep.
+
+    The sweep knob is ``density`` — the fraction of input spatial rows
+    left non-zero.  The measured model's convolutions are bias-free, so
+    zeroed rows survive ReLU and propagate through the whole stack;
+    ``measured_density`` reports what the calibration pass actually saw
+    (mean over the skip-bound layers).  ``identical`` is a hard gate at
+    *every* density: skipping only elides MACs whose inputs are exactly
+    zero, so the skipping plan's int8 output must be bit-identical to
+    the plain sparse plan's.
+    """
+
+    graph_name: str
+    fmt_name: str
+    batch: int
+    #: Requested fraction of non-zero input rows (the sweep knob).
+    density: float
+    #: Mean calibrated activation density over the skip-bound layers.
+    measured_density: float
+    #: Wall-clock of the plain sparse plan (``act_skip="off"``).
+    plain_s: float
+    #: Wall-clock of the skipping sparse plan (``act_skip="force"``).
+    skip_s: float
+    identical: bool
+    skip_layers: int
+    gather_layers: int
+    mode: str = "int8"
+    backend: str = "isa"
+
+    @property
+    def plain_throughput(self) -> float:
+        """Samples/second of the plain sparse plan."""
+        return self.batch / self.plain_s if self.plain_s else 0.0
+
+    @property
+    def skip_throughput(self) -> float:
+        """Samples/second of the zero-skipping sparse plan."""
+        return self.batch / self.skip_s if self.skip_s else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Skipping-plan speedup over the plain sparse plan."""
+        return self.plain_s / self.skip_s if self.skip_s else 0.0
+
+
+def measure_act_skip_sweep(
+    densities: tuple[float, ...] = (1.0, 0.5, 0.1),
+    batch: int = 8,
+    repeats: int = 2,
+    fmt: NMFormat | None = None,
+    seed: int = 0,
+    mode: str = "int8",
+    backend: str = "isa",
+) -> list[ActSkipSweepResult]:
+    """Sweep activation density on a pruned ResNet18 and time skipping.
+
+    Builds the N:M-pruned ``resnet18_cifar`` graph once (quantised for
+    ``mode="int8"``), then for each requested density zeroes the
+    bottom ``(1 - density)`` fraction of input rows, recalibrates the
+    per-layer density estimates on that batch, and compares the plain
+    sparse plan (``act_skip="off"``) against the zero-skipping plan
+    (``act_skip="force"``): bit-identity first, then best-of-``repeats``
+    wall-clock for both.  A fresh engine is compiled per density so the
+    stamped :attr:`~repro.engine.plan.KernelChoice.act_density`
+    estimates always reflect the batch being measured.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    from repro.engine.calibrate import calibrate_act_density
+    from repro.models.quantize import quantize_graph
+    from repro.models.resnet import resnet18_cifar
+
+    fmt = fmt or FORMAT_1_8
+    graph = resnet18_cifar(num_classes=10, fmt=fmt, seed=seed)
+    rng = make_rng(seed + 1)
+    in_shape = graph.nodes["input"].out_shape
+    hw = in_shape[0]
+    if mode == "int8":
+        calib = [
+            (rng.normal(size=in_shape) * 0.5).astype(
+                np.float32
+            )
+            for _ in range(3)
+        ]
+        quantize_graph(graph, calib)
+
+    results: list[ActSkipSweepResult] = []
+    for density in densities:
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {density}")
+        engine = InferenceEngine()
+        xs = rng.normal(size=(batch, *in_shape)).astype(
+            np.float32
+        )
+        zero_rows = int(round(hw * (1.0 - density)))
+        if zero_rows:
+            xs[:, hw - zero_rows :, :, :] = 0.0
+        calibrate_act_density(graph, xs)
+        skip_plan = engine.compile(
+            graph, mode, sparse=True, backend=backend, act_skip="force"
+        )
+        choices = skip_plan.kernel_choices
+        skip_densities = [
+            c.act_density for c in choices.values() if c.act_skip
+        ]
+
+        plain_out = engine.run_batch(
+            graph, xs, mode=mode, sparse=True, backend=backend
+        )
+        skip_out = engine.run_batch(
+            graph, xs, mode=mode, sparse=True, backend=backend,
+            act_skip="force",
+        )
+        plain_s = min(
+            _time(
+                lambda: engine.run_batch(
+                    graph, xs, mode=mode, sparse=True, backend=backend
+                )
+            )
+            for _ in range(repeats)
+        )
+        skip_s = min(
+            _time(
+                lambda: engine.run_batch(
+                    graph, xs, mode=mode, sparse=True, backend=backend,
+                    act_skip="force",
+                )
+            )
+            for _ in range(repeats)
+        )
+        results.append(
+            ActSkipSweepResult(
+                graph_name=graph.name,
+                fmt_name=fmt.name,
+                batch=batch,
+                density=density,
+                measured_density=(
+                    float(np.mean(skip_densities)) if skip_densities else 1.0
+                ),
+                plain_s=plain_s,
+                skip_s=skip_s,
+                identical=bool(np.array_equal(plain_out, skip_out)),
+                skip_layers=sum(1 for c in choices.values() if c.act_skip),
+                gather_layers=sum(
+                    1 for c in choices.values() if c.method == "gather"
+                ),
+                mode=mode,
+                backend=backend,
+            )
+        )
+    return results
 
 
 @dataclass

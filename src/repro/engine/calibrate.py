@@ -1,0 +1,71 @@
+"""Calibration-batch estimation of per-layer activation density.
+
+Activation zero-skipping (the plan-level ``act_skip`` knob) gates on
+how many im2col rows / FC tokens of a layer's input are entirely zero
+at runtime — a property of the *data*, not the weights, so the compile
+needs a measured estimate.  :func:`calibrate_act_density` runs one
+float forward pass over a representative batch and stamps each
+conv/dense node with ``attrs["act_density"]``: the fraction of its
+input rows carrying at least one non-zero value, exactly the quantity
+:func:`repro.kernels.cost_model.act_skip_profitable` consumes when an
+``act_skip="auto"`` plan decides per layer whether bookkeeping pays.
+
+The estimate is measured in the float domain.  That is conservative
+for int8 plans: a float-zero position quantises to zero, so the true
+quantised density can only be lower — ``auto`` under-engages rather
+than over-engages, and the runtime re-check (each skip layer measures
+its actual batch density) covers the drift in both directions.
+
+Stamping mutates the graph's node attrs, which feeds the engine's
+sparse-plan staleness signature — cached sparse plans recompile on the
+next request instead of serving decisions made against the old
+estimate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.plan import compile_plan
+from repro.kernels.im2col import im2col_active_rows
+
+if TYPE_CHECKING:
+    from repro.compiler.ir import Graph
+
+__all__ = ["calibrate_act_density"]
+
+
+def calibrate_act_density(
+    graph: Graph, batch: np.ndarray
+) -> dict[str, float]:
+    """Stamp conv/dense nodes with measured activation row density.
+
+    Runs ``batch`` (shaped ``(B, *input_shape)``) through a float
+    forward pass of ``graph`` and, for every conv/dense node, measures
+    the fraction of active input rows — im2col rows with at least one
+    non-zero receptive-field position for conv, tokens with at least
+    one non-zero channel for dense.  The value lands in
+    ``node.attrs["act_density"]`` and the per-node map is returned.
+    """
+    batch = np.asarray(batch)
+    if batch.ndim and batch.shape[0] == 0:
+        raise ValueError("calibration batch must contain at least one sample")
+    plan = compile_plan(graph, mode="float", verify=False)
+    _, acts = plan.execute(batch, return_acts=True)
+    densities: dict[str, float] = {}
+    for node in graph:
+        if node.op not in ("conv2d", "dense"):
+            continue
+        x = acts[node.inputs[0]]
+        if node.op == "conv2d":
+            shape = plan.conv_shapes[node.name]
+            rows = im2col_active_rows(x.any(axis=-1), shape)
+        else:
+            c = int(node.attrs["weights"].shape[1])
+            rows = x.reshape(x.shape[0], -1, c).any(axis=2)
+        density = float(rows.mean())
+        node.attrs["act_density"] = density
+        densities[node.name] = density
+    return densities

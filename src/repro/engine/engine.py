@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.engine.plan import (
+    ACT_SKIP_KNOBS,
     BACKEND_KNOBS,
     MODES,
     ExecutionPlan,
@@ -60,9 +61,10 @@ def _sparse_signature(graph: "Graph") -> tuple:
     """Identity of the graph's sparse-routing annotations.
 
     A sparse plan additionally bakes in each conv/dense node's
-    ``sparse_fmt`` / ``sparse_method`` overrides at compile time;
-    changing either must refresh the cached sparse plan (the dense
-    plans never read them).
+    ``sparse_fmt`` / ``sparse_method`` overrides — and, for
+    activation-skipping plans, the calibration ``act_density``
+    estimate — at compile time; changing any of them must refresh the
+    cached sparse plan (the dense plans never read them).
     """
 
     def fmt_key(node):
@@ -72,7 +74,12 @@ def _sparse_signature(graph: "Graph") -> tuple:
         return fmt.name if fmt is not None else "dense"
 
     return tuple(
-        (node.name, fmt_key(node), node.attrs.get("sparse_method"))
+        (
+            node.name,
+            fmt_key(node),
+            node.attrs.get("sparse_method"),
+            node.attrs.get("act_density"),
+        )
         for node in graph
         if node.op in ("conv2d", "dense")
     )
@@ -85,6 +92,7 @@ def _plan_key(
     accuracy_budget: float = 0.0,
     backend: str = "sw",
     accum_dtype: str | None = None,
+    act_skip: str = "off",
 ) -> str:
     """Cache key for a plan, e.g. ``"int8+sparse"`` or
     ``"float+sparse+select@0.1"`` (format-selected plans cache per
@@ -92,8 +100,11 @@ def _plan_key(
     plans additionally cache per execution backend
     (``"int8+sparse+isa"``) — the knob changes the bound kernels and
     the recorded weight accounting, so backends must never share a
-    cache slot — and float sparse plans per accumulation width
-    (``"float+sparse+acc64"``)."""
+    cache slot — float sparse plans per accumulation width
+    (``"float+sparse+acc64"``), and activation-skipping plans per knob
+    value (``"int8+sparse+askip-force"``): the bound step closures and
+    the recorded skip metadata differ, so ``off``/``auto``/``force``
+    must never alias."""
     key = mode
     if sparse:
         key += "+sparse"
@@ -103,6 +114,8 @@ def _plan_key(
             key += f"+{backend}"
         if accum_dtype == "float64":
             key += "+acc64"
+        if act_skip != "off":
+            key += f"+askip-{act_skip}"
     return key
 
 
@@ -148,6 +161,7 @@ class InferenceEngine:
         accuracy_budget: float = 0.0,
         backend: str = "sw",
         accum_dtype: str | None = None,
+        act_skip: str = "off",
         verify: bool | None = None,
     ) -> ExecutionPlan:
         """Return the cached plan for ``(graph, mode, sparse, selection,
@@ -163,7 +177,10 @@ class InferenceEngine:
         ``"isa"`` / ``"auto"``) and caches per knob — the bound kernels
         and weight layouts differ, only the int8 numerics are
         guaranteed identical.  ``accum_dtype="float64"`` caches the
-        widened float gather accumulation separately.
+        widened float gather accumulation separately, as does each
+        ``act_skip`` knob value (``"off"`` / ``"auto"`` / ``"force"`` —
+        activation zero-skipping changes the bound step closures, never
+        the results).
         A cached int8 plan is transparently recompiled when the graph's
         quantisation metadata changed since it was built (the float
         plan never reads that metadata and is unaffected); a cached
@@ -215,8 +232,24 @@ class InferenceEngine:
                     "accum_dtype='float64' only applies to float sparse "
                     "plans (int8 accumulation is already exact)"
                 )
+        if act_skip not in ACT_SKIP_KNOBS:
+            raise ValueError(
+                f"unknown act_skip {act_skip!r} "
+                f"(expected one of {ACT_SKIP_KNOBS})"
+            )
+        if act_skip != "off" and not sparse:
+            raise ValueError(
+                "act_skip requires sparse=True (only the gather-bound "
+                "sparse kernels skip zero activation rows)"
+            )
         key = _plan_key(
-            mode, sparse, select_fmt, accuracy_budget, backend, accum_dtype
+            mode,
+            sparse,
+            select_fmt,
+            accuracy_budget,
+            backend,
+            accum_dtype,
+            act_skip,
         )
         with self._lock:
             per_graph = self._plans.get(graph)
@@ -246,6 +279,7 @@ class InferenceEngine:
                             accuracy_budget=accuracy_budget,
                             backend=backend,
                             accum_dtype=accum_dtype,
+                            act_skip=act_skip,
                             verify=verify,
                         )
                 else:
@@ -257,6 +291,7 @@ class InferenceEngine:
                         accuracy_budget=accuracy_budget,
                         backend=backend,
                         accum_dtype=accum_dtype,
+                        act_skip=act_skip,
                         verify=verify,
                     )
                 elapsed = time.perf_counter() - started
@@ -345,6 +380,7 @@ class InferenceEngine:
         accuracy_budget: float = 0.0,
         backend: str = "sw",
         accum_dtype: str | None = None,
+        act_skip: str = "off",
     ):
         """Run a forward pass over a single sample or a batch.
 
@@ -355,8 +391,9 @@ class InferenceEngine:
         through the sparse kernels (bit-identical output in int8, to
         rounding in float); ``select_fmt`` / ``accuracy_budget`` enable
         per-layer format selection; ``backend`` picks the sparse
-        execution engine and ``accum_dtype`` the float gather
-        accumulation width (see :meth:`compile`).
+        execution engine, ``accum_dtype`` the float gather
+        accumulation width, and ``act_skip`` the activation
+        zero-skipping knob (see :meth:`compile`).
         """
         plan = self.compile(
             graph,
@@ -366,6 +403,7 @@ class InferenceEngine:
             accuracy_budget=accuracy_budget,
             backend=backend,
             accum_dtype=accum_dtype,
+            act_skip=act_skip,
         )
         x = np.asarray(x)
         declared = plan.input_shape
@@ -399,6 +437,7 @@ class InferenceEngine:
         accuracy_budget: float = 0.0,
         backend: str = "sw",
         accum_dtype: str | None = None,
+        act_skip: str = "off",
     ):
         """Run a strict ``(B, *input_shape)`` batch through the plan."""
         plan = self.compile(
@@ -409,6 +448,7 @@ class InferenceEngine:
             accuracy_budget=accuracy_budget,
             backend=backend,
             accum_dtype=accum_dtype,
+            act_skip=act_skip,
         )
         batch = np.asarray(batch)
         if tuple(batch.shape[1:]) != plan.input_shape or batch.ndim != len(

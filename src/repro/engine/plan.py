@@ -66,7 +66,8 @@ allows a lossy win.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -77,7 +78,8 @@ from repro.kernels.backend import (
     intern_layout,
     select_backend,
 )
-from repro.kernels.im2col import im2col_batch
+from repro.kernels.cost_model import act_skip_density_cutoff
+from repro.kernels.im2col import im2col_active_rows, im2col_batch
 from repro.kernels.registry import (
     dense_variant_for,
     select_format,
@@ -93,6 +95,7 @@ if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.compiler
 
 __all__ = [
     "MODES",
+    "ACT_SKIP_KNOBS",
     "BACKEND_KNOBS",
     "KernelChoice",
     "PlanStep",
@@ -103,6 +106,11 @@ __all__ = [
 
 #: Numeric modes a plan can be compiled for.
 MODES = ("float", "int8")
+
+#: Values the activation zero-skipping knob accepts: never skip, let the
+#: cost model gate per layer on the calibration density, or enable the
+#: skip path on every gather-bound layer (the test/benchmark setting).
+ACT_SKIP_KNOBS = ("off", "auto", "force")
 
 
 def quantize_activations(x: np.ndarray, scale: float) -> np.ndarray:
@@ -149,7 +157,13 @@ class KernelChoice:
     names the :mod:`repro.kernels.backend` object that bound the layer:
     ``"sparse-sw"`` or ``"sparse-isa"`` for gather-bound N:M layers,
     ``"dense"`` for dense bindings (including scatter-to-dense sparse
-    layers).
+    layers).  ``act_skip`` is True when the layer was bound with the
+    activation zero-skipping fast path (gather-bound layers only, under
+    the plan-level ``act_skip`` knob); ``act_density`` then records the
+    calibration-batch row-density estimate the decision was based on
+    (1.0 — every row active — when the graph carries no calibration),
+    and is None exactly when ``act_skip`` is False (the
+    ``plan-act-skip`` verifier rule).
     """
 
     kind: str
@@ -162,6 +176,8 @@ class KernelChoice:
     dense_cycles: float | None = None
     loss: float | None = None
     backend: str | None = None
+    act_skip: bool = False
+    act_density: float | None = None
 
 
 @dataclass(frozen=True)
@@ -249,6 +265,14 @@ PLAN_KNOBS: tuple[PlanKnob, ...] = (
         ),
     ),
     PlanKnob(
+        "act_skip",
+        key_relevant=True,
+        probes=(
+            {"mode": "int8", "sparse": True, "act_skip": "off"},
+            {"mode": "int8", "sparse": True, "act_skip": "force"},
+        ),
+    ),
+    PlanKnob(
         "k_chunk",
         key_relevant=False,
         reason=(
@@ -297,6 +321,8 @@ class ExecutionPlan:
     backend: str = "sw"
     #: Widened float gather accumulation ("float64"), or None (float32).
     accum_dtype: str | None = None
+    #: Activation zero-skipping knob: "off", "auto" or "force".
+    act_skip: str = "off"
     steps: list[PlanStep] = field(default_factory=list)
     #: Resolved geometry per conv node (introspection / cost hooks).
     conv_shapes: dict[str, ConvShape] = field(default_factory=dict)
@@ -359,6 +385,8 @@ class ExecutionPlan:
             if not return_acts:
                 for name in step.release:
                     del acts[name]
+        if self.act_skip != "off":
+            _ACT_STATE.stash = None  # drop the last fused-ReLU mask ref
         if return_acts:
             return acts[self.output], acts
         return acts[self.output]
@@ -371,28 +399,41 @@ class ExecutionPlan:
         acts: dict[str, np.ndarray] = {
             self.input_name: batch.astype(np.float32)
         }
-        # Callers dispatch here only with a live tracer (see execute).
-        # repro: allow(tracer-guard)
-        with tracer.span(
-            f"plan:{self.graph_name}",
-            cat="plan",
-            args={
-                "mode": self.mode,
-                "batch": int(batch.shape[0]),
-                "sparse": self.sparse,
-                "backend": self.backend,
-            },
-        ):
-            for step in self.steps:
-                srcs = (acts[name] for name in step.inputs)
-                cat = "kernel" if step.name in self.kernel_choices else "op"
-                # repro: allow(tracer-guard) — same caller guarantee
-                with tracer.span(step.name, cat=cat, args=targs[step.name]):
-                    out = step.run(*srcs)
-                acts[step.name] = out.astype(np.float32, copy=False)
-                if not return_acts:
-                    for name in step.release:
-                        del acts[name]
+        # The skip closures reach the tracer through the thread-local
+        # side channel: kernel cores only see activation arrays, so this
+        # is how their act_mask spans / density counters attach to the
+        # run without widening every step signature.
+        _ACT_STATE.tracer = tracer
+        try:
+            # Callers dispatch here only with a live tracer (see execute).
+            # repro: allow(tracer-guard)
+            with tracer.span(
+                f"plan:{self.graph_name}",
+                cat="plan",
+                args={
+                    "mode": self.mode,
+                    "batch": int(batch.shape[0]),
+                    "sparse": self.sparse,
+                    "backend": self.backend,
+                    "act_skip": self.act_skip,
+                },
+            ):
+                for step in self.steps:
+                    srcs = (acts[name] for name in step.inputs)
+                    cat = "kernel" if step.name in self.kernel_choices else "op"
+                    # repro: allow(tracer-guard) — same caller guarantee
+                    with tracer.span(
+                        step.name, cat=cat, args=targs[step.name]
+                    ):
+                        out = step.run(*srcs)
+                    acts[step.name] = out.astype(np.float32, copy=False)
+                    if not return_acts:
+                        for name in step.release:
+                            del acts[name]
+        finally:
+            _ACT_STATE.tracer = None
+            if self.act_skip != "off":
+                _ACT_STATE.stash = None
         if return_acts:
             return acts[self.output], acts
         return acts[self.output]
@@ -430,6 +471,9 @@ class ExecutionPlan:
                     )
                     if choice.method == "gather":
                         a["k_chunk"] = k_chunk()
+                    if choice.act_skip:
+                        a["act_skip"] = True
+                        a["act_density_est"] = choice.act_density
                 args[step.name] = a
             self._trace_args = args
         return self._trace_args
@@ -445,6 +489,61 @@ def _shape_str(shape: ConvShape | FcShape | None) -> str | None:
     if isinstance(shape, FcShape):
         return f"{shape.tokens}x{shape.c}->{shape.k}"
     return None
+
+
+# -- activation zero-skipping runtime ------------------------------------
+#
+# Per-thread execution state of the skip path: the fused-ReLU mask
+# stash (the last ReLU output plus its channel-reduced zero map,
+# matched by array identity at the consumer) and the current tracer of
+# a traced run (so the act_mask spans emitted inside step closures
+# attach to the right trace without widening the core signatures).
+# Thread-local, not plan state: one plan may serve concurrent requests.
+
+_ACT_STATE = threading.local()
+
+
+def _stashed_act_map(x: np.ndarray) -> np.ndarray | None:
+    """The fused-ReLU zero map of ``x``, if ``x`` is the stashed output."""
+    stash = getattr(_ACT_STATE, "stash", None)
+    if stash is not None and stash[0] is x:
+        return stash[1]
+    return None
+
+
+def _act_skip_cutoff(kind, shape, fmt, variant) -> float:
+    """Break-even density for a bound layer; 0.0 when unmodelled."""
+    try:
+        return act_skip_density_cutoff(kind, shape, fmt, variant)
+    except ValueError:
+        # Formats outside the MCU cost model never auto-engage; the
+        # "force" knob bypasses the cutoff entirely.
+        return 0.0
+
+
+def _run_masked_core(core, cols, row_mask, source, name, forced, cutoff):
+    """Dispatch one skip-bound layer: re-check density, trace, run.
+
+    The runtime fallback the compile-time decision promises: a batch
+    that arrives denser than the layer's cutoff takes the plain core
+    (``row_mask=None``) — skipping is purely a fast path, so this
+    cannot change a result, only reclaim the bookkeeping.
+    """
+    density = float(row_mask.mean())
+    skipped = forced or density <= cutoff
+    tracer = getattr(_ACT_STATE, "tracer", None)
+    if tracer is not None and tracer.enabled:
+        with tracer.span(
+            f"act_mask:{name}",
+            cat="act_skip",
+            args={
+                "density": round(density, 4),
+                "skipped": skipped,
+                "source": source,
+            },
+        ):
+            tracer.counter("act_density", {name: round(density, 4)})
+    return core(cols, row_mask if skipped else None)
 
 
 # -- per-op binding ------------------------------------------------------
@@ -629,7 +728,7 @@ def _bind_core(
     mode: str,
     plan: ExecutionPlan,
 ):
-    """Resolve one conv/dense node into ``(core, choice)``.
+    """Resolve one conv/dense node into ``(core, choice, skip)``.
 
     ``core`` is the backend-bound batched accumulator callable — it
     takes the ``(B, P, R)`` activation rows (int8 for the int8 path,
@@ -637,6 +736,13 @@ def _bind_core(
     binding, dense included, goes through a backend's pack/bind pair;
     the surrounding quantise/im2col/requant scaffolding stays in the
     per-op wrappers below.
+
+    ``skip`` is None, or ``(forced, cutoff)`` when the layer was bound
+    with activation zero-skipping: the plan-level knob engaged (always
+    under ``"force"``, cost-model-gated on the node's calibration
+    density under ``"auto"``) on a gather-bound layer.  The wrappers
+    then route the batch through the masked core with the runtime
+    density re-check.
     """
     int8_path = mode == "int8" and "weights_q" in node.attrs
     out_dtype = np.int32 if int8_path else np.float32
@@ -653,6 +759,7 @@ def _bind_core(
         return (
             _DENSE_BACKEND.bind(layout, out_dtype),
             _dense_choice(kind, shape, node, mode),
+            None,
         )
     choice, backend, layout = _choose_sparse_binding(
         node, kind, shape, packed, loss, plan
@@ -664,7 +771,22 @@ def _bind_core(
         if plan.accum_dtype == "float64" and not int8_path
         else None
     )
-    return backend.bind(layout, out_dtype, accum), choice
+    skip = None
+    if plan.act_skip != "off" and choice.method == "gather":
+        est_density = float(node.attrs.get("act_density", 1.0))
+        if not 0.0 <= est_density <= 1.0:
+            raise ValueError(
+                f"{node.name}: act_density must be in [0, 1], got "
+                f"{est_density!r}"
+            )
+        cutoff = _act_skip_cutoff(kind, shape, packed.fmt, backend.name)
+        forced = plan.act_skip == "force"
+        if forced or est_density <= cutoff:
+            choice = replace(
+                choice, act_skip=True, act_density=est_density
+            )
+            skip = (forced, cutoff)
+    return backend.bind(layout, out_dtype, accum), choice, skip
 
 
 def _dense_choice(
@@ -715,8 +837,38 @@ def _bind_conv(
     # core sees raw int8 (or float32) im2col rows and widens chunk-wise
     # (gather backends) or once up front (the dense GEMM) — both orders
     # produce identical accumulators.
-    core, choice = _bind_core(node, "conv", shape, mode, plan)
+    core, choice, skip = _bind_core(node, "conv", shape, mode, plan)
     int8_path = mode == "int8" and "weights_q" in node.attrs
+
+    if skip is not None:
+        forced, cutoff = skip
+        name = node.name
+
+        def masked(x: np.ndarray, cols: np.ndarray) -> np.ndarray:
+            # The fused-ReLU spatial map (one pass over FY*FX bools per
+            # row) beats rescanning the (B, P, R) im2col rows; a
+            # producer other than ReLU (pool, add) falls back to the
+            # rescan.  A float-zero position quantises to 0, so the
+            # float-domain map is a safe (conservative) mask for the
+            # quantised cols too.
+            act_map = _stashed_act_map(x)
+            if act_map is not None and act_map.shape == (
+                x.shape[0],
+                shape.iy,
+                shape.ix,
+            ):
+                row_mask = im2col_active_rows(act_map, shape)
+                source = "fused-relu"
+            else:
+                row_mask, source = cols.any(axis=2), "rescan"
+            return _run_masked_core(
+                core, cols, row_mask, source, name, forced, cutoff
+            )
+
+    else:
+
+        def masked(x: np.ndarray, cols: np.ndarray) -> np.ndarray:
+            return core(cols)
 
     if int8_path:
         a_scale = float(node.attrs["act_scale"])
@@ -725,7 +877,7 @@ def _bind_conv(
         def run(x: np.ndarray) -> np.ndarray:
             xq = quantize_activations(x, a_scale)
             cols = im2col_batch(xq, shape)
-            acc = core(cols)  # (B, OY*OX, K) int32
+            acc = masked(x, cols)  # (B, OY*OX, K) int32
             out = acc.astype(np.float64) * deq
             if bias is not None:
                 out = out + bias
@@ -735,7 +887,7 @@ def _bind_conv(
 
         def run(x: np.ndarray) -> np.ndarray:
             cols = im2col_batch(x, shape)
-            out = core(cols)  # (B, OY*OX, K) float32
+            out = masked(x, cols)  # (B, OY*OX, K) float32
             if bias is not None:
                 out = out + bias
             return out.reshape(x.shape[0], oy, ox, k)
@@ -753,8 +905,31 @@ def _bind_dense(
     # A vector input (C,) is lifted to one "token" so every batch slice
     # runs the same (T, C) @ (C, K) GEMM as a single-sample call.
     vector_in = len(in_shape) == 1
-    core, choice = _bind_core(node, "fc", fc_shape, mode, plan)
+    core, choice, skip = _bind_core(node, "fc", fc_shape, mode, plan)
     int8_path = mode == "int8" and "weights_q" in node.attrs
+
+    if skip is not None:
+        forced, cutoff = skip
+        name = node.name
+
+        def masked(x: np.ndarray, toks: np.ndarray) -> np.ndarray:
+            # The fused-ReLU map is the token mask directly when the
+            # token reshape preserves the channel axis; otherwise the
+            # tokens are rescanned (C bools per token).
+            act_map = _stashed_act_map(x)
+            if act_map is not None and x.shape[-1] == c:
+                row_mask = act_map.reshape(act_map.shape[0], -1)
+                source = "fused-relu"
+            else:
+                row_mask, source = toks.any(axis=2), "rescan"
+            return _run_masked_core(
+                core, toks, row_mask, source, name, forced, cutoff
+            )
+
+    else:
+
+        def masked(x: np.ndarray, toks: np.ndarray) -> np.ndarray:
+            return core(toks)
 
     if int8_path:
         a_scale = float(node.attrs["act_scale"])
@@ -765,7 +940,7 @@ def _bind_dense(
             if vector_in:
                 xq = xq[:, None, :]
             toks = xq.reshape(xq.shape[0], -1, c)
-            acc = core(toks)
+            acc = masked(x, toks)
             out = acc.astype(np.float64).reshape(*xq.shape[:-1], k) * deq
             if vector_in:
                 out = out[:, 0]
@@ -776,10 +951,11 @@ def _bind_dense(
     else:
 
         def run(x: np.ndarray) -> np.ndarray:
+            orig = x
             if vector_in:
                 x = x[:, None, :]
             toks = x.reshape(x.shape[0], -1, c)
-            out = core(toks).reshape(*x.shape[:-1], k)
+            out = masked(orig, toks).reshape(*x.shape[:-1], k)
             if vector_in:
                 out = out[:, 0]
             if bias is not None:
@@ -866,6 +1042,19 @@ def _bind_step(
         plan.kernel_choices[node.name] = choice
         return run
     if node.op == "relu":
+        if plan.act_skip != "off":
+
+            def relu_fused(x: np.ndarray) -> np.ndarray:
+                # Fused mask extraction: the zero map falls out of the
+                # same pass that materialises the clipped activations,
+                # so a downstream skip layer never rescans them (the
+                # regression the act_mask span's "source" attests).
+                y = np.maximum(x, np.float32(0))
+                if y.ndim >= 2:
+                    _ACT_STATE.stash = (y, y.any(axis=-1))
+                return y
+
+            return relu_fused
         return lambda x: np.maximum(x, np.float32(0))
     if node.op == "gelu":
         return _gelu
@@ -904,6 +1093,7 @@ def compile_plan(
     accuracy_budget: float = 0.0,
     backend: str = "sw",
     accum_dtype: str | None = None,
+    act_skip: str = "off",
     verify: bool = True,
 ) -> ExecutionPlan:
     """Compile ``graph`` into an :class:`ExecutionPlan` for ``mode``.
@@ -935,6 +1125,18 @@ def compile_plan(
     bit-identical across all three.  ``accum_dtype="float64"``
     (float sparse plans only) widens the gather accumulation for
     serving contracts tighter than the default float tolerance.
+
+    ``act_skip`` (sparse plans only) adds runtime activation
+    zero-skipping to gather-bound layers: post-ReLU zero rows of the
+    im2col/token buffers are masked once per batch and their MACs
+    skipped (``"auto"`` engages per layer where
+    :func:`repro.kernels.cost_model.act_skip_profitable` approves the
+    node's calibration ``act_density`` estimate; ``"force"`` enables
+    every gather layer).  Outputs are identical to ``"off"`` —
+    ``np.array_equal`` on every backend, dtype and format; int8 results
+    are bit-identical — and each skip layer re-checks the measured
+    batch density at runtime, falling back to the plain core when a
+    batch arrives dense.
 
     ``verify=True`` (the default) runs the static plan verifier
     (:mod:`repro.analyze.plancheck`) around the compile: graph-level
@@ -971,6 +1173,16 @@ def compile_plan(
                 "accum_dtype='float64' only applies to float sparse plans "
                 "(int8 accumulation is already exact)"
             )
+    if act_skip not in ACT_SKIP_KNOBS:
+        raise ValueError(
+            f"unknown act_skip {act_skip!r} "
+            f"(expected one of {ACT_SKIP_KNOBS})"
+        )
+    if act_skip != "off" and not sparse:
+        raise ValueError(
+            "act_skip requires sparse=True (only the gather-bound "
+            "sparse kernels skip zero activation rows)"
+        )
     if sparse:
         # Resolve the gather chunk size now so a bad REPRO_K_CHUNK env
         # value fails at compile/registration time, not on the first
@@ -995,6 +1207,7 @@ def compile_plan(
                 accuracy_budget=accuracy_budget,
                 backend=backend,
                 accum_dtype=accum_dtype,
+                act_skip=act_skip,
             )
         )
         if problems:
@@ -1013,6 +1226,7 @@ def compile_plan(
         accuracy_budget=accuracy_budget,
         backend=backend,
         accum_dtype=accum_dtype,
+        act_skip=act_skip,
     )
     # Liveness: the step that consumes an activation last releases it.
     last_use: dict[str, int] = {}

@@ -46,7 +46,10 @@ from typing import Callable
 import numpy as np
 
 from repro.kernels import microcode as mc
-from repro.kernels.conv_sparse import gather_indices, gather_matmul_batch
+from repro.kernels.conv_sparse import (
+    gather_indices,
+    gather_matmul_batch_masked,
+)
 from repro.kernels.cost_model import (
     CostParams,
     DEFAULT_PARAMS,
@@ -330,8 +333,15 @@ class SparseSwBackend(KernelBackend):
         out_dtype = np.dtype(out_dtype)
         values, idx = layout.values, layout.gather_idx
 
-        def core(cols: np.ndarray) -> np.ndarray:
-            return gather_matmul_batch(cols, values, idx, out_dtype, accum_dtype)
+        def core(
+            cols: np.ndarray, row_mask: np.ndarray | None = None
+        ) -> np.ndarray:
+            # row_mask (activation zero-skipping) marks all-zero im2col
+            # rows/tokens; the masked core compacts, gathers, scatters —
+            # bit-identical, see gather_matmul_batch_masked.
+            return gather_matmul_batch_masked(
+                cols, values, idx, out_dtype, accum_dtype, row_mask
+            )
 
         return core
 
@@ -432,8 +442,14 @@ class SparseIsaBackend(KernelBackend):
         out_dtype = np.dtype(out_dtype)
         values, idx = layout.values, layout.gather_idx
 
-        def core(cols: np.ndarray) -> np.ndarray:
-            return gather_matmul_batch(cols, values, idx, out_dtype, accum_dtype)
+        def core(
+            cols: np.ndarray, row_mask: np.ndarray | None = None
+        ) -> np.ndarray:
+            # Same skipping semantics as the SW core: the ISA stream only
+            # changes how addresses were decoded, not what a row sums.
+            return gather_matmul_batch_masked(
+                cols, values, idx, out_dtype, accum_dtype, row_mask
+            )
 
         return core
 

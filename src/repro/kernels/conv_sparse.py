@@ -46,6 +46,7 @@ __all__ = [
     "conv2d_f32_sparse",
     "gather_indices",
     "gather_matmul_batch",
+    "gather_matmul_batch_masked",
     "k_chunk",
     "set_k_chunk",
     "sparse_matmul_acc",
@@ -163,6 +164,60 @@ def gather_matmul_batch(
         )  # (B, P, kc, nnz)
         vals = values[k0:k1].astype(accum, copy=False)  # (kc, nnz)
         acc[:, :, k0:k1] = np.einsum("bpkn,kn->bpk", patches, vals)
+    return acc
+
+
+def gather_matmul_batch_masked(
+    cols: np.ndarray,
+    values: np.ndarray,
+    gather_idx: np.ndarray,
+    out_dtype: np.dtype,
+    accum_dtype: np.dtype | None = None,
+    row_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """:func:`gather_matmul_batch` skipping rows flagged inactive.
+
+    ``row_mask`` is a ``(B, P)`` bool array; rows marked False are
+    promised all-zero by the caller (post-ReLU zero tiles) and their
+    MACs are skipped entirely: the active rows are compacted, run
+    through the plain gather core, and scattered back into a zeroed
+    output.  Because :func:`gather_matmul_batch` reduces each output
+    element independently over the NNZ axis, compaction cannot change
+    any surviving row's reduction order — active rows are bit-identical
+    to the unmasked path, and skipped rows are exact zeros (what the
+    unmasked path computes for an all-zero row, up to the sign of
+    float ±0.0; the identity contract is ``np.array_equal``, which
+    treats them equal).
+
+    ``row_mask=None`` or an all-True mask short-circuits to the plain
+    core so a dense batch pays only the mask reduction, never the
+    compact/scatter copies.
+    """
+    if row_mask is None:
+        return gather_matmul_batch(
+            cols, values, gather_idx, out_dtype, accum_dtype
+        )
+    cols = np.asarray(cols)
+    b, p, r = cols.shape
+    row_mask = np.asarray(row_mask, dtype=bool)
+    if row_mask.shape != (b, p):
+        raise ValueError(
+            f"row_mask {row_mask.shape} does not match cols ({b}, {p}, _)"
+        )
+    flat_mask = row_mask.reshape(b * p)
+    if flat_mask.all():
+        return gather_matmul_batch(
+            cols, values, gather_idx, out_dtype, accum_dtype
+        )
+    k_total = values.shape[0]
+    acc = np.zeros((b, p, k_total), dtype=out_dtype)
+    if not flat_mask.any():
+        return acc
+    active = cols.reshape(b * p, r)[flat_mask][None]  # (1, A, R)
+    out_active = gather_matmul_batch(
+        active, values, gather_idx, out_dtype, accum_dtype
+    )
+    acc.reshape(b * p, k_total)[flat_mask] = out_active[0]
     return acc
 
 

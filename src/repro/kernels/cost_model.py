@@ -45,6 +45,8 @@ __all__ = [
     "CostParams",
     "CycleBreakdown",
     "DEFAULT_PARAMS",
+    "act_skip_density_cutoff",
+    "act_skip_profitable",
     "format_energy_loss",
     "iter_cycles",
     "iter_equiv_macs",
@@ -168,6 +170,14 @@ class CostParams:
     layer_setup: float = 1200.0
     #: L1 bytes available to a double-buffered weight tile.
     weight_tile_bytes: int = 32 * 1024
+    #: cycles per byte of activation-skipping bookkeeping: the zero-map
+    #: reduction per im2col row plus the compaction/scatter copies of
+    #: surviving rows (SparCE-style zero-tile skipping).
+    act_mask_cycles_per_byte: float = 1.0
+    #: minimum predicted relative saving before activation skipping is
+    #: enabled — hysteresis so a noisy calibration density estimate near
+    #: break-even cannot flip a layer into a net-loss configuration.
+    act_skip_margin: float = 0.10
 
 
 DEFAULT_PARAMS = CostParams()
@@ -300,6 +310,83 @@ def weight_stream_bytes(
         return float(k * reduce_dim)
     duplicate = variant == "sparse-isa" and kind == "conv"
     return k * reduce_dim * fmt.bits_per_dense_weight(duplicate) / 8.0
+
+
+# ----------------------------------------------------------------------
+# Activation zero-skipping (dynamic sparsity)
+# ----------------------------------------------------------------------
+
+
+def act_skip_density_cutoff(
+    kind: str,
+    shape: ConvShape | FcShape,
+    fmt: NMFormat | None,
+    variant: str = "sparse-sw",
+    params: CostParams = DEFAULT_PARAMS,
+) -> float:
+    """Break-even activation row density for zero-skipping on a layer.
+
+    Skipping trades the full per-row channel loop of every all-zero
+    im2col row (or FC token) against fixed bookkeeping: a zero-map
+    reduction over every row plus compaction/scatter copies of the
+    surviving rows.  With per-row compute ``W``, per-row mask cost
+    ``O`` and per-*active*-row copy cost ``S``, a batch of row density
+    ``d`` costs ``O + d*(W + S)`` skipped versus ``W`` plain, so
+    skipping saves at least ``act_skip_margin`` of the plain cost iff
+
+        d <= ((1 - margin) * W - O) / (W + S)
+
+    The returned cutoff is that bound clamped to ``[0, 1]``; layers
+    whose rows are too cheap (tiny reduce dims) get a cutoff of 0 and
+    are never skipped.  Only the gather variants are modelled — the
+    dense scatter path never skips (BLAS reassociates, which would
+    break the bit-identity contract under row compaction).
+    """
+    if not variant.startswith("sparse"):
+        return 0.0
+    m = _check_variant(kind, variant, fmt)
+    r = shape.reduce_dim if kind == "conv" else shape.c
+    k = shape.k
+    it = iter_cycles(kind, variant, fmt, params)
+    rq = params.requant_per_output
+    nnz = math.ceil(r / m)
+    iters = math.ceil(nnz / 4)
+    if kind == "conv":
+        ch_setup = params.channel_setup + (1 if variant == "sparse-isa" else 0)
+        per_row = k * (ch_setup + iters * it + 2 * rq) / 2.0
+        mask_bytes = shape.fy * shape.fx  # window-reduced spatial map
+    else:
+        per_unit = params.channel_setup + iters * it + rq
+        units = k if variant == "sparse-sw" else k / 2.0
+        per_row = units * per_unit
+        mask_bytes = r  # token zero-test scans the reduce dim
+    mask_cost = mask_bytes * params.act_mask_cycles_per_byte
+    copy_cost = (r + k) * params.act_mask_cycles_per_byte
+    cutoff = ((1.0 - params.act_skip_margin) * per_row - mask_cost) / (
+        per_row + copy_cost
+    )
+    return min(1.0, max(0.0, cutoff))
+
+
+def act_skip_profitable(
+    kind: str,
+    shape: ConvShape | FcShape,
+    fmt: NMFormat | None,
+    density: float,
+    variant: str = "sparse-sw",
+    params: CostParams = DEFAULT_PARAMS,
+) -> bool:
+    """Whether zero-skipping pays off at the given activation density.
+
+    ``density`` is the fraction of im2col rows (conv) or tokens (fc)
+    with at least one non-zero entry — a calibration-batch estimate at
+    compile time, the measured batch value at runtime.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density!r}")
+    return density <= act_skip_density_cutoff(
+        kind, shape, fmt, variant, params
+    )
 
 
 # ----------------------------------------------------------------------

@@ -19,7 +19,13 @@ import numpy as np
 
 from repro.kernels.shapes import ConvShape
 
-__all__ = ["im2col", "im2col_batch", "im2col_buffer_bytes", "im2col_copy_cycles"]
+__all__ = [
+    "im2col",
+    "im2col_active_rows",
+    "im2col_batch",
+    "im2col_buffer_bytes",
+    "im2col_copy_cycles",
+]
 
 
 def im2col(x: np.ndarray, shape: ConvShape) -> np.ndarray:
@@ -72,6 +78,43 @@ def im2col_batch(x: np.ndarray, shape: ConvShape) -> np.ndarray:
         strides=(sb, sy * shape.s, sx * shape.s, sy, sx, sc),
     )
     return windows.reshape(b, shape.oy * shape.ox, shape.reduce_dim)
+
+
+def im2col_active_rows(active_map: np.ndarray, shape: ConvShape) -> np.ndarray:
+    """Reduce a spatial activity map to per-im2col-row activity.
+
+    ``active_map`` is a ``(B, IY, IX)`` bool array marking input
+    positions with at least one non-zero channel (the channel reduction
+    of a post-ReLU tensor).  The result is ``(B, OY*OX)`` bool: row
+    ``oy*OX + ox`` is True iff any position of its receptive field is
+    active.  Rows marked False therefore correspond to all-zero im2col
+    rows, exactly the rows an activation-skipping kernel may drop.
+
+    The reduction reuses the padded/strided-window construction of
+    :func:`im2col_batch` on the 1-byte map instead of the ``C``-channel
+    activations — ``FY*FX`` bools per output position rather than
+    ``FY*FX*C`` values, which is what makes mask extraction cheap
+    enough to be worth gating on in the cost model.
+    """
+    active_map = np.asarray(active_map, dtype=bool)
+    if active_map.ndim != 3 or active_map.shape[1:] != (shape.iy, shape.ix):
+        raise ValueError(
+            f"activity map {active_map.shape} does not match {shape}"
+        )
+    b = active_map.shape[0]
+    padded = np.zeros(
+        (b, shape.iy + 2 * shape.p, shape.ix + 2 * shape.p), dtype=bool
+    )
+    padded[:, shape.p : shape.p + shape.iy, shape.p : shape.p + shape.ix] = (
+        active_map
+    )
+    sb, sy, sx = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(b, shape.oy, shape.ox, shape.fy, shape.fx),
+        strides=(sb, sy * shape.s, sx * shape.s, sy, sx),
+    )
+    return windows.any(axis=(3, 4)).reshape(b, shape.oy * shape.ox)
 
 
 def im2col_buffer_bytes(shape: ConvShape, n_cores: int = 8) -> int:

@@ -52,15 +52,20 @@ DEMO_SPARSE_FORMAT = FORMAT_1_8
 
 
 def demo_registrations(
-    seed: int = 0, sparse: bool = True
+    seed: int = 0, sparse: bool = True, act_skip: str = "off"
 ) -> list[tuple[str, object, str, dict]]:
     """The demo deployment specs: ``(name, graph, mode, kwargs)`` rows.
 
     One definition shared by the single-process and sharded demo
     servers (and by tests that need a direct-engine reference for the
     served deployments), so every flavour registers byte-identical
-    graphs in the same order.
+    graphs in the same order.  ``act_skip`` != ``"off"`` opts the
+    sparse deployments into activation zero-skipping; the calibration
+    batch doubles as the density-calibration batch so ``"auto"`` plans
+    have a measured estimate to gate on.
     """
+    import numpy as np
+
     from repro.models.quantize import quantize_graph
 
     graph = resnet_style_graph(seed=seed)
@@ -73,29 +78,44 @@ def demo_registrations(
         ("resnet-float", graph, "float", {}),
         ("resnet-int8", graph, "int8", {}),
     ]
+    skip_kwargs = {} if act_skip == "off" else {"act_skip": act_skip}
     if sparse:
         pruned = resnet_style_graph(seed=seed, fmt=DEMO_SPARSE_FORMAT)
         quantize_graph(pruned, calib)
+        mixed = resnet_style_graph(seed=seed, layer_fmts=MIXED_DEMO_FMTS)
+        quantize_graph(mixed, calib)
+        if act_skip != "off":
+            from repro.engine.calibrate import calibrate_act_density
+
+            batch = np.stack(calib)
+            calibrate_act_density(pruned, batch)
+            calibrate_act_density(mixed, batch)
         regs += [
-            ("resnet-sparse-int8", pruned, "int8", {"sparse": True}),
+            (
+                "resnet-sparse-int8",
+                pruned,
+                "int8",
+                {"sparse": True, **skip_kwargs},
+            ),
             (
                 "resnet-sparse-isa",
                 pruned,
                 "int8",
-                {"sparse": True, "backend": "isa"},
+                {"sparse": True, "backend": "isa", **skip_kwargs},
             ),
-            ("resnet-sparse-float", pruned, "float", {"sparse": True}),
-        ]
-        mixed = resnet_style_graph(seed=seed, layer_fmts=MIXED_DEMO_FMTS)
-        quantize_graph(mixed, calib)
-        regs.append(
+            (
+                "resnet-sparse-float",
+                pruned,
+                "float",
+                {"sparse": True, **skip_kwargs},
+            ),
             (
                 "resnet-select-int8",
                 mixed,
                 "int8",
-                {"sparse": True, "select_fmt": True},
-            )
-        )
+                {"sparse": True, "select_fmt": True, **skip_kwargs},
+            ),
+        ]
     return regs
 
 
@@ -108,6 +128,7 @@ def demo_server(
     max_weight_bytes: int | None = None,
     processes: int = 1,
     tracer=None,
+    act_skip: str = "off",
 ) -> ModelServer | RouterServer:
     """Build (but don't start) a server hosting the demo deployments.
 
@@ -147,7 +168,7 @@ def demo_server(
         )
     try:
         for name, graph, mode, kwargs in demo_registrations(
-            seed=seed, sparse=sparse
+            seed=seed, sparse=sparse, act_skip=act_skip
         ):
             server.register(name, graph, mode, **kwargs)
     except BaseException:

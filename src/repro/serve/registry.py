@@ -18,7 +18,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.engine.engine import InferenceEngine
-from repro.engine.plan import BACKEND_KNOBS, MODES, ExecutionPlan
+from repro.engine.plan import (
+    ACT_SKIP_KNOBS,
+    BACKEND_KNOBS,
+    MODES,
+    ExecutionPlan,
+)
 from repro.serve.errors import BadRequest, UnknownModel, WeightBudgetExceeded
 
 if TYPE_CHECKING:
@@ -41,7 +46,10 @@ class Deployment:
     ``backend`` pins the sparse execution engine (``"sw"`` / ``"isa"``
     / ``"auto"`` — see :mod:`repro.kernels.backend`); ``accum_dtype``
     opts a float sparse deployment into float64 gather accumulation
-    for tighter serving contracts.
+    for tighter serving contracts.  ``act_skip`` enables runtime
+    activation zero-skipping on the deployment's gather-bound layers
+    (``"auto"`` cost-model-gated, ``"force"`` unconditional — see
+    ``docs/sparse_engine.md``); results stay bit-identical either way.
     """
 
     name: str
@@ -54,6 +62,7 @@ class Deployment:
     accuracy_budget: float = 0.0
     backend: str = "sw"
     accum_dtype: str | None = None
+    act_skip: str = "off"
 
     @property
     def input_shape(self) -> tuple[int, ...]:
@@ -89,6 +98,7 @@ class Deployment:
             accuracy_budget=self.accuracy_budget,
             backend=self.backend,
             accum_dtype=self.accum_dtype,
+            act_skip=self.act_skip,
         )
 
 
@@ -142,6 +152,7 @@ class ModelRegistry:
         accuracy_budget: float = 0.0,
         backend: str = "sw",
         accum_dtype: str | None = None,
+        act_skip: str = "off",
     ) -> Deployment:
         """Host ``graph`` in ``mode`` under ``name``, warming its plan.
 
@@ -173,6 +184,11 @@ class ModelRegistry:
                 f"unknown backend {backend!r} "
                 f"(expected one of {BACKEND_KNOBS})"
             )
+        if act_skip not in ACT_SKIP_KNOBS:
+            raise ValueError(
+                f"unknown act_skip {act_skip!r} "
+                f"(expected one of {ACT_SKIP_KNOBS})"
+            )
         plan = self.engine.compile(  # warm-up
             graph,
             mode,
@@ -181,6 +197,7 @@ class ModelRegistry:
             accuracy_budget=accuracy_budget,
             backend=backend,
             accum_dtype=accum_dtype,
+            act_skip=act_skip,
         )
         if self.max_weight_bytes is not None:
             used = self.weight_bytes_used(exclude=name)
@@ -200,6 +217,7 @@ class ModelRegistry:
             accuracy_budget=accuracy_budget,
             backend=backend,
             accum_dtype=accum_dtype,
+            act_skip=act_skip,
         )
         self._deployments[name] = dep
         return dep

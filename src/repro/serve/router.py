@@ -101,6 +101,7 @@ class DeploymentSpec:
     accuracy_budget: float
     backend: str
     accum_dtype: str | None
+    act_skip: str
     shm_prefix: str
 
     def register_kwargs(self) -> dict:
@@ -110,6 +111,7 @@ class DeploymentSpec:
             "accuracy_budget": self.accuracy_budget,
             "backend": self.backend,
             "accum_dtype": self.accum_dtype,
+            "act_skip": self.act_skip,
         }
 
 
@@ -363,6 +365,7 @@ class RouterServer:
         accuracy_budget: float = 0.0,
         backend: str = "sw",
         accum_dtype: str | None = None,
+        act_skip: str = "off",
     ):
         """Register a deployment; compiles the warm plan into shared
         memory and enforces the weight budget once, globally.
@@ -381,7 +384,13 @@ class RouterServer:
                 "sharded deployments must be registered before start()"
             )
         plan_key = _plan_key(
-            mode, sparse, select_fmt, accuracy_budget, backend, accum_dtype
+            mode,
+            sparse,
+            select_fmt,
+            accuracy_budget,
+            backend,
+            accum_dtype,
+            act_skip,
         )
         prefix = f"{name}#{next(self._serial)}:{plan_key}"
         with self.shared_store.capture() as created:
@@ -396,6 +405,7 @@ class RouterServer:
                         accuracy_budget=accuracy_budget,
                         backend=backend,
                         accum_dtype=accum_dtype,
+                        act_skip=act_skip,
                     )
             except Exception:
                 self.shared_store.release(created)
@@ -410,6 +420,7 @@ class RouterServer:
             accuracy_budget=accuracy_budget,
             backend=backend,
             accum_dtype=accum_dtype,
+            act_skip=act_skip,
             shm_prefix=prefix,
         )
         return dep

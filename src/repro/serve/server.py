@@ -201,6 +201,7 @@ class ModelServer:
         accuracy_budget: float = 0.0,
         backend: str = "sw",
         accum_dtype: str | None = None,
+        act_skip: str = "off",
     ):
         """Register (and plan-warm) a deployment on the server's registry."""
         return self.registry.register(
@@ -212,6 +213,7 @@ class ModelServer:
             accuracy_budget=accuracy_budget,
             backend=backend,
             accum_dtype=accum_dtype,
+            act_skip=act_skip,
         )
 
     # -- request path (event loop only) ---------------------------------

@@ -11,7 +11,7 @@ per line, in order.  Ops:
 - ``{"op": "models"}`` → ``{"ok": true, "models": [...]}``.
 - ``{"op": "describe"}`` → ``{"ok": true, "models": {name: {"mode",
   "input_shape", "sparse", "select_fmt", "backend", "accum_dtype",
-  "weight_bytes", "dense_weight_bytes"}}, "weight_budget":
+  "act_skip", "weight_bytes", "dense_weight_bytes"}}, "weight_budget":
   {"max_weight_bytes", "used_weight_bytes"}, "engine": {"plan_cache":
   cache_stats}}`` — what a client needs to build requests, plus
   per-deployment kernel/memory introspection (the compile-time weight
@@ -84,6 +84,7 @@ async def _handle_request(server: ModelServer, msg: dict) -> dict:
                     "select_fmt": dep.select_fmt,
                     "backend": dep.backend,
                     "accum_dtype": dep.accum_dtype,
+                    "act_skip": dep.act_skip,
                     "weight_bytes": dep.plan.weight_bytes(),
                     "dense_weight_bytes": dep.plan.dense_weight_bytes(),
                 }

@@ -123,6 +123,34 @@ def budget_exceeding_plan():
     )
 
 
+def bad_act_density_plan():
+    """A skip-bound plan whose recorded density estimate is not a
+    density (plan-act-skip).
+
+    Compiled with ``act_skip="force"`` on the ISA backend (so gather
+    layers actually bind the skip path), then one choice's
+    ``act_density`` is corrupted past 1 — modelling a stale or
+    miscomputed calibration stamp reaching a deployment artifact.
+    """
+    from dataclasses import replace
+
+    plan = compile_plan(
+        clean_demo_graph(),
+        "int8",
+        sparse=True,
+        backend="isa",
+        act_skip="force",
+        verify=False,
+    )
+    name = next(
+        n for n, c in plan.kernel_choices.items() if c.act_skip
+    )
+    plan.kernel_choices[name] = replace(
+        plan.kernel_choices[name], act_density=1.5
+    )
+    return plan
+
+
 def key_fn_missing_accum_dtype(
     mode,
     sparse,
@@ -130,6 +158,7 @@ def key_fn_missing_accum_dtype(
     accuracy_budget=0.0,
     backend="sw",
     accum_dtype=None,
+    act_skip="off",
 ):
     """A fake plan-cache key that forgets ``accum_dtype`` — the
     historical ``+acc64`` bug class (plan-cache-key)."""
@@ -140,4 +169,6 @@ def key_fn_missing_accum_dtype(
         key += f"+select@{accuracy_budget:g}"
     if backend != "sw":
         key += f"+{backend}"
+    if act_skip != "off":
+        key += f"+askip-{act_skip}"
     return key

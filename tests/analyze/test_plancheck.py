@@ -20,6 +20,7 @@ from repro.analyze.plancheck import (
 from repro.engine.plan import PLAN_KNOBS, PlanKnob, compile_plan
 
 from fixtures import (
+    bad_act_density_plan,
     bad_quant_dtype_graph,
     budget_exceeding_plan,
     byte_mismatch_plan,
@@ -126,6 +127,25 @@ class TestDefectCorpus:
         assert rules(diags) == ["plan-budget"]
         assert verify_plan(plan, max_weight_bytes=plan.weight_bytes()) == []
 
+    def test_bad_act_density(self):
+        diags = verify_plan(bad_act_density_plan())
+        assert rules(diags) == ["plan-act-skip"]
+        assert "1.5" in diags[0].message
+
+    def test_act_density_without_skip(self):
+        from dataclasses import replace
+
+        plan = compile_plan(
+            clean_demo_graph(), "int8", sparse=True, verify=False
+        )
+        name = next(iter(plan.kernel_choices))
+        plan.kernel_choices[name] = replace(
+            plan.kernel_choices[name], act_density=0.5
+        )
+        diags = verify_plan(plan)
+        assert rules(diags) == ["plan-act-skip"]
+        assert "not skip-bound" in diags[0].message
+
     def test_knob_missing_from_cache_key(self):
         """The PR-5 +acc64 regression, caught mechanically."""
         diags = check_cache_keys(key_fn=key_fn_missing_accum_dtype)
@@ -156,6 +176,7 @@ class TestCatalog:
             "plan-bytes",
             "plan-budget",
             "plan-cache-key",
+            "plan-act-skip",
         }
 
 

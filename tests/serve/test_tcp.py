@@ -49,6 +49,7 @@ class TestProtocol:
         assert described["m"]["input_shape"] == [12, 12, 3]
         assert described["m"]["sparse"] is False
         assert described["m"]["select_fmt"] is False
+        assert described["m"]["act_skip"] == "off"
         assert described["m"]["weight_bytes"] == described["m"]["dense_weight_bytes"] > 0
         assert stats["server"]["running"] is True
 
